@@ -1,0 +1,88 @@
+//! Criterion benches for descriptor extraction, matching and codec
+//! (backs the `tab-desc` table and the wire-format costs).
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swag_core::{
+    abstract_segment, AveragingRule, CameraProfile, DescriptorCodec, Fov, RepFov, Segment,
+    TimedFov, UploadBatch,
+};
+use swag_geo::{LatLon, Vec2};
+use swag_vision::{ColorHistogram, GridDescriptor, Renderer, Resolution, World};
+
+fn bench_fov_descriptor(c: &mut Criterion) {
+    let seg = Segment {
+        fovs: (0..25)
+            .map(|i| {
+                TimedFov::new(
+                    f64::from(i) / 25.0,
+                    Fov::new(LatLon::new(40.0, 116.32), f64::from(i)),
+                )
+            })
+            .collect(),
+    };
+    c.bench_function("descriptor/fov_extract_25f_segment", |b| {
+        b.iter(|| black_box(abstract_segment(black_box(&seg), AveragingRule::Circular)))
+    });
+}
+
+fn bench_content_descriptors(c: &mut Criterion) {
+    let world = World::random_city(3, 300.0, 300);
+    let renderer = Renderer::new(&world, 25.0, 100.0);
+    let mut group = c.benchmark_group("descriptor/content_extract");
+    group.sample_size(10);
+    for res in [Resolution::P240, Resolution::P720] {
+        let img = renderer.render(Vec2::ZERO, 0.0, res);
+        group.bench_with_input(BenchmarkId::new("histogram", res.label()), &res, |b, _| {
+            b.iter(|| black_box(ColorHistogram::from_frame(black_box(&img), 8)))
+        });
+        group.bench_with_input(BenchmarkId::new("grid_sift", res.label()), &res, |b, _| {
+            b.iter(|| black_box(GridDescriptor::extract(black_box(&img), 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let batch = UploadBatch {
+        provider_id: 1,
+        video_id: 2,
+        reps: (0..1000)
+            .map(|i| {
+                RepFov::new(
+                    f64::from(i),
+                    f64::from(i) + 5.0,
+                    Fov::new(LatLon::new(40.0, 116.32), f64::from(i % 360)),
+                )
+            })
+            .collect(),
+    };
+    let wire = DescriptorCodec::encode_batch(&batch);
+    let mut group = c.benchmark_group("descriptor/codec");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("encode_1000", |b| {
+        b.iter(|| black_box(DescriptorCodec::encode_batch(black_box(&batch))))
+    });
+    group.bench_function("decode_1000", |b| {
+        b.iter(|| black_box(DescriptorCodec::decode_batch(black_box(wire.clone()))).unwrap())
+    });
+    group.bench_function("encode_single_record", |b| {
+        let rep = batch.reps[0];
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(DescriptorCodec::RECORD_SIZE);
+            DescriptorCodec::encode_rep(black_box(&rep), &mut buf);
+            black_box(buf)
+        })
+    });
+    group.finish();
+    let _ = CameraProfile::smartphone();
+}
+
+criterion_group!(
+    benches,
+    bench_fov_descriptor,
+    bench_content_descriptors,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for index construction (backs Fig. 6(b)).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swag_core::RepFov;
+use swag_sensors::scenarios::{citywide_rep_fovs, CitywideConfig};
+use swag_server::{FovIndex, IndexKind, SegmentId};
+
+fn bench_insert(c: &mut Criterion) {
+    let cfg = CitywideConfig::default();
+    let mut group = c.benchmark_group("index/insert");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 20_000] {
+        let reps = citywide_rep_fovs(n, &cfg, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter_batched(
+                || reps.clone(),
+                |reps| {
+                    let mut index = FovIndex::new(IndexKind::RTree);
+                    for (i, rep) in reps.iter().enumerate() {
+                        index.insert(rep, SegmentId(i as u32));
+                    }
+                    black_box(index)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("bulk_str", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    reps.iter()
+                        .enumerate()
+                        .map(|(i, r)| (*r, SegmentId(i as u32)))
+                        .collect::<Vec<(RepFov, SegmentId)>>()
+                },
+                |items| black_box(FovIndex::bulk_load(items)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

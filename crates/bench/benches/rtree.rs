@@ -1,0 +1,102 @@
+//! Criterion micro-benches for the R-tree substrate, including the
+//! split-strategy and bulk-load ablations called out in `DESIGN.md`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use swag_rtree::{Aabb, RTree, RTreeConfig, SplitStrategy};
+
+fn random_boxes(n: usize, seed: u64) -> Vec<(Aabb<3>, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let min = [
+                rng.random_range(-1e4..1e4),
+                rng.random_range(-1e4..1e4),
+                rng.random_range(0.0..86_400.0),
+            ];
+            let b = Aabb::new(min, [min[0], min[1], min[2] + rng.random_range(1.0..60.0)]);
+            (b, i as u32)
+        })
+        .collect()
+}
+
+fn bench_split_strategies(c: &mut Criterion) {
+    let data = random_boxes(10_000, 1);
+    let mut group = c.benchmark_group("rtree/build_10k");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("quadratic", SplitStrategy::Quadratic),
+        ("linear", SplitStrategy::Linear),
+        ("rstar", SplitStrategy::RStar),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            b.iter_batched(
+                || data.clone(),
+                |data| {
+                    let mut t: RTree<u32, 3> = RTree::with_config(RTreeConfig {
+                        split: s,
+                        ..RTreeConfig::default()
+                    });
+                    for (mbr, v) in data {
+                        t.insert(mbr, v);
+                    }
+                    black_box(t)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("bulk_str", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |data| black_box(RTree::bulk_load(data)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let data = random_boxes(50_000, 2);
+    let incremental: RTree<u32, 3> = {
+        let mut t = RTree::new();
+        for (mbr, v) in data.clone() {
+            t.insert(mbr, v);
+        }
+        t
+    };
+    let bulk = RTree::bulk_load(data);
+    let query = Aabb::new([-500.0, -500.0, 0.0], [500.0, 500.0, 7200.0]);
+
+    let mut group = c.benchmark_group("rtree/query_50k");
+    group.bench_function("range_incremental", |b| {
+        b.iter(|| black_box(incremental.search(black_box(&query))))
+    });
+    group.bench_function("range_bulk_loaded", |b| {
+        b.iter(|| black_box(bulk.search(black_box(&query))))
+    });
+    group.bench_function("knn_10", |b| {
+        b.iter(|| black_box(bulk.nearest_k(black_box([0.0, 0.0, 43_200.0]), 10)))
+    });
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let data = random_boxes(10_000, 3);
+    c.bench_function("rtree/delete_then_reinsert", |b| {
+        let mut t = RTree::bulk_load(data.clone());
+        let mut i = 0usize;
+        b.iter(|| {
+            let (mbr, v) = data[i % data.len()];
+            i += 1;
+            let removed = t.remove(&mbr, |&x| x == v);
+            debug_assert!(removed.is_some());
+            t.insert(mbr, v);
+        })
+    });
+}
+
+criterion_group!(benches, bench_split_strategies, bench_queries, bench_delete);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion benches for query latency: R-tree vs linear scan, plus the
+//! full rank-based retrieval path (backs Fig. 6(c) and the <100 ms claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use swag_core::CameraProfile;
+use swag_geo::{LocalFrame, Vec2};
+use swag_sensors::scenarios::{self, citywide_rep_fovs, CitywideConfig};
+use swag_server::{CloudServer, FovIndex, IndexKind, Query, QueryOptions, SegmentId, SegmentRef};
+
+fn queries(cfg: &CitywideConfig, n: usize, seed: u64) -> Vec<Query> {
+    let frame = LocalFrame::new(scenarios::default_origin());
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let pos = frame.from_local(Vec2::new(
+                rng.random_range(-cfg.extent_m..cfg.extent_m),
+                rng.random_range(-cfg.extent_m..cfg.extent_m),
+            ));
+            let t0 = rng.random_range(0.0..cfg.time_window_s - 3600.0);
+            Query::new(t0, t0 + 3600.0, pos, 200.0)
+        })
+        .collect()
+}
+
+fn bench_index_search(c: &mut Criterion) {
+    let cfg = CitywideConfig::default();
+    let qs = queries(&cfg, 64, 7);
+    let mut group = c.benchmark_group("search/candidates");
+    for n in [1_000usize, 10_000, 50_000] {
+        let reps = citywide_rep_fovs(n, &cfg, 42);
+        let mut rtree = FovIndex::new(IndexKind::RTree);
+        let mut linear = FovIndex::new(IndexKind::Linear);
+        for (i, rep) in reps.iter().enumerate() {
+            rtree.insert(rep, SegmentId(i as u32));
+            linear.insert(rep, SegmentId(i as u32));
+        }
+        group.bench_with_input(BenchmarkId::new("rtree", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(rtree.candidates(q))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                black_box(linear.candidates(q))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_retrieval(c: &mut Criterion) {
+    // The whole server path: index lookup + direction filter + rank +
+    // top-N, at the paper's "tens of thousands of segments" scale.
+    let cfg = CitywideConfig::default();
+    let cam = CameraProfile::smartphone();
+    let server = CloudServer::new(cam);
+    for (i, rep) in citywide_rep_fovs(50_000, &cfg, 42).iter().enumerate() {
+        server.ingest_one(
+            *rep,
+            SegmentRef {
+                provider_id: (i / 100) as u64,
+                video_id: 0,
+                segment_idx: (i % 100) as u32,
+            },
+        );
+    }
+    let qs = queries(&cfg, 64, 11);
+    let opts = QueryOptions::default();
+    c.bench_function("search/full_retrieval_50k", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &qs[i % qs.len()];
+            i += 1;
+            black_box(server.query(q, &opts))
+        })
+    });
+}
+
+fn bench_batch_query(c: &mut Criterion) {
+    let cfg = CitywideConfig::default();
+    let cam = CameraProfile::smartphone();
+    let server = CloudServer::new(cam);
+    for (i, rep) in citywide_rep_fovs(20_000, &cfg, 4).iter().enumerate() {
+        server.ingest_one(
+            *rep,
+            SegmentRef {
+                provider_id: (i / 100) as u64,
+                video_id: 0,
+                segment_idx: (i % 100) as u32,
+            },
+        );
+    }
+    let qs = queries(&cfg, 256, 13);
+    let opts = QueryOptions::default();
+    let mut group = c.benchmark_group("search/batch_256_queries_20k");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(server.query_batch(&qs, &opts, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_search, bench_full_retrieval, bench_batch_query);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for video segmentation: FoV (Algorithm 1) vs CV
+//! anchor differencing (backs Fig. 6(a)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swag_core::{segment_video, CameraProfile, Segmenter};
+use swag_sensors::scenarios;
+use swag_sensors::SensorNoise;
+use swag_vision::segmentation::cv_segment_video;
+use swag_vision::{Frame, Renderer, Resolution, World};
+
+fn bench_fov_segmentation(c: &mut Criterion) {
+    let cam = CameraProfile::smartphone();
+    let trace = scenarios::city_walk(5, 4, &SensorNoise::smartphone());
+    let mut group = c.benchmark_group("segmentation/fov");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("offline_full_trace", |b| {
+        b.iter(|| black_box(segment_video(black_box(&trace), &cam, 0.5)))
+    });
+    group.bench_function("streaming_per_frame", |b| {
+        let mut seg = Segmenter::new(cam, 0.5);
+        let mut i = 0;
+        b.iter(|| {
+            black_box(seg.push(trace[i % trace.len()]));
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_cv_segmentation(c: &mut Criterion) {
+    let world = World::random_city(9, 300.0, 300);
+    let renderer = Renderer::new(&world, 25.0, 100.0);
+    let trace = scenarios::city_walk(5, 1, &SensorNoise::NONE);
+    let mut group = c.benchmark_group("segmentation/cv");
+    group.sample_size(10);
+    for res in [Resolution::P240, Resolution::P720] {
+        // 2 s of video (50 frames), pre-rendered.
+        let frames: Vec<Frame> = trace
+            .iter()
+            .take(50)
+            .map(|tf| {
+                let frame = swag_geo::LocalFrame::new(scenarios::default_origin());
+                renderer.render(frame.to_local(tf.fov.p), tf.fov.theta, res)
+            })
+            .collect();
+        group.throughput(Throughput::Elements(frames.len() as u64));
+        group.bench_with_input(BenchmarkId::new("50_frames", res.label()), &res, |b, _| {
+            b.iter(|| black_box(cv_segment_video(black_box(&frames), 0.8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fov_segmentation, bench_cv_segmentation);
+criterion_main!(benches);

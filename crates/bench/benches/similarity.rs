@@ -1,0 +1,47 @@
+//! Criterion benches for the FoV similarity measurement vs CV similarity
+//! (backs Fig. 4/5 and the abstract's "significantly faster to match").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swag_core::similarity::{sim_parallel, sim_perp, sim_rotation};
+use swag_core::{similarity, similarity_parts, CameraProfile, Fov};
+use swag_geo::{LatLon, Vec2};
+use swag_vision::{frame_diff_similarity, Renderer, Resolution, World};
+
+fn bench_fov_similarity(c: &mut Criterion) {
+    let cam = CameraProfile::smartphone();
+    let f1 = Fov::new(LatLon::new(40.0, 116.32), 10.0);
+    let f2 = Fov::new(LatLon::new(40.0004, 116.3206), 43.0);
+
+    c.bench_function("similarity/fov_full", |b| {
+        b.iter(|| black_box(similarity(black_box(&f1), black_box(&f2), &cam)))
+    });
+    c.bench_function("similarity/fov_breakdown", |b| {
+        b.iter(|| black_box(similarity_parts(black_box(&f1), black_box(&f2), &cam)))
+    });
+    c.bench_function("similarity/components", |b| {
+        b.iter(|| {
+            black_box(sim_rotation(black_box(33.0), &cam));
+            black_box(sim_parallel(black_box(42.0), &cam));
+            black_box(sim_perp(black_box(42.0), &cam));
+        })
+    });
+}
+
+fn bench_cv_similarity(c: &mut Criterion) {
+    let world = World::random_city(3, 300.0, 300);
+    let renderer = Renderer::new(&world, 25.0, 100.0);
+    let mut group = c.benchmark_group("similarity/cv_frame_diff");
+    group.sample_size(20);
+    for res in [Resolution::P240, Resolution::P480, Resolution::P1080] {
+        let a = renderer.render(Vec2::ZERO, 0.0, res);
+        let b2 = renderer.render(Vec2::new(3.0, 3.0), 5.0, res);
+        group.bench_with_input(BenchmarkId::from_parameter(res.label()), &res, |b, _| {
+            b.iter(|| black_box(frame_diff_similarity(black_box(&a), black_box(&b2))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fov_similarity, bench_cv_similarity);
+criterion_main!(benches);

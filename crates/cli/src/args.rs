@@ -1,0 +1,128 @@
+//! Minimal flag parser: `--key value`, `--flag`, and positionals.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+pub struct ArgParser {
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positionals: Vec<String>,
+}
+
+/// Flags that take no value.
+const BARE_FLAGS: &[&str] = &["--noise", "--no-direction-filter", "--coverage", "--quality"];
+
+impl ArgParser {
+    /// Splits raw arguments into options, bare flags and positionals.
+    pub fn new(argv: Vec<String>) -> Self {
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        let mut positionals = Vec::new();
+        let mut it = argv.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if BARE_FLAGS.contains(&arg.as_str()) {
+                    flags.push(arg.clone());
+                } else if let Some(value) = it.next() {
+                    options.insert(stripped.to_string(), value);
+                } else {
+                    // Trailing option without value: record empty, callers
+                    // will report a good error via `require`.
+                    options.insert(stripped.to_string(), String::new());
+                }
+            } else {
+                positionals.push(arg);
+            }
+        }
+        ArgParser {
+            options,
+            flags,
+            positionals,
+        }
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str).filter(|s| !s.is_empty())
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// An optional f64 option with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    /// A required f64 option.
+    pub fn require_f64(&self, key: &str) -> Result<f64, String> {
+        self.require(key)?
+            .parse()
+            .map_err(|e| format!("--{key}: {e}"))
+    }
+
+    /// An optional u64 option with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ArgParser {
+        ArgParser::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn options_flags_and_positionals() {
+        let p = parse(&["--seed", "7", "--noise", "a.csv", "b.csv", "--thresh", "0.5"]);
+        assert_eq!(p.get("seed"), Some("7"));
+        assert!(p.has_flag("--noise"));
+        assert_eq!(p.positionals(), &["a.csv".to_string(), "b.csv".to_string()]);
+        assert_eq!(p.get_f64("thresh", 0.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let p = parse(&[]);
+        assert_eq!(p.get_f64("thresh", 0.5).unwrap(), 0.5);
+        assert_eq!(p.get_u64("seed", 42).unwrap(), 42);
+        assert!(p.require("snapshot").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error_with_key() {
+        let p = parse(&["--radius", "abc"]);
+        let err = p.require_f64("radius").unwrap_err();
+        assert!(err.contains("--radius"));
+    }
+
+    #[test]
+    fn trailing_option_without_value() {
+        let p = parse(&["--out"]);
+        assert!(p.get("out").is_none());
+        assert!(p.require("out").is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! The `swag` subcommands.
+
+use std::io::Write as _;
+
+use swag_client::ClientPipeline;
+use swag_core::{
+    read_trace_csv, write_reps_csv, write_trace_csv, CameraProfile, RepFov, TimedFov,
+};
+use swag_geo::{LatLon, Trajectory};
+use swag_sensors::{scenarios, SensorNoise};
+use swag_server::{
+    load_snapshot, save_snapshot, CloudServer, Query, QueryOptions, RankMode, SegmentRef,
+};
+
+use crate::args::ArgParser;
+use crate::{open_reader, open_writer, read_bytes, write_bytes};
+
+/// Default camera for CLI operations.
+fn camera() -> CameraProfile {
+    CameraProfile::smartphone()
+}
+
+/// `swag simulate` — generate a synthetic trace CSV.
+pub fn simulate(args: ArgParser) -> Result<(), String> {
+    let scenario = args.require("scenario")?.to_string();
+    let seed = args.get_u64("seed", 42)?;
+    let duration = args.get_f64("duration", 60.0)?;
+    let noise = if args.has_flag("--noise") {
+        SensorNoise::smartphone()
+    } else {
+        SensorNoise::NONE
+    };
+    let trace: Vec<TimedFov> = match scenario.as_str() {
+        "walk" => scenarios::walk_parallel(duration, &noise, seed),
+        "strafe" => scenarios::walk_perpendicular(duration, &noise, seed),
+        "rotate" => scenarios::rotate_in_place(duration, 10.0, &noise, seed),
+        "drive" => scenarios::drive_straight(duration, 14.0, &noise, seed),
+        "bike" => scenarios::bike_ride_with_turn(duration.max(20.0) * 2.0, 4.0, &noise, seed),
+        "city" => scenarios::city_walk(seed, (duration / 60.0).ceil().max(1.0) as usize, &noise),
+        other => {
+            return Err(format!(
+                "unknown scenario '{other}' (walk|strafe|rotate|drive|bike|city)"
+            ))
+        }
+    };
+    match args.get("out") {
+        Some(path) => {
+            let mut w = open_writer(path)?;
+            write_trace_csv(&mut w, &trace).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+            eprintln!("wrote {} frame records to {path}", trace.len());
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            write_trace_csv(&mut stdout, &trace).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `swag segment` — run the client pipeline over a trace CSV.
+pub fn segment(args: ArgParser) -> Result<(), String> {
+    let input = args.require("in")?;
+    let thresh = args.get_f64("thresh", 0.5)?;
+    let trace = read_trace_csv(open_reader(input)?).map_err(|e| e.to_string())?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let result = run_pipeline(&args, thresh, &trace)?;
+    eprintln!(
+        "{} frames -> {} segments (thresh {thresh})",
+        result.frames,
+        result.segment_count()
+    );
+    for (i, rep) in result.reps.iter().enumerate() {
+        eprintln!(
+            "  seg {i:>3}: t [{:>8.2}, {:>8.2}] s  @ ({:.6}, {:.6}) theta {:>6.1} deg",
+            rep.t_start, rep.t_end, rep.fov.p.lat, rep.fov.p.lng, rep.fov.theta
+        );
+    }
+    if let Some(path) = args.get("out") {
+        let mut w = open_writer(path)?;
+        write_reps_csv(&mut w, &result.reps).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote representative FoVs to {path}");
+    }
+    Ok(())
+}
+
+fn run_pipeline(
+    args: &ArgParser,
+    thresh: f64,
+    trace: &[TimedFov],
+) -> Result<swag_client::RecordingResult, String> {
+    let alpha = args.get_f64("smooth", 0.0)?;
+    Ok(if alpha > 0.0 {
+        ClientPipeline::process_trace_smoothed(camera(), thresh, alpha, trace)
+    } else {
+        ClientPipeline::process_trace(camera(), thresh, trace)
+    })
+}
+
+/// `swag ingest` — segment traces and build/extend a snapshot.
+pub fn ingest(args: ArgParser) -> Result<(), String> {
+    let snapshot_path = args.require("snapshot")?;
+    let thresh = args.get_f64("thresh", 0.5)?;
+    if args.positionals().is_empty() {
+        return Err("no trace files given".into());
+    }
+
+    // Extend an existing snapshot when present.
+    let server = match read_bytes(snapshot_path) {
+        Ok(bytes) => {
+            let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+            eprintln!(
+                "extending snapshot {snapshot_path} ({} segments)",
+                server.stats().segments
+            );
+            server
+        }
+        Err(_) => CloudServer::new(camera()),
+    };
+
+    // Continue provider numbering after existing records.
+    let mut next_provider = server
+        .export_records()
+        .iter()
+        .map(|r| r.source.provider_id + 1)
+        .max()
+        .unwrap_or(0);
+
+    #[allow(clippy::explicit_counter_loop)] // starts from the snapshot's max id
+    for path in args.positionals() {
+        let trace = read_trace_csv(open_reader(path)?).map_err(|e| format!("{path}: {e}"))?;
+        if trace.is_empty() {
+            return Err(format!("{path}: trace is empty"));
+        }
+        let result = run_pipeline(&args, thresh, &trace)?;
+        let reps: Vec<RepFov> = result.reps;
+        for (i, rep) in reps.iter().enumerate() {
+            server.ingest_one(
+                *rep,
+                SegmentRef {
+                    provider_id: next_provider,
+                    video_id: 0,
+                    segment_idx: i as u32,
+                },
+            );
+        }
+        eprintln!(
+            "{path}: {} frames -> {} segments as provider {next_provider}",
+            result.frames,
+            reps.len()
+        );
+        next_provider += 1;
+    }
+
+    let bytes = save_snapshot(&server);
+    write_bytes(snapshot_path, &bytes)?;
+    eprintln!(
+        "snapshot {snapshot_path}: {} segments, {} bytes",
+        server.stats().segments,
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `swag query` — answer a spatio-temporal query from a snapshot.
+pub fn query(args: ArgParser) -> Result<(), String> {
+    let snapshot_path = args.require("snapshot")?;
+    let lat = args.require_f64("lat")?;
+    let lng = args.require_f64("lng")?;
+    let radius = args.require_f64("radius")?;
+    let t0 = args.require_f64("t0")?;
+    let t1 = args.require_f64("t1")?;
+    if t1 < t0 {
+        return Err("--t1 precedes --t0".into());
+    }
+    if radius <= 0.0 {
+        return Err("--radius must be positive".into());
+    }
+
+    let bytes = read_bytes(snapshot_path)?;
+    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+
+    let q = Query::new(t0, t1, LatLon::new(lat, lng), radius);
+    let opts = QueryOptions {
+        top_n: args.get_u64("top", 10)? as usize,
+        direction_filter: !args.has_flag("--no-direction-filter"),
+        require_coverage: args.has_flag("--coverage"),
+        rank: if args.has_flag("--quality") {
+            RankMode::Quality
+        } else {
+            RankMode::Distance
+        },
+        ..QueryOptions::default()
+    };
+    let hits = server.query(&q, &opts);
+    println!(
+        "{} hits over {} indexed segments ({} us)",
+        hits.len(),
+        server.stats().segments,
+        server.stats().query_micros_total
+    );
+    for (rank, hit) in hits.iter().enumerate() {
+        println!(
+            "#{rank:<3} provider {:>4} video {:>3} seg {:>3}  {:>6.0} m  q={:.3}  t [{:>9.2}, {:>9.2}] s",
+            hit.source.provider_id,
+            hit.source.video_id,
+            hit.source.segment_idx,
+            hit.distance_m,
+            hit.quality,
+            hit.rep.t_start,
+            hit.rep.t_end,
+        );
+    }
+    Ok(())
+}
+
+/// `swag retract` — remove a provider's segments from a snapshot.
+pub fn retract(args: ArgParser) -> Result<(), String> {
+    let snapshot_path = args.require("snapshot")?;
+    let provider = args.get_u64("provider", u64::MAX)?;
+    if provider == u64::MAX {
+        return Err("missing required --provider".into());
+    }
+    let bytes = read_bytes(snapshot_path)?;
+    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+    let removed = server.retract_provider(provider);
+    let bytes = save_snapshot(&server);
+    write_bytes(snapshot_path, &bytes)?;
+    eprintln!(
+        "retracted {removed} segments of provider {provider}; {} remain",
+        server.stats().segments
+    );
+    Ok(())
+}
+
+/// `swag export` — convert a trace CSV to GeoJSON for map viewers.
+pub fn export(args: ArgParser) -> Result<(), String> {
+    let input = args.require("in")?;
+    let output = args.require("geojson")?;
+    let trace = read_trace_csv(open_reader(input)?).map_err(|e| e.to_string())?;
+    let json = swag::geojson::trace_to_geojson(&trace);
+    write_bytes(output, json.as_bytes())?;
+    eprintln!("wrote {} frame records as GeoJSON to {output}", trace.len());
+    Ok(())
+}
+
+/// `swag simplify` — Douglas-Peucker-simplify a trace's path (positions
+/// only; timestamps/azimuths of the kept vertices are preserved).
+pub fn simplify(args: ArgParser) -> Result<(), String> {
+    let input = args.require("in")?;
+    let output = args.require("out")?;
+    let tolerance = args.get_f64("tolerance", 5.0)?;
+    if tolerance < 0.0 {
+        return Err("--tolerance must be non-negative".into());
+    }
+    let trace = read_trace_csv(open_reader(input)?).map_err(|e| e.to_string())?;
+    let path = Trajectory::new(trace.iter().map(|f| f.fov.p).collect());
+    let kept = path.simplify_m(tolerance);
+
+    // Map kept vertices back to their original frame records, in order.
+    let mut kept_iter = kept.points().iter().peekable();
+    let simplified: Vec<TimedFov> = trace
+        .iter()
+        .filter(|f| {
+            if kept_iter.peek().is_some_and(|&&k| k.distance_m(f.fov.p) < 1e-6) {
+                kept_iter.next();
+                true
+            } else {
+                false
+            }
+        })
+        .copied()
+        .collect();
+
+    let mut w = open_writer(output)?;
+    write_trace_csv(&mut w, &simplified).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} -> {} vertices at {tolerance} m tolerance ({:.1}x smaller)",
+        trace.len(),
+        simplified.len(),
+        trace.len() as f64 / simplified.len().max(1) as f64
+    );
+    Ok(())
+}

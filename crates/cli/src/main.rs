@@ -1,0 +1,102 @@
+//! `swag` — command-line front end for the SWAG retrieval system.
+//!
+//! ```text
+//! swag simulate --scenario bike --seed 7 --out ride.csv
+//! swag segment  --in ride.csv --thresh 0.5 --smooth 0.15 --out reps.csv
+//! swag ingest   --snapshot db.swag ride.csv walk.csv
+//! swag query    --snapshot db.swag --lat 40.0 --lng 116.32 \
+//!               --radius 100 --t0 0 --t1 60 --top 10
+//! swag retract  --snapshot db.swag --provider 1
+//! ```
+//!
+//! Traces are plain CSV (`t,lat,lng,theta`; see
+//! [`swag_core::trace_io`]), snapshots are the binary format of
+//! [`swag_server::persistence`].
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::ArgParser;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = argv.remove(0);
+    let parser = ArgParser::new(argv);
+    let result = match command.as_str() {
+        "simulate" => commands::simulate(parser),
+        "segment" => commands::segment(parser),
+        "ingest" => commands::ingest(parser),
+        "query" => commands::query(parser),
+        "retract" => commands::retract(parser),
+        "export" => commands::export(parser),
+        "simplify" => commands::simplify(parser),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+swag — content-free crowd-sourced video retrieval (ICPP 2015 reproduction)
+
+USAGE:
+  swag simulate --scenario <walk|strafe|rotate|drive|bike|city> [--seed N]
+                [--duration SECS] [--noise] [--out FILE]
+  swag segment  --in FILE [--thresh T] [--smooth ALPHA] [--out FILE]
+  swag ingest   --snapshot FILE TRACE.csv [TRACE.csv ...]
+                [--thresh T] [--smooth ALPHA]
+  swag query    --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
+                [--top N] [--no-direction-filter] [--coverage] [--quality]
+  swag retract  --snapshot FILE --provider ID
+  swag export   --in TRACE.csv --geojson FILE
+  swag simplify --in TRACE.csv --tolerance M --out FILE
+  swag help
+
+Traces are CSV: 't,lat,lng,theta'. Snapshots are binary server state.";
+
+/// Opens a buffered reader over a file.
+fn open_reader(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot open '{path}': {e}"))
+}
+
+/// Opens a buffered writer over a file (created/truncated).
+fn open_writer(path: &str) -> Result<BufWriter<File>, String> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create '{path}': {e}"))
+}
+
+/// Reads a whole file into bytes.
+fn read_bytes(path: &str) -> Result<Vec<u8>, String> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| format!("cannot read '{path}': {e}"))?;
+    Ok(buf)
+}
+
+/// Writes bytes to a file.
+fn write_bytes(path: &str, bytes: &[u8]) -> Result<(), String> {
+    File::create(path)
+        .and_then(|mut f| f.write_all(bytes))
+        .map_err(|e| format!("cannot write '{path}': {e}"))
+}

@@ -1,0 +1,203 @@
+//! End-to-end tests of the `swag` binary: every subcommand exercised
+//! against real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn swag(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_swag"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swag-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = swag(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = swag(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_writes_valid_trace_csv() {
+    let trace = tmp("sim.csv");
+    let out = swag(&[
+        "simulate",
+        "--scenario",
+        "walk",
+        "--seed",
+        "3",
+        "--duration",
+        "10",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&trace).unwrap();
+    assert!(content.starts_with("t,lat,lng,theta\n"));
+    assert_eq!(content.lines().count(), 1 + 251); // header + 10 s @ 25 fps
+}
+
+#[test]
+fn simulate_rejects_unknown_scenario() {
+    let out = swag(&["simulate", "--scenario", "submarine"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}
+
+#[test]
+fn segment_reports_and_exports_reps() {
+    let trace = tmp("seg-in.csv");
+    let reps = tmp("seg-out.csv");
+    assert!(swag(&[
+        "simulate", "--scenario", "bike", "--seed", "5", "--out",
+        trace.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let out = swag(&[
+        "segment",
+        "--in",
+        trace.to_str().unwrap(),
+        "--thresh",
+        "0.5",
+        "--out",
+        reps.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("segments"), "{stderr}");
+    let reps_csv = std::fs::read_to_string(&reps).unwrap();
+    assert!(reps_csv.starts_with("t_start,t_end,lat,lng,theta\n"));
+    assert!(reps_csv.lines().count() >= 3);
+}
+
+#[test]
+fn ingest_query_retract_cycle() {
+    let trace_a = tmp("prov-a.csv");
+    let trace_b = tmp("prov-b.csv");
+    let snapshot = tmp("db.swag");
+    let _ = std::fs::remove_file(&snapshot);
+    for (path, seed) in [(&trace_a, "7"), (&trace_b, "8")] {
+        assert!(swag(&[
+            "simulate", "--scenario", "bike", "--seed", seed, "--out",
+            path.to_str().unwrap()
+        ])
+        .status
+        .success());
+    }
+
+    let out = swag(&[
+        "ingest",
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+        trace_a.to_str().unwrap(),
+        trace_b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(snapshot.exists());
+
+    // Query a spot on the shared route.
+    let query = |extra: &[&str]| {
+        let mut args = vec![
+            "query", "--snapshot", snapshot.to_str().unwrap(),
+            "--lat", "40.0005", "--lng", "116.32",
+            "--radius", "100", "--t0", "0", "--t1", "60",
+        ];
+        args.extend_from_slice(extra);
+        swag(&args)
+    };
+    let out = query(&[]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("hits over"), "{stdout}");
+    assert!(stdout.contains("provider"), "{stdout}");
+
+    // Retract provider 0, verify it disappears.
+    let out = swag(&[
+        "retract",
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+        "--provider",
+        "0",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&query(&["--top", "100"]).stdout).to_string();
+    assert!(
+        !stdout.contains("provider    0"),
+        "provider 0 still visible:\n{stdout}"
+    );
+}
+
+#[test]
+fn query_validates_arguments() {
+    let out = swag(&["query", "--snapshot", "/nonexistent", "--lat", "0",
+        "--lng", "0", "--radius", "10", "--t0", "5", "--t1", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("precedes"));
+
+    let out = swag(&["query", "--lat", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--snapshot"));
+}
+
+#[test]
+fn export_writes_geojson() {
+    let trace = tmp("exp.csv");
+    let geo = tmp("exp.geojson");
+    assert!(swag(&[
+        "simulate", "--scenario", "walk", "--seed", "1", "--duration", "5",
+        "--out", trace.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let out = swag(&[
+        "export",
+        "--in",
+        trace.to_str().unwrap(),
+        "--geojson",
+        geo.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&geo).unwrap();
+    assert!(json.contains("\"type\":\"FeatureCollection\""));
+    assert!(json.contains("\"type\":\"LineString\""));
+}
+
+#[test]
+fn simplify_reduces_clean_bike_trace_to_corners() {
+    let trace = tmp("simp.csv");
+    let out_path = tmp("simp-out.csv");
+    assert!(swag(&[
+        "simulate", "--scenario", "bike", "--seed", "2", "--out",
+        trace.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let out = swag(&[
+        "simplify",
+        "--in",
+        trace.to_str().unwrap(),
+        "--tolerance",
+        "3",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let simplified = std::fs::read_to_string(&out_path).unwrap();
+    // A clean L-shaped ride collapses to start, corner, end.
+    assert_eq!(simplified.lines().count(), 1 + 3);
+}

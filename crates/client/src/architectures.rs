@@ -1,0 +1,202 @@
+//! Cost models of the three crowd-sourced retrieval architectures the
+//! paper contrasts in §I.
+//!
+//! * **Data-centric** — providers upload raw video once; the server runs
+//!   content matching per query.
+//! * **Query-centric** — the server broadcasts each query; every provider
+//!   runs content matching locally on its own footage and returns hits.
+//! * **Content-free (SWAG)** — providers upload FoV descriptors once; the
+//!   server answers queries from the spatio-temporal index.
+//!
+//! All three must ship the *matched* clips to the querier, so that fetch
+//! is common; they differ in upfront upload volume, per-query traffic, and
+//! where/how much CPU each query burns. The CV and index costs are
+//! parameters so measured values (from `tab-desc`/`fig6c`) can be
+//! plugged in.
+
+use swag_core::DescriptorCodec;
+
+use crate::video::VideoProfile;
+
+/// A crowd-sourcing deployment to be costed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowdScenario {
+    /// Number of contributing devices.
+    pub providers: usize,
+    /// Footage held per provider, seconds.
+    pub video_seconds_per_provider: f64,
+    /// Encoding of that footage.
+    pub video_profile: VideoProfile,
+    /// Video frame rate (CV matching cost scales with frames).
+    pub fps: f64,
+    /// Segments per provider after FoV segmentation.
+    pub segments_per_provider: usize,
+    /// Matched segments returned per query.
+    pub hit_segments_per_query: usize,
+    /// Mean matched-segment duration, seconds.
+    pub mean_segment_s: f64,
+    /// Measured cost of one CV frame comparison, seconds
+    /// (e.g. frame differencing at the deployed resolution).
+    pub cv_match_cost_per_frame_s: f64,
+    /// Measured cost of one FoV index query, seconds.
+    pub fov_query_cost_s: f64,
+    /// Size of one query message, bytes.
+    pub query_bytes: usize,
+}
+
+impl CrowdScenario {
+    /// Total frames held by one provider.
+    fn frames_per_provider(&self) -> f64 {
+        self.video_seconds_per_provider * self.fps
+    }
+
+    /// Bytes of the matched clips a querier downloads per query.
+    fn fetched_clip_bytes(&self) -> u64 {
+        self.hit_segments_per_query as u64
+            * self.video_profile.encoded_bytes(self.mean_segment_s)
+    }
+}
+
+/// Cost profile of one architecture under a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchitectureCost {
+    /// Architecture label.
+    pub name: &'static str,
+    /// Bytes every provider collectively uploads before any query.
+    pub upfront_upload_bytes: u64,
+    /// Bytes moved per query (broadcasts, responses, clip fetches).
+    pub per_query_bytes: u64,
+    /// CPU seconds burned on provider devices per query.
+    pub per_query_client_cpu_s: f64,
+    /// CPU seconds burned on the server per query.
+    pub per_query_server_cpu_s: f64,
+}
+
+/// Data-centric architecture (§I): "clients uploading their mobile videos
+/// to the data center".
+pub fn data_centric(s: &CrowdScenario) -> ArchitectureCost {
+    ArchitectureCost {
+        name: "data-centric",
+        upfront_upload_bytes: s.providers as u64
+            * s.video_profile.encoded_bytes(s.video_seconds_per_provider),
+        per_query_bytes: s.query_bytes as u64 + s.fetched_clip_bytes(),
+        per_query_client_cpu_s: 0.0,
+        // The server content-matches the query against every stored frame.
+        per_query_server_cpu_s: s.providers as f64
+            * s.frames_per_provider()
+            * s.cv_match_cost_per_frame_s,
+    }
+}
+
+/// Query-centric architecture (§I): "cloud server only distributes
+/// queries … clients perform the content retrieval algorithm locally".
+pub fn query_centric(s: &CrowdScenario) -> ArchitectureCost {
+    ArchitectureCost {
+        name: "query-centric",
+        upfront_upload_bytes: 0,
+        // Broadcast to every provider, then fetch the hits.
+        per_query_bytes: (s.providers * s.query_bytes) as u64 + s.fetched_clip_bytes(),
+        // Every provider scans its own footage for every query.
+        per_query_client_cpu_s: s.providers as f64
+            * s.frames_per_provider()
+            * s.cv_match_cost_per_frame_s,
+        per_query_server_cpu_s: 0.0,
+    }
+}
+
+/// SWAG's content-free architecture (§II): descriptors up once, index
+/// lookups per query, only matched clips ever move.
+pub fn content_free(s: &CrowdScenario) -> ArchitectureCost {
+    ArchitectureCost {
+        name: "content-free (SWAG)",
+        upfront_upload_bytes: s.providers as u64
+            * DescriptorCodec::batch_size(s.segments_per_provider) as u64,
+        per_query_bytes: s.query_bytes as u64 + s.fetched_clip_bytes(),
+        per_query_client_cpu_s: 0.0,
+        per_query_server_cpu_s: s.fov_query_cost_s,
+    }
+}
+
+/// All three architectures, costed side by side.
+pub fn compare_architectures(s: &CrowdScenario) -> [ArchitectureCost; 3] {
+    [data_centric(s), query_centric(s), content_free(s)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> CrowdScenario {
+        CrowdScenario {
+            providers: 100,
+            video_seconds_per_provider: 600.0,
+            video_profile: VideoProfile::P720,
+            fps: 25.0,
+            segments_per_provider: 80,
+            hit_segments_per_query: 10,
+            mean_segment_s: 8.0,
+            cv_match_cost_per_frame_s: 180e-6, // measured frame-diff @240p
+            fov_query_cost_s: 5e-6,            // measured fig6c @50k
+            query_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn content_free_upfront_is_orders_of_magnitude_smaller() {
+        let s = scenario();
+        let dc = data_centric(&s);
+        let cf = content_free(&s);
+        assert!(
+            dc.upfront_upload_bytes > 10_000 * cf.upfront_upload_bytes,
+            "{} vs {}",
+            dc.upfront_upload_bytes,
+            cf.upfront_upload_bytes
+        );
+    }
+
+    #[test]
+    fn query_centric_has_no_upfront_but_burns_client_cpu() {
+        let s = scenario();
+        let qc = query_centric(&s);
+        assert_eq!(qc.upfront_upload_bytes, 0);
+        assert!(qc.per_query_client_cpu_s > 100.0); // 1.5 M frames × 180 µs
+        // ...while SWAG's whole query is microseconds on the server.
+        assert!(content_free(&s).per_query_server_cpu_s < 1e-3);
+    }
+
+    #[test]
+    fn clip_fetch_is_common_to_all() {
+        let s = scenario();
+        let [dc, qc, cf] = compare_architectures(&s);
+        let fetch = s.hit_segments_per_query as u64
+            * s.video_profile.encoded_bytes(s.mean_segment_s);
+        for a in [&dc, &qc, &cf] {
+            assert!(a.per_query_bytes >= fetch, "{}", a.name);
+        }
+        // The query-centric broadcast dominates the tiny query messages.
+        assert!(qc.per_query_bytes > dc.per_query_bytes);
+        assert_eq!(dc.per_query_bytes, cf.per_query_bytes);
+    }
+
+    #[test]
+    fn server_cpu_ordering() {
+        let s = scenario();
+        let [dc, qc, cf] = compare_architectures(&s);
+        assert!(dc.per_query_server_cpu_s > cf.per_query_server_cpu_s * 1000.0);
+        assert_eq!(qc.per_query_server_cpu_s, 0.0);
+    }
+
+    #[test]
+    fn costs_scale_with_providers() {
+        let mut s = scenario();
+        let base = data_centric(&s);
+        s.providers *= 2;
+        let doubled = data_centric(&s);
+        assert_eq!(doubled.upfront_upload_bytes, 2 * base.upfront_upload_bytes);
+        let qc_doubled = query_centric(&s);
+        assert!((qc_doubled.per_query_client_cpu_s
+            - 2.0 * query_centric(&scenario()).per_query_client_cpu_s)
+            .abs()
+            < 1e-9);
+    }
+}

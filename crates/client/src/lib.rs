@@ -1,0 +1,19 @@
+//! SWAG client pipeline.
+//!
+//! Implements the provider side of the system (paper §II-C): while the
+//! camera records, a background process collects `(t, p, θ)` records,
+//! segments the video in real time (Algorithm 1), abstracts each segment
+//! into a representative FoV, and — when recording stops — uploads the
+//! batch of descriptors to the server. Raw video never leaves the device
+//! at ingest time; the traffic comparison against raw-video upload is what
+//! the `tab-traffic` experiment measures.
+
+pub mod architectures;
+pub mod pipeline;
+pub mod upload;
+pub mod video;
+
+pub use architectures::{compare_architectures, ArchitectureCost, CrowdScenario};
+pub use pipeline::{ClientPipeline, RecordingResult};
+pub use upload::Uploader;
+pub use video::VideoProfile;

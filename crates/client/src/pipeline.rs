@@ -1,0 +1,215 @@
+//! The real-time recording pipeline: sensor stream → segments →
+//! representative FoVs.
+
+use swag_core::{
+    abstract_segment, AveragingRule, CameraProfile, FovSmoother, RepFov, Segmenter, TimedFov,
+};
+
+/// Output of one recording session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordingResult {
+    /// One representative FoV per detected segment, in time order.
+    pub reps: Vec<RepFov>,
+    /// Total frames processed.
+    pub frames: u64,
+}
+
+impl RecordingResult {
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.reps.len()
+    }
+}
+
+/// Streaming client pipeline: feed frame records while recording, call
+/// [`finish`](ClientPipeline::finish) when the user stops the camera.
+///
+/// Segments are abstracted *as they close*, so memory stays proportional
+/// to the current segment, not the whole video.
+#[derive(Debug, Clone)]
+pub struct ClientPipeline {
+    segmenter: Segmenter,
+    rule: AveragingRule,
+    smoother: Option<FovSmoother>,
+    reps: Vec<RepFov>,
+}
+
+impl ClientPipeline {
+    /// Creates a pipeline with the paper's defaults (circular averaging,
+    /// no smoothing).
+    pub fn new(cam: CameraProfile, thresh: f64) -> Self {
+        Self::with_rule(cam, thresh, AveragingRule::Circular)
+    }
+
+    /// Creates a pipeline with an explicit averaging rule.
+    pub fn with_rule(cam: CameraProfile, thresh: f64, rule: AveragingRule) -> Self {
+        ClientPipeline {
+            segmenter: Segmenter::new(cam, thresh),
+            rule,
+            smoother: None,
+            reps: Vec::new(),
+        }
+    }
+
+    /// Enables EMA sensor smoothing ahead of the segmenter (see
+    /// [`FovSmoother`]); suppresses spurious cuts from GPS/compass jitter.
+    pub fn with_smoothing(mut self, alpha: f64) -> Self {
+        self.smoother = Some(FovSmoother::new(alpha));
+        self
+    }
+
+    /// Consumes one frame record.
+    pub fn push(&mut self, frame: TimedFov) {
+        let frame = match &mut self.smoother {
+            Some(s) => s.push(frame),
+            None => frame,
+        };
+        if let Some(segment) = self.segmenter.push(frame) {
+            self.reps.push(abstract_segment(&segment, self.rule));
+        }
+    }
+
+    /// Segments finalised so far (excludes the in-progress one).
+    pub fn completed(&self) -> &[RepFov] {
+        &self.reps
+    }
+
+    /// Stops recording, flushing the final segment.
+    pub fn finish(mut self) -> RecordingResult {
+        let frames = self.segmenter.frames_seen();
+        let replacement = Segmenter::new(*self.segmenter.camera(), self.segmenter.thresh());
+        let segmenter = std::mem::replace(&mut self.segmenter, replacement);
+        if let Some(segment) = segmenter.finish() {
+            self.reps.push(abstract_segment(&segment, self.rule));
+        }
+        RecordingResult {
+            reps: self.reps,
+            frames,
+        }
+    }
+
+    /// Convenience: run a whole pre-recorded trace through the pipeline.
+    pub fn process_trace(cam: CameraProfile, thresh: f64, trace: &[TimedFov]) -> RecordingResult {
+        let mut p = ClientPipeline::new(cam, thresh);
+        for &f in trace {
+            p.push(f);
+        }
+        p.finish()
+    }
+
+    /// [`Self::process_trace`] with EMA smoothing enabled.
+    pub fn process_trace_smoothed(
+        cam: CameraProfile,
+        thresh: f64,
+        alpha: f64,
+        trace: &[TimedFov],
+    ) -> RecordingResult {
+        let mut p = ClientPipeline::new(cam, thresh).with_smoothing(alpha);
+        for &f in trace {
+            p.push(f);
+        }
+        p.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::{segment_video, Fov};
+    use swag_geo::LatLon;
+
+    fn cam() -> CameraProfile {
+        CameraProfile::smartphone()
+    }
+
+    fn rotating_trace(n: usize, deg_per_frame: f64) -> Vec<TimedFov> {
+        (0..n)
+            .map(|i| {
+                TimedFov::new(
+                    i as f64 / 25.0,
+                    Fov::new(LatLon::new(40.0, 116.32), deg_per_frame * i as f64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_offline_segmentation() {
+        let trace = rotating_trace(500, 0.8);
+        let result = ClientPipeline::process_trace(cam(), 0.5, &trace);
+        let offline = segment_video(&trace, &cam(), 0.5);
+        assert_eq!(result.segment_count(), offline.len());
+        assert_eq!(result.frames, 500);
+        for (rep, seg) in result.reps.iter().zip(&offline) {
+            assert_eq!(rep.t_start, seg.start_t());
+            assert_eq!(rep.t_end, seg.end_t());
+        }
+    }
+
+    #[test]
+    fn completed_lags_finish_by_one_segment() {
+        let trace = rotating_trace(100, 1.0);
+        let mut p = ClientPipeline::new(cam(), 0.5);
+        for &f in &trace {
+            p.push(f);
+        }
+        let mid_count = p.completed().len();
+        let result = p.finish();
+        assert_eq!(result.segment_count(), mid_count + 1);
+    }
+
+    #[test]
+    fn empty_recording() {
+        let p = ClientPipeline::new(cam(), 0.5);
+        let r = p.finish();
+        assert_eq!(r.segment_count(), 0);
+        assert_eq!(r.frames, 0);
+    }
+
+    #[test]
+    fn smoothing_reduces_segments_on_noisy_trace() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use swag_sensors::{generate_trace, DeviceClock, Look, Mobility, SensorNoise, TraceConfig};
+
+        let frame = swag_geo::LocalFrame::new(LatLon::new(40.0, 116.32));
+        let mobility = Mobility::StraightLine {
+            start: swag_geo::Vec2::ZERO,
+            heading_deg: 0.0,
+            speed_mps: 1.4,
+            look: Look::Heading,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        let trace = generate_trace(
+            &mobility,
+            &frame,
+            &TraceConfig::new(25.0, 60.0),
+            &SensorNoise {
+                gps_sigma_m: 5.0,
+                compass_sigma_deg: 8.0,
+                dropout_prob: 0.0,
+            },
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        let raw = ClientPipeline::process_trace(cam(), 0.6, &trace);
+        let smoothed = ClientPipeline::process_trace_smoothed(cam(), 0.6, 0.15, &trace);
+        assert!(
+            smoothed.segment_count() * 2 <= raw.segment_count(),
+            "smoothing did not help: {} vs {}",
+            smoothed.segment_count(),
+            raw.segment_count()
+        );
+        assert_eq!(smoothed.frames, raw.frames);
+    }
+
+    #[test]
+    fn reps_are_time_ordered_and_disjoint() {
+        let trace = rotating_trace(1000, 0.6);
+        let result = ClientPipeline::process_trace(cam(), 0.6, &trace);
+        assert!(result.segment_count() > 2);
+        for w in result.reps.windows(2) {
+            assert!(w[0].t_end < w[1].t_start);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Descriptor upload: batching, encoding, traffic accounting.
+
+use bytes::Bytes;
+use swag_core::{DescriptorCodec, RepFov, UploadBatch};
+use swag_net::{NetworkLink, TrafficMeter};
+
+use crate::video::VideoProfile;
+
+/// Builds and accounts descriptor uploads for one provider device.
+#[derive(Debug, Clone)]
+pub struct Uploader {
+    provider_id: u64,
+    next_video_id: u64,
+    meter: TrafficMeter,
+}
+
+impl Uploader {
+    /// Creates an uploader for a provider.
+    pub fn new(provider_id: u64) -> Self {
+        Uploader {
+            provider_id,
+            next_video_id: 0,
+            meter: TrafficMeter::new(),
+        }
+    }
+
+    /// The provider id.
+    pub fn provider_id(&self) -> u64 {
+        self.provider_id
+    }
+
+    /// Packages a recording's representative FoVs as an upload message,
+    /// recording its size in the traffic meter. Returns the wire bytes and
+    /// the logical batch.
+    pub fn upload(&mut self, reps: Vec<RepFov>) -> (Bytes, UploadBatch) {
+        let batch = UploadBatch {
+            provider_id: self.provider_id,
+            video_id: self.next_video_id,
+            reps,
+        };
+        self.next_video_id += 1;
+        let bytes = DescriptorCodec::encode_batch(&batch);
+        self.meter.record_up(bytes.len());
+        (bytes, batch)
+    }
+
+    /// Accumulated traffic.
+    pub fn traffic(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Expected wall-clock time to push this device's accumulated uploads
+    /// over a link.
+    pub fn upload_time_s(&self, link: &NetworkLink) -> f64 {
+        link.transfer_time_s(self.meter.bytes_up as usize)
+    }
+
+    /// Ratio of raw-video bytes to descriptor bytes for a recording of
+    /// `duration_s` seconds — the headline traffic-saving factor.
+    pub fn savings_factor(descriptor_bytes: usize, profile: VideoProfile, duration_s: f64) -> f64 {
+        profile.encoded_bytes(duration_s) as f64 / descriptor_bytes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn reps(n: usize) -> Vec<RepFov> {
+        (0..n)
+            .map(|i| {
+                RepFov::new(
+                    i as f64 * 10.0,
+                    i as f64 * 10.0 + 8.0,
+                    Fov::new(LatLon::new(40.0, 116.32), 25.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn upload_meters_bytes_and_increments_video_id() {
+        let mut u = Uploader::new(9);
+        let (bytes1, batch1) = u.upload(reps(10));
+        let (bytes2, batch2) = u.upload(reps(3));
+        assert_eq!(batch1.video_id, 0);
+        assert_eq!(batch2.video_id, 1);
+        assert_eq!(batch1.provider_id, 9);
+        assert_eq!(
+            u.traffic().bytes_up as usize,
+            bytes1.len() + bytes2.len()
+        );
+        assert_eq!(u.traffic().messages_up, 2);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_count() {
+        let mut u = Uploader::new(1);
+        let (bytes, batch) = u.upload(reps(7));
+        let decoded = DescriptorCodec::decode_batch(bytes).unwrap();
+        assert_eq!(decoded.reps.len(), batch.reps.len());
+        assert_eq!(decoded.provider_id, 1);
+    }
+
+    #[test]
+    fn descriptor_upload_is_orders_of_magnitude_smaller_than_video() {
+        // A 10-minute recording segmented into 100 segments.
+        let mut u = Uploader::new(2);
+        let (bytes, _) = u.upload(reps(100));
+        let factor = Uploader::savings_factor(bytes.len(), VideoProfile::P720, 600.0);
+        assert!(factor > 10_000.0, "savings factor only {factor}");
+    }
+
+    #[test]
+    fn upload_time_is_subsecond_on_cellular() {
+        let mut u = Uploader::new(3);
+        u.upload(reps(1000)); // a very long recording's descriptors
+        let t = u.upload_time_s(&NetworkLink::cellular_3g());
+        assert!(t < 1.0, "descriptor upload took {t}s");
+    }
+}

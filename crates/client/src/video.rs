@@ -1,0 +1,79 @@
+//! Video size models for the traffic comparison.
+//!
+//! The client never uploads video at ingest time; these models quantify
+//! what uploading it *would* cost — the baseline the paper's "negligible
+//! networking traffic" claim is measured against.
+
+use serde::{Deserialize, Serialize};
+
+/// An encoded-video profile: resolution label and H.264-class bitrate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VideoProfile {
+    /// Human-readable resolution label.
+    pub label: &'static str,
+    /// Encoded bitrate, bits per second.
+    pub bitrate_bps: f64,
+}
+
+impl VideoProfile {
+    /// 426×240 @ ~0.7 Mbps.
+    pub const P240: VideoProfile = VideoProfile {
+        label: "240p",
+        bitrate_bps: 0.7e6,
+    };
+    /// 640×360 @ ~1 Mbps.
+    pub const P360: VideoProfile = VideoProfile {
+        label: "360p",
+        bitrate_bps: 1.0e6,
+    };
+    /// 854×480 @ ~2.5 Mbps.
+    pub const P480: VideoProfile = VideoProfile {
+        label: "480p",
+        bitrate_bps: 2.5e6,
+    };
+    /// 1280×720 @ ~5 Mbps.
+    pub const P720: VideoProfile = VideoProfile {
+        label: "720p",
+        bitrate_bps: 5.0e6,
+    };
+    /// 1920×1080 @ ~8 Mbps.
+    pub const P1080: VideoProfile = VideoProfile {
+        label: "1080p",
+        bitrate_bps: 8.0e6,
+    };
+
+    /// All presets, ascending.
+    pub const ALL: [VideoProfile; 5] = [
+        VideoProfile::P240,
+        VideoProfile::P360,
+        VideoProfile::P480,
+        VideoProfile::P720,
+        VideoProfile::P1080,
+    ];
+
+    /// Encoded size of `duration_s` seconds of video, bytes.
+    pub fn encoded_bytes(&self, duration_s: f64) -> u64 {
+        (self.bitrate_bps * duration_s / 8.0).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_size_scales_with_duration() {
+        let p = VideoProfile::P720;
+        assert_eq!(p.encoded_bytes(8.0), 5_000_000);
+        assert_eq!(p.encoded_bytes(0.0), 0);
+    }
+
+    #[test]
+    fn profiles_ascend() {
+        let sizes: Vec<u64> = VideoProfile::ALL
+            .iter()
+            .map(|p| p.encoded_bytes(60.0))
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,187 @@
+//! Segment abstraction (paper §IV-B, eq. 11).
+//!
+//! Each segment is condensed into a single **representative FoV**: the
+//! average position and orientation of its member frames, together with the
+//! segment's time interval `[t_s, t_e]`. Only representative FoVs are
+//! uploaded to the server, which minimises client traffic and keeps the
+//! index compact.
+//!
+//! The paper's eq. 11 averages orientations arithmetically, which breaks at
+//! the 0°/360° wrap (the mean of `{350°, 10°}` would be `180°` — the exact
+//! opposite direction). We default to the circular mean and keep the
+//! arithmetic rule behind [`AveragingRule::Arithmetic`] for the ablation.
+
+use serde::{Deserialize, Serialize};
+use swag_geo::angle::arithmetic_mean_deg;
+use swag_geo::{circular_mean_deg, LatLon};
+
+use crate::fov::Fov;
+use crate::segmentation::Segment;
+
+/// How segment orientations are averaged into the representative azimuth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AveragingRule {
+    /// Paper-faithful arithmetic mean of `θ` values (eq. 11). Wraps
+    /// incorrectly across 0°/360°.
+    Arithmetic,
+    /// Circular (directional) mean — the default. Falls back to the first
+    /// frame's orientation when the directions cancel exactly.
+    Circular,
+}
+
+/// A representative FoV: one uploaded record per video segment
+/// (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepFov {
+    /// Segment start time `t_s`, seconds.
+    pub t_start: f64,
+    /// Segment end time `t_e`, seconds.
+    pub t_end: f64,
+    /// The averaged FoV `f_r = (p̄, θ̄)`.
+    pub fov: Fov,
+}
+
+impl RepFov {
+    /// Creates a representative FoV record.
+    ///
+    /// # Panics
+    /// Panics if `t_end < t_start`.
+    pub fn new(t_start: f64, t_end: f64, fov: Fov) -> Self {
+        assert!(
+            t_end >= t_start,
+            "segment end time {t_end} precedes start time {t_start}"
+        );
+        RepFov {
+            t_start,
+            t_end,
+            fov,
+        }
+    }
+
+    /// Segment duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+
+    /// Whether the segment's time interval overlaps `[t_start, t_end]`.
+    #[inline]
+    pub fn overlaps_time(&self, t_start: f64, t_end: f64) -> bool {
+        self.t_start <= t_end && t_start <= self.t_end
+    }
+}
+
+/// Extracts the representative FoV of a segment (paper eq. 11):
+/// `p̄ = Σp / |s|`, `θ̄ = mean of θ` under the chosen rule, with the
+/// segment's `[t_s, t_e]` interval attached.
+///
+/// # Panics
+/// Panics if the segment is empty (segments produced by
+/// [`crate::segmentation`] never are).
+pub fn abstract_segment(segment: &Segment, rule: AveragingRule) -> RepFov {
+    assert!(!segment.is_empty(), "cannot abstract an empty segment");
+    let n = segment.fovs.len() as f64;
+
+    let (mut lat, mut lng) = (0.0f64, 0.0f64);
+    let mut thetas = Vec::with_capacity(segment.fovs.len());
+    for f in &segment.fovs {
+        lat += f.fov.p.lat;
+        lng += f.fov.p.lng;
+        thetas.push(f.fov.theta);
+    }
+    let p_bar = LatLon::new(lat / n, lng / n);
+
+    let theta_bar = match rule {
+        AveragingRule::Arithmetic => {
+            arithmetic_mean_deg(&thetas).expect("segment verified non-empty")
+        }
+        AveragingRule::Circular => {
+            circular_mean_deg(&thetas).unwrap_or(segment.fovs[0].fov.theta)
+        }
+    };
+
+    RepFov::new(segment.start_t(), segment.end_t(), Fov::new(p_bar, theta_bar))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fov::TimedFov;
+
+    fn origin() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    fn seg(fovs: Vec<TimedFov>) -> Segment {
+        Segment { fovs }
+    }
+
+    #[test]
+    fn single_frame_segment_is_identity() {
+        let f = Fov::new(origin(), 42.0);
+        let s = seg(vec![TimedFov::new(3.0, f)]);
+        let r = abstract_segment(&s, AveragingRule::Circular);
+        assert_eq!(r.t_start, 3.0);
+        assert_eq!(r.t_end, 3.0);
+        assert_eq!(r.fov, f);
+    }
+
+    #[test]
+    fn positions_average_arithmetically() {
+        let a = Fov::new(LatLon::new(40.0, 116.0), 10.0);
+        let b = Fov::new(LatLon::new(40.002, 116.004), 20.0);
+        let s = seg(vec![TimedFov::new(0.0, a), TimedFov::new(1.0, b)]);
+        let r = abstract_segment(&s, AveragingRule::Circular);
+        assert!((r.fov.p.lat - 40.001).abs() < 1e-12);
+        assert!((r.fov.p.lng - 116.002).abs() < 1e-12);
+        assert!((r.fov.theta - 15.0).abs() < 1e-9);
+        assert_eq!((r.t_start, r.t_end), (0.0, 1.0));
+    }
+
+    #[test]
+    fn circular_mean_survives_wraparound() {
+        let s = seg(vec![
+            TimedFov::new(0.0, Fov::new(origin(), 350.0)),
+            TimedFov::new(1.0, Fov::new(origin(), 10.0)),
+        ]);
+        let circular = abstract_segment(&s, AveragingRule::Circular);
+        assert!(circular.fov.theta < 1e-6 || circular.fov.theta > 359.999);
+
+        // The paper-faithful rule points the representative FoV backwards.
+        let arithmetic = abstract_segment(&s, AveragingRule::Arithmetic);
+        assert!((arithmetic.fov.theta - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancelling_directions_fall_back_to_first_frame() {
+        let s = seg(vec![
+            TimedFov::new(0.0, Fov::new(origin(), 0.0)),
+            TimedFov::new(1.0, Fov::new(origin(), 180.0)),
+        ]);
+        let r = abstract_segment(&s, AveragingRule::Circular);
+        assert_eq!(r.fov.theta, 0.0);
+    }
+
+    #[test]
+    fn time_overlap_predicate() {
+        let r = RepFov::new(10.0, 20.0, Fov::new(origin(), 0.0));
+        assert!(r.overlaps_time(15.0, 25.0));
+        assert!(r.overlaps_time(0.0, 10.0)); // touching counts
+        assert!(r.overlaps_time(20.0, 30.0));
+        assert!(!r.overlaps_time(20.1, 30.0));
+        assert!(!r.overlaps_time(0.0, 9.9));
+        assert_eq!(r.duration(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty segment")]
+    fn empty_segment_panics() {
+        abstract_segment(&seg(vec![]), AveragingRule::Circular);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn inverted_interval_panics() {
+        RepFov::new(2.0, 1.0, Fov::new(origin(), 0.0));
+    }
+}

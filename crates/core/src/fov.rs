@@ -1,0 +1,213 @@
+//! The Field-of-View model (paper §II-B).
+//!
+//! An FoV is the 2-tuple `f = (p, θ)`: the camera's GPS position and its
+//! compass azimuth. Together with the camera's fixed half viewing angle `α`
+//! and an empirical view radius `R` it describes the conical (sector-shaped)
+//! area visible in a frame.
+
+use serde::{Deserialize, Serialize};
+use swag_geo::{angle_diff_deg, normalize_deg, LatLon};
+
+/// Static per-camera parameters: the half viewing angle `α` (so the full
+/// viewing angle is `𝒜 = 2α`) and the empirical view radius `R`.
+///
+/// The paper suggests choosing `R` per environment — e.g. ~20 m in
+/// residential areas and ~100 m on highways (§V-B step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraProfile {
+    /// Half viewing angle `α`, degrees, in `(0, 90)`.
+    pub half_angle_deg: f64,
+    /// Empirical radius of view `R`, metres, positive.
+    pub view_radius_m: f64,
+}
+
+/// Empirical view radius for residential areas (paper §V-B).
+pub const RESIDENTIAL_RADIUS_M: f64 = 20.0;
+/// Empirical view radius for highways (paper §V-B).
+pub const HIGHWAY_RADIUS_M: f64 = 100.0;
+
+impl CameraProfile {
+    /// Creates a camera profile.
+    ///
+    /// # Panics
+    /// Panics if `half_angle_deg ∉ (0, 90)` or `view_radius_m ≤ 0`.
+    pub fn new(half_angle_deg: f64, view_radius_m: f64) -> Self {
+        assert!(
+            half_angle_deg > 0.0 && half_angle_deg < 90.0,
+            "half viewing angle must be in (0, 90) degrees, got {half_angle_deg}"
+        );
+        assert!(
+            view_radius_m > 0.0,
+            "view radius must be positive, got {view_radius_m}"
+        );
+        CameraProfile {
+            half_angle_deg,
+            view_radius_m,
+        }
+    }
+
+    /// A typical smartphone camera in an urban setting: 50° viewing angle
+    /// (`α = 25°`), 100 m radius of view.
+    ///
+    /// `α = 25° < arctan(1/2)` keeps the paper's `Sim_∥ ≥ Sim_⊥` ordering
+    /// valid at every translation distance (see `DESIGN.md`).
+    pub fn smartphone() -> Self {
+        CameraProfile::new(25.0, HIGHWAY_RADIUS_M)
+    }
+
+    /// Smartphone camera tuned for residential areas (`R = 20 m`).
+    pub fn residential() -> Self {
+        CameraProfile::new(25.0, RESIDENTIAL_RADIUS_M)
+    }
+
+    /// Full viewing angle `𝒜 = 2α` in degrees.
+    #[inline]
+    pub fn viewing_angle_deg(&self) -> f64 {
+        2.0 * self.half_angle_deg
+    }
+
+    /// `α` in radians.
+    #[inline]
+    pub fn alpha_rad(&self) -> f64 {
+        self.half_angle_deg.to_radians()
+    }
+
+    /// The translation distance at which the perpendicular similarity
+    /// reaches zero: `2R·sin α` (paper §III Case 2, statement 2).
+    #[inline]
+    pub fn perp_cutoff_m(&self) -> f64 {
+        2.0 * self.view_radius_m * self.alpha_rad().sin()
+    }
+}
+
+impl Default for CameraProfile {
+    fn default() -> Self {
+        CameraProfile::smartphone()
+    }
+}
+
+/// A Field of View: camera position and compass azimuth (paper eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fov {
+    /// Camera position `p`.
+    pub p: LatLon,
+    /// Camera azimuth `θ`, degrees clockwise from north, in `[0, 360)`.
+    pub theta: f64,
+}
+
+impl Fov {
+    /// Creates an FoV, normalising the azimuth to `[0, 360)`.
+    pub fn new(p: LatLon, theta_deg: f64) -> Self {
+        Fov {
+            p,
+            theta: normalize_deg(theta_deg),
+        }
+    }
+
+    /// The covered angle range `Θ = (θ − α, θ + α)` as `(low, high)` in
+    /// degrees (not normalised; `high − low = 2α`).
+    pub fn coverage_deg(&self, cam: &CameraProfile) -> (f64, f64) {
+        (
+            self.theta - cam.half_angle_deg,
+            self.theta + cam.half_angle_deg,
+        )
+    }
+
+    /// Whether a compass direction falls inside the covered angle range.
+    #[inline]
+    pub fn covers_direction(&self, direction_deg: f64, cam: &CameraProfile) -> bool {
+        angle_diff_deg(self.theta, direction_deg) <= cam.half_angle_deg
+    }
+
+    /// Position difference `δ_p` to another FoV, in metres (paper eq. 2).
+    #[inline]
+    pub fn delta_p_m(&self, other: &Fov) -> f64 {
+        self.p.distance_m(other.p)
+    }
+
+    /// Orientation difference `δ_θ` to another FoV, degrees in `[0, 180]`
+    /// (paper eq. 2).
+    #[inline]
+    pub fn delta_theta_deg(&self, other: &Fov) -> f64 {
+        angle_diff_deg(self.theta, other.theta)
+    }
+}
+
+/// An FoV stamped with the capture time of its video frame, in seconds.
+///
+/// This is the `(t_i, p_i, θ_i)` record the client collects per frame
+/// (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFov {
+    /// Capture timestamp in seconds (device clock).
+    pub t: f64,
+    /// The frame's FoV.
+    pub fov: Fov,
+}
+
+impl TimedFov {
+    /// Creates a timestamped FoV.
+    pub fn new(t: f64, fov: Fov) -> Self {
+        TimedFov { t, fov }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    #[test]
+    fn azimuth_is_normalised() {
+        assert_eq!(Fov::new(p(), 370.0).theta, 10.0);
+        assert_eq!(Fov::new(p(), -90.0).theta, 270.0);
+    }
+
+    #[test]
+    fn coverage_width_is_viewing_angle() {
+        let cam = CameraProfile::new(30.0, 50.0);
+        let f = Fov::new(p(), 100.0);
+        let (lo, hi) = f.coverage_deg(&cam);
+        assert_eq!(hi - lo, cam.viewing_angle_deg());
+        assert_eq!((lo, hi), (70.0, 130.0));
+    }
+
+    #[test]
+    fn covers_direction_with_wrap() {
+        let cam = CameraProfile::new(30.0, 50.0);
+        let f = Fov::new(p(), 350.0);
+        assert!(f.covers_direction(10.0, &cam));
+        assert!(f.covers_direction(320.0, &cam));
+        assert!(!f.covers_direction(25.0, &cam));
+        assert!(!f.covers_direction(180.0, &cam));
+    }
+
+    #[test]
+    fn deltas_match_paper_eq2() {
+        let f1 = Fov::new(p(), 10.0);
+        let f2 = Fov::new(p().offset(90.0, 30.0), 350.0);
+        assert!((f1.delta_p_m(&f2) - 30.0).abs() < 0.01);
+        assert!((f1.delta_theta_deg(&f2) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perp_cutoff_formula() {
+        let cam = CameraProfile::new(30.0, 100.0);
+        assert!((cam.perp_cutoff_m() - 100.0).abs() < 1e-9); // 2·100·sin30 = 100
+    }
+
+    #[test]
+    #[should_panic(expected = "half viewing angle")]
+    fn rejects_bad_half_angle() {
+        CameraProfile::new(90.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "view radius")]
+    fn rejects_bad_radius() {
+        CameraProfile::new(25.0, 0.0);
+    }
+}

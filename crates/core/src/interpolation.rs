@@ -1,0 +1,183 @@
+//! Upsampling sparse sensor fixes to per-frame FoVs.
+//!
+//! Real devices deliver GPS fixes at ~1 Hz while video runs at 25-30 fps;
+//! the `(t_i, p_i, θ_i)` record the paper attaches to *every* frame
+//! (§II-C) therefore has to be interpolated from sparser fixes. This
+//! module provides that step: linear interpolation of positions (in the
+//! local metric frame, so speeds are preserved) and shortest-arc
+//! interpolation of azimuths, evaluated at arbitrary frame timestamps.
+
+use swag_geo::{normalize_deg, signed_deg};
+
+use crate::fov::{Fov, TimedFov};
+
+/// Interpolates a sparse, time-ordered fix sequence at time `t`.
+///
+/// * Before the first fix / after the last: clamps to the boundary fix.
+/// * Between fixes: linear position, shortest-arc azimuth.
+///
+/// # Panics
+/// Panics if `fixes` is empty or not strictly increasing in time.
+pub fn sample_at(fixes: &[TimedFov], t: f64) -> Fov {
+    assert!(!fixes.is_empty(), "cannot interpolate an empty fix sequence");
+    debug_assert!(
+        fixes.windows(2).all(|w| w[1].t > w[0].t),
+        "fixes must be strictly increasing in time"
+    );
+    if t <= fixes[0].t {
+        return fixes[0].fov;
+    }
+    if t >= fixes[fixes.len() - 1].t {
+        return fixes[fixes.len() - 1].fov;
+    }
+    // Binary search for the bracketing pair.
+    let hi = fixes.partition_point(|f| f.t <= t);
+    let (a, b) = (&fixes[hi - 1], &fixes[hi]);
+    let w = (t - a.t) / (b.t - a.t);
+
+    let disp = a.fov.p.displacement_to(b.fov.p);
+    let p = a.fov.p.offset_by(disp * w);
+    let theta = normalize_deg(a.fov.theta + w * signed_deg(b.fov.theta - a.fov.theta));
+    Fov::new(p, theta)
+}
+
+/// Expands sparse fixes to one FoV per frame at `fps`, covering the fix
+/// sequence's time span (inclusive of both ends).
+///
+/// This is the client-side preprocessing that turns 1 Hz GPS + compass
+/// fixes into the per-frame records Algorithm 1 consumes.
+///
+/// ```
+/// use swag_core::{interpolate_trace, Fov, TimedFov};
+/// use swag_geo::LatLon;
+///
+/// let origin = LatLon::new(40.0, 116.32);
+/// let fixes = vec![
+///     TimedFov::new(0.0, Fov::new(origin, 0.0)),
+///     TimedFov::new(1.0, Fov::new(origin.offset(0.0, 1.4), 0.0)), // 1 s later
+/// ];
+/// let frames = interpolate_trace(&fixes, 25.0);
+/// assert_eq!(frames.len(), 26); // 25 fps over one second, inclusive
+/// ```
+pub fn interpolate_trace(fixes: &[TimedFov], fps: f64) -> Vec<TimedFov> {
+    assert!(fps > 0.0, "fps must be positive");
+    if fixes.is_empty() {
+        return Vec::new();
+    }
+    let (t0, t1) = (fixes[0].t, fixes[fixes.len() - 1].t);
+    let n = ((t1 - t0) * fps).floor() as usize + 1;
+    (0..n)
+        .map(|i| {
+            let t = t0 + i as f64 / fps;
+            TimedFov::new(t, sample_at(fixes, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_geo::LatLon;
+
+    fn origin() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    fn fix(t: f64, north_m: f64, theta: f64) -> TimedFov {
+        TimedFov::new(t, Fov::new(origin().offset(0.0, north_m), theta))
+    }
+
+    #[test]
+    fn exact_fix_times_return_fixes() {
+        let fixes = vec![fix(0.0, 0.0, 10.0), fix(1.0, 10.0, 20.0), fix(2.0, 30.0, 40.0)];
+        for f in &fixes {
+            let s = sample_at(&fixes, f.t);
+            assert!(s.p.distance_m(f.fov.p) < 1e-6);
+            assert!((s.theta - f.fov.theta).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let fixes = vec![fix(0.0, 0.0, 10.0), fix(2.0, 20.0, 30.0)];
+        let mid = sample_at(&fixes, 1.0);
+        assert!((origin().distance_m(mid.p) - 10.0).abs() < 0.01);
+        assert!((mid.theta - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_the_span() {
+        let fixes = vec![fix(1.0, 0.0, 0.0), fix(2.0, 10.0, 90.0)];
+        assert_eq!(sample_at(&fixes, 0.0), fixes[0].fov);
+        assert_eq!(sample_at(&fixes, 5.0), fixes[1].fov);
+    }
+
+    #[test]
+    fn azimuth_takes_the_short_way_round() {
+        let fixes = vec![fix(0.0, 0.0, 350.0), fix(1.0, 0.0, 10.0)];
+        let mid = sample_at(&fixes, 0.5);
+        // Shortest arc through north, not through 180°.
+        assert!(
+            mid.theta < 1e-9 || mid.theta > 359.0,
+            "interpolated through the wrong side: {}",
+            mid.theta
+        );
+    }
+
+    #[test]
+    fn interpolate_trace_has_frame_rate_density() {
+        let fixes: Vec<TimedFov> = (0..=10).map(|i| fix(f64::from(i), f64::from(i) * 1.4, 0.0)).collect();
+        let frames = interpolate_trace(&fixes, 25.0);
+        assert_eq!(frames.len(), 251); // 10 s at 25 fps, inclusive
+        assert!(frames.windows(2).all(|w| w[1].t > w[0].t));
+        // Positions advance monotonically north at walking pace.
+        let d_total = frames[0].fov.p.distance_m(frames[250].fov.p);
+        assert!((d_total - 14.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn interpolated_speed_is_piecewise_constant() {
+        let fixes = vec![fix(0.0, 0.0, 0.0), fix(1.0, 2.0, 0.0), fix(2.0, 10.0, 0.0)];
+        let frames = interpolate_trace(&fixes, 10.0);
+        // First second: 0.2 m per 0.1 s step; second second: 0.8 m.
+        let step = |i: usize| frames[i].fov.p.distance_m(frames[i + 1].fov.p);
+        assert!((step(2) - 0.2).abs() < 0.01);
+        assert!((step(15) - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_fix_trace() {
+        let fixes = vec![fix(3.0, 5.0, 45.0)];
+        assert_eq!(sample_at(&fixes, 0.0), fixes[0].fov);
+        let frames = interpolate_trace(&fixes, 25.0);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].t, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fix sequence")]
+    fn empty_fixes_panic() {
+        sample_at(&[], 0.0);
+    }
+
+    #[test]
+    fn segmentation_on_interpolated_trace_matches_dense_truth() {
+        use crate::segmentation::segment_video;
+        use crate::CameraProfile;
+        // Dense ground truth: rotation at 5°/s sampled at 25 fps.
+        let dense: Vec<TimedFov> = (0..500)
+            .map(|i| {
+                let t = f64::from(i) / 25.0;
+                TimedFov::new(t, Fov::new(origin(), normalize_deg(5.0 * t)))
+            })
+            .collect();
+        // Sparse fixes at 1 Hz, interpolated back to 25 fps.
+        let sparse: Vec<TimedFov> = dense.iter().step_by(25).copied().collect();
+        let upsampled = interpolate_trace(&sparse, 25.0);
+        let cam = CameraProfile::smartphone();
+        let segs_dense = segment_video(&dense, &cam, 0.5).len();
+        let segs_upsampled = segment_video(&upsampled, &cam, 0.5).len();
+        // Smooth motion: interpolation reproduces the segmentation.
+        assert_eq!(segs_dense, segs_upsampled);
+    }
+}

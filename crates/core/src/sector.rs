@@ -1,0 +1,194 @@
+//! Sector geometry for rank-based retrieval (paper §V-B).
+//!
+//! A camera's viewable scene is the circular sector with apex `p`, axis
+//! `θ`, half-angle `α` and radius `R`. Retrieval needs two predicates on
+//! that sector:
+//!
+//! * does it **contain** a point (used by accuracy ground truth), and
+//! * does it **intersect** the querier's circular area (the *covering* test
+//!   the paper's filtering mechanism approximates with a distance sort and
+//!   direction filter).
+
+use swag_geo::{angle_diff_deg, LatLon, Vec2};
+
+use crate::fov::{CameraProfile, Fov};
+
+/// Whether the FoV's view sector contains a geographic point.
+pub fn sector_contains(fov: &Fov, cam: &CameraProfile, point: LatLon) -> bool {
+    let d = fov.p.displacement_to(point);
+    let dist = d.norm();
+    if dist > cam.view_radius_m {
+        return false;
+    }
+    if dist < 1e-9 {
+        return true; // the apex itself
+    }
+    angle_diff_deg(d.azimuth_deg(), fov.theta) <= cam.half_angle_deg
+}
+
+/// Whether the FoV's view sector intersects the disc of radius `radius_m`
+/// centred at `center` — i.e. whether this video segment can **cover** any
+/// part of the query area.
+///
+/// Exact for `α < 90°` (the sector is convex): the nearest sector point to
+/// the disc centre lies on the axis ray, on the bounding arc, or on one of
+/// the two straight edges.
+pub fn sector_intersects_circle(
+    fov: &Fov,
+    cam: &CameraProfile,
+    center: LatLon,
+    radius_m: f64,
+) -> bool {
+    debug_assert!(radius_m >= 0.0);
+    let c = fov.p.displacement_to(center);
+    let dist = c.norm();
+
+    // Disc covers the apex.
+    if dist <= radius_m {
+        return true;
+    }
+
+    let bearing = c.azimuth_deg();
+    if angle_diff_deg(bearing, fov.theta) <= cam.half_angle_deg {
+        // Centre lies inside the cone of directions: the nearest sector
+        // point sits on the ray towards the centre, clipped at radius R.
+        return dist - cam.view_radius_m <= radius_m;
+    }
+
+    // Centre lies outside the cone: nearest point is on one of the two
+    // straight edges.
+    let (lo, hi) = fov.coverage_deg(cam);
+    let edge_a = Vec2::from_azimuth_deg(lo) * cam.view_radius_m;
+    let edge_b = Vec2::from_azimuth_deg(hi) * cam.view_radius_m;
+    let d = point_segment_distance(c, Vec2::ZERO, edge_a)
+        .min(point_segment_distance(c, Vec2::ZERO, edge_b));
+    d <= radius_m
+}
+
+/// Whether the FoV is oriented towards `target` — the paper's direction
+/// filter (§V-B step 3) that discards retrieved FoVs with an "improper
+/// direction".
+///
+/// `tolerance_deg` widens the accepted cone beyond `α` to absorb sensor
+/// noise; pass `0.0` for the strict test.
+pub fn points_toward(fov: &Fov, cam: &CameraProfile, target: LatLon, tolerance_deg: f64) -> bool {
+    let d = fov.p.displacement_to(target);
+    if d.norm() < 1e-9 {
+        return true; // standing on the target: any direction shows it
+    }
+    angle_diff_deg(d.azimuth_deg(), fov.theta) <= cam.half_angle_deg + tolerance_deg
+}
+
+/// Euclidean distance from point `p` to the segment `a..b`.
+fn point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> f64 {
+    let ab = b - a;
+    let len_sq = ab.norm_sq();
+    if len_sq < 1e-18 {
+        return p.distance(a);
+    }
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    p.distance(a + ab * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> CameraProfile {
+        CameraProfile::new(30.0, 100.0)
+    }
+
+    fn origin() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    fn north_fov() -> Fov {
+        Fov::new(origin(), 0.0)
+    }
+
+    #[test]
+    fn contains_point_on_axis_inside_radius() {
+        let f = north_fov();
+        assert!(sector_contains(&f, &cam(), origin().offset(0.0, 50.0)));
+        assert!(sector_contains(&f, &cam(), origin().offset(0.0, 99.0)));
+        assert!(!sector_contains(&f, &cam(), origin().offset(0.0, 101.0)));
+    }
+
+    #[test]
+    fn contains_respects_half_angle() {
+        let f = north_fov();
+        assert!(sector_contains(&f, &cam(), origin().offset(29.0, 50.0)));
+        assert!(!sector_contains(&f, &cam(), origin().offset(31.0, 50.0)));
+        // Behind the camera.
+        assert!(!sector_contains(&f, &cam(), origin().offset(180.0, 10.0)));
+    }
+
+    #[test]
+    fn contains_apex() {
+        assert!(sector_contains(&north_fov(), &cam(), origin()));
+    }
+
+    #[test]
+    fn circle_on_axis_intersections() {
+        let f = north_fov();
+        // Disc fully inside the sector.
+        assert!(sector_intersects_circle(&f, &cam(), origin().offset(0.0, 50.0), 10.0));
+        // Disc just beyond the arc but within its radius.
+        assert!(sector_intersects_circle(&f, &cam(), origin().offset(0.0, 105.0), 10.0));
+        // Disc far beyond reach.
+        assert!(!sector_intersects_circle(&f, &cam(), origin().offset(0.0, 150.0), 10.0));
+    }
+
+    #[test]
+    fn circle_covering_apex_intersects_even_from_behind() {
+        let f = north_fov();
+        assert!(sector_intersects_circle(&f, &cam(), origin().offset(180.0, 5.0), 10.0));
+        assert!(!sector_intersects_circle(&f, &cam(), origin().offset(180.0, 50.0), 10.0));
+    }
+
+    #[test]
+    fn circle_near_edge_intersects_via_edge_distance() {
+        let f = north_fov();
+        // A disc centred 40° off-axis at 50 m: the edge ray is at 30°, so
+        // the gap is roughly 50·sin(10°) ≈ 8.7 m.
+        let c = origin().offset(40.0, 50.0);
+        assert!(sector_intersects_circle(&f, &cam(), c, 10.0));
+        assert!(!sector_intersects_circle(&f, &cam(), c, 5.0));
+    }
+
+    #[test]
+    fn intersect_is_consistent_with_contains() {
+        let f = north_fov();
+        // Any contained point intersects with any radius.
+        for (b, d) in [(0.0, 30.0), (25.0, 80.0), (-20.0, 10.0)] {
+            let p = origin().offset(b, d);
+            if sector_contains(&f, &cam(), p) {
+                assert!(sector_intersects_circle(&f, &cam(), p, 0.001));
+            }
+        }
+    }
+
+    #[test]
+    fn points_toward_filter() {
+        let f = north_fov();
+        let c = cam();
+        assert!(points_toward(&f, &c, origin().offset(0.0, 500.0), 0.0));
+        assert!(points_toward(&f, &c, origin().offset(29.0, 500.0), 0.0));
+        assert!(!points_toward(&f, &c, origin().offset(45.0, 500.0), 0.0));
+        // Tolerance widens the cone.
+        assert!(points_toward(&f, &c, origin().offset(45.0, 500.0), 20.0));
+        // Standing on the target always passes.
+        assert!(points_toward(&f, &c, origin(), 0.0));
+    }
+
+    #[test]
+    fn point_segment_distance_basics() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 0.0);
+        assert!((point_segment_distance(Vec2::new(5.0, 3.0), a, b) - 3.0).abs() < 1e-12);
+        assert!((point_segment_distance(Vec2::new(-4.0, 0.0), a, b) - 4.0).abs() < 1e-12);
+        assert!((point_segment_distance(Vec2::new(13.0, 4.0), a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((point_segment_distance(Vec2::new(3.0, 4.0), a, a) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,367 @@
+//! Real-time FoV-based video segmentation (paper §IV-A, Algorithm 1).
+//!
+//! While recording, each incoming frame record `(t_i, p_i, θ_i)` is compared
+//! against the **initial FoV** `f_s` of the current segment. When
+//! `Sim(f_s, f_i) < thresh` the current segment is closed and a new one is
+//! started at `f_i`. The decision is O(1) per frame — a single similarity
+//! evaluation — so the algorithm runs comfortably inside a capture loop.
+//!
+//! Two entry points are provided:
+//!
+//! * [`Segmenter`] — the streaming state machine used by the client while
+//!   recording;
+//! * [`segment_video`] — the offline batch edition (Algorithm 1 verbatim),
+//!   used by tests and benchmarks.
+//!
+//! A property test asserts the two produce identical segmentations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fov::{CameraProfile, Fov, TimedFov};
+use crate::similarity::similarity;
+
+/// A contiguous run of video frames whose FoVs stay similar to the
+/// segment's initial FoV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The member frames, in capture order. Never empty.
+    pub fovs: Vec<TimedFov>,
+}
+
+impl Segment {
+    /// Segment start time `t_s` (timestamp of the first frame).
+    #[inline]
+    pub fn start_t(&self) -> f64 {
+        self.fovs[0].t
+    }
+
+    /// Segment end time `t_e` (timestamp of the last frame).
+    #[inline]
+    pub fn end_t(&self) -> f64 {
+        self.fovs[self.fovs.len() - 1].t
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end_t() - self.start_t()
+    }
+
+    /// Number of frames.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fovs.len()
+    }
+
+    /// Whether the segment has no frames (never true for segments produced
+    /// by this module).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fovs.is_empty()
+    }
+
+    /// Abstracts the segment with the default (circular-mean) averaging
+    /// rule. See [`crate::abstraction::abstract_segment`].
+    pub fn abstract_default(&self) -> crate::abstraction::RepFov {
+        crate::abstraction::abstract_segment(self, crate::abstraction::AveragingRule::Circular)
+    }
+}
+
+/// Streaming segmenter: the client-side real-time edition of Algorithm 1.
+///
+/// Feed frames with [`push`](Segmenter::push); each call returns the
+/// just-closed segment if the new frame triggered a cut. Call
+/// [`finish`](Segmenter::finish) when recording stops to flush the final
+/// segment.
+#[derive(Debug, Clone)]
+pub struct Segmenter {
+    cam: CameraProfile,
+    thresh: f64,
+    /// Optional upper bound on segment duration, seconds.
+    max_segment_s: Option<f64>,
+    /// Initial FoV `f_s` of the current segment.
+    anchor: Option<Fov>,
+    current: Vec<TimedFov>,
+    /// Total frames consumed (for statistics).
+    frames_seen: u64,
+    /// Segments emitted so far (excluding the one pending in `finish`).
+    segments_emitted: u64,
+}
+
+impl Segmenter {
+    /// Creates a segmenter with the given camera profile and similarity
+    /// threshold `thresh ∈ [0, 1]`.
+    ///
+    /// Larger thresholds cut sooner and produce denser segmentations
+    /// (paper §VII).
+    ///
+    /// # Panics
+    /// Panics if `thresh` is outside `[0, 1]` or not finite.
+    pub fn new(cam: CameraProfile, thresh: f64) -> Self {
+        assert!(
+            thresh.is_finite() && (0.0..=1.0).contains(&thresh),
+            "segmentation threshold must be in [0, 1], got {thresh}"
+        );
+        Segmenter {
+            cam,
+            thresh,
+            max_segment_s: None,
+            anchor: None,
+            current: Vec::new(),
+            frames_seen: 0,
+            segments_emitted: 0,
+        }
+    }
+
+    /// Bounds segment duration: a segment is force-closed once the next
+    /// frame would stretch it past `max_segment_s` seconds, even while the
+    /// FoV stays similar. A stationary camera otherwise produces one
+    /// unbounded segment, which hurts retrieval granularity and the §VII
+    /// temporal-utility accounting.
+    ///
+    /// # Panics
+    /// Panics if `max_segment_s` is not positive.
+    pub fn with_max_segment_s(mut self, max_segment_s: f64) -> Self {
+        assert!(
+            max_segment_s > 0.0,
+            "max segment duration must be positive, got {max_segment_s}"
+        );
+        self.max_segment_s = Some(max_segment_s);
+        self
+    }
+
+    /// The configured threshold.
+    #[inline]
+    pub fn thresh(&self) -> f64 {
+        self.thresh
+    }
+
+    /// The camera profile used for similarity evaluation.
+    #[inline]
+    pub fn camera(&self) -> &CameraProfile {
+        &self.cam
+    }
+
+    /// Number of frames consumed so far.
+    #[inline]
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Consumes one frame record; returns the segment that was closed by
+    /// this frame, if any.
+    pub fn push(&mut self, frame: TimedFov) -> Option<Segment> {
+        self.frames_seen += 1;
+        match self.anchor {
+            None => {
+                self.anchor = Some(frame.fov);
+                self.current.push(frame);
+                None
+            }
+            Some(anchor) => {
+                let over_duration = self.max_segment_s.is_some_and(|max| {
+                    frame.t - self.current[0].t > max
+                });
+                if over_duration || similarity(&anchor, &frame.fov, &self.cam) < self.thresh {
+                    // Close the current segment and restart at this frame.
+                    let done = Segment {
+                        fovs: std::mem::take(&mut self.current),
+                    };
+                    self.anchor = Some(frame.fov);
+                    self.current.push(frame);
+                    self.segments_emitted += 1;
+                    Some(done)
+                } else {
+                    self.current.push(frame);
+                    None
+                }
+            }
+        }
+    }
+
+    /// Flushes the in-progress segment when recording stops. Returns `None`
+    /// if no frames were ever pushed.
+    pub fn finish(mut self) -> Option<Segment> {
+        if self.current.is_empty() {
+            None
+        } else {
+            Some(Segment {
+                fovs: std::mem::take(&mut self.current),
+            })
+        }
+    }
+}
+
+/// Offline batch segmentation: the paper's Algorithm 1 applied to a whole
+/// FoV sequence at once.
+///
+/// Returns an empty vector for an empty input. The concatenation of the
+/// returned segments' frames equals the input sequence.
+pub fn segment_video(frames: &[TimedFov], cam: &CameraProfile, thresh: f64) -> Vec<Segment> {
+    let mut seg = Segmenter::new(*cam, thresh);
+    let mut out = Vec::new();
+    for &f in frames {
+        if let Some(s) = seg.push(f) {
+            out.push(s);
+        }
+    }
+    if let Some(s) = seg.finish() {
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_geo::LatLon;
+
+    fn cam() -> CameraProfile {
+        CameraProfile::smartphone()
+    }
+
+    fn origin() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    /// A stationary camera rotating at `deg_per_frame`.
+    fn rotating_trace(n: usize, deg_per_frame: f64) -> Vec<TimedFov> {
+        (0..n)
+            .map(|i| {
+                TimedFov::new(
+                    i as f64 / 25.0,
+                    Fov::new(origin(), deg_per_frame * i as f64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_gives_no_segments() {
+        assert!(segment_video(&[], &cam(), 0.5).is_empty());
+        assert!(Segmenter::new(cam(), 0.5).finish().is_none());
+    }
+
+    #[test]
+    fn single_frame_gives_single_segment() {
+        let frames = rotating_trace(1, 0.0);
+        let segs = segment_video(&frames, &cam(), 0.5);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 1);
+        assert_eq!(segs[0].start_t(), segs[0].end_t());
+    }
+
+    #[test]
+    fn stationary_camera_never_cuts() {
+        let frames = rotating_trace(500, 0.0);
+        let segs = segment_video(&frames, &cam(), 0.99);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len(), 500);
+    }
+
+    #[test]
+    fn rotation_cuts_at_predictable_angle() {
+        // Sim_R = (2α − δθ)/2α < 0.5  ⇔  δθ > α = 25°.
+        // At 1°/frame the anchor is at 0°, so the first cut happens at
+        // frame 26 (δθ = 26°), giving segments of 26 frames.
+        let frames = rotating_trace(100, 1.0);
+        let segs = segment_video(&frames, &cam(), 0.5);
+        assert_eq!(segs[0].len(), 26);
+        assert_eq!(segs[1].len(), 26);
+        // Frame sequence is preserved and partitioned.
+        let total: usize = segs.iter().map(Segment::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn segments_partition_input_in_order() {
+        let frames = rotating_trace(237, 0.7);
+        let segs = segment_video(&frames, &cam(), 0.6);
+        let rebuilt: Vec<TimedFov> = segs.iter().flat_map(|s| s.fovs.iter().copied()).collect();
+        assert_eq!(rebuilt, frames);
+        // Segment boundaries are monotone in time.
+        for w in segs.windows(2) {
+            assert!(w[0].end_t() < w[1].start_t());
+        }
+    }
+
+    #[test]
+    fn higher_threshold_cuts_more_densely() {
+        // §VII: "when threshold gets bigger, the segmentation of video
+        // would be denser."
+        let frames = rotating_trace(400, 0.5);
+        let loose = segment_video(&frames, &cam(), 0.3).len();
+        let tight = segment_video(&frames, &cam(), 0.8).len();
+        assert!(tight > loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn threshold_zero_never_cuts() {
+        // Sim ≥ 0 always, so Sim < 0 never holds.
+        let frames = rotating_trace(300, 5.0);
+        let segs = segment_video(&frames, &cam(), 0.0);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn streaming_matches_offline() {
+        let frames = rotating_trace(321, 0.9);
+        let offline = segment_video(&frames, &cam(), 0.55);
+
+        let mut seg = Segmenter::new(cam(), 0.55);
+        let mut online = Vec::new();
+        for &f in &frames {
+            online.extend(seg.push(f));
+        }
+        online.extend(seg.finish());
+        assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn walking_translation_eventually_cuts() {
+        // Walk north at 1.4 m/s looking north: Sim_∥ decays slowly but the
+        // anchor similarity eventually crosses a strict threshold.
+        let frames: Vec<TimedFov> = (0..2000)
+            .map(|i| {
+                let t = i as f64 / 25.0;
+                TimedFov::new(t, Fov::new(origin().offset(0.0, 1.4 * t), 0.0))
+            })
+            .collect();
+        let segs = segment_video(&frames, &cam(), 0.7);
+        assert!(segs.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_out_of_range_threshold() {
+        Segmenter::new(cam(), 1.5);
+    }
+
+    #[test]
+    fn max_duration_bounds_stationary_segments() {
+        // A stationary camera: without a bound, one giant segment.
+        let frames = rotating_trace(500, 0.0); // 20 s at 25 fps
+        let unbounded = segment_video(&frames, &cam(), 0.9);
+        assert_eq!(unbounded.len(), 1);
+
+        let mut seg = Segmenter::new(cam(), 0.9).with_max_segment_s(5.0);
+        let mut out = Vec::new();
+        for &f in &frames {
+            out.extend(seg.push(f));
+        }
+        out.extend(seg.finish());
+        assert!(out.len() >= 3, "got {} segments", out.len());
+        for s in &out {
+            assert!(s.duration() <= 5.0 + 0.05, "segment of {} s", s.duration());
+        }
+        // Still a partition.
+        let total: usize = out.iter().map(Segment::len).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "max segment duration")]
+    fn rejects_non_positive_max_duration() {
+        let _ = Segmenter::new(cam(), 0.5).with_max_segment_s(0.0);
+    }
+}

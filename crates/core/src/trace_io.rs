@@ -1,0 +1,269 @@
+//! CSV import/export of FoV traces and representative FoVs.
+//!
+//! The interchange format for sensor recordings is deliberately plain —
+//! one header line, then one `t,lat,lng,theta` row per frame record — so
+//! that real GPX/sensor-log exports can be converted with a one-liner and
+//! fed to the pipeline (see the `swag` CLI).
+
+use std::io::{BufRead, Write};
+
+use crate::abstraction::RepFov;
+use crate::fov::{Fov, TimedFov};
+use swag_geo::LatLon;
+
+/// Errors produced while parsing trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// Underlying I/O failure (message only, to stay `PartialEq`).
+    Io(String),
+    /// A malformed line, with its 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(m) => write!(f, "trace I/O error: {m}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e.to_string())
+    }
+}
+
+/// Header of the frame-record format.
+pub const TRACE_HEADER: &str = "t,lat,lng,theta";
+/// Header of the representative-FoV format.
+pub const REP_HEADER: &str = "t_start,t_end,lat,lng,theta";
+
+/// Writes a trace as CSV (`t,lat,lng,theta`).
+pub fn write_trace_csv(w: &mut impl Write, trace: &[TimedFov]) -> Result<(), TraceIoError> {
+    writeln!(w, "{TRACE_HEADER}")?;
+    for f in trace {
+        writeln!(
+            w,
+            "{:.3},{:.7},{:.7},{:.3}",
+            f.t, f.fov.p.lat, f.fov.p.lng, f.fov.theta
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from CSV. The header line is required; blank lines and
+/// `#` comments are skipped.
+pub fn read_trace_csv(r: impl BufRead) -> Result<Vec<TimedFov>, TraceIoError> {
+    let mut out = Vec::new();
+    let mut saw_header = false;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if trimmed != TRACE_HEADER {
+                return Err(TraceIoError::Parse {
+                    line: line_no,
+                    message: format!("expected header '{TRACE_HEADER}', got '{trimmed}'"),
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let fields = parse_fields::<4>(trimmed, line_no)?;
+        out.push(TimedFov::new(
+            fields[0],
+            Fov::new(LatLon::new(fields[1], fields[2]), fields[3]),
+        ));
+    }
+    if !saw_header {
+        return Err(TraceIoError::Parse {
+            line: 0,
+            message: "empty input (missing header)".into(),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes representative FoVs as CSV (`t_start,t_end,lat,lng,theta`).
+pub fn write_reps_csv(w: &mut impl Write, reps: &[RepFov]) -> Result<(), TraceIoError> {
+    writeln!(w, "{REP_HEADER}")?;
+    for rep in reps {
+        writeln!(
+            w,
+            "{:.3},{:.3},{:.7},{:.7},{:.3}",
+            rep.t_start, rep.t_end, rep.fov.p.lat, rep.fov.p.lng, rep.fov.theta
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads representative FoVs from CSV.
+pub fn read_reps_csv(r: impl BufRead) -> Result<Vec<RepFov>, TraceIoError> {
+    let mut out = Vec::new();
+    let mut saw_header = false;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !saw_header {
+            if trimmed != REP_HEADER {
+                return Err(TraceIoError::Parse {
+                    line: line_no,
+                    message: format!("expected header '{REP_HEADER}', got '{trimmed}'"),
+                });
+            }
+            saw_header = true;
+            continue;
+        }
+        let fields = parse_fields::<5>(trimmed, line_no)?;
+        if fields[1] < fields[0] {
+            return Err(TraceIoError::Parse {
+                line: line_no,
+                message: format!("t_end {} precedes t_start {}", fields[1], fields[0]),
+            });
+        }
+        out.push(RepFov::new(
+            fields[0],
+            fields[1],
+            Fov::new(LatLon::new(fields[2], fields[3]), fields[4]),
+        ));
+    }
+    if !saw_header {
+        return Err(TraceIoError::Parse {
+            line: 0,
+            message: "empty input (missing header)".into(),
+        });
+    }
+    Ok(out)
+}
+
+fn parse_fields<const N: usize>(line: &str, line_no: usize) -> Result<[f64; N], TraceIoError> {
+    let mut out = [0.0; N];
+    let mut it = line.split(',');
+    for (i, slot) in out.iter_mut().enumerate() {
+        let raw = it.next().ok_or_else(|| TraceIoError::Parse {
+            line: line_no,
+            message: format!("expected {N} fields, found {i}"),
+        })?;
+        *slot = raw.trim().parse::<f64>().map_err(|e| TraceIoError::Parse {
+            line: line_no,
+            message: format!("field {}: {e}", i + 1),
+        })?;
+        if !slot.is_finite() {
+            return Err(TraceIoError::Parse {
+                line: line_no,
+                message: format!("field {} is not finite", i + 1),
+            });
+        }
+    }
+    if it.next().is_some() {
+        return Err(TraceIoError::Parse {
+            line: line_no,
+            message: format!("more than {N} fields"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Vec<TimedFov> {
+        (0..10)
+            .map(|i| {
+                TimedFov::new(
+                    f64::from(i) * 0.04,
+                    Fov::new(
+                        LatLon::new(40.0 + f64::from(i) * 1e-5, 116.32),
+                        f64::from(i) * 3.0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &trace).unwrap();
+        let back = read_trace_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in back.iter().zip(&trace) {
+            assert!((a.t - b.t).abs() < 1e-3);
+            assert!(a.fov.p.distance_m(b.fov.p) < 0.02);
+            assert!((a.fov.theta - b.fov.theta).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reps_round_trip() {
+        let reps = vec![
+            RepFov::new(0.0, 5.5, Fov::new(LatLon::new(40.0, 116.32), 10.0)),
+            RepFov::new(6.0, 9.25, Fov::new(LatLon::new(40.001, 116.321), 350.0)),
+        ];
+        let mut buf = Vec::new();
+        write_reps_csv(&mut buf, &reps).unwrap();
+        let back = read_reps_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!((back[1].t_end - 9.25).abs() < 1e-3);
+        assert!((back[1].fov.theta - 350.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let csv = "# exported by some tool\n\nt,lat,lng,theta\n0.0,40.0,116.3,90.0\n\n# trailing\n1.0,40.0,116.3,91.0\n";
+        let trace = read_trace_csv(csv.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_trace_csv("0.0,40.0,116.3,90.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }));
+        let err = read_trace_csv("".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 0, .. }));
+    }
+
+    #[test]
+    fn malformed_rows_report_line_numbers() {
+        let csv = "t,lat,lng,theta\n0.0,40.0,116.3,90.0\nnot,a,number,here\n";
+        let err = read_trace_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 3, .. }), "{err}");
+
+        let csv = "t,lat,lng,theta\n0.0,40.0,116.3\n";
+        let err = read_trace_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 2, .. }));
+
+        let csv = "t,lat,lng,theta\n0.0,40.0,116.3,90.0,extra\n";
+        assert!(read_trace_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let csv = "t,lat,lng,theta\nNaN,40.0,116.3,90.0\n";
+        assert!(read_trace_csv(csv.as_bytes()).is_err());
+        let csv = "t,lat,lng,theta\n0.0,inf,116.3,90.0\n";
+        assert!(read_trace_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn inverted_rep_interval_rejected() {
+        let csv = "t_start,t_end,lat,lng,theta\n5.0,1.0,40.0,116.3,0.0\n";
+        assert!(read_reps_csv(csv.as_bytes()).is_err());
+    }
+}

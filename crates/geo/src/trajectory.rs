@@ -1,0 +1,245 @@
+//! Geographic trajectories: polylines of positions with length,
+//! resampling and Douglas-Peucker simplification.
+//!
+//! Used for trace analytics and for compressing position streams before
+//! export (simplification keeps the path shape within a metric tolerance
+//! using far fewer vertices).
+
+use crate::latlon::LatLon;
+use crate::local::LocalFrame;
+use crate::vec2::Vec2;
+
+/// An ordered sequence of geographic positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    points: Vec<LatLon>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from positions (any length, including empty).
+    pub fn new(points: Vec<LatLon>) -> Self {
+        Trajectory { points }
+    }
+
+    /// The vertices.
+    pub fn points(&self) -> &[LatLon] {
+        &self.points
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total path length in metres (planar model).
+    pub fn length_m(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance_m(w[1]))
+            .sum()
+    }
+
+    /// The position `dist_m` metres along the path (clamped to the ends).
+    ///
+    /// # Panics
+    /// Panics on an empty trajectory.
+    pub fn point_at(&self, dist_m: f64) -> LatLon {
+        assert!(!self.points.is_empty(), "empty trajectory");
+        if self.points.len() == 1 || dist_m <= 0.0 {
+            return self.points[0];
+        }
+        let mut remaining = dist_m;
+        for w in self.points.windows(2) {
+            let seg = w[0].distance_m(w[1]);
+            if seg > 0.0 && remaining <= seg {
+                let d = w[0].displacement_to(w[1]);
+                return w[0].offset_by(d * (remaining / seg));
+            }
+            remaining -= seg;
+        }
+        *self.points.last().expect("non-empty")
+    }
+
+    /// Resamples the path at a fixed metre spacing (both endpoints kept).
+    pub fn resample_m(&self, spacing_m: f64) -> Trajectory {
+        assert!(spacing_m > 0.0, "spacing must be positive");
+        if self.points.len() < 2 {
+            return self.clone();
+        }
+        let total = self.length_m();
+        let n = (total / spacing_m).floor() as usize;
+        let mut out: Vec<LatLon> = (0..=n)
+            .map(|i| self.point_at(i as f64 * spacing_m))
+            .collect();
+        let last = *self.points.last().expect("non-empty");
+        if out.last().is_none_or(|p| p.distance_m(last) > 1e-6) {
+            out.push(last);
+        }
+        Trajectory::new(out)
+    }
+
+    /// Douglas-Peucker simplification: the smallest vertex subset whose
+    /// polyline stays within `tolerance_m` of the original (planar model,
+    /// endpoints always kept).
+    pub fn simplify_m(&self, tolerance_m: f64) -> Trajectory {
+        assert!(tolerance_m >= 0.0, "tolerance must be non-negative");
+        if self.points.len() < 3 {
+            return self.clone();
+        }
+        // Work in a local metric frame anchored at the first vertex.
+        let frame = LocalFrame::new(self.points[0]);
+        let local: Vec<Vec2> = self.points.iter().map(|&p| frame.to_local(p)).collect();
+        let mut keep = vec![false; local.len()];
+        keep[0] = true;
+        keep[local.len() - 1] = true;
+        douglas_peucker(&local, 0, local.len() - 1, tolerance_m, &mut keep);
+        Trajectory::new(
+            self.points
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(&p, _)| p)
+                .collect(),
+        )
+    }
+}
+
+/// Marks the vertices to keep between `lo` and `hi` (exclusive interior).
+#[allow(clippy::needless_range_loop)] // the index itself is the result
+fn douglas_peucker(pts: &[Vec2], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (a, b) = (pts[lo], pts[hi]);
+    let mut worst = lo;
+    let mut worst_d = -1.0;
+    for i in (lo + 1)..hi {
+        let d = point_segment_distance(pts[i], a, b);
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d > tol {
+        keep[worst] = true;
+        douglas_peucker(pts, lo, worst, tol, keep);
+        douglas_peucker(pts, worst, hi, tol, keep);
+    }
+}
+
+fn point_segment_distance(p: Vec2, a: Vec2, b: Vec2) -> f64 {
+    let ab = b - a;
+    let len_sq = ab.norm_sq();
+    if len_sq < 1e-18 {
+        return p.distance(a);
+    }
+    let t = ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    p.distance(a + ab * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    /// A straight north path with given vertex spacing.
+    fn straight(n: usize, step_m: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| origin().offset(0.0, i as f64 * step_m))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn length_of_straight_path() {
+        let t = straight(11, 10.0);
+        assert!((t.length_m() - 100.0).abs() < 0.01);
+        assert!(Trajectory::new(vec![]).is_empty());
+        assert_eq!(Trajectory::new(vec![origin()]).length_m(), 0.0);
+    }
+
+    #[test]
+    fn point_at_interpolates_and_clamps() {
+        let t = straight(3, 50.0);
+        assert!(t.point_at(-5.0).distance_m(origin()) < 1e-6);
+        let mid = t.point_at(75.0);
+        assert!((origin().distance_m(mid) - 75.0).abs() < 0.01);
+        let end = t.point_at(1e6);
+        assert!((origin().distance_m(end) - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn resample_spacing_is_uniform() {
+        let t = straight(3, 50.0); // 100 m total
+        let r = t.resample_m(10.0);
+        assert_eq!(r.len(), 11);
+        for w in r.points().windows(2) {
+            assert!((w[0].distance_m(w[1]) - 10.0).abs() < 0.05);
+        }
+        // Endpoints preserved.
+        assert!(r.points()[0].distance_m(origin()) < 1e-6);
+        assert!(r.points()[10].distance_m(t.point_at(100.0)) < 0.05);
+    }
+
+    #[test]
+    fn simplify_collapses_collinear_points() {
+        let t = straight(101, 1.0);
+        let s = t.simplify_m(0.5);
+        assert_eq!(s.len(), 2, "straight line should keep only endpoints");
+        assert!((s.length_m() - t.length_m()).abs() < 0.01);
+    }
+
+    #[test]
+    fn simplify_keeps_corners() {
+        // An L: 50 m north then 50 m east.
+        let mut pts: Vec<LatLon> = (0..=50).map(|i| origin().offset(0.0, f64::from(i))).collect();
+        let corner = pts[50];
+        pts.extend((1..=50).map(|i| corner.offset(90.0, f64::from(i))));
+        let t = Trajectory::new(pts);
+        let s = t.simplify_m(1.0);
+        assert_eq!(s.len(), 3, "endpoints + the corner");
+        assert!(s.points()[1].distance_m(corner) < 0.5);
+    }
+
+    #[test]
+    fn simplify_respects_tolerance() {
+        // A zig-zag with 3 m amplitude: a 5 m tolerance flattens it, a
+        // 1 m tolerance keeps the zigs.
+        let pts: Vec<LatLon> = (0..40)
+            .map(|i| {
+                let east = if i % 2 == 0 { 0.0 } else { 3.0 };
+                origin()
+                    .offset(0.0, f64::from(i) * 5.0)
+                    .offset(90.0, east)
+            })
+            .collect();
+        let t = Trajectory::new(pts);
+        let coarse = t.simplify_m(5.0);
+        let fine = t.simplify_m(1.0);
+        assert!(coarse.len() < 6, "coarse kept {}", coarse.len());
+        assert!(fine.len() > 20, "fine kept {}", fine.len());
+        // Simplification never increases vertex count or length.
+        assert!(coarse.length_m() <= t.length_m() + 1e-6);
+    }
+
+    #[test]
+    fn degenerate_trajectories_survive() {
+        for t in [
+            Trajectory::new(vec![]),
+            Trajectory::new(vec![origin()]),
+            Trajectory::new(vec![origin(), origin()]),
+        ] {
+            let s = t.simplify_m(1.0);
+            assert_eq!(s.len(), t.len());
+        }
+    }
+}

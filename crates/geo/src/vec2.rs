@@ -1,0 +1,240 @@
+//! Plain 2-D vector math over `f64`, in the east-north metre frame.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D vector (or point) in metres. `x` is east, `y` is north.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Eastward component in metres.
+    pub x: f64,
+    /// Northward component in metres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its east (`x`) and north (`y`) components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector pointing along a compass azimuth (degrees clockwise from
+    /// north): `0° → (0, 1)`, `90° → (1, 0)`.
+    #[inline]
+    pub fn from_azimuth_deg(azimuth: f64) -> Self {
+        let r = azimuth.to_radians();
+        Vec2::new(r.sin(), r.cos())
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the 3-D cross product (`self × other`).
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Distance between two points.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (other - self).norm()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` for (near-)zero
+    /// vectors.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Compass azimuth of this vector in degrees `[0, 360)`.
+    ///
+    /// The zero vector maps to `0°` (north) by convention.
+    pub fn azimuth_deg(self) -> f64 {
+        if self.norm_sq() < 1e-24 {
+            return 0.0;
+        }
+        crate::angle::normalize_deg(self.x.atan2(self.y).to_degrees())
+    }
+
+    /// Rotates the vector by `deg` degrees **clockwise** (the compass
+    /// direction of increasing azimuth).
+    pub fn rotate_cw_deg(self, deg: f64) -> Vec2 {
+        let r = deg.to_radians();
+        let (s, c) = r.sin_cos();
+        // Clockwise in the east-north frame is a negative mathematical angle.
+        Vec2::new(self.x * c + self.y * s, -self.x * s + self.y * c)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn azimuth_cardinal_directions() {
+        assert!(close(Vec2::new(0.0, 1.0).azimuth_deg(), 0.0));
+        assert!(close(Vec2::new(1.0, 0.0).azimuth_deg(), 90.0));
+        assert!(close(Vec2::new(0.0, -1.0).azimuth_deg(), 180.0));
+        assert!(close(Vec2::new(-1.0, 0.0).azimuth_deg(), 270.0));
+    }
+
+    #[test]
+    fn from_azimuth_round_trips() {
+        for az in [0.0, 45.0, 90.0, 135.5, 210.0, 359.0] {
+            let v = Vec2::from_azimuth_deg(az);
+            assert!(close(v.norm(), 1.0));
+            assert!(close(v.azimuth_deg(), az), "azimuth {az}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_azimuth_is_north() {
+        assert_eq!(Vec2::ZERO.azimuth_deg(), 0.0);
+    }
+
+    #[test]
+    fn rotate_cw_quarter_turn() {
+        let north = Vec2::new(0.0, 1.0);
+        let east = north.rotate_cw_deg(90.0);
+        assert!(close(east.x, 1.0) && close(east.y, 0.0));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec2::new(3.0, -4.0);
+        assert!(close(v.rotate_cw_deg(123.4).norm(), 5.0));
+    }
+
+    #[test]
+    fn dot_and_cross_orthogonality() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 2.0);
+        assert!(close(a.dot(b), 0.0));
+        assert!(close(a.cross(b), 2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert!(close(m.x, 5.0) && close(m.y, -1.0));
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let v = Vec2::new(0.0, 5.0).normalized().unwrap();
+        assert!(close(v.norm(), 1.0));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 5.0);
+        assert_eq!(a + b, Vec2::new(4.0, 7.0));
+        assert_eq!(b - a, Vec2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Vec2::new(1.5, 2.5));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Vec2::new(4.0, 7.0));
+        c -= b;
+        assert_eq!(c, a);
+    }
+}

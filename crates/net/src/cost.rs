@@ -1,0 +1,44 @@
+//! Monetary cost of cellular data.
+
+use serde::{Deserialize, Serialize};
+
+/// A data plan charging per megabyte.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPlan {
+    /// Price per megabyte (10⁶ bytes), in arbitrary currency units.
+    pub cost_per_mb: f64,
+}
+
+impl DataPlan {
+    /// A typical metered plan: 0.01 units/MB.
+    pub fn metered() -> Self {
+        DataPlan { cost_per_mb: 0.01 }
+    }
+
+    /// Cost of transferring `bytes`.
+    pub fn cost(&self, bytes: usize) -> f64 {
+        self.cost_per_mb * bytes as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_proportional() {
+        let p = DataPlan { cost_per_mb: 0.5 };
+        assert!((p.cost(2_000_000) - 1.0).abs() < 1e-12);
+        assert_eq!(p.cost(0), 0.0);
+    }
+
+    #[test]
+    fn descriptor_upload_costs_next_to_nothing() {
+        // A day of segments (10 000 descriptors à 22 B) vs. one minute of
+        // 720p video (~15 MB at 2 Mbps).
+        let p = DataPlan::metered();
+        let descriptors = p.cost(10_000 * 22);
+        let video_minute = p.cost(15_000_000);
+        assert!(descriptors < video_minute / 50.0);
+    }
+}

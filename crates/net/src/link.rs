@@ -1,0 +1,120 @@
+//! Link models: bandwidth, latency, loss.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link with fixed uplink bandwidth, propagation latency
+/// and independent per-transfer loss probability (lost transfers are
+/// retried, inflating the expected time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Uplink bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency, seconds.
+    pub latency_s: f64,
+    /// Probability that a transfer must be retried, `[0, 1)`.
+    pub loss_prob: f64,
+}
+
+impl NetworkLink {
+    /// A congested 3G cellular uplink: 1 Mbps, 150 ms, 5 % loss.
+    pub fn cellular_3g() -> Self {
+        NetworkLink {
+            bandwidth_bps: 1e6,
+            latency_s: 0.150,
+            loss_prob: 0.05,
+        }
+    }
+
+    /// A typical LTE uplink: 10 Mbps, 50 ms, 1 % loss.
+    pub fn cellular_4g() -> Self {
+        NetworkLink {
+            bandwidth_bps: 10e6,
+            latency_s: 0.050,
+            loss_prob: 0.01,
+        }
+    }
+
+    /// Home/campus WiFi: 40 Mbps, 10 ms, negligible loss.
+    pub fn wifi() -> Self {
+        NetworkLink {
+            bandwidth_bps: 40e6,
+            latency_s: 0.010,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Expected time to deliver `bytes` over this link, including latency
+    /// and retries.
+    ///
+    /// ```
+    /// use swag_net::NetworkLink;
+    /// // A day's descriptors (50 kB) move in well under a second even on 3G…
+    /// assert!(NetworkLink::cellular_3g().transfer_time_s(50_000) < 1.0);
+    /// // …while a minute of 720p video (~37.5 MB) takes minutes.
+    /// assert!(NetworkLink::cellular_3g().transfer_time_s(37_500_000) > 60.0);
+    /// ```
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&self.loss_prob),
+            "loss probability must be in [0, 1)"
+        );
+        let one_shot = self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps;
+        // Geometric retries: expected attempts = 1 / (1 − p).
+        one_shot / (1.0 - self.loss_prob)
+    }
+
+    /// Bytes deliverable in `seconds` (ignoring latency), for sizing
+    /// uploads against recording time.
+    pub fn throughput_bytes(&self, seconds: f64) -> f64 {
+        self.bandwidth_bps * seconds / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let l = NetworkLink::wifi();
+        let t1 = l.transfer_time_s(1_000_000);
+        let t2 = l.transfer_time_s(2_000_000);
+        assert!((t2 - t1 - 1_000_000.0 * 8.0 / l.bandwidth_bps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let l = NetworkLink::cellular_4g();
+        let t = l.transfer_time_s(22); // one FoV descriptor
+        assert!(t < 0.06, "tiny transfer took {t}s");
+        assert!(t >= l.latency_s);
+    }
+
+    #[test]
+    fn loss_inflates_expected_time() {
+        let mut l = NetworkLink::wifi();
+        let base = l.transfer_time_s(1_000_000);
+        l.loss_prob = 0.5;
+        assert!((l.transfer_time_s(1_000_000) - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let mb = 1_000_000;
+        assert!(
+            NetworkLink::wifi().transfer_time_s(mb)
+                < NetworkLink::cellular_4g().transfer_time_s(mb)
+        );
+        assert!(
+            NetworkLink::cellular_4g().transfer_time_s(mb)
+                < NetworkLink::cellular_3g().transfer_time_s(mb)
+        );
+    }
+
+    #[test]
+    fn throughput_inverts_transfer() {
+        let l = NetworkLink::cellular_4g();
+        let bytes = l.throughput_bytes(10.0);
+        assert!((bytes - 12.5e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Byte and message accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates traffic statistics for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficMeter {
+    /// Bytes sent.
+    pub bytes_up: u64,
+    /// Bytes received.
+    pub bytes_down: u64,
+    /// Messages sent.
+    pub messages_up: u64,
+    /// Messages received.
+    pub messages_down: u64,
+}
+
+impl TrafficMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an outgoing message of `bytes`.
+    pub fn record_up(&mut self, bytes: usize) {
+        self.bytes_up += bytes as u64;
+        self.messages_up += 1;
+    }
+
+    /// Records an incoming message of `bytes`.
+    pub fn record_down(&mut self, bytes: usize) {
+        self.bytes_down += bytes as u64;
+        self.messages_down += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &TrafficMeter) {
+        self.bytes_up += other.bytes_up;
+        self.bytes_down += other.bytes_down;
+        self.messages_up += other.messages_up;
+        self.messages_down += other.messages_down;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = TrafficMeter::new();
+        m.record_up(100);
+        m.record_up(50);
+        m.record_down(7);
+        assert_eq!(m.bytes_up, 150);
+        assert_eq!(m.messages_up, 2);
+        assert_eq!(m.bytes_down, 7);
+        assert_eq!(m.total_bytes(), 157);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TrafficMeter::new();
+        a.record_up(10);
+        let mut b = TrafficMeter::new();
+        b.record_down(20);
+        b.record_up(5);
+        a.merge(&b);
+        assert_eq!(a.bytes_up, 15);
+        assert_eq!(a.bytes_down, 20);
+        assert_eq!(a.messages_up, 2);
+        assert_eq!(a.messages_down, 1);
+    }
+}

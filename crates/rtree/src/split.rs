@@ -1,0 +1,404 @@
+//! Node splitting strategies (Guttman 1984, §3.5).
+//!
+//! When a node overflows, its `M + 1` entries are partitioned into two
+//! groups, each of at least `m` entries. Three algorithms are provided:
+//!
+//! * [`SplitStrategy::Quadratic`] — Guttman's quadratic split: pick the
+//!   pair of entries that would waste the most area together as seeds,
+//!   then assign each remaining entry to the group whose MBR it enlarges
+//!   least. The classic default.
+//! * [`SplitStrategy::Linear`] — Guttman's linear split: pick seeds by
+//!   the greatest normalised separation along any dimension, then assign
+//!   greedily. Faster splits, slightly worse trees.
+//! * [`SplitStrategy::RStar`] — the R*-tree topological split (Beckmann
+//!   et al. 1990): axis by minimum margin sum, distribution by minimum
+//!   overlap. Better-clustered nodes, costlier splits.
+//!
+//! All three feed the split-strategy ablation bench
+//! (`benches/rtree.rs`).
+
+use crate::mbr::Aabb;
+
+/// How overflowing nodes are split. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Guttman's quadratic-cost split (default).
+    #[default]
+    Quadratic,
+    /// Guttman's linear-cost split.
+    Linear,
+    /// The R*-tree topological split (Beckmann et al. 1990): choose the
+    /// split axis by minimum margin sum, then the distribution by minimum
+    /// overlap. Produces better-clustered nodes at a higher split cost.
+    RStar,
+}
+
+/// Splits `entries` (length ≥ 2) into two groups of at least `min_entries`
+/// each, returning the groups and their MBRs.
+///
+/// `mbr_of` projects an entry to its bounding box.
+pub fn split<E, const D: usize>(
+    strategy: SplitStrategy,
+    entries: Vec<E>,
+    min_entries: usize,
+    mbr_of: impl Fn(&E) -> Aabb<D>,
+) -> (Vec<E>, Aabb<D>, Vec<E>, Aabb<D>) {
+    debug_assert!(entries.len() >= 2);
+    debug_assert!(entries.len() >= 2 * min_entries);
+    let (seed_a, seed_b) = match strategy {
+        SplitStrategy::Quadratic => pick_seeds_quadratic(&entries, &mbr_of),
+        SplitStrategy::Linear => pick_seeds_linear(&entries, &mbr_of),
+        SplitStrategy::RStar => return split_rstar(entries, min_entries, mbr_of),
+    };
+
+    let n = entries.len();
+    let mut remaining: Vec<Option<E>> = entries.into_iter().map(Some).collect();
+    let a0 = remaining[seed_a].take().expect("seed A present");
+    let b0 = remaining[seed_b].take().expect("seed B present");
+    let mut mbr_a = mbr_of(&a0);
+    let mut mbr_b = mbr_of(&b0);
+    let mut group_a = vec![a0];
+    let mut group_b = vec![b0];
+
+    let mut left = n - 2;
+    while left > 0 {
+        // If one group must absorb everything remaining to reach the
+        // minimum, hand the rest over.
+        if group_a.len() + left == min_entries {
+            for slot in remaining.iter_mut() {
+                if let Some(e) = slot.take() {
+                    mbr_a = mbr_a.union(&mbr_of(&e));
+                    group_a.push(e);
+                }
+            }
+            break;
+        }
+        if group_b.len() + left == min_entries {
+            for slot in remaining.iter_mut() {
+                if let Some(e) = slot.take() {
+                    mbr_b = mbr_b.union(&mbr_of(&e));
+                    group_b.push(e);
+                }
+            }
+            break;
+        }
+
+        // PickNext: the entry with the greatest preference for one group.
+        let mut best_idx = usize::MAX;
+        let mut best_pref = -1.0;
+        let mut best_da = 0.0;
+        let mut best_db = 0.0;
+        for (i, slot) in remaining.iter().enumerate() {
+            if let Some(e) = slot {
+                let m = mbr_of(e);
+                let da = mbr_a.enlargement(&m);
+                let db = mbr_b.enlargement(&m);
+                let pref = (da - db).abs();
+                if pref > best_pref {
+                    best_pref = pref;
+                    best_idx = i;
+                    best_da = da;
+                    best_db = db;
+                }
+            }
+        }
+        let e = remaining[best_idx].take().expect("best entry present");
+        let m = mbr_of(&e);
+        // Resolve ties by smaller area, then smaller group.
+        let to_a = if best_da < best_db {
+            true
+        } else if best_db < best_da {
+            false
+        } else if mbr_a.area() != mbr_b.area() {
+            mbr_a.area() < mbr_b.area()
+        } else {
+            group_a.len() <= group_b.len()
+        };
+        if to_a {
+            mbr_a = mbr_a.union(&m);
+            group_a.push(e);
+        } else {
+            mbr_b = mbr_b.union(&m);
+            group_b.push(e);
+        }
+        left -= 1;
+    }
+
+    (group_a, mbr_a, group_b, mbr_b)
+}
+
+/// The R*-tree topological split.
+///
+/// For every axis and both sort keys (lower bound, upper bound), every
+/// legal distribution (first group of `k ∈ [m, n−m]` entries) is scored.
+/// The axis minimising the **margin sum** over all its distributions is
+/// chosen; along that axis, the distribution with the smallest **overlap**
+/// (ties: smallest total area) wins.
+fn split_rstar<E, const D: usize>(
+    entries: Vec<E>,
+    min_entries: usize,
+    mbr_of: impl Fn(&E) -> Aabb<D>,
+) -> (Vec<E>, Aabb<D>, Vec<E>, Aabb<D>) {
+    let n = entries.len();
+    let mbrs: Vec<Aabb<D>> = entries.iter().map(&mbr_of).collect();
+
+    /// Per-(axis, sort-key) evaluation: margin sum plus the best
+    /// distribution under the overlap/area criterion.
+    struct AxisScore {
+        order: Vec<usize>,
+        margin_sum: f64,
+        best_k: usize,
+        best_overlap: f64,
+        best_area: f64,
+    }
+
+    let evaluate = |order: Vec<usize>| -> AxisScore {
+        // Prefix MBRs from the left, suffix MBRs from the right.
+        let mut prefix: Vec<Aabb<D>> = Vec::with_capacity(n);
+        let mut acc = mbrs[order[0]];
+        for &i in &order {
+            acc = acc.union(&mbrs[i]);
+            prefix.push(acc);
+        }
+        let mut suffix: Vec<Aabb<D>> = vec![mbrs[order[n - 1]]; n];
+        let mut acc = mbrs[order[n - 1]];
+        for pos in (0..n - 1).rev() {
+            acc = acc.union(&mbrs[order[pos]]);
+            suffix[pos] = acc;
+        }
+
+        let mut margin_sum = 0.0;
+        let mut best_k = min_entries;
+        let mut best_overlap = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for k in min_entries..=(n - min_entries) {
+            let (a, b) = (&prefix[k - 1], &suffix[k]);
+            margin_sum += a.margin() + b.margin();
+            let overlap = a.overlap_area(b);
+            let area = a.area() + b.area();
+            if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+                best_overlap = overlap;
+                best_area = area;
+                best_k = k;
+            }
+        }
+        AxisScore {
+            order,
+            margin_sum,
+            best_k,
+            best_overlap,
+            best_area,
+        }
+    };
+
+    let mut best: Option<AxisScore> = None;
+    let mut best_axis_margin = f64::INFINITY;
+    for d in 0..D {
+        for by_upper in [false, true] {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by(|&i, &j| {
+                let (a, b) = (&mbrs[i], &mbrs[j]);
+                if by_upper {
+                    a.max[d].total_cmp(&b.max[d]).then(a.min[d].total_cmp(&b.min[d]))
+                } else {
+                    a.min[d].total_cmp(&b.min[d]).then(a.max[d].total_cmp(&b.max[d]))
+                }
+            });
+            let score = evaluate(order);
+            // Axis choice by margin sum; within an axis (and across its
+            // two sort keys) keep the better overlap/area distribution.
+            let replace = match &best {
+                None => true,
+                Some(b) => {
+                    score.margin_sum < best_axis_margin
+                        || (score.margin_sum == best_axis_margin
+                            && (score.best_overlap, score.best_area)
+                                < (b.best_overlap, b.best_area))
+                }
+            };
+            if replace {
+                best_axis_margin = best_axis_margin.min(score.margin_sum);
+                best = Some(score);
+            }
+        }
+    }
+    let chosen = best.expect("at least one axis evaluated");
+
+    // Materialise the two groups in the chosen order.
+    let mut slots: Vec<Option<E>> = entries.into_iter().map(Some).collect();
+    let mut group_a = Vec::with_capacity(chosen.best_k);
+    let mut group_b = Vec::with_capacity(n - chosen.best_k);
+    for (pos, &idx) in chosen.order.iter().enumerate() {
+        let e = slots[idx].take().expect("each index visited once");
+        if pos < chosen.best_k {
+            group_a.push(e);
+        } else {
+            group_b.push(e);
+        }
+    }
+    let mbr_a = group_a
+        .iter()
+        .map(&mbr_of)
+        .reduce(|a, b| a.union(&b))
+        .expect("group A non-empty");
+    let mbr_b = group_b
+        .iter()
+        .map(&mbr_of)
+        .reduce(|a, b| a.union(&b))
+        .expect("group B non-empty");
+    (group_a, mbr_a, group_b, mbr_b)
+}
+
+/// Quadratic PickSeeds: the pair wasting the most area when joined.
+fn pick_seeds_quadratic<E, const D: usize>(
+    entries: &[E],
+    mbr_of: &impl Fn(&E) -> Aabb<D>,
+) -> (usize, usize) {
+    let mbrs: Vec<Aabb<D>> = entries.iter().map(mbr_of).collect();
+    let mut best = (0, 1);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..mbrs.len() {
+        for j in (i + 1)..mbrs.len() {
+            let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+/// Linear PickSeeds: the pair with the greatest normalised separation
+/// along any single dimension.
+fn pick_seeds_linear<E, const D: usize>(
+    entries: &[E],
+    mbr_of: &impl Fn(&E) -> Aabb<D>,
+) -> (usize, usize) {
+    let mbrs: Vec<Aabb<D>> = entries.iter().map(mbr_of).collect();
+    let mut best = (0, 1);
+    let mut best_sep = f64::NEG_INFINITY;
+    for d in 0..D {
+        // Highest low side and lowest high side.
+        let (mut hi_low_i, mut lo_high_i) = (0, 0);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, m) in mbrs.iter().enumerate() {
+            if m.min[d] > mbrs[hi_low_i].min[d] {
+                hi_low_i = i;
+            }
+            if m.max[d] < mbrs[lo_high_i].max[d] {
+                lo_high_i = i;
+            }
+            lo = lo.min(m.min[d]);
+            hi = hi.max(m.max[d]);
+        }
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        let sep = (mbrs[hi_low_i].min[d] - mbrs[lo_high_i].max[d]) / width;
+        if sep > best_sep && hi_low_i != lo_high_i {
+            best_sep = sep;
+            best = (lo_high_i, hi_low_i);
+        }
+    }
+    // All entries identical along every dimension: fall back to (0, 1).
+    if best.0 == best.1 {
+        best = (0, 1);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(points: &[f64]) -> Vec<Aabb<1>> {
+        points.iter().map(|&x| Aabb::from_point([x])).collect()
+    }
+
+    fn run(strategy: SplitStrategy, points: &[f64], min: usize) -> (Vec<Aabb<1>>, Vec<Aabb<1>>) {
+        let (a, ma, b, mb) = split(strategy, boxes(points), min, |e| *e);
+        // MBRs are consistent.
+        let union = |g: &[Aabb<1>]| g.iter().fold(g[0], |acc, x| acc.union(x));
+        assert_eq!(union(&a), ma);
+        assert_eq!(union(&b), mb);
+        (a, b)
+    }
+
+    #[test]
+    fn quadratic_separates_clusters() {
+        let (a, b) = run(SplitStrategy::Quadratic, &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0], 2);
+        assert_eq!(a.len() + b.len(), 6);
+        // Each group is one cluster.
+        let (lo, hi) = if a[0].min[0] < 50.0 { (&a, &b) } else { (&b, &a) };
+        assert!(lo.iter().all(|m| m.min[0] < 50.0));
+        assert!(hi.iter().all(|m| m.min[0] > 50.0));
+    }
+
+    #[test]
+    fn rstar_separates_clusters() {
+        let (a, b) = run(SplitStrategy::RStar, &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0], 2);
+        let (lo, hi) = if a[0].min[0] < 50.0 { (&a, &b) } else { (&b, &a) };
+        assert!(lo.iter().all(|m| m.min[0] < 50.0));
+        assert!(hi.iter().all(|m| m.min[0] > 50.0));
+    }
+
+    #[test]
+    fn rstar_picks_low_overlap_distribution_in_2d() {
+        // Two vertical strips of boxes: splitting along x gives zero
+        // overlap; splitting along y would overlap heavily. R* must pick x.
+        let mut boxes2: Vec<Aabb<2>> = Vec::new();
+        for i in 0..4 {
+            boxes2.push(Aabb::new([0.0, i as f64], [1.0, i as f64 + 1.0]));
+            boxes2.push(Aabb::new([10.0, i as f64], [11.0, i as f64 + 1.0]));
+        }
+        let (a, ma, b, mb) = split(SplitStrategy::RStar, boxes2, 2, |e| *e);
+        assert_eq!(a.len() + b.len(), 8);
+        assert_eq!(ma.overlap_area(&mb), 0.0, "{ma:?} vs {mb:?}");
+    }
+
+    #[test]
+    fn linear_separates_clusters() {
+        let (a, b) = run(SplitStrategy::Linear, &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0], 2);
+        let (lo, hi) = if a[0].min[0] < 50.0 { (&a, &b) } else { (&b, &a) };
+        assert!(lo.iter().all(|m| m.min[0] < 50.0));
+        assert!(hi.iter().all(|m| m.min[0] > 50.0));
+    }
+
+    #[test]
+    fn minimum_group_sizes_are_respected() {
+        for strategy in [
+            SplitStrategy::Quadratic,
+            SplitStrategy::Linear,
+            SplitStrategy::RStar,
+        ] {
+            // Adversarial: one far outlier tempts the split to put a lone
+            // entry in its own group.
+            let (a, b) = run(strategy, &[0.0, 0.1, 0.2, 0.3, 0.4, 1000.0], 3);
+            assert!(a.len() >= 3 && b.len() >= 3, "{strategy:?}: {} vs {}", a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn identical_entries_still_split() {
+        for strategy in [
+            SplitStrategy::Quadratic,
+            SplitStrategy::Linear,
+            SplitStrategy::RStar,
+        ] {
+            let (a, b) = run(strategy, &[5.0; 8], 3);
+            assert_eq!(a.len() + b.len(), 8);
+            assert!(a.len() >= 3 && b.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn two_entries_split_into_singletons() {
+        for strategy in [
+            SplitStrategy::Quadratic,
+            SplitStrategy::Linear,
+            SplitStrategy::RStar,
+        ] {
+            let (a, _, b, _) = split(strategy, boxes(&[1.0, 2.0]), 1, |e| *e);
+            assert_eq!((a.len(), b.len()), (1, 1));
+        }
+    }
+}

@@ -1,0 +1,915 @@
+//! The dynamic R-tree structure: insert, range search, k-NN, delete.
+
+use std::collections::BinaryHeap;
+
+use crate::mbr::Aabb;
+use crate::split::{split, SplitStrategy};
+
+/// Arena index of a node.
+pub(crate) type NodeId = usize;
+
+/// Tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node `M` (≥ 4).
+    pub max_entries: usize,
+    /// Minimum entries per non-root node `m` (`2 ≤ m ≤ M/2`).
+    pub min_entries: usize,
+    /// Node split algorithm.
+    pub split: SplitStrategy,
+    /// R*-style forced reinsertion: on the first leaf overflow of an
+    /// insertion, evict this fraction of the node's entries (those
+    /// farthest from the node centre) and re-insert them instead of
+    /// splitting. `0.0` disables; the R*-tree paper recommends `0.3`.
+    /// Must lie in `[0, 0.45]` so the remaining node keeps ≥ m entries.
+    pub reinsert_fraction: f64,
+}
+
+impl Default for RTreeConfig {
+    /// `M = 16`, `m = 6` (≈ 40 % fill), quadratic split, no forced
+    /// reinsertion — a common all-round configuration.
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 16,
+            min_entries: 6,
+            split: SplitStrategy::Quadratic,
+            reinsert_fraction: 0.0,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// The full R*-tree configuration: R* split plus 30 % forced
+    /// reinsertion.
+    pub fn rstar() -> Self {
+        RTreeConfig {
+            split: SplitStrategy::RStar,
+            reinsert_fraction: 0.3,
+            ..RTreeConfig::default()
+        }
+    }
+
+    /// Validates the parameter combination.
+    fn validate(&self) {
+        assert!(self.max_entries >= 4, "max_entries must be ≥ 4");
+        assert!(
+            self.min_entries >= 2 && 2 * self.min_entries <= self.max_entries,
+            "min_entries must satisfy 2 ≤ m ≤ M/2 (got m = {}, M = {})",
+            self.min_entries,
+            self.max_entries
+        );
+        assert!(
+            (0.0..=0.45).contains(&self.reinsert_fraction),
+            "reinsert_fraction must be in [0, 0.45], got {}",
+            self.reinsert_fraction
+        );
+    }
+}
+
+/// A leaf payload with its bounding box.
+#[derive(Debug, Clone)]
+pub(crate) struct Item<T, const D: usize> {
+    pub(crate) mbr: Aabb<D>,
+    pub(crate) value: T,
+}
+
+/// An internal child pointer with the child's bounding box.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Child<const D: usize> {
+    pub(crate) mbr: Aabb<D>,
+    pub(crate) node: NodeId,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node<T, const D: usize> {
+    Leaf(Vec<Item<T, D>>),
+    Internal(Vec<Child<D>>),
+}
+
+/// Structural statistics, exposed for benchmarks and invariant checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeStats {
+    /// Number of stored items.
+    pub len: usize,
+    /// Tree height (1 = root is a leaf).
+    pub height: usize,
+    /// Live node count.
+    pub nodes: usize,
+}
+
+/// A dynamic R-tree over `D`-dimensional boxes with payloads of type `T`.
+///
+/// See the [crate docs](crate) for an overview and example.
+#[derive(Debug, Clone)]
+pub struct RTree<T, const D: usize> {
+    pub(crate) nodes: Vec<Node<T, D>>,
+    pub(crate) free: Vec<NodeId>,
+    pub(crate) root: NodeId,
+    /// Depth of leaves below the root (0 = root is a leaf).
+    pub(crate) height: usize,
+    pub(crate) len: usize,
+    pub(crate) config: RTreeConfig,
+}
+
+impl<T, const D: usize> Default for RTree<T, D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const D: usize> RTree<T, D> {
+    /// Creates an empty tree with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(RTreeConfig::default())
+    }
+
+    /// Creates an empty tree with a custom configuration.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations (see [`RTreeConfig`]).
+    pub fn with_config(config: RTreeConfig) -> Self {
+        config.validate();
+        RTree {
+            nodes: vec![Node::Leaf(Vec::new())],
+            free: Vec::new(),
+            root: 0,
+            height: 0,
+            len: 0,
+            config,
+        }
+    }
+
+    /// Number of stored items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The active configuration.
+    #[inline]
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> RTreeStats {
+        RTreeStats {
+            len: self.len,
+            height: self.height + 1,
+            nodes: self.nodes.len() - self.free.len(),
+        }
+    }
+
+    /// Removes all items, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.nodes.push(Node::Leaf(Vec::new()));
+        self.root = 0;
+        self.height = 0;
+        self.len = 0;
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node<T, D>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn node_mbr(&self, id: NodeId) -> Aabb<D> {
+        match &self.nodes[id] {
+            Node::Leaf(items) => fold_mbr(items.iter().map(|i| i.mbr)),
+            Node::Internal(children) => fold_mbr(children.iter().map(|c| c.mbr)),
+        }
+        .expect("node_mbr of empty node")
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts a value with its bounding box.
+    pub fn insert(&mut self, mbr: Aabb<D>, value: T) {
+        let allow_reinsert = self.config.reinsert_fraction > 0.0;
+        self.insert_impl(mbr, value, allow_reinsert);
+        self.len += 1;
+    }
+
+    /// Insertion without length bookkeeping; handles root splits and the
+    /// forced-reinsertion loop.
+    fn insert_impl(&mut self, mbr: Aabb<D>, value: T, allow_reinsert: bool) {
+        match self.insert_rec(self.root, &mbr, value, self.height, allow_reinsert) {
+            InsertOutcome::Done => {}
+            InsertOutcome::Split(sib_mbr, sibling) => {
+                // Root split: grow the tree.
+                let old_root_mbr = self.node_mbr(self.root);
+                let new_root = Node::Internal(vec![
+                    Child {
+                        mbr: old_root_mbr,
+                        node: self.root,
+                    },
+                    Child {
+                        mbr: sib_mbr,
+                        node: sibling,
+                    },
+                ]);
+                self.root = self.alloc(new_root);
+                self.height += 1;
+            }
+            InsertOutcome::Reinsert(evicted) => {
+                // Re-insert with reinsertion disabled so one insert
+                // triggers at most one eviction round.
+                for item in evicted {
+                    self.insert_impl(item.mbr, item.value, false);
+                }
+            }
+        }
+    }
+
+    /// Recursive insert.
+    fn insert_rec(
+        &mut self,
+        node: NodeId,
+        mbr: &Aabb<D>,
+        value: T,
+        depth: usize,
+        allow_reinsert: bool,
+    ) -> InsertOutcome<T, D> {
+        if depth == 0 {
+            // Leaf level.
+            let Node::Leaf(items) = &mut self.nodes[node] else {
+                unreachable!("depth 0 must be a leaf");
+            };
+            items.push(Item { mbr: *mbr, value });
+            if items.len() <= self.config.max_entries {
+                return InsertOutcome::Done;
+            }
+            // R* OverflowTreatment: on the first overflow of this insert,
+            // evict the farthest entries instead of splitting — unless the
+            // leaf *is* the root (nowhere to re-route through).
+            if allow_reinsert && node != self.root {
+                let evict = ((items.len() as f64) * self.config.reinsert_fraction).ceil() as usize;
+                let evict = evict.clamp(1, items.len() - self.config.min_entries);
+                let evicted = evict_farthest(items, evict);
+                return InsertOutcome::Reinsert(evicted);
+            }
+            let overflow = std::mem::take(items);
+            let (a, _mbr_a, b, mbr_b) =
+                split(self.config.split, overflow, self.config.min_entries, |i| i.mbr);
+            self.nodes[node] = Node::Leaf(a);
+            let sibling = self.alloc(Node::Leaf(b));
+            return InsertOutcome::Split(mbr_b, sibling);
+        }
+
+        // Choose the child needing the least enlargement (ties: least area).
+        let chosen = {
+            let Node::Internal(children) = &self.nodes[node] else {
+                unreachable!("positive depth must be internal");
+            };
+            let mut best = 0;
+            let mut best_enl = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for (i, c) in children.iter().enumerate() {
+                let enl = c.mbr.enlargement(mbr);
+                let area = c.mbr.area();
+                if enl < best_enl || (enl == best_enl && area < best_area) {
+                    best = i;
+                    best_enl = enl;
+                    best_area = area;
+                }
+            }
+            best
+        };
+
+        let child_id = match &self.nodes[node] {
+            Node::Internal(children) => children[chosen].node,
+            _ => unreachable!(),
+        };
+
+        let outcome = self.insert_rec(child_id, mbr, value, depth - 1, allow_reinsert);
+
+        // Refresh the chosen child's MBR (it changed in every outcome:
+        // grown by the insert, or shrunk by an eviction).
+        let new_child_mbr = self.node_mbr(child_id);
+        let Node::Internal(children) = &mut self.nodes[node] else {
+            unreachable!()
+        };
+        children[chosen].mbr = new_child_mbr;
+
+        match outcome {
+            InsertOutcome::Done => InsertOutcome::Done,
+            InsertOutcome::Reinsert(evicted) => InsertOutcome::Reinsert(evicted),
+            InsertOutcome::Split(sib_mbr, sib_id) => {
+                children.push(Child {
+                    mbr: sib_mbr,
+                    node: sib_id,
+                });
+                if children.len() > self.config.max_entries {
+                    let overflow = std::mem::take(children);
+                    let (a, _mbr_a, b, mbr_b) =
+                        split(self.config.split, overflow, self.config.min_entries, |c| c.mbr);
+                    self.nodes[node] = Node::Internal(a);
+                    let sibling = self.alloc(Node::Internal(b));
+                    return InsertOutcome::Split(mbr_b, sibling);
+                }
+                InsertOutcome::Done
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Collects references to all values whose box intersects `query`.
+    pub fn search(&self, query: &Aabb<D>) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.search_with(query, |_mbr, v| out.push(v));
+        out
+    }
+
+    /// Collects `(box, value)` pairs intersecting `query`.
+    pub fn search_entries(&self, query: &Aabb<D>) -> Vec<(Aabb<D>, &T)> {
+        let mut out = Vec::new();
+        self.search_with(query, |mbr, v| out.push((*mbr, v)));
+        out
+    }
+
+    /// Visits every item whose box intersects `query` without allocating.
+    pub fn search_with<'a>(&'a self, query: &Aabb<D>, mut visit: impl FnMut(&'a Aabb<D>, &'a T)) {
+        if self.len == 0 {
+            return;
+        }
+        // Explicit stack to avoid recursion overhead on deep trees.
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id] {
+                Node::Leaf(items) => {
+                    for item in items {
+                        if item.mbr.intersects(query) {
+                            visit(&item.mbr, &item.value);
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in children {
+                        if c.mbr.intersects(query) {
+                            stack.push(c.node);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns the `k` stored values nearest to `point` (by MBR `MINDIST`),
+    /// closest first, together with their squared distances.
+    ///
+    /// Uses best-first traversal with a priority queue, so it touches only
+    /// the nodes whose boxes can contain a better candidate.
+    pub fn nearest_k(&self, point: [f64; D], k: usize) -> Vec<(&T, f64)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+
+        /// Max-heap entry ordered by negative distance = min-heap by distance.
+        struct HeapEntry<'a, T, const D: usize> {
+            dist_sq: f64,
+            kind: Candidate<'a, T, D>,
+        }
+        enum Candidate<'a, T, const D: usize> {
+            Node(NodeId),
+            Item(&'a T),
+        }
+        impl<T, const D: usize> PartialEq for HeapEntry<'_, T, D> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist_sq == other.dist_sq
+            }
+        }
+        impl<T, const D: usize> Eq for HeapEntry<'_, T, D> {}
+        impl<T, const D: usize> PartialOrd for HeapEntry<'_, T, D> {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T, const D: usize> Ord for HeapEntry<'_, T, D> {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse: smallest distance pops first.
+                other.dist_sq.total_cmp(&self.dist_sq)
+            }
+        }
+
+        let mut heap: BinaryHeap<HeapEntry<'_, T, D>> = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist_sq: 0.0,
+            kind: Candidate::Node(self.root),
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(entry) = heap.pop() {
+            match entry.kind {
+                Candidate::Item(v) => {
+                    out.push((v, entry.dist_sq));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Candidate::Node(id) => match &self.nodes[id] {
+                    Node::Leaf(items) => {
+                        for item in items {
+                            heap.push(HeapEntry {
+                                dist_sq: item.mbr.min_dist_sq(&point),
+                                kind: Candidate::Item(&item.value),
+                            });
+                        }
+                    }
+                    Node::Internal(children) => {
+                        for c in children {
+                            heap.push(HeapEntry {
+                                dist_sq: c.mbr.min_dist_sq(&point),
+                                kind: Candidate::Node(c.node),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Like [`Self::nearest_k`], but only returns items whose `MINDIST`
+    /// is at most `max_dist` (exclusive of anything farther). Useful when
+    /// a miss is better than a far match.
+    pub fn nearest_k_within(
+        &self,
+        point: [f64; D],
+        k: usize,
+        max_dist: f64,
+    ) -> Vec<(&T, f64)> {
+        let limit_sq = max_dist * max_dist;
+        let mut hits = self.nearest_k(point, k);
+        hits.retain(|(_, d)| *d <= limit_sq);
+        hits
+    }
+
+    /// Iterates over all `(box, value)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Aabb<D>, &T)> {
+        let mut stack = if self.len == 0 { vec![] } else { vec![self.root] };
+        let mut current: std::slice::Iter<'_, Item<T, D>> = [].iter();
+        std::iter::from_fn(move || loop {
+            if let Some(item) = current.next() {
+                return Some((&item.mbr, &item.value));
+            }
+            let id = stack.pop()?;
+            match &self.nodes[id] {
+                Node::Leaf(items) => current = items.iter(),
+                Node::Internal(children) => stack.extend(children.iter().map(|c| c.node)),
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Removes and returns the first stored value whose box equals `mbr`
+    /// and whose value satisfies `pred`. Underflowing nodes are dissolved
+    /// and their remaining items reinserted (tree condensation).
+    pub fn remove(&mut self, mbr: &Aabb<D>, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let mut orphans: Vec<Item<T, D>> = Vec::new();
+        let removed = self.remove_rec(self.root, mbr, &mut pred, self.height, &mut orphans)?;
+        self.len -= 1;
+
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let new_root = match &self.nodes[self.root] {
+                Node::Internal(children) if children.len() == 1 => children[0].node,
+                _ => break,
+            };
+            self.free.push(self.root);
+            self.root = new_root;
+            self.height -= 1;
+        }
+        // An empty internal root can only arise transiently; normalise an
+        // empty tree back to a leaf root.
+        if self.len == orphans.len() {
+            self.free.push(self.root);
+            self.root = self.alloc(Node::Leaf(Vec::new()));
+            self.height = 0;
+        }
+
+        // Reinsert orphaned items.
+        self.len -= orphans.len();
+        for item in orphans {
+            self.insert(item.mbr, item.value);
+        }
+        Some(removed)
+    }
+
+    /// Recursive removal. Returns the removed value; appends orphaned items
+    /// of dissolved nodes to `orphans`.
+    fn remove_rec(
+        &mut self,
+        node: NodeId,
+        mbr: &Aabb<D>,
+        pred: &mut impl FnMut(&T) -> bool,
+        depth: usize,
+        orphans: &mut Vec<Item<T, D>>,
+    ) -> Option<T> {
+        if depth == 0 {
+            let Node::Leaf(items) = &mut self.nodes[node] else {
+                unreachable!()
+            };
+            let idx = items
+                .iter()
+                .position(|i| i.mbr == *mbr && pred(&i.value))?;
+            return Some(items.swap_remove(idx).value);
+        }
+
+        let child_ids: Vec<(usize, NodeId, Aabb<D>)> = {
+            let Node::Internal(children) = &self.nodes[node] else {
+                unreachable!()
+            };
+            children
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.mbr.intersects(mbr))
+                .map(|(i, c)| (i, c.node, c.mbr))
+                .collect()
+        };
+
+        for (idx, child_id, _) in child_ids {
+            if let Some(value) = self.remove_rec(child_id, mbr, pred, depth - 1, orphans) {
+                // Check for underflow of the child.
+                let child_len = match &self.nodes[child_id] {
+                    Node::Leaf(items) => items.len(),
+                    Node::Internal(children) => children.len(),
+                };
+                if child_len < self.config.min_entries {
+                    // Dissolve the child: orphan all items beneath it.
+                    let Node::Internal(children) = &mut self.nodes[node] else {
+                        unreachable!()
+                    };
+                    children.swap_remove(idx);
+                    self.collect_items(child_id, orphans);
+                } else {
+                    let new_mbr = self.node_mbr(child_id);
+                    let Node::Internal(children) = &mut self.nodes[node] else {
+                        unreachable!()
+                    };
+                    children[idx].mbr = new_mbr;
+                }
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// Moves every item stored under `node` into `out` and frees the nodes.
+    fn collect_items(&mut self, node: NodeId, out: &mut Vec<Item<T, D>>) {
+        let taken = std::mem::replace(&mut self.nodes[node], Node::Leaf(Vec::new()));
+        self.free.push(node);
+        match taken {
+            Node::Leaf(items) => out.extend(items),
+            Node::Internal(children) => {
+                for c in children {
+                    self.collect_items(c.node, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants (used by tests)
+    // ------------------------------------------------------------------
+
+    /// Verifies the structural invariants of the tree, panicking with a
+    /// description on the first violation. Intended for tests.
+    pub fn check_invariants(&self) {
+        if self.len == 0 {
+            return;
+        }
+        let mut counted = 0;
+        self.check_node(self.root, self.height, true, &mut counted);
+        assert_eq!(counted, self.len, "len() disagrees with stored items");
+    }
+
+    fn check_node(&self, id: NodeId, depth: usize, is_root: bool, counted: &mut usize) -> Aabb<D> {
+        match &self.nodes[id] {
+            Node::Leaf(items) => {
+                assert_eq!(depth, 0, "leaf above leaf level");
+                if !is_root {
+                    assert!(
+                        items.len() >= self.config.min_entries,
+                        "leaf underflow: {} < {}",
+                        items.len(),
+                        self.config.min_entries
+                    );
+                }
+                assert!(items.len() <= self.config.max_entries, "leaf overflow");
+                *counted += items.len();
+                fold_mbr(items.iter().map(|i| i.mbr)).expect("empty non-root leaf")
+            }
+            Node::Internal(children) => {
+                assert!(depth > 0, "internal node at leaf level");
+                let min = if is_root { 2 } else { self.config.min_entries };
+                assert!(
+                    children.len() >= min,
+                    "internal underflow: {} < {min}",
+                    children.len()
+                );
+                assert!(children.len() <= self.config.max_entries, "internal overflow");
+                let mut acc: Option<Aabb<D>> = None;
+                for c in children {
+                    let actual = self.check_node(c.node, depth - 1, false, counted);
+                    assert_eq!(
+                        actual, c.mbr,
+                        "stored child MBR differs from computed MBR"
+                    );
+                    acc = Some(match acc {
+                        None => actual,
+                        Some(a) => a.union(&actual),
+                    });
+                }
+                acc.expect("internal node with no children")
+            }
+        }
+    }
+}
+
+/// Result of a recursive insertion step.
+enum InsertOutcome<T, const D: usize> {
+    /// Inserted without structural change above this node.
+    Done,
+    /// The node split; the parent must adopt the new sibling.
+    Split(Aabb<D>, NodeId),
+    /// R* forced reinsertion: these evicted items must be re-inserted
+    /// from the root.
+    Reinsert(Vec<Item<T, D>>),
+}
+
+/// Removes the `count` items whose centres lie farthest from the node's
+/// centre (R* eviction order), returning them farthest-first.
+fn evict_farthest<T, const D: usize>(items: &mut Vec<Item<T, D>>, count: usize) -> Vec<Item<T, D>> {
+    debug_assert!(count < items.len());
+    let node_mbr = fold_mbr(items.iter().map(|i| i.mbr)).expect("non-empty node");
+    let center = node_mbr.center();
+    let dist = |m: &Aabb<D>| {
+        let c = m.center();
+        let mut d = 0.0;
+        for i in 0..D {
+            let g = c[i] - center[i];
+            d += g * g;
+        }
+        d
+    };
+    // Sort ascending by distance; split off the farthest `count`.
+    items.sort_by(|a, b| dist(&a.mbr).total_cmp(&dist(&b.mbr)));
+    let mut evicted = items.split_off(items.len() - count);
+    evicted.reverse(); // farthest first, per the R* paper's "close reinsert"
+    evicted
+}
+
+pub(crate) fn fold_mbr<const D: usize>(mut mbrs: impl Iterator<Item = Aabb<D>>) -> Option<Aabb<D>> {
+    let first = mbrs.next()?;
+    Some(mbrs.fold(first, |acc, m| acc.union(&m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_tree(n: u32) -> RTree<u32, 2> {
+        let mut t = RTree::new();
+        for i in 0..n {
+            let x = f64::from(i % 100);
+            let y = f64::from(i / 100);
+            t.insert(Aabb::from_point([x, y]), i);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RTree<u32, 2> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.search(&Aabb::new([-1e9, -1e9], [1e9, 1e9])).is_empty());
+        assert!(t.nearest_k([0.0, 0.0], 5).is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_and_range_search() {
+        let t = grid_tree(1000);
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        let hits = t.search(&Aabb::new([0.0, 0.0], [4.0, 1.0]));
+        assert_eq!(hits.len(), 10); // 5 × 2 grid points
+        let all = t.search(&Aabb::new([-1.0, -1.0], [1000.0, 1000.0]));
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn search_entries_returns_boxes() {
+        let t = grid_tree(10);
+        let entries = t.search_entries(&Aabb::new([2.0, 0.0], [3.0, 0.0]));
+        assert_eq!(entries.len(), 2);
+        for (mbr, &v) in entries {
+            assert_eq!(mbr.min[0], f64::from(v % 100));
+        }
+    }
+
+    #[test]
+    fn nearest_k_exact_order() {
+        let t = grid_tree(100);
+        let hits = t.nearest_k([5.2, 0.0], 3);
+        let ids: Vec<u32> = hits.iter().map(|(v, _)| **v).collect();
+        assert_eq!(ids, vec![5, 6, 4]);
+        // Distances are non-decreasing.
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn nearest_k_within_cuts_far_matches() {
+        let t = grid_tree(100);
+        // Nearest to (50, 50): the grid only spans x<100, y<1, so all
+        // points are ≥ 49 away vertically.
+        let all = t.nearest_k([50.0, 50.0], 5);
+        assert_eq!(all.len(), 5);
+        assert!(t.nearest_k_within([50.0, 50.0], 5, 10.0).is_empty());
+        let near = t.nearest_k_within([5.0, 0.0], 3, 1.5);
+        assert_eq!(near.len(), 3);
+        assert!(near.iter().all(|(_, d)| *d <= 1.5 * 1.5));
+    }
+
+    #[test]
+    fn nearest_k_more_than_len() {
+        let t = grid_tree(7);
+        assert_eq!(t.nearest_k([0.0, 0.0], 100).len(), 7);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let t = grid_tree(333);
+        let mut seen: Vec<u32> = t.iter().map(|(_, &v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..333).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_single_item() {
+        let mut t = grid_tree(50);
+        let removed = t.remove(&Aabb::from_point([7.0, 0.0]), |&v| v == 7);
+        assert_eq!(removed, Some(7));
+        assert_eq!(t.len(), 49);
+        t.check_invariants();
+        assert!(t.search(&Aabb::from_point([7.0, 0.0])).is_empty());
+        // Removing again finds nothing.
+        assert_eq!(t.remove(&Aabb::from_point([7.0, 0.0]), |&v| v == 7), None);
+    }
+
+    #[test]
+    fn remove_everything_then_reuse() {
+        let mut t = grid_tree(200);
+        for i in 0..200u32 {
+            let p = [f64::from(i % 100), f64::from(i / 100)];
+            assert_eq!(t.remove(&Aabb::from_point(p), |&v| v == i), Some(i), "item {i}");
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        // The tree is fully usable afterwards.
+        t.insert(Aabb::from_point([1.0, 1.0]), 42);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search(&Aabb::from_point([1.0, 1.0])), vec![&42]);
+    }
+
+    #[test]
+    fn duplicate_boxes_are_kept_separately() {
+        let mut t: RTree<u32, 1> = RTree::new();
+        for i in 0..20 {
+            t.insert(Aabb::from_point([1.0]), i);
+        }
+        assert_eq!(t.search(&Aabb::from_point([1.0])).len(), 20);
+        t.check_invariants();
+        // Predicate-based removal picks the right duplicate.
+        assert_eq!(t.remove(&Aabb::from_point([1.0]), |&v| v == 13), Some(13));
+        assert_eq!(t.search(&Aabb::from_point([1.0])).len(), 19);
+    }
+
+    #[test]
+    fn linear_split_config_works() {
+        let mut t: RTree<u32, 2> = RTree::with_config(RTreeConfig {
+            split: SplitStrategy::Linear,
+            ..RTreeConfig::default()
+        });
+        for i in 0..500u32 {
+            t.insert(Aabb::from_point([f64::from(i % 50), f64::from(i / 50)]), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.search(&Aabb::new([0.0, 0.0], [49.0, 9.0])).len(), 500);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = grid_tree(100);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().height, 1);
+        t.insert(Aabb::from_point([0.0, 0.0]), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = grid_tree(10_000);
+        let h = t.stats().height;
+        // M = 16: height should be small.
+        assert!((3..=7).contains(&h), "height {h}");
+    }
+
+    #[test]
+    fn three_dimensional_segments() {
+        // FoV-style degenerate boxes: a point in space, an interval in time.
+        let mut t: RTree<&'static str, 3> = RTree::new();
+        t.insert(Aabb::new([1.0, 2.0, 0.0], [1.0, 2.0, 10.0]), "a");
+        t.insert(Aabb::new([1.0, 2.0, 20.0], [1.0, 2.0, 30.0]), "b");
+        t.insert(Aabb::new([5.0, 5.0, 0.0], [5.0, 5.0, 100.0]), "c");
+        // Query around (1, 2) in t ∈ [5, 25] finds a and b.
+        let hits = t.search(&Aabb::new([0.0, 1.0, 5.0], [2.0, 3.0, 25.0]));
+        assert_eq!(hits.len(), 2);
+        // Time-disjoint query finds nothing.
+        assert!(t.search(&Aabb::new([0.0, 1.0, 11.0], [2.0, 3.0, 19.0])).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn invalid_config_rejected() {
+        let _: RTree<u32, 2> = RTree::with_config(RTreeConfig {
+            max_entries: 8,
+            min_entries: 5,
+            split: SplitStrategy::Quadratic,
+            reinsert_fraction: 0.0,
+        });
+    }
+
+    #[test]
+    fn forced_reinsertion_preserves_correctness() {
+        let mut t: RTree<u32, 2> = RTree::with_config(RTreeConfig::rstar());
+        for i in 0..3000u32 {
+            // Clustered insert order: the worst case reinsert targets.
+            let cluster = f64::from(i % 7) * 200.0;
+            let x = cluster + f64::from(i % 13);
+            let y = f64::from(i % 11) * 3.0;
+            t.insert(Aabb::from_point([x, y]), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 3000);
+        let all = t.search(&Aabb::new([-1e6, -1e6], [1e6, 1e6]));
+        assert_eq!(all.len(), 3000);
+        // Spot query matches a naive filter.
+        let q = Aabb::new([200.0, 0.0], [213.0, 12.0]);
+        let got = t.search(&q).len();
+        let want = (0..3000u32)
+            .filter(|i| {
+                let x = f64::from(i % 7) * 200.0 + f64::from(i % 13);
+                let y = f64::from(i % 11) * 3.0;
+                q.contains_point(&[x, y])
+            })
+            .count();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn forced_reinsertion_interleaves_with_removal() {
+        let mut t: RTree<u32, 2> = RTree::with_config(RTreeConfig::rstar());
+        for i in 0..500u32 {
+            t.insert(Aabb::from_point([f64::from(i % 25), f64::from(i / 25)]), i);
+        }
+        for i in (0..500u32).step_by(3) {
+            let p = [f64::from(i % 25), f64::from(i / 25)];
+            assert_eq!(t.remove(&Aabb::from_point(p), |&v| v == i), Some(i));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 500 - 167);
+    }
+
+    #[test]
+    #[should_panic(expected = "reinsert_fraction")]
+    fn invalid_reinsert_fraction_rejected() {
+        let _: RTree<u32, 2> = RTree::with_config(RTreeConfig {
+            reinsert_fraction: 0.6,
+            ..RTreeConfig::default()
+        });
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests: the R-tree must agree with a naive linear scan on
+//! every query, under arbitrary interleavings of inserts and removes, and
+//! regardless of build method (incremental vs. STR bulk load).
+
+use proptest::prelude::*;
+use swag_rtree::{Aabb, RTree, RTreeConfig, SplitStrategy};
+
+fn arb_box3() -> impl Strategy<Value = Aabb<3>> {
+    (
+        [-100.0f64..100.0, -100.0f64..100.0, 0.0f64..1000.0],
+        [0.0f64..20.0, 0.0f64..20.0, 0.0f64..50.0],
+    )
+        .prop_map(|(min, ext)| {
+            Aabb::new(
+                min,
+                [min[0] + ext[0], min[1] + ext[1], min[2] + ext[2]],
+            )
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = RTreeConfig> {
+    (4usize..32, 0u8..3, prop::bool::ANY).prop_map(|(max, strat, reinsert)| RTreeConfig {
+        max_entries: max,
+        min_entries: (max / 2).max(2),
+        split: match strat {
+            0 => SplitStrategy::Quadratic,
+            1 => SplitStrategy::Linear,
+            _ => SplitStrategy::RStar,
+        },
+        reinsert_fraction: if reinsert { 0.3 } else { 0.0 },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_query_matches_naive(
+        config in arb_config(),
+        boxes in prop::collection::vec(arb_box3(), 0..300),
+        query in arb_box3(),
+    ) {
+        let mut tree: RTree<usize, 3> = RTree::with_config(config);
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, i);
+        }
+        tree.check_invariants();
+
+        let mut got: Vec<usize> = tree.search(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let expected: Vec<usize> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bulk_load_matches_naive(
+        config in arb_config(),
+        boxes in prop::collection::vec(arb_box3(), 0..300),
+        query in arb_box3(),
+    ) {
+        let data: Vec<(Aabb<3>, usize)> =
+            boxes.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let tree = RTree::bulk_load_with_config(config, data);
+        tree.check_invariants();
+
+        let mut got: Vec<usize> = tree.search(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let expected: Vec<usize> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn nearest_k_matches_naive(
+        boxes in prop::collection::vec(arb_box3(), 1..200),
+        point in [-120.0f64..120.0, -120.0f64..120.0, -10.0f64..1010.0],
+        k in 1usize..20,
+    ) {
+        let mut tree: RTree<usize, 3> = RTree::new();
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, i);
+        }
+        let got = tree.nearest_k(point, k);
+
+        let mut expected: Vec<(usize, f64)> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.min_dist_sq(&point)))
+            .collect();
+        expected.sort_by(|a, b| a.1.total_cmp(&b.1));
+        expected.truncate(k);
+
+        prop_assert_eq!(got.len(), expected.len());
+        // Distances must match exactly (ties may reorder ids).
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert!((g.1 - e.1).abs() < 1e-9, "{} vs {}", g.1, e.1);
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_remove_consistent(
+        ops in prop::collection::vec((arb_box3(), prop::bool::ANY), 1..300),
+        query in arb_box3(),
+    ) {
+        // Model: a Vec of live (box, id); removals target a pseudo-random
+        // live element.
+        let mut tree: RTree<usize, 3> = RTree::new();
+        let mut live: Vec<(Aabb<3>, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for (b, is_insert) in ops {
+            if is_insert || live.is_empty() {
+                tree.insert(b, next_id);
+                live.push((b, next_id));
+                next_id += 1;
+            } else {
+                let idx = next_id % live.len();
+                let (mbr, id) = live.swap_remove(idx);
+                let removed = tree.remove(&mbr, |&v| v == id);
+                prop_assert_eq!(removed, Some(id));
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), live.len());
+
+        let mut got: Vec<usize> = tree.search(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut expected: Vec<usize> = live
+            .iter()
+            .filter(|(b, _)| b.intersects(&query))
+            .map(|(_, i)| *i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn iter_yields_every_item(boxes in prop::collection::vec(arb_box3(), 0..200)) {
+        let mut tree: RTree<usize, 3> = RTree::new();
+        for (i, b) in boxes.iter().enumerate() {
+            tree.insert(*b, i);
+        }
+        let mut seen: Vec<usize> = tree.iter().map(|(_, &v)| v).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..boxes.len()).collect::<Vec<_>>());
+    }
+}

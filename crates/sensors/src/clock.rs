@@ -1,0 +1,99 @@
+//! Per-device clock models.
+//!
+//! The paper (§VI-A) argues that explicit client/server clock
+//! synchronisation is unnecessary: COTS devices reach sub-second agreement
+//! with NTP/SNTP, and retrieval is insensitive to millisecond-level skew.
+//! This model lets experiments *quantify* that claim: each device stamps
+//! frames with `device_time = true_time + offset + drift`.
+
+/// An affine clock model: constant offset plus linear drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceClock {
+    /// Fixed offset from global time, seconds (the NTP residual).
+    pub offset_s: f64,
+    /// Frequency error in parts per million (1 ppm ≈ 86 ms/day).
+    pub drift_ppm: f64,
+}
+
+impl DeviceClock {
+    /// A perfectly synchronised clock.
+    pub const PERFECT: DeviceClock = DeviceClock {
+        offset_s: 0.0,
+        drift_ppm: 0.0,
+    };
+
+    /// A typical NTP-synchronised phone: tens of milliseconds of offset,
+    /// a few ppm of drift.
+    pub fn ntp_synced(offset_ms: f64) -> Self {
+        DeviceClock {
+            offset_s: offset_ms / 1000.0,
+            drift_ppm: 2.0,
+        }
+    }
+
+    /// Converts a global timestamp to this device's local timestamp.
+    #[inline]
+    pub fn device_time(&self, true_time_s: f64) -> f64 {
+        true_time_s + self.offset_s + true_time_s * self.drift_ppm * 1e-6
+    }
+
+    /// Converts a device timestamp back to (approximate) global time.
+    #[inline]
+    pub fn true_time(&self, device_time_s: f64) -> f64 {
+        (device_time_s - self.offset_s) / (1.0 + self.drift_ppm * 1e-6)
+    }
+}
+
+impl Default for DeviceClock {
+    fn default() -> Self {
+        DeviceClock::PERFECT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        assert_eq!(DeviceClock::PERFECT.device_time(123.456), 123.456);
+        assert_eq!(DeviceClock::PERFECT.true_time(123.456), 123.456);
+    }
+
+    #[test]
+    fn offset_shifts_timestamps() {
+        let c = DeviceClock {
+            offset_s: 0.2,
+            drift_ppm: 0.0,
+        };
+        assert!((c.device_time(100.0) - 100.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        let c = DeviceClock {
+            offset_s: 0.0,
+            drift_ppm: 10.0,
+        };
+        // 10 ppm over a day ≈ 0.864 s.
+        let day = 86_400.0;
+        assert!((c.device_time(day) - day - 0.864).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_inverts() {
+        let c = DeviceClock::ntp_synced(35.0);
+        for t in [0.0, 1.0, 1e6, 3.7e7] {
+            assert!((c.true_time(c.device_time(t)) - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ntp_skew_is_subsecond() {
+        let c = DeviceClock::ntp_synced(80.0);
+        // Over an hour, total error stays well below a second — the
+        // paper's justification for skipping explicit synchronisation.
+        let err = (c.device_time(3600.0) - 3600.0).abs();
+        assert!(err < 0.1, "error {err}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Sensor and trajectory simulation substrate.
+//!
+//! The paper evaluates its system with traces recorded on an HTC One
+//! (GPS + compass while walking, driving and riding). This crate replaces
+//! the phone: it synthesises `(t, p, θ)` frame records from parametric
+//! **mobility models** ([`Mobility`]), perturbs them with configurable
+//! **sensor noise** ([`SensorNoise`]), and stamps them with a per-device
+//! **clock model** ([`DeviceClock`], matching the paper's NTP discussion in
+//! §VI-A).
+//!
+//! The [`scenarios`] module provides the exact trace shapes used by the
+//! paper's evaluation (walks with `θ_p = 0°`/`90°`, an in-place rotation, a
+//! drive down a street, a bike ride with a turn, and citywide random
+//! representative FoVs for the index benchmarks).
+//!
+//! Everything is deterministic given a seed.
+
+pub mod clock;
+pub mod mobility;
+pub mod noise;
+pub mod scenarios;
+pub mod trace;
+
+pub use clock::DeviceClock;
+pub use mobility::{Look, Mobility, Phase, Pose};
+pub use noise::SensorNoise;
+pub use trace::{generate_trace, generate_trace_mixed_rate, TraceConfig};

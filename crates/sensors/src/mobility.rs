@@ -1,0 +1,498 @@
+//! Parametric mobility models: camera pose as a function of time.
+//!
+//! Poses are expressed in a local east-north metre frame (see
+//! [`swag_geo::LocalFrame`]); the trace generator lifts them to geographic
+//! coordinates. Models are pure functions of time, so traces are exactly
+//! reproducible and independent of the sampling rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swag_geo::{normalize_deg, Vec2};
+
+/// A camera pose: position in local metres and compass azimuth in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Position in the local east-north frame, metres.
+    pub position: Vec2,
+    /// Camera azimuth, degrees clockwise from north.
+    pub azimuth_deg: f64,
+}
+
+/// Where the camera looks while the device moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Look {
+    /// Along the direction of travel (dash-cam style).
+    Heading,
+    /// At a fixed offset from the direction of travel; `90` films out of
+    /// the right-side window.
+    HeadingOffset(f64),
+    /// A fixed compass azimuth regardless of motion.
+    Fixed(f64),
+}
+
+impl Look {
+    fn azimuth(&self, heading_deg: f64) -> f64 {
+        match *self {
+            Look::Heading => normalize_deg(heading_deg),
+            Look::HeadingOffset(off) => normalize_deg(heading_deg + off),
+            Look::Fixed(az) => normalize_deg(az),
+        }
+    }
+}
+
+/// A mobility model. All variants are deterministic; the randomised
+/// constructors ([`Mobility::manhattan`], [`Mobility::random_waypoint`])
+/// pre-generate their paths from a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mobility {
+    /// Standing still while rotating at a constant rate (paper Fig. 5(a)).
+    StationaryRotate {
+        /// Fixed position.
+        position: Vec2,
+        /// Azimuth at `t = 0`, degrees.
+        start_azimuth_deg: f64,
+        /// Rotation rate, degrees per second (negative = counter-clockwise).
+        rate_deg_per_s: f64,
+    },
+    /// Constant-velocity straight-line motion (paper Fig. 4, Fig. 5(b)).
+    StraightLine {
+        /// Position at `t = 0`.
+        start: Vec2,
+        /// Direction of travel, degrees.
+        heading_deg: f64,
+        /// Speed, metres per second.
+        speed_mps: f64,
+        /// Camera direction policy.
+        look: Look,
+    },
+    /// Constant-speed travel along a polyline.
+    Waypoints {
+        /// The polyline vertices (≥ 1). The camera stops at the last one.
+        path: Vec<Vec2>,
+        /// Speed, metres per second.
+        speed_mps: f64,
+        /// Camera direction policy.
+        look: Look,
+    },
+    /// Standing still with a fixed pose for some duration — the building
+    /// block of stop-and-go traces.
+    Pause {
+        /// Held position.
+        position: Vec2,
+        /// Held azimuth, degrees.
+        azimuth_deg: f64,
+    },
+    /// A sequence of phases, each running for a fixed duration before the
+    /// next takes over (a walk, then a pause, then a pan, ...).
+    Phased(Vec<Phase>),
+    /// Constant-speed travel along a circular arc.
+    Arc {
+        /// Arc centre.
+        center: Vec2,
+        /// Arc radius, metres.
+        radius_m: f64,
+        /// Position angle (compass bearing from centre) at `t = 0`.
+        start_angle_deg: f64,
+        /// Angular rate, degrees per second (positive = clockwise).
+        rate_deg_per_s: f64,
+        /// Camera direction policy (heading = tangent).
+        look: Look,
+    },
+}
+
+/// One phase of a [`Mobility::Phased`] model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// The model driving this phase (evaluated with phase-local time).
+    pub model: Mobility,
+    /// How long the phase lasts, seconds.
+    pub duration_s: f64,
+}
+
+impl Mobility {
+    /// The pose at time `t ≥ 0` seconds.
+    pub fn pose(&self, t: f64) -> Pose {
+        match self {
+            Mobility::Pause {
+                position,
+                azimuth_deg,
+            } => Pose {
+                position: *position,
+                azimuth_deg: normalize_deg(*azimuth_deg),
+            },
+            Mobility::Phased(phases) => {
+                assert!(!phases.is_empty(), "phased mobility needs phases");
+                let mut remaining = t;
+                for phase in phases {
+                    if remaining < phase.duration_s {
+                        return phase.model.pose(remaining);
+                    }
+                    remaining -= phase.duration_s;
+                }
+                // Past the end: hold the final phase's last pose.
+                let last = phases.last().expect("non-empty");
+                last.model.pose(last.duration_s)
+            }
+            Mobility::StationaryRotate {
+                position,
+                start_azimuth_deg,
+                rate_deg_per_s,
+            } => Pose {
+                position: *position,
+                azimuth_deg: normalize_deg(start_azimuth_deg + rate_deg_per_s * t),
+            },
+            Mobility::StraightLine {
+                start,
+                heading_deg,
+                speed_mps,
+                look,
+            } => Pose {
+                position: *start + Vec2::from_azimuth_deg(*heading_deg) * (speed_mps * t),
+                azimuth_deg: look.azimuth(*heading_deg),
+            },
+            Mobility::Waypoints {
+                path,
+                speed_mps,
+                look,
+            } => polyline_pose(path, speed_mps * t, look),
+            Mobility::Arc {
+                center,
+                radius_m,
+                start_angle_deg,
+                rate_deg_per_s,
+                look,
+            } => {
+                let angle = start_angle_deg + rate_deg_per_s * t;
+                let position = *center + Vec2::from_azimuth_deg(angle) * *radius_m;
+                // Tangent heading: +90° for clockwise travel, −90° otherwise.
+                let heading = if *rate_deg_per_s >= 0.0 {
+                    angle + 90.0
+                } else {
+                    angle - 90.0
+                };
+                Pose {
+                    position,
+                    azimuth_deg: look.azimuth(heading),
+                }
+            }
+        }
+    }
+
+    /// An L-shaped ride: travel `leg_m` metres along `heading_deg`, turn by
+    /// `turn_deg` (positive = right), travel `leg_m` more — the paper's
+    /// "riding a bike in a residential area and turning right" scenario
+    /// (Fig. 5(c)).
+    pub fn bike_turn(start: Vec2, heading_deg: f64, leg_m: f64, turn_deg: f64, speed_mps: f64) -> Self {
+        let corner = start + Vec2::from_azimuth_deg(heading_deg) * leg_m;
+        let end = corner + Vec2::from_azimuth_deg(heading_deg + turn_deg) * leg_m;
+        Mobility::Waypoints {
+            path: vec![start, corner, end],
+            speed_mps,
+            look: Look::Heading,
+        }
+    }
+
+    /// A random walk on a Manhattan street grid: `legs` moves of
+    /// `block_len_m` metres, each continuing straight or turning ±90° with
+    /// equal probability. Deterministic for a given seed.
+    pub fn manhattan(seed: u64, start: Vec2, block_len_m: f64, legs: usize, speed_mps: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heading: i32 = rng.random_range(0..4) * 90;
+        let mut path = vec![start];
+        let mut pos = start;
+        for _ in 0..legs {
+            match rng.random_range(0..3) {
+                0 => heading += 90,
+                1 => heading -= 90,
+                _ => {}
+            }
+            pos += Vec2::from_azimuth_deg(f64::from(heading)) * block_len_m;
+            path.push(pos);
+        }
+        Mobility::Waypoints {
+            path,
+            speed_mps,
+            look: Look::Heading,
+        }
+    }
+
+    /// Random-waypoint motion inside the square `[-extent_m, extent_m]²`:
+    /// `legs` uniformly random destinations visited at constant speed.
+    /// Deterministic for a given seed.
+    pub fn random_waypoint(seed: u64, extent_m: f64, legs: usize, speed_mps: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut path = Vec::with_capacity(legs + 1);
+        for _ in 0..=legs {
+            path.push(Vec2::new(
+                rng.random_range(-extent_m..=extent_m),
+                rng.random_range(-extent_m..=extent_m),
+            ));
+        }
+        Mobility::Waypoints {
+            path,
+            speed_mps,
+            look: Look::Heading,
+        }
+    }
+
+    /// Time to traverse the whole path, where meaningful. `None` for
+    /// unbounded models (rotation, straight line, arc, pause).
+    pub fn natural_duration_s(&self) -> Option<f64> {
+        match self {
+            Mobility::Waypoints {
+                path, speed_mps, ..
+            } => {
+                let len: f64 = path.windows(2).map(|w| w[0].distance(w[1])).sum();
+                Some(len / speed_mps)
+            }
+            Mobility::Phased(phases) => Some(phases.iter().map(|p| p.duration_s).sum()),
+            _ => None,
+        }
+    }
+
+    /// A stop-and-go walk: walk `walk_s` seconds at `speed_mps` along
+    /// `heading_deg`, pause `pause_s` seconds, repeated `cycles` times —
+    /// the footage pattern of someone filming points of interest.
+    pub fn stop_and_go(
+        start: Vec2,
+        heading_deg: f64,
+        speed_mps: f64,
+        walk_s: f64,
+        pause_s: f64,
+        cycles: usize,
+    ) -> Self {
+        let mut phases = Vec::with_capacity(cycles * 2);
+        let mut pos = start;
+        for _ in 0..cycles {
+            phases.push(Phase {
+                model: Mobility::StraightLine {
+                    start: pos,
+                    heading_deg,
+                    speed_mps,
+                    look: Look::Heading,
+                },
+                duration_s: walk_s,
+            });
+            pos += Vec2::from_azimuth_deg(heading_deg) * (speed_mps * walk_s);
+            phases.push(Phase {
+                model: Mobility::Pause {
+                    position: pos,
+                    azimuth_deg: heading_deg,
+                },
+                duration_s: pause_s,
+            });
+        }
+        Mobility::Phased(phases)
+    }
+}
+
+/// Position and heading after travelling `dist` metres along a polyline.
+fn polyline_pose(path: &[Vec2], dist: f64, look: &Look) -> Pose {
+    assert!(!path.is_empty(), "waypoint path must not be empty");
+    if path.len() == 1 {
+        return Pose {
+            position: path[0],
+            azimuth_deg: look.azimuth(0.0),
+        };
+    }
+    let mut remaining = dist.max(0.0);
+    let mut heading = (path[1] - path[0]).azimuth_deg();
+    for w in path.windows(2) {
+        let seg = w[1] - w[0];
+        let len = seg.norm();
+        if len < 1e-12 {
+            continue;
+        }
+        heading = seg.azimuth_deg();
+        if remaining <= len {
+            return Pose {
+                position: w[0] + seg * (remaining / len),
+                azimuth_deg: look.azimuth(heading),
+            };
+        }
+        remaining -= len;
+    }
+    // Past the end: park at the final vertex keeping the last heading.
+    Pose {
+        position: *path.last().expect("non-empty path"),
+        azimuth_deg: look.azimuth(heading),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn rotation_advances_azimuth() {
+        let m = Mobility::StationaryRotate {
+            position: Vec2::new(1.0, 2.0),
+            start_azimuth_deg: 350.0,
+            rate_deg_per_s: 5.0,
+        };
+        let p = m.pose(4.0);
+        assert_eq!(p.position, Vec2::new(1.0, 2.0));
+        assert!(close(p.azimuth_deg, 10.0)); // wraps through 360
+    }
+
+    #[test]
+    fn straight_line_with_side_look() {
+        let m = Mobility::StraightLine {
+            start: Vec2::ZERO,
+            heading_deg: 0.0,
+            speed_mps: 2.0,
+            look: Look::HeadingOffset(90.0),
+        };
+        let p = m.pose(3.0);
+        assert!(close(p.position.y, 6.0) && close(p.position.x, 0.0));
+        assert!(close(p.azimuth_deg, 90.0));
+    }
+
+    #[test]
+    fn waypoints_interpolate_and_park() {
+        let m = Mobility::Waypoints {
+            path: vec![Vec2::ZERO, Vec2::new(0.0, 10.0), Vec2::new(10.0, 10.0)],
+            speed_mps: 1.0,
+            look: Look::Heading,
+        };
+        assert_eq!(m.natural_duration_s(), Some(20.0));
+        let mid = m.pose(5.0);
+        assert!(close(mid.position.y, 5.0) && close(mid.azimuth_deg, 0.0));
+        let after_turn = m.pose(15.0);
+        assert!(close(after_turn.position.x, 5.0) && close(after_turn.position.y, 10.0));
+        assert!(close(after_turn.azimuth_deg, 90.0));
+        // Past the end.
+        let parked = m.pose(100.0);
+        assert_eq!(parked.position, Vec2::new(10.0, 10.0));
+        assert!(close(parked.azimuth_deg, 90.0));
+    }
+
+    #[test]
+    fn bike_turn_changes_heading_by_turn_angle() {
+        let m = Mobility::bike_turn(Vec2::ZERO, 0.0, 50.0, 90.0, 5.0);
+        let before = m.pose(4.0); // 20 m in
+        let after = m.pose(16.0); // 80 m in, past the corner
+        assert!(close(before.azimuth_deg, 0.0));
+        assert!(close(after.azimuth_deg, 90.0));
+    }
+
+    #[test]
+    fn arc_moves_on_circle_with_tangent_heading() {
+        let m = Mobility::Arc {
+            center: Vec2::ZERO,
+            radius_m: 10.0,
+            start_angle_deg: 0.0,
+            rate_deg_per_s: 9.0,
+            look: Look::Heading,
+        };
+        let p = m.pose(10.0); // 90° around: due east of the centre
+        assert!(close(p.position.x, 10.0) && p.position.y.abs() < 1e-9);
+        assert!(close(p.azimuth_deg, 180.0)); // tangent, clockwise
+        assert!(close(m.pose(33.3).position.norm(), 10.0));
+    }
+
+    #[test]
+    fn manhattan_headings_are_cardinal() {
+        let m = Mobility::manhattan(7, Vec2::ZERO, 100.0, 12, 1.4);
+        let Mobility::Waypoints { path, .. } = &m else {
+            panic!("manhattan must build waypoints");
+        };
+        assert_eq!(path.len(), 13);
+        for w in path.windows(2) {
+            let az = (w[1] - w[0]).azimuth_deg();
+            let snapped = (az / 90.0).round() * 90.0;
+            assert!(close(az, snapped % 360.0), "non-cardinal heading {az}");
+        }
+    }
+
+    #[test]
+    fn pause_holds_still() {
+        let m = Mobility::Pause {
+            position: Vec2::new(3.0, 4.0),
+            azimuth_deg: 370.0,
+        };
+        for t in [0.0, 1.0, 100.0] {
+            let p = m.pose(t);
+            assert_eq!(p.position, Vec2::new(3.0, 4.0));
+            assert!(close(p.azimuth_deg, 10.0));
+        }
+        assert_eq!(m.natural_duration_s(), None);
+    }
+
+    #[test]
+    fn phased_switches_at_boundaries_and_holds_after_end() {
+        let m = Mobility::Phased(vec![
+            Phase {
+                model: Mobility::StraightLine {
+                    start: Vec2::ZERO,
+                    heading_deg: 0.0,
+                    speed_mps: 2.0,
+                    look: Look::Heading,
+                },
+                duration_s: 5.0,
+            },
+            Phase {
+                model: Mobility::StationaryRotate {
+                    position: Vec2::new(0.0, 10.0),
+                    start_azimuth_deg: 0.0,
+                    rate_deg_per_s: 10.0,
+                },
+                duration_s: 9.0,
+            },
+        ]);
+        assert_eq!(m.natural_duration_s(), Some(14.0));
+        // Mid phase 1: walked 6 m north.
+        assert!(close(m.pose(3.0).position.y, 6.0));
+        // Mid phase 2 (phase-local t = 4): rotated to 40°.
+        let p = m.pose(9.0);
+        assert_eq!(p.position, Vec2::new(0.0, 10.0));
+        assert!(close(p.azimuth_deg, 40.0));
+        // Past the end: holds the final pose (90°).
+        assert!(close(m.pose(100.0).azimuth_deg, 90.0));
+    }
+
+    #[test]
+    fn stop_and_go_pauses_where_it_stopped() {
+        let m = Mobility::stop_and_go(Vec2::ZERO, 0.0, 2.0, 5.0, 3.0, 2);
+        assert_eq!(m.natural_duration_s(), Some(16.0));
+        // During the first pause (t = 5..8) the camera sits at 10 m north.
+        for t in [5.5, 7.9] {
+            assert!(close(m.pose(t).position.y, 10.0), "t = {t}");
+        }
+        // Second walk resumes from there.
+        assert!(close(m.pose(10.0).position.y, 14.0));
+        // Final position after both cycles: 20 m.
+        assert!(close(m.pose(16.0).position.y, 20.0));
+    }
+
+    #[test]
+    fn seeded_models_are_reproducible() {
+        assert_eq!(
+            Mobility::manhattan(42, Vec2::ZERO, 80.0, 20, 1.0),
+            Mobility::manhattan(42, Vec2::ZERO, 80.0, 20, 1.0)
+        );
+        assert_eq!(
+            Mobility::random_waypoint(9, 500.0, 5, 1.0),
+            Mobility::random_waypoint(9, 500.0, 5, 1.0)
+        );
+        assert_ne!(
+            Mobility::random_waypoint(9, 500.0, 5, 1.0),
+            Mobility::random_waypoint(10, 500.0, 5, 1.0)
+        );
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_bounds() {
+        let m = Mobility::random_waypoint(3, 250.0, 30, 2.0);
+        let dur = m.natural_duration_s().unwrap();
+        for i in 0..100 {
+            let p = m.pose(dur * i as f64 / 99.0);
+            assert!(p.position.x.abs() <= 250.0 + 1e-9);
+            assert!(p.position.y.abs() <= 250.0 + 1e-9);
+        }
+    }
+}

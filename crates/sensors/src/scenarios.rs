@@ -1,0 +1,195 @@
+//! The exact trace shapes used by the paper's evaluation (§VI-B), plus the
+//! citywide random workload used for the index/retrieval benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swag_core::{Fov, RepFov, TimedFov};
+use swag_geo::{LatLon, LocalFrame, Vec2};
+
+use crate::clock::DeviceClock;
+use crate::mobility::{Look, Mobility};
+use crate::noise::SensorNoise;
+use crate::trace::{generate_trace, TraceConfig};
+
+/// Default reference point for all scenarios (Tsinghua campus, Beijing —
+/// roughly where the paper's traces were recorded).
+pub fn default_origin() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Fig. 4 (top): walking forward while filming ahead — translation with
+/// `θ_p = 0°` (parallel).
+pub fn walk_parallel(duration_s: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+    let mobility = Mobility::StraightLine {
+        start: Vec2::ZERO,
+        heading_deg: 0.0,
+        speed_mps: 1.4,
+        look: Look::Heading,
+    };
+    sample(&mobility, duration_s, noise, seed)
+}
+
+/// Fig. 4 (bottom): walking while filming out of the side — translation
+/// with `θ_p = 90°` (perpendicular).
+pub fn walk_perpendicular(duration_s: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+    let mobility = Mobility::StraightLine {
+        start: Vec2::ZERO,
+        heading_deg: 0.0,
+        speed_mps: 1.4,
+        look: Look::HeadingOffset(90.0),
+    };
+    sample(&mobility, duration_s, noise, seed)
+}
+
+/// Fig. 5(a): standing still and rotating the camera.
+pub fn rotate_in_place(duration_s: f64, rate_deg_per_s: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+    let mobility = Mobility::StationaryRotate {
+        position: Vec2::ZERO,
+        start_azimuth_deg: 0.0,
+        rate_deg_per_s,
+    };
+    sample(&mobility, duration_s, noise, seed)
+}
+
+/// Fig. 5(b): driving down the street filming the view ahead
+/// (`R = 100 m` in the paper's setup).
+pub fn drive_straight(duration_s: f64, speed_mps: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+    let mobility = Mobility::StraightLine {
+        start: Vec2::ZERO,
+        heading_deg: 0.0,
+        speed_mps,
+        look: Look::Heading,
+    };
+    sample(&mobility, duration_s, noise, seed)
+}
+
+/// Fig. 5(c): riding a bike through a residential area and turning right
+/// halfway.
+pub fn bike_ride_with_turn(leg_m: f64, speed_mps: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+    let mobility = Mobility::bike_turn(Vec2::ZERO, 0.0, leg_m, 90.0, speed_mps);
+    let duration = mobility.natural_duration_s().expect("bike path is bounded");
+    sample(&mobility, duration, noise, seed)
+}
+
+/// A random city stroll (Manhattan grid), useful as a "realistic" mixed
+/// workload for segmentation experiments.
+pub fn city_walk(seed: u64, legs: usize, noise: &SensorNoise) -> Vec<TimedFov> {
+    let mobility = Mobility::manhattan(seed, Vec2::ZERO, 100.0, legs, 1.4);
+    let duration = mobility.natural_duration_s().expect("grid path is bounded");
+    sample(&mobility, duration, noise, seed.wrapping_add(1))
+}
+
+fn sample(mobility: &Mobility, duration_s: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+    let frame = LocalFrame::new(default_origin());
+    let cfg = TraceConfig::new(25.0, duration_s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_trace(mobility, &frame, &cfg, noise, &DeviceClock::PERFECT, &mut rng)
+}
+
+/// Parameters for the citywide random representative-FoV workload
+/// ("we randomly simulate citywide representative FoVs", §VI-B-2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CitywideConfig {
+    /// Half-extent of the square city area, metres (e.g. 10 km ⇒ 20 km side).
+    pub extent_m: f64,
+    /// Time window covered by the segments, seconds.
+    pub time_window_s: f64,
+    /// Minimum segment duration, seconds.
+    pub min_segment_s: f64,
+    /// Maximum segment duration, seconds.
+    pub max_segment_s: f64,
+}
+
+impl Default for CitywideConfig {
+    fn default() -> Self {
+        CitywideConfig {
+            extent_m: 10_000.0,
+            time_window_s: 86_400.0, // one day of footage
+            min_segment_s: 2.0,
+            max_segment_s: 60.0,
+        }
+    }
+}
+
+/// Generates `n` random citywide representative FoVs: uniform positions in
+/// the square, uniform azimuths, uniform start times, log-ish segment
+/// durations. Deterministic for a given seed.
+pub fn citywide_rep_fovs(n: usize, cfg: &CitywideConfig, seed: u64) -> Vec<RepFov> {
+    let frame = LocalFrame::new(default_origin());
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let pos = Vec2::new(
+                rng.random_range(-cfg.extent_m..=cfg.extent_m),
+                rng.random_range(-cfg.extent_m..=cfg.extent_m),
+            );
+            let theta = rng.random_range(0.0..360.0);
+            let dur = rng.random_range(cfg.min_segment_s..=cfg.max_segment_s);
+            let t0 = rng.random_range(0.0..cfg.time_window_s);
+            RepFov::new(t0, t0 + dur, Fov::new(frame.from_local(pos), theta))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::{segment_video, CameraProfile};
+
+    #[test]
+    fn walk_scenarios_have_expected_geometry() {
+        let par = walk_parallel(10.0, &SensorNoise::NONE, 0);
+        let perp = walk_perpendicular(10.0, &SensorNoise::NONE, 0);
+        assert_eq!(par.len(), perp.len());
+        // Parallel: camera looks north and moves north.
+        assert_eq!(par.last().unwrap().fov.theta, 0.0);
+        // Perpendicular: camera looks east while moving north.
+        assert_eq!(perp.last().unwrap().fov.theta, 90.0);
+        // Positions coincide (same path).
+        let (a, b) = (par.last().unwrap().fov.p, perp.last().unwrap().fov.p);
+        assert!(a.distance_m(b) < 1e-6);
+    }
+
+    #[test]
+    fn rotation_scenario_sweeps_azimuth() {
+        let trace = rotate_in_place(36.0, 10.0, &SensorNoise::NONE, 0);
+        let last = trace.last().unwrap();
+        // 36 s at 10°/s = full circle.
+        assert!(last.fov.theta < 1.0 || last.fov.theta > 359.0);
+        // Position never moves.
+        let p0 = trace[0].fov.p;
+        assert!(trace.iter().all(|f| f.fov.p.distance_m(p0) < 1e-6));
+    }
+
+    #[test]
+    fn bike_turn_produces_multiple_segments() {
+        let trace = bike_ride_with_turn(80.0, 4.0, &SensorNoise::NONE, 0);
+        let cam = CameraProfile::smartphone();
+        let segs = segment_video(&trace, &cam, 0.5);
+        // The 90° turn guarantees at least one cut.
+        assert!(segs.len() >= 2, "got {} segments", segs.len());
+    }
+
+    #[test]
+    fn citywide_workload_is_deterministic_and_in_bounds() {
+        let cfg = CitywideConfig::default();
+        let a = citywide_rep_fovs(500, &cfg, 7);
+        let b = citywide_rep_fovs(500, &cfg, 7);
+        assert_eq!(a, b);
+        let frame = LocalFrame::new(default_origin());
+        for rep in &a {
+            let local = frame.to_local(rep.fov.p);
+            assert!(local.x.abs() <= cfg.extent_m + 1.0);
+            assert!(local.y.abs() <= cfg.extent_m + 1.0);
+            assert!(rep.duration() >= cfg.min_segment_s && rep.duration() <= cfg.max_segment_s);
+            assert!(rep.t_start >= 0.0 && rep.t_start <= cfg.time_window_s);
+        }
+    }
+
+    #[test]
+    fn city_walk_is_plausible() {
+        let trace = city_walk(3, 6, &SensorNoise::smartphone());
+        assert!(trace.len() > 1000); // 600 m at 1.4 m/s, 25 fps
+        assert!(trace.windows(2).all(|w| w[1].t > w[0].t));
+    }
+}

@@ -1,0 +1,340 @@
+//! Trace generation: mobility model → timestamped FoV sequence.
+
+use rand::Rng;
+use swag_core::{Fov, TimedFov};
+use swag_geo::LocalFrame;
+
+use crate::clock::DeviceClock;
+use crate::mobility::Mobility;
+use crate::noise::SensorNoise;
+
+/// Sampling parameters of a recording session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Sensor sampling rate (one FoV per video frame), Hz.
+    pub fps: f64,
+    /// Recording duration, seconds.
+    pub duration_s: f64,
+    /// Global time at which recording starts, seconds.
+    pub start_time_s: f64,
+}
+
+impl TraceConfig {
+    /// `fps` Hz for `duration_s` seconds starting at global time 0.
+    pub fn new(fps: f64, duration_s: f64) -> Self {
+        assert!(fps > 0.0, "fps must be positive");
+        assert!(duration_s >= 0.0, "duration must be non-negative");
+        TraceConfig {
+            fps,
+            duration_s,
+            start_time_s: 0.0,
+        }
+    }
+
+    /// Returns a copy starting at `t0` global seconds.
+    pub fn starting_at(mut self, t0: f64) -> Self {
+        self.start_time_s = t0;
+        self
+    }
+
+    /// Number of samples the trace will contain before dropout.
+    pub fn sample_count(&self) -> usize {
+        (self.duration_s * self.fps).floor() as usize + 1
+    }
+}
+
+/// Samples a mobility model into a sequence of `(t, p, θ)` frame records —
+/// what the client's background process collects while recording
+/// (paper §II-C).
+///
+/// Local poses are lifted to geographic coordinates through `frame`,
+/// perturbed by `noise`, and stamped with `clock`. Deterministic given the
+/// RNG state.
+pub fn generate_trace(
+    mobility: &Mobility,
+    frame: &LocalFrame,
+    cfg: &TraceConfig,
+    noise: &SensorNoise,
+    clock: &DeviceClock,
+    rng: &mut impl Rng,
+) -> Vec<TimedFov> {
+    let n = cfg.sample_count();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t_rel = i as f64 / cfg.fps;
+        if noise.drops(rng) {
+            continue;
+        }
+        let pose = mobility.pose(t_rel);
+        let (dx, dy) = noise.position_jitter(rng);
+        let jittered = pose.position + swag_geo::Vec2::new(dx, dy);
+        let theta = pose.azimuth_deg + noise.azimuth_jitter(rng);
+        let t_global = cfg.start_time_s + t_rel;
+        out.push(TimedFov::new(
+            clock.device_time(t_global),
+            Fov::new(frame.from_local(jittered), theta),
+        ));
+    }
+    out
+}
+
+/// Samples a mobility model the way a real phone does: GPS fixes at
+/// `gps_hz` (typically 1 Hz), compass at full frame rate. Per-frame
+/// positions are interpolated between GPS fixes
+/// ([`swag_core::interpolate_trace`]-style), so the output has the same
+/// shape as [`generate_trace`] but realistic position granularity.
+pub fn generate_trace_mixed_rate(
+    mobility: &Mobility,
+    frame: &LocalFrame,
+    cfg: &TraceConfig,
+    gps_hz: f64,
+    noise: &SensorNoise,
+    clock: &DeviceClock,
+    rng: &mut impl Rng,
+) -> Vec<TimedFov> {
+    assert!(gps_hz > 0.0 && gps_hz <= cfg.fps, "gps_hz must be in (0, fps]");
+    // Noisy GPS fixes at the slow rate (device-time stamped).
+    let n_fix = (cfg.duration_s * gps_hz).floor() as usize + 1;
+    let fixes: Vec<TimedFov> = (0..n_fix)
+        .map(|i| {
+            let t_rel = i as f64 / gps_hz;
+            let pose = mobility.pose(t_rel);
+            let (dx, dy) = noise.position_jitter(rng);
+            TimedFov::new(
+                clock.device_time(cfg.start_time_s + t_rel),
+                Fov::new(
+                    frame.from_local(pose.position + swag_geo::Vec2::new(dx, dy)),
+                    pose.azimuth_deg,
+                ),
+            )
+        })
+        .collect();
+
+    // Per-frame records: interpolated position, fresh compass sample.
+    let n = cfg.sample_count();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t_rel = i as f64 / cfg.fps;
+        if noise.drops(rng) {
+            continue;
+        }
+        let t_dev = clock.device_time(cfg.start_time_s + t_rel);
+        let p = swag_core::sample_at(&fixes, t_dev).p;
+        let theta = mobility.pose(t_rel).azimuth_deg + noise.azimuth_jitter(rng);
+        out.push(TimedFov::new(t_dev, Fov::new(p, theta)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::Look;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swag_geo::{LatLon, Vec2};
+
+    fn frame() -> LocalFrame {
+        LocalFrame::new(LatLon::new(40.0, 116.32))
+    }
+
+    fn walker() -> Mobility {
+        Mobility::StraightLine {
+            start: Vec2::ZERO,
+            heading_deg: 0.0,
+            speed_mps: 1.4,
+            look: Look::Heading,
+        }
+    }
+
+    #[test]
+    fn noise_free_trace_is_exact() {
+        let cfg = TraceConfig::new(25.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = generate_trace(
+            &walker(),
+            &frame(),
+            &cfg,
+            &SensorNoise::NONE,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        assert_eq!(trace.len(), 101);
+        assert_eq!(trace[0].t, 0.0);
+        assert!((trace[100].t - 4.0).abs() < 1e-9);
+        // Position after 4 s of 1.4 m/s: 5.6 m north.
+        let end = frame().to_local(trace[100].fov.p);
+        assert!((end.y - 5.6).abs() < 1e-6 && end.x.abs() < 1e-6);
+        assert_eq!(trace[50].fov.theta, 0.0);
+    }
+
+    #[test]
+    fn timestamps_are_strictly_increasing() {
+        let cfg = TraceConfig::new(30.0, 10.0).starting_at(1000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = generate_trace(
+            &walker(),
+            &frame(),
+            &cfg,
+            &SensorNoise::smartphone(),
+            &DeviceClock::ntp_synced(40.0),
+            &mut rng,
+        );
+        assert!(trace.windows(2).all(|w| w[1].t > w[0].t));
+        assert!(trace[0].t >= 1000.0);
+    }
+
+    #[test]
+    fn dropout_shortens_trace() {
+        let cfg = TraceConfig::new(25.0, 40.0);
+        let noise = SensorNoise {
+            gps_sigma_m: 0.0,
+            compass_sigma_deg: 0.0,
+            dropout_prob: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let trace = generate_trace(
+            &walker(),
+            &frame(),
+            &cfg,
+            &noise,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        let expected = cfg.sample_count();
+        assert!(trace.len() < expected * 6 / 10);
+        assert!(trace.len() > expected * 4 / 10);
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_bounded() {
+        let cfg = TraceConfig::new(25.0, 10.0);
+        let noise = SensorNoise {
+            gps_sigma_m: 3.0,
+            compass_sigma_deg: 5.0,
+            dropout_prob: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(17);
+        let trace = generate_trace(
+            &walker(),
+            &frame(),
+            &cfg,
+            &noise,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        let f = frame();
+        let mut max_err = 0.0f64;
+        for (i, tf) in trace.iter().enumerate() {
+            let truth = walker().pose(i as f64 / 25.0).position;
+            let err = (f.to_local(tf.fov.p) - truth).norm();
+            max_err = max_err.max(err);
+        }
+        assert!(max_err > 0.5, "noise had no effect");
+        assert!(max_err < 20.0, "noise implausibly large: {max_err}");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = TraceConfig::new(25.0, 5.0);
+        let make = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_trace(
+                &walker(),
+                &frame(),
+                &cfg,
+                &SensorNoise::smartphone(),
+                &DeviceClock::PERFECT,
+                &mut rng,
+            )
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+
+    #[test]
+    fn mixed_rate_trace_tracks_truth_between_fixes() {
+        let cfg = TraceConfig::new(25.0, 20.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = generate_trace_mixed_rate(
+            &walker(),
+            &frame(),
+            &cfg,
+            1.0, // 1 Hz GPS
+            &SensorNoise::NONE,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        assert_eq!(trace.len(), cfg.sample_count());
+        // Noise-free interpolation of constant-velocity motion is exact.
+        let f = frame();
+        for (i, tf) in trace.iter().enumerate() {
+            let truth = walker().pose(i as f64 / 25.0).position;
+            assert!(
+                (f.to_local(tf.fov.p) - truth).norm() < 0.01,
+                "frame {i} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_rate_position_error_stays_bounded_under_noise() {
+        let cfg = TraceConfig::new(25.0, 30.0);
+        let noise = SensorNoise {
+            gps_sigma_m: 3.0,
+            compass_sigma_deg: 0.0,
+            dropout_prob: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = generate_trace_mixed_rate(
+            &walker(),
+            &frame(),
+            &cfg,
+            1.0,
+            &noise,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        let f = frame();
+        let max_err = trace
+            .iter()
+            .enumerate()
+            .map(|(i, tf)| {
+                (f.to_local(tf.fov.p) - walker().pose(i as f64 / 25.0).position).norm()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(max_err > 0.1, "noise had no effect");
+        assert!(max_err < 15.0, "implausible error {max_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gps_hz")]
+    fn mixed_rate_rejects_gps_faster_than_video() {
+        let cfg = TraceConfig::new(25.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        generate_trace_mixed_rate(
+            &walker(),
+            &frame(),
+            &cfg,
+            100.0,
+            &SensorNoise::NONE,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn zero_duration_gives_one_sample() {
+        let cfg = TraceConfig::new(25.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = generate_trace(
+            &walker(),
+            &frame(),
+            &cfg,
+            &SensorNoise::NONE,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        assert_eq!(trace.len(), 1);
+    }
+}

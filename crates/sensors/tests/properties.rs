@@ -1,0 +1,125 @@
+//! Property tests for the sensor substrate: mobility continuity,
+//! trace determinism, noise statistics.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swag_geo::{LatLon, LocalFrame, Vec2};
+use swag_sensors::{
+    generate_trace, generate_trace_mixed_rate, DeviceClock, Look, Mobility, SensorNoise,
+    TraceConfig,
+};
+
+fn frame() -> LocalFrame {
+    LocalFrame::new(LatLon::new(40.0, 116.32))
+}
+
+fn arb_mobility() -> impl Strategy<Value = Mobility> {
+    prop_oneof![
+        (any::<u64>(), 2usize..12).prop_map(|(seed, legs)| Mobility::random_waypoint(
+            seed, 300.0, legs, 1.4
+        )),
+        (any::<u64>(), 2usize..12).prop_map(|(seed, legs)| Mobility::manhattan(
+            seed,
+            Vec2::ZERO,
+            80.0,
+            legs,
+            1.4
+        )),
+        (0.0f64..360.0, 0.5f64..10.0).prop_map(|(heading, speed)| Mobility::StraightLine {
+            start: Vec2::ZERO,
+            heading_deg: heading,
+            speed_mps: speed,
+            look: Look::Heading,
+        }),
+        (0.0f64..360.0, -30.0f64..30.0).prop_map(|(start, rate)| Mobility::StationaryRotate {
+            position: Vec2::ZERO,
+            start_azimuth_deg: start,
+            rate_deg_per_s: rate,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn poses_are_continuous_in_time(m in arb_mobility(), t in 0.0f64..300.0) {
+        // A 10 ms step never teleports the camera more than its speed
+        // allows (bounded here by 10 m/s plus slack for corner rounding).
+        let a = m.pose(t);
+        let b = m.pose(t + 0.01);
+        prop_assert!(a.position.distance(b.position) < 0.2,
+            "jump of {} m in 10 ms", a.position.distance(b.position));
+    }
+
+    #[test]
+    fn pose_is_deterministic(m in arb_mobility(), t in 0.0f64..500.0) {
+        prop_assert_eq!(m.pose(t), m.pose(t));
+    }
+
+    #[test]
+    fn traces_have_monotone_time_and_valid_azimuths(
+        m in arb_mobility(),
+        seed in any::<u64>(),
+        duration in 1.0f64..30.0,
+    ) {
+        let cfg = TraceConfig::new(25.0, duration);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = generate_trace(
+            &m, &frame(), &cfg, &SensorNoise::smartphone(), &DeviceClock::PERFECT, &mut rng,
+        );
+        prop_assert!(trace.windows(2).all(|w| w[1].t > w[0].t));
+        prop_assert!(trace.iter().all(|f| (0.0..360.0).contains(&f.fov.theta)));
+    }
+
+    #[test]
+    fn noise_free_trace_matches_model_exactly(
+        m in arb_mobility(),
+        duration in 1.0f64..20.0,
+    ) {
+        let cfg = TraceConfig::new(25.0, duration);
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = generate_trace(
+            &m, &frame(), &cfg, &SensorNoise::NONE, &DeviceClock::PERFECT, &mut rng,
+        );
+        let f = frame();
+        for (i, tf) in trace.iter().enumerate() {
+            let truth = m.pose(i as f64 / 25.0);
+            prop_assert!((f.to_local(tf.fov.p) - truth.position).norm() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mixed_rate_equals_full_rate_for_linear_motion(
+        heading in 0.0f64..360.0,
+        speed in 0.5f64..5.0,
+    ) {
+        // Constant-velocity motion is exactly recoverable from 1 Hz fixes.
+        let m = Mobility::StraightLine {
+            start: Vec2::ZERO,
+            heading_deg: heading,
+            speed_mps: speed,
+            look: Look::Heading,
+        };
+        let cfg = TraceConfig::new(25.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mixed = generate_trace_mixed_rate(
+            &m, &frame(), &cfg, 1.0, &SensorNoise::NONE, &DeviceClock::PERFECT, &mut rng,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let full = generate_trace(
+            &m, &frame(), &cfg, &SensorNoise::NONE, &DeviceClock::PERFECT, &mut rng,
+        );
+        prop_assert_eq!(mixed.len(), full.len());
+        for (a, b) in mixed.iter().zip(&full) {
+            prop_assert!(a.fov.p.distance_m(b.fov.p) < 0.01);
+        }
+    }
+
+    #[test]
+    fn clock_round_trips(offset_ms in -500.0f64..500.0, t in 0.0f64..1e7) {
+        let c = DeviceClock::ntp_synced(offset_ms);
+        prop_assert!((c.true_time(c.device_time(t)) - t).abs() < 1e-6);
+    }
+}

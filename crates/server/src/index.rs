@@ -1,0 +1,258 @@
+//! The spatio-temporal FoV index (paper §V-A).
+//!
+//! Each representative FoV becomes a 3-D "rectangle" that is degenerate in
+//! space and extended in time: `min = [lng, lat, t_s]`,
+//! `max = [lng, lat, t_e]` — a line segment in (longitude, latitude, time)
+//! space, exactly as the paper stores it. Queries become boxes covering the
+//! rescaled radius in both spatial dimensions and the requested interval in
+//! time.
+//!
+//! Two interchangeable implementations share the [`FovIndex`] interface:
+//! the R-tree ([`IndexKind::RTree`]) and the naive linear scan the paper
+//! benchmarks against in Fig. 6(c) ([`IndexKind::Linear`]).
+
+use swag_core::RepFov;
+use swag_geo::{LatLon, METERS_PER_DEG};
+use swag_rtree::{Aabb, RTree, RTreeConfig};
+
+use crate::query::Query;
+use crate::store::SegmentId;
+
+/// Which index structure backs a [`FovIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// 3-D R-tree (the paper's design).
+    #[default]
+    RTree,
+    /// Naive linear scan over all records (the Fig. 6(c) baseline).
+    Linear,
+}
+
+/// The FoV rectangle of a representative FoV (paper §V-A).
+pub fn fov_box(rep: &RepFov) -> Aabb<3> {
+    Aabb::new(
+        [rep.fov.p.lng, rep.fov.p.lat, rep.t_start],
+        [rep.fov.p.lng, rep.fov.p.lat, rep.t_end],
+    )
+}
+
+/// The query rectangle of a request (paper §V-B): the radius is converted
+/// to longitude/latitude scales *at the query centre*.
+pub fn query_box(q: &Query) -> Aabb<3> {
+    let r_lat = q.radius_m / METERS_PER_DEG;
+    let coslat = q.center.lat.to_radians().cos().max(1e-9);
+    let r_lng = q.radius_m / (METERS_PER_DEG * coslat);
+    Aabb::new(
+        [q.center.lng - r_lng, q.center.lat - r_lat, q.t_start],
+        [q.center.lng + r_lng, q.center.lat + r_lat, q.t_end],
+    )
+}
+
+/// A spatio-temporal index over segment ids.
+#[derive(Debug, Clone)]
+pub enum FovIndex {
+    /// R-tree backed.
+    RTree(RTree<SegmentId, 3>),
+    /// Linear-scan backed.
+    Linear(Vec<(Aabb<3>, SegmentId)>),
+}
+
+impl FovIndex {
+    /// Creates an empty index of the requested kind.
+    pub fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::RTree => FovIndex::RTree(RTree::new()),
+            IndexKind::Linear => FovIndex::Linear(Vec::new()),
+        }
+    }
+
+    /// Creates an R-tree index with a custom configuration.
+    pub fn with_rtree_config(config: RTreeConfig) -> Self {
+        FovIndex::RTree(RTree::with_config(config))
+    }
+
+    /// Bulk loads an R-tree index from `(rep, id)` pairs (STR packing).
+    pub fn bulk_load(items: Vec<(RepFov, SegmentId)>) -> Self {
+        FovIndex::RTree(RTree::bulk_load(
+            items
+                .into_iter()
+                .map(|(rep, id)| (fov_box(&rep), id))
+                .collect(),
+        ))
+    }
+
+    /// Which kind of index this is.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            FovIndex::RTree(_) => IndexKind::RTree,
+            FovIndex::Linear(_) => IndexKind::Linear,
+        }
+    }
+
+    /// Number of indexed segments.
+    pub fn len(&self) -> usize {
+        match self {
+            FovIndex::RTree(t) => t.len(),
+            FovIndex::Linear(v) => v.len(),
+        }
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indexes one representative FoV.
+    pub fn insert(&mut self, rep: &RepFov, id: SegmentId) {
+        let b = fov_box(rep);
+        match self {
+            FovIndex::RTree(t) => t.insert(b, id),
+            FovIndex::Linear(v) => v.push((b, id)),
+        }
+    }
+
+    /// All segment ids whose FoV rectangle intersects the query rectangle
+    /// (spatial *and* temporal overlap, §V-B).
+    pub fn candidates(&self, q: &Query) -> Vec<SegmentId> {
+        let qb = query_box(q);
+        match self {
+            FovIndex::RTree(t) => t.search(&qb).into_iter().copied().collect(),
+            FovIndex::Linear(v) => v
+                .iter()
+                .filter(|(b, _)| b.intersects(&qb))
+                .map(|(_, id)| *id)
+                .collect(),
+        }
+    }
+
+    /// Removes one indexed segment (used when providers retract videos).
+    pub fn remove(&mut self, rep: &RepFov, id: SegmentId) -> bool {
+        let b = fov_box(rep);
+        match self {
+            FovIndex::RTree(t) => t.remove(&b, |&v| v == id).is_some(),
+            FovIndex::Linear(v) => {
+                if let Some(pos) = v.iter().position(|(bb, vid)| *bb == b && *vid == id) {
+                    v.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: meters of spatial slack to add when converting positions
+/// near the query centre (used by tests).
+pub fn lat_of(center: LatLon, north_m: f64) -> f64 {
+    center.lat + north_m / METERS_PER_DEG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+
+    fn rep_at(north_m: f64, east_m: f64, t0: f64, t1: f64) -> RepFov {
+        let p = LatLon::new(40.0, 116.32).offset_by(swag_geo::Vec2::new(east_m, north_m));
+        RepFov::new(t0, t1, Fov::new(p, 0.0))
+    }
+
+    fn q(radius_m: f64, t0: f64, t1: f64) -> Query {
+        Query::new(t0, t1, LatLon::new(40.0, 116.32), radius_m)
+    }
+
+    #[test]
+    fn fov_box_is_degenerate_in_space() {
+        let r = rep_at(0.0, 0.0, 5.0, 9.0);
+        let b = fov_box(&r);
+        assert_eq!(b.min[0], b.max[0]);
+        assert_eq!(b.min[1], b.max[1]);
+        assert_eq!((b.min[2], b.max[2]), (5.0, 9.0));
+    }
+
+    #[test]
+    fn query_box_covers_radius() {
+        let query = q(100.0, 0.0, 10.0);
+        let b = query_box(&query);
+        // The box must contain positions 100 m in every direction.
+        for (n, e) in [(99.0, 0.0), (-99.0, 0.0), (0.0, 99.0), (0.0, -99.0)] {
+            let r = rep_at(n, e, 5.0, 6.0);
+            assert!(b.intersects(&fov_box(&r)), "offset ({n}, {e})");
+        }
+        // ...but not 150 m away.
+        let far = rep_at(150.0, 0.0, 5.0, 6.0);
+        assert!(!b.intersects(&fov_box(&far)));
+    }
+
+    #[test]
+    fn both_kinds_agree() {
+        let reps: Vec<RepFov> = (0..200)
+            .map(|i| {
+                let ang = f64::from(i) * 7.3;
+                rep_at(
+                    (f64::from(i) * 13.7).sin() * 400.0,
+                    ang.cos() * 400.0,
+                    f64::from(i),
+                    f64::from(i) + 5.0,
+                )
+            })
+            .collect();
+        let mut rtree = FovIndex::new(IndexKind::RTree);
+        let mut linear = FovIndex::new(IndexKind::Linear);
+        for (i, r) in reps.iter().enumerate() {
+            rtree.insert(r, SegmentId(i as u32));
+            linear.insert(r, SegmentId(i as u32));
+        }
+        for query in [q(100.0, 0.0, 300.0), q(300.0, 50.0, 100.0), q(20.0, 500.0, 600.0)] {
+            let mut a = rtree.candidates(&query);
+            let mut b = linear.candidates(&query);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn temporal_filtering_works() {
+        let mut idx = FovIndex::new(IndexKind::RTree);
+        idx.insert(&rep_at(0.0, 0.0, 0.0, 10.0), SegmentId(0));
+        idx.insert(&rep_at(0.0, 0.0, 20.0, 30.0), SegmentId(1));
+        assert_eq!(idx.candidates(&q(50.0, 12.0, 18.0)), vec![]);
+        assert_eq!(idx.candidates(&q(50.0, 5.0, 25.0)).len(), 2);
+        assert_eq!(idx.candidates(&q(50.0, 0.0, 3.0)), vec![SegmentId(0)]);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let reps: Vec<(RepFov, SegmentId)> = (0..500)
+            .map(|i| {
+                (
+                    rep_at(f64::from(i % 23) * 40.0, f64::from(i % 17) * 40.0, f64::from(i), f64::from(i) + 2.0),
+                    SegmentId(i as u32),
+                )
+            })
+            .collect();
+        let bulk = FovIndex::bulk_load(reps.clone());
+        let mut incr = FovIndex::new(IndexKind::RTree);
+        for (r, id) in &reps {
+            incr.insert(r, *id);
+        }
+        let query = q(400.0, 100.0, 300.0);
+        let mut a = bulk.candidates(&query);
+        let mut b = incr.candidates(&query);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut idx = FovIndex::new(IndexKind::RTree);
+        let r = rep_at(0.0, 0.0, 0.0, 10.0);
+        idx.insert(&r, SegmentId(7));
+        assert!(idx.remove(&r, SegmentId(7)));
+        assert!(!idx.remove(&r, SegmentId(7)));
+        assert!(idx.candidates(&q(50.0, 0.0, 10.0)).is_empty());
+    }
+}

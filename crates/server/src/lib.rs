@@ -1,0 +1,37 @@
+//! SWAG cloud server: spatio-temporal FoV indexing and rank-based
+//! retrieval (paper §II, §V).
+//!
+//! The server ingests [`swag_core::UploadBatch`]es of representative FoVs
+//! from providers, stores them in a [`store::SegmentStore`], and indexes
+//! each as a 3-D line segment `[lng, lat, t_s] .. [lng, lat, t_e]` in an
+//! R-tree ([`index::FovIndex`]). A querier's request
+//! `Q = (t_s, t_e, p̂, r̂)` is converted to a query box (the radius is
+//! rescaled to degrees at the query latitude, §V-B) and answered with the
+//! paper's four-step filtering mechanism ([`ranking`]):
+//!
+//! 1. build the query rectangle from an empirical radius of view,
+//! 2. retrieve all FoV segments intersecting it,
+//! 3. drop FoVs pointing away from the query centre, and
+//! 4. rank the rest by distance to the centre, returning the top N.
+//!
+//! [`server::CloudServer`] wraps the whole thing behind a
+//! `parking_lot::RwLock` so many providers can upload while queriers
+//! search.
+
+pub mod index;
+pub mod persistence;
+pub mod query;
+pub mod ranking;
+pub mod server;
+pub mod shard;
+pub mod store;
+pub mod subscribe;
+
+pub use index::{FovIndex, IndexKind};
+pub use persistence::{load_snapshot, save_snapshot, SnapshotError};
+pub use query::{Query, QueryOptions, RankMode};
+pub use ranking::{quality_score, SearchHit};
+pub use server::{CloudServer, ServerStats};
+pub use shard::ShardedFovIndex;
+pub use store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
+pub use subscribe::{SubscriptionId, SubscriptionSet};

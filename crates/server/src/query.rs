@@ -1,0 +1,111 @@
+//! Query types (paper §II-C, §V-B).
+
+use serde::{Deserialize, Serialize};
+use swag_geo::LatLon;
+
+/// A querier's request `Q = (t_s, t_e, p̂, r̂)`: all video segments that can
+/// cover the disc of radius `r̂` around `p̂` between `t_s` and `t_e`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Interval start, seconds.
+    pub t_start: f64,
+    /// Interval end, seconds.
+    pub t_end: f64,
+    /// Query area centre `p̂`.
+    pub center: LatLon,
+    /// Query area radius `r̂`, metres — the "empirical radius of view"
+    /// (e.g. 20 m residential, 100 m highway; §V-B step 1).
+    pub radius_m: f64,
+}
+
+impl Query {
+    /// Creates a query.
+    ///
+    /// # Panics
+    /// Panics if `t_end < t_start` or `radius_m <= 0`.
+    pub fn new(t_start: f64, t_end: f64, center: LatLon, radius_m: f64) -> Self {
+        assert!(t_end >= t_start, "query interval end precedes start");
+        assert!(radius_m > 0.0, "query radius must be positive");
+        Query {
+            t_start,
+            t_end,
+            center,
+            radius_m,
+        }
+    }
+}
+
+/// How retrieved candidates are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RankMode {
+    /// By distance to the query centre, nearest first — the paper's §V-B
+    /// rule.
+    #[default]
+    Distance,
+    /// By composite quality (proximity × alignment × temporal coverage),
+    /// best first — the "quality of each mobile video segment" ranking
+    /// the paper's conclusion describes.
+    Quality,
+}
+
+/// Retrieval knobs for the paper's filtering mechanism (§V-B steps 2-4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryOptions {
+    /// Return at most this many hits (step 4).
+    pub top_n: usize,
+    /// Drop FoVs whose orientation points away from the query centre
+    /// (step 3).
+    pub direction_filter: bool,
+    /// Extra tolerance added to the camera half-angle in the direction
+    /// filter, degrees (absorbs compass noise).
+    pub direction_tolerance_deg: f64,
+    /// Additionally require the FoV's view sector to geometrically
+    /// intersect the query disc (a stricter *covering* test than the
+    /// paper's distance sort; off by default for paper fidelity).
+    pub require_coverage: bool,
+    /// Result ordering.
+    pub rank: RankMode,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            top_n: 10,
+            direction_filter: true,
+            direction_tolerance_deg: 10.0,
+            require_coverage: false,
+            rank: RankMode::Distance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_query_constructs() {
+        let q = Query::new(0.0, 10.0, LatLon::new(40.0, 116.0), 50.0);
+        assert_eq!(q.radius_m, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn inverted_interval_rejected() {
+        Query::new(10.0, 0.0, LatLon::new(40.0, 116.0), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_rejected() {
+        Query::new(0.0, 1.0, LatLon::new(40.0, 116.0), 0.0);
+    }
+
+    #[test]
+    fn default_options_match_paper() {
+        let o = QueryOptions::default();
+        assert!(o.direction_filter);
+        assert!(!o.require_coverage);
+        assert_eq!(o.top_n, 10);
+    }
+}

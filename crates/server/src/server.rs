@@ -1,0 +1,562 @@
+//! The concurrent cloud server.
+//!
+//! Wraps the store and index behind a `parking_lot::RwLock`: uploads take
+//! the write lock briefly, queries run concurrently under the read lock.
+//! Query latency and counts are tracked with atomics so statistics never
+//! contend with the data path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use swag_core::{CameraProfile, RepFov, UploadBatch};
+
+use crate::index::{FovIndex, IndexKind};
+use crate::query::{Query, QueryOptions};
+use crate::ranking::{rank_candidates, SearchHit};
+use crate::store::{SegmentId, SegmentRef, SegmentStore};
+use crate::subscribe::{SubscriptionId, SubscriptionSet};
+
+/// Aggregated server statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Stored segments.
+    pub segments: usize,
+    /// Upload batches ingested.
+    pub batches: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Total time spent answering queries, microseconds.
+    pub query_micros_total: u64,
+}
+
+impl ServerStats {
+    /// Mean query latency in microseconds (0 when no queries ran).
+    pub fn mean_query_micros(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.query_micros_total as f64 / self.queries as f64
+        }
+    }
+}
+
+struct State {
+    store: SegmentStore,
+    index: FovIndex,
+    subscriptions: SubscriptionSet,
+}
+
+/// The crowd-sourced retrieval server (paper §II).
+///
+/// ```
+/// use swag_core::{CameraProfile, Fov, RepFov};
+/// use swag_geo::LatLon;
+/// use swag_server::{CloudServer, Query, QueryOptions, SegmentRef};
+///
+/// let server = CloudServer::new(CameraProfile::smartphone());
+/// let scene = LatLon::new(40.0, 116.32);
+/// // One segment filmed 20 m south of the scene, looking north at it.
+/// server.ingest_one(
+///     RepFov::new(10.0, 18.0, Fov::new(scene.offset(180.0, 20.0), 0.0)),
+///     SegmentRef { provider_id: 7, video_id: 0, segment_idx: 0 },
+/// );
+/// let hits = server.query(
+///     &Query::new(0.0, 60.0, scene, 50.0),
+///     &QueryOptions::default(),
+/// );
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].source.provider_id, 7);
+/// ```
+pub struct CloudServer {
+    state: RwLock<State>,
+    cam: CameraProfile,
+    batches: AtomicU64,
+    queries: AtomicU64,
+    query_micros: AtomicU64,
+}
+
+impl std::fmt::Debug for CloudServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("CloudServer")
+            .field("segments", &stats.segments)
+            .field("batches", &stats.batches)
+            .field("queries", &stats.queries)
+            .field("camera", &self.cam)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CloudServer {
+    /// Creates a server using an R-tree index and the given camera profile
+    /// for ranking geometry.
+    pub fn new(cam: CameraProfile) -> Self {
+        Self::with_index(cam, IndexKind::RTree)
+    }
+
+    /// Creates a server with a chosen index backend.
+    pub fn with_index(cam: CameraProfile, kind: IndexKind) -> Self {
+        CloudServer {
+            state: RwLock::new(State {
+                store: SegmentStore::new(),
+                index: FovIndex::new(kind),
+                subscriptions: SubscriptionSet::new(),
+            }),
+            cam,
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            query_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The camera profile used for ranking geometry.
+    pub fn camera(&self) -> &CameraProfile {
+        &self.cam
+    }
+
+    /// Ingests one upload batch, returning the assigned segment ids.
+    pub fn ingest_batch(&self, batch: &UploadBatch) -> Vec<SegmentId> {
+        let mut state = self.state.write();
+        let ids = batch
+            .reps
+            .iter()
+            .enumerate()
+            .map(|(i, rep)| {
+                let source = SegmentRef {
+                    provider_id: batch.provider_id,
+                    video_id: batch.video_id,
+                    segment_idx: i as u32,
+                };
+                let id = state.store.push(*rep, source);
+                state.index.insert(rep, id);
+                state.subscriptions.offer(rep, id, source, &self.cam);
+                id
+            })
+            .collect();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        ids
+    }
+
+    /// Ingests a single representative FoV.
+    pub fn ingest_one(&self, rep: RepFov, source: SegmentRef) -> SegmentId {
+        let mut state = self.state.write();
+        let id = state.store.push(rep, source);
+        state.index.insert(&rep, id);
+        state.subscriptions.offer(&rep, id, source, &self.cam);
+        id
+    }
+
+    /// Registers a standing query: every matching segment ingested from
+    /// now on is queued until [`Self::poll_subscription`].
+    pub fn subscribe(&self, query: Query, opts: QueryOptions) -> SubscriptionId {
+        self.state.write().subscriptions.subscribe(query, opts)
+    }
+
+    /// Cancels a standing query.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        self.state.write().subscriptions.unsubscribe(id)
+    }
+
+    /// Drains a standing query's accumulated matches (arrival order).
+    pub fn poll_subscription(&self, id: SubscriptionId) -> Vec<SearchHit> {
+        self.state.write().subscriptions.poll(id)
+    }
+
+    /// Answers a query with the paper's rank-based retrieval.
+    pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
+        let start = Instant::now();
+        let state = self.state.read();
+        let candidates = state.index.candidates(query);
+        let hits = rank_candidates(&candidates, &state.store, &self.cam, query, opts);
+        drop(state);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.query_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        hits
+    }
+
+    /// Answers a *k-nearest* request: the `k` segments closest to `center`
+    /// whose intervals overlap `[t_start, t_end]`, subject to the same
+    /// direction/coverage filters as [`Self::query`].
+    ///
+    /// Useful when the querier has no natural radius ("show me whatever
+    /// was filmed closest to this spot"). Implemented as an
+    /// expanding-radius search over the spatio-temporal index: the radius
+    /// doubles until `k` filtered hits are found or the search has covered
+    /// `max_radius_m`.
+    pub fn query_nearest(
+        &self,
+        t_start: f64,
+        t_end: f64,
+        center: swag_geo::LatLon,
+        k: usize,
+        opts: &QueryOptions,
+        max_radius_m: f64,
+    ) -> Vec<SearchHit> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut radius = 50.0_f64.min(max_radius_m);
+        loop {
+            let q = Query::new(t_start, t_end, center, radius);
+            let wide = QueryOptions {
+                top_n: usize::MAX,
+                ..*opts
+            };
+            let hits = self.query(&q, &wide);
+            // Hits beyond the *previous* radius could be shadowed by
+            // unexplored ring candidates only if ranking were non-metric;
+            // distance ranking makes the first k stable once k hits fall
+            // inside the current radius.
+            if hits.len() >= k || radius >= max_radius_m {
+                let mut hits = hits;
+                hits.truncate(k);
+                return hits;
+            }
+            radius = (radius * 2.0).min(max_radius_m);
+        }
+    }
+
+    /// Retracts every segment a provider contributed (the §I privacy
+    /// concern: contributors stay in control of their descriptors).
+    /// Returns how many segments were removed.
+    pub fn retract_provider(&self, provider_id: u64) -> usize {
+        let mut state = self.state.write();
+        let victims: Vec<(RepFov, SegmentId)> = state
+            .store
+            .iter()
+            .filter(|rec| rec.source.provider_id == provider_id)
+            .map(|rec| (rec.rep, rec.id))
+            .collect();
+        for (rep, id) in &victims {
+            let removed = state.index.remove(rep, *id);
+            debug_assert!(removed, "index and store disagreed on {id:?}");
+            state.store.retire(*id);
+        }
+        victims.len()
+    }
+
+    /// Answers many queries concurrently using `threads` worker threads
+    /// (crossbeam scoped threads under the shared read lock). Result order
+    /// matches the input order.
+    pub fn query_batch(
+        &self,
+        queries: &[Query],
+        opts: &QueryOptions,
+        threads: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let threads = threads.max(1);
+        let mut results: Vec<Vec<SearchHit>> = vec![Vec::new(); queries.len()];
+        let chunk = queries.len().div_ceil(threads).max(1);
+        crossbeam::thread::scope(|s| {
+            for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                        *slot = self.query(q, opts);
+                    }
+                });
+            }
+        })
+        .expect("query worker panicked");
+        results
+    }
+
+    /// Exports every stored record (for snapshotting; see
+    /// [`crate::persistence`]).
+    pub fn export_records(&self) -> Vec<crate::store::SegmentRecord> {
+        self.state.read().store.iter().copied().collect()
+    }
+
+    /// Rebuilds a server from records, STR-bulk-loading the R-tree index.
+    pub fn from_records(cam: CameraProfile, records: Vec<(RepFov, SegmentRef)>) -> Self {
+        let mut store = SegmentStore::new();
+        let mut items = Vec::with_capacity(records.len());
+        for (rep, source) in records {
+            let id = store.push(rep, source);
+            items.push((rep, id));
+        }
+        CloudServer {
+            state: RwLock::new(State {
+                store,
+                index: FovIndex::bulk_load(items),
+                subscriptions: SubscriptionSet::new(),
+            }),
+            cam,
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            query_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            segments: self.state.read().store.len(),
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            query_micros_total: self.query_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn center() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    fn batch(provider: u64, n: usize) -> UploadBatch {
+        UploadBatch {
+            provider_id: provider,
+            video_id: 1,
+            reps: (0..n)
+                .map(|i| {
+                    let p = center().offset(180.0, 10.0 + i as f64 * 5.0);
+                    RepFov::new(i as f64 * 10.0, i as f64 * 10.0 + 8.0, Fov::new(p, 0.0))
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_and_query_round_trip() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        let ids = server.ingest_batch(&batch(42, 5));
+        assert_eq!(ids.len(), 5);
+        let q = Query::new(0.0, 100.0, center(), 100.0);
+        let hits = server.query(&q, &QueryOptions::default());
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].source.provider_id, 42);
+        // Nearest first.
+        assert!((hits[0].distance_m - 10.0).abs() < 0.5);
+        let stats = server.stats();
+        assert_eq!(stats.segments, 5);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn temporal_window_restricts_results() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        server.ingest_batch(&batch(1, 5)); // segments at t = 0-8, 10-18, ...
+        let q = Query::new(20.0, 28.0, center(), 200.0);
+        let hits = server.query(&q, &QueryOptions::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rep.t_start, 20.0);
+    }
+
+    #[test]
+    fn linear_and_rtree_servers_agree() {
+        let a = CloudServer::with_index(CameraProfile::smartphone(), IndexKind::RTree);
+        let b = CloudServer::with_index(CameraProfile::smartphone(), IndexKind::Linear);
+        for provider in 0..10 {
+            let batch = batch(provider, 8);
+            a.ingest_batch(&batch);
+            b.ingest_batch(&batch);
+        }
+        let q = Query::new(0.0, 100.0, center(), 60.0);
+        let opts = QueryOptions {
+            top_n: 50,
+            ..QueryOptions::default()
+        };
+        let mut ha: Vec<_> = a.query(&q, &opts).iter().map(|h| h.source).collect();
+        let mut hb: Vec<_> = b.query(&q, &opts).iter().map(|h| h.source).collect();
+        ha.sort_by_key(|s| (s.provider_id, s.segment_idx));
+        hb.sort_by_key(|s| (s.provider_id, s.segment_idx));
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn standing_query_sees_only_future_matching_ingest() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        server.ingest_batch(&batch(1, 3)); // before subscribing: invisible
+        let sub = server.subscribe(
+            Query::new(0.0, 1000.0, center(), 100.0),
+            QueryOptions::default(),
+        );
+        assert!(server.poll_subscription(sub).is_empty());
+
+        server.ingest_batch(&batch(2, 3));
+        let hits = server.poll_subscription(sub);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.source.provider_id == 2));
+        // Drained; cancel stops future delivery.
+        assert!(server.poll_subscription(sub).is_empty());
+        assert!(server.unsubscribe(sub));
+        server.ingest_batch(&batch(3, 3));
+        assert!(server.poll_subscription(sub).is_empty());
+    }
+
+    #[test]
+    fn retract_provider_hides_their_segments() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        server.ingest_batch(&batch(1, 5));
+        server.ingest_batch(&batch(2, 5));
+        assert_eq!(server.stats().segments, 10);
+
+        let removed = server.retract_provider(1);
+        assert_eq!(removed, 5);
+        assert_eq!(server.stats().segments, 5);
+        // Retracting again is a no-op.
+        assert_eq!(server.retract_provider(1), 0);
+
+        let q = Query::new(0.0, 100.0, center(), 200.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query(&q, &opts);
+        assert!(hits.iter().all(|h| h.source.provider_id == 2));
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn retraction_survives_snapshots() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        server.ingest_batch(&batch(1, 4));
+        server.ingest_batch(&batch(2, 4));
+        server.retract_provider(1);
+        let restored = crate::persistence::load_snapshot(
+            crate::persistence::save_snapshot(&server),
+            CameraProfile::smartphone(),
+        )
+        .unwrap();
+        assert_eq!(restored.stats().segments, 4);
+        let q = Query::new(0.0, 100.0, center(), 200.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        assert!(restored
+            .query(&q, &opts)
+            .iter()
+            .all(|h| h.source.provider_id == 2));
+    }
+
+    #[test]
+    fn batch_query_matches_sequential() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        for provider in 0..6 {
+            server.ingest_batch(&batch(provider, 8));
+        }
+        let queries: Vec<Query> = (0..23)
+            .map(|i| {
+                Query::new(
+                    f64::from(i) * 3.0,
+                    f64::from(i) * 3.0 + 40.0,
+                    center().offset(f64::from(i) * 16.0, 20.0),
+                    150.0,
+                )
+            })
+            .collect();
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let sequential: Vec<Vec<SearchHit>> =
+            queries.iter().map(|q| server.query(q, &opts)).collect();
+        for threads in [1, 3, 8] {
+            let parallel = server.query_batch(&queries, &opts, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                let pv: Vec<_> = p.iter().map(|h| h.source).collect();
+                let sv: Vec<_> = s.iter().map(|h| h.source).collect();
+                assert_eq!(pv, sv, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_nearest_returns_k_closest() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        server.ingest_batch(&batch(5, 8)); // distances 10, 15, ..., 45 m south
+        let opts = QueryOptions {
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query_nearest(0.0, 1000.0, center(), 3, &opts, 100_000.0);
+        assert_eq!(hits.len(), 3);
+        let d: Vec<f64> = hits.iter().map(|h| h.distance_m).collect();
+        assert!((d[0] - 10.0).abs() < 0.5 && (d[1] - 15.0).abs() < 0.5 && (d[2] - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn query_nearest_expands_radius_to_find_far_segments() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        // One lonely segment 3 km away, pointing at the centre.
+        let p = center().offset(180.0, 3000.0);
+        server.ingest_one(
+            RepFov::new(0.0, 10.0, Fov::new(p, 0.0)),
+            SegmentRef {
+                provider_id: 1,
+                video_id: 0,
+                segment_idx: 0,
+            },
+        );
+        let opts = QueryOptions {
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query_nearest(0.0, 100.0, center(), 1, &opts, 10_000.0);
+        assert_eq!(hits.len(), 1);
+        assert!((hits[0].distance_m - 3000.0).abs() < 10.0);
+        // With a tight radius budget the search gives up empty-handed.
+        assert!(server
+            .query_nearest(0.0, 100.0, center(), 1, &opts, 500.0)
+            .is_empty());
+    }
+
+    #[test]
+    fn query_nearest_zero_k() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        server.ingest_batch(&batch(1, 3));
+        assert!(server
+            .query_nearest(0.0, 100.0, center(), 0, &QueryOptions::default(), 1e5)
+            .is_empty());
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        crossbeam::thread::scope(|s| {
+            for provider in 0..8u64 {
+                let server = &server;
+                s.spawn(move |_| {
+                    for _ in 0..20 {
+                        server.ingest_batch(&batch(provider, 3));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let server = &server;
+                s.spawn(move |_| {
+                    let q = Query::new(0.0, 1000.0, center(), 500.0);
+                    for _ in 0..50 {
+                        let _ = server.query(&q, &QueryOptions::default());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.segments, 8 * 20 * 3);
+        assert_eq!(stats.batches, 160);
+        assert_eq!(stats.queries, 200);
+        // Final query sees everything in the window.
+        let q = Query::new(0.0, 1000.0, center(), 500.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        assert_eq!(server.query(&q, &opts).len(), 480);
+    }
+}

@@ -1,0 +1,162 @@
+//! Segment metadata storage.
+//!
+//! The server never holds video content — only representative FoVs plus a
+//! reference telling the querier *which provider's video, which segment* to
+//! fetch afterwards (the content-free design of §I).
+
+use serde::{Deserialize, Serialize};
+use swag_core::RepFov;
+
+/// Server-assigned dense identifier of a stored segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SegmentId(pub u32);
+
+/// Where a segment's actual video bytes live on the client side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentRef {
+    /// Contributing provider.
+    pub provider_id: u64,
+    /// Video on the provider's device.
+    pub video_id: u64,
+    /// Segment index within that video.
+    pub segment_idx: u32,
+}
+
+/// A stored segment: its representative FoV and its source reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRecord {
+    /// Server-assigned id.
+    pub id: SegmentId,
+    /// The uploaded representative FoV.
+    pub rep: RepFov,
+    /// Source video segment.
+    pub source: SegmentRef,
+}
+
+/// Append-only segment store with tombstones; `SegmentId` is the index.
+///
+/// Ids stay stable forever: retraction ([`SegmentStore::retire`]) marks a
+/// record dead instead of reusing its slot, so references held by queriers
+/// never dangle.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentStore {
+    records: Vec<SegmentRecord>,
+    retired: Vec<bool>,
+    live: usize,
+}
+
+impl SegmentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, assigning its id.
+    pub fn push(&mut self, rep: RepFov, source: SegmentRef) -> SegmentId {
+        let id = SegmentId(u32::try_from(self.records.len()).expect("store capacity exceeded"));
+        self.records.push(SegmentRecord { id, rep, source });
+        self.retired.push(false);
+        self.live += 1;
+        id
+    }
+
+    /// Looks up a record (live or retired — ids never dangle).
+    #[inline]
+    pub fn get(&self, id: SegmentId) -> &SegmentRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// Marks a record retired. Returns `false` if it already was.
+    pub fn retire(&mut self, id: SegmentId) -> bool {
+        let slot = &mut self.retired[id.0 as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.live -= 1;
+            true
+        }
+    }
+
+    /// Whether a record has been retired.
+    #[inline]
+    pub fn is_retired(&self, id: SegmentId) -> bool {
+        self.retired[id.0 as usize]
+    }
+
+    /// Number of live (non-retired) segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the store has no live segments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over the live records.
+    pub fn iter(&self) -> impl Iterator<Item = &SegmentRecord> {
+        self.records
+            .iter()
+            .zip(&self.retired)
+            .filter(|(_, &dead)| !dead)
+            .map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn rep(t: f64) -> RepFov {
+        RepFov::new(t, t + 1.0, Fov::new(LatLon::new(40.0, 116.0), 0.0))
+    }
+
+    fn src(p: u64) -> SegmentRef {
+        SegmentRef {
+            provider_id: p,
+            video_id: 0,
+            segment_idx: 0,
+        }
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut s = SegmentStore::new();
+        assert!(s.is_empty());
+        let a = s.push(rep(0.0), src(1));
+        let b = s.push(rep(1.0), src(2));
+        assert_eq!((a, b), (SegmentId(0), SegmentId(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b).source.provider_id, 2);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut s = SegmentStore::new();
+        for i in 0..5 {
+            s.push(rep(i as f64), src(i));
+        }
+        let providers: Vec<u64> = s.iter().map(|r| r.source.provider_id).collect();
+        assert_eq!(providers, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn retire_hides_but_keeps_ids_valid() {
+        let mut s = SegmentStore::new();
+        let a = s.push(rep(0.0), src(1));
+        let b = s.push(rep(1.0), src(2));
+        assert!(s.retire(a));
+        assert!(!s.retire(a), "double retire must be a no-op");
+        assert_eq!(s.len(), 1);
+        assert!(s.is_retired(a) && !s.is_retired(b));
+        // The slot still resolves (no dangling ids).
+        assert_eq!(s.get(a).source.provider_id, 1);
+        let live: Vec<u64> = s.iter().map(|r| r.source.provider_id).collect();
+        assert_eq!(live, vec![2]);
+    }
+}

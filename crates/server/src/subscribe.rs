@@ -1,0 +1,194 @@
+//! Standing queries: investigation-style subscriptions.
+//!
+//! A querier watching a scene ("notify me about any new footage of this
+//! corner between 14:00 and 15:00") registers a **standing query**; every
+//! subsequently ingested segment that matches is queued in the
+//! subscription's mailbox until polled. This is the push counterpart of
+//! the paper's pull retrieval, reusing the same filtering semantics
+//! ([`crate::ranking`]).
+//!
+//! Matching happens inline at ingest against each active subscription —
+//! segment arrival rates are modest (tens per second city-wide) and the
+//! per-pair test is a few comparisons, so no inverted index is needed
+//! until subscription counts reach the tens of thousands.
+
+use swag_core::{CameraProfile, RepFov};
+
+use crate::index::{fov_box, query_box};
+use crate::query::{Query, QueryOptions};
+use crate::ranking::{quality_score, SearchHit};
+use crate::store::{SegmentId, SegmentRef};
+
+/// Identifier of a standing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+/// One registered standing query and its mailbox.
+#[derive(Debug)]
+struct Subscription {
+    id: SubscriptionId,
+    query: Query,
+    opts: QueryOptions,
+    mailbox: Vec<SearchHit>,
+    active: bool,
+}
+
+/// The subscription registry (owned by the server behind its lock).
+#[derive(Debug, Default)]
+pub struct SubscriptionSet {
+    subs: Vec<Subscription>,
+    next_id: u64,
+}
+
+impl SubscriptionSet {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a standing query.
+    pub fn subscribe(&mut self, query: Query, opts: QueryOptions) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.subs.push(Subscription {
+            id,
+            query,
+            opts,
+            mailbox: Vec::new(),
+            active: true,
+        });
+        id
+    }
+
+    /// Cancels a subscription; returns whether it existed and was active.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        match self.subs.iter_mut().find(|s| s.id == id) {
+            Some(s) if s.active => {
+                s.active = false;
+                s.mailbox.clear();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of active subscriptions.
+    pub fn active_count(&self) -> usize {
+        self.subs.iter().filter(|s| s.active).count()
+    }
+
+    /// Offers a freshly ingested segment to every active subscription.
+    pub fn offer(&mut self, rep: &RepFov, seg_id: SegmentId, source: SegmentRef, cam: &CameraProfile) {
+        let rep_box = fov_box(rep);
+        for sub in self.subs.iter_mut().filter(|s| s.active) {
+            if !query_box(&sub.query).intersects(&rep_box) {
+                continue;
+            }
+            if !crate::ranking::passes_filters(rep, cam, &sub.query, &sub.opts) {
+                continue;
+            }
+            sub.mailbox.push(SearchHit {
+                id: seg_id,
+                source,
+                rep: *rep,
+                distance_m: rep.fov.p.distance_m(sub.query.center),
+                quality: quality_score(rep, cam, &sub.query),
+            });
+        }
+    }
+
+    /// Drains a subscription's mailbox (arrival order). Returns an empty
+    /// vector for unknown or cancelled ids.
+    pub fn poll(&mut self, id: SubscriptionId) -> Vec<SearchHit> {
+        match self.subs.iter_mut().find(|s| s.id == id && s.active) {
+            Some(s) => std::mem::take(&mut s.mailbox),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn center() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    fn rep_at(dist_south: f64, theta: f64, t0: f64) -> RepFov {
+        RepFov::new(t0, t0 + 5.0, Fov::new(center().offset(180.0, dist_south), theta))
+    }
+
+    fn offer(set: &mut SubscriptionSet, rep: RepFov, i: u32) {
+        set.offer(
+            &rep,
+            SegmentId(i),
+            SegmentRef {
+                provider_id: u64::from(i),
+                video_id: 0,
+                segment_idx: 0,
+            },
+            &CameraProfile::smartphone(),
+        );
+    }
+
+    #[test]
+    fn matching_segments_land_in_the_mailbox() {
+        let mut set = SubscriptionSet::new();
+        let id = set.subscribe(
+            Query::new(0.0, 100.0, center(), 100.0),
+            QueryOptions::default(),
+        );
+        offer(&mut set, rep_at(20.0, 0.0, 10.0), 1); // close, facing centre
+        offer(&mut set, rep_at(20.0, 180.0, 10.0), 2); // facing away
+        offer(&mut set, rep_at(5000.0, 0.0, 10.0), 3); // far away
+        offer(&mut set, rep_at(20.0, 0.0, 500.0), 4); // outside the window
+        let hits = set.poll(id);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].source.provider_id, 1);
+        // Mailbox drained.
+        assert!(set.poll(id).is_empty());
+    }
+
+    #[test]
+    fn multiple_subscriptions_fan_out() {
+        let mut set = SubscriptionSet::new();
+        let near = set.subscribe(
+            Query::new(0.0, 100.0, center(), 50.0),
+            QueryOptions::default(),
+        );
+        let wide = set.subscribe(
+            Query::new(0.0, 100.0, center(), 2000.0),
+            QueryOptions {
+                direction_filter: false,
+                ..QueryOptions::default()
+            },
+        );
+        offer(&mut set, rep_at(100.0, 0.0, 1.0), 1);
+        assert!(set.poll(near).is_empty());
+        assert_eq!(set.poll(wide).len(), 1);
+        assert_eq!(set.active_count(), 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut set = SubscriptionSet::new();
+        let id = set.subscribe(
+            Query::new(0.0, 100.0, center(), 100.0),
+            QueryOptions::default(),
+        );
+        assert!(set.unsubscribe(id));
+        assert!(!set.unsubscribe(id), "double cancel is a no-op");
+        offer(&mut set, rep_at(20.0, 0.0, 10.0), 1);
+        assert!(set.poll(id).is_empty());
+        assert_eq!(set.active_count(), 0);
+    }
+
+    #[test]
+    fn poll_unknown_id_is_empty() {
+        let mut set = SubscriptionSet::new();
+        assert!(set.poll(SubscriptionId(99)).is_empty());
+    }
+}

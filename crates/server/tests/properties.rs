@@ -1,0 +1,211 @@
+//! Property tests for the server: index candidates against brute force,
+//! ranking invariants, sharded vs flat agreement, snapshot round trips.
+
+use proptest::prelude::*;
+use swag_core::{CameraProfile, Fov, RepFov};
+use swag_geo::{LatLon, METERS_PER_DEG};
+use swag_server::{
+    load_snapshot, save_snapshot, CloudServer, FovIndex, IndexKind, Query, QueryOptions, RankMode,
+    SegmentId, SegmentRef, ShardedFovIndex,
+};
+
+fn base() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+fn arb_rep() -> impl Strategy<Value = RepFov> {
+    (
+        -1000.0f64..1000.0,
+        -1000.0f64..1000.0,
+        0.0f64..360.0,
+        0.0f64..3600.0,
+        0.5f64..120.0,
+    )
+        .prop_map(|(dx, dy, theta, t0, dur)| {
+            RepFov::new(
+                t0,
+                t0 + dur,
+                Fov::new(base().offset_by(swag_geo::Vec2::new(dx, dy)), theta),
+            )
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        -1000.0f64..1000.0,
+        -1000.0f64..1000.0,
+        10.0f64..500.0,
+        0.0f64..3600.0,
+        1.0f64..1800.0,
+    )
+        .prop_map(|(dx, dy, r, t0, win)| {
+            Query::new(
+                t0,
+                t0 + win,
+                base().offset_by(swag_geo::Vec2::new(dx, dy)),
+                r,
+            )
+        })
+}
+
+/// The paper's candidate semantics, naively: spatial box + temporal
+/// overlap.
+fn naive_candidates(reps: &[RepFov], q: &Query) -> Vec<usize> {
+    let r_lat = q.radius_m / METERS_PER_DEG;
+    let r_lng = q.radius_m / (METERS_PER_DEG * q.center.lat.to_radians().cos());
+    reps.iter()
+        .enumerate()
+        .filter(|(_, rep)| {
+            (rep.fov.p.lat - q.center.lat).abs() <= r_lat
+                && (rep.fov.p.lng - q.center.lng).abs() <= r_lng
+                && rep.overlaps_time(q.t_start, q.t_end)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn index_candidates_match_naive(
+        reps in prop::collection::vec(arb_rep(), 0..150),
+        q in arb_query(),
+    ) {
+        let mut idx = FovIndex::new(IndexKind::RTree);
+        for (i, rep) in reps.iter().enumerate() {
+            idx.insert(rep, SegmentId(i as u32));
+        }
+        let mut got: Vec<usize> = idx.candidates(&q).into_iter().map(|id| id.0 as usize).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, naive_candidates(&reps, &q));
+    }
+
+    #[test]
+    fn sharded_matches_flat(
+        reps in prop::collection::vec(arb_rep(), 0..150),
+        q in arb_query(),
+        width in 60.0f64..1200.0,
+    ) {
+        let mut flat = FovIndex::new(IndexKind::RTree);
+        let mut sharded = ShardedFovIndex::new(width, IndexKind::RTree);
+        for (i, rep) in reps.iter().enumerate() {
+            flat.insert(rep, SegmentId(i as u32));
+            sharded.insert(rep, SegmentId(i as u32));
+        }
+        let mut a = flat.candidates(&q);
+        let mut b = sharded.candidates(&q);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranking_is_ordered_and_within_candidates(
+        reps in prop::collection::vec(arb_rep(), 1..100),
+        q in arb_query(),
+        quality in prop::bool::ANY,
+    ) {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        for (i, rep) in reps.iter().enumerate() {
+            server.ingest_one(*rep, SegmentRef {
+                provider_id: i as u64,
+                video_id: 0,
+                segment_idx: 0,
+            });
+        }
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            rank: if quality { RankMode::Quality } else { RankMode::Distance },
+            ..QueryOptions::default()
+        };
+        let hits = server.query(&q, &opts);
+        let naive = naive_candidates(&reps, &q);
+        prop_assert_eq!(hits.len(), naive.len());
+        if quality {
+            prop_assert!(hits.windows(2).all(|w| w[0].quality >= w[1].quality));
+            prop_assert!(hits.iter().all(|h| (0.0..=1.0).contains(&h.quality)));
+        } else {
+            prop_assert!(hits.windows(2).all(|w| w[0].distance_m <= w[1].distance_m));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_any_store(reps in prop::collection::vec(arb_rep(), 0..100)) {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        for (i, rep) in reps.iter().enumerate() {
+            server.ingest_one(*rep, SegmentRef {
+                provider_id: i as u64 % 5,
+                video_id: i as u64,
+                segment_idx: 0,
+            });
+        }
+        let restored = load_snapshot(save_snapshot(&server), CameraProfile::smartphone()).unwrap();
+        prop_assert_eq!(restored.stats().segments, reps.len());
+        // Spot-check with a broad query.
+        let q = Query::new(0.0, 7200.0, base(), 5000.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        prop_assert_eq!(server.query(&q, &opts).len(), restored.query(&q, &opts).len());
+    }
+
+    #[test]
+    fn snapshot_loader_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = load_snapshot(&bytes[..], CameraProfile::smartphone());
+    }
+
+    #[test]
+    fn corrupted_snapshots_error_not_panic(reps in prop::collection::vec(arb_rep(), 1..20), flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        for (i, rep) in reps.iter().enumerate() {
+            server.ingest_one(*rep, SegmentRef {
+                provider_id: i as u64,
+                video_id: 0,
+                segment_idx: 0,
+            });
+        }
+        let mut raw = save_snapshot(&server).to_vec();
+        for (idx, val) in flips {
+            let i = idx.index(raw.len());
+            raw[i] ^= val;
+        }
+        // Either loads (flips may be benign) or errors — never panics.
+        let _ = load_snapshot(&raw[..], CameraProfile::smartphone());
+    }
+
+    #[test]
+    fn top_n_is_a_prefix_of_the_full_ranking(
+        reps in prop::collection::vec(arb_rep(), 1..100),
+        q in arb_query(),
+        n in 1usize..20,
+    ) {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        for (i, rep) in reps.iter().enumerate() {
+            server.ingest_one(*rep, SegmentRef {
+                provider_id: i as u64,
+                video_id: 0,
+                segment_idx: 0,
+            });
+        }
+        let full = server.query(&q, &QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        });
+        let top = server.query(&q, &QueryOptions {
+            top_n: n,
+            direction_filter: false,
+            ..QueryOptions::default()
+        });
+        prop_assert_eq!(top.len(), full.len().min(n));
+        for (a, b) in top.iter().zip(&full) {
+            prop_assert_eq!(a.id, b.id);
+        }
+    }
+}

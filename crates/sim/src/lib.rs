@@ -1,0 +1,28 @@
+//! Discrete-event simulation of a complete SWAG deployment.
+//!
+//! The paper evaluates components in isolation; this crate wires them into
+//! a running system and measures the end-to-end behaviour a deployment
+//! would see:
+//!
+//! * **providers** start recording sessions at random times, walk around
+//!   ([`swag_sensors::Mobility`]), and — when a session ends — segment the
+//!   footage ([`swag_client::ClientPipeline`]) and upload the descriptor
+//!   batch over a lossy cellular uplink ([`swag_net::NetworkLink`]);
+//! * the **server** ingests batches the moment they arrive;
+//! * **queriers** arrive as a Poisson process and issue spatio-temporal
+//!   queries over the recent past.
+//!
+//! The headline metric is **time-to-retrievability**: how long after a
+//! video segment ends until a query can find it (segmentation is
+//! real-time, so this is dominated by the upload path — exactly the cost
+//! the content-free design minimises). Query latency and hit statistics
+//! come from the live server.
+//!
+//! Everything is deterministic for a given [`SimConfig::seed`].
+
+pub mod events;
+pub mod metrics;
+pub mod simulation;
+
+pub use metrics::Percentiles;
+pub use simulation::{run_simulation, SimConfig, SimReport};

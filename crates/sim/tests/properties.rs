@@ -1,0 +1,26 @@
+//! Property tests for the simulation infrastructure.
+
+use proptest::prelude::*;
+use swag_sim::Percentiles;
+
+proptest! {
+    #[test]
+    fn percentiles_are_ordered_and_bounded(samples in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let p = Percentiles::of(&samples);
+        prop_assert_eq!(p.count, samples.len());
+        prop_assert!(p.min <= p.p50 && p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+        prop_assert!(p.mean >= p.min - 1e-9 && p.mean <= p.max + 1e-9);
+        // Every percentile is an actual sample value.
+        for v in [p.min, p.p50, p.p90, p.p99, p.max] {
+            prop_assert!(samples.iter().any(|&s| (s - v).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_permutation_invariant(samples in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let a = Percentiles::of(&samples);
+        let mut rev = samples.clone();
+        rev.reverse();
+        prop_assert_eq!(a, Percentiles::of(&rev));
+    }
+}

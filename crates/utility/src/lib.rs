@@ -1,0 +1,100 @@
+//! Video utility and incentive mechanism (paper §VII).
+//!
+//! For a query `Q` the *global utility* is the rectangle
+//! `360° × (t_e − t_s)`: every viewing direction at every instant. A video
+//! segment contributes the sub-rectangle spanned by its angular coverage
+//! `U_a` (the FoV's covered angle range) and its temporal coverage `U_t`
+//! (the overlap of its interval with the query's). The utility of a *set*
+//! of segments is the **area of the union** of their rectangles — a
+//! non-negative monotone **submodular** function, which makes greedy
+//! budgeted selection near-optimal and supports the paper's incentive
+//! mechanism sketch.
+//!
+//! * [`rect`] — coverage rectangles (angle × time), including 0°/360°
+//!   wrap handling;
+//! * [`union_area`] — exact union area via coordinate-compressed sweeping;
+//! * [`incentive`] — greedy budgeted selection (cost-benefit greedy) and
+//!   baselines.
+
+pub mod coverage;
+pub mod incentive;
+pub mod online;
+pub mod rect;
+pub mod union;
+
+pub use coverage::CoverageGrid;
+pub use incentive::{greedy_select, random_select, Priced, Selection};
+pub use online::OnlineSelector;
+pub use rect::{coverage_rects, CoverageRect};
+pub use union::union_area;
+
+use swag_core::{CameraProfile, RepFov};
+
+/// Total utility of a set of segments under a query window: the union area
+/// of their coverage rectangles, in degree·seconds.
+pub fn utility_of_set(
+    reps: &[RepFov],
+    cam: &CameraProfile,
+    t_start: f64,
+    t_end: f64,
+) -> f64 {
+    let rects: Vec<CoverageRect> = reps
+        .iter()
+        .flat_map(|r| coverage_rects(r, cam, t_start, t_end))
+        .collect();
+    union_area(&rects)
+}
+
+/// The global utility `360° × (t_e − t_s)` (paper §VII).
+pub fn global_utility(t_start: f64, t_end: f64) -> f64 {
+    360.0 * (t_end - t_start).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn rep(theta: f64, t0: f64, t1: f64) -> RepFov {
+        RepFov::new(t0, t1, Fov::new(LatLon::new(40.0, 116.32), theta))
+    }
+
+    #[test]
+    fn single_segment_utility_is_angle_times_time() {
+        let cam = CameraProfile::smartphone(); // 2α = 50°
+        let u = utility_of_set(&[rep(90.0, 2.0, 6.0)], &cam, 0.0, 10.0);
+        assert!((u - 50.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_segments_add() {
+        let cam = CameraProfile::smartphone();
+        let u = utility_of_set(
+            &[rep(0.0, 0.0, 2.0), rep(180.0, 5.0, 7.0)],
+            &cam,
+            0.0,
+            10.0,
+        );
+        assert!((u - 2.0 * 50.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_segments_do_not_double_count() {
+        let cam = CameraProfile::smartphone();
+        let one = utility_of_set(&[rep(90.0, 0.0, 5.0)], &cam, 0.0, 10.0);
+        let two = utility_of_set(&[rep(90.0, 0.0, 5.0), rep(90.0, 0.0, 5.0)], &cam, 0.0, 10.0);
+        assert!((one - two).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_never_exceeds_global() {
+        let cam = CameraProfile::smartphone();
+        let reps: Vec<RepFov> = (0..20)
+            .map(|i| rep(f64::from(i) * 18.0, f64::from(i), f64::from(i) + 3.0))
+            .collect();
+        let u = utility_of_set(&reps, &cam, 0.0, 15.0);
+        assert!(u <= global_utility(0.0, 15.0) + 1e-9);
+        assert!(u > 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Coverage rectangles: a segment's contribution to a query's
+//! angle × time utility plane.
+
+use swag_core::{CameraProfile, RepFov};
+use swag_geo::normalize_deg;
+
+/// An axis-aligned rectangle in the utility plane: `x` = time (seconds),
+/// `y` = viewing direction (degrees in `[0, 360]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageRect {
+    /// Time interval start.
+    pub t0: f64,
+    /// Time interval end (`≥ t0`).
+    pub t1: f64,
+    /// Angular interval start, degrees.
+    pub a0: f64,
+    /// Angular interval end (`≥ a0`, `≤ 360`).
+    pub a1: f64,
+}
+
+impl CoverageRect {
+    /// Rectangle area in degree·seconds.
+    pub fn area(&self) -> f64 {
+        (self.t1 - self.t0) * (self.a1 - self.a0)
+    }
+}
+
+/// The coverage rectangles of one segment clipped to the query window
+/// `[t_start, t_end]`.
+///
+/// The angular coverage `Θ = (θ − α, θ + α)` may wrap through 0°/360°; in
+/// that case it is split into two non-wrapping rectangles so downstream
+/// union-area computation can stay axis-aligned. Returns an empty vector
+/// when the segment lies outside the query window.
+pub fn coverage_rects(
+    rep: &RepFov,
+    cam: &CameraProfile,
+    t_start: f64,
+    t_end: f64,
+) -> Vec<CoverageRect> {
+    let t0 = rep.t_start.max(t_start);
+    let t1 = rep.t_end.min(t_end);
+    if t1 <= t0 {
+        return Vec::new();
+    }
+    let lo = normalize_deg(rep.fov.theta - cam.half_angle_deg);
+    let width = cam.viewing_angle_deg();
+    if lo + width <= 360.0 {
+        vec![CoverageRect {
+            t0,
+            t1,
+            a0: lo,
+            a1: lo + width,
+        }]
+    } else {
+        // Wraps: [lo, 360) ∪ [0, lo + width − 360).
+        vec![
+            CoverageRect {
+                t0,
+                t1,
+                a0: lo,
+                a1: 360.0,
+            },
+            CoverageRect {
+                t0,
+                t1,
+                a0: 0.0,
+                a1: lo + width - 360.0,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn rep(theta: f64, t0: f64, t1: f64) -> RepFov {
+        RepFov::new(t0, t1, Fov::new(LatLon::new(40.0, 116.32), theta))
+    }
+
+    fn cam() -> CameraProfile {
+        CameraProfile::smartphone() // α = 25°
+    }
+
+    #[test]
+    fn simple_rect_dimensions() {
+        let rects = coverage_rects(&rep(90.0, 1.0, 4.0), &cam(), 0.0, 10.0);
+        assert_eq!(rects.len(), 1);
+        let r = rects[0];
+        assert_eq!((r.t0, r.t1), (1.0, 4.0));
+        assert!((r.a0 - 65.0).abs() < 1e-9);
+        assert!((r.a1 - 115.0).abs() < 1e-9);
+        assert!((r.area() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_splits_into_two() {
+        let rects = coverage_rects(&rep(10.0, 0.0, 1.0), &cam(), 0.0, 10.0);
+        assert_eq!(rects.len(), 2);
+        let total: f64 = rects.iter().map(CoverageRect::area).sum();
+        assert!((total - 50.0).abs() < 1e-9);
+        assert!(rects.iter().all(|r| r.a0 >= 0.0 && r.a1 <= 360.0));
+    }
+
+    #[test]
+    fn clipping_to_query_window() {
+        let rects = coverage_rects(&rep(90.0, 5.0, 20.0), &cam(), 0.0, 10.0);
+        assert_eq!((rects[0].t0, rects[0].t1), (5.0, 10.0));
+        // Entirely outside.
+        assert!(coverage_rects(&rep(90.0, 20.0, 30.0), &cam(), 0.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn boundary_touching_gives_nothing() {
+        assert!(coverage_rects(&rep(90.0, 10.0, 12.0), &cam(), 0.0, 10.0).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the coverage utility: union-area bounds,
+//! monotonicity and the submodularity that justifies greedy selection
+//! (paper §VII: "this utility function is non-negative monotone
+//! submodular").
+
+use proptest::prelude::*;
+use swag_core::{CameraProfile, Fov, RepFov};
+use swag_geo::LatLon;
+use swag_utility::{coverage_rects, global_utility, union_area, utility_of_set, CoverageRect};
+
+fn arb_rect() -> impl Strategy<Value = CoverageRect> {
+    (0.0f64..100.0, 0.1f64..50.0, 0.0f64..300.0, 1.0f64..60.0).prop_map(|(t0, dt, a0, da)| {
+        CoverageRect {
+            t0,
+            t1: t0 + dt,
+            a0,
+            a1: (a0 + da).min(360.0),
+        }
+    })
+}
+
+fn arb_rep() -> impl Strategy<Value = RepFov> {
+    (0.0f64..100.0, 0.1f64..30.0, 0.0f64..360.0).prop_map(|(t0, dt, theta)| {
+        RepFov::new(t0, t0 + dt, Fov::new(LatLon::new(40.0, 116.32), theta))
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_bounded_by_parts(rects in prop::collection::vec(arb_rect(), 1..30)) {
+        let u = union_area(&rects);
+        let sum: f64 = rects.iter().map(CoverageRect::area).sum();
+        let max = rects.iter().map(CoverageRect::area).fold(0.0, f64::max);
+        prop_assert!(u <= sum + 1e-6, "union {u} > sum {sum}");
+        prop_assert!(u >= max - 1e-6, "union {u} < max part {max}");
+    }
+
+    #[test]
+    fn union_is_monotone(
+        rects in prop::collection::vec(arb_rect(), 1..20),
+        extra in arb_rect(),
+    ) {
+        let before = union_area(&rects);
+        let mut bigger = rects.clone();
+        bigger.push(extra);
+        prop_assert!(union_area(&bigger) >= before - 1e-9);
+    }
+
+    #[test]
+    fn union_is_permutation_invariant(rects in prop::collection::vec(arb_rect(), 1..20)) {
+        let mut reversed = rects.clone();
+        reversed.reverse();
+        prop_assert!((union_area(&rects) - union_area(&reversed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_is_submodular(
+        reps in prop::collection::vec(arb_rep(), 2..15),
+        extra in arb_rep(),
+        split in 0usize..14,
+    ) {
+        // S = prefix ⊆ T = whole set: marginal gain of `extra` must not
+        // grow with the base set (diminishing returns).
+        let cam = CameraProfile::smartphone();
+        let (t0, t1) = (0.0, 150.0);
+        let split = split.min(reps.len());
+        let s: Vec<RepFov> = reps[..split].to_vec();
+        let t: Vec<RepFov> = reps.clone();
+
+        let u = |set: &[RepFov]| utility_of_set(set, &cam, t0, t1);
+        let mut s_x = s.clone();
+        s_x.push(extra);
+        let mut t_x = t.clone();
+        t_x.push(extra);
+
+        let gain_s = u(&s_x) - u(&s);
+        let gain_t = u(&t_x) - u(&t);
+        prop_assert!(gain_s >= gain_t - 1e-6, "gain_S {gain_s} < gain_T {gain_t}");
+    }
+
+    #[test]
+    fn utility_is_monotone_and_bounded(
+        reps in prop::collection::vec(arb_rep(), 0..20),
+        extra in arb_rep(),
+    ) {
+        let cam = CameraProfile::smartphone();
+        let (t0, t1) = (0.0, 150.0);
+        let before = utility_of_set(&reps, &cam, t0, t1);
+        let mut bigger = reps.clone();
+        bigger.push(extra);
+        let after = utility_of_set(&bigger, &cam, t0, t1);
+        prop_assert!(after >= before - 1e-9);
+        prop_assert!(after <= global_utility(t0, t1) + 1e-9);
+        prop_assert!(before >= 0.0);
+    }
+
+    #[test]
+    fn coverage_rect_total_angle_is_viewing_angle(rep in arb_rep()) {
+        let cam = CameraProfile::smartphone();
+        let rects = coverage_rects(&rep, &cam, 0.0, 150.0);
+        let angle: f64 = rects.iter().map(|r| r.a1 - r.a0).sum();
+        prop_assert!((angle - cam.viewing_angle_deg()).abs() < 1e-9);
+        for r in &rects {
+            prop_assert!(r.a0 >= 0.0 && r.a1 <= 360.0);
+            prop_assert!(r.t0 >= 0.0 && r.t1 <= 150.0);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Frame differencing — the paper's representative CV similarity (§VI-B-1).
+//!
+//! The similarity of two frames is `1 − mean(|a − b|)/255` over all RGB
+//! bytes: identical frames score 1, inverted frames score 0. The cost is
+//! linear in the pixel count, which is what makes content-based comparison
+//! three orders of magnitude slower than FoV comparison at video
+//! resolutions.
+
+use crate::frame::Frame;
+
+/// Normalised frame-differencing similarity in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the frames have different dimensions.
+pub fn frame_diff_similarity(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "frame dimensions differ"
+    );
+    let pa = a.pixels();
+    let pb = b.pixels();
+    // Accumulate in u64; 255 · len fits easily.
+    let total: u64 = pa
+        .iter()
+        .zip(pb)
+        .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+        .sum();
+    1.0 - total as f64 / (pa.len() as f64 * 255.0)
+}
+
+/// Mean absolute per-byte difference in `[0, 255]` (the raw distance, for
+/// diagnostics).
+pub fn mean_abs_diff(a: &Frame, b: &Frame) -> f64 {
+    255.0 * (1.0 - frame_diff_similarity(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_score_one() {
+        let mut f = Frame::new(8, 8);
+        f.set(3, 3, [10, 200, 30]);
+        assert_eq!(frame_diff_similarity(&f, &f), 1.0);
+    }
+
+    #[test]
+    fn opposite_frames_score_zero() {
+        let w = Frame::new(4, 4);
+        let mut b = Frame::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                b.set(x, y, [255, 255, 255]);
+            }
+        }
+        assert_eq!(frame_diff_similarity(&w, &b), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let mut a = Frame::new(6, 6);
+        let mut b = Frame::new(6, 6);
+        for i in 0..6 {
+            a.set(i, i, [100, 50, 25]);
+            b.set(i, 5 - i, [25, 50, 100]);
+        }
+        let s1 = frame_diff_similarity(&a, &b);
+        let s2 = frame_diff_similarity(&b, &a);
+        assert_eq!(s1, s2);
+        assert!((0.0..=1.0).contains(&s1));
+        assert!(s1 < 1.0);
+    }
+
+    #[test]
+    fn mean_abs_diff_matches() {
+        let a = Frame::new(2, 2);
+        let mut b = Frame::new(2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                b.set(x, y, [51, 51, 51]);
+            }
+        }
+        assert!((mean_abs_diff(&a, &b) - 51.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions differ")]
+    fn mismatched_sizes_panic() {
+        frame_diff_similarity(&Frame::new(2, 2), &Frame::new(3, 2));
+    }
+}

@@ -1,0 +1,176 @@
+//! RGB frame buffers and standard video resolutions.
+
+/// A packed 8-bit RGB frame, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Frame {
+    /// Allocates a black frame.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        Frame {
+            width,
+            height,
+            pixels: vec![0; width * height * 3],
+        }
+    }
+
+    /// Frame width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw RGB bytes, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Mutable raw RGB bytes.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.pixels
+    }
+
+    /// Number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Reads one pixel.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
+    }
+
+    /// Writes one pixel.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = (y * self.width + x) * 3;
+        self.pixels[i] = rgb[0];
+        self.pixels[i + 1] = rgb[1];
+        self.pixels[i + 2] = rgb[2];
+    }
+
+    /// Luma (Rec. 601 luminance) of a pixel, `0.0..=255.0`.
+    #[inline]
+    pub fn luma(&self, x: usize, y: usize) -> f32 {
+        let [r, g, b] = self.get(x, y);
+        0.299 * f32::from(r) + 0.587 * f32::from(g) + 0.114 * f32::from(b)
+    }
+
+    /// Uncompressed size in bytes.
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.pixels.len()
+    }
+}
+
+/// Standard 16:9-ish video resolutions used by the paper's
+/// segmentation-cost experiment (Fig. 6(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// 426 × 240.
+    P240,
+    /// 640 × 360.
+    P360,
+    /// 854 × 480.
+    P480,
+    /// 1280 × 720.
+    P720,
+    /// 1920 × 1080.
+    P1080,
+}
+
+impl Resolution {
+    /// All presets, ascending.
+    pub const ALL: [Resolution; 5] = [
+        Resolution::P240,
+        Resolution::P360,
+        Resolution::P480,
+        Resolution::P720,
+        Resolution::P1080,
+    ];
+
+    /// `(width, height)` in pixels.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            Resolution::P240 => (426, 240),
+            Resolution::P360 => (640, 360),
+            Resolution::P480 => (854, 480),
+            Resolution::P720 => (1280, 720),
+            Resolution::P1080 => (1920, 1080),
+        }
+    }
+
+    /// Pixel count.
+    pub fn pixel_count(self) -> usize {
+        let (w, h) = self.dims();
+        w * h
+    }
+
+    /// Short label, e.g. `"720p"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Resolution::P240 => "240p",
+            Resolution::P360 => "360p",
+            Resolution::P480 => "480p",
+            Resolution::P720 => "720p",
+            Resolution::P1080 => "1080p",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_black() {
+        let f = Frame::new(4, 3);
+        assert_eq!(f.byte_size(), 36);
+        assert_eq!(f.get(3, 2), [0, 0, 0]);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut f = Frame::new(10, 10);
+        f.set(7, 3, [1, 2, 3]);
+        assert_eq!(f.get(7, 3), [1, 2, 3]);
+        assert_eq!(f.get(3, 7), [0, 0, 0]);
+    }
+
+    #[test]
+    fn luma_of_white_is_255() {
+        let mut f = Frame::new(1, 1);
+        f.set(0, 0, [255, 255, 255]);
+        assert!((f.luma(0, 0) - 255.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn resolutions_ascend() {
+        let counts: Vec<usize> = Resolution::ALL.iter().map(|r| r.pixel_count()).collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(Resolution::P720.dims(), (1280, 720));
+        assert_eq!(Resolution::P1080.label(), "1080p");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_size_rejected() {
+        Frame::new(0, 10);
+    }
+}

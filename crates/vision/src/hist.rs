@@ -1,0 +1,147 @@
+//! Colour-histogram global descriptor (a Gist/HLAC-class baseline,
+//! paper §VIII "global features").
+//!
+//! The frame is reduced to a normalised joint RGB histogram with
+//! `bins³` cells. Extraction is linear in the pixel count; matching is
+//! linear in the descriptor size. Used by the descriptor cost/size
+//! comparison (`tab-desc`).
+
+use crate::frame::Frame;
+
+/// A normalised joint colour histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorHistogram {
+    bins_per_channel: usize,
+    /// `bins³` weights summing to 1 (for non-empty frames).
+    weights: Vec<f32>,
+}
+
+impl ColorHistogram {
+    /// Extracts a histogram with `bins_per_channel ∈ [2, 16]` bins per
+    /// colour channel (so `bins³` cells total).
+    pub fn from_frame(frame: &Frame, bins_per_channel: usize) -> Self {
+        assert!(
+            (2..=16).contains(&bins_per_channel),
+            "bins_per_channel must be in [2, 16]"
+        );
+        let b = bins_per_channel;
+        let mut counts = vec![0u32; b * b * b];
+        let bin = |v: u8| (v as usize * b) / 256;
+        for px in frame.pixels().chunks_exact(3) {
+            let idx = (bin(px[0]) * b + bin(px[1])) * b + bin(px[2]);
+            counts[idx] += 1;
+        }
+        let total = frame.pixel_count() as f32;
+        ColorHistogram {
+            bins_per_channel: b,
+            weights: counts.iter().map(|&c| c as f32 / total).collect(),
+        }
+    }
+
+    /// Number of cells (`bins³`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the histogram is empty (never true for extracted ones).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Descriptor size in bytes when stored as `f32`s.
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.weights.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Histogram-intersection similarity in `[0, 1]`:
+    /// `Σ min(aᵢ, bᵢ)`. 1 for identical colour distributions.
+    pub fn intersection_similarity(&self, other: &ColorHistogram) -> f64 {
+        assert_eq!(
+            self.bins_per_channel, other.bins_per_channel,
+            "histogram bin counts differ"
+        );
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(&a, &b)| f64::from(a.min(b)))
+            .sum()
+    }
+
+    /// Euclidean distance between the weight vectors.
+    pub fn l2_distance(&self, other: &ColorHistogram) -> f64 {
+        assert_eq!(self.bins_per_channel, other.bins_per_channel);
+        self.weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(w: usize, h: usize, rgb: [u8; 3]) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                f.set(x, y, rgb);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let f = solid(8, 8, [200, 30, 90]);
+        let h = ColorHistogram::from_frame(&f, 4);
+        let sum: f32 = h.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(h.len(), 64);
+        assert_eq!(h.byte_size(), 256);
+    }
+
+    #[test]
+    fn identical_frames_intersect_fully() {
+        let f = solid(8, 8, [10, 20, 30]);
+        let h1 = ColorHistogram::from_frame(&f, 8);
+        let h2 = ColorHistogram::from_frame(&f, 8);
+        assert!((h1.intersection_similarity(&h2) - 1.0).abs() < 1e-6);
+        assert!(h1.l2_distance(&h2) < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_colors_intersect_zero() {
+        let a = ColorHistogram::from_frame(&solid(8, 8, [0, 0, 0]), 4);
+        let b = ColorHistogram::from_frame(&solid(8, 8, [255, 255, 255]), 4);
+        assert!(a.intersection_similarity(&b) < 1e-9);
+        assert!(b.l2_distance(&a) > 1.0);
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let mut f1 = solid(8, 8, [10, 20, 30]);
+        f1.set(0, 0, [250, 250, 250]);
+        let f2 = solid(8, 8, [10, 20, 30]);
+        let h1 = ColorHistogram::from_frame(&f1, 4);
+        let h2 = ColorHistogram::from_frame(&f2, 4);
+        let s = h1.intersection_similarity(&h2);
+        assert_eq!(s, h2.intersection_similarity(&h1));
+        // 63 of 64 pixels identical.
+        assert!((s - 63.0 / 64.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bins_per_channel")]
+    fn bad_bin_count_rejected() {
+        ColorHistogram::from_frame(&solid(2, 2, [0, 0, 0]), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! A SIFT-like grid gradient descriptor ("GLOH-lite").
+//!
+//! Stands in for the local-feature baselines (SIFT and variants,
+//! paper §VIII) in the descriptor cost comparison: per-pixel gradient
+//! extraction, high-dimensional float descriptors, and O(n·m)
+//! nearest-neighbour matching with Lowe's ratio test. The asymptotic cost
+//! shape — not feature-detection fidelity — is what the experiment needs.
+//!
+//! The frame is divided into a `grid × grid` array of cells; each cell
+//! accumulates a magnitude-weighted histogram over `ORIENTATIONS` gradient
+//! directions of the luma image. With the default `grid = 4` this yields a
+//! 128-dimensional descriptor per cell block, matching SIFT's
+//! dimensionality.
+
+use crate::frame::Frame;
+
+/// Gradient orientation bins per cell.
+pub const ORIENTATIONS: usize = 8;
+
+/// One cell's orientation histogram.
+pub type CellDescriptor = [f32; ORIENTATIONS];
+
+/// A dense grid of gradient-orientation histograms over a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridDescriptor {
+    grid: usize,
+    /// `grid²` cell histograms, row-major, each L2-normalised.
+    cells: Vec<CellDescriptor>,
+}
+
+impl GridDescriptor {
+    /// Extracts the descriptor with a `grid × grid` cell layout
+    /// (`grid ∈ [2, 16]`).
+    ///
+    /// Cost: one gradient evaluation per interior pixel.
+    pub fn extract(frame: &Frame, grid: usize) -> Self {
+        assert!((2..=16).contains(&grid), "grid must be in [2, 16]");
+        let (w, h) = (frame.width(), frame.height());
+        let mut cells = vec![[0.0f32; ORIENTATIONS]; grid * grid];
+
+        for y in 1..h - 1 {
+            let cy = (y * grid) / h;
+            for x in 1..w - 1 {
+                let gx = frame.luma(x + 1, y) - frame.luma(x - 1, y);
+                let gy = frame.luma(x, y + 1) - frame.luma(x, y - 1);
+                let mag = gx.hypot(gy);
+                if mag < 1.0 {
+                    continue; // flat region
+                }
+                let angle = gy.atan2(gx); // (-π, π]
+                let bin = (((angle + std::f32::consts::PI) / (2.0 * std::f32::consts::PI))
+                    * ORIENTATIONS as f32) as usize
+                    % ORIENTATIONS;
+                let cx = (x * grid) / w;
+                cells[cy * grid + cx][bin] += mag;
+            }
+        }
+
+        // L2-normalise each cell (SIFT-style illumination invariance).
+        for cell in &mut cells {
+            let norm: f32 = cell.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-6 {
+                for v in cell.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+        GridDescriptor { grid, cells }
+    }
+
+    /// Total dimensionality (`grid² × 8`).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.cells.len() * ORIENTATIONS
+    }
+
+    /// Descriptor size in bytes when stored as `f32`s.
+    #[inline]
+    pub fn byte_size(&self) -> usize {
+        self.dims() * std::mem::size_of::<f32>()
+    }
+
+    /// Squared L2 distance between two cell histograms.
+    fn cell_dist_sq(a: &CellDescriptor, b: &CellDescriptor) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Counts cells of `self` whose nearest cell in `other` passes Lowe's
+    /// ratio test (`nearest < ratio × second_nearest`) — the SIFT matching
+    /// procedure, O(cells²) like descriptor matching in practice.
+    pub fn matches(&self, other: &GridDescriptor, ratio: f32) -> usize {
+        assert_eq!(self.grid, other.grid, "grid sizes differ");
+        let mut count = 0;
+        for a in &self.cells {
+            let (mut best, mut second) = (f32::INFINITY, f32::INFINITY);
+            for b in &other.cells {
+                let d = Self::cell_dist_sq(a, b);
+                if d < best {
+                    second = best;
+                    best = d;
+                } else if d < second {
+                    second = d;
+                }
+            }
+            if best < ratio * ratio * second {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Matching similarity in `[0, 1]`: fraction of cells with a
+    /// ratio-test match.
+    pub fn matching_similarity(&self, other: &GridDescriptor, ratio: f32) -> f64 {
+        self.matches(other, ratio) as f64 / self.cells.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A frame with vertical stripes (strong horizontal gradients).
+    fn striped(w: usize, h: usize, period: usize) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let v = if (x / period).is_multiple_of(2) { 230 } else { 20 };
+                f.set(x, y, [v, v, v]);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn dimensionality_matches_sift_at_grid_4() {
+        let f = striped(64, 64, 4);
+        let d = GridDescriptor::extract(&f, 4);
+        assert_eq!(d.dims(), 128);
+        assert_eq!(d.byte_size(), 512);
+    }
+
+    #[test]
+    fn cells_are_normalised() {
+        let f = striped(64, 64, 4);
+        let d = GridDescriptor::extract(&f, 4);
+        for cell in &d.cells {
+            let norm: f32 = cell.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!(norm < 1.001, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn flat_frame_has_zero_cells() {
+        let f = Frame::new(32, 32); // all black → no gradients
+        let d = GridDescriptor::extract(&f, 4);
+        assert!(d.cells.iter().all(|c| c.iter().all(|&v| v == 0.0)));
+    }
+
+    /// A frame whose 16×16 blocks carry stripes at per-block angles, so
+    /// each descriptor cell is distinctive (the ratio test rejects matches
+    /// on repetitive texture by design, exactly like SIFT).
+    fn oriented_blocks(w: usize, h: usize, angle_step_deg: f64) -> Frame {
+        let mut f = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let block = (y / 16) * (w / 16) + x / 16;
+                let angle = (block as f64 * angle_step_deg).to_radians();
+                let phase = x as f64 * angle.cos() + y as f64 * angle.sin();
+                let v = if (phase / 3.0).floor() as i64 % 2 == 0 {
+                    230
+                } else {
+                    20
+                };
+                f.set(x, y, [v, v, v]);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn self_matching_is_high_on_distinctive_texture() {
+        let f = oriented_blocks(64, 64, 23.0);
+        let d = GridDescriptor::extract(&f, 4);
+        let sim = d.matching_similarity(&d, 0.8);
+        assert!(sim > 0.8, "self-similarity {sim}");
+    }
+
+    #[test]
+    fn repetitive_texture_fails_ratio_test() {
+        // Uniform stripes make every cell identical: the ratio test must
+        // reject all matches (ambiguous correspondences), like SIFT does.
+        let f = striped(64, 64, 4);
+        let d = GridDescriptor::extract(&f, 4);
+        assert_eq!(d.matches(&d, 0.8), 0);
+    }
+
+    #[test]
+    fn different_textures_match_poorly() {
+        let a = GridDescriptor::extract(&oriented_blocks(64, 64, 23.0), 4);
+        let b = GridDescriptor::extract(&oriented_blocks(64, 64, 41.0), 4);
+        let cross = a.matching_similarity(&b, 0.8);
+        let auto = a.matching_similarity(&a, 0.8);
+        assert!(cross < auto, "cross {cross} !< auto {auto}");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid sizes differ")]
+    fn mismatched_grids_panic() {
+        let a = GridDescriptor::extract(&striped(32, 32, 4), 4);
+        let b = GridDescriptor::extract(&striped(32, 32, 4), 8);
+        a.matches(&b, 0.8);
+    }
+}

@@ -1,0 +1,126 @@
+//! Image-based rotation estimation — what CV must compute to recover the
+//! information a compass gives for free.
+//!
+//! A pure camera rotation shifts the image horizontally. This module
+//! estimates that shift by cross-correlating the column-mean luma profiles
+//! of two frames (a classic 1-D block-matching scheme) and converts it to
+//! degrees via the camera's angular resolution. The comparison with the
+//! direct sensor readout quantifies the paper's core argument: the
+//! content-free descriptor contains the motion information the CV pipeline
+//! has to work hard to extract.
+
+use crate::frame::Frame;
+
+/// Mean luma per pixel column.
+pub fn column_profile(frame: &Frame) -> Vec<f32> {
+    let (w, h) = (frame.width(), frame.height());
+    let mut profile = vec![0.0f32; w];
+    for y in 0..h {
+        for (x, p) in profile.iter_mut().enumerate() {
+            *p += frame.luma(x, y);
+        }
+    }
+    for p in &mut profile {
+        *p /= h as f32;
+    }
+    profile
+}
+
+/// Estimates the horizontal shift (in pixels) that best aligns frame `b`
+/// to frame `a`, searching `-max_shift..=max_shift`. Positive means the
+/// content of `a` appears `shift` pixels further left in `b` (camera
+/// rotated clockwise).
+///
+/// Returns the shift minimising the mean absolute profile difference over
+/// the overlapping columns.
+pub fn estimate_shift_px(a: &Frame, b: &Frame, max_shift: usize) -> isize {
+    assert_eq!(a.width(), b.width(), "frame widths differ");
+    let pa = column_profile(a);
+    let pb = column_profile(b);
+    let w = pa.len() as isize;
+    let max_shift = (max_shift as isize).min(w - 1);
+
+    let mut best_shift = 0isize;
+    let mut best_cost = f32::INFINITY;
+    for shift in -max_shift..=max_shift {
+        // Column x of `a` matches column x - shift of `b`.
+        let (mut cost, mut count) = (0.0f32, 0u32);
+        for x in 0..w {
+            let xb = x - shift;
+            if xb < 0 || xb >= w {
+                continue;
+            }
+            cost += (pa[x as usize] - pb[xb as usize]).abs();
+            count += 1;
+        }
+        if count == 0 {
+            continue;
+        }
+        // Penalise tiny overlaps slightly so degenerate shifts don't win
+        // on a handful of lucky columns.
+        let mean = cost / count as f32 + 0.05 * (w - count as isize) as f32 / w as f32;
+        if mean < best_cost {
+            best_cost = mean;
+            best_shift = shift;
+        }
+    }
+    best_shift
+}
+
+/// Estimates the camera rotation between two frames, in degrees
+/// (positive = clockwise), given the camera half viewing angle.
+pub fn estimate_rotation_deg(a: &Frame, b: &Frame, half_angle_deg: f64) -> f64 {
+    let max_shift = a.width(); // full frame
+    let shift = estimate_shift_px(a, b, max_shift);
+    // The frame spans 2α over `width` pixels.
+    shift as f64 * (2.0 * half_angle_deg) / a.width() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Renderer;
+    use crate::frame::Resolution;
+    use crate::world::World;
+    use swag_geo::Vec2;
+
+    #[test]
+    fn zero_shift_for_identical_frames() {
+        let world = World::random_city(1, 200.0, 100);
+        let r = Renderer::new(&world, 25.0, 150.0);
+        let f = r.render(Vec2::ZERO, 0.0, Resolution::P240);
+        assert_eq!(estimate_shift_px(&f, &f, 100), 0);
+        assert_eq!(estimate_rotation_deg(&f, &f, 25.0), 0.0);
+    }
+
+    #[test]
+    fn estimates_small_rotations_from_pixels() {
+        let world = World::random_city(7, 250.0, 200);
+        let r = Renderer::new(&world, 25.0, 150.0);
+        let base = r.render(Vec2::ZERO, 0.0, Resolution::P240);
+        for true_rot in [2.0f64, 5.0, 10.0, -4.0] {
+            let turned = r.render(Vec2::ZERO, true_rot, Resolution::P240);
+            let est = estimate_rotation_deg(&base, &turned, 25.0);
+            assert!(
+                (est - true_rot).abs() < 1.5,
+                "true {true_rot}° estimated {est:.2}°"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_has_frame_width() {
+        let world = World::random_city(2, 100.0, 40);
+        let r = Renderer::new(&world, 25.0, 100.0);
+        let f = r.render(Vec2::ZERO, 90.0, Resolution::P240);
+        assert_eq!(column_profile(&f).len(), 426);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_widths_panic() {
+        let a = Frame::new(10, 10);
+        let b = Frame::new(12, 10);
+        estimate_shift_px(&a, &b, 5);
+    }
+}

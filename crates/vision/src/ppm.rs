@@ -1,0 +1,83 @@
+//! PPM (portable pixmap) export of rendered frames.
+//!
+//! Binary `P6` PPM is the simplest self-contained RGB image format; every
+//! common viewer and converter reads it. Used by the render-demo example
+//! and for eyeballing the synthetic world.
+
+use std::io::{self, Write};
+
+use crate::frame::Frame;
+
+/// Writes a frame as binary PPM (`P6`).
+pub fn write_ppm(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    write!(w, "P6\n{} {}\n255\n", frame.width(), frame.height())?;
+    w.write_all(frame.pixels())
+}
+
+/// Parses a binary PPM (`P6`) produced by [`write_ppm`].
+///
+/// Supports the exact subset this crate writes (single whitespace
+/// separators, maxval 255); good enough for round-trip tests and reading
+/// back our own artifacts.
+pub fn read_ppm(data: &[u8]) -> io::Result<Frame> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut parts = data.splitn(4, |&b| b == b'\n');
+    let magic = parts.next().ok_or_else(|| err("missing magic"))?;
+    if magic != b"P6" {
+        return Err(err("not a P6 PPM"));
+    }
+    let dims = parts.next().ok_or_else(|| err("missing dimensions"))?;
+    let dims = std::str::from_utf8(dims).map_err(|_| err("bad dimension encoding"))?;
+    let mut it = dims.split_whitespace();
+    let w: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err("bad width"))?;
+    let h: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err("bad height"))?;
+    let maxval = parts.next().ok_or_else(|| err("missing maxval"))?;
+    if maxval != b"255" {
+        return Err(err("unsupported maxval"));
+    }
+    let pixels = parts.next().ok_or_else(|| err("missing pixel data"))?;
+    if pixels.len() != w * h * 3 {
+        return Err(err("pixel payload size mismatch"));
+    }
+    let mut frame = Frame::new(w, h);
+    frame.pixels_mut().copy_from_slice(pixels);
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Frame::new(5, 3);
+        f.set(0, 0, [255, 0, 0]);
+        f.set(4, 2, [0, 255, 128]);
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &f).unwrap();
+        let back = read_ppm(&buf).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn header_is_canonical() {
+        let f = Frame::new(2, 2);
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &f).unwrap();
+        assert!(buf.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(buf.len(), 11 + 12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_ppm(b"P5\n2 2\n255\n....").is_err());
+        assert!(read_ppm(b"P6\n2 2\n255\nxx").is_err()); // short payload
+        assert!(read_ppm(b"").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! CV-based video segmentation — the content-based baseline the paper's
+//! Fig. 6(a) compares against.
+//!
+//! Mirrors the structure of the paper's Algorithm 1 exactly, but with
+//! frame-differencing similarity instead of FoV similarity: the video is
+//! cut whenever the current frame's pixel similarity to the segment's
+//! anchor frame drops below the threshold. Identical control flow means
+//! the measured cost difference is purely the descriptor's.
+
+use crate::diff::frame_diff_similarity;
+use crate::frame::Frame;
+
+/// A CV-detected segment: frame index range `[start, end]` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvSegment {
+    /// Index of the first frame.
+    pub start: usize,
+    /// Index of the last frame.
+    pub end: usize,
+}
+
+impl CvSegment {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Always false: segments contain at least one frame.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Segments a frame sequence by anchor-frame differencing (Algorithm 1
+/// with CV similarity). Returns an empty vector for an empty input.
+pub fn cv_segment_video(frames: &[Frame], thresh: f64) -> Vec<CvSegment> {
+    let mut out = Vec::new();
+    if frames.is_empty() {
+        return out;
+    }
+    let mut start = 0usize;
+    for i in 1..frames.len() {
+        if frame_diff_similarity(&frames[start], &frames[i]) < thresh {
+            out.push(CvSegment {
+                start,
+                end: i - 1,
+            });
+            start = i;
+        }
+    }
+    out.push(CvSegment {
+        start,
+        end: frames.len() - 1,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(rgb: [u8; 3]) -> Frame {
+        let mut f = Frame::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set(x, y, rgb);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cv_segment_video(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn constant_video_is_one_segment() {
+        let frames = vec![solid([100, 100, 100]); 20];
+        let segs = cv_segment_video(&frames, 0.99);
+        assert_eq!(segs, vec![CvSegment { start: 0, end: 19 }]);
+        assert_eq!(segs[0].len(), 20);
+    }
+
+    #[test]
+    fn scene_change_cuts() {
+        let mut frames = vec![solid([0, 0, 0]); 10];
+        frames.extend(vec![solid([255, 255, 255]); 10]);
+        let segs = cv_segment_video(&frames, 0.5);
+        assert_eq!(
+            segs,
+            vec![
+                CvSegment { start: 0, end: 9 },
+                CvSegment { start: 10, end: 19 }
+            ]
+        );
+    }
+
+    #[test]
+    fn segments_partition_frames() {
+        // Gradually brightening video with an abrupt jump in the middle.
+        let mut frames: Vec<Frame> = (0..30u8).map(|i| solid([i * 2, i * 2, i * 2])).collect();
+        frames[15] = solid([255, 0, 0]);
+        let segs = cv_segment_video(&frames, 0.8);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, 29);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end + 1, w[1].start);
+        }
+        let total: usize = segs.iter().map(CvSegment::len).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn threshold_zero_never_cuts() {
+        let mut frames = vec![solid([0, 0, 0]); 5];
+        frames.push(solid([255, 255, 255]));
+        assert_eq!(cv_segment_video(&frames, 0.0).len(), 1);
+    }
+}

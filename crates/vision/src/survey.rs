@@ -1,0 +1,124 @@
+//! Site survey: estimating the empirical radius of view from the
+//! environment (paper §VII).
+//!
+//! The paper sets the radius of view `R` "by empirical observation"
+//! (20 m residential, 100 m highway) and suggests that map data "can help
+//! us do the site survey … radius of view and segmentation threshold could
+//! be estimated". This module implements that idea against the synthetic
+//! world: cast rays in all directions and measure how far vision actually
+//! reaches before an obstruction.
+
+use swag_geo::Vec2;
+
+use crate::world::World;
+
+/// Visibility statistics around a position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyResult {
+    /// Median unobstructed sight distance over the sampled rays, metres.
+    pub median_visible_m: f64,
+    /// 90th-percentile sight distance, metres.
+    pub p90_visible_m: f64,
+    /// Fraction of rays that reached the probe limit without hitting
+    /// anything (1.0 = open field).
+    pub open_fraction: f64,
+}
+
+/// Probes visibility by casting `n_rays` evenly spaced rays up to
+/// `probe_limit_m`.
+///
+/// # Panics
+/// Panics if `n_rays == 0` or `probe_limit_m <= 0`.
+pub fn site_survey(world: &World, position: Vec2, n_rays: usize, probe_limit_m: f64) -> SurveyResult {
+    assert!(n_rays > 0, "need at least one ray");
+    assert!(probe_limit_m > 0.0, "probe limit must be positive");
+    let mut dists: Vec<f64> = (0..n_rays)
+        .map(|i| {
+            let az = 360.0 * i as f64 / n_rays as f64;
+            world
+                .raycast(position, az, probe_limit_m)
+                .map_or(probe_limit_m, |hit| hit.distance_m)
+        })
+        .collect();
+    let open = dists.iter().filter(|&&d| d >= probe_limit_m).count();
+    dists.sort_by(f64::total_cmp);
+    let pick = |q: f64| dists[((dists.len() - 1) as f64 * q).round() as usize];
+    SurveyResult {
+        median_visible_m: pick(0.5),
+        p90_visible_m: pick(0.9),
+        open_fraction: open as f64 / n_rays as f64,
+    }
+}
+
+/// Suggests an empirical radius of view for a site: the median sight
+/// distance, clamped to the paper's residential/highway band
+/// `[20 m, 300 m]`.
+pub fn suggest_view_radius(world: &World, position: Vec2) -> f64 {
+    site_survey(world, position, 72, 300.0)
+        .median_visible_m
+        .clamp(20.0, 300.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Landmark;
+
+    fn dense_world() -> World {
+        // A tight ring of obstructions ~15 m out.
+        let landmarks = (0..36)
+            .map(|i| {
+                let az = f64::from(i) * 10.0;
+                Landmark {
+                    position: Vec2::from_azimuth_deg(az) * 15.0,
+                    radius_m: 2.0,
+                    height_m: 10.0,
+                    color: [100, 100, 100],
+                }
+            })
+            .collect();
+        World::new(landmarks)
+    }
+
+    #[test]
+    fn open_field_reports_probe_limit() {
+        let world = World::new(vec![]);
+        let r = site_survey(&world, Vec2::ZERO, 36, 250.0);
+        assert_eq!(r.median_visible_m, 250.0);
+        assert_eq!(r.p90_visible_m, 250.0);
+        assert_eq!(r.open_fraction, 1.0);
+        // suggest_view_radius probes to 300 m and clamps there.
+        assert_eq!(suggest_view_radius(&world, Vec2::ZERO), 300.0);
+    }
+
+    #[test]
+    fn dense_ring_reports_short_sight() {
+        let r = site_survey(&dense_world(), Vec2::ZERO, 72, 300.0);
+        assert!(r.median_visible_m < 16.0, "median {}", r.median_visible_m);
+        assert!(r.open_fraction < 0.5);
+        // Suggested radius is clamped up to the residential floor.
+        assert_eq!(suggest_view_radius(&dense_world(), Vec2::ZERO), 20.0);
+    }
+
+    #[test]
+    fn survey_depends_on_position() {
+        // Standing outside the ring looking across open space.
+        let r_inside = site_survey(&dense_world(), Vec2::ZERO, 72, 300.0);
+        let r_outside = site_survey(&dense_world(), Vec2::new(150.0, 0.0), 72, 300.0);
+        assert!(r_outside.median_visible_m > r_inside.median_visible_m);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let world = World::random_city(5, 200.0, 150);
+        let r = site_survey(&world, Vec2::ZERO, 144, 300.0);
+        assert!(r.median_visible_m <= r.p90_visible_m);
+        assert!((0.0..=1.0).contains(&r.open_fraction));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ray")]
+    fn zero_rays_rejected() {
+        site_survey(&World::new(vec![]), Vec2::ZERO, 0, 100.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Coverage analytics: after a day of crowd recording, where is the city
+//! actually filmed — and where are the blind spots an incentive campaign
+//! should target?
+//!
+//! Run with: `cargo run --release --example coverage_map`
+//! Writes `experiments/coverage-heatmap.csv` (rows south→north).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use swag::prelude::*;
+use swag_sensors::{generate_trace, scenarios, Mobility};
+
+fn main() -> std::io::Result<()> {
+    let cam = CameraProfile::smartphone();
+    let origin = scenarios::default_origin();
+    let frame = LocalFrame::new(origin);
+    let noise = SensorNoise::smartphone();
+
+    // Gather everyone's representative FoVs.
+    let mut reps = Vec::new();
+    for provider in 0..25u64 {
+        let mobility = Mobility::random_waypoint(provider * 3 + 1, 400.0, 6, 1.4);
+        let duration = mobility.natural_duration_s().unwrap().min(300.0);
+        let mut rng = StdRng::seed_from_u64(provider);
+        let trace = generate_trace(
+            &mobility,
+            &frame,
+            &TraceConfig::new(25.0, duration),
+            &noise,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
+        reps.extend(ClientPipeline::process_trace(cam, 0.5, &trace).reps);
+    }
+    println!("{} segments from 25 providers", reps.len());
+
+    // Rasterise all view sectors onto a 20 m grid over the 1 km² area.
+    let mut grid = CoverageGrid::new(origin, 500.0, 20.0);
+    for rep in &reps {
+        grid.add(rep, &cam);
+    }
+
+    for min_count in [1, 3, 10] {
+        println!(
+            "area covered by ≥{min_count} segments: {:>5.1} %",
+            100.0 * grid.covered_fraction(min_count)
+        );
+    }
+    let (hot, count) = grid.hottest();
+    println!(
+        "hottest cell: ({:.5}, {:.5}) with {count} overlapping segments",
+        hot.lat, hot.lng
+    );
+
+    std::fs::create_dir_all("experiments")?;
+    std::fs::write("experiments/coverage-heatmap.csv", grid.to_csv())?;
+    println!("wrote experiments/coverage-heatmap.csv ({0}x{0} cells)", grid.cells_per_side());
+    assert!(grid.covered_fraction(1) > 0.05);
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Map export: runs an investigation query and writes GeoJSON you can
+//! drop into geojson.io / QGIS / Leaflet — the provider's trace, the
+//! query area, and every ranked hit's view sector.
+//!
+//! Run with: `cargo run --release --example map_export`
+//! Then open `experiments/map/*.geojson` in any GeoJSON viewer.
+
+use std::fs;
+
+use swag::geojson;
+use swag::prelude::*;
+use swag_sensors::scenarios;
+
+fn main() -> std::io::Result<()> {
+    let cam = CameraProfile::smartphone();
+    let noise = SensorNoise::smartphone();
+    let out = std::path::Path::new("experiments/map");
+    fs::create_dir_all(out)?;
+
+    // Three providers ride/walk around the origin.
+    let server = CloudServer::new(cam);
+    let mut traces = Vec::new();
+    for (provider, seed) in [(0u64, 5u64), (1, 23), (2, 77)] {
+        let trace = scenarios::bike_ride_with_turn(120.0, 4.0, &noise, seed);
+        let result = ClientPipeline::process_trace_smoothed(cam, 0.5, 0.2, &trace);
+        let mut uploader = Uploader::new(provider);
+        let (_, batch) = uploader.upload(result.reps);
+        server.ingest_batch(&batch);
+        traces.push(trace);
+    }
+
+    // Export each provider's raw trajectory.
+    for (i, trace) in traces.iter().enumerate() {
+        let path = out.join(format!("provider-{i}-trace.geojson"));
+        fs::write(&path, geojson::trace_to_geojson(trace))?;
+        println!("wrote {}", path.display());
+    }
+
+    // The query and its ranked hits as view-sector polygons.
+    let spot = scenarios::default_origin().offset(0.0, 90.0);
+    let query = Query::new(0.0, 60.0, spot, 80.0);
+    let hits = server.query(
+        &query,
+        &QueryOptions {
+            top_n: 10,
+            rank: swag_server::RankMode::Quality,
+            ..QueryOptions::default()
+        },
+    );
+    println!("query returned {} hits", hits.len());
+    let path = out.join("query-hits.geojson");
+    fs::write(&path, geojson::hits_to_geojson(&hits, &cam, spot))?;
+    println!("wrote {}", path.display());
+
+    assert!(!hits.is_empty());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: one provider records a bike ride, the server indexes the
+//! descriptors, a querier searches an area the ride passed through.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use swag::prelude::*;
+use swag_sensors::scenarios;
+
+fn main() {
+    // --- Provider side -------------------------------------------------
+    // A cyclist records for ~40 s riding 80 m north, turning right, and
+    // riding 80 m east. Phone sensors are noisy.
+    let cam = CameraProfile::smartphone();
+    let noise = SensorNoise::smartphone();
+    let trace = scenarios::bike_ride_with_turn(80.0, 4.0, &noise, 42);
+    println!("recorded {} frame records", trace.len());
+
+    // The background pipeline segments the video in real time.
+    let result = ClientPipeline::process_trace(cam, 0.5, &trace);
+    println!(
+        "segmented into {} segments ({} frames total)",
+        result.segment_count(),
+        result.frames
+    );
+
+    // When recording stops, only representative FoVs are uploaded.
+    let mut uploader = Uploader::new(1);
+    let (wire, batch) = uploader.upload(result.reps);
+    let video_bytes = VideoProfile::P720.encoded_bytes(40.0);
+    println!(
+        "upload: {} descriptor bytes vs {} bytes of 720p video ({}x smaller)",
+        wire.len(),
+        video_bytes,
+        video_bytes / wire.len() as u64
+    );
+
+    // --- Server side ----------------------------------------------------
+    let server = CloudServer::new(cam);
+    server.ingest_batch(&batch);
+
+    // --- Querier side ---------------------------------------------------
+    // "Show me video covering the 50 m around this point, t = 0..60 s."
+    let somewhere_on_route = scenarios::default_origin().offset(0.0, 60.0);
+    let query = Query::new(0.0, 60.0, somewhere_on_route, 50.0);
+    let hits = server.query(&query, &QueryOptions::default());
+
+    println!("\ntop-{} results:", hits.len());
+    for (rank, hit) in hits.iter().enumerate() {
+        println!(
+            "  #{rank}: provider {} video {} segment {} — t [{:.1}, {:.1}] s, {:.0} m from query centre",
+            hit.source.provider_id,
+            hit.source.video_id,
+            hit.source.segment_idx,
+            hit.rep.t_start,
+            hit.rep.t_end,
+            hit.distance_m
+        );
+    }
+    let stats = server.stats();
+    println!(
+        "\nserver: {} segments indexed, mean query latency {:.0} µs",
+        stats.segments,
+        stats.mean_query_micros()
+    );
+    assert!(!hits.is_empty(), "the ride passed the query area");
+}

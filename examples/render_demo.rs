@@ -1,0 +1,55 @@
+//! Render demo: writes PPM stills of the synthetic world from the three
+//! Fig. 5 camera paths, so you can eyeball what the CV substrate actually
+//! "films". Output lands in `experiments/renders/`.
+//!
+//! Run with: `cargo run --release --example render_demo`
+//! View with e.g. `feh experiments/renders/*.ppm` or convert to PNG with
+//! ImageMagick.
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+
+use swag::prelude::*;
+use swag_sensors::scenarios;
+use swag_vision::write_ppm;
+
+fn main() -> std::io::Result<()> {
+    let cam = CameraProfile::smartphone();
+    let world = World::random_city(5, 400.0, 500);
+    let renderer = Renderer::new(&world, cam.half_angle_deg, cam.view_radius_m);
+    let frame = LocalFrame::new(scenarios::default_origin());
+
+    let out_dir = std::path::Path::new("experiments/renders");
+    fs::create_dir_all(out_dir)?;
+
+    let cases: Vec<(&str, Vec<swag_core::TimedFov>)> = vec![
+        ("rotation", scenarios::rotate_in_place(36.0, 5.0, &SensorNoise::NONE, 1)),
+        ("drive", scenarios::drive_straight(30.0, 8.0, &SensorNoise::NONE, 2)),
+        ("bike-turn", scenarios::bike_ride_with_turn(100.0, 4.0, &SensorNoise::NONE, 3)),
+    ];
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    for (name, trace) in cases {
+        // Five stills spread across the trace, rendered in parallel.
+        let poses: Vec<(Vec2, f64)> = (0..5)
+            .map(|k| {
+                let tf = &trace[k * (trace.len() - 1) / 4];
+                (frame.to_local(tf.fov.p), tf.fov.theta)
+            })
+            .collect();
+        let frames = renderer.render_trace_par(&poses, Resolution::P480, threads);
+        for (k, img) in frames.iter().enumerate() {
+            let path = out_dir.join(format!("{name}-{k}.ppm"));
+            let mut w = BufWriter::new(File::create(&path)?);
+            write_ppm(&mut w, img)?;
+            println!(
+                "{:<22} pose {k}: az {:>5.1} deg -> {}",
+                name,
+                poses[k].1,
+                path.display()
+            );
+        }
+    }
+    println!("\nwrote 15 stills to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! GeoJSON export of traces, view sectors and search results.
+//!
+//! Everything SWAG manipulates is geographic, so the natural way to
+//! inspect it is on a map. This module renders traces, FoV sectors and
+//! ranked hits as GeoJSON `FeatureCollection`s that drop straight into
+//! geojson.io, Leaflet or QGIS.
+//!
+//! The JSON is emitted by hand (the sanctioned dependency set has no JSON
+//! serialiser); the structures involved are simple enough that this stays
+//! readable, and round-trip tests guard the syntax.
+
+use swag_core::{CameraProfile, Fov, TimedFov};
+use swag_geo::LatLon;
+use swag_server::SearchHit;
+
+/// Number of arc points used to approximate a sector's curved edge.
+const ARC_POINTS: usize = 16;
+
+/// A `[lng, lat]` GeoJSON position.
+fn position(p: LatLon) -> String {
+    format!("[{:.7},{:.7}]", p.lng, p.lat)
+}
+
+fn feature(geometry: &str, properties: &str) -> String {
+    format!("{{\"type\":\"Feature\",\"geometry\":{geometry},\"properties\":{{{properties}}}}}")
+}
+
+fn collection(features: &[String]) -> String {
+    format!(
+        "{{\"type\":\"FeatureCollection\",\"features\":[{}]}}",
+        features.join(",")
+    )
+}
+
+/// A recorded trace as a `LineString` feature (plus start/end markers).
+pub fn trace_to_geojson(trace: &[TimedFov]) -> String {
+    let coords: Vec<String> = trace.iter().map(|f| position(f.fov.p)).collect();
+    let line = feature(
+        &format!(
+            "{{\"type\":\"LineString\",\"coordinates\":[{}]}}",
+            coords.join(",")
+        ),
+        &format!(
+            "\"kind\":\"trace\",\"frames\":{},\"t_start\":{:.3},\"t_end\":{:.3}",
+            trace.len(),
+            trace.first().map_or(0.0, |f| f.t),
+            trace.last().map_or(0.0, |f| f.t)
+        ),
+    );
+    let mut features = vec![line];
+    if let (Some(first), Some(last)) = (trace.first(), trace.last()) {
+        features.push(feature(
+            &format!(
+                "{{\"type\":\"Point\",\"coordinates\":{}}}",
+                position(first.fov.p)
+            ),
+            "\"kind\":\"start\"",
+        ));
+        features.push(feature(
+            &format!(
+                "{{\"type\":\"Point\",\"coordinates\":{}}}",
+                position(last.fov.p)
+            ),
+            "\"kind\":\"end\"",
+        ));
+    }
+    collection(&features)
+}
+
+/// The view sector of an FoV as a `Polygon` ring (apex → arc → apex).
+fn sector_ring(fov: &Fov, cam: &CameraProfile) -> String {
+    let mut coords = vec![position(fov.p)];
+    for i in 0..=ARC_POINTS {
+        let az = fov.theta - cam.half_angle_deg
+            + cam.viewing_angle_deg() * i as f64 / ARC_POINTS as f64;
+        coords.push(position(fov.p.offset(az, cam.view_radius_m)));
+    }
+    coords.push(position(fov.p)); // close the ring
+    format!("[[{}]]", coords.join(","))
+}
+
+/// One FoV's view sector as a standalone feature.
+pub fn sector_to_geojson(fov: &Fov, cam: &CameraProfile) -> String {
+    collection(&[feature(
+        &format!(
+            "{{\"type\":\"Polygon\",\"coordinates\":{}}}",
+            sector_ring(fov, cam)
+        ),
+        &format!("\"kind\":\"sector\",\"theta\":{:.2}", fov.theta),
+    )])
+}
+
+/// Ranked search hits as sector polygons with rank/provider/quality
+/// properties, plus the query centre.
+pub fn hits_to_geojson(hits: &[SearchHit], cam: &CameraProfile, query_center: LatLon) -> String {
+    let mut features = vec![feature(
+        &format!(
+            "{{\"type\":\"Point\",\"coordinates\":{}}}",
+            position(query_center)
+        ),
+        "\"kind\":\"query-center\"",
+    )];
+    for (rank, hit) in hits.iter().enumerate() {
+        features.push(feature(
+            &format!(
+                "{{\"type\":\"Polygon\",\"coordinates\":{}}}",
+                sector_ring(&hit.rep.fov, cam)
+            ),
+            &format!(
+                "\"kind\":\"hit\",\"rank\":{rank},\"provider\":{},\"video\":{},\"segment\":{},\
+                 \"distance_m\":{:.1},\"quality\":{:.4},\"t_start\":{:.3},\"t_end\":{:.3}",
+                hit.source.provider_id,
+                hit.source.video_id,
+                hit.source.segment_idx,
+                hit.distance_m,
+                hit.quality,
+                hit.rep.t_start,
+                hit.rep.t_end
+            ),
+        ));
+    }
+    collection(&features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::RepFov;
+    use swag_server::{SegmentId, SegmentRef};
+
+    fn origin() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    /// Minimal structural validation: balanced braces/brackets and no
+    /// trailing commas (enough to catch hand-rolled JSON slips, without a
+    /// JSON parser in the dependency set).
+    fn check_json_shape(s: &str) {
+        let mut depth_brace = 0i64;
+        let mut depth_bracket = 0i64;
+        let mut prev = ' ';
+        for c in s.chars() {
+            match c {
+                '{' => depth_brace += 1,
+                '}' => {
+                    assert_ne!(prev, ',', "trailing comma before }}");
+                    depth_brace -= 1;
+                }
+                '[' => depth_bracket += 1,
+                ']' => {
+                    assert_ne!(prev, ',', "trailing comma before ]");
+                    depth_bracket -= 1;
+                }
+                _ => {}
+            }
+            assert!(depth_brace >= 0 && depth_bracket >= 0, "unbalanced");
+            prev = c;
+        }
+        assert_eq!(depth_brace, 0, "unbalanced braces");
+        assert_eq!(depth_bracket, 0, "unbalanced brackets");
+    }
+
+    #[test]
+    fn trace_geojson_structure() {
+        let trace: Vec<TimedFov> = (0..5)
+            .map(|i| {
+                TimedFov::new(
+                    f64::from(i),
+                    Fov::new(origin().offset(0.0, f64::from(i) * 10.0), 0.0),
+                )
+            })
+            .collect();
+        let json = trace_to_geojson(&trace);
+        check_json_shape(&json);
+        assert!(json.contains("\"type\":\"FeatureCollection\""));
+        assert!(json.contains("\"type\":\"LineString\""));
+        assert!(json.contains("\"frames\":5"));
+        assert!(json.contains("\"kind\":\"start\""));
+        assert!(json.contains("\"kind\":\"end\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = trace_to_geojson(&[]);
+        check_json_shape(&json);
+        assert!(json.contains("\"frames\":0"));
+        assert!(!json.contains("\"kind\":\"start\""));
+    }
+
+    #[test]
+    fn sector_ring_is_closed_and_sized() {
+        let cam = CameraProfile::smartphone();
+        let json = sector_to_geojson(&Fov::new(origin(), 45.0), &cam);
+        check_json_shape(&json);
+        assert!(json.contains("\"type\":\"Polygon\""));
+        // apex + (ARC_POINTS + 1) arc points + closing apex
+        let coords = json.matches("],[").count() + 1;
+        assert_eq!(coords, ARC_POINTS + 3);
+        // The ring closes on the apex coordinate.
+        let apex = position(origin());
+        assert!(json.starts_with("{\"type\":\"FeatureCollection\""));
+        assert_eq!(json.matches(&apex).count(), 2);
+    }
+
+    #[test]
+    fn hits_geojson_carries_rank_and_quality() {
+        let cam = CameraProfile::smartphone();
+        let hits = vec![SearchHit {
+            id: SegmentId(3),
+            source: SegmentRef {
+                provider_id: 7,
+                video_id: 1,
+                segment_idx: 2,
+            },
+            rep: RepFov::new(10.0, 20.0, Fov::new(origin().offset(180.0, 30.0), 0.0)),
+            distance_m: 30.0,
+            quality: 0.5,
+        }];
+        let json = hits_to_geojson(&hits, &cam, origin());
+        check_json_shape(&json);
+        assert!(json.contains("\"kind\":\"query-center\""));
+        assert!(json.contains("\"rank\":0"));
+        assert!(json.contains("\"provider\":7"));
+        assert!(json.contains("\"quality\":0.5000"));
+        assert!(json.contains("\"distance_m\":30.0"));
+    }
+}
