@@ -111,5 +111,10 @@ fn bench_batch_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index_search, bench_full_retrieval, bench_batch_query);
+criterion_group!(
+    benches,
+    bench_index_search,
+    bench_full_retrieval,
+    bench_batch_query
+);
 criterion_main!(benches);

@@ -23,21 +23,38 @@ use swag_geo::{angle_diff_deg, LatLon, LocalFrame, Vec2};
 use swag_net::{plan_uploads, Connectivity, DataPlan, NetworkLink, UploadPolicy};
 use swag_sensors::scenarios::{self, citywide_rep_fovs, CitywideConfig};
 use swag_sensors::{generate_trace, DeviceClock, Mobility, SensorNoise, TraceConfig};
-use swag_server::{
-    CloudServer, FovIndex, IndexKind, Query, QueryOptions, SegmentId, SegmentRef,
-};
+use swag_server::{CloudServer, FovIndex, IndexKind, Query, QueryOptions, SegmentId, SegmentRef};
 use swag_utility::{global_utility, greedy_select, random_select, OnlineSelector, Priced};
 use swag_vision::{
-    estimate_rotation_deg, frame_diff_similarity, site_survey, suggest_view_radius,
-    ColorHistogram, Frame, GridDescriptor, Renderer, Resolution, World,
+    estimate_rotation_deg, frame_diff_similarity, site_survey, suggest_view_radius, ColorHistogram,
+    Frame, GridDescriptor, Renderer, Resolution, World,
 };
 
 const ALL: &[&str] = &[
-    "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "tab-desc", "tab-acc", "tab-traffic",
-    "tab-util", "tab-online", "tab-motion", "tab-arch", "ablation-thresh",
-    "ablation-radius", "ablation-mean", "ablation-smoothing", "ablation-survey",
-    "ablation-split", "ablation-granularity", "ablation-mbr", "ablation-simmodel",
-    "tab-e2e", "tab-policy",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "tab-desc",
+    "tab-acc",
+    "tab-traffic",
+    "tab-util",
+    "tab-online",
+    "tab-motion",
+    "tab-arch",
+    "ablation-thresh",
+    "ablation-radius",
+    "ablation-mean",
+    "ablation-smoothing",
+    "ablation-survey",
+    "ablation-split",
+    "ablation-granularity",
+    "ablation-mbr",
+    "ablation-simmodel",
+    "tab-e2e",
+    "tab-policy",
 ];
 
 fn main() {
@@ -103,7 +120,11 @@ fn fig3() {
     let mut t = ResultTable::new("fig3", &["d_m", "sim_parallel", "sim_perp"]);
     let mut d = 0.0;
     while d <= 300.0 {
-        t.row(vec![format!("{d:.0}"), f(sim_parallel(d, &cam)), f(sim_perp(d, &cam))]);
+        t.row(vec![
+            format!("{d:.0}"),
+            f(sim_parallel(d, &cam)),
+            f(sim_perp(d, &cam)),
+        ]);
         d += 5.0;
     }
     finish(t);
@@ -162,7 +183,11 @@ fn fig4() {
             // removed the exact frame).
             let noisy_i = noisy
                 .iter()
-                .min_by(|a, b| (a.t - clean[i].t).abs().total_cmp(&(b.t - clean[i].t).abs()))
+                .min_by(|a, b| {
+                    (a.t - clean[i].t)
+                        .abs()
+                        .total_cmp(&(b.t - clean[i].t).abs())
+                })
                 .expect("non-empty trace");
             let practice = similarity(&f0_noisy, &noisy_i.fov, &cam);
             t.row(vec![format!("{d:.1}"), f(theory), f(practice), f(cv[k])]);
@@ -186,7 +211,12 @@ fn fig5() {
 
     let mut summary = ResultTable::new(
         "fig5-summary",
-        &["case", "n_poses", "pearson_fov_vs_cv", "fov_offdiag_zero_frac"],
+        &[
+            "case",
+            "n_poses",
+            "pearson_fov_vs_cv",
+            "fov_offdiag_zero_frac",
+        ],
     );
     let cases: Vec<(&str, Vec<TimedFov>)> = vec![
         (
@@ -276,7 +306,10 @@ fn fig6a() {
         "-".into(),
         "10".into(),
         fmt_duration(fov_time),
-        format!("{:.3}", fov_time.as_nanos() as f64 / 1e3 / trace.len() as f64),
+        format!(
+            "{:.3}",
+            fov_time.as_nanos() as f64 / 1e3 / trace.len() as f64
+        ),
         "1x".into(),
     ]);
 
@@ -324,7 +357,12 @@ fn fig6b() {
     let cfg = CitywideConfig::default();
     let mut t = ResultTable::new(
         "fig6b",
-        &["records", "insert_total", "per_insert_us", "bulk_load_total"],
+        &[
+            "records",
+            "insert_total",
+            "per_insert_us",
+            "bulk_load_total",
+        ],
     );
     for n in [1_000usize, 2_000, 5_000, 10_000, 20_000, 50_000] {
         let reps = citywide_rep_fovs(n, &cfg, 42);
@@ -364,7 +402,13 @@ fn fig6c() {
     let frame = LocalFrame::new(scenarios::default_origin());
     let mut t = ResultTable::new(
         "fig6c",
-        &["records", "rtree_query_us", "linear_query_us", "rtree_speedup", "mean_hits"],
+        &[
+            "records",
+            "rtree_query_us",
+            "linear_query_us",
+            "rtree_speedup",
+            "mean_hits",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(7);
     for n in [500usize, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000] {
@@ -465,7 +509,14 @@ fn tab_desc() {
 
     let mut t = ResultTable::new(
         "tab-desc",
-        &["descriptor", "size_bytes", "extract", "match", "extract_vs_fov", "match_vs_fov"],
+        &[
+            "descriptor",
+            "size_bytes",
+            "extract",
+            "match",
+            "extract_vs_fov",
+            "match_vs_fov",
+        ],
     );
     t.row(vec![
         "FoV (ours)".into(),
@@ -480,16 +531,28 @@ fn tab_desc() {
         ha.byte_size().to_string(),
         fmt_duration(hist_extract),
         fmt_duration(hist_match),
-        format!("{:.0}x", hist_extract.as_nanos() as f64 / fov_extract.as_nanos().max(1) as f64),
-        format!("{:.0}x", hist_match.as_nanos() as f64 / fov_match.as_nanos().max(1) as f64),
+        format!(
+            "{:.0}x",
+            hist_extract.as_nanos() as f64 / fov_extract.as_nanos().max(1) as f64
+        ),
+        format!(
+            "{:.0}x",
+            hist_match.as_nanos() as f64 / fov_match.as_nanos().max(1) as f64
+        ),
     ]);
     t.row(vec![
         "SIFT-like grid (local)".into(),
         ga.byte_size().to_string(),
         fmt_duration(grid_extract),
         fmt_duration(grid_match),
-        format!("{:.0}x", grid_extract.as_nanos() as f64 / fov_extract.as_nanos().max(1) as f64),
-        format!("{:.0}x", grid_match.as_nanos() as f64 / fov_match.as_nanos().max(1) as f64),
+        format!(
+            "{:.0}x",
+            grid_extract.as_nanos() as f64 / fov_extract.as_nanos().max(1) as f64
+        ),
+        format!(
+            "{:.0}x",
+            grid_match.as_nanos() as f64 / fov_match.as_nanos().max(1) as f64
+        ),
     ]);
     finish(t);
 }
@@ -575,8 +638,16 @@ fn tab_acc() {
             continue;
         }
         let tp = got.iter().filter(|id| relevant.contains(id)).count() as f64;
-        let precision = if got.is_empty() { 1.0 } else { tp / got.len() as f64 };
-        let recall = if relevant.is_empty() { 1.0 } else { tp / relevant.len() as f64 };
+        let precision = if got.is_empty() {
+            1.0
+        } else {
+            tp / got.len() as f64
+        };
+        let recall = if relevant.is_empty() {
+            1.0
+        } else {
+            tp / relevant.len() as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -620,10 +691,20 @@ fn tab_traffic() {
     let mut recording_s = 0.0;
     for provider in 0..30u64 {
         let mobility = Mobility::random_waypoint(provider, 400.0, 6, 1.4);
-        let duration = mobility.natural_duration_s().expect("bounded path").min(300.0);
+        let duration = mobility
+            .natural_duration_s()
+            .expect("bounded path")
+            .min(300.0);
         let cfg = TraceConfig::new(25.0, duration);
         let mut rng = StdRng::seed_from_u64(provider);
-        let trace = generate_trace(&mobility, &frame, &cfg, &noise, &DeviceClock::PERFECT, &mut rng);
+        let trace = generate_trace(
+            &mobility,
+            &frame,
+            &cfg,
+            &noise,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
         let result = ClientPipeline::process_trace(cam, 0.5, &trace);
         segments += result.segment_count();
         let mut uploader = Uploader::new(provider);
@@ -640,8 +721,14 @@ fn tab_traffic() {
         "FoV descriptors (30 providers)".into(),
         descriptor_bytes.to_string(),
         "1x".into(),
-        format!("{:.2} s", NetworkLink::cellular_3g().transfer_time_s(descriptor_bytes)),
-        format!("{:.2} s", NetworkLink::cellular_4g().transfer_time_s(descriptor_bytes)),
+        format!(
+            "{:.2} s",
+            NetworkLink::cellular_3g().transfer_time_s(descriptor_bytes)
+        ),
+        format!(
+            "{:.2} s",
+            NetworkLink::cellular_4g().transfer_time_s(descriptor_bytes)
+        ),
         format!("{:.5}", plan.cost(descriptor_bytes)),
     ]);
     for profile in [VideoProfile::P360, VideoProfile::P720, VideoProfile::P1080] {
@@ -687,7 +774,14 @@ fn tab_util() {
 
     let mut t = ResultTable::new(
         "tab-util",
-        &["budget", "greedy_utility", "random_utility", "greedy_pct", "random_pct", "gain"],
+        &[
+            "budget",
+            "greedy_utility",
+            "random_utility",
+            "greedy_pct",
+            "random_pct",
+            "gain",
+        ],
     );
     for budget in [2.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
         let greedy = greedy_select(&offers, &cam, t0, t1, budget);
@@ -741,7 +835,13 @@ fn ablation_thresh() {
 fn ablation_radius() {
     let mut t = ResultTable::new(
         "ablation-radius",
-        &["R_m", "d_half_parallel", "d_half_perp", "perp_cutoff", "segments_on_walk"],
+        &[
+            "R_m",
+            "d_half_parallel",
+            "d_half_perp",
+            "perp_cutoff",
+            "segments_on_walk",
+        ],
     );
     let trace = scenarios::walk_parallel(120.0, &SensorNoise::NONE, 3);
     for r in [20.0, 50.0, 100.0, 200.0] {
@@ -826,7 +926,13 @@ fn tab_online() {
 
     let mut t = ResultTable::new(
         "tab-online",
-        &["density_threshold", "accepted", "spent", "utility", "pct_of_offline_greedy"],
+        &[
+            "density_threshold",
+            "accepted",
+            "spent",
+            "utility",
+            "pct_of_offline_greedy",
+        ],
     );
     for threshold in [0.0, 50.0, 100.0, 200.0, 400.0, 800.0] {
         let mut sel = OnlineSelector::new(cam, t0, t1, budget, threshold);
@@ -862,7 +968,13 @@ fn tab_motion() {
 
     let mut t = ResultTable::new(
         "tab-motion",
-        &["true_rot_deg", "cv_estimate_deg", "cv_error_deg", "cv_cost", "sensor_cost"],
+        &[
+            "true_rot_deg",
+            "cv_estimate_deg",
+            "cv_error_deg",
+            "cv_cost",
+            "sensor_cost",
+        ],
     );
     // Sensor "cost": reading the compass field from the frame record.
     let f1 = Fov::new(LatLon::new(40.0, 116.32), 0.0);
@@ -902,7 +1014,13 @@ fn ablation_smoothing() {
     };
     let mut t = ResultTable::new(
         "ablation-smoothing",
-        &["gps_sigma_m", "compass_sigma_deg", "segments_raw", "segments_smoothed", "segments_clean"],
+        &[
+            "gps_sigma_m",
+            "compass_sigma_deg",
+            "segments_raw",
+            "segments_smoothed",
+            "segments_clean",
+        ],
     );
     for (gps, compass) in [(0.0, 0.0), (1.0, 2.0), (3.0, 5.0), (5.0, 8.0), (10.0, 15.0)] {
         let noise = SensorNoise {
@@ -950,7 +1068,13 @@ fn ablation_smoothing() {
 fn ablation_survey() {
     let mut t = ResultTable::new(
         "ablation-survey",
-        &["environment", "median_sight_m", "p90_sight_m", "open_frac", "suggested_R_m"],
+        &[
+            "environment",
+            "median_sight_m",
+            "p90_sight_m",
+            "open_frac",
+            "suggested_R_m",
+        ],
     );
     let cases: Vec<(&str, World)> = vec![
         ("open field", World::new(vec![])),
@@ -1002,7 +1126,10 @@ fn ablation_split() {
             ));
             let t0 = rng.random_range(0.0..cfg.time_window_s - 3600.0);
             let dl = 200.0 / swag_geo::METERS_PER_DEG;
-            swag_rtree::Aabb::new([c.lng - dl, c.lat - dl, t0], [c.lng + dl, c.lat + dl, t0 + 3600.0])
+            swag_rtree::Aabb::new(
+                [c.lng - dl, c.lat - dl, t0],
+                [c.lng + dl, c.lat + dl, t0 + 3600.0],
+            )
         })
         .collect();
 
@@ -1083,7 +1210,12 @@ fn tab_arch() {
         index.insert(rep, SegmentId(i as u32));
     }
     let frame = LocalFrame::new(scenarios::default_origin());
-    let q = Query::new(0.0, 3600.0, frame.from_local(Vec2::new(100.0, 100.0)), 200.0);
+    let q = Query::new(
+        0.0,
+        3600.0,
+        frame.from_local(Vec2::new(100.0, 100.0)),
+        200.0,
+    );
     let fov_cost = time_per_call(200, || {
         std::hint::black_box(index.candidates(&q));
     })
@@ -1109,15 +1241,25 @@ fn tab_arch() {
 
     let mut t = ResultTable::new(
         "tab-arch",
-        &["architecture", "upfront_upload", "per_query_bytes", "client_cpu/query", "server_cpu/query"],
+        &[
+            "architecture",
+            "upfront_upload",
+            "per_query_bytes",
+            "client_cpu/query",
+            "server_cpu/query",
+        ],
     );
     for cost in compare_architectures(&scenario) {
         t.row(vec![
             cost.name.into(),
             fmt_bytes(cost.upfront_upload_bytes),
             fmt_bytes(cost.per_query_bytes),
-            fmt_duration(std::time::Duration::from_secs_f64(cost.per_query_client_cpu_s)),
-            fmt_duration(std::time::Duration::from_secs_f64(cost.per_query_server_cpu_s)),
+            fmt_duration(std::time::Duration::from_secs_f64(
+                cost.per_query_client_cpu_s,
+            )),
+            fmt_duration(std::time::Duration::from_secs_f64(
+                cost.per_query_server_cpu_s,
+            )),
         ]);
     }
     finish(t);
@@ -1148,18 +1290,21 @@ fn ablation_granularity() {
         );
         // Frame-level: every FoV frame is its own zero-duration record
         // (what pre-SWAG geo-video systems index; paper SI criticism).
-        frame_level.extend(
-            trace
-                .iter()
-                .map(|tf| RepFov::new(tf.t, tf.t, tf.fov)),
-        );
+        frame_level.extend(trace.iter().map(|tf| RepFov::new(tf.t, tf.t, tf.fov)));
         // Segment-level: SWAG representative FoVs.
         segment_level.extend(ClientPipeline::process_trace(cam, 0.5, &trace).reps);
     }
 
     let mut t = ResultTable::new(
         "ablation-granularity",
-        &["granularity", "records", "upload_bytes", "build", "query_200_mean_us", "mean_hits"],
+        &[
+            "granularity",
+            "records",
+            "upload_bytes",
+            "build",
+            "query_200_mean_us",
+            "mean_hits",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(3);
     let queries: Vec<Query> = (0..200)
@@ -1171,7 +1316,10 @@ fn ablation_granularity() {
             Query::new(0.0, 400.0, pos, 100.0)
         })
         .collect();
-    for (name, reps) in [("per-frame", &frame_level), ("per-segment (SWAG)", &segment_level)] {
+    for (name, reps) in [
+        ("per-frame", &frame_level),
+        ("per-segment (SWAG)", &segment_level),
+    ] {
         let start = Instant::now();
         let mut index = FovIndex::new(IndexKind::RTree);
         for (i, rep) in reps.iter().enumerate() {
@@ -1267,17 +1415,35 @@ fn ablation_mbr() {
             ));
             let dl = 100.0 / swag_geo::METERS_PER_DEG;
             let t0 = rng.random_range(0.0..300.0);
-            Aabb::new([c.lng - dl, c.lat - dl, t0], [c.lng + dl, c.lat + dl, t0 + 120.0])
+            Aabb::new(
+                [c.lng - dl, c.lat - dl, t0],
+                [c.lng + dl, c.lat + dl, t0 + 120.0],
+            )
         })
         .collect();
 
     let mut t = ResultTable::new(
         "ablation-mbr",
-        &["aggregation", "hits_total", "true_pos", "false_pos", "false_neg", "precision", "recall"],
+        &[
+            "aggregation",
+            "hits_total",
+            "true_pos",
+            "false_pos",
+            "false_neg",
+            "precision",
+            "recall",
+        ],
     );
-    for (name, boxes) in [("point (SWAG eq. 11)", &point_boxes), ("MBR (GeoTree-style)", &mbr_boxes)] {
+    for (name, boxes) in [
+        ("point (SWAG eq. 11)", &point_boxes),
+        ("MBR (GeoTree-style)", &mbr_boxes),
+    ] {
         let tree: RTree<u32, 3> = RTree::bulk_load(
-            boxes.iter().enumerate().map(|(i, b)| (*b, i as u32)).collect(),
+            boxes
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (*b, i as u32))
+                .collect(),
         );
         let (mut tp, mut fp, mut fneg, mut hits_total) = (0usize, 0usize, 0usize, 0usize);
         for q in &queries {
@@ -1285,9 +1451,9 @@ fn ablation_mbr() {
                 tree.search(q).into_iter().copied().collect();
             hits_total += hits.len();
             for (i, fovs) in segments.iter().enumerate() {
-                let truth = fovs.iter().any(|f| {
-                    q.contains_point(&[f.fov.p.lng, f.fov.p.lat, f.t])
-                });
+                let truth = fovs
+                    .iter()
+                    .any(|f| q.contains_point(&[f.fov.p.lng, f.fov.p.lat, f.t]));
                 let got = hits.contains(&(i as u32));
                 match (truth, got) {
                     (true, true) => tp += 1,
@@ -1322,8 +1488,16 @@ fn tab_e2e() {
     let mut t = ResultTable::new(
         "tab-e2e",
         &[
-            "uplink", "sessions", "segments", "upload", "queries", "hit_rate",
-            "retrv_p50_s", "retrv_p99_s", "qlat_p50_us", "qlat_p99_us",
+            "uplink",
+            "sessions",
+            "segments",
+            "upload",
+            "queries",
+            "hit_rate",
+            "retrv_p50_s",
+            "retrv_p99_s",
+            "qlat_p50_us",
+            "qlat_p99_us",
         ],
     );
     for (name, uplink) in [
@@ -1369,8 +1543,14 @@ fn ablation_simmodel() {
     let mut deltas: Vec<(Vec2, f64)> = Vec::new();
     for dth in [0.0, 10.0, 20.0, 35.0, 60.0] {
         for (dx, dy) in [
-            (0.0, 0.0), (0.0, 20.0), (0.0, 50.0), (20.0, 0.0), (50.0, 0.0),
-            (30.0, 30.0), (0.0, 90.0), (90.0, 0.0),
+            (0.0, 0.0),
+            (0.0, 20.0),
+            (0.0, 50.0),
+            (20.0, 0.0),
+            (50.0, 0.0),
+            (30.0, 30.0),
+            (0.0, 90.0),
+            (90.0, 0.0),
         ] {
             deltas.push((Vec2::new(dx, dy), dth));
         }
@@ -1382,9 +1562,7 @@ fn ablation_simmodel() {
         .collect();
     let vector_sims: Vec<f64> = deltas
         .iter()
-        .map(|&(dp, dth)| {
-            vector_model_similarity(&f0, &Fov::new(frame.from_local(dp), dth), &cam)
-        })
+        .map(|&(dp, dth)| vector_model_similarity(&f0, &Fov::new(frame.from_local(dp), dth), &cam))
         .collect();
 
     let seeds = [7u64, 19, 31, 43];
@@ -1451,9 +1629,20 @@ fn tab_policy() {
     );
     let policies: Vec<(String, UploadPolicy)> = vec![
         ("immediate".into(), UploadPolicy::Immediate),
-        ("wifi-preferred (15 min)".into(), UploadPolicy::WifiPreferred { max_delay_s: 900.0 }),
-        ("wifi-preferred (4 h)".into(), UploadPolicy::WifiPreferred { max_delay_s: 4.0 * h }),
-        ("batched (30 min)".into(), UploadPolicy::Batched { interval_s: 1800.0 }),
+        (
+            "wifi-preferred (15 min)".into(),
+            UploadPolicy::WifiPreferred { max_delay_s: 900.0 },
+        ),
+        (
+            "wifi-preferred (4 h)".into(),
+            UploadPolicy::WifiPreferred {
+                max_delay_s: 4.0 * h,
+            },
+        ),
+        (
+            "batched (30 min)".into(),
+            UploadPolicy::Batched { interval_s: 1800.0 },
+        ),
     ];
     for (name, policy) in policies {
         let report = plan_uploads(policy, &connectivity, &uploads, &cellular, &wifi, &plan);

@@ -1,0 +1,222 @@
+//! Observability overhead guard.
+//!
+//! Measures the server query path three ways over the same workload:
+//!
+//! * **baseline** — an exact replica of the query loop as it was before
+//!   instrumentation (RwLock read, index scan, ranking, `Instant`-based
+//!   latency atomics), built from the same public components;
+//! * **disabled** — `CloudServer` with no observability attached, i.e.
+//!   the one-branch-per-query path every deployment pays;
+//! * **enabled** — `CloudServer` with a full registry attached.
+//!
+//! Writes `BENCH_obs.json` at the workspace root and exits non-zero if
+//! the disabled path regresses by `LIMIT_PCT` or more against baseline.
+//!
+//! Usage: `cargo run --release -p swag-bench --bin obs_overhead`
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use swag_bench::fmt_duration;
+use swag_core::{CameraProfile, Fov, RepFov};
+use swag_geo::LatLon;
+use swag_obs::Registry;
+use swag_server::ranking::rank_candidates;
+use swag_server::{
+    CloudServer, FovIndex, IndexKind, Query, QueryOptions, SegmentRef, SegmentStore,
+};
+
+const SEGMENTS: usize = 20_000;
+const QUERIES: usize = 512;
+const ROUNDS: usize = 31;
+const LIMIT_PCT: f64 = 2.0;
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Deterministic workload: segments sunflower-scattered within 600 m of
+/// the centre, uniformly spread over an hour of recording time.
+fn segments() -> Vec<(RepFov, SegmentRef)> {
+    (0..SEGMENTS)
+        .map(|i| {
+            let bearing = (i as f64 * 0.618_033_988_75 * 360.0) % 360.0;
+            let dist = 600.0 * (((i % 997) as f64 + 1.0) / 997.0).sqrt();
+            let t0 = (i % 3600) as f64;
+            let rep = RepFov::new(
+                t0,
+                t0 + 8.0,
+                Fov::new(center().offset(bearing, dist), (i % 360) as f64),
+            );
+            let source = SegmentRef {
+                provider_id: (i / 100) as u64,
+                video_id: 0,
+                segment_idx: i as u32,
+            };
+            (rep, source)
+        })
+        .collect()
+}
+
+fn queries() -> Vec<Query> {
+    (0..QUERIES)
+        .map(|i| {
+            let bearing = (i as f64 * 137.507_764) % 360.0;
+            let dist = 300.0 * ((i % 13) as f64 / 13.0);
+            let t0 = ((i * 97) % 3500) as f64;
+            Query::new(t0, t0 + 60.0, center().offset(bearing, dist), 120.0)
+        })
+        .collect()
+}
+
+/// The seed's `CloudServer::query` body, replicated over the same public
+/// index/store/ranking components the server is built from.
+struct BaselineServer {
+    state: RwLock<(FovIndex, SegmentStore)>,
+    cam: CameraProfile,
+    queries: AtomicU64,
+    query_micros: AtomicU64,
+}
+
+impl BaselineServer {
+    fn new(cam: CameraProfile, items: &[(RepFov, SegmentRef)]) -> Self {
+        let mut index = FovIndex::new(IndexKind::RTree);
+        let mut store = SegmentStore::new();
+        for &(rep, source) in items {
+            let id = store.push(rep, source);
+            index.insert(&rep, id);
+        }
+        BaselineServer {
+            state: RwLock::new((index, store)),
+            cam,
+            queries: AtomicU64::new(0),
+            query_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn query(&self, query: &Query, opts: &QueryOptions) -> usize {
+        let start = Instant::now();
+        let state = self.state.read();
+        let candidates = state.0.candidates(query);
+        let hits = rank_candidates(&candidates, &state.1, &self.cam, query, opts);
+        drop(state);
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.query_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        hits.len()
+    }
+}
+
+/// One timed pass over every query; returns elapsed nanoseconds.
+fn round_ns(mut run: impl FnMut(&Query) -> usize, qs: &[Query]) -> u64 {
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for q in qs {
+        sink += run(q);
+    }
+    black_box(sink);
+    start.elapsed().as_nanos() as u64
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let cam = CameraProfile::smartphone();
+    let items = segments();
+    let qs = queries();
+    let opts = QueryOptions::default();
+
+    let baseline = BaselineServer::new(cam, &items);
+    let disabled = CloudServer::new(cam);
+    let registry = Registry::new();
+    let mut enabled = CloudServer::new(cam);
+    enabled.attach_observability(&registry);
+    for &(rep, source) in &items {
+        disabled.ingest_one(rep, source);
+        enabled.ingest_one(rep, source);
+    }
+
+    // Warm up every subject, then time them interleaved per round so
+    // drift (frequency scaling, page cache) hits all three equally.
+    for subject in 0..3 {
+        let _ = match subject {
+            0 => round_ns(|q| baseline.query(q, &opts), &qs),
+            1 => round_ns(|q| disabled.query(q, &opts).len(), &qs),
+            _ => round_ns(|q| enabled.query(q, &opts).len(), &qs),
+        };
+    }
+    let mut t_base = Vec::with_capacity(ROUNDS);
+    let mut t_disabled = Vec::with_capacity(ROUNDS);
+    let mut t_enabled = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        t_base.push(round_ns(|q| baseline.query(q, &opts), &qs));
+        t_disabled.push(round_ns(|q| disabled.query(q, &opts).len(), &qs));
+        t_enabled.push(round_ns(|q| enabled.query(q, &opts).len(), &qs));
+    }
+
+    let med_base = median(&mut t_base);
+    let med_disabled = median(&mut t_disabled);
+    let med_enabled = median(&mut t_enabled);
+    let pct = |ns: u64| (ns as f64 - med_base as f64) / med_base as f64 * 100.0;
+    let (disabled_pct, enabled_pct) = (pct(med_disabled), pct(med_enabled));
+    let pass = disabled_pct < LIMIT_PCT;
+
+    println!("obs overhead over {SEGMENTS} segments, {QUERIES} queries x {ROUNDS} rounds");
+    println!(
+        "  baseline  median {:>10} / round",
+        fmt_duration(std::time::Duration::from_nanos(med_base))
+    );
+    println!(
+        "  disabled  median {:>10} / round  ({disabled_pct:+.2}%)",
+        fmt_duration(std::time::Duration::from_nanos(med_disabled))
+    );
+    println!(
+        "  enabled   median {:>10} / round  ({enabled_pct:+.2}%)",
+        fmt_duration(std::time::Duration::from_nanos(med_enabled))
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"segments\": {},\n",
+            "  \"queries_per_round\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"median_round_ns\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}}},\n",
+            "  \"overhead_pct\": {{\"disabled\": {:.3}, \"enabled\": {:.3}}},\n",
+            "  \"limit_pct\": {},\n",
+            "  \"metrics_recorded\": {},\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        SEGMENTS,
+        QUERIES,
+        ROUNDS,
+        med_base,
+        med_disabled,
+        med_enabled,
+        disabled_pct,
+        enabled_pct,
+        LIMIT_PCT,
+        registry.len(),
+        pass
+    );
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_obs.json");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("cannot write BENCH_obs.json");
+    println!("wrote {}", path.display());
+
+    if !pass {
+        eprintln!("FAIL: disabled-instrumentation overhead {disabled_pct:.2}% >= {LIMIT_PCT}%");
+        std::process::exit(1);
+    }
+}

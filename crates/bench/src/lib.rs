@@ -78,7 +78,10 @@ impl ResultTable {
         };
         println!("\n== {} ==", self.name);
         println!("{}", line(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

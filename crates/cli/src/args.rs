@@ -10,7 +10,12 @@ pub struct ArgParser {
 }
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["--noise", "--no-direction-filter", "--coverage", "--quality"];
+const BARE_FLAGS: &[&str] = &[
+    "--noise",
+    "--no-direction-filter",
+    "--coverage",
+    "--quality",
+];
 
 impl ArgParser {
     /// Splits raw arguments into options, bare flags and positionals.
@@ -43,21 +48,23 @@ impl ArgParser {
 
     /// An optional string option.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str).filter(|s| !s.is_empty())
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .filter(|s| !s.is_empty())
     }
 
     /// A required string option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     /// An optional f64 option with a default.
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|e| format!("--{key}: {e}")),
+            Some(raw) => raw.parse().map_err(|e| format!("--{key}: {e}")),
         }
     }
 
@@ -97,7 +104,9 @@ mod tests {
 
     #[test]
     fn options_flags_and_positionals() {
-        let p = parse(&["--seed", "7", "--noise", "a.csv", "b.csv", "--thresh", "0.5"]);
+        let p = parse(&[
+            "--seed", "7", "--noise", "a.csv", "b.csv", "--thresh", "0.5",
+        ]);
         assert_eq!(p.get("seed"), Some("7"));
         assert!(p.has_flag("--noise"));
         assert_eq!(p.positionals(), &["a.csv".to_string(), "b.csv".to_string()]);

@@ -2,11 +2,11 @@
 
 use std::io::Write as _;
 
-use swag_client::ClientPipeline;
-use swag_core::{
-    read_trace_csv, write_reps_csv, write_trace_csv, CameraProfile, RepFov, TimedFov,
-};
+use swag_client::{ClientPipeline, Uploader};
+use swag_core::{read_trace_csv, write_reps_csv, write_trace_csv, CameraProfile, RepFov, TimedFov};
 use swag_geo::{LatLon, Trajectory};
+use swag_net::{observe_plan, plan_uploads, Connectivity, DataPlan, NetworkLink, UploadPolicy};
+use swag_obs::{Metric, Registry};
 use swag_sensors::{scenarios, SensorNoise};
 use swag_server::{
     load_snapshot, save_snapshot, CloudServer, Query, QueryOptions, RankMode, SegmentRef,
@@ -217,6 +217,100 @@ pub fn query(args: ArgParser) -> Result<(), String> {
     Ok(())
 }
 
+/// `swag stats` — run a probe workload through the instrumented pipeline
+/// and render the resulting metrics.
+///
+/// The workload exercises every instrumented layer: a synthetic recording
+/// is segmented on the client, its descriptors encoded and upload-planned
+/// over a WiFi/cellular timeline, ingested by an observable server, and
+/// queried around each recorded segment.
+pub fn stats(args: ArgParser) -> Result<(), String> {
+    let format = args.get("format").unwrap_or("pretty");
+    let seed = args.get_u64("seed", 42)?;
+    let n_queries = args.get_u64("queries", 32)?;
+    let registry = Registry::new();
+
+    // Client layer: segment a simulated city recording.
+    let trace = scenarios::city_walk(seed, 3, &SensorNoise::smartphone());
+    let mut pipeline = ClientPipeline::new(camera(), 0.5)
+        .with_smoothing(0.15)
+        .with_observability(&registry);
+    for &frame in &trace {
+        pipeline.push(frame);
+    }
+    let recording = pipeline.finish();
+    if recording.reps.is_empty() {
+        return Err("probe workload produced no segments".into());
+    }
+
+    // Upload layer: encode descriptors and plan their transmission.
+    let mut uploader = Uploader::new(0);
+    uploader.attach_observability(&registry);
+    let (wire, batch) = uploader.upload(recording.reps.clone());
+    let uploads = [(30.0, wire.len()), (400.0, wire.len())];
+    let plan = plan_uploads(
+        UploadPolicy::WifiPreferred { max_delay_s: 300.0 },
+        &Connectivity::new(vec![(0.0, 60.0), (900.0, 1800.0)]),
+        &uploads,
+        &NetworkLink::cellular_4g(),
+        &NetworkLink::wifi(),
+        &DataPlan::metered(),
+    );
+    observe_plan(&plan, &uploads, &registry);
+
+    // Server layer: ingest and query around every recorded segment.
+    let mut server = CloudServer::new(camera());
+    server.attach_observability(&registry);
+    server.ingest_batch(&batch);
+    for i in 0..n_queries {
+        let rep = &recording.reps[i as usize % recording.reps.len()];
+        let q = Query::new(rep.t_start - 5.0, rep.t_end + 5.0, rep.fov.p, 150.0);
+        server.query(&q, &QueryOptions::default());
+    }
+    server.query_nearest(
+        0.0,
+        trace.last().map_or(60.0, |f| f.t),
+        recording.reps[0].fov.p,
+        3,
+        &QueryOptions::default(),
+        5_000.0,
+    );
+
+    match format {
+        "prometheus" => print!("{}", registry.render_prometheus()),
+        "json" => print!("{}", registry.render_json()),
+        "pretty" => print_metrics_table(&registry),
+        other => return Err(format!("unknown format '{other}' (pretty|prometheus|json)")),
+    }
+    Ok(())
+}
+
+fn print_metrics_table(registry: &Registry) {
+    println!(
+        "{:<44} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "metric", "count", "mean", "p50", "p90", "p99", "max"
+    );
+    for name in registry.names() {
+        match registry.get(&name) {
+            Some(Metric::Counter(c)) => println!("{name:<44} {:>10}", c.get()),
+            Some(Metric::Gauge(g)) => println!("{name:<44} {:>10}", g.get()),
+            Some(Metric::Histogram(h)) => {
+                let s = h.snapshot();
+                println!(
+                    "{name:<44} {:>10} {:>10.1} {:>8} {:>8} {:>8} {:>10}",
+                    s.count,
+                    s.mean(),
+                    s.p50(),
+                    s.p90(),
+                    s.p99(),
+                    s.max
+                );
+            }
+            None => {}
+        }
+    }
+}
+
 /// `swag retract` — remove a provider's segments from a snapshot.
 pub fn retract(args: ArgParser) -> Result<(), String> {
     let snapshot_path = args.require("snapshot")?;
@@ -265,7 +359,10 @@ pub fn simplify(args: ArgParser) -> Result<(), String> {
     let simplified: Vec<TimedFov> = trace
         .iter()
         .filter(|f| {
-            if kept_iter.peek().is_some_and(|&&k| k.distance_m(f.fov.p) < 1e-6) {
+            if kept_iter
+                .peek()
+                .is_some_and(|&&k| k.distance_m(f.fov.p) < 1e-6)
+            {
                 kept_iter.next();
                 true
             } else {

@@ -7,6 +7,7 @@
 //! swag query    --snapshot db.swag --lat 40.0 --lng 116.32 \
 //!               --radius 100 --t0 0 --t1 60 --top 10
 //! swag retract  --snapshot db.swag --provider 1
+//! swag stats    --format prometheus
 //! ```
 //!
 //! Traces are plain CSV (`t,lat,lng,theta`; see
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "ingest" => commands::ingest(parser),
         "query" => commands::query(parser),
         "retract" => commands::retract(parser),
+        "stats" => commands::stats(parser),
         "export" => commands::export(parser),
         "simplify" => commands::simplify(parser),
         "help" | "--help" | "-h" => {
@@ -65,6 +67,7 @@ USAGE:
   swag query    --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
                 [--top N] [--no-direction-filter] [--coverage] [--quality]
   swag retract  --snapshot FILE --provider ID
+  swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
   swag export   --in TRACE.csv --geojson FILE
   swag simplify --in TRACE.csv --tolerance M --out FILE
   swag help

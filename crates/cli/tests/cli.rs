@@ -45,7 +45,11 @@ fn simulate_writes_valid_trace_csv() {
         "--out",
         trace.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let content = std::fs::read_to_string(&trace).unwrap();
     assert!(content.starts_with("t,lat,lng,theta\n"));
     assert_eq!(content.lines().count(), 1 + 251); // header + 10 s @ 25 fps
@@ -63,7 +67,12 @@ fn segment_reports_and_exports_reps() {
     let trace = tmp("seg-in.csv");
     let reps = tmp("seg-out.csv");
     assert!(swag(&[
-        "simulate", "--scenario", "bike", "--seed", "5", "--out",
+        "simulate",
+        "--scenario",
+        "bike",
+        "--seed",
+        "5",
+        "--out",
         trace.to_str().unwrap()
     ])
     .status
@@ -93,7 +102,12 @@ fn ingest_query_retract_cycle() {
     let _ = std::fs::remove_file(&snapshot);
     for (path, seed) in [(&trace_a, "7"), (&trace_b, "8")] {
         assert!(swag(&[
-            "simulate", "--scenario", "bike", "--seed", seed, "--out",
+            "simulate",
+            "--scenario",
+            "bike",
+            "--seed",
+            seed,
+            "--out",
             path.to_str().unwrap()
         ])
         .status
@@ -107,15 +121,29 @@ fn ingest_query_retract_cycle() {
         trace_a.to_str().unwrap(),
         trace_b.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(snapshot.exists());
 
     // Query a spot on the shared route.
     let query = |extra: &[&str]| {
         let mut args = vec![
-            "query", "--snapshot", snapshot.to_str().unwrap(),
-            "--lat", "40.0005", "--lng", "116.32",
-            "--radius", "100", "--t0", "0", "--t1", "60",
+            "query",
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+            "--lat",
+            "40.0005",
+            "--lng",
+            "116.32",
+            "--radius",
+            "100",
+            "--t0",
+            "0",
+            "--t1",
+            "60",
         ];
         args.extend_from_slice(extra);
         swag(&args)
@@ -144,8 +172,21 @@ fn ingest_query_retract_cycle() {
 
 #[test]
 fn query_validates_arguments() {
-    let out = swag(&["query", "--snapshot", "/nonexistent", "--lat", "0",
-        "--lng", "0", "--radius", "10", "--t0", "5", "--t1", "1"]);
+    let out = swag(&[
+        "query",
+        "--snapshot",
+        "/nonexistent",
+        "--lat",
+        "0",
+        "--lng",
+        "0",
+        "--radius",
+        "10",
+        "--t0",
+        "5",
+        "--t1",
+        "1",
+    ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("precedes"));
 
@@ -159,8 +200,15 @@ fn export_writes_geojson() {
     let trace = tmp("exp.csv");
     let geo = tmp("exp.geojson");
     assert!(swag(&[
-        "simulate", "--scenario", "walk", "--seed", "1", "--duration", "5",
-        "--out", trace.to_str().unwrap()
+        "simulate",
+        "--scenario",
+        "walk",
+        "--seed",
+        "1",
+        "--duration",
+        "5",
+        "--out",
+        trace.to_str().unwrap()
     ])
     .status
     .success());
@@ -171,7 +219,11 @@ fn export_writes_geojson() {
         "--geojson",
         geo.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&geo).unwrap();
     assert!(json.contains("\"type\":\"FeatureCollection\""));
     assert!(json.contains("\"type\":\"LineString\""));
@@ -182,7 +234,12 @@ fn simplify_reduces_clean_bike_trace_to_corners() {
     let trace = tmp("simp.csv");
     let out_path = tmp("simp-out.csv");
     assert!(swag(&[
-        "simulate", "--scenario", "bike", "--seed", "2", "--out",
+        "simulate",
+        "--scenario",
+        "bike",
+        "--seed",
+        "2",
+        "--out",
         trace.to_str().unwrap()
     ])
     .status
@@ -196,7 +253,11 @@ fn simplify_reduces_clean_bike_trace_to_corners() {
         "--out",
         out_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let simplified = std::fs::read_to_string(&out_path).unwrap();
     // A clean L-shaped ride collapses to start, corner, end.
     assert_eq!(simplified.lines().count(), 1 + 3);

@@ -52,8 +52,7 @@ impl CrowdScenario {
 
     /// Bytes of the matched clips a querier downloads per query.
     fn fetched_clip_bytes(&self) -> u64 {
-        self.hit_segments_per_query as u64
-            * self.video_profile.encoded_bytes(self.mean_segment_s)
+        self.hit_segments_per_query as u64 * self.video_profile.encoded_bytes(self.mean_segment_s)
     }
 }
 
@@ -160,7 +159,7 @@ mod tests {
         let qc = query_centric(&s);
         assert_eq!(qc.upfront_upload_bytes, 0);
         assert!(qc.per_query_client_cpu_s > 100.0); // 1.5 M frames × 180 µs
-        // ...while SWAG's whole query is microseconds on the server.
+                                                    // ...while SWAG's whole query is microseconds on the server.
         assert!(content_free(&s).per_query_server_cpu_s < 1e-3);
     }
 
@@ -168,8 +167,8 @@ mod tests {
     fn clip_fetch_is_common_to_all() {
         let s = scenario();
         let [dc, qc, cf] = compare_architectures(&s);
-        let fetch = s.hit_segments_per_query as u64
-            * s.video_profile.encoded_bytes(s.mean_segment_s);
+        let fetch =
+            s.hit_segments_per_query as u64 * s.video_profile.encoded_bytes(s.mean_segment_s);
         for a in [&dc, &qc, &cf] {
             assert!(a.per_query_bytes >= fetch, "{}", a.name);
         }
@@ -194,9 +193,11 @@ mod tests {
         let doubled = data_centric(&s);
         assert_eq!(doubled.upfront_upload_bytes, 2 * base.upfront_upload_bytes);
         let qc_doubled = query_centric(&s);
-        assert!((qc_doubled.per_query_client_cpu_s
-            - 2.0 * query_centric(&scenario()).per_query_client_cpu_s)
-            .abs()
-            < 1e-9);
+        assert!(
+            (qc_doubled.per_query_client_cpu_s
+                - 2.0 * query_centric(&scenario()).per_query_client_cpu_s)
+                .abs()
+                < 1e-9
+        );
     }
 }

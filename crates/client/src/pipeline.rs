@@ -1,9 +1,20 @@
 //! The real-time recording pipeline: sensor stream → segments →
 //! representative FoVs.
 
+use std::sync::Arc;
+
 use swag_core::{
     abstract_segment, AveragingRule, CameraProfile, FovSmoother, RepFov, Segmenter, TimedFov,
 };
+use swag_obs::{Counter, Histogram, Registry};
+
+/// Metric handles for an instrumented pipeline (`swag_client_*`).
+#[derive(Debug, Clone)]
+struct PipelineObs {
+    frames: Arc<Counter>,
+    segments: Arc<Counter>,
+    segment_duration_ms: Arc<Histogram>,
+}
 
 /// Output of one recording session.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +43,7 @@ pub struct ClientPipeline {
     rule: AveragingRule,
     smoother: Option<FovSmoother>,
     reps: Vec<RepFov>,
+    obs: Option<PipelineObs>,
 }
 
 impl ClientPipeline {
@@ -48,6 +60,7 @@ impl ClientPipeline {
             rule,
             smoother: None,
             reps: Vec::new(),
+            obs: None,
         }
     }
 
@@ -58,14 +71,37 @@ impl ClientPipeline {
         self
     }
 
+    /// Wires frame/segment counters (`swag_client_*`) to `registry`.
+    pub fn with_observability(mut self, registry: &Registry) -> Self {
+        self.obs = Some(PipelineObs {
+            frames: registry.counter("swag_client_frames_total"),
+            segments: registry.counter("swag_client_segments_total"),
+            segment_duration_ms: registry.histogram("swag_client_segment_duration_ms"),
+        });
+        self
+    }
+
     /// Consumes one frame record.
     pub fn push(&mut self, frame: TimedFov) {
         let frame = match &mut self.smoother {
             Some(s) => s.push(frame),
             None => frame,
         };
+        if let Some(obs) = &self.obs {
+            obs.frames.inc();
+        }
         if let Some(segment) = self.segmenter.push(frame) {
-            self.reps.push(abstract_segment(&segment, self.rule));
+            let rep = abstract_segment(&segment, self.rule);
+            self.observe_segment(&rep);
+            self.reps.push(rep);
+        }
+    }
+
+    fn observe_segment(&self, rep: &RepFov) {
+        if let Some(obs) = &self.obs {
+            obs.segments.inc();
+            obs.segment_duration_ms
+                .record(((rep.t_end - rep.t_start).max(0.0) * 1000.0) as u64);
         }
     }
 
@@ -80,7 +116,9 @@ impl ClientPipeline {
         let replacement = Segmenter::new(*self.segmenter.camera(), self.segmenter.thresh());
         let segmenter = std::mem::replace(&mut self.segmenter, replacement);
         if let Some(segment) = segmenter.finish() {
-            self.reps.push(abstract_segment(&segment, self.rule));
+            let rep = abstract_segment(&segment, self.rule);
+            self.observe_segment(&rep);
+            self.reps.push(rep);
         }
         RecordingResult {
             reps: self.reps,
@@ -201,6 +239,25 @@ mod tests {
             raw.segment_count()
         );
         assert_eq!(smoothed.frames, raw.frames);
+    }
+
+    #[test]
+    fn observability_counts_frames_and_segments() {
+        let reg = Registry::new();
+        let trace = rotating_trace(500, 0.8);
+        let mut p = ClientPipeline::new(cam(), 0.5).with_observability(&reg);
+        for &f in &trace {
+            p.push(f);
+        }
+        let result = p.finish();
+        assert_eq!(reg.counter("swag_client_frames_total").get(), 500);
+        assert_eq!(
+            reg.counter("swag_client_segments_total").get(),
+            result.segment_count() as u64
+        );
+        let durations = reg.histogram("swag_client_segment_duration_ms").snapshot();
+        assert_eq!(durations.count, result.segment_count() as u64);
+        assert!(durations.max > 0);
     }
 
     #[test]

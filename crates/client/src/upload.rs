@@ -1,10 +1,20 @@
 //! Descriptor upload: batching, encoding, traffic accounting.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use swag_core::{DescriptorCodec, RepFov, UploadBatch};
 use swag_net::{NetworkLink, TrafficMeter};
+use swag_obs::{Counter, Registry};
 
 use crate::video::VideoProfile;
+
+/// Metric handles for an instrumented uploader (`swag_client_*`).
+#[derive(Debug, Clone)]
+struct UploadObs {
+    batches: Arc<Counter>,
+    descriptor_bytes: Arc<Counter>,
+}
 
 /// Builds and accounts descriptor uploads for one provider device.
 #[derive(Debug, Clone)]
@@ -12,6 +22,7 @@ pub struct Uploader {
     provider_id: u64,
     next_video_id: u64,
     meter: TrafficMeter,
+    obs: Option<UploadObs>,
 }
 
 impl Uploader {
@@ -21,7 +32,16 @@ impl Uploader {
             provider_id,
             next_video_id: 0,
             meter: TrafficMeter::new(),
+            obs: None,
         }
+    }
+
+    /// Wires upload counters (`swag_client_upload_*`) to `registry`.
+    pub fn attach_observability(&mut self, registry: &Registry) {
+        self.obs = Some(UploadObs {
+            batches: registry.counter("swag_client_upload_batches_total"),
+            descriptor_bytes: registry.counter("swag_client_descriptor_bytes_total"),
+        });
     }
 
     /// The provider id.
@@ -41,6 +61,10 @@ impl Uploader {
         self.next_video_id += 1;
         let bytes = DescriptorCodec::encode_batch(&batch);
         self.meter.record_up(bytes.len());
+        if let Some(obs) = &self.obs {
+            obs.batches.inc();
+            obs.descriptor_bytes.add(bytes.len() as u64);
+        }
         (bytes, batch)
     }
 
@@ -88,11 +112,22 @@ mod tests {
         assert_eq!(batch1.video_id, 0);
         assert_eq!(batch2.video_id, 1);
         assert_eq!(batch1.provider_id, 9);
-        assert_eq!(
-            u.traffic().bytes_up as usize,
-            bytes1.len() + bytes2.len()
-        );
+        assert_eq!(u.traffic().bytes_up as usize, bytes1.len() + bytes2.len());
         assert_eq!(u.traffic().messages_up, 2);
+    }
+
+    #[test]
+    fn observability_tracks_descriptor_bytes() {
+        let reg = Registry::new();
+        let mut u = Uploader::new(4);
+        u.attach_observability(&reg);
+        let (b1, _) = u.upload(reps(5));
+        let (b2, _) = u.upload(reps(2));
+        assert_eq!(reg.counter("swag_client_upload_batches_total").get(), 2);
+        assert_eq!(
+            reg.counter("swag_client_descriptor_bytes_total").get(),
+            (b1.len() + b2.len()) as u64
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! wire-format round trips, architecture-cost monotonicity.
 
 use proptest::prelude::*;
-use swag_client::{
-    compare_architectures, ClientPipeline, CrowdScenario, Uploader, VideoProfile,
+use swag_client::{compare_architectures, ClientPipeline, CrowdScenario, Uploader, VideoProfile};
+use swag_core::{
+    abstract_segment, segment_video, AveragingRule, CameraProfile, DescriptorCodec, Fov, TimedFov,
 };
-use swag_core::{abstract_segment, segment_video, AveragingRule, CameraProfile, DescriptorCodec, Fov, TimedFov};
 use swag_geo::LatLon;
 
 fn arb_trace() -> impl Strategy<Value = Vec<TimedFov>> {

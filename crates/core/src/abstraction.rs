@@ -95,12 +95,14 @@ pub fn abstract_segment(segment: &Segment, rule: AveragingRule) -> RepFov {
         AveragingRule::Arithmetic => {
             arithmetic_mean_deg(&thetas).expect("segment verified non-empty")
         }
-        AveragingRule::Circular => {
-            circular_mean_deg(&thetas).unwrap_or(segment.fovs[0].fov.theta)
-        }
+        AveragingRule::Circular => circular_mean_deg(&thetas).unwrap_or(segment.fovs[0].fov.theta),
     };
 
-    RepFov::new(segment.start_t(), segment.end_t(), Fov::new(p_bar, theta_bar))
+    RepFov::new(
+        segment.start_t(),
+        segment.end_t(),
+        Fov::new(p_bar, theta_bar),
+    )
 }
 
 #[cfg(test)]

@@ -178,7 +178,13 @@ mod tests {
 
     #[test]
     fn record_round_trip_within_quantisation() {
-        let r = rep(40.123456789, 116.987654321, 123.456, 1_000_000.123, 1_000_060.789);
+        let r = rep(
+            40.123456789,
+            116.987654321,
+            123.456,
+            1_000_000.123,
+            1_000_060.789,
+        );
         let mut buf = BytesMut::new();
         DescriptorCodec::encode_rep(&r, &mut buf);
         assert_eq!(buf.len(), DescriptorCodec::RECORD_SIZE);
@@ -206,7 +212,15 @@ mod tests {
             provider_id: 7,
             video_id: 99,
             reps: (0..10)
-                .map(|i| rep(40.0 + i as f64 * 1e-4, 116.3, i as f64 * 10.0, i as f64, i as f64 + 0.5))
+                .map(|i| {
+                    rep(
+                        40.0 + i as f64 * 1e-4,
+                        116.3,
+                        i as f64 * 10.0,
+                        i as f64,
+                        i as f64 + 0.5,
+                    )
+                })
                 .collect(),
         };
         let bytes = DescriptorCodec::encode_batch(&batch);

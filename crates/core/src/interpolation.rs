@@ -19,7 +19,10 @@ use crate::fov::{Fov, TimedFov};
 /// # Panics
 /// Panics if `fixes` is empty or not strictly increasing in time.
 pub fn sample_at(fixes: &[TimedFov], t: f64) -> Fov {
-    assert!(!fixes.is_empty(), "cannot interpolate an empty fix sequence");
+    assert!(
+        !fixes.is_empty(),
+        "cannot interpolate an empty fix sequence"
+    );
     debug_assert!(
         fixes.windows(2).all(|w| w[1].t > w[0].t),
         "fixes must be strictly increasing in time"
@@ -89,7 +92,11 @@ mod tests {
 
     #[test]
     fn exact_fix_times_return_fixes() {
-        let fixes = vec![fix(0.0, 0.0, 10.0), fix(1.0, 10.0, 20.0), fix(2.0, 30.0, 40.0)];
+        let fixes = vec![
+            fix(0.0, 0.0, 10.0),
+            fix(1.0, 10.0, 20.0),
+            fix(2.0, 30.0, 40.0),
+        ];
         for f in &fixes {
             let s = sample_at(&fixes, f.t);
             assert!(s.p.distance_m(f.fov.p) < 1e-6);
@@ -126,7 +133,9 @@ mod tests {
 
     #[test]
     fn interpolate_trace_has_frame_rate_density() {
-        let fixes: Vec<TimedFov> = (0..=10).map(|i| fix(f64::from(i), f64::from(i) * 1.4, 0.0)).collect();
+        let fixes: Vec<TimedFov> = (0..=10)
+            .map(|i| fix(f64::from(i), f64::from(i) * 1.4, 0.0))
+            .collect();
         let frames = interpolate_trace(&fixes, 25.0);
         assert_eq!(frames.len(), 251); // 10 s at 25 fps, inclusive
         assert!(frames.windows(2).all(|w| w[1].t > w[0].t));

@@ -56,9 +56,9 @@ pub mod fov;
 pub mod interpolation;
 pub mod sector;
 pub mod segmentation;
+pub mod similarity;
 pub mod smoothing;
 pub mod trace_io;
-pub mod similarity;
 
 pub use abstraction::{abstract_segment, AveragingRule, RepFov};
 pub use descriptor::{DescriptorCodec, UploadBatch};
@@ -66,6 +66,6 @@ pub use fov::{CameraProfile, Fov, TimedFov};
 pub use interpolation::{interpolate_trace, sample_at};
 pub use sector::{points_toward, sector_contains, sector_intersects_circle};
 pub use segmentation::{segment_video, Segment, Segmenter};
+pub use similarity::{similarity, similarity_parts, vector_model_similarity, SimilarityBreakdown};
 pub use smoothing::FovSmoother;
 pub use trace_io::{read_reps_csv, read_trace_csv, write_reps_csv, write_trace_csv, TraceIoError};
-pub use similarity::{similarity, similarity_parts, vector_model_similarity, SimilarityBreakdown};

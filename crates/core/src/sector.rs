@@ -60,8 +60,11 @@ pub fn sector_intersects_circle(
     let (lo, hi) = fov.coverage_deg(cam);
     let edge_a = Vec2::from_azimuth_deg(lo) * cam.view_radius_m;
     let edge_b = Vec2::from_azimuth_deg(hi) * cam.view_radius_m;
-    let d = point_segment_distance(c, Vec2::ZERO, edge_a)
-        .min(point_segment_distance(c, Vec2::ZERO, edge_b));
+    let d = point_segment_distance(c, Vec2::ZERO, edge_a).min(point_segment_distance(
+        c,
+        Vec2::ZERO,
+        edge_b,
+    ));
     d <= radius_m
 }
 
@@ -132,18 +135,43 @@ mod tests {
     fn circle_on_axis_intersections() {
         let f = north_fov();
         // Disc fully inside the sector.
-        assert!(sector_intersects_circle(&f, &cam(), origin().offset(0.0, 50.0), 10.0));
+        assert!(sector_intersects_circle(
+            &f,
+            &cam(),
+            origin().offset(0.0, 50.0),
+            10.0
+        ));
         // Disc just beyond the arc but within its radius.
-        assert!(sector_intersects_circle(&f, &cam(), origin().offset(0.0, 105.0), 10.0));
+        assert!(sector_intersects_circle(
+            &f,
+            &cam(),
+            origin().offset(0.0, 105.0),
+            10.0
+        ));
         // Disc far beyond reach.
-        assert!(!sector_intersects_circle(&f, &cam(), origin().offset(0.0, 150.0), 10.0));
+        assert!(!sector_intersects_circle(
+            &f,
+            &cam(),
+            origin().offset(0.0, 150.0),
+            10.0
+        ));
     }
 
     #[test]
     fn circle_covering_apex_intersects_even_from_behind() {
         let f = north_fov();
-        assert!(sector_intersects_circle(&f, &cam(), origin().offset(180.0, 5.0), 10.0));
-        assert!(!sector_intersects_circle(&f, &cam(), origin().offset(180.0, 50.0), 10.0));
+        assert!(sector_intersects_circle(
+            &f,
+            &cam(),
+            origin().offset(180.0, 5.0),
+            10.0
+        ));
+        assert!(!sector_intersects_circle(
+            &f,
+            &cam(),
+            origin().offset(180.0, 50.0),
+            10.0
+        ));
     }
 
     #[test]

@@ -159,9 +159,9 @@ impl Segmenter {
                 None
             }
             Some(anchor) => {
-                let over_duration = self.max_segment_s.is_some_and(|max| {
-                    frame.t - self.current[0].t > max
-                });
+                let over_duration = self
+                    .max_segment_s
+                    .is_some_and(|max| frame.t - self.current[0].t > max);
                 if over_duration || similarity(&anchor, &frame.fov, &self.cam) < self.thresh {
                     // Close the current segment and restart at this frame.
                     let done = Segment {

@@ -311,10 +311,7 @@ mod tests {
         for dt in [0.0, 10.0, 25.0, 49.0, 60.0, 180.0] {
             let f2 = Fov::new(origin(), dt);
             let s = similarity(&f1, &f2, &c);
-            assert!(
-                (s - sim_rotation(dt, &c)).abs() < 1e-12,
-                "δθ = {dt}: {s}"
-            );
+            assert!((s - sim_rotation(dt, &c)).abs() < 1e-12, "δθ = {dt}: {s}");
         }
     }
 

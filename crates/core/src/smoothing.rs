@@ -132,7 +132,10 @@ mod tests {
         for i in 0..20 {
             let sample = TimedFov::new(
                 f64::from(i),
-                Fov::new(origin().offset(f64::from(i) * 10.0, 5.0), f64::from(i) * 17.0),
+                Fov::new(
+                    origin().offset(f64::from(i) * 10.0, 5.0),
+                    f64::from(i) * 17.0,
+                ),
             );
             let out = s.push(sample);
             // Sub-0.1 mm: the anchor-frame round trip is not bit-exact.

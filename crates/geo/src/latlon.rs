@@ -53,8 +53,9 @@ impl LatLon {
     /// erratum; at small longitude separations near the equator it agrees
     /// with [`Self::displacement_to`], but it ignores latitude entirely.
     pub fn displacement_to_paper(self, other: LatLon) -> Vec2 {
-        let dx =
-            METERS_PER_DEG * (0.5 * (other.lng - self.lng)).to_radians().cos() * (other.lng - self.lng);
+        let dx = METERS_PER_DEG
+            * (0.5 * (other.lng - self.lng)).to_radians().cos()
+            * (other.lng - self.lng);
         let dy = METERS_PER_DEG * (other.lat - self.lat);
         Vec2::new(dx, dy)
     }

@@ -38,10 +38,7 @@ impl Trajectory {
 
     /// Total path length in metres (planar model).
     pub fn length_m(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance_m(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance_m(w[1])).sum()
     }
 
     /// The position `dist_m` metres along the path (clamped to the ends).
@@ -201,7 +198,9 @@ mod tests {
     #[test]
     fn simplify_keeps_corners() {
         // An L: 50 m north then 50 m east.
-        let mut pts: Vec<LatLon> = (0..=50).map(|i| origin().offset(0.0, f64::from(i))).collect();
+        let mut pts: Vec<LatLon> = (0..=50)
+            .map(|i| origin().offset(0.0, f64::from(i)))
+            .collect();
         let corner = pts[50];
         pts.extend((1..=50).map(|i| corner.offset(90.0, f64::from(i))));
         let t = Trajectory::new(pts);
@@ -217,9 +216,7 @@ mod tests {
         let pts: Vec<LatLon> = (0..40)
             .map(|i| {
                 let east = if i % 2 == 0 { 0.0 } else { 3.0 };
-                origin()
-                    .offset(0.0, f64::from(i) * 5.0)
-                    .offset(90.0, east)
+                origin().offset(0.0, f64::from(i) * 5.0).offset(90.0, east)
             })
             .collect();
         let t = Trajectory::new(pts);

@@ -13,5 +13,7 @@ pub mod traffic;
 
 pub use cost::DataPlan;
 pub use link::NetworkLink;
-pub use scheduler::{plan_uploads, Connectivity, PlannedUpload, UploadPlan, UploadPolicy};
+pub use scheduler::{
+    observe_plan, plan_uploads, Connectivity, PlannedUpload, UploadPlan, UploadPolicy,
+};
 pub use traffic::TrafficMeter;

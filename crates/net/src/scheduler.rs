@@ -7,6 +7,7 @@
 //! now" and "free".
 
 use serde::{Deserialize, Serialize};
+use swag_obs::Registry;
 
 use crate::cost::DataPlan;
 use crate::link::NetworkLink;
@@ -61,13 +62,9 @@ impl Connectivity {
 
     /// Earliest time ≥ `t` with WiFi, if any.
     pub fn next_wifi_at(&self, t: f64) -> Option<f64> {
-        self.windows.iter().find_map(|&(a, b)| {
-            if t < b {
-                Some(t.max(a))
-            } else {
-                None
-            }
-        })
+        self.windows
+            .iter()
+            .find_map(|&(a, b)| if t < b { Some(t.max(a)) } else { None })
     }
 }
 
@@ -156,6 +153,37 @@ pub fn plan_uploads(
     }
 }
 
+/// Records a plan's outcomes as `swag_net_*` metrics: bytes moved (total
+/// and over WiFi), uploads planned, uploads deferred past their ready
+/// time, and the ready-to-arrival delay distribution.
+///
+/// `uploads` must be the same `(ready_at, bytes)` slice the plan was built
+/// from — [`UploadPlan`] deliberately does not retain payload sizes.
+pub fn observe_plan(plan: &UploadPlan, uploads: &[(f64, usize)], registry: &Registry) {
+    assert_eq!(
+        plan.uploads.len(),
+        uploads.len(),
+        "plan and upload slice disagree"
+    );
+    let planned = registry.counter("swag_net_uploads_planned_total");
+    let deferred = registry.counter("swag_net_uploads_deferred_total");
+    let bytes_total = registry.counter("swag_net_bytes_planned_total");
+    let bytes_wifi = registry.counter("swag_net_bytes_wifi_total");
+    let delay_ms = registry.histogram("swag_net_upload_delay_ms");
+
+    for (u, &(_, bytes)) in plan.uploads.iter().zip(uploads) {
+        planned.inc();
+        if u.send_at > u.ready_at {
+            deferred.inc();
+        }
+        bytes_total.add(bytes as u64);
+        if u.used_wifi {
+            bytes_wifi.add(bytes as u64);
+        }
+        delay_ms.record(((u.arrival_at - u.ready_at).max(0.0) * 1000.0) as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,7 +236,9 @@ mod tests {
         let (cell, wifi, plan) = links();
         // Ready at 100 s; WiFi returns at 600 s.
         let patient = plan_uploads(
-            UploadPolicy::WifiPreferred { max_delay_s: 1000.0 },
+            UploadPolicy::WifiPreferred {
+                max_delay_s: 1000.0,
+            },
             &evening_wifi(),
             &[(100.0, 50_000)],
             &cell,
@@ -272,5 +302,33 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn overlapping_windows_rejected() {
         Connectivity::new(vec![(0.0, 100.0), (50.0, 200.0)]);
+    }
+
+    #[test]
+    fn observe_plan_records_bytes_and_deferrals() {
+        let (cell, wifi, plan) = links();
+        let uploads = [(30.0, 10_000), (100.0, 50_000)];
+        // Ready at 30 s sends immediately on WiFi; ready at 100 s waits
+        // for the 600 s window.
+        let p = plan_uploads(
+            UploadPolicy::WifiPreferred {
+                max_delay_s: 1000.0,
+            },
+            &evening_wifi(),
+            &uploads,
+            &cell,
+            &wifi,
+            &plan,
+        );
+        let reg = Registry::new();
+        observe_plan(&p, &uploads, &reg);
+        assert_eq!(reg.counter("swag_net_uploads_planned_total").get(), 2);
+        assert_eq!(reg.counter("swag_net_uploads_deferred_total").get(), 1);
+        assert_eq!(reg.counter("swag_net_bytes_planned_total").get(), 60_000);
+        assert_eq!(reg.counter("swag_net_bytes_wifi_total").get(), 60_000);
+        let delay = reg.histogram("swag_net_upload_delay_ms").snapshot();
+        assert_eq!(delay.count, 2);
+        // The deferred upload waited ~500 s.
+        assert!(delay.max >= 500_000);
     }
 }

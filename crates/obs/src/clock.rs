@@ -1,0 +1,88 @@
+//! Injectable monotonic time source.
+//!
+//! Mirrors the affine `DeviceClock` pattern in `crates/sensors` but for
+//! instrumentation: components take an `Arc<dyn MonotonicClock>` so
+//! timing-sensitive code paths can run against [`ManualClock`] in tests
+//! and produce exact, deterministic latency numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+pub trait MonotonicClock: Send + Sync {
+    /// Microseconds since an arbitrary fixed origin; never decreases.
+    fn now_micros(&self) -> u64;
+}
+
+/// Real wall time via [`Instant`], measured from first use.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WallClock;
+
+impl WallClock {
+    /// Shared process-wide origin so all `WallClock` values agree.
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+}
+
+impl MonotonicClock for WallClock {
+    fn now_micros(&self) -> u64 {
+        Self::epoch().elapsed().as_micros() as u64
+    }
+}
+
+/// A clock that only moves when told to — deterministic tests advance it
+/// explicitly and then assert exact recorded durations.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A clock starting at `micros`.
+    pub fn starting_at(micros: u64) -> Self {
+        ManualClock {
+            micros: AtomicU64::new(micros),
+        }
+    }
+
+    /// Moves time forward.
+    pub fn advance_micros(&self, delta: u64) {
+        self.micros.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+impl MonotonicClock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock;
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = ManualClock::starting_at(100);
+        assert_eq!(c.now_micros(), 100);
+        assert_eq!(c.now_micros(), 100);
+        c.advance_micros(250);
+        assert_eq!(c.now_micros(), 350);
+    }
+}

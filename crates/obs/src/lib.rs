@@ -1,0 +1,34 @@
+//! # swag-obs — observability substrate for the SWAG retrieval pipeline
+//!
+//! Dependency-free metrics for every layer of the stack: lock-free
+//! [`Counter`]/[`Gauge`]/[`Histogram`] primitives, RAII [`SpanTimer`]s, a
+//! sampled per-query [`Trace`] ring buffer, an injectable
+//! [`MonotonicClock`] for deterministic timing tests, and a named-metric
+//! [`Registry`] with Prometheus-text and JSON-lines exporters.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never on the hot path unless asked.** Instrumented components
+//!    hold an `Option` of their metric handles; the disabled path costs
+//!    one branch. The benchmark guard in `crates/bench` keeps the
+//!    disabled-path regression under 2%.
+//! 2. **Lock-free recording.** `Histogram::record` is a handful of
+//!    relaxed atomic RMWs on fixed log₂ buckets — no allocation, no lock,
+//!    safe from any thread.
+//! 3. **Mergeable snapshots.** [`HistogramSnapshot`]s add bucket-wise, so
+//!    per-shard or per-thread histograms can be combined after the fact;
+//!    quantiles (p50/p90/p99/max) come from the buckets.
+
+mod clock;
+mod metrics;
+mod percentiles;
+mod registry;
+mod span;
+mod trace;
+
+pub use clock::{ManualClock, MonotonicClock, WallClock};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use percentiles::Percentiles;
+pub use registry::{Metric, Registry};
+pub use span::SpanTimer;
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,113 @@
+//! Exact nearest-rank percentile summaries of `f64` sample sets.
+//!
+//! This is the canonical home of `Percentiles`; `swag-sim` re-exports it
+//! so existing simulation call sites keep compiling.
+
+/// Percentile summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Percentiles {
+    /// Summarises a sample set. Returns the all-zero summary for empty
+    /// input.
+    ///
+    /// Quantiles use the nearest-rank definition: the q-quantile of n
+    /// sorted samples is the one at rank `ceil(q*n)` (1-based), i.e.
+    /// index `ceil(q*n)-1`. Unlike interpolation-style picks this always
+    /// returns an actual sample and matches the textbook definition used
+    /// by the paper's latency tables.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Percentiles {
+                count: 0,
+                min: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let pick = |q: f64| {
+            let rank = (q * n as f64).ceil() as usize;
+            sorted[rank.clamp(1, n) - 1]
+        };
+        Percentiles {
+            count: n,
+            min: sorted[0],
+            p50: pick(0.5),
+            p90: pick(0.9),
+            p99: pick(0.99),
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let p = Percentiles::of(&[]);
+        assert_eq!(p.count, 0);
+        assert_eq!(p.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let p = Percentiles::of(&[7.0]);
+        assert_eq!(
+            (p.min, p.p50, p.p99, p.max, p.mean),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
+    }
+
+    #[test]
+    fn nearest_rank_on_a_ramp() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::of(&samples);
+        // rank ceil(0.5*100)=50 → sample 50; ceil(0.9*100)=90 → 90;
+        // ceil(0.99*100)=99 → 99.
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+    }
+
+    #[test]
+    fn nearest_rank_small_sets() {
+        // n=4: p50 rank ceil(2)=2 → second-smallest, p99 rank ceil(3.96)=4.
+        let p = Percentiles::of(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(p.p50, 20.0);
+        assert_eq!(p.p99, 40.0);
+    }
+
+    #[test]
+    fn quantiles_are_actual_samples() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let p = Percentiles::of(&samples);
+        for q in [p.p50, p.p90, p.p99] {
+            assert!(samples.contains(&q), "{q} is not a sample");
+        }
+        assert!(p.min <= p.p50 && p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+    }
+}

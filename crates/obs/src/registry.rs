@@ -1,0 +1,269 @@
+//! Named-metric registry and text exporters.
+//!
+//! A [`Registry`] maps stable metric names to shared handles. Components
+//! register on construction (`get-or-create`, so two components naming
+//! the same metric share one handle) and record through the returned
+//! `Arc` without ever touching the registry lock again.
+//!
+//! Two export formats:
+//! - [`Registry::render_prometheus`] — Prometheus text exposition
+//!   (cumulative `_bucket{le=...}` histogram series).
+//! - [`Registry::render_json`] — one JSON object per line, for log
+//!   shipping and the bench harness.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+
+/// A shared handle to one named metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic count.
+    Counter(Arc<Counter>),
+    /// Signed level.
+    Gauge(Arc<Gauge>),
+    /// log₂ distribution.
+    Histogram(Arc<Histogram>),
+}
+
+/// Named-metric lookup table.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry used by default-constructed components.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// The counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.register(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", kind(&other)),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.register(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", kind(&other)),
+        }
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.register(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", kind(&other)),
+        }
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.get(name) {
+            return m;
+        }
+        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Looks up an existing metric by name.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    let top = highest_used_bucket(&snap.buckets);
+                    for (i, &n) in snap.buckets.iter().enumerate().take(top + 1) {
+                        cumulative += n;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            Histogram::bucket_bound(i)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+                    out.push_str(&format!("{name}_sum {}\n", snap.sum));
+                    out.push_str(&format!("{name}_count {}\n", snap.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one JSON object per metric per line (JSON lines).
+    pub fn render_json(&self) -> String {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{}}}\n",
+                        c.get()
+                    ));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{}}}\n",
+                        g.get()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.push_str(&format!(
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}\n",
+                        s.count, s.sum, s.mean(), s.p50(), s.p90(), s.p99(), s.max
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn kind(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// Index of the highest non-empty bucket (0 when all empty), used to
+/// truncate the exported bucket series.
+fn highest_used_bucket(buckets: &[u64; HISTOGRAM_BUCKETS]) -> usize {
+    buckets.iter().rposition(|&n| n > 0).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("swag_test_total");
+        let b = reg.counter("swag_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("swag_test_total");
+        reg.gauge("swag_test_total");
+    }
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let reg = Registry::new();
+        reg.counter("swag_queries_total").add(5);
+        reg.gauge("swag_queue_depth").set(-2);
+        let h = reg.histogram("swag_query_micros");
+        h.record(3);
+        h.record(100);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE swag_queries_total counter"));
+        assert!(text.contains("swag_queries_total 5"));
+        assert!(text.contains("swag_queue_depth -2"));
+        assert!(text.contains("# TYPE swag_query_micros histogram"));
+        assert!(text.contains("swag_query_micros_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("swag_query_micros_sum 103"));
+        assert!(text.contains("swag_query_micros_count 2"));
+        // Cumulative buckets are non-decreasing.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("swag_query_micros_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn json_rendering_is_one_object_per_line() {
+        let reg = Registry::new();
+        reg.counter("swag_a_total").inc();
+        reg.histogram("swag_b_micros").record(7);
+        let text = reg.render_json();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"name\":"));
+        }
+        assert!(text.contains("\"type\":\"histogram\""));
+        assert!(text.contains("\"p50\":7"));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let reg = Registry::new();
+        reg.counter("swag_z");
+        reg.counter("swag_a");
+        assert_eq!(
+            reg.names(),
+            vec!["swag_a".to_string(), "swag_z".to_string()]
+        );
+    }
+}

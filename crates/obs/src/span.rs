@@ -1,0 +1,103 @@
+//! RAII span timing: a [`SpanTimer`] records its elapsed microseconds
+//! into a [`Histogram`] when dropped (or explicitly stopped).
+
+use crate::clock::{MonotonicClock, WallClock};
+use crate::metrics::Histogram;
+
+/// Times a scope and records the duration on drop.
+///
+/// ```
+/// use swag_obs::{Histogram, SpanTimer};
+/// let hist = Histogram::new();
+/// {
+///     let _span = SpanTimer::start(&hist);
+///     // ... work ...
+/// } // recorded here
+/// assert_eq!(hist.count(), 1);
+/// ```
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    clock: &'a dyn MonotonicClock,
+    start: u64,
+    armed: bool,
+}
+
+/// Shared wall clock for the plain `start` constructor.
+static WALL: WallClock = WallClock;
+
+impl<'a> SpanTimer<'a> {
+    /// Starts a wall-clock span.
+    pub fn start(hist: &'a Histogram) -> Self {
+        SpanTimer::with_clock(hist, &WALL)
+    }
+
+    /// Starts a span against an explicit clock (deterministic in tests).
+    pub fn with_clock(hist: &'a Histogram, clock: &'a dyn MonotonicClock) -> Self {
+        SpanTimer {
+            hist,
+            clock,
+            start: clock.now_micros(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed microseconds so far, without recording.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.clock.now_micros().saturating_sub(self.start)
+    }
+
+    /// Records now and returns the elapsed microseconds; drop becomes a
+    /// no-op.
+    pub fn stop(mut self) -> u64 {
+        let elapsed = self.elapsed_micros();
+        self.hist.record(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Abandons the span without recording.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.elapsed_micros());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn drop_records_exactly_once() {
+        let hist = Histogram::new();
+        {
+            let _span = SpanTimer::start(&hist);
+        }
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn stop_records_exact_manual_duration() {
+        let hist = Histogram::new();
+        let clock = ManualClock::new();
+        let span = SpanTimer::with_clock(&hist, &clock);
+        clock.advance_micros(777);
+        assert_eq!(span.stop(), 777);
+        let snap = hist.snapshot();
+        assert_eq!((snap.count, snap.sum, snap.max), (1, 777, 777));
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let hist = Histogram::new();
+        SpanTimer::start(&hist).cancel();
+        assert_eq!(hist.count(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cheap sampled per-query tracing.
+//!
+//! A [`Trace`] keeps the last N sampled events in a bounded ring. It is
+//! globally off by default: when disabled, [`Trace::try_sample`] is a
+//! single relaxed atomic load and branch, so leaving trace hooks on the
+//! query hot path is free in production.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One sampled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened (static so recording never allocates for labels).
+    pub label: &'static str,
+    /// Duration or timestamp in microseconds, as the site chooses.
+    pub micros: u64,
+    /// Free-form payload (candidate count, byte size, ...).
+    pub detail: u64,
+}
+
+/// A sampled, bounded event ring.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: AtomicBool,
+    /// Keep 1 of every `sample_every` offered samples.
+    sample_every: AtomicU64,
+    offered: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl Trace {
+    /// A disabled trace retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            enabled: AtomicBool::new(false),
+            sample_every: AtomicU64::new(1),
+            offered: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Turns sampling on, keeping 1 of every `sample_every` queries.
+    pub fn enable(&self, sample_every: u64) {
+        self.sample_every
+            .store(sample_every.max(1), Ordering::Relaxed);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns sampling off; recorded events remain readable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether this query should be traced. One load + branch when
+    /// disabled — the only cost the hot path ever pays.
+    #[inline]
+    pub fn try_sample(&self) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let n = self.offered.fetch_add(1, Ordering::Relaxed);
+        n.is_multiple_of(self.sample_every.load(Ordering::Relaxed))
+    }
+
+    /// Appends an event, evicting the oldest beyond capacity. Call only
+    /// when [`Trace::try_sample`] returned true.
+    pub fn record(&self, label: &'static str, micros: u64, detail: u64) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(TraceEvent {
+            label,
+            micros,
+            detail,
+        });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_never_samples() {
+        let t = Trace::new(8);
+        assert!(!t.try_sample());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let t = Trace::new(64);
+        t.enable(4);
+        let kept = (0..16).filter(|_| t.try_sample()).count();
+        assert_eq!(kept, 4);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = Trace::new(3);
+        t.enable(1);
+        for i in 0..5u64 {
+            t.record("q", i, 0);
+        }
+        let got: Vec<u64> = t.events().iter().map(|e| e.micros).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disable_stops_sampling_but_keeps_events() {
+        let t = Trace::new(4);
+        t.enable(1);
+        assert!(t.try_sample());
+        t.record("q", 1, 2);
+        t.disable();
+        assert!(!t.try_sample());
+        assert_eq!(t.events().len(), 1);
+    }
+}

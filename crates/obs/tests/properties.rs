@@ -1,0 +1,90 @@
+//! Property tests for histogram snapshot algebra and quantile sanity.
+
+use proptest::prelude::*;
+use swag_obs::{Histogram, HistogramSnapshot, Percentiles};
+
+/// Builds a snapshot from recorded values.
+fn snap_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spanning many buckets, including zero and huge magnitudes.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..16).boxed(),
+            (0u64..100_000).boxed(),
+            (0u64..(1u64 << 50)).boxed(),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(a in arb_values(), b in arb_values(), c in arb_values()) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_sums(a in arb_values(), b in arb_values()) {
+        let merged = snap_of(&a).merge(&snap_of(&b));
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.sum, a.iter().sum::<u64>() + b.iter().sum::<u64>());
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+        // Merging equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, snap_of(&all));
+    }
+
+    #[test]
+    fn empty_is_merge_identity(a in arb_values()) {
+        let s = snap_of(&a);
+        prop_assert_eq!(s.merge(&HistogramSnapshot::empty()), s);
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&s), s);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(a in arb_values()) {
+        let s = snap_of(&a);
+        let (p50, p90, p99) = (s.p50(), s.p90(), s.p99());
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        prop_assert!(p99 <= s.max);
+    }
+
+    #[test]
+    fn bucket_quantile_brackets_true_quantile(a in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        // The bucket upper bound is always >= the true nearest-rank
+        // value and < 2x it (log2 buckets halve at worst).
+        let s = snap_of(&a);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        let true_p50 = sorted[((0.5 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1];
+        let bucket_p50 = s.p50();
+        prop_assert!(bucket_p50 >= true_p50, "{} < {}", bucket_p50, true_p50);
+        prop_assert!(bucket_p50 < true_p50.saturating_mul(2).max(1), "{} vs {}", bucket_p50, true_p50);
+    }
+
+    #[test]
+    fn percentiles_pick_real_samples(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let p = Percentiles::of(&samples);
+        prop_assert!(samples.contains(&p.p50));
+        prop_assert!(samples.contains(&p.p90));
+        prop_assert!(samples.contains(&p.p99));
+        prop_assert!(p.min <= p.p50 && p.p50 <= p.p90 && p.p90 <= p.p99 && p.p99 <= p.max);
+    }
+}

@@ -1,0 +1,136 @@
+//! Multi-threaded stress tests: after joining all writers, counters and
+//! histograms must hold exact totals — lock-free recording may be
+//! relaxed, but it must never drop or double-count an event.
+
+use std::sync::Arc;
+use std::thread;
+
+use swag_obs::{Gauge, Histogram, Registry};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 10_000;
+
+#[test]
+fn counter_is_exact_under_contention() {
+    let reg = Registry::new();
+    let counter = reg.counter("swag_stress_events_total");
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            s.spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * OPS_PER_THREAD);
+}
+
+#[test]
+fn histogram_is_exact_under_contention() {
+    let hist = Arc::new(Histogram::new());
+    // Every thread records the same deterministic value sequence, so the
+    // final per-bucket counts, sum and max are all exactly computable.
+    let values: Vec<u64> = (0..OPS_PER_THREAD).map(|i| i % 2048).collect();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            let values = values.clone();
+            s.spawn(move || {
+                for &v in &values {
+                    hist.record(v);
+                }
+            });
+        }
+    });
+
+    let snap = hist.snapshot();
+    let expected_count = THREADS as u64 * OPS_PER_THREAD;
+    let expected_sum = THREADS as u64 * values.iter().sum::<u64>();
+    assert_eq!(snap.count, expected_count);
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.max, 2047);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), expected_count);
+
+    // Per-bucket counts match a single-threaded reference run.
+    let reference = Histogram::new();
+    for _ in 0..THREADS {
+        for &v in &values {
+            reference.record(v);
+        }
+    }
+    assert_eq!(snap, reference.snapshot());
+}
+
+#[test]
+fn gauge_balances_out() {
+    let gauge = Arc::new(Gauge::new());
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let gauge = Arc::clone(&gauge);
+            s.spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    if t % 2 == 0 {
+                        gauge.add(1);
+                    } else {
+                        gauge.add(-1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(gauge.get(), 0);
+}
+
+#[test]
+fn registry_handles_concurrent_get_or_create() {
+    let reg = Arc::new(Registry::new());
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                for i in 0..100 {
+                    reg.counter(&format!("swag_stress_shared_{}", i % 10)).inc();
+                }
+            });
+        }
+    });
+    assert_eq!(reg.len(), 10);
+    for i in 0..10 {
+        let c = reg.counter(&format!("swag_stress_shared_{i}"));
+        assert_eq!(c.get(), THREADS as u64 * 10);
+    }
+}
+
+#[test]
+fn per_thread_histograms_merge_to_global_truth() {
+    // The sharded pattern: each worker records into its own histogram,
+    // snapshots merge afterwards.
+    let snapshots: Vec<_> = thread::scope(|s| {
+        (0..THREADS)
+            .map(|t| {
+                s.spawn(move || {
+                    let local = Histogram::new();
+                    for i in 0..OPS_PER_THREAD {
+                        local.record((t as u64 + 1) * (i % 100));
+                    }
+                    local.snapshot()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let merged = snapshots
+        .iter()
+        .fold(swag_obs::HistogramSnapshot::empty(), |acc, s| acc.merge(s));
+    assert_eq!(merged.count, THREADS as u64 * OPS_PER_THREAD);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (t + 1) * (0..OPS_PER_THREAD).map(|i| i % 100).sum::<u64>())
+        .sum();
+    assert_eq!(merged.sum, expected_sum);
+    assert_eq!(merged.max, THREADS as u64 * 99);
+}

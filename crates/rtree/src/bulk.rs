@@ -37,7 +37,13 @@ impl<T, const D: usize> RTree<T, D> {
             .map(|(mbr, value)| Item { mbr, value })
             .collect();
         let mut groups = Vec::new();
-        tile(leaf_items, 0, cap, &|i: &Item<T, D>| i.mbr.center(), &mut groups);
+        tile(
+            leaf_items,
+            0,
+            cap,
+            &|i: &Item<T, D>| i.mbr.center(),
+            &mut groups,
+        );
         let mut level: Vec<Child<D>> = groups
             .into_iter()
             .map(|g| {

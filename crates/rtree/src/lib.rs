@@ -44,4 +44,4 @@ pub mod tree;
 
 pub use mbr::Aabb;
 pub use split::SplitStrategy;
-pub use tree::{RTree, RTreeConfig, RTreeStats};
+pub use tree::{RTree, RTreeConfig, RTreeStats, SearchStats};

@@ -199,9 +199,13 @@ fn split_rstar<E, const D: usize>(
             order.sort_unstable_by(|&i, &j| {
                 let (a, b) = (&mbrs[i], &mbrs[j]);
                 if by_upper {
-                    a.max[d].total_cmp(&b.max[d]).then(a.min[d].total_cmp(&b.min[d]))
+                    a.max[d]
+                        .total_cmp(&b.max[d])
+                        .then(a.min[d].total_cmp(&b.min[d]))
                 } else {
-                    a.min[d].total_cmp(&b.min[d]).then(a.max[d].total_cmp(&b.max[d]))
+                    a.min[d]
+                        .total_cmp(&b.min[d])
+                        .then(a.max[d].total_cmp(&b.max[d]))
                 }
             });
             let score = evaluate(order);
@@ -325,18 +329,34 @@ mod tests {
 
     #[test]
     fn quadratic_separates_clusters() {
-        let (a, b) = run(SplitStrategy::Quadratic, &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0], 2);
+        let (a, b) = run(
+            SplitStrategy::Quadratic,
+            &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0],
+            2,
+        );
         assert_eq!(a.len() + b.len(), 6);
         // Each group is one cluster.
-        let (lo, hi) = if a[0].min[0] < 50.0 { (&a, &b) } else { (&b, &a) };
+        let (lo, hi) = if a[0].min[0] < 50.0 {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
         assert!(lo.iter().all(|m| m.min[0] < 50.0));
         assert!(hi.iter().all(|m| m.min[0] > 50.0));
     }
 
     #[test]
     fn rstar_separates_clusters() {
-        let (a, b) = run(SplitStrategy::RStar, &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0], 2);
-        let (lo, hi) = if a[0].min[0] < 50.0 { (&a, &b) } else { (&b, &a) };
+        let (a, b) = run(
+            SplitStrategy::RStar,
+            &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0],
+            2,
+        );
+        let (lo, hi) = if a[0].min[0] < 50.0 {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
         assert!(lo.iter().all(|m| m.min[0] < 50.0));
         assert!(hi.iter().all(|m| m.min[0] > 50.0));
     }
@@ -357,8 +377,16 @@ mod tests {
 
     #[test]
     fn linear_separates_clusters() {
-        let (a, b) = run(SplitStrategy::Linear, &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0], 2);
-        let (lo, hi) = if a[0].min[0] < 50.0 { (&a, &b) } else { (&b, &a) };
+        let (a, b) = run(
+            SplitStrategy::Linear,
+            &[0.0, 1.0, 2.0, 100.0, 101.0, 102.0],
+            2,
+        );
+        let (lo, hi) = if a[0].min[0] < 50.0 {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
         assert!(lo.iter().all(|m| m.min[0] < 50.0));
         assert!(hi.iter().all(|m| m.min[0] > 50.0));
     }
@@ -373,7 +401,12 @@ mod tests {
             // Adversarial: one far outlier tempts the split to put a lone
             // entry in its own group.
             let (a, b) = run(strategy, &[0.0, 0.1, 0.2, 0.3, 0.4, 1000.0], 3);
-            assert!(a.len() >= 3 && b.len() >= 3, "{strategy:?}: {} vs {}", a.len(), b.len());
+            assert!(
+                a.len() >= 3 && b.len() >= 3,
+                "{strategy:?}: {} vs {}",
+                a.len(),
+                b.len()
+            );
         }
     }
 

@@ -97,6 +97,32 @@ pub struct RTreeStats {
     pub nodes: usize,
 }
 
+/// Traversal counters accumulated by [`RTree::search_with_stats`].
+///
+/// An out-param rather than a return value so repeated searches (e.g. one
+/// per time shard) can aggregate into a single struct without allocating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes popped from the traversal stack (internal + leaf).
+    pub nodes_visited: u64,
+    /// Leaf nodes whose items were examined.
+    pub leaves_scanned: u64,
+    /// Items whose boxes were intersection-tested.
+    pub items_tested: u64,
+    /// Items that intersected the query and were visited.
+    pub items_matched: u64,
+}
+
+impl SearchStats {
+    /// Adds another search's counters into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_scanned += other.leaves_scanned;
+        self.items_tested += other.items_tested;
+        self.items_matched += other.items_matched;
+    }
+}
+
 /// A dynamic R-tree over `D`-dimensional boxes with payloads of type `T`.
 ///
 /// See the [crate docs](crate) for an overview and example.
@@ -265,7 +291,9 @@ impl<T, const D: usize> RTree<T, D> {
             }
             let overflow = std::mem::take(items);
             let (a, _mbr_a, b, mbr_b) =
-                split(self.config.split, overflow, self.config.min_entries, |i| i.mbr);
+                split(self.config.split, overflow, self.config.min_entries, |i| {
+                    i.mbr
+                });
             self.nodes[node] = Node::Leaf(a);
             let sibling = self.alloc(Node::Leaf(b));
             return InsertOutcome::Split(mbr_b, sibling);
@@ -317,7 +345,9 @@ impl<T, const D: usize> RTree<T, D> {
                 if children.len() > self.config.max_entries {
                     let overflow = std::mem::take(children);
                     let (a, _mbr_a, b, mbr_b) =
-                        split(self.config.split, overflow, self.config.min_entries, |c| c.mbr);
+                        split(self.config.split, overflow, self.config.min_entries, |c| {
+                            c.mbr
+                        });
                     self.nodes[node] = Node::Internal(a);
                     let sibling = self.alloc(Node::Internal(b));
                     return InsertOutcome::Split(mbr_b, sibling);
@@ -357,6 +387,43 @@ impl<T, const D: usize> RTree<T, D> {
                 Node::Leaf(items) => {
                     for item in items {
                         if item.mbr.intersects(query) {
+                            visit(&item.mbr, &item.value);
+                        }
+                    }
+                }
+                Node::Internal(children) => {
+                    for c in children {
+                        if c.mbr.intersects(query) {
+                            stack.push(c.node);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`Self::search_with`] that additionally accumulates traversal
+    /// counters into `stats`. A separate method (rather than a flag on
+    /// `search_with`) so the uninstrumented path keeps zero overhead.
+    pub fn search_with_stats<'a>(
+        &'a self,
+        query: &Aabb<D>,
+        stats: &mut SearchStats,
+        mut visit: impl FnMut(&'a Aabb<D>, &'a T),
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            stats.nodes_visited += 1;
+            match &self.nodes[id] {
+                Node::Leaf(items) => {
+                    stats.leaves_scanned += 1;
+                    stats.items_tested += items.len() as u64;
+                    for item in items {
+                        if item.mbr.intersects(query) {
+                            stats.items_matched += 1;
                             visit(&item.mbr, &item.value);
                         }
                     }
@@ -449,12 +516,7 @@ impl<T, const D: usize> RTree<T, D> {
     /// Like [`Self::nearest_k`], but only returns items whose `MINDIST`
     /// is at most `max_dist` (exclusive of anything farther). Useful when
     /// a miss is better than a far match.
-    pub fn nearest_k_within(
-        &self,
-        point: [f64; D],
-        k: usize,
-        max_dist: f64,
-    ) -> Vec<(&T, f64)> {
+    pub fn nearest_k_within(&self, point: [f64; D], k: usize, max_dist: f64) -> Vec<(&T, f64)> {
         let limit_sq = max_dist * max_dist;
         let mut hits = self.nearest_k(point, k);
         hits.retain(|(_, d)| *d <= limit_sq);
@@ -463,7 +525,11 @@ impl<T, const D: usize> RTree<T, D> {
 
     /// Iterates over all `(box, value)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Aabb<D>, &T)> {
-        let mut stack = if self.len == 0 { vec![] } else { vec![self.root] };
+        let mut stack = if self.len == 0 {
+            vec![]
+        } else {
+            vec![self.root]
+        };
         let mut current: std::slice::Iter<'_, Item<T, D>> = [].iter();
         std::iter::from_fn(move || loop {
             if let Some(item) = current.next() {
@@ -529,9 +595,7 @@ impl<T, const D: usize> RTree<T, D> {
             let Node::Leaf(items) = &mut self.nodes[node] else {
                 unreachable!()
             };
-            let idx = items
-                .iter()
-                .position(|i| i.mbr == *mbr && pred(&i.value))?;
+            let idx = items.iter().position(|i| i.mbr == *mbr && pred(&i.value))?;
             return Some(items.swap_remove(idx).value);
         }
 
@@ -627,14 +691,14 @@ impl<T, const D: usize> RTree<T, D> {
                     "internal underflow: {} < {min}",
                     children.len()
                 );
-                assert!(children.len() <= self.config.max_entries, "internal overflow");
+                assert!(
+                    children.len() <= self.config.max_entries,
+                    "internal overflow"
+                );
                 let mut acc: Option<Aabb<D>> = None;
                 for c in children {
                     let actual = self.check_node(c.node, depth - 1, false, counted);
-                    assert_eq!(
-                        actual, c.mbr,
-                        "stored child MBR differs from computed MBR"
-                    );
+                    assert_eq!(actual, c.mbr, "stored child MBR differs from computed MBR");
                     acc = Some(match acc {
                         None => actual,
                         Some(a) => a.union(&actual),
@@ -705,6 +769,34 @@ mod tests {
         assert!(t.search(&Aabb::new([-1e9, -1e9], [1e9, 1e9])).is_empty());
         assert!(t.nearest_k([0.0, 0.0], 5).is_empty());
         t.check_invariants();
+    }
+
+    #[test]
+    fn search_with_stats_matches_search_and_counts() {
+        let t = grid_tree(1000);
+        let query = Aabb::new([10.0, 2.0], [30.0, 6.0]);
+        let plain = t.search(&query);
+
+        let mut stats = SearchStats::default();
+        let mut observed = Vec::new();
+        t.search_with_stats(&query, &mut stats, |_mbr, v| observed.push(v));
+        assert_eq!(observed, plain);
+        assert_eq!(stats.items_matched, plain.len() as u64);
+        assert!(stats.items_tested >= stats.items_matched);
+        assert!(stats.nodes_visited >= stats.leaves_scanned);
+        assert!(stats.leaves_scanned >= 1);
+        // Selective queries must not scan the whole tree.
+        assert!(stats.items_tested < t.len() as u64);
+
+        // Out-param aggregates across calls.
+        let before = stats;
+        t.search_with_stats(&query, &mut stats, |_, _| {});
+        assert_eq!(stats.items_matched, before.items_matched * 2);
+
+        let empty: RTree<u32, 2> = RTree::new();
+        let mut s = SearchStats::default();
+        empty.search_with_stats(&query, &mut s, |_, _| {});
+        assert_eq!(s, SearchStats::default());
     }
 
     #[test]
@@ -784,7 +876,11 @@ mod tests {
         let mut t = grid_tree(200);
         for i in 0..200u32 {
             let p = [f64::from(i % 100), f64::from(i / 100)];
-            assert_eq!(t.remove(&Aabb::from_point(p), |&v| v == i), Some(i), "item {i}");
+            assert_eq!(
+                t.remove(&Aabb::from_point(p), |&v| v == i),
+                Some(i),
+                "item {i}"
+            );
             t.check_invariants();
         }
         assert!(t.is_empty());
@@ -849,7 +945,9 @@ mod tests {
         let hits = t.search(&Aabb::new([0.0, 1.0, 5.0], [2.0, 3.0, 25.0]));
         assert_eq!(hits.len(), 2);
         // Time-disjoint query finds nothing.
-        assert!(t.search(&Aabb::new([0.0, 1.0, 11.0], [2.0, 3.0, 19.0])).is_empty());
+        assert!(t
+            .search(&Aabb::new([0.0, 1.0, 11.0], [2.0, 3.0, 19.0]))
+            .is_empty());
     }
 
     #[test]

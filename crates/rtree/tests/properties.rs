@@ -10,12 +10,7 @@ fn arb_box3() -> impl Strategy<Value = Aabb<3>> {
         [-100.0f64..100.0, -100.0f64..100.0, 0.0f64..1000.0],
         [0.0f64..20.0, 0.0f64..20.0, 0.0f64..50.0],
     )
-        .prop_map(|(min, ext)| {
-            Aabb::new(
-                min,
-                [min[0] + ext[0], min[1] + ext[1], min[2] + ext[2]],
-            )
-        })
+        .prop_map(|(min, ext)| Aabb::new(min, [min[0] + ext[0], min[1] + ext[1], min[2] + ext[2]]))
 }
 
 fn arb_config() -> impl Strategy<Value = RTreeConfig> {

@@ -182,7 +182,13 @@ impl Mobility {
     /// `turn_deg` (positive = right), travel `leg_m` more — the paper's
     /// "riding a bike in a residential area and turning right" scenario
     /// (Fig. 5(c)).
-    pub fn bike_turn(start: Vec2, heading_deg: f64, leg_m: f64, turn_deg: f64, speed_mps: f64) -> Self {
+    pub fn bike_turn(
+        start: Vec2,
+        heading_deg: f64,
+        leg_m: f64,
+        turn_deg: f64,
+        speed_mps: f64,
+    ) -> Self {
         let corner = start + Vec2::from_azimuth_deg(heading_deg) * leg_m;
         let end = corner + Vec2::from_azimuth_deg(heading_deg + turn_deg) * leg_m;
         Mobility::Waypoints {
@@ -195,7 +201,13 @@ impl Mobility {
     /// A random walk on a Manhattan street grid: `legs` moves of
     /// `block_len_m` metres, each continuing straight or turning ±90° with
     /// equal probability. Deterministic for a given seed.
-    pub fn manhattan(seed: u64, start: Vec2, block_len_m: f64, legs: usize, speed_mps: f64) -> Self {
+    pub fn manhattan(
+        seed: u64,
+        start: Vec2,
+        block_len_m: f64,
+        legs: usize,
+        speed_mps: f64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut heading: i32 = rng.random_range(0..4) * 90;
         let mut path = vec![start];

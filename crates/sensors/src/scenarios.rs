@@ -42,7 +42,12 @@ pub fn walk_perpendicular(duration_s: f64, noise: &SensorNoise, seed: u64) -> Ve
 }
 
 /// Fig. 5(a): standing still and rotating the camera.
-pub fn rotate_in_place(duration_s: f64, rate_deg_per_s: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+pub fn rotate_in_place(
+    duration_s: f64,
+    rate_deg_per_s: f64,
+    noise: &SensorNoise,
+    seed: u64,
+) -> Vec<TimedFov> {
     let mobility = Mobility::StationaryRotate {
         position: Vec2::ZERO,
         start_azimuth_deg: 0.0,
@@ -53,7 +58,12 @@ pub fn rotate_in_place(duration_s: f64, rate_deg_per_s: f64, noise: &SensorNoise
 
 /// Fig. 5(b): driving down the street filming the view ahead
 /// (`R = 100 m` in the paper's setup).
-pub fn drive_straight(duration_s: f64, speed_mps: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+pub fn drive_straight(
+    duration_s: f64,
+    speed_mps: f64,
+    noise: &SensorNoise,
+    seed: u64,
+) -> Vec<TimedFov> {
     let mobility = Mobility::StraightLine {
         start: Vec2::ZERO,
         heading_deg: 0.0,
@@ -65,7 +75,12 @@ pub fn drive_straight(duration_s: f64, speed_mps: f64, noise: &SensorNoise, seed
 
 /// Fig. 5(c): riding a bike through a residential area and turning right
 /// halfway.
-pub fn bike_ride_with_turn(leg_m: f64, speed_mps: f64, noise: &SensorNoise, seed: u64) -> Vec<TimedFov> {
+pub fn bike_ride_with_turn(
+    leg_m: f64,
+    speed_mps: f64,
+    noise: &SensorNoise,
+    seed: u64,
+) -> Vec<TimedFov> {
     let mobility = Mobility::bike_turn(Vec2::ZERO, 0.0, leg_m, 90.0, speed_mps);
     let duration = mobility.natural_duration_s().expect("bike path is bounded");
     sample(&mobility, duration, noise, seed)
@@ -83,7 +98,14 @@ fn sample(mobility: &Mobility, duration_s: f64, noise: &SensorNoise, seed: u64) 
     let frame = LocalFrame::new(default_origin());
     let cfg = TraceConfig::new(25.0, duration_s);
     let mut rng = StdRng::seed_from_u64(seed);
-    generate_trace(mobility, &frame, &cfg, noise, &DeviceClock::PERFECT, &mut rng)
+    generate_trace(
+        mobility,
+        &frame,
+        &cfg,
+        noise,
+        &DeviceClock::PERFECT,
+        &mut rng,
+    )
 }
 
 /// Parameters for the citywide random representative-FoV workload

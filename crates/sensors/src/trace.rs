@@ -92,7 +92,10 @@ pub fn generate_trace_mixed_rate(
     clock: &DeviceClock,
     rng: &mut impl Rng,
 ) -> Vec<TimedFov> {
-    assert!(gps_hz > 0.0 && gps_hz <= cfg.fps, "gps_hz must be in (0, fps]");
+    assert!(
+        gps_hz > 0.0 && gps_hz <= cfg.fps,
+        "gps_hz must be in (0, fps]"
+    );
     // Noisy GPS fixes at the slow rate (device-time stamped).
     let n_fix = (cfg.duration_s * gps_hz).floor() as usize + 1;
     let fixes: Vec<TimedFov> = (0..n_fix)
@@ -299,9 +302,7 @@ mod tests {
         let max_err = trace
             .iter()
             .enumerate()
-            .map(|(i, tf)| {
-                (f.to_local(tf.fov.p) - walker().pose(i as f64 / 25.0).position).norm()
-            })
+            .map(|(i, tf)| (f.to_local(tf.fov.p) - walker().pose(i as f64 / 25.0).position).norm())
             .fold(0.0f64, f64::max);
         assert!(max_err > 0.1, "noise had no effect");
         assert!(max_err < 15.0, "implausible error {max_err}");

@@ -16,9 +16,8 @@ fn frame() -> LocalFrame {
 
 fn arb_mobility() -> impl Strategy<Value = Mobility> {
     prop_oneof![
-        (any::<u64>(), 2usize..12).prop_map(|(seed, legs)| Mobility::random_waypoint(
-            seed, 300.0, legs, 1.4
-        )),
+        (any::<u64>(), 2usize..12)
+            .prop_map(|(seed, legs)| Mobility::random_waypoint(seed, 300.0, legs, 1.4)),
         (any::<u64>(), 2usize..12).prop_map(|(seed, legs)| Mobility::manhattan(
             seed,
             Vec2::ZERO,

@@ -13,7 +13,7 @@
 
 use swag_core::RepFov;
 use swag_geo::{LatLon, METERS_PER_DEG};
-use swag_rtree::{Aabb, RTree, RTreeConfig};
+use swag_rtree::{Aabb, RTree, RTreeConfig, SearchStats};
 
 use crate::query::Query;
 use crate::store::SegmentId;
@@ -125,6 +125,32 @@ impl FovIndex {
         }
     }
 
+    /// [`Self::candidates`] that also accumulates traversal counters into
+    /// `stats` (used by the instrumented server query path). The linear
+    /// scan reports itself as one flat "leaf" covering every record.
+    pub fn candidates_with_stats(&self, q: &Query, stats: &mut SearchStats) -> Vec<SegmentId> {
+        let qb = query_box(q);
+        match self {
+            FovIndex::RTree(t) => {
+                let mut out = Vec::new();
+                t.search_with_stats(&qb, stats, |_mbr, id| out.push(*id));
+                out
+            }
+            FovIndex::Linear(v) => {
+                let out: Vec<SegmentId> = v
+                    .iter()
+                    .filter(|(b, _)| b.intersects(&qb))
+                    .map(|(_, id)| *id)
+                    .collect();
+                stats.nodes_visited += 1;
+                stats.leaves_scanned += 1;
+                stats.items_tested += v.len() as u64;
+                stats.items_matched += out.len() as u64;
+                out
+            }
+        }
+    }
+
     /// Removes one indexed segment (used when providers retract videos).
     pub fn remove(&mut self, rep: &RepFov, id: SegmentId) -> bool {
         let b = fov_box(rep);
@@ -204,7 +230,11 @@ mod tests {
             rtree.insert(r, SegmentId(i as u32));
             linear.insert(r, SegmentId(i as u32));
         }
-        for query in [q(100.0, 0.0, 300.0), q(300.0, 50.0, 100.0), q(20.0, 500.0, 600.0)] {
+        for query in [
+            q(100.0, 0.0, 300.0),
+            q(300.0, 50.0, 100.0),
+            q(20.0, 500.0, 600.0),
+        ] {
             let mut a = rtree.candidates(&query);
             let mut b = linear.candidates(&query);
             a.sort();
@@ -228,7 +258,12 @@ mod tests {
         let reps: Vec<(RepFov, SegmentId)> = (0..500)
             .map(|i| {
                 (
-                    rep_at(f64::from(i % 23) * 40.0, f64::from(i % 17) * 40.0, f64::from(i), f64::from(i) + 2.0),
+                    rep_at(
+                        f64::from(i % 23) * 40.0,
+                        f64::from(i % 17) * 40.0,
+                        f64::from(i),
+                        f64::from(i) + 2.0,
+                    ),
                     SegmentId(i as u32),
                 )
             })
@@ -244,6 +279,32 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn candidates_with_stats_agrees_with_candidates() {
+        for kind in [IndexKind::RTree, IndexKind::Linear] {
+            let mut idx = FovIndex::new(kind);
+            for i in 0..300u32 {
+                let r = rep_at(
+                    f64::from(i % 19) * 50.0,
+                    f64::from(i % 13) * 50.0,
+                    f64::from(i),
+                    f64::from(i) + 4.0,
+                );
+                idx.insert(&r, SegmentId(i));
+            }
+            let query = q(300.0, 50.0, 200.0);
+            let mut stats = SearchStats::default();
+            let mut a = idx.candidates_with_stats(&query, &mut stats);
+            let mut b = idx.candidates(&query);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{kind:?}");
+            assert_eq!(stats.items_matched, a.len() as u64, "{kind:?}");
+            assert!(stats.items_tested >= stats.items_matched);
+            assert!(stats.leaves_scanned >= 1);
+        }
     }
 
     #[test]

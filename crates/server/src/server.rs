@@ -4,12 +4,21 @@
 //! the write lock briefly, queries run concurrently under the read lock.
 //! Query latency and counts are tracked with atomics so statistics never
 //! contend with the data path.
+//!
+//! Observability is opt-in: [`CloudServer::attach_observability`] wires
+//! the query path to `swag-obs` histograms (lock wait vs. index scan vs.
+//! ranking split, candidate counts, R-tree traversal work) and a sampled
+//! per-query [`Trace`]. Without it, the only cost the query path pays is
+//! one branch on an `Option`. Time comes from an injectable
+//! [`MonotonicClock`] so latency accounting is exactly testable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 use swag_core::{CameraProfile, RepFov, UploadBatch};
+use swag_obs::{Counter, Histogram, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
+use swag_rtree::SearchStats;
 
 use crate::index::{FovIndex, IndexKind};
 use crate::query::{Query, QueryOptions};
@@ -28,6 +37,15 @@ pub struct ServerStats {
     pub queries: u64,
     /// Total time spent answering queries, microseconds.
     pub query_micros_total: u64,
+    /// Time queries spent acquiring the read lock (empty unless
+    /// observability is attached).
+    pub lock_wait_micros: HistogramSnapshot,
+    /// Time queries spent scanning the spatio-temporal index.
+    pub index_scan_micros: HistogramSnapshot,
+    /// Time queries spent ranking candidates.
+    pub ranking_micros: HistogramSnapshot,
+    /// End-to-end query latency distribution.
+    pub query_micros: HistogramSnapshot,
 }
 
 impl ServerStats {
@@ -45,6 +63,40 @@ struct State {
     store: SegmentStore,
     index: FovIndex,
     subscriptions: SubscriptionSet,
+}
+
+/// Metric handles for an instrumented server. Handles are resolved once
+/// at attach time; recording never touches the registry again.
+struct ServerObs {
+    lock_wait: Arc<Histogram>,
+    index_scan: Arc<Histogram>,
+    ranking: Arc<Histogram>,
+    query_total: Arc<Histogram>,
+    candidates: Arc<Histogram>,
+    index_nodes: Arc<Histogram>,
+    index_leaves: Arc<Histogram>,
+    ingest: Arc<Histogram>,
+    segments: Arc<Counter>,
+    nearest_rounds: Arc<Counter>,
+    trace: Trace,
+}
+
+impl ServerObs {
+    fn from_registry(registry: &Registry) -> Self {
+        ServerObs {
+            lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
+            index_scan: registry.histogram("swag_server_query_index_scan_micros"),
+            ranking: registry.histogram("swag_server_query_ranking_micros"),
+            query_total: registry.histogram("swag_server_query_micros"),
+            candidates: registry.histogram("swag_server_query_candidates"),
+            index_nodes: registry.histogram("swag_server_index_nodes_visited"),
+            index_leaves: registry.histogram("swag_server_index_leaves_scanned"),
+            ingest: registry.histogram("swag_server_ingest_micros"),
+            segments: registry.counter("swag_server_segments_ingested_total"),
+            nearest_rounds: registry.counter("swag_server_nearest_rounds_total"),
+            trace: Trace::new(256),
+        }
+    }
 }
 
 /// The crowd-sourced retrieval server (paper §II).
@@ -71,6 +123,8 @@ struct State {
 pub struct CloudServer {
     state: RwLock<State>,
     cam: CameraProfile,
+    clock: Arc<dyn MonotonicClock>,
+    obs: Option<ServerObs>,
     batches: AtomicU64,
     queries: AtomicU64,
     query_micros: AtomicU64,
@@ -97,6 +151,12 @@ impl CloudServer {
 
     /// Creates a server with a chosen index backend.
     pub fn with_index(cam: CameraProfile, kind: IndexKind) -> Self {
+        Self::with_clock(cam, kind, Arc::new(WallClock))
+    }
+
+    /// Creates a server reading time from an injected clock. Tests pass a
+    /// deterministic clock and assert exact latency accounting.
+    pub fn with_clock(cam: CameraProfile, kind: IndexKind, clock: Arc<dyn MonotonicClock>) -> Self {
         CloudServer {
             state: RwLock::new(State {
                 store: SegmentStore::new(),
@@ -104,10 +164,25 @@ impl CloudServer {
                 subscriptions: SubscriptionSet::new(),
             }),
             cam,
+            clock,
+            obs: None,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             query_micros: AtomicU64::new(0),
         }
+    }
+
+    /// Wires this server's ingest and query paths to `registry` (metric
+    /// names `swag_server_*`). Call before sharing the server across
+    /// threads; until called, instrumentation costs one branch per query.
+    pub fn attach_observability(&mut self, registry: &Registry) {
+        self.obs = Some(ServerObs::from_registry(registry));
+    }
+
+    /// The sampled per-query trace ring, present once observability is
+    /// attached. Disabled (never sampling) until [`Trace::enable`].
+    pub fn query_trace(&self) -> Option<&Trace> {
+        self.obs.as_ref().map(|o| &o.trace)
     }
 
     /// The camera profile used for ranking geometry.
@@ -117,6 +192,11 @@ impl CloudServer {
 
     /// Ingests one upload batch, returning the assigned segment ids.
     pub fn ingest_batch(&self, batch: &UploadBatch) -> Vec<SegmentId> {
+        let t0 = if self.obs.is_some() {
+            self.clock.now_micros()
+        } else {
+            0
+        };
         let mut state = self.state.write();
         let ids = batch
             .reps
@@ -134,7 +214,12 @@ impl CloudServer {
                 id
             })
             .collect();
+        drop(state);
         self.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.segments.add(batch.reps.len() as u64);
+            obs.ingest.record(self.clock.now_micros() - t0);
+        }
         ids
     }
 
@@ -144,6 +229,10 @@ impl CloudServer {
         let id = state.store.push(rep, source);
         state.index.insert(&rep, id);
         state.subscriptions.offer(&rep, id, source, &self.cam);
+        drop(state);
+        if let Some(obs) = &self.obs {
+            obs.segments.inc();
+        }
         id
     }
 
@@ -165,15 +254,45 @@ impl CloudServer {
 
     /// Answers a query with the paper's rank-based retrieval.
     pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
-        let start = Instant::now();
-        let state = self.state.read();
-        let candidates = state.index.candidates(query);
-        let hits = rank_candidates(&candidates, &state.store, &self.cam, query, opts);
-        drop(state);
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.query_micros
-            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-        hits
+        match &self.obs {
+            None => {
+                let t0 = self.clock.now_micros();
+                let state = self.state.read();
+                let candidates = state.index.candidates(query);
+                let hits = rank_candidates(&candidates, &state.store, &self.cam, query, opts);
+                drop(state);
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.query_micros
+                    .fetch_add(self.clock.now_micros() - t0, Ordering::Relaxed);
+                hits
+            }
+            Some(obs) => {
+                let t0 = self.clock.now_micros();
+                let state = self.state.read();
+                let t_locked = self.clock.now_micros();
+                let mut search = SearchStats::default();
+                let candidates = state.index.candidates_with_stats(query, &mut search);
+                let t_scanned = self.clock.now_micros();
+                let hits = rank_candidates(&candidates, &state.store, &self.cam, query, opts);
+                drop(state);
+                let t_done = self.clock.now_micros();
+
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.query_micros.fetch_add(t_done - t0, Ordering::Relaxed);
+                obs.lock_wait.record(t_locked - t0);
+                obs.index_scan.record(t_scanned - t_locked);
+                obs.ranking.record(t_done - t_scanned);
+                obs.query_total.record(t_done - t0);
+                obs.candidates.record(candidates.len() as u64);
+                obs.index_nodes.record(search.nodes_visited);
+                obs.index_leaves.record(search.leaves_scanned);
+                if obs.trace.try_sample() {
+                    obs.trace
+                        .record("query", t_done - t0, candidates.len() as u64);
+                }
+                hits
+            }
+        }
     }
 
     /// Answers a *k-nearest* request: the `k` segments closest to `center`
@@ -199,6 +318,9 @@ impl CloudServer {
         }
         let mut radius = 50.0_f64.min(max_radius_m);
         loop {
+            if let Some(obs) = &self.obs {
+                obs.nearest_rounds.inc();
+            }
             let q = Query::new(t_start, t_end, center, radius);
             let wide = QueryOptions {
                 top_n: usize::MAX,
@@ -283,19 +405,35 @@ impl CloudServer {
                 subscriptions: SubscriptionSet::new(),
             }),
             cam,
+            clock: Arc::new(WallClock),
+            obs: None,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             query_micros: AtomicU64::new(0),
         }
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot. Phase histograms are empty unless
+    /// observability is attached.
     pub fn stats(&self) -> ServerStats {
+        let (lock_wait, index_scan, ranking, query) = match &self.obs {
+            Some(o) => (
+                o.lock_wait.snapshot(),
+                o.index_scan.snapshot(),
+                o.ranking.snapshot(),
+                o.query_total.snapshot(),
+            ),
+            None => Default::default(),
+        };
         ServerStats {
             segments: self.state.read().store.len(),
             batches: self.batches.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             query_micros_total: self.query_micros.load(Ordering::Relaxed),
+            lock_wait_micros: lock_wait,
+            index_scan_micros: index_scan,
+            ranking_micros: ranking,
+            query_micros: query,
         }
     }
 }
@@ -308,6 +446,28 @@ mod tests {
 
     fn center() -> LatLon {
         LatLon::new(40.0, 116.32)
+    }
+
+    /// Advances by a fixed step on every read, so each timed interval in
+    /// the query path is exactly `step` microseconds.
+    struct SteppingClock {
+        t: AtomicU64,
+        step: u64,
+    }
+
+    impl SteppingClock {
+        fn with_step(step: u64) -> Arc<Self> {
+            Arc::new(SteppingClock {
+                t: AtomicU64::new(0),
+                step,
+            })
+        }
+    }
+
+    impl MonotonicClock for SteppingClock {
+        fn now_micros(&self) -> u64 {
+            self.t.fetch_add(self.step, Ordering::Relaxed)
+        }
     }
 
     fn batch(provider: u64, n: usize) -> UploadBatch {
@@ -485,7 +645,9 @@ mod tests {
         let hits = server.query_nearest(0.0, 1000.0, center(), 3, &opts, 100_000.0);
         assert_eq!(hits.len(), 3);
         let d: Vec<f64> = hits.iter().map(|h| h.distance_m).collect();
-        assert!((d[0] - 10.0).abs() < 0.5 && (d[1] - 15.0).abs() < 0.5 && (d[2] - 20.0).abs() < 0.5);
+        assert!(
+            (d[0] - 10.0).abs() < 0.5 && (d[1] - 15.0).abs() < 0.5 && (d[2] - 20.0).abs() < 0.5
+        );
     }
 
     #[test]
@@ -521,6 +683,99 @@ mod tests {
         assert!(server
             .query_nearest(0.0, 100.0, center(), 0, &QueryOptions::default(), 1e5)
             .is_empty());
+    }
+
+    #[test]
+    fn injected_clock_makes_latency_accounting_exact() {
+        let server = CloudServer::with_clock(
+            CameraProfile::smartphone(),
+            IndexKind::RTree,
+            SteppingClock::with_step(7),
+        );
+        server.ingest_batch(&batch(1, 5));
+        let q = Query::new(0.0, 100.0, center(), 100.0);
+        for _ in 0..10 {
+            server.query(&q, &QueryOptions::default());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 10);
+        // Uninstrumented queries read the clock exactly twice.
+        assert_eq!(stats.query_micros_total, 10 * 7);
+        // No observability attached: phase histograms stay empty.
+        assert_eq!(stats.query_micros, swag_obs::HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn observability_splits_query_phases_exactly() {
+        let reg = Registry::new();
+        let mut server = CloudServer::with_clock(
+            CameraProfile::smartphone(),
+            IndexKind::RTree,
+            SteppingClock::with_step(5),
+        );
+        server.attach_observability(&reg);
+        server.ingest_batch(&batch(3, 6));
+        let q = Query::new(0.0, 100.0, center(), 200.0);
+        for _ in 0..4 {
+            server.query(&q, &QueryOptions::default());
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.queries, 4);
+        // Instrumented queries read the clock four times: each of the
+        // three phases is exactly one step, the total exactly three.
+        for phase in [
+            &stats.lock_wait_micros,
+            &stats.index_scan_micros,
+            &stats.ranking_micros,
+        ] {
+            assert_eq!(phase.count, 4);
+            assert_eq!(phase.sum, 4 * 5);
+        }
+        assert_eq!(stats.query_micros.sum, 4 * 15);
+        assert_eq!(stats.query_micros_total, 4 * 15);
+
+        // The same numbers are visible through the registry.
+        assert_eq!(
+            reg.histogram("swag_server_query_micros").snapshot().count,
+            4
+        );
+        assert_eq!(reg.counter("swag_server_segments_ingested_total").get(), 6);
+        assert_eq!(
+            reg.histogram("swag_server_ingest_micros").snapshot().count,
+            1
+        );
+        let cands = reg.histogram("swag_server_query_candidates").snapshot();
+        assert_eq!(cands.count, 4);
+        assert_eq!(cands.sum, 4 * 6);
+        assert!(
+            reg.histogram("swag_server_index_leaves_scanned")
+                .snapshot()
+                .sum
+                >= 4
+        );
+    }
+
+    #[test]
+    fn query_trace_samples_when_enabled() {
+        let reg = Registry::new();
+        let mut server = CloudServer::new(CameraProfile::smartphone());
+        assert!(server.query_trace().is_none());
+        server.attach_observability(&reg);
+        server.ingest_batch(&batch(1, 4));
+        let q = Query::new(0.0, 100.0, center(), 100.0);
+
+        // Off by default: queries leave no events.
+        server.query(&q, &QueryOptions::default());
+        assert!(server.query_trace().unwrap().events().is_empty());
+
+        server.query_trace().unwrap().enable(2);
+        for _ in 0..6 {
+            server.query(&q, &QueryOptions::default());
+        }
+        let events = server.query_trace().unwrap().events();
+        assert_eq!(events.len(), 3); // 1 of every 2 queries sampled
+        assert!(events.iter().all(|e| e.label == "query" && e.detail == 4));
     }
 
     #[test]

@@ -12,12 +12,23 @@
 //! conservative (never drops data younger than the horizon).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use swag_core::RepFov;
+use swag_obs::{Histogram, Registry};
 
 use crate::index::{FovIndex, IndexKind};
 use crate::query::Query;
 use crate::store::SegmentId;
+
+/// Per-query fan-out metrics for a sharded index.
+#[derive(Debug)]
+struct ShardObs {
+    /// Shards actually probed per query (buckets with a live shard).
+    fanout: Arc<Histogram>,
+    /// Deduplicated candidates returned per query.
+    candidates: Arc<Histogram>,
+}
 
 /// A time-sharded spatio-temporal index.
 #[derive(Debug)]
@@ -26,6 +37,7 @@ pub struct ShardedFovIndex {
     kind: IndexKind,
     shards: BTreeMap<i64, FovIndex>,
     len: usize,
+    obs: Option<ShardObs>,
 }
 
 impl ShardedFovIndex {
@@ -43,7 +55,16 @@ impl ShardedFovIndex {
             kind,
             shards: BTreeMap::new(),
             len: 0,
+            obs: None,
         }
+    }
+
+    /// Wires per-query fan-out metrics (`swag_shard_*`) to `registry`.
+    pub fn attach_observability(&mut self, registry: &Registry) {
+        self.obs = Some(ShardObs {
+            fanout: registry.histogram("swag_shard_fanout"),
+            candidates: registry.histogram("swag_shard_candidates"),
+        });
     }
 
     fn bucket_of(&self, t: f64) -> i64 {
@@ -84,13 +105,19 @@ impl ShardedFovIndex {
     /// All segment ids intersecting the query, deduplicated across shards.
     pub fn candidates(&self, q: &Query) -> Vec<SegmentId> {
         let mut out: Vec<SegmentId> = Vec::new();
+        let mut probed = 0u64;
         for bucket in self.buckets(q.t_start, q.t_end) {
             if let Some(shard) = self.shards.get(&bucket) {
+                probed += 1;
                 out.extend(shard.candidates(q));
             }
         }
         out.sort_unstable();
         out.dedup();
+        if let Some(obs) = &self.obs {
+            obs.fanout.record(probed);
+            obs.candidates.record(out.len() as u64);
+        }
         out
     }
 
@@ -139,7 +166,12 @@ mod tests {
             flat.insert(&r, SegmentId(i));
         }
         assert_eq!(sharded.len(), 500);
-        for (t0, t1) in [(0.0, 7200.0), (100.0, 700.0), (3000.0, 3001.0), (6500.0, 7300.0)] {
+        for (t0, t1) in [
+            (0.0, 7200.0),
+            (100.0, 700.0),
+            (3000.0, 3001.0),
+            (6500.0, 7300.0),
+        ] {
             let mut a = sharded.candidates(&q(t0, t1));
             let mut b = flat.candidates(&q(t0, t1));
             a.sort();
@@ -178,7 +210,7 @@ mod tests {
         let mut idx = ShardedFovIndex::new(100.0, IndexKind::RTree);
         idx.insert(&rep(90.0, 110.0, 0.0), SegmentId(7)); // buckets 0 and 1
         idx.expire_before(100.0); // drops bucket 0
-        // Still findable through its surviving bucket.
+                                  // Still findable through its surviving bucket.
         assert_eq!(idx.candidates(&q(100.0, 120.0)), vec![SegmentId(7)]);
     }
 
@@ -188,7 +220,9 @@ mod tests {
         idx.insert(&rep(0.0, 10.0, 0.0), SegmentId(0));
         // floor() keeps pre-epoch times in their own buckets; nothing
         // before t=0 exists here, but the query must not wrap.
-        assert!(idx.candidates(&Query::new(-500.0, -1.0, center(), 500.0)).is_empty());
+        assert!(idx
+            .candidates(&Query::new(-500.0, -1.0, center(), 500.0))
+            .is_empty());
         assert_eq!(idx.candidates(&q(0.0, 10.0)), vec![SegmentId(0)]);
     }
 
@@ -197,7 +231,11 @@ mod tests {
         let mut a = ShardedFovIndex::new(250.0, IndexKind::RTree);
         let mut b = ShardedFovIndex::new(250.0, IndexKind::Linear);
         for i in 0..200u32 {
-            let r = rep(f64::from(i) * 9.0, f64::from(i) * 9.0 + 30.0, f64::from(i % 11) * 30.0);
+            let r = rep(
+                f64::from(i) * 9.0,
+                f64::from(i) * 9.0 + 30.0,
+                f64::from(i % 11) * 30.0,
+            );
             a.insert(&r, SegmentId(i));
             b.insert(&r, SegmentId(i));
         }
@@ -212,5 +250,26 @@ mod tests {
     #[should_panic(expected = "shard width")]
     fn zero_width_rejected() {
         ShardedFovIndex::new(0.0, IndexKind::RTree);
+    }
+
+    #[test]
+    fn fanout_metrics_count_probed_shards() {
+        let reg = Registry::new();
+        let mut idx = ShardedFovIndex::new(100.0, IndexKind::RTree);
+        idx.attach_observability(&reg);
+        idx.insert(&rep(10.0, 20.0, 0.0), SegmentId(0)); // bucket 0
+        idx.insert(&rep(150.0, 160.0, 0.0), SegmentId(1)); // bucket 1
+        idx.insert(&rep(950.0, 960.0, 0.0), SegmentId(2)); // bucket 9
+
+        // Window spans buckets 0..=9, but only 3 shards exist.
+        assert_eq!(idx.candidates(&q(0.0, 999.0)).len(), 3);
+        // Window spans buckets 0..=1: both shards probed, 2 hits.
+        assert_eq!(idx.candidates(&q(0.0, 199.0)).len(), 2);
+
+        let fanout = reg.histogram("swag_shard_fanout").snapshot();
+        assert_eq!(fanout.count, 2);
+        assert_eq!(fanout.sum, 3 + 2);
+        let cands = reg.histogram("swag_shard_candidates").snapshot();
+        assert_eq!(cands.sum, 3 + 2);
     }
 }

@@ -78,7 +78,13 @@ impl SubscriptionSet {
     }
 
     /// Offers a freshly ingested segment to every active subscription.
-    pub fn offer(&mut self, rep: &RepFov, seg_id: SegmentId, source: SegmentRef, cam: &CameraProfile) {
+    pub fn offer(
+        &mut self,
+        rep: &RepFov,
+        seg_id: SegmentId,
+        source: SegmentRef,
+        cam: &CameraProfile,
+    ) {
         let rep_box = fov_box(rep);
         for sub in self.subs.iter_mut().filter(|s| s.active) {
             if !query_box(&sub.query).intersects(&rep_box) {
@@ -118,7 +124,11 @@ mod tests {
     }
 
     fn rep_at(dist_south: f64, theta: f64, t0: f64) -> RepFov {
-        RepFov::new(t0, t0 + 5.0, Fov::new(center().offset(180.0, dist_south), theta))
+        RepFov::new(
+            t0,
+            t0 + 5.0,
+            Fov::new(center().offset(180.0, dist_south), theta),
+        )
     }
 
     fn offer(set: &mut SubscriptionSet, rep: RepFov, i: u32) {

@@ -1,53 +1,12 @@
 //! Simulation metrics: percentile summaries of sample distributions.
+//!
+//! The `Percentiles` type now lives in `swag-obs` (the workspace-wide
+//! observability crate) with a true nearest-rank quantile definition; it
+//! is re-exported here so simulation call sites keep compiling. The old
+//! in-crate implementation used a `round()`-based index pick that could
+//! sit half a rank off the textbook definition.
 
-/// Percentile summary of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Percentiles {
-    /// Number of samples.
-    pub count: usize,
-    /// Minimum.
-    pub min: f64,
-    /// Median.
-    pub p50: f64,
-    /// 90th percentile.
-    pub p90: f64,
-    /// 99th percentile.
-    pub p99: f64,
-    /// Maximum.
-    pub max: f64,
-    /// Arithmetic mean.
-    pub mean: f64,
-}
-
-impl Percentiles {
-    /// Summarises a sample set. Returns the all-zero summary for empty
-    /// input.
-    pub fn of(samples: &[f64]) -> Self {
-        if samples.is_empty() {
-            return Percentiles {
-                count: 0,
-                min: 0.0,
-                p50: 0.0,
-                p90: 0.0,
-                p99: 0.0,
-                max: 0.0,
-                mean: 0.0,
-            };
-        }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        Percentiles {
-            count: sorted.len(),
-            min: sorted[0],
-            p50: pick(0.5),
-            p90: pick(0.9),
-            p99: pick(0.99),
-            max: sorted[sorted.len() - 1],
-            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-        }
-    }
-}
+pub use swag_obs::Percentiles;
 
 #[cfg(test)]
 mod tests {
@@ -63,7 +22,10 @@ mod tests {
     #[test]
     fn single_sample() {
         let p = Percentiles::of(&[7.0]);
-        assert_eq!((p.min, p.p50, p.p99, p.max, p.mean), (7.0, 7.0, 7.0, 7.0, 7.0));
+        assert_eq!(
+            (p.min, p.p50, p.p99, p.max, p.mean),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
     }
 
     #[test]
@@ -73,8 +35,10 @@ mod tests {
         assert_eq!(p.count, 100);
         assert_eq!(p.min, 1.0);
         assert_eq!(p.max, 100.0);
-        assert!((p.p50 - 51.0).abs() <= 1.0);
-        assert!((p.p90 - 90.0).abs() <= 1.5);
+        // Nearest rank: ceil(0.5*100) = rank 50 → sample 50.
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
         assert!((p.mean - 50.5).abs() < 1e-9);
         // Order invariance.
         let mut shuffled = samples.clone();

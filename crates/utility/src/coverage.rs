@@ -28,7 +28,10 @@ impl CoverageGrid {
     /// Panics if the extents are not positive or the grid would exceed
     /// 16 M cells.
     pub fn new(origin: LatLon, half_extent_m: f64, cell_m: f64) -> Self {
-        assert!(half_extent_m > 0.0 && cell_m > 0.0, "extents must be positive");
+        assert!(
+            half_extent_m > 0.0 && cell_m > 0.0,
+            "extents must be positive"
+        );
         let cells_per_side = ((2.0 * half_extent_m) / cell_m).ceil() as usize;
         assert!(
             cells_per_side * cells_per_side <= 16_000_000,

@@ -185,9 +185,9 @@ mod tests {
         // An expensive wide-coverage offer vs. two cheap ones with the
         // same combined coverage: cost-benefit greedy picks the cheap pair.
         let offers = vec![
-            offer(0.0, 0.0, 10.0, 10.0),  // whole window, pricey
-            offer(0.0, 0.0, 5.0, 1.0),    // first half, cheap
-            offer(0.0, 5.0, 10.0, 1.0),   // second half, cheap
+            offer(0.0, 0.0, 10.0, 10.0), // whole window, pricey
+            offer(0.0, 0.0, 5.0, 1.0),   // first half, cheap
+            offer(0.0, 5.0, 10.0, 1.0),  // second half, cheap
         ];
         let sel = greedy_select(&offers, &cam(), 0.0, 10.0, 10.0);
         assert!(sel.chosen.contains(&1) && sel.chosen.contains(&2));
@@ -198,7 +198,14 @@ mod tests {
     #[test]
     fn greedy_beats_or_ties_adversarial_order() {
         let offers: Vec<Priced> = (0..12)
-            .map(|i| offer(f64::from(i) * 30.0, f64::from(i % 4), f64::from(i % 4) + 4.0, 1.0 + f64::from(i % 3)))
+            .map(|i| {
+                offer(
+                    f64::from(i) * 30.0,
+                    f64::from(i % 4),
+                    f64::from(i % 4) + 4.0,
+                    1.0 + f64::from(i % 3),
+                )
+            })
             .collect();
         let budget = 6.0;
         let greedy = greedy_select(&offers, &cam(), 0.0, 8.0, budget);

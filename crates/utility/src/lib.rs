@@ -32,12 +32,7 @@ use swag_core::{CameraProfile, RepFov};
 
 /// Total utility of a set of segments under a query window: the union area
 /// of their coverage rectangles, in degree·seconds.
-pub fn utility_of_set(
-    reps: &[RepFov],
-    cam: &CameraProfile,
-    t_start: f64,
-    t_end: f64,
-) -> f64 {
+pub fn utility_of_set(reps: &[RepFov], cam: &CameraProfile, t_start: f64, t_end: f64) -> f64 {
     let rects: Vec<CoverageRect> = reps
         .iter()
         .flat_map(|r| coverage_rects(r, cam, t_start, t_end))
@@ -70,12 +65,7 @@ mod tests {
     #[test]
     fn disjoint_segments_add() {
         let cam = CameraProfile::smartphone();
-        let u = utility_of_set(
-            &[rep(0.0, 0.0, 2.0), rep(180.0, 5.0, 7.0)],
-            &cam,
-            0.0,
-            10.0,
-        );
+        let u = utility_of_set(&[rep(0.0, 0.0, 2.0), rep(180.0, 5.0, 7.0)], &cam, 0.0, 10.0);
         assert!((u - 2.0 * 50.0 * 2.0).abs() < 1e-9);
     }
 

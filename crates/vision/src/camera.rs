@@ -251,8 +251,8 @@ fn fill_rows(
                 c
             } else if y >= col.skyline_top && y < ctx.horizon {
                 // Distant ridge, hazier towards the horizon.
-                let t = (y - col.skyline_top) as f64
-                    / (ctx.horizon - col.skyline_top).max(1) as f64;
+                let t =
+                    (y - col.skyline_top) as f64 / (ctx.horizon - col.skyline_top).max(1) as f64;
                 [
                     (60.0 + 50.0 * t) as u8,
                     (70.0 + 60.0 * t) as u8,
@@ -288,7 +288,10 @@ fn background(y: usize, ctx: FrameCtx, col: &ColumnSample) -> [u8; 3] {
         let drop = (y - ctx.horizon).max(1) as f64;
         let dist = (ctx.focal * CAMERA_HEIGHT_M / drop).min(ctx.max_dist_m * 4.0);
         let point = ctx.position + col.dir * dist;
-        let tex = cell_brightness((point.x * 0.8).floor() as i64, (point.y * 0.8).floor() as i64);
+        let tex = cell_brightness(
+            (point.x * 0.8).floor() as i64,
+            (point.y * 0.8).floor() as i64,
+        );
         // Haze: darker towards the horizon (large dist).
         let t = (1.0 - dist / (ctx.max_dist_m * 4.0)).clamp(0.3, 1.0);
         let g = (50.0 + 75.0 * t) * tex;

@@ -131,7 +131,11 @@ mod tests {
         let mut f = Frame::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                let v = if (x / period).is_multiple_of(2) { 230 } else { 20 };
+                let v = if (x / period).is_multiple_of(2) {
+                    230
+                } else {
+                    20
+                };
                 f.set(x, y, [v, v, v]);
             }
         }

@@ -36,8 +36,8 @@ pub use camera::Renderer;
 pub use diff::frame_diff_similarity;
 pub use frame::{Frame, Resolution};
 pub use hist::ColorHistogram;
+pub use keypoints::GridDescriptor;
 pub use motion::{estimate_rotation_deg, estimate_shift_px};
 pub use ppm::{read_ppm, write_ppm};
-pub use keypoints::GridDescriptor;
 pub use survey::{site_survey, suggest_view_radius, SurveyResult};
 pub use world::{Landmark, World};

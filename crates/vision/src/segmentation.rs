@@ -41,10 +41,7 @@ pub fn cv_segment_video(frames: &[Frame], thresh: f64) -> Vec<CvSegment> {
     let mut start = 0usize;
     for i in 1..frames.len() {
         if frame_diff_similarity(&frames[start], &frames[i]) < thresh {
-            out.push(CvSegment {
-                start,
-                end: i - 1,
-            });
+            out.push(CvSegment { start, end: i - 1 });
             start = i;
         }
     }

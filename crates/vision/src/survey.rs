@@ -29,7 +29,12 @@ pub struct SurveyResult {
 ///
 /// # Panics
 /// Panics if `n_rays == 0` or `probe_limit_m <= 0`.
-pub fn site_survey(world: &World, position: Vec2, n_rays: usize, probe_limit_m: f64) -> SurveyResult {
+pub fn site_survey(
+    world: &World,
+    position: Vec2,
+    n_rays: usize,
+    probe_limit_m: f64,
+) -> SurveyResult {
     assert!(n_rays > 0, "need at least one ray");
     assert!(probe_limit_m > 0.0, "probe limit must be positive");
     let mut dists: Vec<f64> = (0..n_rays)

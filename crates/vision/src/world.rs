@@ -257,7 +257,9 @@ mod tests {
         let w = single_landmark_world();
         assert_eq!(w.visible_landmarks(Vec2::ZERO, 0.0, 25.0, 100.0), vec![0]);
         // Looking away.
-        assert!(w.visible_landmarks(Vec2::ZERO, 180.0, 25.0, 100.0).is_empty());
+        assert!(w
+            .visible_landmarks(Vec2::ZERO, 180.0, 25.0, 100.0)
+            .is_empty());
         // Too short a radius.
         assert!(w.visible_landmarks(Vec2::ZERO, 0.0, 25.0, 30.0).is_empty());
     }
@@ -280,7 +282,10 @@ mod tests {
             },
         ]);
         // The plain sector test sees both...
-        assert_eq!(w.visible_landmarks(Vec2::ZERO, 0.0, 25.0, 100.0), vec![0, 1]);
+        assert_eq!(
+            w.visible_landmarks(Vec2::ZERO, 0.0, 25.0, 100.0),
+            vec![0, 1]
+        );
         // ...the occlusion-aware test only the blocker.
         assert_eq!(
             w.visible_landmarks_occluded(Vec2::ZERO, 0.0, 25.0, 100.0),

@@ -53,7 +53,14 @@ fn main() {
         };
         let cfg = TraceConfig::new(25.0, 180.0).starting_at(provider as f64 * 20.0);
         let mut rng = StdRng::seed_from_u64(provider);
-        let trace = generate_trace(&mobility, &frame, &cfg, &noise, &DeviceClock::ntp_synced(40.0), &mut rng);
+        let trace = generate_trace(
+            &mobility,
+            &frame,
+            &cfg,
+            &noise,
+            &DeviceClock::ntp_synced(40.0),
+            &mut rng,
+        );
 
         raw_segments += ClientPipeline::process_trace(cam, 0.5, &trace).segment_count();
         let result = ClientPipeline::process_trace_smoothed(cam, 0.5, 0.15, &trace);
@@ -80,17 +87,29 @@ fn main() {
     let spot = origin.offset(0.0, -100.0);
     let q = Query::new(0.0, 500.0, spot, cam.view_radius_m);
     let hits = restored.query(&q, &QueryOptions::default());
-    println!("\nafter restart, query at the promenade spot returns {} segments:", hits.len());
+    println!(
+        "\nafter restart, query at the promenade spot returns {} segments:",
+        hits.len()
+    );
     for hit in hits.iter().take(5) {
         println!(
             "  provider {:>2} seg {:>2}: {:>4.0} m away, t [{:>5.1}, {:>5.1}] s",
-            hit.source.provider_id, hit.source.segment_idx, hit.distance_m, hit.rep.t_start, hit.rep.t_end
+            hit.source.provider_id,
+            hit.source.segment_idx,
+            hit.distance_m,
+            hit.rep.t_start,
+            hit.rep.t_end
         );
     }
     assert!(!hits.is_empty());
 
     // --- 4. No-radius queries via k-nearest ------------------------------
     let nearest = restored.query_nearest(0.0, 500.0, spot, 3, &QueryOptions::default(), 10_000.0);
-    println!("\nk-nearest (k=3, no radius): distances {:?} m",
-        nearest.iter().map(|h| h.distance_m.round()).collect::<Vec<_>>());
+    println!(
+        "\nk-nearest (k=3, no radius): distances {:?} m",
+        nearest
+            .iter()
+            .map(|h| h.distance_m.round())
+            .collect::<Vec<_>>()
+    );
 }

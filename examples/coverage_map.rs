@@ -54,7 +54,10 @@ fn main() -> std::io::Result<()> {
 
     std::fs::create_dir_all("experiments")?;
     std::fs::write("experiments/coverage-heatmap.csv", grid.to_csv())?;
-    println!("wrote experiments/coverage-heatmap.csv ({0}x{0} cells)", grid.cells_per_side());
+    println!(
+        "wrote experiments/coverage-heatmap.csv ({0}x{0} cells)",
+        grid.cells_per_side()
+    );
     assert!(grid.covered_fraction(1) > 0.05);
     Ok(())
 }

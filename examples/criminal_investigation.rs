@@ -33,7 +33,14 @@ fn main() {
         let duration = mobility.natural_duration_s().unwrap().min(420.0);
         let cfg = TraceConfig::new(25.0, duration);
         let mut rng = rand_seeded(provider);
-        let trace = generate_trace(&mobility, &frame, &cfg, &noise, &DeviceClock::ntp_synced(30.0), &mut rng);
+        let trace = generate_trace(
+            &mobility,
+            &frame,
+            &cfg,
+            &noise,
+            &DeviceClock::ntp_synced(30.0),
+            &mut rng,
+        );
 
         let result = ClientPipeline::process_trace(cam, 0.5, &trace);
         let mut uploader = Uploader::new(provider);

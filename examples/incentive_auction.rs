@@ -34,7 +34,10 @@ fn main() {
     println!("event window: {t0}..{t1} s — global utility {total} deg·s");
     println!("{} offers, prices 0.5..4.0\n", offers.len());
 
-    println!("{:>8} | {:>10} | {:>10} | {:>8} | {:>8}", "budget", "greedy", "random", "greedy%", "random%");
+    println!(
+        "{:>8} | {:>10} | {:>10} | {:>8} | {:>8}",
+        "budget", "greedy", "random", "greedy%", "random%"
+    );
     for budget in [2.0, 5.0, 10.0, 20.0, 40.0] {
         let greedy = greedy_select(&offers, &cam, t0, t1, budget);
 
@@ -58,8 +61,10 @@ fn main() {
             100.0 * greedy.utility / total,
             100.0 * random_avg / total
         );
-        assert!(greedy.utility + 1e-9 >= random_avg * 0.99,
-            "greedy should not lose to random on average");
+        assert!(
+            greedy.utility + 1e-9 >= random_avg * 0.99,
+            "greedy should not lose to random on average"
+        );
     }
     println!("\ngreedy spends budget on complementary (non-overlapping) coverage;");
     println!("random pays repeatedly for the same popular viewing directions.");

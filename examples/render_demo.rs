@@ -23,9 +23,18 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(out_dir)?;
 
     let cases: Vec<(&str, Vec<swag_core::TimedFov>)> = vec![
-        ("rotation", scenarios::rotate_in_place(36.0, 5.0, &SensorNoise::NONE, 1)),
-        ("drive", scenarios::drive_straight(30.0, 8.0, &SensorNoise::NONE, 2)),
-        ("bike-turn", scenarios::bike_ride_with_turn(100.0, 4.0, &SensorNoise::NONE, 3)),
+        (
+            "rotation",
+            scenarios::rotate_in_place(36.0, 5.0, &SensorNoise::NONE, 1),
+        ),
+        (
+            "drive",
+            scenarios::drive_straight(30.0, 8.0, &SensorNoise::NONE, 2),
+        ),
+        (
+            "bike-turn",
+            scenarios::bike_ride_with_turn(100.0, 4.0, &SensorNoise::NONE, 3),
+        ),
     ];
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
 

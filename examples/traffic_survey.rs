@@ -29,7 +29,10 @@ fn main() {
         let speed = 17.0 + (vehicle % 5) as f64 * 2.0;
         let depart = vehicle as f64 * 11.0;
         let mobility = Mobility::StraightLine {
-            start: Vec2::new(if southbound { 8.0 } else { -8.0 }, if southbound { 1000.0 } else { -1000.0 }),
+            start: Vec2::new(
+                if southbound { 8.0 } else { -8.0 },
+                if southbound { 1000.0 } else { -1000.0 },
+            ),
             heading_deg: if southbound { 180.0 } else { 0.0 },
             speed_mps: speed,
             look: Look::Heading,
@@ -37,7 +40,14 @@ fn main() {
         let duration = 2000.0 / speed;
         let cfg = TraceConfig::new(25.0, duration).starting_at(depart);
         let mut rng = seeded(vehicle);
-        let trace = generate_trace(&mobility, &frame, &cfg, &noise, &DeviceClock::PERFECT, &mut rng);
+        let trace = generate_trace(
+            &mobility,
+            &frame,
+            &cfg,
+            &noise,
+            &DeviceClock::PERFECT,
+            &mut rng,
+        );
 
         let result = ClientPipeline::process_trace(cam, 0.6, &trace);
         let mut uploader = Uploader::new(vehicle);
@@ -63,11 +73,18 @@ fn main() {
         ..QueryOptions::default()
     };
     let hits = server.query(&query, &opts);
-    println!("\n{} dash-cam segments cover the site in the window:", hits.len());
+    println!(
+        "\n{} dash-cam segments cover the site in the window:",
+        hits.len()
+    );
     for hit in &hits {
         println!(
             "  vehicle {:>2} seg {:>2}: t [{:>6.1}, {:>6.1}] s, {:>4.0} m from site",
-            hit.source.provider_id, hit.source.segment_idx, hit.rep.t_start, hit.rep.t_end, hit.distance_m
+            hit.source.provider_id,
+            hit.source.segment_idx,
+            hit.rep.t_start,
+            hit.rep.t_end,
+            hit.distance_m
         );
     }
 

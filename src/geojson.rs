@@ -71,8 +71,8 @@ pub fn trace_to_geojson(trace: &[TimedFov]) -> String {
 fn sector_ring(fov: &Fov, cam: &CameraProfile) -> String {
     let mut coords = vec![position(fov.p)];
     for i in 0..=ARC_POINTS {
-        let az = fov.theta - cam.half_angle_deg
-            + cam.viewing_angle_deg() * i as f64 / ARC_POINTS as f64;
+        let az =
+            fov.theta - cam.half_angle_deg + cam.viewing_angle_deg() * i as f64 / ARC_POINTS as f64;
         coords.push(position(fov.p.offset(az, cam.view_radius_m)));
     }
     coords.push(position(fov.p)); // close the ring

@@ -63,8 +63,8 @@ pub use swag_geo as geo;
 pub use swag_net as net;
 pub use swag_rtree as rtree;
 pub use swag_sensors as sensors;
-pub use swag_sim as sim;
 pub use swag_server as server;
+pub use swag_sim as sim;
 pub use swag_utility as utility;
 pub use swag_vision as vision;
 
@@ -84,7 +84,5 @@ pub mod prelude {
         SearchHit, SegmentId, SegmentRef,
     };
     pub use swag_utility::{greedy_select, utility_of_set, CoverageGrid, OnlineSelector, Priced};
-    pub use swag_vision::{
-        site_survey, suggest_view_radius, Frame, Renderer, Resolution, World,
-    };
+    pub use swag_vision::{site_survey, suggest_view_radius, Frame, Renderer, Resolution, World};
 }

@@ -121,13 +121,9 @@ fn quality_and_distance_rankings_agree_on_membership() {
 fn batch_queries_scale_with_threads() {
     let cam = CameraProfile::smartphone();
     let server = CloudServer::new(cam);
-    for (i, rep) in scenarios::citywide_rep_fovs(
-        5000,
-        &scenarios::CitywideConfig::default(),
-        9,
-    )
-    .iter()
-    .enumerate()
+    for (i, rep) in scenarios::citywide_rep_fovs(5000, &scenarios::CitywideConfig::default(), 9)
+        .iter()
+        .enumerate()
     {
         server.ingest_one(
             *rep,
@@ -153,7 +149,10 @@ fn batch_queries_scale_with_threads() {
         direction_filter: false,
         ..QueryOptions::default()
     };
-    let seq: Vec<usize> = queries.iter().map(|q| server.query(q, &opts).len()).collect();
+    let seq: Vec<usize> = queries
+        .iter()
+        .map(|q| server.query(q, &opts).len())
+        .collect();
     let par = server.query_batch(&queries, &opts, 8);
     let par_counts: Vec<usize> = par.iter().map(Vec::len).collect();
     assert_eq!(seq, par_counts);

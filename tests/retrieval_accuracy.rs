@@ -35,7 +35,13 @@ fn fov_similarity_correlates_with_content_ground_truth() {
     let mut content_sims = Vec::new();
     let base = Vec2::ZERO;
     for d_theta in [0.0, 10.0, 20.0, 35.0, 60.0] {
-        for (dx, dy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 25.0), (30.0, 30.0), (60.0, 0.0)] {
+        for (dx, dy) in [
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (0.0, 25.0),
+            (30.0, 30.0),
+            (60.0, 0.0),
+        ] {
             let p2 = Vec2::new(dx, dy);
             let f1 = Fov::new(frame.from_local(base), 0.0);
             let f2 = Fov::new(frame.from_local(p2), d_theta);

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors the subset of criterion's API the bench targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, throughput annotations) with a simple wall-clock
+//! sampler instead of criterion's statistical machinery.
+//!
+//! Like real criterion, when the binary is executed by `cargo test`
+//! (no `--bench` argument) every benchmark body runs exactly once as a
+//! smoke test, so the test suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The sampler here runs each
+/// batch identically; the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean wall-clock time per iteration from the last `iter*` call.
+    last_mean: Option<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run bodies once (under `cargo test`).
+    Smoke,
+    /// Measure wall-clock time (under `cargo bench`).
+    Measure,
+}
+
+/// Budget per measured benchmark; modest because the harness targets
+/// single-core CI containers.
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up and pick an iteration count that fills the budget.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_BUDGET || n >= 1 << 24 {
+                self.last_mean = Some(elapsed / n as u32);
+                return;
+            }
+            n = if elapsed.is_zero() {
+                n * 16
+            } else {
+                // Aim straight for the budget with 2x headroom.
+                (n * 2)
+                    .max((n as u128 * MEASURE_BUDGET.as_nanos() / elapsed.as_nanos().max(1)) as u64)
+            };
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        if self.mode == Mode::Smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut timed = Duration::ZERO;
+        let mut n: u64 = 0;
+        while timed < MEASURE_BUDGET && n < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            n += 1;
+        }
+        self.last_mean = Some(timed / n.max(1) as u32);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes --bench to the target; cargo test does not.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if bench { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line arguments (kept for API parity; detection
+    /// already happened in `default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.mode, &id.id, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count hint; accepted for API parity, the sampler is
+    /// budget-driven.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the work-per-iteration used in rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.mode, &full, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.mode, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    mode: Mode,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        mode,
+        last_mean: None,
+    };
+    f(&mut bencher);
+    if mode == Mode::Smoke {
+        return;
+    }
+    match bencher.last_mean {
+        Some(mean) => {
+            let rate = throughput.map(|t| rate_suffix(t, mean)).unwrap_or_default();
+            println!("{name:<56} time: {}{rate}", fmt_duration(mean));
+        }
+        None => println!("{name:<56} (no measurement)"),
+    }
+}
+
+fn rate_suffix(throughput: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Bytes(n) => {
+            format!("  thrpt: {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => format!("  thrpt: {:.0} elem/s", n as f64 / secs),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runner invoked by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn measure_mode_reports_a_mean() {
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            last_mean: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("vga").id, "vga");
+    }
+}

@@ -1,0 +1,689 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `Strategy` with `prop_map`/`boxed`,
+//! range and tuple/array strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::sample::Index`, `any::<T>()`, `prop_oneof!`,
+//! and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! the case number and assertion, not a minimised input), and sampling is
+//! plain uniform rather than bias-weighted. Case generation is
+//! deterministic per test name, so failures reproduce across runs.
+
+pub mod test_runner {
+    //! Deterministic RNG, per-test configuration, and case outcomes.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the input; the case is skipped.
+        Reject,
+        /// A `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Convenience constructor used by the assertion macros.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator; seeded from the test name so every run of a
+    /// given test sees the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG from an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// RNG seeded by hashing `name` (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                func: f,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng: &mut TestRng| self.sample(rng)))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.func)(self.source.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let arm = rng.below(self.arms.len());
+            self.arms[arm].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    (self.start as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    (lo as i128 + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|i| self[i].sample(rng))
+        }
+    }
+
+    /// String-literal strategies. Real proptest interprets the literal as
+    /// a full regex; this stand-in only honours a trailing `{lo,hi}`
+    /// repetition bound and draws printable characters (ASCII-weighted,
+    /// with separators and the occasional non-ASCII scalar), which covers
+    /// the `"\\PC{lo,hi}"` patterns used in this workspace.
+    impl Strategy for str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = repetition_bounds(self).unwrap_or((0, 32));
+            let len = lo + rng.below(hi - lo + 1);
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                let c = match rng.below(20) {
+                    0..=13 => (0x20 + rng.below(0x5f)) as u8 as char,
+                    14 => ',',
+                    15 => '\n',
+                    16 => '\t',
+                    17 => '"',
+                    _ => loop {
+                        // Random printable non-ASCII scalar.
+                        if let Some(c) = char::from_u32(0xa1 + rng.below(0xfff) as u32) {
+                            if !c.is_control() {
+                                break c;
+                            }
+                        }
+                    },
+                };
+                out.push(c);
+            }
+            out
+        }
+    }
+
+    /// Parses a trailing `{n}` or `{lo,hi}` regex repetition.
+    fn repetition_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let (_, rep) = body.rsplit_once('{')?;
+        match rep.split_once(',') {
+            Some((lo, hi)) => Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?)),
+            None => {
+                let n = rep.trim().parse().ok()?;
+                Some((n, n))
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical unconstrained strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, wide-range values; real proptest also generates
+            // NaN/infinities, which no test here relies on.
+            (rng.unit_f64() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 0 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `bool` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// A deferred index: generated unconstrained, projected onto a
+    /// collection length at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Index into a collection of `len` elements; `len` must be
+        /// non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed at {}:{}: {}", file!(), line!(), stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed at {}:{}: {}", file!(), line!(), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(lhs == rhs, "{:?} != {:?}", lhs, rhs);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(lhs == rhs, "{:?} != {:?}: {}", lhs, rhs, format!($($fmt)+));
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(lhs != rhs, "{:?} == {:?}", lhs, rhs);
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let outcome = (|rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $p = $crate::strategy::Strategy::sample(&($s), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })(&mut rng);
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("property failed on case {case}: {msg}");
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced module re-exports (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_seed(42);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let neg = Strategy::sample(&(-50i32..-10), &mut rng);
+            assert!((-50..-10).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        let strat = crate::collection::vec((0u8..4, prop::bool::ANY), 2..6);
+        for _ in 0..200 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&(n, _)| n < 4));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = crate::test_runner::TestRng::from_seed(9);
+        let strat = prop_oneof![(0u8..1).prop_map(|_| 'a'), (0u8..1).prop_map(|_| 'b')];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(Strategy::sample(&strat, &mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), arr in [0.0f64..1.0, 0.0f64..1.0]) {
+            prop_assume!(a + b > 0);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(arr.len(), 2);
+            prop_assert_ne!(arr[0], 2.0);
+        }
+
+        #[test]
+        fn index_projects_into_collections(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on public types purely
+//! as decoration — nothing in-tree actually serialises through serde (the
+//! wire and snapshot codecs are hand-written in `swag-core` /
+//! `swag-server`). With no network access to fetch the real crate, this
+//! stub supplies the two marker traits and no-op derive macros so the
+//! derives compile to nothing.
+
+/// Marker for serialisable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserialisable types (no-op stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialisation marker mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stub.
+//!
+//! The derives expand to nothing: in-tree code never calls serde-based
+//! (de)serialisation, it only decorates types with the derives.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
