@@ -58,7 +58,7 @@ fn bench_codec(c: &mut Criterion) {
             })
             .collect(),
     };
-    let wire = DescriptorCodec::encode_batch(&batch);
+    let wire = DescriptorCodec::encode_batch(&batch).unwrap();
     let mut group = c.benchmark_group("descriptor/codec");
     group.throughput(Throughput::Bytes(wire.len() as u64));
     group.bench_function("encode_1000", |b| {
@@ -71,7 +71,7 @@ fn bench_codec(c: &mut Criterion) {
         let rep = batch.reps[0];
         b.iter(|| {
             let mut buf = BytesMut::with_capacity(DescriptorCodec::RECORD_SIZE);
-            DescriptorCodec::encode_rep(black_box(&rep), &mut buf);
+            DescriptorCodec::encode_rep(black_box(&rep), &mut buf).unwrap();
             black_box(buf)
         })
     });

@@ -708,7 +708,7 @@ fn tab_traffic() {
         let result = ClientPipeline::process_trace(cam, 0.5, &trace);
         segments += result.segment_count();
         let mut uploader = Uploader::new(provider);
-        let (wire, _) = uploader.upload(result.reps);
+        let (wire, _) = uploader.upload(result.reps).unwrap();
         descriptor_bytes += wire.len();
         recording_s += duration;
     }

@@ -1,0 +1,270 @@
+//! Contended ingest + query throughput: snapshot epochs vs. a RwLock.
+//!
+//! Replays the same mixed workload — writer threads streaming upload
+//! batches while reader threads answer queries — against two servers
+//! built from the same public components:
+//!
+//! * **rwlock baseline** — the pre-snapshot design: one
+//!   `RwLock<(FovIndex, SegmentStore)>`, writers insert under the write
+//!   lock, every query scans and ranks while holding the read lock;
+//! * **snapshot** — `CloudServer`: queries clone the published epoch
+//!   `Arc` and run lock-free; writers append into the delta and fold it
+//!   into a fresh sharded snapshot at the publish threshold.
+//!
+//! Writes `BENCH_snapshot.json` at the workspace root and exits non-zero
+//! if the snapshot path fails to beat the baseline.
+//!
+//! Usage: `cargo run --release -p swag-bench --bin snapshot_bench`
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use swag_bench::fmt_duration;
+use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
+use swag_geo::LatLon;
+use swag_server::ranking::rank_candidates;
+use swag_server::{
+    CloudServer, FovIndex, IndexKind, Query, QueryOptions, SegmentRef, SegmentStore, ServerConfig,
+};
+
+const PRELOAD: usize = 20_000;
+const WRITER_THREADS: usize = 4;
+const READER_THREADS: usize = 4;
+const BATCHES_PER_WRITER: usize = 250;
+const BATCH_SIZE: usize = 40;
+const QUERIES_PER_READER: usize = 2000;
+const PUBLISH_THRESHOLD: usize = 1024;
+const ROUNDS: usize = 5;
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+fn rep_at(i: usize, t0: f64) -> RepFov {
+    let bearing = (i as f64 * 0.618_033_988_75 * 360.0) % 360.0;
+    let dist = 600.0 * (((i % 997) as f64 + 1.0) / 997.0).sqrt();
+    RepFov::new(
+        t0,
+        t0 + 8.0,
+        Fov::new(center().offset(bearing, dist), (i % 360) as f64),
+    )
+}
+
+fn preload() -> Vec<(RepFov, SegmentRef)> {
+    (0..PRELOAD)
+        .map(|i| {
+            (
+                rep_at(i, (i % 3600) as f64),
+                SegmentRef {
+                    provider_id: (i / 100) as u64,
+                    video_id: 0,
+                    segment_idx: i as u32,
+                },
+            )
+        })
+        .collect()
+}
+
+/// The batch writer `w` ingests in its `round`-th iteration.
+fn writer_batch(w: usize, round: usize) -> UploadBatch {
+    let t0 = 3600.0 + (round * BATCH_SIZE) as f64;
+    UploadBatch {
+        provider_id: 1000 + w as u64,
+        video_id: round as u64,
+        reps: (0..BATCH_SIZE)
+            .map(|i| rep_at(w * 131 + round * BATCH_SIZE + i, t0 + i as f64))
+            .collect(),
+    }
+}
+
+fn reader_query(r: usize, i: usize) -> Query {
+    let bearing = ((r * 977 + i) as f64 * 137.507_764) % 360.0;
+    let dist = 300.0 * ((i % 13) as f64 / 13.0);
+    let t0 = ((i * 97) % 3500) as f64;
+    Query::new(t0, t0 + 120.0, center().offset(bearing, dist), 150.0)
+}
+
+/// The pre-snapshot server design, rebuilt from the same public parts.
+struct RwLockServer {
+    state: RwLock<(FovIndex, SegmentStore)>,
+    cam: CameraProfile,
+}
+
+impl RwLockServer {
+    fn new(cam: CameraProfile, items: &[(RepFov, SegmentRef)]) -> Self {
+        let mut index = FovIndex::new(IndexKind::RTree);
+        let mut store = SegmentStore::new();
+        for &(rep, source) in items {
+            let id = store.push(rep, source);
+            index.insert(&rep, id);
+        }
+        RwLockServer {
+            state: RwLock::new((index, store)),
+            cam,
+        }
+    }
+
+    fn ingest_batch(&self, batch: &UploadBatch) {
+        let mut state = self.state.write();
+        for (i, rep) in batch.reps.iter().enumerate() {
+            let source = SegmentRef {
+                provider_id: batch.provider_id,
+                video_id: batch.video_id,
+                segment_idx: i as u32,
+            };
+            let id = state.1.push(*rep, source);
+            state.0.insert(rep, id);
+        }
+    }
+
+    fn query(&self, query: &Query, opts: &QueryOptions) -> usize {
+        let state = self.state.read();
+        let candidates = state.0.candidates(query);
+        rank_candidates(&candidates, &state.1, &self.cam, query, opts).len()
+    }
+}
+
+/// Runs the mixed workload once; returns elapsed nanoseconds.
+fn contended_round(
+    ingest: impl Fn(&UploadBatch) + Sync,
+    query: impl Fn(&Query) -> usize + Sync,
+) -> u64 {
+    let barrier = Barrier::new(WRITER_THREADS + READER_THREADS + 1);
+    let sink = AtomicU64::new(0);
+    let start = std::thread::scope(|s| {
+        for w in 0..WRITER_THREADS {
+            let (barrier, ingest) = (&barrier, &ingest);
+            s.spawn(move || {
+                barrier.wait();
+                for round in 0..BATCHES_PER_WRITER {
+                    ingest(&writer_batch(w, round));
+                }
+            });
+        }
+        for r in 0..READER_THREADS {
+            let (barrier, query, sink) = (&barrier, &query, &sink);
+            s.spawn(move || {
+                barrier.wait();
+                let mut hits = 0u64;
+                for i in 0..QUERIES_PER_READER {
+                    hits += query(&reader_query(r, i)) as u64;
+                }
+                sink.fetch_add(hits, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    black_box(sink.load(Ordering::Relaxed));
+    start.elapsed().as_nanos() as u64
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let cam = CameraProfile::smartphone();
+    let items = preload();
+    let opts = QueryOptions::default();
+    let total_ops = WRITER_THREADS * BATCHES_PER_WRITER + READER_THREADS * QUERIES_PER_READER;
+
+    // Interleave subjects per round so machine drift hits both equally;
+    // fresh servers per round so ingested volume stays identical.
+    let mut t_rwlock = Vec::with_capacity(ROUNDS);
+    let mut t_snapshot = Vec::with_capacity(ROUNDS);
+    for round in 0..=ROUNDS {
+        let baseline = RwLockServer::new(cam, &items);
+        let ns = contended_round(|b| baseline.ingest_batch(b), |q| baseline.query(q, &opts));
+        let snapshot = CloudServer::from_records_with_config(
+            cam,
+            ServerConfig {
+                publish_threshold: PUBLISH_THRESHOLD,
+                ..ServerConfig::default()
+            },
+            items.clone(),
+        );
+        let ns2 = contended_round(
+            |b| {
+                snapshot.ingest_batch(b);
+            },
+            |q| snapshot.query(q, &opts).len(),
+        );
+        if round > 0 {
+            // Round 0 is warm-up.
+            t_rwlock.push(ns);
+            t_snapshot.push(ns2);
+        }
+    }
+
+    let med_rwlock = median(&mut t_rwlock);
+    let med_snapshot = median(&mut t_snapshot);
+    let ops_per_s = |ns: u64| total_ops as f64 / (ns as f64 / 1e9);
+    let speedup = med_rwlock as f64 / med_snapshot as f64;
+    let pass = med_snapshot < med_rwlock;
+
+    println!(
+        "contended ingest+query: {PRELOAD} preloaded, {WRITER_THREADS} writers x \
+         {BATCHES_PER_WRITER} batches of {BATCH_SIZE}, {READER_THREADS} readers x \
+         {QUERIES_PER_READER} queries, {ROUNDS} rounds"
+    );
+    println!(
+        "  rwlock    median {:>10} / round  ({:>9.0} ops/s)",
+        fmt_duration(std::time::Duration::from_nanos(med_rwlock)),
+        ops_per_s(med_rwlock)
+    );
+    println!(
+        "  snapshot  median {:>10} / round  ({:>9.0} ops/s, {speedup:.2}x)",
+        fmt_duration(std::time::Duration::from_nanos(med_snapshot)),
+        ops_per_s(med_snapshot)
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"preloaded_segments\": {},\n",
+            "  \"writer_threads\": {},\n",
+            "  \"batches_per_writer\": {},\n",
+            "  \"batch_size\": {},\n",
+            "  \"reader_threads\": {},\n",
+            "  \"queries_per_reader\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"median_round_ns\": {{\"rwlock\": {}, \"snapshot\": {}}},\n",
+            "  \"ops_per_s\": {{\"rwlock\": {:.0}, \"snapshot\": {:.0}}},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        PRELOAD,
+        WRITER_THREADS,
+        BATCHES_PER_WRITER,
+        BATCH_SIZE,
+        READER_THREADS,
+        QUERIES_PER_READER,
+        ROUNDS,
+        med_rwlock,
+        med_snapshot,
+        ops_per_s(med_rwlock),
+        ops_per_s(med_snapshot),
+        speedup,
+        pass
+    );
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_snapshot.json");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("cannot write BENCH_snapshot.json");
+    println!("wrote {}", path.display());
+
+    if !pass {
+        eprintln!("FAIL: snapshot path did not beat the RwLock baseline under contention");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@ use swag_obs::{Metric, Registry};
 use swag_sensors::{scenarios, SensorNoise};
 use swag_server::{
     load_snapshot, save_snapshot, CloudServer, Query, QueryOptions, RankMode, SegmentRef,
+    ServerConfig,
 };
 
 use crate::args::ArgParser;
@@ -155,7 +156,7 @@ pub fn ingest(args: ArgParser) -> Result<(), String> {
         next_provider += 1;
     }
 
-    let bytes = save_snapshot(&server);
+    let bytes = save_snapshot(&server).map_err(|e| e.to_string())?;
     write_bytes(snapshot_path, &bytes)?;
     eprintln!(
         "snapshot {snapshot_path}: {} segments, {} bytes",
@@ -228,6 +229,20 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     let format = args.get("format").unwrap_or("pretty");
     let seed = args.get_u64("seed", 42)?;
     let n_queries = args.get_u64("queries", 32)?;
+    let shard_width_s = args.get_f64("shard-width", 600.0)?;
+    if !(shard_width_s.is_finite() && shard_width_s > 0.0) {
+        return Err("--shard-width must be positive".into());
+    }
+    let retain_s = match args.get("retain") {
+        None => None,
+        Some(raw) => {
+            let h: f64 = raw.parse().map_err(|e| format!("--retain: {e}"))?;
+            if !(h.is_finite() && h > 0.0) {
+                return Err("--retain must be positive".into());
+            }
+            Some(h)
+        }
+    };
     let registry = Registry::new();
 
     // Client layer: segment a simulated city recording.
@@ -246,7 +261,9 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     // Upload layer: encode descriptors and plan their transmission.
     let mut uploader = Uploader::new(0);
     uploader.attach_observability(&registry);
-    let (wire, batch) = uploader.upload(recording.reps.clone());
+    let (wire, batch) = uploader
+        .upload(recording.reps.clone())
+        .map_err(|e| e.to_string())?;
     let uploads = [(30.0, wire.len()), (400.0, wire.len())];
     let plan = plan_uploads(
         UploadPolicy::WifiPreferred { max_delay_s: 300.0 },
@@ -259,7 +276,14 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     observe_plan(&plan, &uploads, &registry);
 
     // Server layer: ingest and query around every recorded segment.
-    let mut server = CloudServer::new(camera());
+    let mut server = CloudServer::with_config(
+        camera(),
+        ServerConfig {
+            shard_width_s,
+            retention_horizon_s: retain_s,
+            ..ServerConfig::default()
+        },
+    );
     server.attach_observability(&registry);
     server.ingest_batch(&batch);
     for i in 0..n_queries {
@@ -279,7 +303,18 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     match format {
         "prometheus" => print!("{}", registry.render_prometheus()),
         "json" => print!("{}", registry.render_json()),
-        "pretty" => print_metrics_table(&registry),
+        "pretty" => {
+            print_metrics_table(&registry);
+            let s = server.stats();
+            println!(
+                "\nsnapshot: {} segments, {} shards ({shard_width_s} s wide), \
+                 {} pending in delta, retention {}",
+                s.segments,
+                s.shards,
+                s.pending_delta,
+                retain_s.map_or("off".to_string(), |h| format!("{h} s")),
+            );
+        }
         other => return Err(format!("unknown format '{other}' (pretty|prometheus|json)")),
     }
     Ok(())
@@ -321,7 +356,7 @@ pub fn retract(args: ArgParser) -> Result<(), String> {
     let bytes = read_bytes(snapshot_path)?;
     let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
     let removed = server.retract_provider(provider);
-    let bytes = save_snapshot(&server);
+    let bytes = save_snapshot(&server).map_err(|e| e.to_string())?;
     write_bytes(snapshot_path, &bytes)?;
     eprintln!(
         "retracted {removed} segments of provider {provider}; {} remain",

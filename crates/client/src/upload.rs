@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use swag_core::descriptor::CodecError;
 use swag_core::{DescriptorCodec, RepFov, UploadBatch};
 use swag_net::{NetworkLink, TrafficMeter};
 use swag_obs::{Counter, Registry};
@@ -52,20 +53,24 @@ impl Uploader {
     /// Packages a recording's representative FoVs as an upload message,
     /// recording its size in the traffic meter. Returns the wire bytes and
     /// the logical batch.
-    pub fn upload(&mut self, reps: Vec<RepFov>) -> (Bytes, UploadBatch) {
+    ///
+    /// Errors with [`CodecError::OutOfRange`] if a record cannot be
+    /// represented on the wire (nothing is metered in that case; the
+    /// video id is not consumed).
+    pub fn upload(&mut self, reps: Vec<RepFov>) -> Result<(Bytes, UploadBatch), CodecError> {
         let batch = UploadBatch {
             provider_id: self.provider_id,
             video_id: self.next_video_id,
             reps,
         };
+        let bytes = DescriptorCodec::encode_batch(&batch)?;
         self.next_video_id += 1;
-        let bytes = DescriptorCodec::encode_batch(&batch);
         self.meter.record_up(bytes.len());
         if let Some(obs) = &self.obs {
             obs.batches.inc();
             obs.descriptor_bytes.add(bytes.len() as u64);
         }
-        (bytes, batch)
+        Ok((bytes, batch))
     }
 
     /// Accumulated traffic.
@@ -107,8 +112,8 @@ mod tests {
     #[test]
     fn upload_meters_bytes_and_increments_video_id() {
         let mut u = Uploader::new(9);
-        let (bytes1, batch1) = u.upload(reps(10));
-        let (bytes2, batch2) = u.upload(reps(3));
+        let (bytes1, batch1) = u.upload(reps(10)).unwrap();
+        let (bytes2, batch2) = u.upload(reps(3)).unwrap();
         assert_eq!(batch1.video_id, 0);
         assert_eq!(batch2.video_id, 1);
         assert_eq!(batch1.provider_id, 9);
@@ -121,8 +126,8 @@ mod tests {
         let reg = Registry::new();
         let mut u = Uploader::new(4);
         u.attach_observability(&reg);
-        let (b1, _) = u.upload(reps(5));
-        let (b2, _) = u.upload(reps(2));
+        let (b1, _) = u.upload(reps(5)).unwrap();
+        let (b2, _) = u.upload(reps(2)).unwrap();
         assert_eq!(reg.counter("swag_client_upload_batches_total").get(), 2);
         assert_eq!(
             reg.counter("swag_client_descriptor_bytes_total").get(),
@@ -133,7 +138,7 @@ mod tests {
     #[test]
     fn wire_round_trip_preserves_count() {
         let mut u = Uploader::new(1);
-        let (bytes, batch) = u.upload(reps(7));
+        let (bytes, batch) = u.upload(reps(7)).unwrap();
         let decoded = DescriptorCodec::decode_batch(bytes).unwrap();
         assert_eq!(decoded.reps.len(), batch.reps.len());
         assert_eq!(decoded.provider_id, 1);
@@ -143,7 +148,7 @@ mod tests {
     fn descriptor_upload_is_orders_of_magnitude_smaller_than_video() {
         // A 10-minute recording segmented into 100 segments.
         let mut u = Uploader::new(2);
-        let (bytes, _) = u.upload(reps(100));
+        let (bytes, _) = u.upload(reps(100)).unwrap();
         let factor = Uploader::savings_factor(bytes.len(), VideoProfile::P720, 600.0);
         assert!(factor > 10_000.0, "savings factor only {factor}");
     }
@@ -151,7 +156,7 @@ mod tests {
     #[test]
     fn upload_time_is_subsecond_on_cellular() {
         let mut u = Uploader::new(3);
-        u.upload(reps(1000)); // a very long recording's descriptors
+        u.upload(reps(1000)).unwrap(); // a very long recording's descriptors
         let t = u.upload_time_s(&NetworkLink::cellular_3g());
         assert!(t < 1.0, "descriptor upload took {t}s");
     }

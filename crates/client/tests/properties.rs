@@ -61,7 +61,7 @@ proptest! {
         let result = ClientPipeline::process_trace(cam, thresh, &trace);
         let n = result.reps.len();
         let mut uploader = Uploader::new(7);
-        let (wire, batch) = uploader.upload(result.reps);
+        let (wire, batch) = uploader.upload(result.reps).unwrap();
         prop_assert_eq!(wire.len(), DescriptorCodec::batch_size(n));
         let decoded = DescriptorCodec::decode_batch(wire).unwrap();
         prop_assert_eq!(decoded.reps.len(), batch.reps.len());

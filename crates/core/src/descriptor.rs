@@ -23,7 +23,7 @@ use swag_geo::LatLon;
 use crate::abstraction::RepFov;
 use crate::fov::Fov;
 
-/// Errors produced while decoding descriptor messages.
+/// Errors produced while encoding or decoding descriptor messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The buffer ended before a complete record/header was read.
@@ -34,6 +34,10 @@ pub enum CodecError {
     BadVersion(u8),
     /// The declared record count disagrees with the buffer length.
     LengthMismatch { declared: u32, available: usize },
+    /// A record field cannot be represented in the wire format (negative
+    /// start time, duration beyond ~49 days, non-finite or out-of-range
+    /// coordinate). The field name says which.
+    OutOfRange(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -49,6 +53,9 @@ impl std::fmt::Display for CodecError {
                 f,
                 "declared {declared} records but only {available} bytes of payload"
             ),
+            CodecError::OutOfRange(field) => {
+                write!(f, "record field '{field}' not representable on the wire")
+            }
         }
     }
 }
@@ -85,14 +92,38 @@ impl DescriptorCodec {
     const THETA_SCALE: f64 = 65536.0 / 360.0;
 
     /// Appends one record to `buf`.
-    pub fn encode_rep(rep: &RepFov, buf: &mut BytesMut) {
-        buf.put_i32_le((rep.fov.p.lat * Self::LATLON_SCALE).round() as i32);
-        buf.put_i32_le((rep.fov.p.lng * Self::LATLON_SCALE).round() as i32);
-        buf.put_u16_le(((rep.fov.theta * Self::THETA_SCALE).round() as u32 % 65536) as u16);
-        let start_ms = (rep.t_start * 1000.0).round().max(0.0) as u64;
-        let dur_ms = ((rep.t_end - rep.t_start) * 1000.0).round().max(0.0) as u64;
-        buf.put_u64_le(start_ms);
-        buf.put_u32_le(dur_ms.min(u32::MAX as u64) as u32);
+    ///
+    /// Errors with [`CodecError::OutOfRange`] when a field cannot be
+    /// represented: negative or non-finite start time, duration over
+    /// `u32::MAX` ms (~49 days), non-finite azimuth, or a coordinate
+    /// outside the `i32` fixed-point range. Nothing is written on error.
+    pub fn encode_rep(rep: &RepFov, buf: &mut BytesMut) -> Result<(), CodecError> {
+        let lat = rep.fov.p.lat * Self::LATLON_SCALE;
+        if !lat.is_finite() || lat.round() < i32::MIN as f64 || lat.round() > i32::MAX as f64 {
+            return Err(CodecError::OutOfRange("lat"));
+        }
+        let lng = rep.fov.p.lng * Self::LATLON_SCALE;
+        if !lng.is_finite() || lng.round() < i32::MIN as f64 || lng.round() > i32::MAX as f64 {
+            return Err(CodecError::OutOfRange("lng"));
+        }
+        if !rep.fov.theta.is_finite() {
+            return Err(CodecError::OutOfRange("theta"));
+        }
+        let start_ms = (rep.t_start * 1000.0).round();
+        if !(0.0..=u64::MAX as f64).contains(&start_ms) {
+            return Err(CodecError::OutOfRange("t_start"));
+        }
+        let dur_ms = ((rep.t_end - rep.t_start) * 1000.0).round();
+        if !(0.0..=u32::MAX as f64).contains(&dur_ms) {
+            return Err(CodecError::OutOfRange("duration"));
+        }
+        buf.put_i32_le(lat.round() as i32);
+        buf.put_i32_le(lng.round() as i32);
+        let theta = rep.fov.theta.rem_euclid(360.0);
+        buf.put_u16_le(((theta * Self::THETA_SCALE).round() as u32 % 65536) as u16);
+        buf.put_u64_le(start_ms as u64);
+        buf.put_u32_le(dur_ms as u32);
+        Ok(())
     }
 
     /// Reads one record from `buf`.
@@ -113,7 +144,10 @@ impl DescriptorCodec {
     }
 
     /// Serialises a whole upload batch.
-    pub fn encode_batch(batch: &UploadBatch) -> Bytes {
+    ///
+    /// Errors with [`CodecError::OutOfRange`] if any record is not
+    /// representable (see [`Self::encode_rep`]).
+    pub fn encode_batch(batch: &UploadBatch) -> Result<Bytes, CodecError> {
         let mut buf =
             BytesMut::with_capacity(Self::HEADER_SIZE + batch.reps.len() * Self::RECORD_SIZE);
         buf.put_u16_le(Self::MAGIC);
@@ -122,9 +156,9 @@ impl DescriptorCodec {
         buf.put_u64_le(batch.video_id);
         buf.put_u32_le(batch.reps.len() as u32);
         for rep in &batch.reps {
-            Self::encode_rep(rep, &mut buf);
+            Self::encode_rep(rep, &mut buf)?;
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Parses an upload batch.
@@ -186,7 +220,7 @@ mod tests {
             1_000_060.789,
         );
         let mut buf = BytesMut::new();
-        DescriptorCodec::encode_rep(&r, &mut buf);
+        DescriptorCodec::encode_rep(&r, &mut buf).unwrap();
         assert_eq!(buf.len(), DescriptorCodec::RECORD_SIZE);
         let d = DescriptorCodec::decode_rep(&mut buf.freeze()).unwrap();
         assert!((d.fov.p.lat - r.fov.p.lat).abs() < 1e-7);
@@ -200,7 +234,7 @@ mod tests {
     fn azimuth_near_360_wraps_cleanly() {
         let r = rep(0.0, 0.0, 359.9999, 0.0, 1.0);
         let mut buf = BytesMut::new();
-        DescriptorCodec::encode_rep(&r, &mut buf);
+        DescriptorCodec::encode_rep(&r, &mut buf).unwrap();
         let d = DescriptorCodec::decode_rep(&mut buf.freeze()).unwrap();
         // 359.9999 rounds to code 65536 ≡ 0 → decodes as 0°.
         assert!(d.fov.theta < 0.006 || (360.0 - d.fov.theta) < 0.006);
@@ -223,7 +257,7 @@ mod tests {
                 })
                 .collect(),
         };
-        let bytes = DescriptorCodec::encode_batch(&batch);
+        let bytes = DescriptorCodec::encode_batch(&batch).unwrap();
         assert_eq!(bytes.len(), DescriptorCodec::batch_size(10));
         let decoded = DescriptorCodec::decode_batch(bytes).unwrap();
         assert_eq!(decoded.provider_id, 7);
@@ -238,7 +272,7 @@ mod tests {
             video_id: 2,
             reps: vec![],
         };
-        let bytes = DescriptorCodec::encode_batch(&batch);
+        let bytes = DescriptorCodec::encode_batch(&batch).unwrap();
         assert_eq!(bytes.len(), DescriptorCodec::HEADER_SIZE);
         let decoded = DescriptorCodec::decode_batch(bytes).unwrap();
         assert!(decoded.reps.is_empty());
@@ -283,13 +317,69 @@ mod tests {
             video_id: 2,
             reps: vec![rep(0.0, 0.0, 0.0, 0.0, 1.0)],
         };
-        let bytes = DescriptorCodec::encode_batch(&batch);
+        let bytes = DescriptorCodec::encode_batch(&batch).unwrap();
         // Chop the last byte off.
         let truncated = bytes.slice(0..bytes.len() - 1);
         assert!(matches!(
             DescriptorCodec::decode_batch(truncated).unwrap_err(),
             CodecError::LengthMismatch { declared: 1, .. }
         ));
+    }
+
+    #[test]
+    fn negative_start_time_is_rejected_not_clamped() {
+        // Regression: this used to clamp to t=0 silently, so a pre-epoch
+        // record round-tripped to a different instant with no error.
+        let r = rep(40.0, 116.3, 0.0, -5.0, 1.0);
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            DescriptorCodec::encode_rep(&r, &mut buf).unwrap_err(),
+            CodecError::OutOfRange("t_start")
+        );
+        assert!(buf.is_empty(), "failed encode must write nothing");
+    }
+
+    #[test]
+    fn overlong_duration_is_rejected_not_truncated() {
+        // Regression: durations over u32::MAX ms used to saturate, so a
+        // ~50-day segment silently shrank to ~49.7 days.
+        let days_50 = 50.0 * 86_400.0;
+        let r = rep(40.0, 116.3, 0.0, 0.0, days_50);
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            DescriptorCodec::encode_rep(&r, &mut buf).unwrap_err(),
+            CodecError::OutOfRange("duration")
+        );
+    }
+
+    #[test]
+    fn non_finite_fields_are_rejected() {
+        for (r, field) in [
+            (rep(f64::NAN, 0.0, 0.0, 0.0, 1.0), "lat"),
+            (rep(0.0, f64::INFINITY, 0.0, 0.0, 1.0), "lng"),
+        ] {
+            let mut buf = BytesMut::new();
+            assert_eq!(
+                DescriptorCodec::encode_rep(&r, &mut buf).unwrap_err(),
+                CodecError::OutOfRange(field)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_with_one_bad_record_errors() {
+        let batch = UploadBatch {
+            provider_id: 1,
+            video_id: 2,
+            reps: vec![
+                rep(40.0, 116.3, 0.0, 0.0, 1.0),
+                rep(40.0, 116.3, 0.0, -1.0, 1.0),
+            ],
+        };
+        assert_eq!(
+            DescriptorCodec::encode_batch(&batch).unwrap_err(),
+            CodecError::OutOfRange("t_start")
+        );
     }
 
     #[test]

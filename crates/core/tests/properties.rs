@@ -204,7 +204,7 @@ proptest! {
     ) {
         let rep = RepFov::new(t0, t0 + dur, Fov::new(LatLon::new(lat, lng), theta));
         let mut buf = BytesMut::new();
-        DescriptorCodec::encode_rep(&rep, &mut buf);
+        DescriptorCodec::encode_rep(&rep, &mut buf).unwrap();
         let d = DescriptorCodec::decode_rep(&mut buf.freeze()).unwrap();
         prop_assert!((d.fov.p.lat - rep.fov.p.lat).abs() < 1e-6);
         prop_assert!((d.fov.p.lng - rep.fov.p.lng).abs() < 1e-6);
@@ -252,5 +252,48 @@ proptest! {
         let dist = cam.view_radius_m + radius + 10.0;
         let p = f.p.offset(bearing, dist);
         prop_assert!(!sector_intersects_circle(&f, &cam, p, radius));
+    }
+
+    /// Every record inside the wire format's documented bounds encodes and
+    /// round-trips within quantisation error; nothing in the bounded
+    /// domain is rejected.
+    #[test]
+    fn codec_round_trip_over_full_encodable_domain(
+        lat in -90.0f64..=90.0,
+        lng in -180.0f64..=180.0,
+        theta in 0.0f64..360.0,
+        t0 in 0.0f64..4.0e9,                 // beyond year 2096 in seconds
+        dur in 0.0f64..(u32::MAX as f64 / 1000.0 - 1.0),
+    ) {
+        let rep = RepFov::new(t0, t0 + dur, Fov::new(LatLon::new(lat, lng), theta));
+        let mut buf = BytesMut::new();
+        DescriptorCodec::encode_rep(&rep, &mut buf).unwrap();
+        let d = DescriptorCodec::decode_rep(&mut buf.freeze()).unwrap();
+        prop_assert!((d.fov.p.lat - rep.fov.p.lat).abs() < 1e-6);
+        prop_assert!((d.fov.p.lng - rep.fov.p.lng).abs() < 1e-6);
+        prop_assert!((d.t_start - rep.t_start).abs() < 0.002);
+        prop_assert!((d.duration() - rep.duration()).abs() < 0.002);
+    }
+
+    /// Records outside the encodable bounds error instead of silently
+    /// clamping (regression for the old clamp-to-zero / saturate paths).
+    #[test]
+    fn codec_rejects_unencodable_records(
+        t0 in -1.0e6f64..-0.001,
+        extra_days in 50.0f64..500.0,
+    ) {
+        let neg = RepFov::new(t0, t0.abs(), Fov::new(LatLon::new(40.0, 116.3), 0.0));
+        let mut buf = BytesMut::new();
+        prop_assert_eq!(
+            DescriptorCodec::encode_rep(&neg, &mut buf).unwrap_err(),
+            swag_core::descriptor::CodecError::OutOfRange("t_start")
+        );
+        prop_assert!(buf.is_empty());
+
+        let long = RepFov::new(0.0, extra_days * 86_400.0, Fov::new(LatLon::new(40.0, 116.3), 0.0));
+        prop_assert_eq!(
+            DescriptorCodec::encode_rep(&long, &mut buf).unwrap_err(),
+            swag_core::descriptor::CodecError::OutOfRange("duration")
+        );
     }
 }

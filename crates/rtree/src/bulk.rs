@@ -76,6 +76,22 @@ impl<T, const D: usize> RTree<T, D> {
     }
 }
 
+impl<T: Clone, const D: usize> RTree<T, D> {
+    /// Builds a new tree containing this tree's items plus `more`,
+    /// re-packed with STR under the same configuration.
+    ///
+    /// This is the batch counterpart of repeated [`RTree::insert`]: when a
+    /// shard accumulates a publish-interval's worth of new items, one STR
+    /// re-pack of old + new is cheaper and better-packed than inserting
+    /// them one by one, and it leaves `self` untouched (snapshot-friendly).
+    pub fn bulk_extend(&self, more: Vec<(Aabb<D>, T)>) -> Self {
+        let mut items: Vec<(Aabb<D>, T)> = Vec::with_capacity(self.len() + more.len());
+        items.extend(self.iter().map(|(mbr, value)| (*mbr, value.clone())));
+        items.extend(more);
+        Self::bulk_load_with_config(self.config, items)
+    }
+}
+
 /// Recursively tiles `entries` into groups of at most `cap`, each group
 /// holding at least `⌈cap/2⌉` entries whenever more than one group is
 /// produced.
@@ -208,6 +224,33 @@ mod tests {
             t.remove(&Aabb::from_point([512.0, 512.0]), |&v| v == 9999),
             Some(9999)
         );
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_extend_merges_old_and_new() {
+        let data = points(300);
+        let (old, new) = data.split_at(200);
+        let base = RTree::bulk_load(old.to_vec());
+        let merged = base.bulk_extend(new.to_vec());
+        assert_eq!(merged.len(), 300);
+        merged.check_invariants();
+        // Base is untouched (snapshot semantics).
+        assert_eq!(base.len(), 200);
+        let full = RTree::bulk_load(data.clone());
+        let query = Aabb::new([0.0, 0.0], [100.0, 100.0]);
+        let mut a: Vec<u32> = merged.search(&query).into_iter().copied().collect();
+        let mut b: Vec<u32> = full.search(&query).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_extend_from_empty() {
+        let empty: RTree<u32, 2> = RTree::new();
+        let t = empty.bulk_extend(points(50));
+        assert_eq!(t.len(), 50);
         t.check_invariants();
     }
 

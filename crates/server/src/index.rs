@@ -36,16 +36,77 @@ pub fn fov_box(rep: &RepFov) -> Aabb<3> {
     )
 }
 
-/// The query rectangle of a request (paper §V-B): the radius is converted
-/// to longitude/latitude scales *at the query centre*.
-pub fn query_box(q: &Query) -> Aabb<3> {
+/// The query rectangle(s) of a request (paper §V-B): the radius is
+/// converted to longitude/latitude scales over the query's latitude band.
+///
+/// Up to two boxes come back because longitude wraps at ±180°: a query
+/// centred near the antimeridian produces one box ending at 180° and a
+/// second starting at −180°. Searching both (and deduplicating) is what
+/// makes retrieval correct across the meridian — a single box extending
+/// past ±180° can never intersect segments stored on the other side.
+///
+/// The longitude scale is converted at the query centre (the paper's
+/// rule). If the box touches a pole — where one metre spans unboundedly
+/// many degrees of longitude and that conversion degenerates — or the
+/// radius covers more than half the globe in longitude, the box covers
+/// the full −180..180 range instead of silently degenerating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryBoxes {
+    boxes: [Aabb<3>; 2],
+    n: usize,
+}
+
+impl QueryBoxes {
+    /// The boxes to search (one, or two when the query wraps ±180°).
+    #[inline]
+    pub fn as_slice(&self) -> &[Aabb<3>] {
+        &self.boxes[..self.n]
+    }
+
+    /// Whether any of the boxes intersects `b`.
+    #[inline]
+    pub fn intersects(&self, b: &Aabb<3>) -> bool {
+        self.as_slice().iter().any(|qb| qb.intersects(b))
+    }
+}
+
+/// Builds the query box set for a request (see [`QueryBoxes`]).
+pub fn query_boxes(q: &Query) -> QueryBoxes {
     let r_lat = q.radius_m / METERS_PER_DEG;
-    let coslat = q.center.lat.to_radians().cos().max(1e-9);
+    let lat_min = (q.center.lat - r_lat).max(-90.0);
+    let lat_max = (q.center.lat + r_lat).min(90.0);
+    let coslat = q.center.lat.to_radians().cos().max(1e-12);
     let r_lng = q.radius_m / (METERS_PER_DEG * coslat);
-    Aabb::new(
-        [q.center.lng - r_lng, q.center.lat - r_lat, q.t_start],
-        [q.center.lng + r_lng, q.center.lat + r_lat, q.t_end],
-    )
+    let full_wrap = lat_min <= -90.0 + 1e-12 || lat_max >= 90.0 - 1e-12 || r_lng >= 180.0;
+    let one = |lng_min: f64, lng_max: f64| {
+        Aabb::new([lng_min, lat_min, q.t_start], [lng_max, lat_max, q.t_end])
+    };
+    if full_wrap {
+        return QueryBoxes {
+            boxes: [one(-180.0, 180.0); 2],
+            n: 1,
+        };
+    }
+    let lng_min = q.center.lng - r_lng;
+    let lng_max = q.center.lng + r_lng;
+    if lng_min < -180.0 {
+        // Wraps west past the antimeridian: the overflow re-enters at +180.
+        QueryBoxes {
+            boxes: [one(-180.0, lng_max), one(lng_min + 360.0, 180.0)],
+            n: 2,
+        }
+    } else if lng_max > 180.0 {
+        // Wraps east past the antimeridian.
+        QueryBoxes {
+            boxes: [one(lng_min, 180.0), one(-180.0, lng_max - 360.0)],
+            n: 2,
+        }
+    } else {
+        QueryBoxes {
+            boxes: [one(lng_min, lng_max); 2],
+            n: 1,
+        }
+    }
 }
 
 /// A spatio-temporal index over segment ids.
@@ -81,6 +142,29 @@ impl FovIndex {
         ))
     }
 
+    /// Bulk loads an index of the given kind from pre-computed FoV boxes
+    /// (used by the sharded index's publish-time shard rebuilds).
+    pub fn bulk_from_boxes(kind: IndexKind, items: Vec<(Aabb<3>, SegmentId)>) -> Self {
+        match kind {
+            IndexKind::RTree => FovIndex::RTree(RTree::bulk_load(items)),
+            IndexKind::Linear => FovIndex::Linear(items),
+        }
+    }
+
+    /// Builds a new index holding this index's items plus `more`, leaving
+    /// `self` untouched. R-tree shards are STR re-packed (old + new
+    /// together); linear shards are copied and extended.
+    pub fn bulk_extend(&self, more: Vec<(Aabb<3>, SegmentId)>) -> Self {
+        match self {
+            FovIndex::RTree(t) => FovIndex::RTree(t.bulk_extend(more)),
+            FovIndex::Linear(v) => {
+                let mut v = v.clone();
+                v.extend(more);
+                FovIndex::Linear(v)
+            }
+        }
+    }
+
     /// Which kind of index this is.
     pub fn kind(&self) -> IndexKind {
         match self {
@@ -102,6 +186,22 @@ impl FovIndex {
         self.len() == 0
     }
 
+    /// Visits every indexed `(box, id)` pair in unspecified order.
+    pub fn for_each_item(&self, mut f: impl FnMut(&Aabb<3>, SegmentId)) {
+        match self {
+            FovIndex::RTree(t) => {
+                for (b, id) in t.iter() {
+                    f(b, *id);
+                }
+            }
+            FovIndex::Linear(v) => {
+                for (b, id) in v {
+                    f(b, *id);
+                }
+            }
+        }
+    }
+
     /// Indexes one representative FoV.
     pub fn insert(&mut self, rep: &RepFov, id: SegmentId) {
         let b = fov_box(rep);
@@ -112,43 +212,64 @@ impl FovIndex {
     }
 
     /// All segment ids whose FoV rectangle intersects the query rectangle
-    /// (spatial *and* temporal overlap, §V-B).
+    /// (spatial *and* temporal overlap, §V-B). Queries wrapping the ±180°
+    /// antimeridian search both half-boxes; results are deduplicated.
     pub fn candidates(&self, q: &Query) -> Vec<SegmentId> {
-        let qb = query_box(q);
-        match self {
-            FovIndex::RTree(t) => t.search(&qb).into_iter().copied().collect(),
-            FovIndex::Linear(v) => v
-                .iter()
-                .filter(|(b, _)| b.intersects(&qb))
-                .map(|(_, id)| *id)
-                .collect(),
+        self.candidates_in(&query_boxes(q))
+    }
+
+    /// [`Self::candidates`] against an already-built query box set.
+    pub fn candidates_in(&self, boxes: &QueryBoxes) -> Vec<SegmentId> {
+        let mut out: Vec<SegmentId> = Vec::new();
+        for qb in boxes.as_slice() {
+            match self {
+                FovIndex::RTree(t) => out.extend(t.search(qb).into_iter().copied()),
+                FovIndex::Linear(v) => out.extend(
+                    v.iter()
+                        .filter(|(b, _)| b.intersects(qb))
+                        .map(|(_, id)| *id),
+                ),
+            }
         }
+        if boxes.as_slice().len() > 1 {
+            // A degenerate FoV point sitting exactly on ±180° could fall
+            // into both half-boxes.
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
     }
 
     /// [`Self::candidates`] that also accumulates traversal counters into
     /// `stats` (used by the instrumented server query path). The linear
     /// scan reports itself as one flat "leaf" covering every record.
     pub fn candidates_with_stats(&self, q: &Query, stats: &mut SearchStats) -> Vec<SegmentId> {
-        let qb = query_box(q);
-        match self {
-            FovIndex::RTree(t) => {
-                let mut out = Vec::new();
-                t.search_with_stats(&qb, stats, |_mbr, id| out.push(*id));
-                out
-            }
-            FovIndex::Linear(v) => {
-                let out: Vec<SegmentId> = v
-                    .iter()
-                    .filter(|(b, _)| b.intersects(&qb))
-                    .map(|(_, id)| *id)
-                    .collect();
-                stats.nodes_visited += 1;
-                stats.leaves_scanned += 1;
-                stats.items_tested += v.len() as u64;
-                stats.items_matched += out.len() as u64;
-                out
+        let boxes = query_boxes(q);
+        let mut out: Vec<SegmentId> = Vec::new();
+        for qb in boxes.as_slice() {
+            match self {
+                FovIndex::RTree(t) => {
+                    t.search_with_stats(qb, stats, |_mbr, id| out.push(*id));
+                }
+                FovIndex::Linear(v) => {
+                    let before = out.len();
+                    out.extend(
+                        v.iter()
+                            .filter(|(b, _)| b.intersects(qb))
+                            .map(|(_, id)| *id),
+                    );
+                    stats.nodes_visited += 1;
+                    stats.leaves_scanned += 1;
+                    stats.items_tested += v.len() as u64;
+                    stats.items_matched += (out.len() - before) as u64;
+                }
             }
         }
+        if boxes.as_slice().len() > 1 {
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
     }
 
     /// Removes one indexed segment (used when providers retract videos).
@@ -200,7 +321,8 @@ mod tests {
     #[test]
     fn query_box_covers_radius() {
         let query = q(100.0, 0.0, 10.0);
-        let b = query_box(&query);
+        let b = query_boxes(&query);
+        assert_eq!(b.as_slice().len(), 1);
         // The box must contain positions 100 m in every direction.
         for (n, e) in [(99.0, 0.0), (-99.0, 0.0), (0.0, 99.0), (0.0, -99.0)] {
             let r = rep_at(n, e, 5.0, 6.0);
@@ -209,6 +331,78 @@ mod tests {
         // ...but not 150 m away.
         let far = rep_at(150.0, 0.0, 5.0, 6.0);
         assert!(!b.intersects(&fov_box(&far)));
+    }
+
+    fn rep_at_lnglat(lng: f64, lat: f64, t0: f64, t1: f64) -> RepFov {
+        RepFov::new(t0, t1, Fov::new(LatLon::new(lat, lng), 0.0))
+    }
+
+    #[test]
+    fn antimeridian_query_wraps_east() {
+        // Query centred just west of +180°; the segment sits just east of
+        // the wrap, i.e. at longitude −179.999°. Pre-fix, the single query
+        // box extended past +180 and could never intersect it.
+        for kind in [IndexKind::RTree, IndexKind::Linear] {
+            let mut idx = FovIndex::new(kind);
+            idx.insert(&rep_at_lnglat(-179.999, 10.0, 0.0, 10.0), SegmentId(0));
+            idx.insert(&rep_at_lnglat(179.999, 10.0, 0.0, 10.0), SegmentId(1));
+            idx.insert(&rep_at_lnglat(0.0, 10.0, 0.0, 10.0), SegmentId(2));
+            let query = Query::new(0.0, 10.0, LatLon::new(10.0, 179.999), 1000.0);
+            let boxes = query_boxes(&query);
+            assert_eq!(boxes.as_slice().len(), 2, "{kind:?}: should wrap");
+            let mut hits = idx.candidates(&query);
+            hits.sort();
+            assert_eq!(hits, vec![SegmentId(0), SegmentId(1)], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn antimeridian_query_wraps_west() {
+        for kind in [IndexKind::RTree, IndexKind::Linear] {
+            let mut idx = FovIndex::new(kind);
+            idx.insert(&rep_at_lnglat(179.999, -35.0, 0.0, 10.0), SegmentId(0));
+            idx.insert(&rep_at_lnglat(-179.999, -35.0, 0.0, 10.0), SegmentId(1));
+            idx.insert(&rep_at_lnglat(90.0, -35.0, 0.0, 10.0), SegmentId(2));
+            let query = Query::new(0.0, 10.0, LatLon::new(-35.0, -179.999), 1000.0);
+            let boxes = query_boxes(&query);
+            assert_eq!(boxes.as_slice().len(), 2, "{kind:?}: should wrap");
+            let mut hits = idx.candidates(&query);
+            hits.sort();
+            assert_eq!(hits, vec![SegmentId(0), SegmentId(1)], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn antimeridian_dedups_boundary_point() {
+        // A point exactly on ±180° may land in both half-boxes; it must be
+        // reported once.
+        let mut idx = FovIndex::new(IndexKind::Linear);
+        idx.insert(&rep_at_lnglat(180.0, 0.0, 0.0, 10.0), SegmentId(0));
+        let query = Query::new(0.0, 10.0, LatLon::new(0.0, 179.9999), 1000.0);
+        assert_eq!(idx.candidates(&query), vec![SegmentId(0)]);
+        let mut stats = SearchStats::default();
+        assert_eq!(
+            idx.candidates_with_stats(&query, &mut stats),
+            vec![SegmentId(0)]
+        );
+    }
+
+    #[test]
+    fn polar_query_covers_all_longitudes() {
+        // Near the pole one metre spans many degrees of longitude; the old
+        // `coslat.max(1e-9)` clamp silently degenerated instead of widening.
+        // A box touching the pole must cover every longitude.
+        let mut idx = FovIndex::new(IndexKind::RTree);
+        idx.insert(&rep_at_lnglat(10.0, 89.9995, 0.0, 10.0), SegmentId(0));
+        idx.insert(&rep_at_lnglat(-170.0, 89.9995, 0.0, 10.0), SegmentId(1));
+        let query = Query::new(0.0, 10.0, LatLon::new(89.9995, 100.0), 200.0);
+        let boxes = query_boxes(&query);
+        assert_eq!(boxes.as_slice().len(), 1);
+        let qb = boxes.as_slice()[0];
+        assert_eq!((qb.min[0], qb.max[0]), (-180.0, 180.0));
+        let mut hits = idx.candidates(&query);
+        hits.sort();
+        assert_eq!(hits, vec![SegmentId(0), SegmentId(1)]);
     }
 
     #[test]

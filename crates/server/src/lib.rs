@@ -14,9 +14,13 @@
 //! 3. drop FoVs pointing away from the query centre, and
 //! 4. rank the rest by distance to the centre, returning the top N.
 //!
-//! [`server::CloudServer`] wraps the whole thing behind a
-//! `parking_lot::RwLock` so many providers can upload while queriers
-//! search.
+//! [`server::CloudServer`] serves queries from immutable published
+//! snapshots (epochs): a query clones one `Arc` in a momentary critical
+//! section and then scans and ranks lock-free, while writers append into
+//! a small delta and periodically fold it into a fresh snapshot whose
+//! time-sharded index ([`shard::ShardedFovIndex`]) also drives retention
+//! — old shards are dropped wholesale and their segments retired from
+//! the store.
 
 pub mod index;
 pub mod persistence;
@@ -31,7 +35,7 @@ pub use index::{FovIndex, IndexKind};
 pub use persistence::{load_snapshot, save_snapshot, SnapshotError};
 pub use query::{Query, QueryOptions, RankMode};
 pub use ranking::{quality_score, SearchHit};
-pub use server::{CloudServer, ServerStats};
-pub use shard::ShardedFovIndex;
+pub use server::{CloudServer, ServerConfig, ServerStats};
+pub use shard::{ExpireReport, ShardedFovIndex};
 pub use store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
 pub use subscribe::{SubscriptionId, SubscriptionSet};

@@ -48,7 +48,11 @@ const VERSION: u8 = 1;
 const REF_SIZE: usize = 8 + 8 + 4;
 
 /// Serialises a server's segment store.
-pub fn save_snapshot(server: &CloudServer) -> Bytes {
+///
+/// Fails with [`SnapshotError::BadRecord`] if a stored record is outside
+/// the codec's encodable domain (the server only holds records that came
+/// in through the codec, so this indicates corruption).
+pub fn save_snapshot(server: &CloudServer) -> Result<Bytes, SnapshotError> {
     let records = server.export_records();
     let mut buf = BytesMut::with_capacity(
         4 + 1 + 4 + records.len() * (REF_SIZE + DescriptorCodec::RECORD_SIZE),
@@ -60,9 +64,9 @@ pub fn save_snapshot(server: &CloudServer) -> Bytes {
         buf.put_u64_le(rec.source.provider_id);
         buf.put_u64_le(rec.source.video_id);
         buf.put_u32_le(rec.source.segment_idx);
-        DescriptorCodec::encode_rep(&rec.rep, &mut buf);
+        DescriptorCodec::encode_rep(&rec.rep, &mut buf).map_err(SnapshotError::BadRecord)?;
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Restores a server from a snapshot, bulk-loading the R-tree index.
@@ -128,7 +132,7 @@ mod tests {
     #[test]
     fn snapshot_round_trip_preserves_queries() {
         let server = populated_server(200);
-        let bytes = save_snapshot(&server);
+        let bytes = save_snapshot(&server).unwrap();
         let restored = load_snapshot(bytes, CameraProfile::smartphone()).unwrap();
         assert_eq!(restored.stats().segments, 200);
 
@@ -148,7 +152,7 @@ mod tests {
     #[test]
     fn empty_server_round_trips() {
         let server = CloudServer::new(CameraProfile::smartphone());
-        let bytes = save_snapshot(&server);
+        let bytes = save_snapshot(&server).unwrap();
         let restored = load_snapshot(bytes, CameraProfile::smartphone()).unwrap();
         assert_eq!(restored.stats().segments, 0);
     }
@@ -156,7 +160,8 @@ mod tests {
     #[test]
     fn restored_server_accepts_new_ingest() {
         let server = populated_server(50);
-        let restored = load_snapshot(save_snapshot(&server), CameraProfile::smartphone()).unwrap();
+        let restored =
+            load_snapshot(save_snapshot(&server).unwrap(), CameraProfile::smartphone()).unwrap();
         restored.ingest_one(
             RepFov::new(999.0, 1000.0, Fov::new(center(), 0.0)),
             SegmentRef {
@@ -197,7 +202,7 @@ mod tests {
     #[test]
     fn rejects_truncated_body() {
         let server = populated_server(3);
-        let bytes = save_snapshot(&server);
+        let bytes = save_snapshot(&server).unwrap();
         let cut = bytes.slice(0..bytes.len() - 5);
         assert_eq!(
             load_snapshot(cut, CameraProfile::smartphone()).unwrap_err(),
@@ -208,7 +213,7 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let server = populated_server(1);
-        let bytes = save_snapshot(&server);
+        let bytes = save_snapshot(&server).unwrap();
         let mut raw = bytes.to_vec();
         raw[4] = 99; // version byte
         assert_eq!(

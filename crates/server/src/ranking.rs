@@ -64,27 +64,57 @@ pub fn rank_candidates(
     query: &Query,
     opts: &QueryOptions,
 ) -> Vec<SearchHit> {
-    let mut hits: Vec<SearchHit> = candidates
+    let mut hits = collect_hits(candidates, store, cam, query, opts);
+    finalize_hits(&mut hits, opts);
+    hits
+}
+
+/// Resolves candidate ids against the store, applies the per-record
+/// filters, and builds unranked hits. Retired (retracted) records are
+/// dropped here as defense in depth: with sharded/snapshot indexes a
+/// stale candidate id must never resurface a retracted segment.
+pub(crate) fn collect_hits(
+    candidates: &[SegmentId],
+    store: &SegmentStore,
+    cam: &CameraProfile,
+    query: &Query,
+    opts: &QueryOptions,
+) -> Vec<SearchHit> {
+    candidates
         .iter()
+        .filter(|&&id| !store.is_retired(id))
         .map(|&id| store.get(id))
         .filter(|rec| keep(rec, cam, query, opts))
-        .map(|rec| SearchHit {
-            id: rec.id,
-            source: rec.source,
-            rep: rec.rep,
-            distance_m: rec.rep.fov.p.distance_m(query.center),
-            quality: quality_score(&rec.rep, cam, query),
-        })
-        .collect();
+        .map(|rec| hit_for(rec, cam, query))
+        .collect()
+}
+
+/// Builds one hit from a record that already passed the filters.
+pub(crate) fn hit_for(rec: &SegmentRecord, cam: &CameraProfile, query: &Query) -> SearchHit {
+    SearchHit {
+        id: rec.id,
+        source: rec.source,
+        rep: rec.rep,
+        distance_m: rec.rep.fov.p.distance_m(query.center),
+        quality: quality_score(&rec.rep, cam, query),
+    }
+}
+
+/// Step 4: sorts by the requested rank mode and truncates to the top N.
+pub(crate) fn finalize_hits(hits: &mut Vec<SearchHit>, opts: &QueryOptions) {
     match opts.rank {
         RankMode::Distance => hits.sort_by(|a, b| a.distance_m.total_cmp(&b.distance_m)),
         RankMode::Quality => hits.sort_by(|a, b| b.quality.total_cmp(&a.quality)),
     }
     hits.truncate(opts.top_n);
-    hits
 }
 
-fn keep(rec: &SegmentRecord, cam: &CameraProfile, query: &Query, opts: &QueryOptions) -> bool {
+pub(crate) fn keep(
+    rec: &SegmentRecord,
+    cam: &CameraProfile,
+    query: &Query,
+    opts: &QueryOptions,
+) -> bool {
     passes_filters(&rec.rep, cam, query, opts)
 }
 
@@ -309,6 +339,23 @@ mod tests {
         let hits = rank_candidates(&ids, &s, &cam, &q, &opts);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].source.provider_id, 0);
+    }
+
+    #[test]
+    fn retired_candidates_never_rank() {
+        // Regression (privacy): a stale candidate list containing a
+        // retracted segment's id must not resurface it.
+        let (mut s, ids) = store();
+        s.retire(ids[1]); // the closest one
+        let cam = CameraProfile::smartphone();
+        let opts = QueryOptions {
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = rank_candidates(&ids, &s, &cam, &query(), &opts);
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|h| h.id != ids[1]));
+        assert!(hits.iter().all(|h| h.source.provider_id != 1));
     }
 
     #[test]

@@ -1,43 +1,93 @@
-//! The concurrent cloud server.
+//! The concurrent cloud server: epoch/snapshot reads.
 //!
-//! Wraps the store and index behind a `parking_lot::RwLock`: uploads take
-//! the write lock briefly, queries run concurrently under the read lock.
-//! Query latency and counts are tracked with atomics so statistics never
-//! contend with the data path.
+//! Queries never hold a lock while they work: the server publishes an
+//! immutable **epoch** — an `Arc` to a `(store, index)` snapshot plus a
+//! small delta of records ingested since that snapshot — and a query
+//! clones that `Arc` in a tiny read-side critical section, then scans and
+//! ranks entirely lock-free. Writers append into the delta under a short
+//! write lock; every write republishes the epoch (so reads are
+//! read-your-writes fresh), and once the delta reaches
+//! [`ServerConfig::publish_threshold`] records the writer folds it into a
+//! new snapshot, STR-bulk-rebuilding only the time shards the batch
+//! touched ([`ShardedFovIndex::bulk_insert`]). Retention
+//! ([`ServerConfig::retention_horizon_s`]) expires old shards at publish
+//! time and retires the dropped segments from the store, which compacts
+//! once enough of it is tombstones.
 //!
 //! Observability is opt-in: [`CloudServer::attach_observability`] wires
-//! the query path to `swag-obs` histograms (lock wait vs. index scan vs.
-//! ranking split, candidate counts, R-tree traversal work) and a sampled
-//! per-query [`Trace`]. Without it, the only cost the query path pays is
-//! one branch on an `Option`. Time comes from an injectable
+//! the query path to `swag-obs` histograms (epoch acquire vs. index scan
+//! vs. ranking split, candidate counts, R-tree traversal work), the
+//! publish path to snapshot age / rebuild cost / delta size metrics, and
+//! a sampled per-query [`Trace`]. Without it, the only cost the query
+//! path pays is one branch on an `Option`. Time comes from an injectable
 //! [`MonotonicClock`] so latency accounting is exactly testable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use swag_core::{CameraProfile, RepFov, UploadBatch};
 use swag_obs::{Counter, Histogram, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
 use swag_rtree::SearchStats;
 
-use crate::index::{FovIndex, IndexKind};
-use crate::query::{Query, QueryOptions};
-use crate::ranking::{rank_candidates, SearchHit};
-use crate::store::{SegmentId, SegmentRef, SegmentStore};
+use crate::index::{fov_box, query_boxes, IndexKind};
+use crate::query::{Query, QueryOptions, RankMode};
+use crate::ranking::{collect_hits, finalize_hits, hit_for, keep, SearchHit};
+use crate::shard::ShardedFovIndex;
+use crate::store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
 use crate::subscribe::{SubscriptionId, SubscriptionSet};
+
+/// Tuning knobs for the snapshot-publishing server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Index backend used inside each time shard.
+    pub index: IndexKind,
+    /// Width of each time shard, seconds.
+    pub shard_width_s: f64,
+    /// Delta size that triggers folding the delta into a new snapshot.
+    pub publish_threshold: usize,
+    /// Retention horizon: at every snapshot publish, shards older than
+    /// `latest t_end − horizon` are expired and fully-expired segments
+    /// retired from the store. `None` keeps everything forever.
+    pub retention_horizon_s: Option<f64>,
+    /// Fraction of the store that may be tombstones before a publish
+    /// compacts it (re-assigning ids densely and rebuilding the index).
+    pub compact_dead_fraction: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            index: IndexKind::RTree,
+            shard_width_s: 600.0,
+            publish_threshold: 256,
+            retention_horizon_s: None,
+            compact_dead_fraction: 0.25,
+        }
+    }
+}
+
+/// Don't bother compacting stores with fewer tombstones than this.
+const COMPACT_DEAD_FLOOR: usize = 32;
 
 /// Aggregated server statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Stored segments.
+    /// Stored segments (live snapshot records plus the pending delta).
     pub segments: usize,
+    /// Store slots allocated, tombstones included (shrinks on compaction).
+    pub store_slots: usize,
+    /// Live time shards in the published snapshot.
+    pub shards: usize,
+    /// Records waiting in the delta for the next snapshot publish.
+    pub pending_delta: usize,
     /// Upload batches ingested.
     pub batches: u64,
     /// Queries answered.
     pub queries: u64,
     /// Total time spent answering queries, microseconds.
     pub query_micros_total: u64,
-    /// Time queries spent acquiring the read lock (empty unless
+    /// Time queries spent acquiring the epoch (empty unless
     /// observability is attached).
     pub lock_wait_micros: HistogramSnapshot,
     /// Time queries spent scanning the spatio-temporal index.
@@ -59,10 +109,47 @@ impl ServerStats {
     }
 }
 
-struct State {
+/// An immutable published `(store, index)` snapshot.
+struct SnapshotCore {
     store: SegmentStore,
-    index: FovIndex,
+    index: ShardedFovIndex,
+    published_at_micros: u64,
+}
+
+/// One pending record plus its pre-computed index box, so the per-query
+/// delta scan is a pure `Aabb` intersection test.
+#[derive(Debug, Clone, Copy)]
+struct DeltaRecord {
+    rec: SegmentRecord,
+    bbox: swag_rtree::Aabb<3>,
+}
+
+/// What queries see: one `Arc` clone of this answers a whole query.
+/// `delta` holds records ingested since `core` was published, as a list
+/// of frozen per-ingest slices — republishing after a write bumps one
+/// refcount per slice instead of copying every pending record. Queries
+/// scan it linearly (it is bounded by the publish threshold).
+struct Epoch {
+    core: Arc<SnapshotCore>,
+    delta: Arc<[Arc<[DeltaRecord]>]>,
+    delta_len: usize,
+}
+
+impl Epoch {
+    fn delta_records(&self) -> impl Iterator<Item = &DeltaRecord> {
+        self.delta.iter().flat_map(|batch| batch.iter())
+    }
+}
+
+/// Writer-side state, guarded by one mutex. `core` mirrors the epoch's
+/// core; store/index clones taken from it are copy-on-write cheap.
+struct Writer {
+    core: Arc<SnapshotCore>,
+    delta: Vec<Arc<[DeltaRecord]>>,
+    delta_len: usize,
     subscriptions: SubscriptionSet,
+    /// Latest `t_end` ever ingested — the retention clock.
+    max_t_end: f64,
 }
 
 /// Metric handles for an instrumented server. Handles are resolved once
@@ -78,6 +165,11 @@ struct ServerObs {
     ingest: Arc<Histogram>,
     segments: Arc<Counter>,
     nearest_rounds: Arc<Counter>,
+    publishes: Arc<Counter>,
+    snapshot_age: Arc<Histogram>,
+    rebuild_micros: Arc<Histogram>,
+    delta_size: Arc<Histogram>,
+    retention_dropped: Arc<Counter>,
     trace: Trace,
 }
 
@@ -94,6 +186,11 @@ impl ServerObs {
             ingest: registry.histogram("swag_server_ingest_micros"),
             segments: registry.counter("swag_server_segments_ingested_total"),
             nearest_rounds: registry.counter("swag_server_nearest_rounds_total"),
+            publishes: registry.counter("swag_server_publishes_total"),
+            snapshot_age: registry.histogram("swag_server_snapshot_age_micros"),
+            rebuild_micros: registry.histogram("swag_server_snapshot_rebuild_micros"),
+            delta_size: registry.histogram("swag_server_snapshot_delta_size"),
+            retention_dropped: registry.counter("swag_server_retention_dropped_total"),
             trace: Trace::new(256),
         }
     }
@@ -121,7 +218,11 @@ impl ServerObs {
 /// assert_eq!(hits[0].source.provider_id, 7);
 /// ```
 pub struct CloudServer {
-    state: RwLock<State>,
+    /// Readers clone the `Arc` under a momentary read lock; the lock is
+    /// never held while scanning or ranking.
+    epoch: RwLock<Arc<Epoch>>,
+    writer: Mutex<Writer>,
+    config: ServerConfig,
     cam: CameraProfile,
     clock: Arc<dyn MonotonicClock>,
     obs: Option<ServerObs>,
@@ -146,23 +247,63 @@ impl CloudServer {
     /// Creates a server using an R-tree index and the given camera profile
     /// for ranking geometry.
     pub fn new(cam: CameraProfile) -> Self {
-        Self::with_index(cam, IndexKind::RTree)
+        Self::with_config(cam, ServerConfig::default())
     }
 
     /// Creates a server with a chosen index backend.
     pub fn with_index(cam: CameraProfile, kind: IndexKind) -> Self {
-        Self::with_clock(cam, kind, Arc::new(WallClock))
+        Self::with_config(
+            cam,
+            ServerConfig {
+                index: kind,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Creates a server with explicit snapshot/retention tuning.
+    pub fn with_config(cam: CameraProfile, config: ServerConfig) -> Self {
+        Self::with_config_and_clock(cam, config, Arc::new(WallClock))
     }
 
     /// Creates a server reading time from an injected clock. Tests pass a
     /// deterministic clock and assert exact latency accounting.
     pub fn with_clock(cam: CameraProfile, kind: IndexKind, clock: Arc<dyn MonotonicClock>) -> Self {
+        Self::with_config_and_clock(
+            cam,
+            ServerConfig {
+                index: kind,
+                ..ServerConfig::default()
+            },
+            clock,
+        )
+    }
+
+    /// [`Self::with_config`] with an injected clock.
+    pub fn with_config_and_clock(
+        cam: CameraProfile,
+        config: ServerConfig,
+        clock: Arc<dyn MonotonicClock>,
+    ) -> Self {
+        let core = Arc::new(SnapshotCore {
+            store: SegmentStore::new(),
+            index: ShardedFovIndex::new(config.shard_width_s, config.index),
+            published_at_micros: clock.now_micros(),
+        });
         CloudServer {
-            state: RwLock::new(State {
-                store: SegmentStore::new(),
-                index: FovIndex::new(kind),
+            epoch: RwLock::new(Arc::new(Epoch {
+                core: core.clone(),
+                delta: Arc::from(Vec::new()),
+                delta_len: 0,
+            })),
+            writer: Mutex::new(Writer {
+                core,
+                delta: Vec::new(),
+                delta_len: 0,
                 subscriptions: SubscriptionSet::new(),
+                max_t_end: f64::NEG_INFINITY,
             }),
+            config,
             cam,
             clock,
             obs: None,
@@ -172,11 +313,31 @@ impl CloudServer {
         }
     }
 
-    /// Wires this server's ingest and query paths to `registry` (metric
-    /// names `swag_server_*`). Call before sharing the server across
-    /// threads; until called, instrumentation costs one branch per query.
+    /// Wires this server's ingest, query, and publish paths to `registry`
+    /// (metric names `swag_server_*`, shard fan-out under `swag_shard_*`).
+    /// Call before sharing the server across threads; until called,
+    /// instrumentation costs one branch per query.
     pub fn attach_observability(&mut self, registry: &Registry) {
         self.obs = Some(ServerObs::from_registry(registry));
+        // Re-publish the core with shard metrics attached so fan-out is
+        // recorded from the next query on.
+        let mut w = self.writer.lock();
+        let mut index = w.core.index.clone();
+        index.attach_observability(registry);
+        let core = Arc::new(SnapshotCore {
+            store: w.core.store.clone(),
+            index,
+            published_at_micros: w.core.published_at_micros,
+        });
+        w.core = core.clone();
+        let delta = Arc::from(w.delta.as_slice());
+        let delta_len = w.delta_len;
+        drop(w);
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta,
+            delta_len,
+        });
     }
 
     /// The sampled per-query trace ring, present once observability is
@@ -190,6 +351,123 @@ impl CloudServer {
         &self.cam
     }
 
+    /// The active snapshot/retention configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Builds the next pending record (assigning the next dense id),
+    /// pre-computes its index box, and offers it to standing queries.
+    /// The caller freezes the returned records into one delta slice.
+    fn stage(&self, w: &mut Writer, rep: RepFov, source: SegmentRef) -> DeltaRecord {
+        let next = w.core.store.total() + w.delta_len;
+        let id = SegmentId(u32::try_from(next).expect("store capacity exceeded"));
+        w.delta_len += 1;
+        w.max_t_end = w.max_t_end.max(rep.t_end);
+        w.subscriptions.offer(&rep, id, source, &self.cam);
+        DeltaRecord {
+            rec: SegmentRecord { id, rep, source },
+            bbox: fov_box(&rep),
+        }
+    }
+
+    /// Publishes the current writer state: folds the delta into a new
+    /// snapshot once it is large enough, otherwise republishes the same
+    /// core with the updated delta (read-your-writes).
+    fn publish(&self, w: &mut Writer) {
+        if w.delta_len >= self.config.publish_threshold {
+            self.publish_full(w, None);
+        } else {
+            let epoch = Arc::new(Epoch {
+                core: w.core.clone(),
+                delta: Arc::from(w.delta.as_slice()),
+                delta_len: w.delta_len,
+            });
+            *self.epoch.write() = epoch;
+        }
+    }
+
+    /// Folds the delta into a fresh snapshot: appends to the (COW) store,
+    /// STR-rebuilds the touched shards, applies retention and compaction,
+    /// and publishes the result. Returns how many segments retention
+    /// dropped.
+    fn publish_full(&self, w: &mut Writer, extra_horizon: Option<f64>) -> usize {
+        let t0 = self.clock.now_micros();
+        let delta_len = w.delta_len;
+        let prev_published = w.core.published_at_micros;
+
+        let mut store = w.core.store.clone();
+        let mut index = w.core.index.clone();
+        let mut staged: Vec<(RepFov, SegmentId)> = Vec::with_capacity(delta_len);
+        for batch in w.delta.drain(..) {
+            for d in batch.iter() {
+                let id = store.push(d.rec.rep, d.rec.source);
+                debug_assert_eq!(id, d.rec.id, "delta ids must stay dense");
+                staged.push((d.rec.rep, id));
+            }
+        }
+        w.delta_len = 0;
+        index.bulk_insert(&staged);
+
+        // Retention: expire shards past the horizon, retire the segments
+        // that no longer exist in any shard.
+        let mut horizon = extra_horizon;
+        if let Some(h) = self.config.retention_horizon_s {
+            let auto = w.max_t_end - h;
+            if auto.is_finite() {
+                horizon = Some(horizon.map_or(auto, |e| e.max(auto)));
+            }
+        }
+        let mut dropped = 0usize;
+        if let Some(h) = horizon {
+            let report = index.expire_before(h);
+            for id in &report.segments_dropped {
+                if store.retire(*id) {
+                    dropped += 1;
+                }
+            }
+        }
+
+        // Compaction: once enough of the store is tombstones, re-pack the
+        // live records densely and rebuild the index. Ids are
+        // server-internal; external references use `SegmentRef`.
+        if store.dead() >= COMPACT_DEAD_FLOOR
+            && store.dead() as f64 > self.config.compact_dead_fraction * store.total() as f64
+        {
+            let mut fresh = SegmentStore::new();
+            let mut items = Vec::with_capacity(store.len());
+            for rec in store.iter() {
+                let id = fresh.push(rec.rep, rec.source);
+                items.push((rec.rep, id));
+            }
+            let mut rebuilt = index.fresh_like();
+            rebuilt.bulk_insert(&items);
+            store = fresh;
+            index = rebuilt;
+        }
+
+        let now = self.clock.now_micros();
+        let core = Arc::new(SnapshotCore {
+            store,
+            index,
+            published_at_micros: now,
+        });
+        w.core = core.clone();
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta: Arc::from(Vec::new()),
+            delta_len: 0,
+        });
+        if let Some(obs) = &self.obs {
+            obs.publishes.inc();
+            obs.rebuild_micros.record(now.saturating_sub(t0));
+            obs.snapshot_age.record(now.saturating_sub(prev_published));
+            obs.delta_size.record(delta_len as u64);
+            obs.retention_dropped.add(dropped as u64);
+        }
+        dropped
+    }
+
     /// Ingests one upload batch, returning the assigned segment ids.
     pub fn ingest_batch(&self, batch: &UploadBatch) -> Vec<SegmentId> {
         let t0 = if self.obs.is_some() {
@@ -197,7 +475,8 @@ impl CloudServer {
         } else {
             0
         };
-        let mut state = self.state.write();
+        let mut w = self.writer.lock();
+        let mut staged = Vec::with_capacity(batch.reps.len());
         let ids = batch
             .reps
             .iter()
@@ -208,13 +487,17 @@ impl CloudServer {
                     video_id: batch.video_id,
                     segment_idx: i as u32,
                 };
-                let id = state.store.push(*rep, source);
-                state.index.insert(rep, id);
-                state.subscriptions.offer(rep, id, source, &self.cam);
+                let d = self.stage(&mut w, *rep, source);
+                let id = d.rec.id;
+                staged.push(d);
                 id
             })
             .collect();
-        drop(state);
+        if !staged.is_empty() {
+            w.delta.push(Arc::from(staged));
+        }
+        self.publish(&mut w);
+        drop(w);
         self.batches.fetch_add(1, Ordering::Relaxed);
         if let Some(obs) = &self.obs {
             obs.segments.add(batch.reps.len() as u64);
@@ -225,11 +508,12 @@ impl CloudServer {
 
     /// Ingests a single representative FoV.
     pub fn ingest_one(&self, rep: RepFov, source: SegmentRef) -> SegmentId {
-        let mut state = self.state.write();
-        let id = state.store.push(rep, source);
-        state.index.insert(&rep, id);
-        state.subscriptions.offer(&rep, id, source, &self.cam);
-        drop(state);
+        let mut w = self.writer.lock();
+        let d = self.stage(&mut w, rep, source);
+        let id = d.rec.id;
+        w.delta.push(Arc::from(vec![d]));
+        self.publish(&mut w);
+        drop(w);
         if let Some(obs) = &self.obs {
             obs.segments.inc();
         }
@@ -239,28 +523,46 @@ impl CloudServer {
     /// Registers a standing query: every matching segment ingested from
     /// now on is queued until [`Self::poll_subscription`].
     pub fn subscribe(&self, query: Query, opts: QueryOptions) -> SubscriptionId {
-        self.state.write().subscriptions.subscribe(query, opts)
+        self.writer.lock().subscriptions.subscribe(query, opts)
     }
 
     /// Cancels a standing query.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        self.state.write().subscriptions.unsubscribe(id)
+        self.writer.lock().subscriptions.unsubscribe(id)
     }
 
     /// Drains a standing query's accumulated matches (arrival order).
     pub fn poll_subscription(&self, id: SubscriptionId) -> Vec<SearchHit> {
-        self.state.write().subscriptions.poll(id)
+        self.writer.lock().subscriptions.poll(id)
     }
 
-    /// Answers a query with the paper's rank-based retrieval.
+    /// Answers a query over one epoch: candidates from the snapshot index,
+    /// plus a linear scan of the (bounded) delta, ranked together.
+    fn query_epoch(&self, epoch: &Epoch, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
+        let candidates = epoch.core.index.candidates(query);
+        let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
+        if epoch.delta_len > 0 {
+            let boxes = query_boxes(query);
+            for d in epoch.delta_records() {
+                if boxes.intersects(&d.bbox) && keep(&d.rec, &self.cam, query, opts) {
+                    hits.push(hit_for(&d.rec, &self.cam, query));
+                }
+            }
+        }
+        finalize_hits(&mut hits, opts);
+        hits
+    }
+
+    /// Answers a query with the paper's rank-based retrieval. Lock-free
+    /// after the initial epoch acquisition: the snapshot `Arc` is cloned
+    /// in a momentary read-side critical section and scanning + ranking
+    /// run against immutable data.
     pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
         match &self.obs {
             None => {
                 let t0 = self.clock.now_micros();
-                let state = self.state.read();
-                let candidates = state.index.candidates(query);
-                let hits = rank_candidates(&candidates, &state.store, &self.cam, query, opts);
-                drop(state);
+                let epoch = self.epoch.read().clone();
+                let hits = self.query_epoch(&epoch, query, opts);
                 self.queries.fetch_add(1, Ordering::Relaxed);
                 self.query_micros
                     .fetch_add(self.clock.now_micros() - t0, Ordering::Relaxed);
@@ -268,13 +570,32 @@ impl CloudServer {
             }
             Some(obs) => {
                 let t0 = self.clock.now_micros();
-                let state = self.state.read();
+                let epoch = self.epoch.read().clone();
                 let t_locked = self.clock.now_micros();
                 let mut search = SearchStats::default();
-                let candidates = state.index.candidates_with_stats(query, &mut search);
+                let candidates = epoch.core.index.candidates_with_stats(query, &mut search);
+                let boxes = query_boxes(query);
+                let delta_matches: Vec<&DeltaRecord> = epoch
+                    .delta_records()
+                    .filter(|d| boxes.intersects(&d.bbox))
+                    .collect();
+                if epoch.delta_len > 0 {
+                    // The delta scan is one flat "leaf" over pending records.
+                    search.nodes_visited += 1;
+                    search.leaves_scanned += 1;
+                    search.items_tested += epoch.delta_len as u64;
+                    search.items_matched += delta_matches.len() as u64;
+                }
+                let n_candidates = candidates.len() + delta_matches.len();
                 let t_scanned = self.clock.now_micros();
-                let hits = rank_candidates(&candidates, &state.store, &self.cam, query, opts);
-                drop(state);
+                let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
+                hits.extend(
+                    delta_matches
+                        .into_iter()
+                        .filter(|d| keep(&d.rec, &self.cam, query, opts))
+                        .map(|d| hit_for(&d.rec, &self.cam, query)),
+                );
+                finalize_hits(&mut hits, opts);
                 let t_done = self.clock.now_micros();
 
                 self.queries.fetch_add(1, Ordering::Relaxed);
@@ -283,12 +604,11 @@ impl CloudServer {
                 obs.index_scan.record(t_scanned - t_locked);
                 obs.ranking.record(t_done - t_scanned);
                 obs.query_total.record(t_done - t0);
-                obs.candidates.record(candidates.len() as u64);
+                obs.candidates.record(n_candidates as u64);
                 obs.index_nodes.record(search.nodes_visited);
                 obs.index_leaves.record(search.leaves_scanned);
                 if obs.trace.try_sample() {
-                    obs.trace
-                        .record("query", t_done - t0, candidates.len() as u64);
+                    obs.trace.record("query", t_done - t0, n_candidates as u64);
                 }
                 hits
             }
@@ -304,6 +624,14 @@ impl CloudServer {
     /// expanding-radius search over the spatio-temporal index: the radius
     /// doubles until `k` filtered hits are found or the search has covered
     /// `max_radius_m`.
+    ///
+    /// Early exit at `k` hits is only sound when the ranking key grows
+    /// with distance. Under [`RankMode::Distance`] it does; under
+    /// [`RankMode::Quality`] a higher-quality segment can sit outside the
+    /// current ring, so the search keeps expanding until the radius
+    /// covers the camera's viewing range (beyond which the quality
+    /// proximity term is zero, so nothing unexplored can outrank a found
+    /// hit) or `max_radius_m`, whichever is smaller.
     pub fn query_nearest(
         &self,
         t_start: f64,
@@ -316,6 +644,12 @@ impl CloudServer {
         if k == 0 {
             return Vec::new();
         }
+        // Below this radius, unexplored segments may still outrank found
+        // ones, so k hits are not enough to stop.
+        let settle_radius_m = match opts.rank {
+            RankMode::Distance => 0.0,
+            RankMode::Quality => self.cam.view_radius_m.min(max_radius_m),
+        };
         let mut radius = 50.0_f64.min(max_radius_m);
         loop {
             if let Some(obs) = &self.obs {
@@ -327,11 +661,7 @@ impl CloudServer {
                 ..*opts
             };
             let hits = self.query(&q, &wide);
-            // Hits beyond the *previous* radius could be shadowed by
-            // unexplored ring candidates only if ranking were non-metric;
-            // distance ranking makes the first k stable once k hits fall
-            // inside the current radius.
-            if hits.len() >= k || radius >= max_radius_m {
+            if (hits.len() >= k && radius >= settle_radius_m) || radius >= max_radius_m {
                 let mut hits = hits;
                 hits.truncate(k);
                 return hits;
@@ -342,26 +672,64 @@ impl CloudServer {
 
     /// Retracts every segment a provider contributed (the §I privacy
     /// concern: contributors stay in control of their descriptors).
-    /// Returns how many segments were removed.
+    /// Returns how many segments were removed. The retraction publishes a
+    /// fresh snapshot immediately — it does not wait for the next
+    /// threshold-driven publish.
     pub fn retract_provider(&self, provider_id: u64) -> usize {
-        let mut state = self.state.write();
-        let victims: Vec<(RepFov, SegmentId)> = state
+        let mut w = self.writer.lock();
+        // Fold pending records into the core first: retraction then only
+        // has to retire published records, and delta ids stay dense.
+        if w.delta_len > 0 {
+            self.publish_full(&mut w, None);
+        }
+
+        let victims: Vec<(RepFov, SegmentId)> = w
+            .core
             .store
             .iter()
             .filter(|rec| rec.source.provider_id == provider_id)
             .map(|rec| (rec.rep, rec.id))
             .collect();
-        for (rep, id) in &victims {
-            let removed = state.index.remove(rep, *id);
-            debug_assert!(removed, "index and store disagreed on {id:?}");
-            state.store.retire(*id);
+        let removed = victims.len();
+        if !victims.is_empty() {
+            let mut store = w.core.store.clone();
+            let mut index = w.core.index.clone();
+            for (rep, id) in &victims {
+                let unindexed = index.remove(rep, *id);
+                debug_assert!(unindexed, "index and store disagreed on {id:?}");
+                store.retire(*id);
+            }
+            let core = Arc::new(SnapshotCore {
+                store,
+                index,
+                published_at_micros: w.core.published_at_micros,
+            });
+            w.core = core.clone();
+            *self.epoch.write() = Arc::new(Epoch {
+                core,
+                delta: Arc::from(Vec::new()),
+                delta_len: 0,
+            });
+            if let Some(obs) = &self.obs {
+                obs.publishes.inc();
+            }
         }
-        victims.len()
+        removed
+    }
+
+    /// Expires everything older than `horizon_s` (paper-time seconds):
+    /// drops index shards ending at or before the horizon and retires
+    /// fully-expired segments from the store (pruning it once compaction
+    /// kicks in). Publishes the shrunken snapshot immediately and returns
+    /// how many segments were dropped.
+    pub fn expire_before(&self, horizon_s: f64) -> usize {
+        let mut w = self.writer.lock();
+        self.publish_full(&mut w, Some(horizon_s))
     }
 
     /// Answers many queries concurrently using `threads` worker threads
-    /// (crossbeam scoped threads under the shared read lock). Result order
-    /// matches the input order.
+    /// (crossbeam scoped threads; each worker clones the epoch per query).
+    /// Result order matches the input order.
     pub fn query_batch(
         &self,
         queries: &[Query],
@@ -384,33 +752,53 @@ impl CloudServer {
         results
     }
 
-    /// Exports every stored record (for snapshotting; see
-    /// [`crate::persistence`]).
+    /// Exports every stored record, pending delta included (for
+    /// snapshotting; see [`crate::persistence`]).
     pub fn export_records(&self) -> Vec<crate::store::SegmentRecord> {
-        self.state.read().store.iter().copied().collect()
+        let epoch = self.epoch.read().clone();
+        let mut out: Vec<SegmentRecord> = epoch.core.store.iter().copied().collect();
+        out.extend(epoch.delta_records().map(|d| d.rec));
+        out
     }
 
-    /// Rebuilds a server from records, STR-bulk-loading the R-tree index.
+    /// Rebuilds a server from records, STR-bulk-loading the sharded index.
     pub fn from_records(cam: CameraProfile, records: Vec<(RepFov, SegmentRef)>) -> Self {
-        let mut store = SegmentStore::new();
-        let mut items = Vec::with_capacity(records.len());
-        for (rep, source) in records {
-            let id = store.push(rep, source);
-            items.push((rep, id));
-        }
-        CloudServer {
-            state: RwLock::new(State {
+        Self::from_records_with_config(cam, ServerConfig::default(), records)
+    }
+
+    /// [`Self::from_records`] with explicit snapshot/retention tuning.
+    pub fn from_records_with_config(
+        cam: CameraProfile,
+        config: ServerConfig,
+        records: Vec<(RepFov, SegmentRef)>,
+    ) -> Self {
+        let server = Self::with_config(cam, config);
+        {
+            let mut w = server.writer.lock();
+            let mut store = SegmentStore::new();
+            let mut items = Vec::with_capacity(records.len());
+            let mut max_t_end = f64::NEG_INFINITY;
+            for (rep, source) in records {
+                let id = store.push(rep, source);
+                items.push((rep, id));
+                max_t_end = max_t_end.max(rep.t_end);
+            }
+            let mut index = ShardedFovIndex::new(server.config.shard_width_s, server.config.index);
+            index.bulk_insert(&items);
+            let core = Arc::new(SnapshotCore {
                 store,
-                index: FovIndex::bulk_load(items),
-                subscriptions: SubscriptionSet::new(),
-            }),
-            cam,
-            clock: Arc::new(WallClock),
-            obs: None,
-            batches: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            query_micros: AtomicU64::new(0),
+                index,
+                published_at_micros: server.clock.now_micros(),
+            });
+            w.core = core.clone();
+            w.max_t_end = max_t_end;
+            *server.epoch.write() = Arc::new(Epoch {
+                core,
+                delta: Arc::from(Vec::new()),
+                delta_len: 0,
+            });
         }
+        server
     }
 
     /// Current statistics snapshot. Phase histograms are empty unless
@@ -423,10 +811,19 @@ impl CloudServer {
                 o.ranking.snapshot(),
                 o.query_total.snapshot(),
             ),
-            None => Default::default(),
+            None => (
+                HistogramSnapshot::empty(),
+                HistogramSnapshot::empty(),
+                HistogramSnapshot::empty(),
+                HistogramSnapshot::empty(),
+            ),
         };
+        let epoch = self.epoch.read().clone();
         ServerStats {
-            segments: self.state.read().store.len(),
+            segments: epoch.core.store.len() + epoch.delta_len,
+            store_slots: epoch.core.store.total() + epoch.delta_len,
+            shards: epoch.core.index.shard_count(),
+            pending_delta: epoch.delta_len,
             batches: self.batches.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             query_micros_total: self.query_micros.load(Ordering::Relaxed),
@@ -577,13 +974,48 @@ mod tests {
     }
 
     #[test]
+    fn retraction_removes_published_and_pending_records() {
+        // Threshold 10: the first batch publishes into the sharded
+        // snapshot, the next two stay pending in the delta. Retraction
+        // must reach both places.
+        let server = CloudServer::with_config(
+            CameraProfile::smartphone(),
+            ServerConfig {
+                publish_threshold: 10,
+                ..ServerConfig::default()
+            },
+        );
+        server.ingest_batch(&batch(1, 10)); // published (threshold hit)
+        server.ingest_batch(&batch(1, 3)); // pending
+        server.ingest_batch(&batch(2, 3)); // pending
+        assert_eq!(server.stats().pending_delta, 6);
+        assert!(server.stats().shards > 0);
+
+        assert_eq!(server.retract_provider(1), 13);
+        let stats = server.stats();
+        assert_eq!(stats.segments, 3);
+        // Retraction folds the delta into the core before retiring, so
+        // nothing stays pending afterwards.
+        assert_eq!(stats.pending_delta, 0);
+        let q = Query::new(0.0, 1000.0, center(), 500.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query(&q, &opts);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.source.provider_id == 2));
+    }
+
+    #[test]
     fn retraction_survives_snapshots() {
         let server = CloudServer::new(CameraProfile::smartphone());
         server.ingest_batch(&batch(1, 4));
         server.ingest_batch(&batch(2, 4));
         server.retract_provider(1);
         let restored = crate::persistence::load_snapshot(
-            crate::persistence::save_snapshot(&server),
+            crate::persistence::save_snapshot(&server).unwrap(),
             CameraProfile::smartphone(),
         )
         .unwrap();
@@ -598,6 +1030,117 @@ mod tests {
             .query(&q, &opts)
             .iter()
             .all(|h| h.source.provider_id == 2));
+    }
+
+    #[test]
+    fn publish_threshold_folds_delta_into_snapshot() {
+        let server = CloudServer::with_config(
+            CameraProfile::smartphone(),
+            ServerConfig {
+                publish_threshold: 4,
+                ..ServerConfig::default()
+            },
+        );
+        server.ingest_batch(&batch(1, 3));
+        let stats = server.stats();
+        // Below the threshold everything is still pending, yet visible.
+        assert_eq!((stats.pending_delta, stats.shards), (3, 0));
+        let q = Query::new(0.0, 1000.0, center(), 500.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        assert_eq!(server.query(&q, &opts).len(), 3);
+
+        server.ingest_batch(&batch(2, 2)); // 5 >= 4: snapshot published
+        let stats = server.stats();
+        assert_eq!(stats.pending_delta, 0);
+        assert!(stats.shards > 0);
+        assert_eq!(stats.segments, 5);
+        assert_eq!(server.query(&q, &opts).len(), 5);
+    }
+
+    #[test]
+    fn retention_horizon_expires_old_segments_at_publish() {
+        let server = CloudServer::with_config(
+            CameraProfile::smartphone(),
+            ServerConfig {
+                shard_width_s: 50.0,
+                publish_threshold: 1, // publish on every ingest
+                retention_horizon_s: Some(100.0),
+                ..ServerConfig::default()
+            },
+        );
+        let src = |p| SegmentRef {
+            provider_id: p,
+            video_id: 0,
+            segment_idx: 0,
+        };
+        let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+        server.ingest_one(RepFov::new(0.0, 10.0, fov), src(1));
+        assert_eq!(server.stats().segments, 1);
+        // The second ingest moves the retention clock to t=510; the first
+        // segment's shard now sits past the 100 s horizon and is dropped.
+        server.ingest_one(RepFov::new(500.0, 510.0, fov), src(2));
+        let stats = server.stats();
+        assert_eq!(stats.segments, 1);
+        let q = Query::new(0.0, 1000.0, center(), 500.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query(&q, &opts);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].source.provider_id, 2);
+    }
+
+    #[test]
+    fn explicit_expiry_prunes_and_compacts_the_store() {
+        let server = CloudServer::new(CameraProfile::smartphone());
+        let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+        // 40 old segments (bucket 0 at the default 600 s width), 10 recent.
+        for i in 0..40u64 {
+            server.ingest_one(
+                RepFov::new(i as f64, i as f64 + 5.0, fov),
+                SegmentRef {
+                    provider_id: 1,
+                    video_id: 0,
+                    segment_idx: i as u32,
+                },
+            );
+        }
+        for i in 0..10u64 {
+            server.ingest_one(
+                RepFov::new(1000.0 + i as f64, 1005.0 + i as f64, fov),
+                SegmentRef {
+                    provider_id: 2,
+                    video_id: 0,
+                    segment_idx: i as u32,
+                },
+            );
+        }
+        assert_eq!(server.stats().segments, 50);
+
+        let dropped = server.expire_before(600.0);
+        assert_eq!(dropped, 40);
+        let stats = server.stats();
+        assert_eq!(stats.segments, 10);
+        // 40 tombstones out of 50 slots crosses the compaction threshold:
+        // the store is re-packed densely.
+        assert_eq!(stats.store_slots, 10);
+        let q = Query::new(0.0, 2000.0, center(), 500.0);
+        let opts = QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query(&q, &opts);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|h| h.source.provider_id == 2));
+        // Expiring again finds nothing new.
+        assert_eq!(server.expire_before(600.0), 0);
     }
 
     #[test]
@@ -686,6 +1229,54 @@ mod tests {
     }
 
     #[test]
+    fn quality_nearest_keeps_expanding_past_early_hits() {
+        // Regression: the k-hit early exit is only sound under Distance
+        // ranking. Under Quality, a far-but-dead-on segment outranks a
+        // near-but-askew one, so stopping at the first ring that yields k
+        // hits returns the wrong segment.
+        let server = CloudServer::new(CameraProfile::smartphone());
+        // 20 m south but pointing 20 degrees off the scene: quality
+        // 0.8 (proximity) x 0.2 (alignment) = 0.16.
+        server.ingest_one(
+            RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 20.0), 20.0)),
+            SegmentRef {
+                provider_id: 1,
+                video_id: 0,
+                segment_idx: 0,
+            },
+        );
+        // 80 m south, dead-on: quality 0.2 x 1.0 = 0.2. Outside the
+        // initial 50 m ring, so a premature exit never sees it.
+        server.ingest_one(
+            RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 80.0), 0.0)),
+            SegmentRef {
+                provider_id: 2,
+                video_id: 0,
+                segment_idx: 0,
+            },
+        );
+        let opts = QueryOptions {
+            rank: RankMode::Quality,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query_nearest(0.0, 10.0, center(), 1, &opts, 200.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].source.provider_id, 2,
+            "quality ranking must surface the dead-on segment beyond the first ring"
+        );
+        // Distance mode still prefers the nearer segment.
+        let opts = QueryOptions {
+            rank: RankMode::Distance,
+            direction_filter: false,
+            ..QueryOptions::default()
+        };
+        let hits = server.query_nearest(0.0, 10.0, center(), 1, &opts, 200.0);
+        assert_eq!(hits[0].source.provider_id, 1);
+    }
+
+    #[test]
     fn injected_clock_makes_latency_accounting_exact() {
         let server = CloudServer::with_clock(
             CameraProfile::smartphone(),
@@ -754,6 +1345,41 @@ mod tests {
                 .sum
                 >= 4
         );
+    }
+
+    #[test]
+    fn publish_metrics_record_snapshot_lifecycle() {
+        let reg = Registry::new();
+        let mut server = CloudServer::with_config(
+            CameraProfile::smartphone(),
+            ServerConfig {
+                publish_threshold: 4,
+                ..ServerConfig::default()
+            },
+        );
+        server.attach_observability(&reg);
+        server.ingest_batch(&batch(1, 3)); // pending only
+        assert_eq!(reg.counter("swag_server_publishes_total").get(), 0);
+        server.ingest_batch(&batch(2, 2)); // 5 >= 4: full publish
+        assert_eq!(reg.counter("swag_server_publishes_total").get(), 1);
+        let delta = reg.histogram("swag_server_snapshot_delta_size").snapshot();
+        assert_eq!((delta.count, delta.sum), (1, 5));
+        assert_eq!(
+            reg.histogram("swag_server_snapshot_rebuild_micros")
+                .snapshot()
+                .count,
+            1
+        );
+        assert_eq!(
+            reg.histogram("swag_server_snapshot_age_micros")
+                .snapshot()
+                .count,
+            1
+        );
+        // Shard fan-out metrics are wired through the published core.
+        let q = Query::new(0.0, 1000.0, center(), 500.0);
+        server.query(&q, &QueryOptions::default());
+        assert_eq!(reg.histogram("swag_shard_fanout").snapshot().count, 1);
     }
 
     #[test]

@@ -10,19 +10,26 @@
 //! queries deduplicate. Expiry is shard-granular: a segment survives
 //! until *every* bucket it touches has expired, so retention is
 //! conservative (never drops data younger than the horizon).
+//!
+//! Shards sit behind `Arc`s so cloning the whole index — which the
+//! snapshot-publishing server does on every epoch — costs one pointer
+//! bump per shard, and publish-time [`ShardedFovIndex::bulk_insert`]
+//! rebuilds only the shards the new batch touches (STR re-pack of old +
+//! new), sharing every untouched shard with the previous snapshot.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use swag_core::RepFov;
 use swag_obs::{Histogram, Registry};
+use swag_rtree::{Aabb, SearchStats};
 
-use crate::index::{FovIndex, IndexKind};
+use crate::index::{fov_box, query_boxes, FovIndex, IndexKind};
 use crate::query::Query;
 use crate::store::SegmentId;
 
 /// Per-query fan-out metrics for a sharded index.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ShardObs {
     /// Shards actually probed per query (buckets with a live shard).
     fanout: Arc<Histogram>,
@@ -30,13 +37,28 @@ struct ShardObs {
     candidates: Arc<Histogram>,
 }
 
+/// What one [`ShardedFovIndex::expire_before`] call removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpireReport {
+    /// Whole shards dropped.
+    pub shards_dropped: usize,
+    /// Segments no longer present in *any* shard — every bucket they
+    /// touched expired. The caller retires these in its segment store.
+    pub segments_dropped: Vec<SegmentId>,
+}
+
 /// A time-sharded spatio-temporal index.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShardedFovIndex {
     shard_width_s: f64,
     kind: IndexKind,
-    shards: BTreeMap<i64, FovIndex>,
-    len: usize,
+    shards: BTreeMap<i64, Arc<FovIndex>>,
+    /// Number of distinct indexed segments. Each id must be indexed at
+    /// most once; the span a segment occupies is recomputed from its
+    /// interval (insert, remove) or its stored box (expiry), so no
+    /// per-segment map has to be deep-copied when the index is cloned
+    /// for a new snapshot.
+    segments: usize,
     obs: Option<ShardObs>,
 }
 
@@ -54,7 +76,7 @@ impl ShardedFovIndex {
             shard_width_s,
             kind,
             shards: BTreeMap::new(),
-            len: 0,
+            segments: 0,
             obs: None,
         }
     }
@@ -67,6 +89,28 @@ impl ShardedFovIndex {
         });
     }
 
+    /// An empty index with the same width, backend, and metric wiring
+    /// (used when the server compacts its store and rebuilds from scratch).
+    pub fn fresh_like(&self) -> Self {
+        ShardedFovIndex {
+            shard_width_s: self.shard_width_s,
+            kind: self.kind,
+            shards: BTreeMap::new(),
+            segments: 0,
+            obs: self.obs.clone(),
+        }
+    }
+
+    /// The configured bucket width in seconds.
+    pub fn shard_width_s(&self) -> f64 {
+        self.shard_width_s
+    }
+
+    /// The index backend used for each shard.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
     fn bucket_of(&self, t: f64) -> i64 {
         (t / self.shard_width_s).floor() as i64
     }
@@ -76,14 +120,15 @@ impl ShardedFovIndex {
         self.bucket_of(t0)..=self.bucket_of(t1)
     }
 
-    /// Number of indexed segments (each counted once).
+    /// Number of indexed segments (each counted once, surviving expiry
+    /// accounting included).
     pub fn len(&self) -> usize {
-        self.len
+        self.segments
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.segments == 0
     }
 
     /// Number of live shards.
@@ -93,27 +138,80 @@ impl ShardedFovIndex {
 
     /// Indexes a representative FoV into every bucket its interval spans.
     pub fn insert(&mut self, rep: &RepFov, id: SegmentId) {
+        self.segments += 1;
         for bucket in self.buckets(rep.t_start, rep.t_end) {
-            self.shards
-                .entry(bucket)
-                .or_insert_with(|| FovIndex::new(self.kind))
-                .insert(rep, id);
+            Arc::make_mut(
+                self.shards
+                    .entry(bucket)
+                    .or_insert_with(|| Arc::new(FovIndex::new(self.kind))),
+            )
+            .insert(rep, id);
         }
-        self.len += 1;
+    }
+
+    /// Removes one indexed segment from every bucket it spans. Returns
+    /// `false` if the id was not indexed (already removed or expired).
+    pub fn remove(&mut self, rep: &RepFov, id: SegmentId) -> bool {
+        let mut removed = false;
+        for bucket in self.buckets(rep.t_start, rep.t_end) {
+            let Some(shard) = self.shards.get_mut(&bucket) else {
+                continue; // bucket already expired
+            };
+            removed |= Arc::make_mut(shard).remove(rep, id);
+            if shard.is_empty() {
+                self.shards.remove(&bucket);
+            }
+        }
+        if removed {
+            self.segments -= 1;
+        }
+        removed
+    }
+
+    /// Bulk-inserts a batch, rebuilding each touched shard once via an STR
+    /// re-pack of its old items plus the new ones (publish path: untouched
+    /// shards keep sharing memory with previous snapshots).
+    pub fn bulk_insert(&mut self, items: &[(RepFov, SegmentId)]) {
+        self.segments += items.len();
+        let mut per_bucket: BTreeMap<i64, Vec<(Aabb<3>, SegmentId)>> = BTreeMap::new();
+        for (rep, id) in items {
+            let b = fov_box(rep);
+            for bucket in self.buckets(rep.t_start, rep.t_end) {
+                per_bucket.entry(bucket).or_default().push((b, *id));
+            }
+        }
+        for (bucket, new_items) in per_bucket {
+            let rebuilt = match self.shards.get(&bucket) {
+                Some(old) => old.bulk_extend(new_items),
+                None => FovIndex::bulk_from_boxes(self.kind, new_items),
+            };
+            self.shards.insert(bucket, Arc::new(rebuilt));
+        }
     }
 
     /// All segment ids intersecting the query, deduplicated across shards.
+    /// Only live shards inside the window are visited (a wide-open time
+    /// range costs the number of shards, not the number of buckets).
     pub fn candidates(&self, q: &Query) -> Vec<SegmentId> {
-        let mut out: Vec<SegmentId> = Vec::new();
-        let mut probed = 0u64;
-        for bucket in self.buckets(q.t_start, q.t_end) {
-            if let Some(shard) = self.shards.get(&bucket) {
-                probed += 1;
-                out.extend(shard.candidates(q));
-            }
+        let boxes = query_boxes(q);
+        let mut range = self.shards.range(self.buckets(q.t_start, q.t_end));
+        // The first (usually only) probed shard's result vector is
+        // returned as-is instead of being copied into an accumulator.
+        let (mut out, mut probed) = match range.next() {
+            None => (Vec::new(), 0u64),
+            Some((_, shard)) => (shard.candidates_in(&boxes), 1u64),
+        };
+        for (_, shard) in range {
+            probed += 1;
+            out.extend(shard.candidates_in(&boxes));
         }
-        out.sort_unstable();
-        out.dedup();
+        // A segment appears at most once per shard, so a single-shard
+        // probe (the common case for windows under the shard width)
+        // needs no dedup pass.
+        if probed > 1 {
+            out.sort_unstable();
+            out.dedup();
+        }
         if let Some(obs) = &self.obs {
             obs.fanout.record(probed);
             obs.candidates.record(out.len() as u64);
@@ -121,19 +219,57 @@ impl ShardedFovIndex {
         out
     }
 
-    /// Drops every shard that ends at or before `horizon_s`. Returns the
-    /// number of shards removed. Segments spanning the horizon survive in
-    /// their later buckets (conservative retention).
-    pub fn expire_before(&mut self, horizon_s: f64) -> usize {
+    /// [`Self::candidates`] accumulating per-shard traversal counters into
+    /// `stats` (used by the instrumented server query path).
+    pub fn candidates_with_stats(&self, q: &Query, stats: &mut SearchStats) -> Vec<SegmentId> {
+        let mut range = self.shards.range(self.buckets(q.t_start, q.t_end));
+        let (mut out, mut probed) = match range.next() {
+            None => (Vec::new(), 0u64),
+            Some((_, shard)) => (shard.candidates_with_stats(q, stats), 1u64),
+        };
+        for (_, shard) in range {
+            probed += 1;
+            out.extend(shard.candidates_with_stats(q, stats));
+        }
+        if probed > 1 {
+            out.sort_unstable();
+            out.dedup();
+        }
+        if let Some(obs) = &self.obs {
+            obs.fanout.record(probed);
+            obs.candidates.record(out.len() as u64);
+        }
+        out
+    }
+
+    /// Drops every shard that ends at or before `horizon_s`. Segments
+    /// spanning the horizon survive in their later buckets (conservative
+    /// retention); segments whose *every* bucket expired are reported in
+    /// [`ExpireReport::segments_dropped`] so the caller can retire them
+    /// from its store, and no longer count toward [`Self::len`].
+    pub fn expire_before(&mut self, horizon_s: f64) -> ExpireReport {
         let cutoff = self.bucket_of(horizon_s);
         let keep = self.shards.split_off(&cutoff);
-        let dropped = self.shards.len();
-        self.shards = keep;
-        // `len` intentionally tracks *inserted* segments, not survivors:
-        // per-segment survivor counting would need a reverse map, and the
-        // metric deployments care about is shard count / memory, which
-        // `shard_count` provides. Document the semantics instead of lying.
-        dropped
+        let shards_dropped = self.shards.len();
+        let dropped_shards = std::mem::replace(&mut self.shards, keep);
+        // A segment died with the dropped shards iff its last bucket —
+        // read straight off its stored box — is itself below the cutoff.
+        // Segments straddling the cutoff keep living in later buckets.
+        let mut segments_dropped = Vec::new();
+        for shard in dropped_shards.values() {
+            shard.for_each_item(|b, id| {
+                if self.bucket_of(b.max[2]) < cutoff {
+                    segments_dropped.push(id);
+                }
+            });
+        }
+        segments_dropped.sort_unstable();
+        segments_dropped.dedup();
+        self.segments -= segments_dropped.len();
+        ExpireReport {
+            shards_dropped,
+            segments_dropped,
+        }
     }
 }
 
@@ -181,11 +317,52 @@ mod tests {
     }
 
     #[test]
+    fn bulk_insert_matches_incremental() {
+        let mut incremental = ShardedFovIndex::new(300.0, IndexKind::RTree);
+        let mut bulk = ShardedFovIndex::new(300.0, IndexKind::RTree);
+        let old: Vec<(RepFov, SegmentId)> = (0..150u32)
+            .map(|i| {
+                let t0 = f64::from(i) * 13.0;
+                (
+                    rep(t0, t0 + f64::from(i % 60), f64::from(i % 17) * 25.0),
+                    SegmentId(i),
+                )
+            })
+            .collect();
+        let new: Vec<(RepFov, SegmentId)> = (150..260u32)
+            .map(|i| {
+                let t0 = f64::from(i) * 7.0;
+                (
+                    rep(t0, t0 + f64::from(i % 90), f64::from(i % 13) * 30.0),
+                    SegmentId(i),
+                )
+            })
+            .collect();
+        for (r, id) in old.iter().chain(&new) {
+            incremental.insert(r, *id);
+        }
+        bulk.bulk_insert(&old);
+        let snapshot = bulk.clone();
+        bulk.bulk_insert(&new);
+        assert_eq!(bulk.len(), 260);
+        // The pre-extend clone is unaffected by the second bulk insert.
+        assert_eq!(snapshot.len(), 150);
+        for (t0, t1) in [(0.0, 3000.0), (500.0, 700.0), (1800.0, 1900.0)] {
+            let mut a = bulk.candidates(&q(t0, t1));
+            let mut b = incremental.candidates(&q(t0, t1));
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "window {t0}..{t1}");
+        }
+    }
+
+    #[test]
     fn spanning_segments_are_deduplicated() {
         let mut idx = ShardedFovIndex::new(100.0, IndexKind::RTree);
         // Spans three buckets.
         idx.insert(&rep(50.0, 250.0, 10.0), SegmentId(1));
         assert_eq!(idx.shard_count(), 3);
+        assert_eq!(idx.len(), 1);
         let hits = idx.candidates(&q(0.0, 300.0));
         assert_eq!(hits, vec![SegmentId(1)]);
     }
@@ -198,9 +375,11 @@ mod tests {
         idx.insert(&rep(950.0, 960.0, 0.0), SegmentId(2)); // bucket 9
         assert_eq!(idx.shard_count(), 3);
 
-        let dropped = idx.expire_before(500.0);
-        assert_eq!(dropped, 2);
+        let report = idx.expire_before(500.0);
+        assert_eq!(report.shards_dropped, 2);
+        assert_eq!(report.segments_dropped, vec![SegmentId(0), SegmentId(1)]);
         assert_eq!(idx.shard_count(), 1);
+        assert_eq!(idx.len(), 1, "len reflects survivors");
         assert!(idx.candidates(&q(0.0, 500.0)).is_empty());
         assert_eq!(idx.candidates(&q(900.0, 1000.0)), vec![SegmentId(2)]);
     }
@@ -209,9 +388,41 @@ mod tests {
     fn segment_spanning_horizon_survives() {
         let mut idx = ShardedFovIndex::new(100.0, IndexKind::RTree);
         idx.insert(&rep(90.0, 110.0, 0.0), SegmentId(7)); // buckets 0 and 1
-        idx.expire_before(100.0); // drops bucket 0
-                                  // Still findable through its surviving bucket.
+        let report = idx.expire_before(100.0); // drops bucket 0
+        assert_eq!(report.shards_dropped, 1);
+        assert!(
+            report.segments_dropped.is_empty(),
+            "survivor must not be reported dropped"
+        );
+        assert_eq!(idx.len(), 1);
+        // Still findable through its surviving bucket.
         assert_eq!(idx.candidates(&q(100.0, 120.0)), vec![SegmentId(7)]);
+    }
+
+    #[test]
+    fn remove_unindexes_across_spanned_buckets() {
+        let mut idx = ShardedFovIndex::new(100.0, IndexKind::RTree);
+        let spanning = rep(50.0, 250.0, 10.0);
+        idx.insert(&spanning, SegmentId(1));
+        idx.insert(&rep(10.0, 20.0, 0.0), SegmentId(2));
+        assert!(idx.remove(&spanning, SegmentId(1)));
+        assert!(!idx.remove(&spanning, SegmentId(1)), "double remove");
+        assert_eq!(idx.len(), 1);
+        assert!(idx.candidates(&q(100.0, 300.0)).is_empty());
+        assert_eq!(idx.candidates(&q(0.0, 300.0)), vec![SegmentId(2)]);
+        // Emptied shards are dropped entirely.
+        assert_eq!(idx.shard_count(), 1);
+    }
+
+    #[test]
+    fn remove_after_partial_expiry_is_safe() {
+        let mut idx = ShardedFovIndex::new(100.0, IndexKind::RTree);
+        let spanning = rep(90.0, 110.0, 0.0); // buckets 0 and 1
+        idx.insert(&spanning, SegmentId(3));
+        idx.expire_before(100.0); // bucket 0 gone
+        assert!(idx.remove(&spanning, SegmentId(3)));
+        assert!(idx.is_empty());
+        assert!(idx.candidates(&q(100.0, 120.0)).is_empty());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! reference telling the querier *which provider's video, which segment* to
 //! fetch afterwards (the content-free design of §I).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use swag_core::RepFov;
 
@@ -33,15 +35,32 @@ pub struct SegmentRecord {
     pub source: SegmentRef,
 }
 
-/// Append-only segment store with tombstones; `SegmentId` is the index.
-///
-/// Ids stay stable forever: retraction ([`SegmentStore::retire`]) marks a
-/// record dead instead of reusing its slot, so references held by queriers
-/// never dangle.
+/// Records per chunk (see [`SegmentStore`]). A power of two so the
+/// id → (chunk, offset) split is a shift and a mask.
+const CHUNK: usize = 1024;
+
 #[derive(Debug, Clone, Default)]
-pub struct SegmentStore {
+struct Chunk {
     records: Vec<SegmentRecord>,
     retired: Vec<bool>,
+}
+
+/// Append-only segment store with tombstones; `SegmentId` is the index.
+///
+/// Ids stay stable across retraction: [`SegmentStore::retire`] marks a
+/// record dead instead of reusing its slot, so references held by queriers
+/// never dangle. (Ids are *server-internal* — they may be re-assigned
+/// wholesale when the store compacts or a snapshot is reloaded; the
+/// durable external handle is [`SegmentRef`].)
+///
+/// Records live in fixed-size chunks behind `Arc`s, so cloning the store —
+/// which the snapshot-publishing server does on every epoch — is
+/// `O(n / CHUNK)` pointer bumps, and a clone shares all chunk memory with
+/// its parent until one side writes (copy-on-write via [`Arc::make_mut`]).
+#[derive(Debug, Clone, Default)]
+pub struct SegmentStore {
+    chunks: Vec<Arc<Chunk>>,
+    total: usize,
     live: usize,
 }
 
@@ -53,9 +72,17 @@ impl SegmentStore {
 
     /// Appends a record, assigning its id.
     pub fn push(&mut self, rep: RepFov, source: SegmentRef) -> SegmentId {
-        let id = SegmentId(u32::try_from(self.records.len()).expect("store capacity exceeded"));
-        self.records.push(SegmentRecord { id, rep, source });
-        self.retired.push(false);
+        let id = SegmentId(u32::try_from(self.total).expect("store capacity exceeded"));
+        if self.total.is_multiple_of(CHUNK) {
+            self.chunks.push(Arc::new(Chunk {
+                records: Vec::with_capacity(CHUNK),
+                retired: Vec::with_capacity(CHUNK),
+            }));
+        }
+        let chunk = Arc::make_mut(self.chunks.last_mut().expect("chunk just ensured"));
+        chunk.records.push(SegmentRecord { id, rep, source });
+        chunk.retired.push(false);
+        self.total += 1;
         self.live += 1;
         id
     }
@@ -63,12 +90,15 @@ impl SegmentStore {
     /// Looks up a record (live or retired — ids never dangle).
     #[inline]
     pub fn get(&self, id: SegmentId) -> &SegmentRecord {
-        &self.records[id.0 as usize]
+        let i = id.0 as usize;
+        &self.chunks[i / CHUNK].records[i % CHUNK]
     }
 
     /// Marks a record retired. Returns `false` if it already was.
     pub fn retire(&mut self, id: SegmentId) -> bool {
-        let slot = &mut self.retired[id.0 as usize];
+        let i = id.0 as usize;
+        let chunk = Arc::make_mut(&mut self.chunks[i / CHUNK]);
+        let slot = &mut chunk.retired[i % CHUNK];
         if *slot {
             false
         } else {
@@ -81,13 +111,27 @@ impl SegmentStore {
     /// Whether a record has been retired.
     #[inline]
     pub fn is_retired(&self, id: SegmentId) -> bool {
-        self.retired[id.0 as usize]
+        let i = id.0 as usize;
+        self.chunks[i / CHUNK].retired[i % CHUNK]
     }
 
     /// Number of live (non-retired) segments.
     #[inline]
     pub fn len(&self) -> usize {
         self.live
+    }
+
+    /// Total slots ever allocated, retired included — also the id the next
+    /// [`Self::push`] will be assigned.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of retired (tombstoned) slots.
+    #[inline]
+    pub fn dead(&self) -> usize {
+        self.total - self.live
     }
 
     /// Whether the store has no live segments.
@@ -98,9 +142,9 @@ impl SegmentStore {
 
     /// Iterates over the live records.
     pub fn iter(&self) -> impl Iterator<Item = &SegmentRecord> {
-        self.records
+        self.chunks
             .iter()
-            .zip(&self.retired)
+            .flat_map(|c| c.records.iter().zip(&c.retired))
             .filter(|(_, &dead)| !dead)
             .map(|(r, _)| r)
     }
@@ -143,6 +187,42 @@ mod tests {
         }
         let providers: Vec<u64> = s.iter().map(|r| r.source.provider_id).collect();
         assert_eq!(providers, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clone_is_independent_snapshot() {
+        let mut s = SegmentStore::new();
+        for i in 0..(CHUNK as u64 + 50) {
+            s.push(rep(i as f64), src(i));
+        }
+        let snap = s.clone();
+        // Mutations after the clone are invisible to the snapshot...
+        let late = s.push(rep(9999.0), src(777));
+        s.retire(SegmentId(0));
+        assert_eq!(snap.len(), CHUNK + 50);
+        assert_eq!(snap.total(), CHUNK + 50);
+        assert!(!snap.is_retired(SegmentId(0)));
+        // ...and both sides keep resolving every id they know about.
+        assert_eq!(s.get(late).source.provider_id, 777);
+        assert_eq!(snap.get(SegmentId(0)).source.provider_id, 0);
+        assert_eq!(s.len(), CHUNK + 50); // +1 push, -1 retire
+        assert_eq!(s.dead(), 1);
+    }
+
+    #[test]
+    fn ids_stay_dense_across_chunk_boundaries() {
+        let mut s = SegmentStore::new();
+        let n = 3 * CHUNK + 7;
+        for i in 0..n {
+            let id = s.push(rep(i as f64), src(i as u64));
+            assert_eq!(id, SegmentId(i as u32));
+        }
+        assert_eq!(s.total(), n);
+        assert_eq!(s.iter().count(), n);
+        assert_eq!(
+            s.get(SegmentId((2 * CHUNK) as u32)).id.0 as usize,
+            2 * CHUNK
+        );
     }
 
     #[test]

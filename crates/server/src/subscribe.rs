@@ -14,7 +14,7 @@
 
 use swag_core::{CameraProfile, RepFov};
 
-use crate::index::{fov_box, query_box};
+use crate::index::{fov_box, query_boxes};
 use crate::query::{Query, QueryOptions};
 use crate::ranking::{quality_score, SearchHit};
 use crate::store::{SegmentId, SegmentRef};
@@ -87,7 +87,7 @@ impl SubscriptionSet {
     ) {
         let rep_box = fov_box(rep);
         for sub in self.subs.iter_mut().filter(|s| s.active) {
-            if !query_box(&sub.query).intersects(&rep_box) {
+            if !query_boxes(&sub.query).intersects(&rep_box) {
                 continue;
             }
             if !crate::ranking::passes_filters(rep, cam, &sub.query, &sub.opts) {

@@ -141,7 +141,7 @@ proptest! {
                 segment_idx: 0,
             });
         }
-        let restored = load_snapshot(save_snapshot(&server), CameraProfile::smartphone()).unwrap();
+        let restored = load_snapshot(save_snapshot(&server).unwrap(), CameraProfile::smartphone()).unwrap();
         prop_assert_eq!(restored.stats().segments, reps.len());
         // Spot-check with a broad query.
         let q = Query::new(0.0, 7200.0, base(), 5000.0);
@@ -170,7 +170,7 @@ proptest! {
                 segment_idx: 0,
             });
         }
-        let mut raw = save_snapshot(&server).to_vec();
+        let mut raw = save_snapshot(&server).unwrap().to_vec();
         for (idx, val) in flips {
             let i = idx.index(raw.len());
             raw[i] ^= val;

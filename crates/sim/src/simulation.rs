@@ -150,7 +150,8 @@ pub fn run_simulation(cfg: &SimConfig) -> SimReport {
                         video_id: sessions as u64,
                         reps: result.reps,
                     };
-                    let bytes = DescriptorCodec::encode_batch(&batch);
+                    let bytes = DescriptorCodec::encode_batch(&batch)
+                        .expect("simulated reps are always encodable");
                     meter.record_up(bytes.len());
                     // Release per the upload policy (cellular-only world:
                     // WifiPreferred degenerates to its fallback delay).

@@ -66,7 +66,9 @@ fn main() {
         let result = ClientPipeline::process_trace_smoothed(cam, 0.5, 0.15, &trace);
         smooth_segments += result.segment_count();
         let mut uploader = Uploader::new(provider);
-        let (_wire, batch) = uploader.upload(result.reps);
+        let (_wire, batch) = uploader
+            .upload(result.reps)
+            .expect("reps fit the codec range");
         server.ingest_batch(&batch);
     }
     println!(
@@ -76,7 +78,7 @@ fn main() {
     );
 
     // --- 3. Snapshot, "restart", keep answering -------------------------
-    let snapshot = save_snapshot(&server);
+    let snapshot = save_snapshot(&server).expect("snapshot");
     println!(
         "snapshot: {} segments serialised into {} bytes",
         server.stats().segments,

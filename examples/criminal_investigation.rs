@@ -44,7 +44,9 @@ fn main() {
 
         let result = ClientPipeline::process_trace(cam, 0.5, &trace);
         let mut uploader = Uploader::new(provider);
-        let (wire, batch) = uploader.upload(result.reps);
+        let (wire, batch) = uploader
+            .upload(result.reps)
+            .expect("reps fit the codec range");
         total_wire_bytes += wire.len();
         total_video_bytes += VideoProfile::P720.encoded_bytes(duration);
         server.ingest_batch(&batch);

@@ -47,7 +47,9 @@ fn main() {
         );
         let result = ClientPipeline::process_trace(cam, 0.5, &trace);
         let mut uploader = Uploader::new(provider);
-        let (_, batch) = uploader.upload(result.reps);
+        let (_, batch) = uploader
+            .upload(result.reps)
+            .expect("reps fit the codec range");
         server.ingest_batch(&batch);
 
         // The investigation team polls after each upload wave.

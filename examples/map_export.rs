@@ -24,7 +24,9 @@ fn main() -> std::io::Result<()> {
         let trace = scenarios::bike_ride_with_turn(120.0, 4.0, &noise, seed);
         let result = ClientPipeline::process_trace_smoothed(cam, 0.5, 0.2, &trace);
         let mut uploader = Uploader::new(provider);
-        let (_, batch) = uploader.upload(result.reps);
+        let (_, batch) = uploader
+            .upload(result.reps)
+            .expect("reps fit the codec range");
         server.ingest_batch(&batch);
         traces.push(trace);
     }

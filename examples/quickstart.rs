@@ -25,7 +25,9 @@ fn main() {
 
     // When recording stops, only representative FoVs are uploaded.
     let mut uploader = Uploader::new(1);
-    let (wire, batch) = uploader.upload(result.reps);
+    let (wire, batch) = uploader
+        .upload(result.reps)
+        .expect("reps fit the codec range");
     let video_bytes = VideoProfile::P720.encoded_bytes(40.0);
     println!(
         "upload: {} descriptor bytes vs {} bytes of 720p video ({}x smaller)",

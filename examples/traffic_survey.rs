@@ -51,7 +51,9 @@ fn main() {
 
         let result = ClientPipeline::process_trace(cam, 0.6, &trace);
         let mut uploader = Uploader::new(vehicle);
-        let (wire, batch) = uploader.upload(result.reps);
+        let (wire, batch) = uploader
+            .upload(result.reps)
+            .expect("reps fit the codec range");
         descriptor_bytes += wire.len();
         video_bytes += VideoProfile::P1080.encoded_bytes(duration);
         recording_seconds += duration;

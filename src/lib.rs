@@ -42,7 +42,7 @@
 //! let cam = CameraProfile::smartphone();
 //! let result = ClientPipeline::process_trace(cam, 0.5, &trace);
 //! let mut uploader = Uploader::new(1001);
-//! let (wire_bytes, batch) = uploader.upload(result.reps);
+//! let (wire_bytes, batch) = uploader.upload(result.reps).expect("in range");
 //! assert!(wire_bytes.len() < 1000); // descriptors, not video
 //!
 //! // 3. The server indexes the batch and answers a spatio-temporal query.

@@ -30,7 +30,9 @@ fn build_crowd(n_providers: u64) -> (CloudServer, Vec<(SegmentRef, RepFov)>) {
         );
         let result = ClientPipeline::process_trace(cam, 0.5, &trace);
         let mut uploader = Uploader::new(provider);
-        let (wire, _) = uploader.upload(result.reps);
+        let (wire, _) = uploader
+            .upload(result.reps)
+            .expect("reps fit the codec range");
 
         // Ship the actual wire bytes: decode on the "server side".
         let batch = DescriptorCodec::decode_batch(wire).expect("valid wire message");

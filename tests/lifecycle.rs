@@ -31,7 +31,7 @@ fn record_to_retraction_lifecycle() {
         assert_eq!(reps.len(), result.reps.len());
 
         let mut uploader = Uploader::new(provider);
-        let (_, batch) = uploader.upload(reps);
+        let (_, batch) = uploader.upload(reps).expect("reps fit the codec range");
         batches.push(batch);
     }
 
@@ -43,7 +43,7 @@ fn record_to_retraction_lifecycle() {
     let total = server.stats().segments;
     assert!(total >= 4);
 
-    let snap = save_snapshot(&server);
+    let snap = save_snapshot(&server).unwrap();
     let restored = load_snapshot(snap, cam).unwrap();
     assert_eq!(restored.stats().segments, total);
 
@@ -63,7 +63,7 @@ fn record_to_retraction_lifecycle() {
     // --- Provider 0 retracts; snapshot round trip preserves that.
     let removed = restored.retract_provider(0);
     assert!(removed >= 2);
-    let after = load_snapshot(save_snapshot(&restored), cam).unwrap();
+    let after = load_snapshot(save_snapshot(&restored).unwrap(), cam).unwrap();
     let hits = after.query(&q, &opts);
     assert!(!hits.is_empty());
     assert!(hits.iter().all(|h| h.source.provider_id == 1));
