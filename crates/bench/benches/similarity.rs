@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use swag_core::similarity::{sim_parallel, sim_perp, sim_rotation};
-use swag_core::{similarity, similarity_parts, CameraProfile, Fov};
+use swag_core::similarity::{
+    sim_parallel, sim_parallel_trig, sim_perp, sim_perp_trig, sim_rotation, sim_rotation_trig,
+};
+use swag_core::{similarity, similarity_parts, similarity_trig, CamTrig, CameraProfile, Fov};
 use swag_geo::{LatLon, Vec2};
 use swag_vision::{frame_diff_similarity, Renderer, Resolution, World};
 
@@ -24,6 +26,20 @@ fn bench_fov_similarity(c: &mut Criterion) {
             black_box(sim_rotation(black_box(33.0), &cam));
             black_box(sim_parallel(black_box(42.0), &cam));
             black_box(sim_perp(black_box(42.0), &cam));
+        })
+    });
+
+    // The cached-trig fast path: camera trigonometry hoisted out of the
+    // per-call hot loop. Compare against the groups above.
+    let trig = CamTrig::new(&cam);
+    c.bench_function("similarity/fov_full_trig", |b| {
+        b.iter(|| black_box(similarity_trig(black_box(&f1), black_box(&f2), &trig)))
+    });
+    c.bench_function("similarity/components_trig", |b| {
+        b.iter(|| {
+            black_box(sim_rotation_trig(black_box(33.0), &trig));
+            black_box(sim_parallel_trig(black_box(42.0), &trig));
+            black_box(sim_perp_trig(black_box(42.0), &trig));
         })
     });
 }

@@ -1,0 +1,297 @@
+//! Parallel executor vs. serial: STR publish fan-out and batched queries.
+//!
+//! Races two `CloudServer`s built from the same records and answering the
+//! same query batch — one on `Executor::serial()`, one on a work-stealing
+//! pool — and checks both that the parallel path **wins** on multi-core
+//! hardware and that its ranked results are **byte-identical** to the
+//! serial ones (the executor's determinism contract).
+//!
+//! Writes `BENCH_parallel.json` at the workspace root. Exit status:
+//!
+//! * result mismatch between serial and parallel → always exits 1;
+//! * speedup below the gate at `--threads` (default 4) → exits 1 **only
+//!   when the host actually has that many hardware threads** — on smaller
+//!   machines (CI containers, laptops on battery) the run is recorded as
+//!   `"gated": false` and informational;
+//! * `--smoke` → small workload, 2 threads, correctness check only (no
+//!   performance gate) — the CI smoke step.
+//!
+//! Usage: `cargo run --release -p swag-bench --bin parallel_bench [-- --smoke]`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use swag_bench::fmt_duration;
+use swag_core::{CameraProfile, Fov, RepFov};
+use swag_exec::{ExecConfig, Executor};
+use swag_geo::LatLon;
+use swag_server::{CloudServer, Query, QueryOptions, SegmentRef, ServerConfig};
+
+/// Speedup the batched-query path must reach at `--threads` on capable
+/// hardware (acceptance gate).
+const MIN_SPEEDUP: f64 = 1.5;
+
+struct Workload {
+    threads: usize,
+    preload: usize,
+    queries: usize,
+    rounds: usize,
+    smoke: bool,
+}
+
+impl Workload {
+    fn from_args() -> Self {
+        let mut w = Workload {
+            threads: 4,
+            preload: 40_000,
+            queries: 2_000,
+            rounds: 5,
+            smoke: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => {
+                    w.smoke = true;
+                    w.threads = 2;
+                    w.preload = 6_000;
+                    w.queries = 200;
+                    w.rounds = 1;
+                }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    w.threads = v.parse().expect("--threads must be an integer");
+                }
+                other => panic!("unknown argument {other:?} (expected --smoke | --threads N)"),
+            }
+        }
+        w
+    }
+}
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Deterministic synthetic corpus: segments spiral around the centre and
+/// spread over ~6 h of capture time so the sharded index holds dozens of
+/// time shards (the query fan-out the parallel path accelerates).
+fn records(n: usize) -> Vec<(RepFov, SegmentRef)> {
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 0.618_033_988_75 * 360.0) % 360.0;
+            let dist = 900.0 * (((i % 997) as f64 + 1.0) / 997.0).sqrt();
+            let t0 = ((i * 37) % 21_600) as f64;
+            (
+                RepFov::new(
+                    t0,
+                    t0 + 8.0,
+                    Fov::new(center().offset(bearing, dist), (i % 360) as f64),
+                ),
+                SegmentRef {
+                    provider_id: (i / 100) as u64,
+                    video_id: 0,
+                    segment_idx: i as u32,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Deterministic query mix: most span several shards, some are narrow.
+fn queries(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 137.507_764) % 360.0;
+            let dist = 400.0 * ((i % 17) as f64 / 17.0);
+            let t0 = ((i * 131) % 20_000) as f64;
+            let span = if i % 4 == 0 { 120.0 } else { 2_400.0 };
+            Query::new(t0, t0 + span, center().offset(bearing, dist), 200.0)
+        })
+        .collect()
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let w = Workload::from_args();
+    let cam = CameraProfile::smartphone();
+    let opts = QueryOptions::default();
+    let recs = records(w.preload);
+    let qs = queries(w.queries);
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let parallel_exec = Executor::new(ExecConfig::with_threads(w.threads));
+    println!(
+        "parallel vs serial: {} segments, {} queries/round, {} rounds, \
+         {} pool threads on {hw_threads} hardware threads{}",
+        w.preload,
+        w.queries,
+        w.rounds,
+        parallel_exec.threads(),
+        if w.smoke { " [smoke]" } else { "" }
+    );
+
+    // --- Build (publish-time STR bulk load) ---------------------------
+    // Round 0 is warm-up for both subjects; servers from the last round
+    // are kept for the query phase.
+    let mut t_build_serial = Vec::with_capacity(w.rounds);
+    let mut t_build_parallel = Vec::with_capacity(w.rounds);
+    let mut servers = None;
+    for round in 0..=w.rounds {
+        let t = Instant::now();
+        let serial = CloudServer::from_records_with_config_exec(
+            cam,
+            ServerConfig::default(),
+            Executor::serial(),
+            recs.clone(),
+        );
+        let ns_serial = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let parallel = CloudServer::from_records_with_config_exec(
+            cam,
+            ServerConfig::default(),
+            parallel_exec.clone(),
+            recs.clone(),
+        );
+        let ns_parallel = t.elapsed().as_nanos() as u64;
+
+        if round > 0 {
+            t_build_serial.push(ns_serial);
+            t_build_parallel.push(ns_parallel);
+        }
+        servers = Some((serial, parallel));
+    }
+    let (serial_server, parallel_server) = servers.expect("at least one round ran");
+
+    // --- Correctness: parallel results byte-identical to serial -------
+    let expect = serial_server.query_batch(&qs, &opts, 1);
+    let got = parallel_server.query_batch(&qs, &opts, w.threads);
+    let identical = expect == got;
+    if !identical {
+        let first = expect
+            .iter()
+            .zip(&got)
+            .position(|(a, b)| a != b)
+            .unwrap_or(expect.len());
+        eprintln!("FAIL: parallel results diverge from serial at query #{first}");
+    }
+
+    // --- Batched query throughput -------------------------------------
+    let mut t_query_serial = Vec::with_capacity(w.rounds);
+    let mut t_query_parallel = Vec::with_capacity(w.rounds);
+    for round in 0..=w.rounds {
+        let t = Instant::now();
+        let r = serial_server.query_batch(&qs, &opts, 1);
+        let ns_serial = t.elapsed().as_nanos() as u64;
+        assert_eq!(r.len(), qs.len());
+
+        let t = Instant::now();
+        let r = parallel_server.query_batch(&qs, &opts, w.threads);
+        let ns_parallel = t.elapsed().as_nanos() as u64;
+        assert_eq!(r.len(), qs.len());
+
+        if round > 0 {
+            t_query_serial.push(ns_serial);
+            t_query_parallel.push(ns_parallel);
+        }
+    }
+
+    let build_serial = median(&mut t_build_serial);
+    let build_parallel = median(&mut t_build_parallel);
+    let query_serial = median(&mut t_query_serial);
+    let query_parallel = median(&mut t_query_parallel);
+    let build_speedup = build_serial as f64 / build_parallel as f64;
+    let query_speedup = query_serial as f64 / query_parallel as f64;
+    let stats = parallel_server.executor().stats();
+
+    let dur = |ns: u64| fmt_duration(std::time::Duration::from_nanos(ns));
+    println!(
+        "  build  serial {:>10}   parallel {:>10}   ({build_speedup:.2}x)",
+        dur(build_serial),
+        dur(build_parallel)
+    );
+    println!(
+        "  query  serial {:>10}   parallel {:>10}   ({query_speedup:.2}x)",
+        dur(query_serial),
+        dur(query_parallel)
+    );
+    println!(
+        "  results identical: {identical}; executor: {} tasks, {} steals",
+        stats.tasks, stats.steals
+    );
+
+    // The performance gate only binds where the hardware can express the
+    // parallelism; elsewhere the numbers are recorded as informational.
+    let gated = !w.smoke && hw_threads >= w.threads;
+    let pass = identical && (!gated || query_speedup >= MIN_SPEEDUP);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"preloaded_segments\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"pool_threads\": {},\n",
+            "  \"hw_threads\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"median_ns\": {{\"build_serial\": {}, \"build_parallel\": {}, ",
+            "\"query_serial\": {}, \"query_parallel\": {}}},\n",
+            "  \"build_speedup\": {:.3},\n",
+            "  \"query_speedup\": {:.3},\n",
+            "  \"executor\": {{\"tasks\": {}, \"steals\": {}}},\n",
+            "  \"identical_results\": {},\n",
+            "  \"min_speedup\": {},\n",
+            "  \"gated\": {},\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        w.preload,
+        w.queries,
+        w.rounds,
+        parallel_exec.threads(),
+        hw_threads,
+        w.smoke,
+        build_serial,
+        build_parallel,
+        query_serial,
+        query_parallel,
+        build_speedup,
+        query_speedup,
+        stats.tasks,
+        stats.steals,
+        identical,
+        MIN_SPEEDUP,
+        gated,
+        pass
+    );
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_parallel.json");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("cannot write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+
+    if !pass {
+        if identical {
+            eprintln!(
+                "FAIL: query speedup {query_speedup:.2}x < {MIN_SPEEDUP}x at {} threads",
+                parallel_exec.threads()
+            );
+        }
+        std::process::exit(1);
+    }
+    if !gated && !w.smoke {
+        println!(
+            "note: host has {hw_threads} hardware threads < {} — \
+             speedup gate not applied",
+            w.threads
+        );
+    }
+}

@@ -4,6 +4,7 @@ use std::io::Write as _;
 
 use swag_client::{ClientPipeline, Uploader};
 use swag_core::{read_trace_csv, write_reps_csv, write_trace_csv, CameraProfile, RepFov, TimedFov};
+use swag_exec::{ExecConfig, Executor};
 use swag_geo::{LatLon, Trajectory};
 use swag_net::{observe_plan, plan_uploads, Connectivity, DataPlan, NetworkLink, UploadPolicy};
 use swag_obs::{Metric, Registry};
@@ -229,6 +230,7 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     let format = args.get("format").unwrap_or("pretty");
     let seed = args.get_u64("seed", 42)?;
     let n_queries = args.get_u64("queries", 32)?;
+    let threads = args.get_u64("threads", 1)? as usize;
     let shard_width_s = args.get_f64("shard-width", 600.0)?;
     if !(shard_width_s.is_finite() && shard_width_s > 0.0) {
         return Err("--shard-width must be positive".into());
@@ -284,13 +286,20 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
             ..ServerConfig::default()
         },
     );
+    server.set_executor(if threads <= 1 {
+        Executor::serial()
+    } else {
+        Executor::new(ExecConfig::with_threads(threads))
+    });
     server.attach_observability(&registry);
     server.ingest_batch(&batch);
-    for i in 0..n_queries {
-        let rep = &recording.reps[i as usize % recording.reps.len()];
-        let q = Query::new(rep.t_start - 5.0, rep.t_end + 5.0, rep.fov.p, 150.0);
-        server.query(&q, &QueryOptions::default());
-    }
+    let probes: Vec<Query> = (0..n_queries)
+        .map(|i| {
+            let rep = &recording.reps[i as usize % recording.reps.len()];
+            Query::new(rep.t_start - 5.0, rep.t_end + 5.0, rep.fov.p, 150.0)
+        })
+        .collect();
+    server.query_batch(&probes, &QueryOptions::default(), threads);
     server.query_nearest(
         0.0,
         trace.last().map_or(60.0, |f| f.t),
@@ -313,6 +322,19 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
                 s.shards,
                 s.pending_delta,
                 retain_s.map_or("off".to_string(), |h| format!("{h} s")),
+            );
+            let e = server.executor().stats();
+            println!(
+                "executor: {} thread{} ({}), {} tasks, {} steals",
+                e.threads,
+                if e.threads == 1 { "" } else { "s" },
+                if server.executor().is_serial() {
+                    "serial"
+                } else {
+                    "work-stealing"
+                },
+                e.tasks,
+                e.steals,
             );
         }
         other => return Err(format!("unknown format '{other}' (pretty|prometheus|json)")),

@@ -68,7 +68,7 @@ USAGE:
                 [--top N] [--no-direction-filter] [--coverage] [--quality]
   swag retract  --snapshot FILE --provider ID
   swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
-                [--shard-width SECS] [--retain SECS]
+                [--threads N] [--shard-width SECS] [--retain SECS]
   swag export   --in TRACE.csv --geojson FILE
   swag simplify --in TRACE.csv --tolerance M --out FILE
   swag help

@@ -66,6 +66,9 @@ pub use fov::{CameraProfile, Fov, TimedFov};
 pub use interpolation::{interpolate_trace, sample_at};
 pub use sector::{points_toward, sector_contains, sector_intersects_circle};
 pub use segmentation::{segment_video, Segment, Segmenter};
-pub use similarity::{similarity, similarity_parts, vector_model_similarity, SimilarityBreakdown};
+pub use similarity::{
+    similarity, similarity_parts, similarity_parts_trig, similarity_trig, vector_model_similarity,
+    CamTrig, SimilarityBreakdown,
+};
 pub use smoothing::FovSmoother;
 pub use trace_io::{read_reps_csv, read_trace_csv, write_reps_csv, write_trace_csv, TraceIoError};

@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::fov::{CameraProfile, Fov, TimedFov};
-use crate::similarity::similarity;
+use crate::similarity::{similarity_trig, CamTrig};
 
 /// A contiguous run of video frames whose FoVs stay similar to the
 /// segment's initial FoV.
@@ -76,6 +76,9 @@ impl Segment {
 #[derive(Debug, Clone)]
 pub struct Segmenter {
     cam: CameraProfile,
+    /// Camera trigonometry, precomputed once — the per-frame similarity
+    /// check is the segmenter's entire hot path.
+    trig: CamTrig,
     thresh: f64,
     /// Optional upper bound on segment duration, seconds.
     max_segment_s: Option<f64>,
@@ -104,6 +107,7 @@ impl Segmenter {
         );
         Segmenter {
             cam,
+            trig: CamTrig::new(&cam),
             thresh,
             max_segment_s: None,
             anchor: None,
@@ -162,7 +166,7 @@ impl Segmenter {
                 let over_duration = self
                     .max_segment_s
                     .is_some_and(|max| frame.t - self.current[0].t > max);
-                if over_duration || similarity(&anchor, &frame.fov, &self.cam) < self.thresh {
+                if over_duration || similarity_trig(&anchor, &frame.fov, &self.trig) < self.thresh {
                     // Close the current segment and restart at this frame.
                     let done = Segment {
                         fovs: std::mem::take(&mut self.current),

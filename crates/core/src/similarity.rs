@@ -38,6 +38,61 @@ use swag_geo::{angle_diff_deg, normalize_deg, signed_deg};
 
 use crate::fov::{CameraProfile, Fov};
 
+/// Precomputed trigonometry of one [`CameraProfile`].
+///
+/// Every similarity component needs some combination of `sin α`, `cos α`,
+/// `R·sin α`, `R·cos α` and `2R·sin α`; evaluating them per call makes the
+/// transcendental functions dominate the hot path (the segmenter runs one
+/// similarity per captured frame, the linear-scan baseline one per stored
+/// segment). Build a `CamTrig` once per camera and use the `*_trig`
+/// variants — [`similarity_parts`] and the [`Segmenter`](crate::Segmenter)
+/// do this internally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamTrig {
+    /// Half viewing angle `α` in radians.
+    pub alpha_rad: f64,
+    /// `sin α`.
+    pub sin_alpha: f64,
+    /// `cos α`.
+    pub cos_alpha: f64,
+    /// `R·sin α` — numerator of the eq. 5 arctangent.
+    pub r_sin_alpha: f64,
+    /// `R·cos α` — denominator offset of the eq. 5 arctangent.
+    pub r_cos_alpha: f64,
+    /// `2R·sin α` — the perpendicular cutoff distance
+    /// ([`CameraProfile::perp_cutoff_m`]).
+    pub perp_cutoff_m: f64,
+    /// `cos α / R` — scale of the eq. 6 arcsine argument.
+    pub cos_alpha_over_r: f64,
+    /// Full viewing angle `𝒜 = 2α` in degrees, for `Sim_R`.
+    pub full_angle_deg: f64,
+}
+
+impl CamTrig {
+    /// Precomputes the trigonometry of `cam`.
+    pub fn new(cam: &CameraProfile) -> Self {
+        let alpha = cam.alpha_rad();
+        let (sin_alpha, cos_alpha) = alpha.sin_cos();
+        let r = cam.view_radius_m;
+        CamTrig {
+            alpha_rad: alpha,
+            sin_alpha,
+            cos_alpha,
+            r_sin_alpha: r * sin_alpha,
+            r_cos_alpha: r * cos_alpha,
+            perp_cutoff_m: 2.0 * r * sin_alpha,
+            cos_alpha_over_r: cos_alpha / r,
+            full_angle_deg: cam.viewing_angle_deg(),
+        }
+    }
+}
+
+impl From<&CameraProfile> for CamTrig {
+    fn from(cam: &CameraProfile) -> Self {
+        CamTrig::new(cam)
+    }
+}
+
 /// Rotation similarity `Sim_R` (paper eq. 4): the fractional overlap of two
 /// covered angle ranges whose centres differ by `delta_theta_deg`.
 ///
@@ -53,13 +108,28 @@ pub fn sim_rotation(delta_theta_deg: f64, cam: &CameraProfile) -> f64 {
     }
 }
 
+/// [`sim_rotation`] on precomputed trigonometry.
+#[inline]
+pub fn sim_rotation_trig(delta_theta_deg: f64, trig: &CamTrig) -> f64 {
+    let full = trig.full_angle_deg;
+    if delta_theta_deg >= full {
+        0.0
+    } else {
+        (full - delta_theta_deg) / full
+    }
+}
+
 /// Narrowed half viewing angle `φ_∥` after a parallel (forward) translation
 /// of `d` metres (paper eq. 5), in radians.
 #[inline]
 pub fn phi_parallel_rad(d: f64, cam: &CameraProfile) -> f64 {
-    let a = cam.alpha_rad();
-    let r = cam.view_radius_m;
-    (r * a.sin()).atan2(d + r * a.cos())
+    phi_parallel_rad_trig(d, &CamTrig::new(cam))
+}
+
+/// [`phi_parallel_rad`] on precomputed trigonometry.
+#[inline]
+pub fn phi_parallel_rad_trig(d: f64, trig: &CamTrig) -> f64 {
+    trig.r_sin_alpha.atan2(d + trig.r_cos_alpha)
 }
 
 /// Parallel-translation similarity `Sim_∥` (paper eqs. 5 & 7).
@@ -68,8 +138,14 @@ pub fn phi_parallel_rad(d: f64, cam: &CameraProfile) -> f64 {
 /// distance (§III Case 2, statement 2).
 #[inline]
 pub fn sim_parallel(d: f64, cam: &CameraProfile) -> f64 {
+    sim_parallel_trig(d, &CamTrig::new(cam))
+}
+
+/// [`sim_parallel`] on precomputed trigonometry.
+#[inline]
+pub fn sim_parallel_trig(d: f64, trig: &CamTrig) -> f64 {
     debug_assert!(d >= 0.0);
-    phi_parallel_rad(d, cam) / cam.alpha_rad()
+    phi_parallel_rad_trig(d, trig) / trig.alpha_rad
 }
 
 /// Perpendicular-translation similarity `Sim_⊥` (paper eq. 6,
@@ -79,12 +155,18 @@ pub fn sim_parallel(d: f64, cam: &CameraProfile) -> f64 {
 /// ([`CameraProfile::perp_cutoff_m`]).
 #[inline]
 pub fn sim_perp(d: f64, cam: &CameraProfile) -> f64 {
+    sim_perp_trig(d, &CamTrig::new(cam))
+}
+
+/// [`sim_perp`] on precomputed trigonometry.
+#[inline]
+pub fn sim_perp_trig(d: f64, trig: &CamTrig) -> f64 {
     debug_assert!(d >= 0.0);
-    if d >= cam.perp_cutoff_m() {
+    if d >= trig.perp_cutoff_m {
         return 0.0;
     }
-    let a = cam.alpha_rad();
-    let arg = (d * a.cos() / cam.view_radius_m).clamp(-1.0, 1.0);
+    let a = trig.alpha_rad;
+    let arg = (d * trig.cos_alpha_over_r).clamp(-1.0, 1.0);
     ((2.0 * a - arg.asin()) / (2.0 * a)).max(0.0)
 }
 
@@ -97,9 +179,14 @@ pub fn sim_perp(d: f64, cam: &CameraProfile) -> f64 {
 /// symmetry (forward/backward and left/right are equivalent under the
 /// paper's model).
 pub fn sim_translation(d: f64, theta_p_deg: f64, cam: &CameraProfile) -> f64 {
+    sim_translation_trig(d, theta_p_deg, &CamTrig::new(cam))
+}
+
+/// [`sim_translation`] on precomputed trigonometry.
+pub fn sim_translation_trig(d: f64, theta_p_deg: f64, trig: &CamTrig) -> f64 {
     let folded = fold_to_quadrant(theta_p_deg);
     let w = folded / 90.0;
-    (1.0 - w) * sim_parallel(d, cam) + w * sim_perp(d, cam)
+    (1.0 - w) * sim_parallel_trig(d, trig) + w * sim_perp_trig(d, trig)
 }
 
 /// Folds an arbitrary angle into `[0, 90]` using the mirror symmetries of
@@ -139,11 +226,20 @@ pub struct SimilarityBreakdown {
 
 /// Full FoV similarity `Sim(f₁, f₂) = Sim_R × Sim_T` (paper eq. 10),
 /// returning every intermediate component.
+///
+/// Computes the camera trigonometry once; callers evaluating many pairs
+/// against the same camera should precompute a [`CamTrig`] and use
+/// [`similarity_parts_trig`] directly.
 pub fn similarity_parts(f1: &Fov, f2: &Fov, cam: &CameraProfile) -> SimilarityBreakdown {
+    similarity_parts_trig(f1, f2, &CamTrig::new(cam))
+}
+
+/// [`similarity_parts`] on precomputed trigonometry.
+pub fn similarity_parts_trig(f1: &Fov, f2: &Fov, trig: &CamTrig) -> SimilarityBreakdown {
     let delta_theta = f1.delta_theta_deg(f2);
     let disp = f1.p.displacement_to(f2.p);
     let delta_p = disp.norm();
-    let sim_r = sim_rotation(delta_theta, cam);
+    let sim_r = sim_rotation_trig(delta_theta, trig);
 
     // Reference view direction: circular midpoint of the two orientations.
     let mid = normalize_deg(f1.theta + 0.5 * signed_deg(f2.theta - f1.theta));
@@ -153,12 +249,13 @@ pub fn similarity_parts(f1: &Fov, f2: &Fov, cam: &CameraProfile) -> SimilarityBr
     } else {
         let bearing = disp.azimuth_deg();
         let rel = fold_to_quadrant(angle_diff_deg(bearing, mid));
-        (
-            rel,
-            sim_parallel(delta_p, cam),
-            sim_perp(delta_p, cam),
-            sim_translation(delta_p, rel, cam),
-        )
+        // Sim_T interpolates the two extremes already computed here — blend
+        // directly instead of calling `sim_translation_trig` (which would
+        // re-evaluate both).
+        let par = sim_parallel_trig(delta_p, trig);
+        let prp = sim_perp_trig(delta_p, trig);
+        let w = rel / 90.0;
+        (rel, par, prp, (1.0 - w) * par + w * prp)
     };
 
     SimilarityBreakdown {
@@ -196,6 +293,12 @@ pub fn similarity_parts(f1: &Fov, f2: &Fov, cam: &CameraProfile) -> SimilarityBr
 #[inline]
 pub fn similarity(f1: &Fov, f2: &Fov, cam: &CameraProfile) -> f64 {
     similarity_parts(f1, f2, cam).sim
+}
+
+/// [`similarity`] on precomputed trigonometry.
+#[inline]
+pub fn similarity_trig(f1: &Fov, f2: &Fov, trig: &CamTrig) -> f64 {
+    similarity_parts_trig(f1, f2, trig).sim
 }
 
 /// The *vector-model* similarity of prior geo-video work (Kim et al.,
@@ -397,6 +500,42 @@ mod tests {
         );
         // ...whereas the paper's model does.
         assert!(similarity(&f1, &fwd, &c) > similarity(&f1, &side, &c));
+    }
+
+    #[test]
+    fn cached_trig_matches_profile_math() {
+        // The precomputed-trig fast path must agree with the per-call
+        // profile math it replaces, component by component.
+        for (alpha, r) in [(25.0, 100.0), (30.0, 50.0), (45.0, 200.0), (10.0, 15.0)] {
+            let c = CameraProfile::new(alpha, r);
+            let t = CamTrig::new(&c);
+            assert_eq!(t.perp_cutoff_m, c.perp_cutoff_m());
+            assert_eq!(t.full_angle_deg, c.viewing_angle_deg());
+            for d in [0.0, 0.5, 7.0, 33.3, 99.0, 150.0, 1000.0] {
+                assert_eq!(sim_parallel_trig(d, &t), sim_parallel(d, &c));
+                assert!((sim_perp_trig(d, &t) - sim_perp(d, &c)).abs() < 1e-12);
+                for th in [0.0, 17.0, 45.0, 90.0, 135.0, 260.0] {
+                    assert!(
+                        (sim_translation_trig(d, th, &t) - sim_translation(d, th, &c)).abs()
+                            < 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trig_full_similarity_matches_profile_path() {
+        let c = cam();
+        let t = CamTrig::new(&c);
+        let f1 = Fov::new(origin(), 33.0);
+        for (az, d, th) in [(0.0, 0.0, 33.0), (45.0, 30.0, 20.0), (200.0, 80.0, 310.0)] {
+            let f2 = Fov::new(origin().offset(az, d), th);
+            let a = similarity_parts(&f1, &f2, &c);
+            let b = similarity_parts_trig(&f1, &f2, &t);
+            assert_eq!(a, b);
+            assert_eq!(similarity_trig(&f1, &f2, &t), a.sim);
+        }
     }
 
     #[test]

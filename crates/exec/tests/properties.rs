@@ -1,0 +1,58 @@
+//! Property tests: parallel primitives agree exactly with serial
+//! execution across random inputs and thread counts.
+
+use proptest::prelude::*;
+use swag_exec::{ExecConfig, Executor};
+
+proptest! {
+    #[test]
+    fn par_map_matches_serial(
+        items in proptest::collection::vec(any::<i64>(), 0..500),
+        threads in 2usize..6,
+    ) {
+        let serial = Executor::serial();
+        let parallel = Executor::new(ExecConfig::with_threads(threads));
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        prop_assert_eq!(serial.par_map(&items, f), parallel.par_map(&items, f));
+    }
+
+    #[test]
+    fn par_map_owned_matches_serial(
+        items in proptest::collection::vec(any::<u32>(), 0..300),
+        threads in 2usize..6,
+    ) {
+        let serial = Executor::serial();
+        let parallel = Executor::new(ExecConfig::with_threads(threads));
+        let f = |x: u32| format!("{x:08x}");
+        prop_assert_eq!(
+            serial.par_map_owned(items.clone(), f),
+            parallel.par_map_owned(items, f)
+        );
+    }
+
+    #[test]
+    fn join_matches_serial(a in any::<i32>(), b in any::<i32>()) {
+        let serial = Executor::serial();
+        let parallel = Executor::new(ExecConfig::with_threads(3));
+        let run = |e: &Executor| e.join(move || a.wrapping_add(1), move || b.wrapping_sub(1));
+        prop_assert_eq!(run(&serial), run(&parallel));
+    }
+
+    #[test]
+    fn scope_collects_every_spawn(
+        n in 0usize..200,
+        threads in 2usize..6,
+    ) {
+        let exec = Executor::new(ExecConfig::with_threads(threads));
+        let done = std::sync::Mutex::new(vec![false; n]);
+        exec.scope(|s| {
+            for i in 0..n {
+                let done = &done;
+                s.spawn(move || {
+                    done.lock().unwrap()[i] = true;
+                });
+            }
+        });
+        prop_assert!(done.into_inner().unwrap().into_iter().all(|b| b));
+    }
+}

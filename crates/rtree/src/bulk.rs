@@ -11,8 +11,13 @@
 //! same invariants as an incrementally built one
 //! ([`RTree::check_invariants`]).
 
+use swag_exec::Executor;
+
 use crate::mbr::Aabb;
 use crate::tree::{fold_mbr, Child, Item, Node, RTree, RTreeConfig};
+
+/// Below this many entries a parallel leaf tiling is pure overhead.
+const PAR_TILE_MIN: usize = 2048;
 
 impl<T, const D: usize> RTree<T, D> {
     /// Builds a tree from `items` using STR packing and the default
@@ -24,56 +29,109 @@ impl<T, const D: usize> RTree<T, D> {
     /// Builds a tree from `items` using STR packing.
     pub fn bulk_load_with_config(config: RTreeConfig, items: Vec<(Aabb<D>, T)>) -> Self {
         let mut tree = RTree::with_config(config);
-        if items.is_empty() {
+        let Some(entries) = leaf_items(&mut tree, items) else {
             return tree;
-        }
-        let n = items.len();
-        tree.nodes.clear();
-        let cap = config.max_entries;
-
-        // Leaf level.
-        let leaf_items: Vec<Item<T, D>> = items
-            .into_iter()
-            .map(|(mbr, value)| Item { mbr, value })
-            .collect();
+        };
+        let n = entries.len();
         let mut groups = Vec::new();
         tile(
-            leaf_items,
+            entries,
             0,
-            cap,
+            config.max_entries,
             &|i: &Item<T, D>| i.mbr.center(),
             &mut groups,
         );
-        let mut level: Vec<Child<D>> = groups
+        pack_levels(&mut tree, n, groups);
+        tree
+    }
+}
+
+impl<T: Send, const D: usize> RTree<T, D> {
+    /// [`RTree::bulk_load`] with the leaf tiling fanned out on `exec`.
+    ///
+    /// Produces a tree *identical* to the serial build: the top-level
+    /// sort runs on the caller, and each slab is then tiled
+    /// independently — the same work the serial recursion does, merely
+    /// claimed by different workers — so group boundaries, node layout,
+    /// and traversal order match exactly.
+    pub fn bulk_load_par(exec: &Executor, items: Vec<(Aabb<D>, T)>) -> Self {
+        Self::bulk_load_with_config_par(exec, RTreeConfig::default(), items)
+    }
+
+    /// [`RTree::bulk_load_with_config`] with the leaf tiling on `exec`.
+    pub fn bulk_load_with_config_par(
+        exec: &Executor,
+        config: RTreeConfig,
+        items: Vec<(Aabb<D>, T)>,
+    ) -> Self {
+        let mut tree = RTree::with_config(config);
+        let Some(entries) = leaf_items(&mut tree, items) else {
+            return tree;
+        };
+        let n = entries.len();
+        let cap = config.max_entries;
+        let mut groups = Vec::new();
+        let center = |i: &Item<T, D>| i.mbr.center();
+        if exec.is_serial() || n < PAR_TILE_MIN {
+            tile(entries, 0, cap, &center, &mut groups);
+        } else {
+            tile_par(exec, entries, cap, &center, &mut groups);
+        }
+        pack_levels(&mut tree, n, groups);
+        tree
+    }
+}
+
+/// Converts `items` to leaf items ready for tiling, clearing any nodes
+/// `tree` may hold. Returns `None` when there is nothing to load.
+fn leaf_items<T, const D: usize>(
+    tree: &mut RTree<T, D>,
+    items: Vec<(Aabb<D>, T)>,
+) -> Option<Vec<Item<T, D>>> {
+    if items.is_empty() {
+        return None;
+    }
+    tree.nodes.clear();
+    Some(
+        items
+            .into_iter()
+            .map(|(mbr, value)| Item { mbr, value })
+            .collect(),
+    )
+}
+
+/// Builds leaf nodes from `groups` and packs the upper levels serially
+/// (they are a `max_entries`-th the size of the level below, so the
+/// leaf tiling dominates the build).
+fn pack_levels<T, const D: usize>(tree: &mut RTree<T, D>, n: usize, groups: Vec<Vec<Item<T, D>>>) {
+    let cap = tree.config.max_entries;
+    let mut level: Vec<Child<D>> = groups
+        .into_iter()
+        .map(|g| {
+            let mbr = fold_mbr(g.iter().map(|i| i.mbr)).expect("non-empty group");
+            let node = tree.alloc(Node::Leaf(g));
+            Child { mbr, node }
+        })
+        .collect();
+
+    let mut height = 0;
+    while level.len() > 1 {
+        let mut groups = Vec::new();
+        tile(level, 0, cap, &|c: &Child<D>| c.mbr.center(), &mut groups);
+        level = groups
             .into_iter()
             .map(|g| {
-                let mbr = fold_mbr(g.iter().map(|i| i.mbr)).expect("non-empty group");
-                let node = tree.alloc(Node::Leaf(g));
+                let mbr = fold_mbr(g.iter().map(|c| c.mbr)).expect("non-empty group");
+                let node = tree.alloc(Node::Internal(g));
                 Child { mbr, node }
             })
             .collect();
-
-        // Upper levels.
-        let mut height = 0;
-        while level.len() > 1 {
-            let mut groups = Vec::new();
-            tile(level, 0, cap, &|c: &Child<D>| c.mbr.center(), &mut groups);
-            level = groups
-                .into_iter()
-                .map(|g| {
-                    let mbr = fold_mbr(g.iter().map(|c| c.mbr)).expect("non-empty group");
-                    let node = tree.alloc(Node::Internal(g));
-                    Child { mbr, node }
-                })
-                .collect();
-            height += 1;
-        }
-
-        tree.root = level[0].node;
-        tree.height = height;
-        tree.len = n;
-        tree
+        height += 1;
     }
+
+    tree.root = level[0].node;
+    tree.height = height;
+    tree.len = n;
 }
 
 impl<T: Clone, const D: usize> RTree<T, D> {
@@ -89,6 +147,17 @@ impl<T: Clone, const D: usize> RTree<T, D> {
         items.extend(self.iter().map(|(mbr, value)| (*mbr, value.clone())));
         items.extend(more);
         Self::bulk_load_with_config(self.config, items)
+    }
+}
+
+impl<T: Clone + Send, const D: usize> RTree<T, D> {
+    /// [`RTree::bulk_extend`] with the re-pack's leaf tiling on `exec`.
+    /// Produces a tree identical to the serial re-pack.
+    pub fn bulk_extend_par(&self, exec: &Executor, more: Vec<(Aabb<D>, T)>) -> Self {
+        let mut items: Vec<(Aabb<D>, T)> = Vec::with_capacity(self.len() + more.len());
+        items.extend(self.iter().map(|(mbr, value)| (*mbr, value.clone())));
+        items.extend(more);
+        Self::bulk_load_with_config_par(exec, self.config, items)
     }
 }
 
@@ -123,6 +192,42 @@ fn tile<E, const D: usize>(
         for slab in slab_vec {
             tile(slab, dim + 1, cap, center, out);
         }
+    }
+}
+
+/// Top-level tiling with the slab recursion fanned out on `exec`.
+///
+/// Deterministically identical to [`tile`] at `dim = 0`: the full sort
+/// happens here on one thread, slab boundaries come from the same
+/// [`even_chunks`] arithmetic, and each slab is tiled by the ordinary
+/// serial recursion — workers merely claim different slabs, and the
+/// output concatenates slab results in slab order.
+fn tile_par<E: Send, const D: usize>(
+    exec: &Executor,
+    mut entries: Vec<E>,
+    cap: usize,
+    center: &(impl Fn(&E) -> [f64; D] + Sync),
+    out: &mut Vec<Vec<E>>,
+) {
+    let n = entries.len();
+    if n <= cap || D < 2 {
+        return tile(entries, 0, cap, center, out);
+    }
+    let total_groups = n.div_ceil(cap);
+    entries.sort_unstable_by(|a, b| center(a)[0].total_cmp(&center(b)[0]));
+
+    let k = D as f64;
+    let slabs = (total_groups as f64).powf(1.0 / k).ceil() as usize;
+    let slabs = slabs.clamp(1, total_groups);
+    let mut slab_vec = Vec::new();
+    even_chunks(entries, slabs, &mut slab_vec);
+    let tiled = exec.par_map_owned(slab_vec, |slab| {
+        let mut local = Vec::new();
+        tile(slab, 1, cap, center, &mut local);
+        local
+    });
+    for mut local in tiled {
+        out.append(&mut local);
     }
 }
 
@@ -252,6 +357,41 @@ mod tests {
         let t = empty.bulk_extend(points(50));
         assert_eq!(t.len(), 50);
         t.check_invariants();
+    }
+
+    #[test]
+    fn parallel_bulk_load_builds_identical_tree() {
+        use swag_exec::{ExecConfig, Executor};
+        let exec = Executor::new(ExecConfig::with_threads(4));
+        // Both above and below the PAR_TILE_MIN cutoff.
+        for n in [100u32, 5000] {
+            let data = points(n);
+            let serial = RTree::bulk_load(data.clone());
+            let parallel = RTree::bulk_load_par(&exec, data);
+            parallel.check_invariants();
+            assert_eq!(serial.len(), parallel.len());
+            assert_eq!(serial.stats().height, parallel.stats().height);
+            assert_eq!(serial.stats().nodes, parallel.stats().nodes);
+            // Identical structure ⇒ identical traversal order.
+            let a: Vec<(Aabb<2>, u32)> = serial.iter().map(|(m, v)| (*m, *v)).collect();
+            let b: Vec<(Aabb<2>, u32)> = parallel.iter().map(|(m, v)| (*m, *v)).collect();
+            assert_eq!(a, b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_bulk_extend_matches_serial() {
+        use swag_exec::{ExecConfig, Executor};
+        let exec = Executor::new(ExecConfig::with_threads(3));
+        let data = points(4000);
+        let (old, new) = data.split_at(1000);
+        let base = RTree::bulk_load(old.to_vec());
+        let serial = base.bulk_extend(new.to_vec());
+        let parallel = base.bulk_extend_par(&exec, new.to_vec());
+        parallel.check_invariants();
+        let a: Vec<(Aabb<2>, u32)> = serial.iter().map(|(m, v)| (*m, *v)).collect();
+        let b: Vec<(Aabb<2>, u32)> = parallel.iter().map(|(m, v)| (*m, *v)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

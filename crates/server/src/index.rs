@@ -151,6 +151,19 @@ impl FovIndex {
         }
     }
 
+    /// [`Self::bulk_from_boxes`] with the R-tree's STR leaf tiling fanned
+    /// out on `exec`; the resulting index is identical to the serial one.
+    pub fn bulk_from_boxes_par(
+        exec: &swag_exec::Executor,
+        kind: IndexKind,
+        items: Vec<(Aabb<3>, SegmentId)>,
+    ) -> Self {
+        match kind {
+            IndexKind::RTree => FovIndex::RTree(RTree::bulk_load_par(exec, items)),
+            IndexKind::Linear => FovIndex::Linear(items),
+        }
+    }
+
     /// Builds a new index holding this index's items plus `more`, leaving
     /// `self` untouched. R-tree shards are STR re-packed (old + new
     /// together); linear shards are copied and extended.
@@ -162,6 +175,19 @@ impl FovIndex {
                 v.extend(more);
                 FovIndex::Linear(v)
             }
+        }
+    }
+
+    /// [`Self::bulk_extend`] with the re-pack's STR leaf tiling fanned out
+    /// on `exec`; the resulting index is identical to the serial one.
+    pub fn bulk_extend_par(
+        &self,
+        exec: &swag_exec::Executor,
+        more: Vec<(Aabb<3>, SegmentId)>,
+    ) -> Self {
+        match self {
+            FovIndex::RTree(t) => FovIndex::RTree(t.bulk_extend_par(exec, more)),
+            FovIndex::Linear(_) => self.bulk_extend(more),
         }
     }
 
@@ -221,6 +247,20 @@ impl FovIndex {
     /// [`Self::candidates`] against an already-built query box set.
     pub fn candidates_in(&self, boxes: &QueryBoxes) -> Vec<SegmentId> {
         let mut out: Vec<SegmentId> = Vec::new();
+        self.candidates_into(boxes, &mut out);
+        if boxes.as_slice().len() > 1 {
+            // A degenerate FoV point sitting exactly on ±180° could fall
+            // into both half-boxes.
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+
+    /// Appends raw (not antimeridian-deduplicated) matches to `out`.
+    /// Callers that accumulate several shards into one buffer sort and
+    /// deduplicate once at the end, which subsumes the two-box dedup.
+    pub fn candidates_into(&self, boxes: &QueryBoxes, out: &mut Vec<SegmentId>) {
         for qb in boxes.as_slice() {
             match self {
                 FovIndex::RTree(t) => out.extend(t.search(qb).into_iter().copied()),
@@ -231,13 +271,6 @@ impl FovIndex {
                 ),
             }
         }
-        if boxes.as_slice().len() > 1 {
-            // A degenerate FoV point sitting exactly on ±180° could fall
-            // into both half-boxes.
-            out.sort_unstable();
-            out.dedup();
-        }
-        out
     }
 
     /// [`Self::candidates`] that also accumulates traversal counters into

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use swag_core::{CameraProfile, RepFov, UploadBatch};
+use swag_exec::Executor;
 use swag_obs::{Counter, Histogram, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
 use swag_rtree::SearchStats;
 
@@ -225,6 +226,11 @@ pub struct CloudServer {
     config: ServerConfig,
     cam: CameraProfile,
     clock: Arc<dyn MonotonicClock>,
+    /// Work-stealing pool for shard fan-out, publish rebuilds, and query
+    /// batches. Defaults to the process-wide executor; swap in
+    /// [`Executor::serial`] via [`Self::set_executor`] for byte-exact
+    /// deterministic runs.
+    exec: Executor,
     obs: Option<ServerObs>,
     batches: AtomicU64,
     queries: AtomicU64,
@@ -306,11 +312,25 @@ impl CloudServer {
             config,
             cam,
             clock,
+            exec: Executor::global().clone(),
             obs: None,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             query_micros: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the executor used for shard fan-out, publish rebuilds,
+    /// and [`Self::query_batch`]. Pass [`Executor::serial`] to force
+    /// deterministic single-threaded execution regardless of
+    /// `SWAG_EXEC_THREADS`.
+    pub fn set_executor(&mut self, exec: Executor) {
+        self.exec = exec;
+    }
+
+    /// The executor this server schedules parallel work on.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Wires this server's ingest, query, and publish paths to `registry`
@@ -319,6 +339,7 @@ impl CloudServer {
     /// instrumentation costs one branch per query.
     pub fn attach_observability(&mut self, registry: &Registry) {
         self.obs = Some(ServerObs::from_registry(registry));
+        self.exec.attach_observability(registry);
         // Re-publish the core with shard metrics attached so fan-out is
         // recorded from the next query on.
         let mut w = self.writer.lock();
@@ -407,7 +428,7 @@ impl CloudServer {
             }
         }
         w.delta_len = 0;
-        index.bulk_insert(&staged);
+        index.bulk_insert_exec(&self.exec, &staged);
 
         // Retention: expire shards past the horizon, retire the segments
         // that no longer exist in any shard.
@@ -441,7 +462,7 @@ impl CloudServer {
                 items.push((rec.rep, id));
             }
             let mut rebuilt = index.fresh_like();
-            rebuilt.bulk_insert(&items);
+            rebuilt.bulk_insert_exec(&self.exec, &items);
             store = fresh;
             index = rebuilt;
         }
@@ -536,44 +557,45 @@ impl CloudServer {
         self.writer.lock().subscriptions.poll(id)
     }
 
-    /// Answers a query over one epoch: candidates from the snapshot index,
-    /// plus a linear scan of the (bounded) delta, ranked together.
-    fn query_epoch(&self, epoch: &Epoch, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
-        let candidates = epoch.core.index.candidates(query);
-        let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
-        if epoch.delta_len > 0 {
-            let boxes = query_boxes(query);
-            for d in epoch.delta_records() {
-                if boxes.intersects(&d.bbox) && keep(&d.rec, &self.cam, query, opts) {
-                    hits.push(hit_for(&d.rec, &self.cam, query));
-                }
-            }
-        }
-        finalize_hits(&mut hits, opts);
-        hits
-    }
-
-    /// Answers a query with the paper's rank-based retrieval. Lock-free
-    /// after the initial epoch acquisition: the snapshot `Arc` is cloned
-    /// in a momentary read-side critical section and scanning + ranking
-    /// run against immutable data.
-    pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
+    /// Answers a query against an already-acquired epoch, completing the
+    /// latency accounting started at `t0` (the caller reads the clock
+    /// once before acquiring the epoch; this method reads it once more
+    /// uninstrumented, three more times instrumented). Scanning and
+    /// ranking are lock-free: the epoch is immutable, and the shard
+    /// fan-out runs on the server's executor.
+    fn query_on(
+        &self,
+        epoch: &Epoch,
+        t0: u64,
+        query: &Query,
+        opts: &QueryOptions,
+    ) -> Vec<SearchHit> {
         match &self.obs {
             None => {
-                let t0 = self.clock.now_micros();
-                let epoch = self.epoch.read().clone();
-                let hits = self.query_epoch(&epoch, query, opts);
+                let candidates = epoch.core.index.candidates_exec(&self.exec, query);
+                let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
+                if epoch.delta_len > 0 {
+                    let boxes = query_boxes(query);
+                    for d in epoch.delta_records() {
+                        if boxes.intersects(&d.bbox) && keep(&d.rec, &self.cam, query, opts) {
+                            hits.push(hit_for(&d.rec, &self.cam, query));
+                        }
+                    }
+                }
+                finalize_hits(&mut hits, opts);
                 self.queries.fetch_add(1, Ordering::Relaxed);
                 self.query_micros
                     .fetch_add(self.clock.now_micros() - t0, Ordering::Relaxed);
                 hits
             }
             Some(obs) => {
-                let t0 = self.clock.now_micros();
-                let epoch = self.epoch.read().clone();
                 let t_locked = self.clock.now_micros();
                 let mut search = SearchStats::default();
-                let candidates = epoch.core.index.candidates_with_stats(query, &mut search);
+                let candidates =
+                    epoch
+                        .core
+                        .index
+                        .candidates_with_stats_exec(&self.exec, query, &mut search);
                 let boxes = query_boxes(query);
                 let delta_matches: Vec<&DeltaRecord> = epoch
                     .delta_records()
@@ -613,6 +635,16 @@ impl CloudServer {
                 hits
             }
         }
+    }
+
+    /// Answers a query with the paper's rank-based retrieval. Lock-free
+    /// after the initial epoch acquisition: the snapshot `Arc` is cloned
+    /// in a momentary read-side critical section and scanning + ranking
+    /// run against immutable data.
+    pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
+        let t0 = self.clock.now_micros();
+        let epoch = self.epoch.read().clone();
+        self.query_on(&epoch, t0, query, opts)
     }
 
     /// Answers a *k-nearest* request: the `k` segments closest to `center`
@@ -727,29 +759,27 @@ impl CloudServer {
         self.publish_full(&mut w, Some(horizon_s))
     }
 
-    /// Answers many queries concurrently using `threads` worker threads
-    /// (crossbeam scoped threads; each worker clones the epoch per query).
-    /// Result order matches the input order.
+    /// Answers many queries against **one** epoch: the snapshot `Arc` is
+    /// cloned once for the whole batch, so a publish landing mid-batch
+    /// cannot make later queries see different data than earlier ones.
+    /// Queries are evaluated on the server's executor (`threads <= 1`
+    /// forces an in-order serial loop); result order matches input order
+    /// and is byte-identical in serial and parallel mode.
     pub fn query_batch(
         &self,
         queries: &[Query],
         opts: &QueryOptions,
         threads: usize,
     ) -> Vec<Vec<SearchHit>> {
-        let threads = threads.max(1);
-        let mut results: Vec<Vec<SearchHit>> = vec![Vec::new(); queries.len()];
-        let chunk = queries.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|s| {
-            for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                        *slot = self.query(q, opts);
-                    }
-                });
-            }
-        })
-        .expect("query worker panicked");
-        results
+        let epoch = self.epoch.read().clone();
+        let one = |q: &Query| {
+            let t0 = self.clock.now_micros();
+            self.query_on(&epoch, t0, q, opts)
+        };
+        if threads <= 1 || self.exec.is_serial() {
+            return queries.iter().map(one).collect();
+        }
+        self.exec.par_map(queries, one)
     }
 
     /// Exports every stored record, pending delta included (for
@@ -772,7 +802,20 @@ impl CloudServer {
         config: ServerConfig,
         records: Vec<(RepFov, SegmentRef)>,
     ) -> Self {
-        let server = Self::with_config(cam, config);
+        Self::from_records_with_config_exec(cam, config, Executor::global().clone(), records)
+    }
+
+    /// [`Self::from_records_with_config`] on an explicit executor: the
+    /// STR bulk load runs on `exec` (parallel slab packing when it has
+    /// threads), and the server keeps `exec` for query fan-out afterwards.
+    pub fn from_records_with_config_exec(
+        cam: CameraProfile,
+        config: ServerConfig,
+        exec: Executor,
+        records: Vec<(RepFov, SegmentRef)>,
+    ) -> Self {
+        let mut server = Self::with_config(cam, config);
+        server.set_executor(exec);
         {
             let mut w = server.writer.lock();
             let mut store = SegmentStore::new();
@@ -784,7 +827,7 @@ impl CloudServer {
                 max_t_end = max_t_end.max(rep.t_end);
             }
             let mut index = ShardedFovIndex::new(server.config.shard_width_s, server.config.index);
-            index.bulk_insert(&items);
+            index.bulk_insert_exec(&server.exec, &items);
             let core = Arc::new(SnapshotCore {
                 store,
                 index,

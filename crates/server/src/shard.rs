@@ -17,16 +17,45 @@
 //! rebuilds only the shards the new batch touches (STR re-pack of old +
 //! new), sharing every untouched shard with the previous snapshot.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use swag_core::RepFov;
+use swag_exec::Executor;
 use swag_obs::{Histogram, Registry};
 use swag_rtree::{Aabb, SearchStats};
 
 use crate::index::{fov_box, query_boxes, FovIndex, IndexKind};
 use crate::query::Query;
 use crate::store::SegmentId;
+
+thread_local! {
+    /// Reusable accumulator for cross-shard dedup: multi-shard probes
+    /// collect per-shard matches here, sort + dedup in place, then copy
+    /// an exact-sized result out. Clearing keeps the capacity, so steady-
+    /// state queries allocate only their (returned) result vector.
+    static DEDUP_SCRATCH: RefCell<Vec<SegmentId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread's cleared dedup scratch. `f` must not call
+/// back into the executor (a helping wait could re-enter this scratch);
+/// both probe paths finish all pool work before borrowing it.
+fn with_scratch<R>(f: impl FnOnce(&mut Vec<SegmentId>) -> R) -> R {
+    DEDUP_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        scratch.clear();
+        f(&mut scratch)
+    })
+}
+
+/// Sorts + dedups the accumulated candidates and copies them into an
+/// exact-sized result vector (the scratch keeps its capacity).
+fn sorted_dedup(scratch: &mut Vec<SegmentId>) -> Vec<SegmentId> {
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.as_slice().to_vec()
+}
 
 /// Per-query fan-out metrics for a sharded index.
 #[derive(Debug, Clone)]
@@ -172,6 +201,14 @@ impl ShardedFovIndex {
     /// re-pack of its old items plus the new ones (publish path: untouched
     /// shards keep sharing memory with previous snapshots).
     pub fn bulk_insert(&mut self, items: &[(RepFov, SegmentId)]) {
+        self.bulk_insert_exec(&Executor::serial(), items);
+    }
+
+    /// [`Self::bulk_insert`] with the touched shards' STR re-packs fanned
+    /// out on `exec` (each rebuild also tiles its own leaves in parallel
+    /// when large enough). The resulting index is identical to the serial
+    /// build — workers merely claim different shards.
+    pub fn bulk_insert_exec(&mut self, exec: &Executor, items: &[(RepFov, SegmentId)]) {
         self.segments += items.len();
         let mut per_bucket: BTreeMap<i64, Vec<(Aabb<3>, SegmentId)>> = BTreeMap::new();
         for (rep, id) in items {
@@ -180,12 +217,18 @@ impl ShardedFovIndex {
                 per_bucket.entry(bucket).or_default().push((b, *id));
             }
         }
-        for (bucket, new_items) in per_bucket {
-            let rebuilt = match self.shards.get(&bucket) {
-                Some(old) => old.bulk_extend(new_items),
-                None => FovIndex::bulk_from_boxes(self.kind, new_items),
+        let touched: Vec<(i64, Vec<(Aabb<3>, SegmentId)>)> = per_bucket.into_iter().collect();
+        let shards = &self.shards;
+        let kind = self.kind;
+        let rebuilt = exec.par_map_owned(touched, |(bucket, new_items)| {
+            let tree = match shards.get(&bucket) {
+                Some(old) => old.bulk_extend_par(exec, new_items),
+                None => FovIndex::bulk_from_boxes_par(exec, kind, new_items),
             };
-            self.shards.insert(bucket, Arc::new(rebuilt));
+            (bucket, tree)
+        });
+        for (bucket, tree) in rebuilt {
+            self.shards.insert(bucket, Arc::new(tree));
         }
     }
 
@@ -193,25 +236,47 @@ impl ShardedFovIndex {
     /// Only live shards inside the window are visited (a wide-open time
     /// range costs the number of shards, not the number of buckets).
     pub fn candidates(&self, q: &Query) -> Vec<SegmentId> {
+        self.candidates_exec(&Executor::serial(), q)
+    }
+
+    /// [`Self::candidates`] with the per-shard probes fanned out on
+    /// `exec`.
+    ///
+    /// Byte-identical to the serial probe: a multi-shard result is the
+    /// ascending sort + dedup of the union of per-shard matches — the
+    /// same vector no matter which worker scanned which shard — and a
+    /// single-shard probe keeps the unsorted pass-through fast path in
+    /// both modes.
+    pub fn candidates_exec(&self, exec: &Executor, q: &Query) -> Vec<SegmentId> {
         let boxes = query_boxes(q);
-        let mut range = self.shards.range(self.buckets(q.t_start, q.t_end));
-        // The first (usually only) probed shard's result vector is
-        // returned as-is instead of being copied into an accumulator.
-        let (mut out, mut probed) = match range.next() {
-            None => (Vec::new(), 0u64),
-            Some((_, shard)) => (shard.candidates_in(&boxes), 1u64),
+        let shards: Vec<&Arc<FovIndex>> = self
+            .shards
+            .range(self.buckets(q.t_start, q.t_end))
+            .map(|(_, shard)| shard)
+            .collect();
+        let probed = shards.len() as u64;
+        let out = match shards.as_slice() {
+            [] => Vec::new(),
+            // A segment appears at most once per shard, so a single-shard
+            // probe (the common case for windows under the shard width)
+            // needs no dedup pass.
+            [only] => only.candidates_in(&boxes),
+            many if exec.is_serial() => with_scratch(|scratch| {
+                for shard in many {
+                    shard.candidates_into(&boxes, scratch);
+                }
+                sorted_dedup(scratch)
+            }),
+            many => {
+                let per_shard = exec.par_map(many, |shard| shard.candidates_in(&boxes));
+                with_scratch(|scratch| {
+                    for v in &per_shard {
+                        scratch.extend_from_slice(v);
+                    }
+                    sorted_dedup(scratch)
+                })
+            }
         };
-        for (_, shard) in range {
-            probed += 1;
-            out.extend(shard.candidates_in(&boxes));
-        }
-        // A segment appears at most once per shard, so a single-shard
-        // probe (the common case for windows under the shard width)
-        // needs no dedup pass.
-        if probed > 1 {
-            out.sort_unstable();
-            out.dedup();
-        }
         if let Some(obs) = &self.obs {
             obs.fanout.record(probed);
             obs.candidates.record(out.len() as u64);
@@ -222,19 +287,56 @@ impl ShardedFovIndex {
     /// [`Self::candidates`] accumulating per-shard traversal counters into
     /// `stats` (used by the instrumented server query path).
     pub fn candidates_with_stats(&self, q: &Query, stats: &mut SearchStats) -> Vec<SegmentId> {
-        let mut range = self.shards.range(self.buckets(q.t_start, q.t_end));
-        let (mut out, mut probed) = match range.next() {
-            None => (Vec::new(), 0u64),
-            Some((_, shard)) => (shard.candidates_with_stats(q, stats), 1u64),
+        self.candidates_with_stats_exec(&Executor::serial(), q, stats)
+    }
+
+    /// [`Self::candidates_exec`] accumulating per-shard traversal counters
+    /// into `stats`. Parallel workers count into private stats that are
+    /// summed afterwards, so totals match the serial scan exactly.
+    pub fn candidates_with_stats_exec(
+        &self,
+        exec: &Executor,
+        q: &Query,
+        stats: &mut SearchStats,
+    ) -> Vec<SegmentId> {
+        let shards: Vec<&Arc<FovIndex>> = self
+            .shards
+            .range(self.buckets(q.t_start, q.t_end))
+            .map(|(_, shard)| shard)
+            .collect();
+        let probed = shards.len() as u64;
+        let out = match shards.as_slice() {
+            [] => Vec::new(),
+            [only] => only.candidates_with_stats(q, stats),
+            many if exec.is_serial() => {
+                let per_shard: Vec<Vec<SegmentId>> = many
+                    .iter()
+                    .map(|shard| shard.candidates_with_stats(q, stats))
+                    .collect();
+                with_scratch(|scratch| {
+                    for v in &per_shard {
+                        scratch.extend_from_slice(v);
+                    }
+                    sorted_dedup(scratch)
+                })
+            }
+            many => {
+                let per_shard = exec.par_map(many, |shard| {
+                    let mut local = SearchStats::default();
+                    let v = shard.candidates_with_stats(q, &mut local);
+                    (v, local)
+                });
+                for (_, local) in &per_shard {
+                    stats.merge(local);
+                }
+                with_scratch(|scratch| {
+                    for (v, _) in &per_shard {
+                        scratch.extend_from_slice(v);
+                    }
+                    sorted_dedup(scratch)
+                })
+            }
         };
-        for (_, shard) in range {
-            probed += 1;
-            out.extend(shard.candidates_with_stats(q, stats));
-        }
-        if probed > 1 {
-            out.sort_unstable();
-            out.dedup();
-        }
         if let Some(obs) = &self.obs {
             obs.fanout.record(probed);
             obs.candidates.record(out.len() as u64);
