@@ -5,9 +5,14 @@
 //! * **baseline** — an exact replica of the query loop as it was before
 //!   instrumentation (RwLock read, index scan, ranking, `Instant`-based
 //!   latency atomics), built from the same public components;
-//! * **disabled** — `CloudServer` with no observability attached, i.e.
-//!   the one-branch-per-query path every deployment pays;
-//! * **enabled** — `CloudServer` with a full registry attached.
+//! * **disabled** — `CloudServer` with no observability attached. This
+//!   path now also carries the dormant causal-tracing machinery (a
+//!   disabled `FlightRecorder` whose span guards cost one relaxed load
+//!   plus a branch, and `TraceCtx` capture in the executor), so the
+//!   gate below covers recorder/ctx propagation too;
+//! * **enabled** — `CloudServer` with a full registry attached;
+//! * **traced** — `CloudServer` with its flight recorder *enabled* (no
+//!   registry): the cost of live span recording, reported but ungated.
 //!
 //! Writes `BENCH_obs.json` at the workspace root and exits non-zero if
 //! the disabled path regresses by `LIMIT_PCT` or more against baseline.
@@ -137,34 +142,42 @@ fn main() {
     let registry = Registry::new();
     let mut enabled = CloudServer::new(cam);
     enabled.attach_observability(&registry);
+    let traced = CloudServer::new(cam);
+    traced.flight_recorder().enable();
     for &(rep, source) in &items {
         disabled.ingest_one(rep, source);
         enabled.ingest_one(rep, source);
+        traced.ingest_one(rep, source);
     }
 
     // Warm up every subject, then time them interleaved per round so
-    // drift (frequency scaling, page cache) hits all three equally.
-    for subject in 0..3 {
+    // drift (frequency scaling, page cache) hits all four equally.
+    for subject in 0..4 {
         let _ = match subject {
             0 => round_ns(|q| baseline.query(q, &opts), &qs),
             1 => round_ns(|q| disabled.query(q, &opts).len(), &qs),
-            _ => round_ns(|q| enabled.query(q, &opts).len(), &qs),
+            2 => round_ns(|q| enabled.query(q, &opts).len(), &qs),
+            _ => round_ns(|q| traced.query(q, &opts).len(), &qs),
         };
     }
     let mut t_base = Vec::with_capacity(ROUNDS);
     let mut t_disabled = Vec::with_capacity(ROUNDS);
     let mut t_enabled = Vec::with_capacity(ROUNDS);
+    let mut t_traced = Vec::with_capacity(ROUNDS);
     for _ in 0..ROUNDS {
         t_base.push(round_ns(|q| baseline.query(q, &opts), &qs));
         t_disabled.push(round_ns(|q| disabled.query(q, &opts).len(), &qs));
         t_enabled.push(round_ns(|q| enabled.query(q, &opts).len(), &qs));
+        t_traced.push(round_ns(|q| traced.query(q, &opts).len(), &qs));
     }
 
     let med_base = median(&mut t_base);
     let med_disabled = median(&mut t_disabled);
     let med_enabled = median(&mut t_enabled);
+    let med_traced = median(&mut t_traced);
     let pct = |ns: u64| (ns as f64 - med_base as f64) / med_base as f64 * 100.0;
-    let (disabled_pct, enabled_pct) = (pct(med_disabled), pct(med_enabled));
+    let (disabled_pct, enabled_pct, traced_pct) =
+        (pct(med_disabled), pct(med_enabled), pct(med_traced));
     let pass = disabled_pct < LIMIT_PCT;
 
     println!("obs overhead over {SEGMENTS} segments, {QUERIES} queries x {ROUNDS} rounds");
@@ -180,6 +193,10 @@ fn main() {
         "  enabled   median {:>10} / round  ({enabled_pct:+.2}%)",
         fmt_duration(std::time::Duration::from_nanos(med_enabled))
     );
+    println!(
+        "  traced    median {:>10} / round  ({traced_pct:+.2}%)",
+        fmt_duration(std::time::Duration::from_nanos(med_traced))
+    );
 
     let json = format!(
         concat!(
@@ -187,10 +204,11 @@ fn main() {
             "  \"segments\": {},\n",
             "  \"queries_per_round\": {},\n",
             "  \"rounds\": {},\n",
-            "  \"median_round_ns\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}}},\n",
-            "  \"overhead_pct\": {{\"disabled\": {:.3}, \"enabled\": {:.3}}},\n",
+            "  \"median_round_ns\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}, \"traced\": {}}},\n",
+            "  \"overhead_pct\": {{\"disabled\": {:.3}, \"enabled\": {:.3}, \"traced\": {:.3}}},\n",
             "  \"limit_pct\": {},\n",
             "  \"metrics_recorded\": {},\n",
+            "  \"span_events_recorded\": {},\n",
             "  \"pass\": {}\n",
             "}}\n"
         ),
@@ -200,10 +218,13 @@ fn main() {
         med_base,
         med_disabled,
         med_enabled,
+        med_traced,
         disabled_pct,
         enabled_pct,
+        traced_pct,
         LIMIT_PCT,
         registry.len(),
+        traced.flight_recorder().dump().len(),
         pass
     );
     let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));

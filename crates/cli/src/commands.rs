@@ -1,13 +1,20 @@
 //! The `swag` subcommands.
 
 use std::io::Write as _;
+use std::sync::Arc;
 
 use swag_client::{ClientPipeline, Uploader};
 use swag_core::{read_trace_csv, write_reps_csv, write_trace_csv, CameraProfile, RepFov, TimedFov};
 use swag_exec::{ExecConfig, Executor};
 use swag_geo::{LatLon, Trajectory};
-use swag_net::{observe_plan, plan_uploads, Connectivity, DataPlan, NetworkLink, UploadPolicy};
-use swag_obs::{Metric, Registry};
+use swag_net::{
+    observe_plan, plan_uploads, plan_uploads_traced, Connectivity, DataPlan, NetworkLink,
+    UploadPolicy,
+};
+use swag_obs::{
+    assemble, chrome_trace_json, render_waterfall, FlightRecorder, Metric, Registry, SpanTree,
+    DEFAULT_RING_CAPACITY,
+};
 use swag_sensors::{scenarios, SensorNoise};
 use swag_server::{
     load_snapshot, save_snapshot, CloudServer, Query, QueryOptions, RankMode, SegmentRef,
@@ -338,6 +345,127 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
             );
         }
         other => return Err(format!("unknown format '{other}' (pretty|prometheus|json)")),
+    }
+    Ok(())
+}
+
+/// `swag trace` — replay the probe workload with causal tracing enabled
+/// and render the slowest query span trees as ASCII waterfalls.
+///
+/// One [`FlightRecorder`] is shared across every layer — client
+/// segmentation, descriptor encoding, upload planning, and the server —
+/// so a single trace shows the full request path. `--chrome FILE` also
+/// exports every recorded span in Chrome trace-event JSON (load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>).
+pub fn trace(args: ArgParser) -> Result<(), String> {
+    let seed = args.get_u64("seed", 42)?;
+    let n_queries = args.get_u64("queries", 32)?;
+    let top = args.get_u64("top", 3)? as usize;
+    let threads = args.get_u64("threads", 1)? as usize;
+    let slow_micros = match args.get("slow-micros") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse::<u64>()
+                .map_err(|e| format!("--slow-micros: {e}"))?,
+        ),
+    };
+
+    let recorder = Arc::new(FlightRecorder::new(DEFAULT_RING_CAPACITY));
+    recorder.enable();
+
+    // Client layer: segment a simulated city recording, traced.
+    let frames = scenarios::city_walk(seed, 3, &SensorNoise::smartphone());
+    let mut pipeline = ClientPipeline::new(camera(), 0.5)
+        .with_smoothing(0.15)
+        .with_flight_recorder(recorder.clone());
+    for &frame in &frames {
+        pipeline.push(frame);
+    }
+    let recording = pipeline.finish();
+    if recording.reps.is_empty() {
+        return Err("probe workload produced no segments".into());
+    }
+
+    // Upload layer: encode descriptors and plan their transmission.
+    let mut uploader = Uploader::new(0);
+    uploader.attach_flight_recorder(recorder.clone());
+    let (wire, batch) = uploader
+        .upload(recording.reps.clone())
+        .map_err(|e| e.to_string())?;
+    let uploads = [(30.0, wire.len()), (400.0, wire.len())];
+    plan_uploads_traced(
+        &recorder,
+        UploadPolicy::WifiPreferred { max_delay_s: 300.0 },
+        &Connectivity::new(vec![(0.0, 60.0), (900.0, 1800.0)]),
+        &uploads,
+        &NetworkLink::cellular_4g(),
+        &NetworkLink::wifi(),
+        &DataPlan::metered(),
+    );
+
+    // Server layer: ingest and query around every recorded segment.
+    let mut server = CloudServer::with_config(
+        camera(),
+        ServerConfig {
+            slow_query_micros: slow_micros,
+            ..ServerConfig::default()
+        },
+    );
+    server.set_executor(if threads <= 1 {
+        Executor::serial()
+    } else {
+        Executor::new(ExecConfig::with_threads(threads))
+    });
+    server.set_flight_recorder(recorder.clone());
+    server.ingest_batch(&batch);
+    let probes: Vec<Query> = (0..n_queries)
+        .map(|i| {
+            let rep = &recording.reps[i as usize % recording.reps.len()];
+            Query::new(rep.t_start - 5.0, rep.t_end + 5.0, rep.fov.p, 150.0)
+        })
+        .collect();
+    server.query_batch(&probes, &QueryOptions::default(), threads);
+
+    let events = recorder.dump();
+    if let Some(path) = args.get("chrome") {
+        let json = chrome_trace_json(&events);
+        write_bytes(path, json.as_bytes())?;
+        eprintln!(
+            "wrote {} span events as Chrome trace JSON to {path}",
+            events.len()
+        );
+    }
+
+    let trees = assemble(&events);
+    let (mut query_trees, other_trees): (Vec<SpanTree>, Vec<SpanTree>) = trees
+        .into_iter()
+        .partition(|t| t.roots.iter().any(|r| r.label == "query"));
+    query_trees.sort_by_key(|t| std::cmp::Reverse(t.total_micros()));
+    println!(
+        "{} span events across {} query traces (+{} other traces), {} queries replayed",
+        events.len(),
+        query_trees.len(),
+        other_trees.len(),
+        n_queries,
+    );
+    let slow = recorder.slow_queries();
+    println!(
+        "slow-query capture: {} pinned (threshold {})",
+        slow.len(),
+        match recorder.slow_threshold_micros() {
+            0 => "off".to_string(),
+            t => format!("{t} us"),
+        },
+    );
+    for (rank, tree) in query_trees.iter().take(top.max(1)).enumerate() {
+        println!(
+            "\n#{} slowest query — {} us, {} spans, trace {}",
+            rank + 1,
+            tree.total_micros(),
+            tree.span_count(),
+            tree.trace_id,
+        );
+        print!("{}", render_waterfall(tree, 48));
     }
     Ok(())
 }

@@ -8,6 +8,7 @@
 //!               --radius 100 --t0 0 --t1 60 --top 10
 //! swag retract  --snapshot db.swag --provider 1
 //! swag stats    --format prometheus
+//! swag trace    --queries 64 --chrome trace.json
 //! ```
 //!
 //! Traces are plain CSV (`t,lat,lng,theta`; see
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         "query" => commands::query(parser),
         "retract" => commands::retract(parser),
         "stats" => commands::stats(parser),
+        "trace" => commands::trace(parser),
         "export" => commands::export(parser),
         "simplify" => commands::simplify(parser),
         "help" | "--help" | "-h" => {
@@ -69,6 +71,8 @@ USAGE:
   swag retract  --snapshot FILE --provider ID
   swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
                 [--threads N] [--shard-width SECS] [--retain SECS]
+  swag trace    [--seed N] [--queries N] [--top K] [--threads N]
+                [--slow-micros US] [--chrome FILE]
   swag export   --in TRACE.csv --geojson FILE
   swag simplify --in TRACE.csv --tolerance M --out FILE
   swag help

@@ -1,0 +1,171 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serialises a flight-recorder dump into the Trace Event Format
+//! consumed by `chrome://tracing` and Perfetto. Spans with both begin
+//! and end records become complete `"X"` events (robust to timestamp
+//! ties, unlike `B`/`E` pairs); records whose partner was recycled out
+//! of the ring degrade to instant `"i"` events so the file always
+//! loads. Trace/span/parent ids ride along in `args` for cross-
+//! referencing with the slow-query log.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::recorder::{SpanEvent, SpanEventKind};
+
+/// Escapes a string for a JSON string literal body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `events` as a Chrome trace-event JSON document. Timestamps
+/// are already microseconds, the unit the format expects; recorder
+/// thread tags map to `tid`, and the whole process is `pid` 1.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    // span_id -> (begin, end); a span appears at most once per kind.
+    let mut spans: BTreeMap<u64, (Option<&SpanEvent>, Option<&SpanEvent>)> = BTreeMap::new();
+    for ev in events {
+        let entry = spans.entry(ev.span_id).or_default();
+        match ev.kind {
+            SpanEventKind::Begin => entry.0 = Some(ev),
+            SpanEventKind::End => entry.1 = Some(ev),
+        }
+    }
+
+    // (ts, tid, span_id, json) for deterministic output order.
+    let mut rows: Vec<(u64, u64, u64, String)> = Vec::new();
+    for (span_id, pair) in &spans {
+        match pair {
+            (Some(b), Some(e)) => {
+                let dur = e.micros.saturating_sub(b.micros);
+                rows.push((
+                    b.micros,
+                    b.thread,
+                    *span_id,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"swag\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{},\"detail\":{}}}}}",
+                        json_escape(b.label),
+                        b.micros,
+                        dur,
+                        b.thread,
+                        b.trace_id,
+                        span_id,
+                        b.parent,
+                        e.detail,
+                    ),
+                ));
+            }
+            (Some(ev), None) | (None, Some(ev)) => {
+                rows.push((
+                    ev.micros,
+                    ev.thread,
+                    *span_id,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"swag\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"trace\":{},\"span\":{},\"parent\":{}}}}}",
+                        json_escape(ev.label),
+                        ev.micros,
+                        ev.thread,
+                        ev.trace_id,
+                        span_id,
+                        ev.parent,
+                    ),
+                ));
+            }
+            (None, None) => unreachable!("entry inserted with one side set"),
+        }
+    }
+    rows.sort_by_key(|(ts, tid, span, _)| (*ts, *tid, *span));
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, (_, _, _, row)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(row);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::recorder::FlightRecorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn matched_spans_export_as_complete_events() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = FlightRecorder::with_clock(64, clock.clone());
+        rec.enable();
+        {
+            let _q = rec.span("query");
+            clock.advance_micros(3);
+            {
+                let _p = rec.span("probe");
+                clock.advance_micros(5);
+            }
+        }
+        let json = chrome_trace_json(&rec.dump());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(json.contains("\"dur\":8"));
+        assert!(json.contains("\"dur\":5"));
+        assert!(!json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn unmatched_records_degrade_to_instants() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = FlightRecorder::with_clock(64, clock.clone());
+        rec.enable();
+        let span = rec.span("half-open");
+        clock.advance_micros(1);
+        let json = chrome_trace_json(&rec.dump());
+        drop(span);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn labels_are_json_escaped() {
+        let ev = SpanEvent {
+            kind: SpanEventKind::Begin,
+            label: "evil\"label\\with\nnewline",
+            trace_id: 1,
+            span_id: 2,
+            parent: 0,
+            thread: 1,
+            micros: 0,
+            detail: 0,
+        };
+        let json = chrome_trace_json(&[ev]);
+        assert!(json.contains("evil\\\"label\\\\with\\nnewline"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn empty_dump_is_still_valid_json() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Trace-context propagation: the causal identity of the work a thread
+//! is currently doing.
+//!
+//! A [`TraceCtx`] names one span inside one trace. Every thread carries
+//! an *ambient* context in a thread-local cell; span guards (see
+//! [`crate::FlightRecorder`]) push their own context on entry and
+//! restore the previous one on exit, so nested spans form a tree. The
+//! executor (`swag-exec`) captures the ambient context when a job is
+//! submitted and re-installs it inside the worker that ultimately runs
+//! the job — a span tree therefore survives work stealing: a shard probe
+//! executed on a stolen thread is still parented to the query span that
+//! scheduled it.
+//!
+//! The context is three `u64`s and a `Cell` access; capturing and
+//! restoring it is branch-and-copy cheap, which is why the executor can
+//! afford to do it unconditionally.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of the current span: which trace it belongs to, which span
+/// it is, and which span caused it. `trace_id == 0` means "no ambient
+/// trace" and `parent == 0` marks a root span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The request this work belongs to (0 = none).
+    pub trace_id: u64,
+    /// This span's id, unique across threads and recorders.
+    pub span_id: u64,
+    /// The causing span's id (0 = root of its trace).
+    pub parent: u64,
+}
+
+thread_local! {
+    /// The ambient context of the current thread.
+    static CURRENT: Cell<TraceCtx> = const { Cell::new(TraceCtx::NONE) };
+}
+
+/// Trace ids are allocated process-wide so traces from different
+/// recorders never collide.
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+/// Span ids share one process-wide sequence for the same reason.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+impl TraceCtx {
+    /// The absent context (no trace, no span).
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+        parent: 0,
+    };
+
+    /// Whether this is the absent context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// Whether this names a real span.
+    pub fn is_some(&self) -> bool {
+        !self.is_none()
+    }
+
+    /// The calling thread's ambient context ([`TraceCtx::NONE`] outside
+    /// any span).
+    pub fn current() -> TraceCtx {
+        CURRENT.get()
+    }
+
+    /// Installs `ctx` as the ambient context, returning the previous one
+    /// so the caller can restore it. The executor brackets every job
+    /// with a set/restore pair; span guards do the same.
+    pub fn set_current(ctx: TraceCtx) -> TraceCtx {
+        CURRENT.replace(ctx)
+    }
+
+    /// A fresh root context in a brand-new trace.
+    pub fn new_root() -> TraceCtx {
+        TraceCtx {
+            trace_id: NEXT_TRACE.fetch_add(1, Ordering::Relaxed),
+            span_id: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+            parent: 0,
+        }
+    }
+
+    /// A fresh child context of `self` (same trace, new span id).
+    pub fn child(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+            parent: self.span_id,
+        }
+    }
+
+    /// A child of the ambient context, or a fresh root when there is
+    /// none — the context a new span should run under.
+    pub fn next() -> TraceCtx {
+        let ambient = TraceCtx::current();
+        if ambient.is_none() {
+            TraceCtx::new_root()
+        } else {
+            ambient.child()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_defaults_to_none() {
+        std::thread::spawn(|| {
+            assert!(TraceCtx::current().is_none());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn set_current_returns_previous() {
+        let prev = TraceCtx::set_current(TraceCtx::NONE);
+        let root = TraceCtx::new_root();
+        assert_eq!(TraceCtx::set_current(root), TraceCtx::NONE);
+        assert_eq!(TraceCtx::current(), root);
+        let child = TraceCtx::next();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent, root.span_id);
+        assert_ne!(child.span_id, root.span_id);
+        TraceCtx::set_current(prev);
+    }
+
+    #[test]
+    fn next_without_ambient_is_a_root() {
+        std::thread::spawn(|| {
+            let ctx = TraceCtx::next();
+            assert!(ctx.is_some());
+            assert_eq!(ctx.parent, 0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| (0..256).map(|_| TraceCtx::new_root()).collect::<Vec<_>>())
+            })
+            .collect();
+        let ctxs: Vec<TraceCtx> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let n = ctxs.len();
+        for ids in [
+            ctxs.iter().map(|c| c.trace_id).collect::<Vec<u64>>(),
+            ctxs.iter().map(|c| c.span_id).collect::<Vec<u64>>(),
+        ] {
+            let mut sorted = ids;
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "ids collided within a sequence");
+        }
+    }
+}

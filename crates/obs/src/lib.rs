@@ -18,17 +18,35 @@
 //! 3. **Mergeable snapshots.** [`HistogramSnapshot`]s add bucket-wise, so
 //!    per-shard or per-thread histograms can be combined after the fact;
 //!    quantiles (p50/p90/p99/max) come from the buckets.
+//!
+//! On top of the metric substrate sits **causal tracing**: a
+//! [`TraceCtx`] propagated through thread-locals (and across the
+//! `swag-exec` pool into stolen jobs), a lock-free [`FlightRecorder`]
+//! of per-thread span rings with slow-query capture, span-tree
+//! reassembly ([`assemble`]) with ASCII waterfalls, and a Chrome
+//! trace-event exporter ([`chrome_trace_json`]).
 
+mod chrome;
 mod clock;
+mod ctx;
 mod metrics;
 mod percentiles;
+mod recorder;
 mod registry;
 mod span;
 mod trace;
+mod tree;
 
+pub use chrome::chrome_trace_json;
 pub use clock::{ManualClock, MonotonicClock, WallClock};
+pub use ctx::TraceCtx;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use percentiles::Percentiles;
-pub use registry::{Metric, Registry};
+pub use recorder::{
+    FlightRecorder, SlowQuery, SpanEvent, SpanEventKind, SpanGuard, DEFAULT_RING_CAPACITY,
+    DEFAULT_SLOW_CAPACITY,
+};
+pub use registry::{escape_help, escape_label_value, Metric, Registry};
 pub use span::SpanTimer;
 pub use trace::{Trace, TraceEvent};
+pub use tree::{assemble, render_waterfall, SpanNode, SpanTree};

@@ -1,0 +1,696 @@
+//! Always-on flight recorder: lock-free per-thread span rings.
+//!
+//! A [`FlightRecorder`] keeps the recent past of every thread as a
+//! bounded ring of span begin/end records. Recording is wait-free for
+//! the owning thread — each ring has exactly one writer, and every slot
+//! is a tiny seqlock (a version counter plus relaxed atomic fields), so
+//! a dump can merge all rings into one chronological event list while
+//! the system keeps running: torn slots are simply skipped, never
+//! waited on.
+//!
+//! Two read paths:
+//!
+//! - [`FlightRecorder::dump`] — merge every ring, oldest surviving
+//!   events first, for ad-hoc inspection and Chrome-trace export.
+//! - **Slow-query capture** — a span opened with
+//!   [`FlightRecorder::guarded_span`] checks its elapsed time against
+//!   [`FlightRecorder::slow_threshold_micros`] when it ends; past the
+//!   threshold, every event of its trace is copied (pinned) into a
+//!   bounded retained log before the rings can recycle it, so the tail
+//!   latency offender keeps its complete span tree even though fast
+//!   queries keep overwriting ring space.
+//!
+//! When disabled (the default), starting a span costs one relaxed load
+//! and a branch; nothing touches the rings and no clock is read.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock::{MonotonicClock, WallClock};
+use crate::ctx::TraceCtx;
+
+/// Default per-thread ring capacity (events, not spans).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+/// Default number of retained slow queries.
+pub const DEFAULT_SLOW_CAPACITY: usize = 16;
+
+/// Whether a record marks a span's entry or exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanEventKind {
+    /// The span started.
+    Begin,
+    /// The span finished (carries the span's `detail` payload).
+    End,
+}
+
+/// One flight-recorder record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Begin or end.
+    pub kind: SpanEventKind,
+    /// Span label (static so recording never allocates).
+    pub label: &'static str,
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// The span's unique id.
+    pub span_id: u64,
+    /// Parent span id (0 = trace root).
+    pub parent: u64,
+    /// Recorder-assigned id of the recording thread.
+    pub thread: u64,
+    /// Timestamp, microseconds on the recorder's clock.
+    pub micros: u64,
+    /// Free-form payload (candidate count, byte size, ...); end only.
+    pub detail: u64,
+}
+
+/// One seqlock slot. The version counter is odd while the owner thread
+/// rewrites the fields; readers retry/skip on a torn read. All fields
+/// are relaxed atomics, so concurrent access is race-free by
+/// construction and the seqlock only has to provide *consistency*.
+#[derive(Default)]
+struct Slot {
+    seq: AtomicU64,
+    kind: AtomicU64,
+    label_ptr: AtomicUsize,
+    label_len: AtomicUsize,
+    trace_id: AtomicU64,
+    span_id: AtomicU64,
+    parent: AtomicU64,
+    micros: AtomicU64,
+    detail: AtomicU64,
+}
+
+/// One thread's bounded event ring. Written only by the owning thread;
+/// readable from any thread through the per-slot seqlocks.
+struct ThreadRing {
+    thread: u64,
+    /// Events ever pushed; the slot index is `head % capacity`.
+    head: AtomicU64,
+    /// Events below this index are logically cleared.
+    floor: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl ThreadRing {
+    fn new(capacity: usize, thread: u64) -> Self {
+        ThreadRing {
+            thread,
+            head: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            slots: (0..capacity.max(2)).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Appends one event. Must only be called by the owning thread.
+    fn push(&self, ev: &SpanEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq.wrapping_add(1), Ordering::Relaxed); // odd: write in progress
+        fence(Ordering::Release);
+        slot.kind.store(ev.kind as u64, Ordering::Relaxed);
+        slot.label_ptr
+            .store(ev.label.as_ptr() as usize, Ordering::Relaxed);
+        slot.label_len.store(ev.label.len(), Ordering::Relaxed);
+        slot.trace_id.store(ev.trace_id, Ordering::Relaxed);
+        slot.span_id.store(ev.span_id, Ordering::Relaxed);
+        slot.parent.store(ev.parent, Ordering::Relaxed);
+        slot.micros.store(ev.micros, Ordering::Relaxed);
+        slot.detail.store(ev.detail, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.seq.store(seq.wrapping_add(2), Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Copies every stable retained event into `out`, skipping slots the
+    /// owner is concurrently rewriting.
+    fn read_into(&self, out: &mut Vec<SpanEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let floor = self.floor.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let oldest = head.saturating_sub(cap).max(floor);
+        for i in oldest..head {
+            let slot = &self.slots[(i % cap) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                continue; // mid-write
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let label_ptr = slot.label_ptr.load(Ordering::Relaxed);
+            let label_len = slot.label_len.load(Ordering::Relaxed);
+            let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            let span_id = slot.span_id.load(Ordering::Relaxed);
+            let parent = slot.parent.load(Ordering::Relaxed);
+            let micros = slot.micros.load(Ordering::Relaxed);
+            let detail = slot.detail.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // overwritten while reading
+            }
+            // SAFETY: the seqlock validated that (ptr, len) is the
+            // consistent pair stored from one `&'static str` in `push`,
+            // so reconstituting that reference is sound.
+            let label = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                    label_ptr as *const u8,
+                    label_len,
+                ))
+            };
+            out.push(SpanEvent {
+                kind: if kind == 0 {
+                    SpanEventKind::Begin
+                } else {
+                    SpanEventKind::End
+                },
+                label,
+                trace_id,
+                span_id,
+                parent,
+                thread: self.thread,
+                micros,
+                detail,
+            });
+        }
+    }
+}
+
+/// One slow query pinned by the capture path: the root span's identity
+/// plus a private copy of every event of its trace.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The pinned trace.
+    pub trace_id: u64,
+    /// Label of the guarded span that tripped the threshold.
+    pub root_label: &'static str,
+    /// The guarded span's wall time, microseconds.
+    pub total_micros: u64,
+    /// Every event of the trace still present in the rings at pin time,
+    /// chronological.
+    pub events: Vec<SpanEvent>,
+}
+
+/// Recorder ids are process-global so a thread-local ring cache can tell
+/// recorders apart even across drop/re-create cycles.
+static NEXT_RECORDER: AtomicU64 = AtomicU64::new(1);
+/// Recorder-visible thread tags (std's `ThreadId` has no stable u64).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's tag, assigned on first recording.
+    static THREAD_TAG: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// This thread's rings, one per recorder it has recorded to.
+    static RINGS: RefCell<Vec<(u64, Arc<ThreadRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_tag() -> u64 {
+    THREAD_TAG.with(|t| *t)
+}
+
+/// The per-process (or per-test) flight recorder.
+pub struct FlightRecorder {
+    id: u64,
+    enabled: AtomicBool,
+    capacity: usize,
+    clock: Arc<dyn MonotonicClock>,
+    /// Every ring ever registered, so dumps see threads that have died.
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    /// Guarded spans at least this slow pin their trace (0 = never).
+    slow_threshold: AtomicU64,
+    slow_capacity: usize,
+    slow_log: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .field("slow_threshold_micros", &self.slow_threshold_micros())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A disabled recorder with `capacity` events per thread ring,
+    /// timing on the wall clock.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_clock(capacity, Arc::new(WallClock))
+    }
+
+    /// [`Self::new`] against an injected clock (deterministic tests).
+    pub fn with_clock(capacity: usize, clock: Arc<dyn MonotonicClock>) -> Self {
+        FlightRecorder {
+            id: NEXT_RECORDER.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(false),
+            capacity,
+            clock,
+            rings: Mutex::new(Vec::new()),
+            slow_threshold: AtomicU64::new(0),
+            slow_capacity: DEFAULT_SLOW_CAPACITY,
+            slow_log: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The process-wide recorder (disabled until [`Self::enable`]).
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| FlightRecorder::new(DEFAULT_RING_CAPACITY))
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns recording off. Spans already open still write their end
+    /// records; retained events stay readable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether spans are being recorded — one relaxed load, the only
+    /// cost a disabled deployment pays per span site.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Per-thread ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The recorder's time source.
+    pub fn clock(&self) -> &Arc<dyn MonotonicClock> {
+        &self.clock
+    }
+
+    /// Sets the slow-query capture threshold (microseconds; 0 disables
+    /// capture).
+    pub fn set_slow_threshold_micros(&self, micros: u64) {
+        self.slow_threshold.store(micros, Ordering::Relaxed);
+    }
+
+    /// The current slow-query capture threshold (0 = capture off).
+    pub fn slow_threshold_micros(&self) -> u64 {
+        self.slow_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Starts a span: child of the calling thread's ambient context, or
+    /// the root of a fresh trace when there is none. The guard restores
+    /// the ambient context and writes the end record on drop. When the
+    /// recorder is disabled this returns a no-op guard after one branch.
+    pub fn span(&self, label: &'static str) -> SpanGuard<'_> {
+        self.start_span(label, false)
+    }
+
+    /// [`Self::span`] with slow-query capture armed: if the span's
+    /// elapsed time reaches the slow threshold when it ends, its whole
+    /// trace is pinned into the retained slow-query log.
+    pub fn guarded_span(&self, label: &'static str) -> SpanGuard<'_> {
+        self.start_span(label, true)
+    }
+
+    fn start_span(&self, label: &'static str, guarded: bool) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                rec: None,
+                label,
+                ctx: TraceCtx::NONE,
+                prev: TraceCtx::NONE,
+                start: 0,
+                detail: 0,
+                guarded: false,
+                _not_send: std::marker::PhantomData,
+            };
+        }
+        let ctx = TraceCtx::next();
+        let prev = TraceCtx::set_current(ctx);
+        let start = self.clock.now_micros();
+        self.record(SpanEventKind::Begin, label, ctx, start, 0);
+        SpanGuard {
+            rec: Some(self),
+            label,
+            ctx,
+            prev,
+            start,
+            detail: 0,
+            guarded,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    fn record(
+        &self,
+        kind: SpanEventKind,
+        label: &'static str,
+        ctx: TraceCtx,
+        micros: u64,
+        detail: u64,
+    ) {
+        let ev = SpanEvent {
+            kind,
+            label,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent: ctx.parent,
+            thread: thread_tag(),
+            micros,
+            detail,
+        };
+        RINGS.with(|cell| {
+            let mut rings = cell.borrow_mut();
+            if let Some((_, ring)) = rings.iter().find(|(id, _)| *id == self.id) {
+                ring.push(&ev);
+                return;
+            }
+            let ring = Arc::new(ThreadRing::new(self.capacity, thread_tag()));
+            self.rings
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ring.clone());
+            ring.push(&ev);
+            rings.push((self.id, ring));
+        });
+    }
+
+    fn ring_snapshot(&self) -> Vec<Arc<ThreadRing>> {
+        self.rings.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Merges every thread ring into one chronological event list
+    /// without stopping writers (concurrently rewritten slots are
+    /// skipped). Ties on the clock sort by span id, begins first.
+    pub fn dump(&self) -> Vec<SpanEvent> {
+        let mut out = Vec::new();
+        for ring in self.ring_snapshot() {
+            ring.read_into(&mut out);
+        }
+        out.sort_by_key(|e| (e.micros, e.span_id, e.kind));
+        out
+    }
+
+    /// The retained events of one trace, chronological.
+    pub fn trace_events(&self, trace_id: u64) -> Vec<SpanEvent> {
+        let mut out = self.dump();
+        out.retain(|e| e.trace_id == trace_id);
+        out
+    }
+
+    /// Pins `trace_id`'s surviving events into the slow-query log
+    /// (evicting the oldest entry past capacity). Normally invoked by a
+    /// guarded span crossing the threshold, public for tools that decide
+    /// slowness themselves.
+    pub fn pin(&self, trace_id: u64, root_label: &'static str, total_micros: u64) {
+        let events = self.trace_events(trace_id);
+        let mut log = self.slow_log.lock().unwrap_or_else(|e| e.into_inner());
+        if log.len() >= self.slow_capacity {
+            log.pop_front();
+        }
+        log.push_back(SlowQuery {
+            trace_id,
+            root_label,
+            total_micros,
+            events,
+        });
+    }
+
+    /// The retained slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drops all retained ring events (the slow-query log is kept; see
+    /// [`Self::clear_slow_log`]). Events recorded concurrently with the
+    /// clear may survive.
+    pub fn clear(&self) {
+        for ring in self.ring_snapshot() {
+            ring.floor
+                .store(ring.head.load(Ordering::Acquire), Ordering::Release);
+        }
+    }
+
+    /// Empties the retained slow-query log.
+    pub fn clear_slow_log(&self) {
+        self.slow_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+/// RAII span: restores the ambient [`TraceCtx`] and records the end
+/// event on drop. Not `Send` — a span begins and ends on one thread
+/// (cross-thread children get their own spans via context propagation).
+pub struct SpanGuard<'a> {
+    rec: Option<&'a FlightRecorder>,
+    label: &'static str,
+    ctx: TraceCtx,
+    prev: TraceCtx,
+    start: u64,
+    detail: u64,
+    guarded: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard<'_> {
+    /// Whether this guard is actually recording (false when the recorder
+    /// was disabled at span start).
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// This span's context, if recording.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        self.rec.map(|_| self.ctx)
+    }
+
+    /// Attaches a payload reported in the span's end record.
+    pub fn set_detail(&mut self, detail: u64) {
+        self.detail = detail;
+    }
+
+    /// Elapsed microseconds so far (0 when not recording).
+    pub fn elapsed_micros(&self) -> u64 {
+        match self.rec {
+            Some(rec) => rec.clock.now_micros().saturating_sub(self.start),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec else { return };
+        let end = rec.clock.now_micros();
+        rec.record(SpanEventKind::End, self.label, self.ctx, end, self.detail);
+        TraceCtx::set_current(self.prev);
+        if self.guarded {
+            let threshold = rec.slow_threshold.load(Ordering::Relaxed);
+            let elapsed = end.saturating_sub(self.start);
+            if threshold > 0 && elapsed >= threshold {
+                rec.pin(self.ctx.trace_id, self.label, elapsed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual() -> (Arc<ManualClock>, FlightRecorder) {
+        let clock = Arc::new(ManualClock::new());
+        let rec = FlightRecorder::with_clock(64, clock.clone());
+        (clock, rec)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing_and_keep_ambient_none() {
+        let (_, rec) = manual();
+        {
+            let span = rec.span("q");
+            assert!(!span.is_recording());
+            assert!(TraceCtx::current().is_none());
+        }
+        assert!(rec.dump().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_form_a_parented_trace() {
+        let (clock, rec) = manual();
+        rec.enable();
+        let (root_ctx, child_ctx);
+        {
+            let root = rec.span("query");
+            root_ctx = root.ctx().unwrap();
+            clock.advance_micros(5);
+            {
+                let child = rec.span("probe");
+                child_ctx = child.ctx().unwrap();
+                clock.advance_micros(7);
+            }
+            clock.advance_micros(3);
+        }
+        assert!(TraceCtx::current().is_none());
+        assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+        assert_eq!(child_ctx.parent, root_ctx.span_id);
+
+        let events = rec.dump();
+        assert_eq!(events.len(), 4);
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == SpanEventKind::Begin)
+            .collect();
+        assert_eq!(begins.len(), 2);
+        let root_end = events
+            .iter()
+            .find(|e| e.kind == SpanEventKind::End && e.span_id == root_ctx.span_id)
+            .unwrap();
+        assert_eq!(root_end.micros, 15);
+    }
+
+    #[test]
+    fn ring_bounds_and_clear() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = FlightRecorder::with_clock(8, clock.clone());
+        rec.enable();
+        for _ in 0..50 {
+            clock.advance_micros(1);
+            let _s = rec.span("q");
+        }
+        let events = rec.dump();
+        assert!(
+            events.len() <= 8,
+            "ring must stay bounded, got {}",
+            events.len()
+        );
+        rec.clear();
+        assert!(rec.dump().is_empty());
+        // Recording continues into the same ring after a clear.
+        let _s = rec.span("q");
+        drop(_s);
+        assert_eq!(rec.dump().len(), 2);
+    }
+
+    #[test]
+    fn guarded_span_pins_slow_traces_only() {
+        let (clock, rec) = manual();
+        rec.enable();
+        rec.set_slow_threshold_micros(10);
+        {
+            let _fast = rec.guarded_span("query");
+            clock.advance_micros(3);
+        }
+        assert!(rec.slow_queries().is_empty());
+        {
+            let _slow = rec.guarded_span("query");
+            clock.advance_micros(10);
+            let _child = rec.span("probe");
+        }
+        let slow = rec.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].root_label, "query");
+        assert_eq!(slow[0].total_micros, 10);
+        // The pinned copy holds the whole trace: 2 spans x begin+end.
+        assert_eq!(slow[0].events.len(), 4);
+        assert!(slow[0]
+            .events
+            .iter()
+            .all(|e| e.trace_id == slow[0].trace_id));
+    }
+
+    #[test]
+    fn pinned_events_survive_ring_recycling() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = FlightRecorder::with_clock(8, clock.clone());
+        rec.enable();
+        rec.set_slow_threshold_micros(5);
+        let slow_trace;
+        {
+            let slow = rec.guarded_span("query");
+            slow_trace = slow.ctx().unwrap().trace_id;
+            clock.advance_micros(9);
+        }
+        // Flood the ring until the slow trace's events are recycled.
+        for _ in 0..20 {
+            let _fast = rec.guarded_span("query");
+        }
+        assert!(rec.trace_events(slow_trace).is_empty(), "ring recycled");
+        let slow = rec.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].trace_id, slow_trace);
+        assert_eq!(slow[0].events.len(), 2);
+    }
+
+    #[test]
+    fn slow_log_is_bounded() {
+        let (clock, rec) = manual();
+        rec.enable();
+        rec.set_slow_threshold_micros(1);
+        for _ in 0..DEFAULT_SLOW_CAPACITY + 9 {
+            let _s = rec.guarded_span("query");
+            clock.advance_micros(2);
+        }
+        assert_eq!(rec.slow_queries().len(), DEFAULT_SLOW_CAPACITY);
+    }
+
+    #[test]
+    fn threshold_zero_never_pins() {
+        let (clock, rec) = manual();
+        rec.enable();
+        {
+            let _s = rec.guarded_span("query");
+            clock.advance_micros(1_000_000);
+        }
+        assert!(rec.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_events_merge_into_one_dump() {
+        let rec = Arc::new(FlightRecorder::new(128));
+        rec.enable();
+        let root_ctx = {
+            let root = rec.span("query");
+            let ctx = root.ctx().unwrap();
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let rec = rec.clone();
+                    std::thread::spawn(move || {
+                        let prev = TraceCtx::set_current(ctx);
+                        {
+                            let _probe = rec.span("probe");
+                        }
+                        TraceCtx::set_current(prev);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            ctx
+        };
+        let events = rec.dump();
+        let probes: Vec<_> = events
+            .iter()
+            .filter(|e| e.label == "probe" && e.kind == SpanEventKind::Begin)
+            .collect();
+        assert_eq!(probes.len(), 3);
+        assert!(probes.iter().all(|e| e.parent == root_ctx.span_id));
+        assert!(probes.iter().all(|e| e.trace_id == root_ctx.trace_id));
+        // Three distinct recording threads contributed.
+        let mut threads: Vec<u64> = probes.iter().map(|e| e.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 3);
+    }
+}

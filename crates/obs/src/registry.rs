@@ -31,6 +31,38 @@ pub enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: RwLock<BTreeMap<String, Metric>>,
+    help: RwLock<BTreeMap<String, String>>,
+}
+
+/// Escapes a metric HELP docstring for the Prometheus text exposition:
+/// `\` → `\\` and line feed → `\n`, so arbitrary text cannot break the
+/// one-line comment structure or inject fake series.
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value for the Prometheus text exposition: `\` → `\\`,
+/// `"` → `\"`, and line feed → `\n` — the three characters that would
+/// otherwise terminate the quoted value or the line early.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl Registry {
@@ -86,6 +118,25 @@ impl Registry {
         metrics.entry(name.to_string()).or_insert_with(make).clone()
     }
 
+    /// Attaches a HELP docstring to `name`, emitted (escaped) as a
+    /// `# HELP` comment in the Prometheus exposition. Overwrites any
+    /// previous help text; the metric need not exist yet.
+    pub fn set_help(&self, name: &str, help: &str) {
+        self.help
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// The raw (unescaped) HELP docstring for `name`, if set.
+    pub fn help(&self, name: &str) -> Option<String> {
+        self.help
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
     /// Looks up an existing metric by name.
     pub fn get(&self, name: &str) -> Option<Metric> {
         self.metrics
@@ -118,8 +169,12 @@ impl Registry {
     /// Renders the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
         let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let help = self.help.read().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for (name, metric) in metrics.iter() {
+            if let Some(text) = help.get(name) {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(text)));
+            }
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
@@ -136,7 +191,7 @@ impl Registry {
                         cumulative += n;
                         out.push_str(&format!(
                             "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                            Histogram::bucket_bound(i)
+                            escape_label_value(&Histogram::bucket_bound(i).to_string())
                         ));
                     }
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
@@ -254,6 +309,57 @@ mod tests {
         }
         assert!(text.contains("\"type\":\"histogram\""));
         assert!(text.contains("\"p50\":7"));
+    }
+
+    #[test]
+    fn help_text_is_emitted_before_type() {
+        let reg = Registry::new();
+        reg.counter("swag_queries_total").add(1);
+        reg.set_help("swag_queries_total", "Total queries served.");
+        let text = reg.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# HELP swag_queries_total Total queries served.");
+        assert_eq!(lines[1], "# TYPE swag_queries_total counter");
+        assert_eq!(
+            reg.help("swag_queries_total").unwrap(),
+            "Total queries served."
+        );
+        // Help for an unregistered metric is stored but not rendered.
+        reg.set_help("swag_ghost", "never registered");
+        assert!(!reg.render_prometheus().contains("ghost"));
+    }
+
+    #[test]
+    fn hostile_help_cannot_break_exposition_structure() {
+        let reg = Registry::new();
+        reg.counter("swag_evil_total").add(7);
+        // A help string trying to inject a fake series via a newline, to
+        // truncate the line with a backslash, and to confuse quoting.
+        reg.set_help(
+            "swag_evil_total",
+            "line one\nswag_fake_total 999\nback\\slash \"quoted\"",
+        );
+        let text = reg.render_prometheus();
+        // The newline is escaped: no injected series line exists.
+        assert!(!text.contains("\nswag_fake_total"));
+        assert!(text.contains(
+            "# HELP swag_evil_total line one\\nswag_fake_total 999\\nback\\\\slash \"quoted\""
+        ));
+        // Every line is still a comment or a sample of the real metric.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("swag_evil_total"),
+                "unexpected line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escapers_cover_backslash_quote_and_newline() {
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+        assert_eq!(escape_label_value("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+        assert_eq!(escape_help("plain"), "plain");
+        assert_eq!(escape_label_value(""), "");
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Span-tree assembly and rendering.
+//!
+//! Turns the flat begin/end event stream of a
+//! [`FlightRecorder`](crate::FlightRecorder) dump back into per-trace
+//! span trees, with a canonical *shape* string for structural
+//! comparisons (serial vs parallel execution of the same query must
+//! yield the same shape) and an ASCII waterfall renderer for the
+//! `swag trace` CLI.
+
+use std::collections::BTreeMap;
+
+use crate::recorder::{SpanEvent, SpanEventKind};
+
+/// One reassembled span and its children.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span label.
+    pub label: &'static str,
+    /// The span's id.
+    pub span_id: u64,
+    /// Parent span id (0 = trace root).
+    pub parent: u64,
+    /// Thread the span ran on.
+    pub thread: u64,
+    /// Begin timestamp, microseconds.
+    pub start_micros: u64,
+    /// End timestamp; `None` when only the begin record survived.
+    pub end_micros: Option<u64>,
+    /// Payload from the end record.
+    pub detail: u64,
+    /// Child spans, ordered by start time then span id.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time of this span (0 while unfinished).
+    pub fn total_micros(&self) -> u64 {
+        self.end_micros
+            .map_or(0, |e| e.saturating_sub(self.start_micros))
+    }
+
+    /// Whether both begin and end records survived.
+    pub fn is_complete(&self) -> bool {
+        self.end_micros.is_some()
+    }
+
+    /// This span plus all descendants.
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Canonical structure string: labels only, children sorted, so two
+    /// runs of the same query compare equal regardless of timing,
+    /// thread placement, or ids. E.g. `query(probe(),probe(),rank())`.
+    pub fn shape(&self) -> String {
+        let mut kids: Vec<String> = self.children.iter().map(SpanNode::shape).collect();
+        kids.sort();
+        format!("{}({})", self.label, kids.join(","))
+    }
+
+    /// Depth-first search for every node with `label`.
+    pub fn find_all<'a>(&'a self, label: &str, out: &mut Vec<&'a SpanNode>) {
+        if self.label == label {
+            out.push(self);
+        }
+        for child in &self.children {
+            child.find_all(label, out);
+        }
+    }
+}
+
+/// All surviving spans of one trace.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    /// The trace id.
+    pub trace_id: u64,
+    /// Spans whose parent is 0 (proper roots), ordered by start time.
+    pub roots: Vec<SpanNode>,
+    /// Spans whose parent id was not found in the trace — evidence of a
+    /// broken propagation chain or ring recycling. They are *not* in
+    /// `roots`; a healthy complete trace has `orphans == 0`.
+    pub orphans: usize,
+}
+
+impl SpanTree {
+    /// Total spans across all roots (orphans excluded).
+    pub fn span_count(&self) -> usize {
+        self.roots.iter().map(SpanNode::span_count).sum()
+    }
+
+    /// Canonical structure of the whole trace (roots sorted).
+    pub fn shape(&self) -> String {
+        let mut roots: Vec<String> = self.roots.iter().map(SpanNode::shape).collect();
+        roots.sort();
+        roots.join(";")
+    }
+
+    /// Earliest start across roots.
+    pub fn start_micros(&self) -> u64 {
+        self.roots.iter().map(|r| r.start_micros).min().unwrap_or(0)
+    }
+
+    /// Wall time from the earliest root start to the latest root end.
+    pub fn total_micros(&self) -> u64 {
+        let end = self
+            .roots
+            .iter()
+            .filter_map(|r| r.end_micros)
+            .max()
+            .unwrap_or(0);
+        end.saturating_sub(self.start_micros())
+    }
+}
+
+/// Partially reassembled span.
+struct Proto {
+    label: &'static str,
+    parent: u64,
+    thread: u64,
+    start_micros: u64,
+    end_micros: Option<u64>,
+    detail: u64,
+}
+
+/// Groups `events` by trace and reassembles each trace's span tree.
+/// Trees come back ordered by trace id; events may be in any order.
+pub fn assemble(events: &[SpanEvent]) -> Vec<SpanTree> {
+    let mut traces: BTreeMap<u64, BTreeMap<u64, Proto>> = BTreeMap::new();
+    for ev in events {
+        if ev.trace_id == 0 {
+            continue;
+        }
+        let spans = traces.entry(ev.trace_id).or_default();
+        let proto = spans.entry(ev.span_id).or_insert_with(|| Proto {
+            label: ev.label,
+            parent: ev.parent,
+            thread: ev.thread,
+            start_micros: ev.micros,
+            end_micros: None,
+            detail: 0,
+        });
+        match ev.kind {
+            SpanEventKind::Begin => {
+                proto.label = ev.label;
+                proto.start_micros = ev.micros;
+                proto.thread = ev.thread;
+            }
+            SpanEventKind::End => {
+                proto.end_micros = Some(ev.micros);
+                proto.detail = ev.detail;
+            }
+        }
+    }
+
+    traces
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            // parent -> children ids, children in (start, id) order.
+            let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+            let mut root_ids = Vec::new();
+            let mut orphans = 0usize;
+            let mut order: Vec<(u64, u64)> =
+                spans.iter().map(|(id, p)| (p.start_micros, *id)).collect();
+            order.sort_unstable();
+            for &(_, id) in &order {
+                let parent = spans[&id].parent;
+                if parent == 0 {
+                    root_ids.push(id);
+                } else if spans.contains_key(&parent) {
+                    children.entry(parent).or_default().push(id);
+                } else {
+                    orphans += 1;
+                }
+            }
+            let roots = root_ids
+                .into_iter()
+                .filter_map(|id| build(id, &mut spans, &children))
+                .collect();
+            SpanTree {
+                trace_id,
+                roots,
+                orphans,
+            }
+        })
+        .collect()
+}
+
+/// Recursively materialises span `id`. Removal from `spans` makes every
+/// span appear in at most one tree even on malformed parent cycles.
+fn build(
+    id: u64,
+    spans: &mut BTreeMap<u64, Proto>,
+    children: &BTreeMap<u64, Vec<u64>>,
+) -> Option<SpanNode> {
+    let proto = spans.remove(&id)?;
+    let kids = children
+        .get(&id)
+        .map(|ids| {
+            ids.iter()
+                .filter_map(|&c| build(c, spans, children))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(SpanNode {
+        label: proto.label,
+        span_id: id,
+        parent: proto.parent,
+        thread: proto.thread,
+        start_micros: proto.start_micros,
+        end_micros: proto.end_micros,
+        detail: proto.detail,
+        children: kids,
+    })
+}
+
+/// Renders one trace as an indented ASCII waterfall, `width` columns of
+/// timeline. Bars are positioned on the trace's own time base:
+///
+/// ```text
+/// query                      15 us |###############|
+///   index_scan                7 us |     #######   |
+/// ```
+pub fn render_waterfall(tree: &SpanTree, width: usize) -> String {
+    let width = width.max(8);
+    let t0 = tree.start_micros();
+    let total = tree.total_micros().max(1);
+    let mut label_col = 0usize;
+    for root in &tree.roots {
+        measure(root, 0, &mut label_col);
+    }
+    let mut out = String::new();
+    for root in &tree.roots {
+        line(root, 0, t0, total, width, label_col, &mut out);
+    }
+    out
+}
+
+fn measure(node: &SpanNode, depth: usize, label_col: &mut usize) {
+    *label_col = (*label_col).max(depth * 2 + node.label.len());
+    for child in &node.children {
+        measure(child, depth + 1, label_col);
+    }
+}
+
+fn line(
+    node: &SpanNode,
+    depth: usize,
+    t0: u64,
+    total: u64,
+    width: usize,
+    label_col: usize,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    let indent = depth * 2;
+    let offset = ((node.start_micros.saturating_sub(t0)) as u128 * width as u128 / total as u128)
+        .min(width as u128 - 1) as usize;
+    let (bar, dur) = match node.end_micros {
+        Some(_) => {
+            let micros = node.total_micros();
+            let len = ((micros as u128 * width as u128).div_ceil(total as u128) as usize)
+                .clamp(1, width - offset);
+            ("#".repeat(len), format!("{micros} us"))
+        }
+        None => ("…".to_string(), "?".to_string()),
+    };
+    let _ = writeln!(
+        out,
+        "{:indent$}{:<pad$} {:>10} t{:<3} |{}{}{}|",
+        "",
+        node.label,
+        dur,
+        node.thread,
+        " ".repeat(offset),
+        bar,
+        " ".repeat(width.saturating_sub(offset + bar.len())),
+        indent = indent,
+        pad = label_col.saturating_sub(indent),
+    );
+    for child in &node.children {
+        line(child, depth + 1, t0, total, width, label_col, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::recorder::FlightRecorder;
+    use crate::TraceCtx;
+    use std::sync::Arc;
+
+    fn recorded_trace() -> (Vec<SpanEvent>, TraceCtx) {
+        let clock = Arc::new(ManualClock::new());
+        let rec = FlightRecorder::with_clock(64, clock.clone());
+        rec.enable();
+        let ctx;
+        {
+            let root = rec.span("query");
+            ctx = root.ctx().unwrap();
+            clock.advance_micros(2);
+            {
+                let _scan = rec.span("index_scan");
+                clock.advance_micros(4);
+                {
+                    let _p = rec.span("probe");
+                    clock.advance_micros(1);
+                }
+                {
+                    let _p = rec.span("probe");
+                    clock.advance_micros(1);
+                }
+            }
+            {
+                let mut rank = rec.span("ranking");
+                rank.set_detail(42);
+                clock.advance_micros(3);
+            }
+        }
+        (rec.dump(), ctx)
+    }
+
+    #[test]
+    fn assembles_one_connected_tree() {
+        let (events, ctx) = recorded_trace();
+        let trees = assemble(&events);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.trace_id, ctx.trace_id);
+        assert_eq!(tree.orphans, 0);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.span_count(), 5);
+        assert_eq!(tree.shape(), "query(index_scan(probe(),probe()),ranking())");
+        let root = &tree.roots[0];
+        assert_eq!(root.total_micros(), 11);
+        let mut ranks = Vec::new();
+        root.find_all("ranking", &mut ranks);
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].detail, 42);
+    }
+
+    #[test]
+    fn shape_ignores_sibling_order_and_ids() {
+        let (events, _) = recorded_trace();
+        let (events2, _) = recorded_trace();
+        let a = assemble(&events);
+        let b = assemble(&events2);
+        assert_eq!(a[0].shape(), b[0].shape());
+        assert_ne!(a[0].trace_id, b[0].trace_id);
+    }
+
+    #[test]
+    fn missing_parent_counts_as_orphan() {
+        let (mut events, _) = recorded_trace();
+        // Drop the index_scan span entirely: its two probes lose their
+        // parent.
+        let scan_id = events
+            .iter()
+            .find(|e| e.label == "index_scan")
+            .unwrap()
+            .span_id;
+        events.retain(|e| e.span_id != scan_id);
+        let trees = assemble(&events);
+        assert_eq!(trees[0].orphans, 2);
+        assert_eq!(trees[0].shape(), "query(ranking())");
+    }
+
+    #[test]
+    fn unfinished_span_renders_without_panicking() {
+        let (mut events, _) = recorded_trace();
+        events.retain(|e| !(e.label == "ranking" && e.kind == SpanEventKind::End));
+        let trees = assemble(&events);
+        let text = render_waterfall(&trees[0], 24);
+        assert!(text.contains('…'));
+        assert!(text.contains("query"));
+    }
+
+    #[test]
+    fn waterfall_orders_and_scales() {
+        let (events, _) = recorded_trace();
+        let trees = assemble(&events);
+        let text = render_waterfall(&trees[0], 22);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].trim_start().starts_with("query"));
+        assert!(lines[1].trim_start().starts_with("index_scan"));
+        // The root bar spans the full timeline.
+        assert!(lines[0].contains("######"));
+        assert!(text.contains("11 us"));
+    }
+
+    #[test]
+    fn empty_events_assemble_to_nothing() {
+        assert!(assemble(&[]).is_empty());
+    }
+}

@@ -80,6 +80,63 @@ proptest! {
     }
 
     #[test]
+    fn percentiles_agree_with_sort_oracle(samples in prop::collection::vec(-1e9f64..1e9, 0..300)) {
+        let p = Percentiles::of(&samples);
+        prop_assert_eq!(p.count, samples.len());
+        if samples.is_empty() {
+            // The empty summary is all zeros, never NaN.
+            prop_assert_eq!((p.min, p.p50, p.p90, p.p99, p.max, p.mean),
+                            (0.0, 0.0, 0.0, 0.0, 0.0, 0.0));
+        } else {
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let oracle = |q: f64| {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            };
+            // p0 and p100 are the extremes; interior quantiles hit the
+            // exact nearest-rank sample.
+            prop_assert_eq!(p.min, sorted[0]);
+            prop_assert_eq!(p.max, sorted[sorted.len() - 1]);
+            prop_assert_eq!(p.p50, oracle(0.5));
+            prop_assert_eq!(p.p90, oracle(0.9));
+            prop_assert_eq!(p.p99, oracle(0.99));
+        }
+    }
+
+    #[test]
+    fn all_duplicates_collapse_every_percentile(v in -1e9f64..1e9, n in 1usize..200) {
+        let p = Percentiles::of(&vec![v; n]);
+        prop_assert_eq!((p.min, p.p50, p.p90, p.p99, p.max), (v, v, v, v, v));
+        prop_assert!((p.mean - v).abs() <= v.abs() * 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile(v in -1e300f64..1e300) {
+        let p = Percentiles::of(&[v]);
+        prop_assert_eq!((p.count, p.min, p.p50, p.p90, p.p99, p.max, p.mean),
+                        (1, v, v, v, v, v, v));
+    }
+
+    #[test]
+    fn never_panics_on_hostile_floats(samples in prop::collection::vec(
+        prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(0.0),
+            Just(-0.0),
+            any::<f64>(),
+        ],
+        0..100,
+    )) {
+        // NaN and infinities must never panic the summary (total_cmp
+        // gives them a defined order); count is always faithful.
+        let p = Percentiles::of(&samples);
+        prop_assert_eq!(p.count, samples.len());
+    }
+
+    #[test]
     fn percentiles_pick_real_samples(samples in prop::collection::vec(-1e6f64..1e6, 1..300)) {
         let p = Percentiles::of(&samples);
         prop_assert!(samples.contains(&p.p50));

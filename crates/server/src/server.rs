@@ -28,7 +28,10 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use swag_core::{CameraProfile, RepFov, UploadBatch};
 use swag_exec::Executor;
-use swag_obs::{Counter, Histogram, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
+use swag_obs::{
+    Counter, FlightRecorder, Histogram, HistogramSnapshot, MonotonicClock, Registry, Trace,
+    WallClock, DEFAULT_RING_CAPACITY,
+};
 use swag_rtree::SearchStats;
 
 use crate::index::{fov_box, query_boxes, IndexKind};
@@ -54,6 +57,13 @@ pub struct ServerConfig {
     /// Fraction of the store that may be tombstones before a publish
     /// compacts it (re-assigning ids densely and rebuilding the index).
     pub compact_dead_fraction: f64,
+    /// Slow-query capture threshold for the flight recorder,
+    /// microseconds. `Some(t)` pins the span tree of every query slower
+    /// than `t`; `None` auto-derives the threshold from the live p99 of
+    /// the query-latency histogram (refreshed every
+    /// [`AUTO_THRESHOLD_INTERVAL`] queries, observability attached and
+    /// recorder enabled).
+    pub slow_query_micros: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -64,9 +74,14 @@ impl Default for ServerConfig {
             publish_threshold: 256,
             retention_horizon_s: None,
             compact_dead_fraction: 0.25,
+            slow_query_micros: None,
         }
     }
 }
+
+/// How often (in answered queries) the auto-derived slow-query threshold
+/// is refreshed from the live p99.
+pub const AUTO_THRESHOLD_INTERVAL: u64 = 64;
 
 /// Don't bother compacting stores with fewer tombstones than this.
 const COMPACT_DEAD_FLOOR: usize = 32;
@@ -232,6 +247,11 @@ pub struct CloudServer {
     /// deterministic runs.
     exec: Executor,
     obs: Option<ServerObs>,
+    /// Causal-tracing flight recorder for the query/ingest/publish
+    /// paths. Disabled by default: each span site then costs one relaxed
+    /// load. Swap in a shared or test recorder via
+    /// [`Self::set_flight_recorder`].
+    recorder: Arc<FlightRecorder>,
     batches: AtomicU64,
     queries: AtomicU64,
     query_micros: AtomicU64,
@@ -291,9 +311,18 @@ impl CloudServer {
         config: ServerConfig,
         clock: Arc<dyn MonotonicClock>,
     ) -> Self {
+        let recorder = Arc::new(FlightRecorder::with_clock(
+            DEFAULT_RING_CAPACITY,
+            clock.clone(),
+        ));
+        if let Some(t) = config.slow_query_micros {
+            recorder.set_slow_threshold_micros(t);
+        }
+        let mut index = ShardedFovIndex::new(config.shard_width_s, config.index);
+        index.set_recorder(recorder.clone());
         let core = Arc::new(SnapshotCore {
             store: SegmentStore::new(),
-            index: ShardedFovIndex::new(config.shard_width_s, config.index),
+            index,
             published_at_micros: clock.now_micros(),
         });
         CloudServer {
@@ -314,6 +343,7 @@ impl CloudServer {
             clock,
             exec: Executor::global().clone(),
             obs: None,
+            recorder,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             query_micros: AtomicU64::new(0),
@@ -367,6 +397,43 @@ impl CloudServer {
         self.obs.as_ref().map(|o| &o.trace)
     }
 
+    /// The flight recorder behind this server's query/ingest/publish
+    /// spans. Created disabled; call [`FlightRecorder::enable`] to start
+    /// recording.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Replaces the flight recorder — e.g. to share one recorder across
+    /// client, scheduler, and server so a request's spans land in one
+    /// trace, or to inject a deterministic-clock recorder in tests. The
+    /// configured [`ServerConfig::slow_query_micros`] threshold is
+    /// applied to the new recorder, and the published snapshot is
+    /// re-issued so shard probes record into it from the next query on.
+    pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        if let Some(t) = self.config.slow_query_micros {
+            recorder.set_slow_threshold_micros(t);
+        }
+        self.recorder = recorder.clone();
+        let mut w = self.writer.lock();
+        let mut index = w.core.index.clone();
+        index.set_recorder(recorder);
+        let core = Arc::new(SnapshotCore {
+            store: w.core.store.clone(),
+            index,
+            published_at_micros: w.core.published_at_micros,
+        });
+        w.core = core.clone();
+        let delta = Arc::from(w.delta.as_slice());
+        let delta_len = w.delta_len;
+        drop(w);
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta,
+            delta_len,
+        });
+    }
+
     /// The camera profile used for ranking geometry.
     pub fn camera(&self) -> &CameraProfile {
         &self.cam
@@ -413,7 +480,9 @@ impl CloudServer {
     /// and publishes the result. Returns how many segments retention
     /// dropped.
     fn publish_full(&self, w: &mut Writer, extra_horizon: Option<f64>) -> usize {
+        let mut span = self.recorder.span("publish");
         let t0 = self.clock.now_micros();
+        span.set_detail(w.delta_len as u64);
         let delta_len = w.delta_len;
         let prev_published = w.core.published_at_micros;
 
@@ -491,6 +560,8 @@ impl CloudServer {
 
     /// Ingests one upload batch, returning the assigned segment ids.
     pub fn ingest_batch(&self, batch: &UploadBatch) -> Vec<SegmentId> {
+        let mut span = self.recorder.span("ingest");
+        span.set_detail(batch.reps.len() as u64);
         let t0 = if self.obs.is_some() {
             self.clock.now_micros()
         } else {
@@ -570,11 +641,21 @@ impl CloudServer {
         query: &Query,
         opts: &QueryOptions,
     ) -> Vec<SearchHit> {
-        match &self.obs {
+        // Root of this query's span tree, armed for slow-query capture:
+        // if its wall time (on the recorder's clock) crosses the slow
+        // threshold, the whole tree is pinned into the retained log.
+        // Child spans below — shard probes included, even when stolen by
+        // other workers — parent to this context.
+        let mut root = self.recorder.guarded_span("query");
+        let hits = match &self.obs {
             None => {
-                let candidates = epoch.core.index.candidates_exec(&self.exec, query);
+                let candidates = {
+                    let _span = self.recorder.span("index_scan");
+                    epoch.core.index.candidates_exec(&self.exec, query)
+                };
                 let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
                 if epoch.delta_len > 0 {
+                    let _span = self.recorder.span("delta_scan");
                     let boxes = query_boxes(query);
                     for d in epoch.delta_records() {
                         if boxes.intersects(&d.bbox) && keep(&d.rec, &self.cam, query, opts) {
@@ -582,7 +663,10 @@ impl CloudServer {
                         }
                     }
                 }
-                finalize_hits(&mut hits, opts);
+                {
+                    let _span = self.recorder.span("ranking");
+                    finalize_hits(&mut hits, opts);
+                }
                 self.queries.fetch_add(1, Ordering::Relaxed);
                 self.query_micros
                     .fetch_add(self.clock.now_micros() - t0, Ordering::Relaxed);
@@ -591,36 +675,47 @@ impl CloudServer {
             Some(obs) => {
                 let t_locked = self.clock.now_micros();
                 let mut search = SearchStats::default();
-                let candidates =
+                let candidates = {
+                    let _span = self.recorder.span("index_scan");
                     epoch
                         .core
                         .index
-                        .candidates_with_stats_exec(&self.exec, query, &mut search);
+                        .candidates_with_stats_exec(&self.exec, query, &mut search)
+                };
                 let boxes = query_boxes(query);
-                let delta_matches: Vec<&DeltaRecord> = epoch
-                    .delta_records()
-                    .filter(|d| boxes.intersects(&d.bbox))
-                    .collect();
-                if epoch.delta_len > 0 {
+                let delta_matches: Vec<&DeltaRecord> = if epoch.delta_len > 0 {
+                    let _span = self.recorder.span("delta_scan");
+                    let matches: Vec<&DeltaRecord> = epoch
+                        .delta_records()
+                        .filter(|d| boxes.intersects(&d.bbox))
+                        .collect();
                     // The delta scan is one flat "leaf" over pending records.
                     search.nodes_visited += 1;
                     search.leaves_scanned += 1;
                     search.items_tested += epoch.delta_len as u64;
-                    search.items_matched += delta_matches.len() as u64;
-                }
+                    search.items_matched += matches.len() as u64;
+                    matches
+                } else {
+                    Vec::new()
+                };
                 let n_candidates = candidates.len() + delta_matches.len();
                 let t_scanned = self.clock.now_micros();
-                let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
-                hits.extend(
-                    delta_matches
-                        .into_iter()
-                        .filter(|d| keep(&d.rec, &self.cam, query, opts))
-                        .map(|d| hit_for(&d.rec, &self.cam, query)),
-                );
-                finalize_hits(&mut hits, opts);
+                let hits = {
+                    let _span = self.recorder.span("ranking");
+                    let mut hits =
+                        collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
+                    hits.extend(
+                        delta_matches
+                            .into_iter()
+                            .filter(|d| keep(&d.rec, &self.cam, query, opts))
+                            .map(|d| hit_for(&d.rec, &self.cam, query)),
+                    );
+                    finalize_hits(&mut hits, opts);
+                    hits
+                };
                 let t_done = self.clock.now_micros();
 
-                self.queries.fetch_add(1, Ordering::Relaxed);
+                let n_queries = self.queries.fetch_add(1, Ordering::Relaxed) + 1;
                 self.query_micros.fetch_add(t_done - t0, Ordering::Relaxed);
                 obs.lock_wait.record(t_locked - t0);
                 obs.index_scan.record(t_scanned - t_locked);
@@ -632,9 +727,22 @@ impl CloudServer {
                 if obs.trace.try_sample() {
                     obs.trace.record("query", t_done - t0, n_candidates as u64);
                 }
+                // Auto-derive the slow-query threshold from the live p99
+                // unless the config pinned a fixed value.
+                if self.config.slow_query_micros.is_none()
+                    && self.recorder.is_enabled()
+                    && n_queries.is_multiple_of(AUTO_THRESHOLD_INTERVAL)
+                {
+                    let p99 = obs.query_total.snapshot().p99();
+                    if p99 > 0 {
+                        self.recorder.set_slow_threshold_micros(p99);
+                    }
+                }
                 hits
             }
-        }
+        };
+        root.set_detail(hits.len() as u64);
+        hits
     }
 
     /// Answers a query with the paper's rank-based retrieval. Lock-free
@@ -676,6 +784,8 @@ impl CloudServer {
         if k == 0 {
             return Vec::new();
         }
+        // Each expansion round's query span becomes a child of this one.
+        let _span = self.recorder.span("query_nearest");
         // Below this radius, unexplored segments may still outrank found
         // ones, so k hits are not enough to stop.
         let settle_radius_m = match opts.rank {
@@ -827,6 +937,7 @@ impl CloudServer {
                 max_t_end = max_t_end.max(rep.t_end);
             }
             let mut index = ShardedFovIndex::new(server.config.shard_width_s, server.config.index);
+            index.set_recorder(server.recorder.clone());
             index.bulk_insert_exec(&server.exec, &items);
             let core = Arc::new(SnapshotCore {
                 store,

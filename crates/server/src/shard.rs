@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use swag_core::RepFov;
 use swag_exec::Executor;
-use swag_obs::{Histogram, Registry};
+use swag_obs::{FlightRecorder, Histogram, Registry};
 use swag_rtree::{Aabb, SearchStats};
 
 use crate::index::{fov_box, query_boxes, FovIndex, IndexKind};
@@ -89,6 +89,11 @@ pub struct ShardedFovIndex {
     /// for a new snapshot.
     segments: usize,
     obs: Option<ShardObs>,
+    /// Flight recorder for per-probe/per-rebuild spans. The spans it
+    /// opens inherit the ambient [`swag_obs::TraceCtx`], which the
+    /// executor carries into stolen jobs — so a parallel fan-out yields
+    /// the same span tree as the serial loop.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl ShardedFovIndex {
@@ -107,6 +112,7 @@ impl ShardedFovIndex {
             shards: BTreeMap::new(),
             segments: 0,
             obs: None,
+            recorder: None,
         }
     }
 
@@ -118,6 +124,12 @@ impl ShardedFovIndex {
         });
     }
 
+    /// Wires `shard_probe`/`shard_rebuild` spans to `recorder`. Until the
+    /// recorder is enabled, each probe costs one relaxed load.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
     /// An empty index with the same width, backend, and metric wiring
     /// (used when the server compacts its store and rebuilds from scratch).
     pub fn fresh_like(&self) -> Self {
@@ -127,6 +139,7 @@ impl ShardedFovIndex {
             shards: BTreeMap::new(),
             segments: 0,
             obs: self.obs.clone(),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -220,7 +233,12 @@ impl ShardedFovIndex {
         let touched: Vec<(i64, Vec<(Aabb<3>, SegmentId)>)> = per_bucket.into_iter().collect();
         let shards = &self.shards;
         let kind = self.kind;
+        let recorder = &self.recorder;
         let rebuilt = exec.par_map_owned(touched, |(bucket, new_items)| {
+            let mut span = recorder.as_ref().map(|r| r.span("shard_rebuild"));
+            if let Some(span) = &mut span {
+                span.set_detail(new_items.len() as u64);
+            }
             let tree = match shards.get(&bucket) {
                 Some(old) => old.bulk_extend_par(exec, new_items),
                 None => FovIndex::bulk_from_boxes_par(exec, kind, new_items),
@@ -255,20 +273,28 @@ impl ShardedFovIndex {
             .map(|(_, shard)| shard)
             .collect();
         let probed = shards.len() as u64;
+        let recorder = &self.recorder;
         let out = match shards.as_slice() {
             [] => Vec::new(),
             // A segment appears at most once per shard, so a single-shard
             // probe (the common case for windows under the shard width)
             // needs no dedup pass.
-            [only] => only.candidates_in(&boxes),
+            [only] => {
+                let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
+                only.candidates_in(&boxes)
+            }
             many if exec.is_serial() => with_scratch(|scratch| {
                 for shard in many {
+                    let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
                     shard.candidates_into(&boxes, scratch);
                 }
                 sorted_dedup(scratch)
             }),
             many => {
-                let per_shard = exec.par_map(many, |shard| shard.candidates_in(&boxes));
+                let per_shard = exec.par_map(many, |shard| {
+                    let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
+                    shard.candidates_in(&boxes)
+                });
                 with_scratch(|scratch| {
                     for v in &per_shard {
                         scratch.extend_from_slice(v);
@@ -305,13 +331,20 @@ impl ShardedFovIndex {
             .map(|(_, shard)| shard)
             .collect();
         let probed = shards.len() as u64;
+        let recorder = &self.recorder;
         let out = match shards.as_slice() {
             [] => Vec::new(),
-            [only] => only.candidates_with_stats(q, stats),
+            [only] => {
+                let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
+                only.candidates_with_stats(q, stats)
+            }
             many if exec.is_serial() => {
                 let per_shard: Vec<Vec<SegmentId>> = many
                     .iter()
-                    .map(|shard| shard.candidates_with_stats(q, stats))
+                    .map(|shard| {
+                        let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
+                        shard.candidates_with_stats(q, stats)
+                    })
                     .collect();
                 with_scratch(|scratch| {
                     for v in &per_shard {
@@ -322,6 +355,7 @@ impl ShardedFovIndex {
             }
             many => {
                 let per_shard = exec.par_map(many, |shard| {
+                    let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
                     let mut local = SearchStats::default();
                     let v = shard.candidates_with_stats(q, &mut local);
                     (v, local)

@@ -44,6 +44,7 @@ fn concurrent_ingest_retract_expire_query_stays_consistent() {
             publish_threshold: 8,
             retention_horizon_s: None,
             compact_dead_fraction: 0.25,
+            slow_query_micros: None,
         },
     );
     // Providers whose retraction has *completed* (published) so far.

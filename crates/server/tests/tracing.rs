@@ -1,0 +1,251 @@
+//! Causal-tracing acceptance tests: a multi-shard query fanned out on
+//! the work-stealing executor must yield one connected span tree with
+//! the same shape as the serial run, and slow-query capture must retain
+//! a full tree after the rings recycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use swag_core::{CameraProfile, Fov, RepFov};
+use swag_exec::{ExecConfig, Executor};
+use swag_geo::LatLon;
+use swag_obs::{assemble, FlightRecorder, MonotonicClock, SpanTree};
+use swag_server::{CloudServer, Query, QueryOptions, SegmentRef, ServerConfig};
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+fn src(provider: u64) -> SegmentRef {
+    SegmentRef {
+        provider_id: provider,
+        video_id: 0,
+        segment_idx: 0,
+    }
+}
+
+/// Advances by the current (adjustable) step on every read: step 0
+/// freezes time, a large step makes whatever runs next look slow.
+struct AdjustableClock {
+    t: AtomicU64,
+    step: AtomicU64,
+}
+
+impl AdjustableClock {
+    fn new() -> Arc<Self> {
+        Arc::new(AdjustableClock {
+            t: AtomicU64::new(0),
+            step: AtomicU64::new(0),
+        })
+    }
+
+    fn set_step(&self, step: u64) {
+        self.step.store(step, Ordering::Relaxed);
+    }
+}
+
+impl MonotonicClock for AdjustableClock {
+    fn now_micros(&self) -> u64 {
+        self.t
+            .fetch_add(self.step.load(Ordering::Relaxed), Ordering::Relaxed)
+    }
+}
+
+/// Builds a 4-shard server, runs one multi-shard query on `exec`, and
+/// returns the query's reassembled span tree.
+fn traced_query_tree(exec: Executor) -> SpanTree {
+    let recorder = Arc::new(FlightRecorder::new(8192));
+    recorder.enable();
+    let mut server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            shard_width_s: 10.0,
+            publish_threshold: 1, // publish (and shard) on every ingest
+            ..ServerConfig::default()
+        },
+    );
+    server.set_executor(exec);
+    server.set_flight_recorder(recorder.clone());
+    let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+    for i in 0..4u64 {
+        let t0 = i as f64 * 10.0;
+        server.ingest_one(RepFov::new(t0, t0 + 5.0, fov), src(i));
+    }
+    assert_eq!(server.stats().shards, 4);
+    assert_eq!(server.stats().pending_delta, 0);
+
+    let q = Query::new(0.0, 40.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    assert_eq!(server.query(&q, &opts).len(), 4);
+
+    let trees = assemble(&recorder.dump());
+    let mut query_trees: Vec<SpanTree> = trees
+        .into_iter()
+        .filter(|t| t.roots.iter().any(|r| r.label == "query"))
+        .collect();
+    assert_eq!(query_trees.len(), 1, "exactly one query trace");
+    query_trees.pop().unwrap()
+}
+
+#[test]
+fn parallel_fanout_yields_one_connected_tree_matching_serial_shape() {
+    let serial = traced_query_tree(Executor::serial());
+    let parallel = traced_query_tree(Executor::new(ExecConfig::with_threads(4)));
+
+    for (mode, tree) in [("serial", &serial), ("parallel", &parallel)] {
+        assert_eq!(tree.orphans, 0, "{mode}: no orphaned spans");
+        assert_eq!(tree.roots.len(), 1, "{mode}: single root");
+        assert_eq!(tree.roots[0].label, "query", "{mode}: rooted at query");
+        // Every shard probe is parented (transitively) to the query span.
+        let mut probes = Vec::new();
+        tree.roots[0].find_all("shard_probe", &mut probes);
+        assert_eq!(probes.len(), 4, "{mode}: one probe per live shard");
+        // The query found 4 hits; the root's detail reports them.
+        assert_eq!(tree.roots[0].detail, 4, "{mode}: root detail = hits");
+    }
+    assert_eq!(
+        serial.shape(),
+        parallel.shape(),
+        "work stealing must not change the causal tree shape"
+    );
+    assert_eq!(
+        serial.shape(),
+        "query(index_scan(shard_probe(),shard_probe(),shard_probe(),shard_probe()),ranking())"
+    );
+}
+
+#[test]
+fn slow_query_capture_survives_ring_recycling() {
+    let clock = AdjustableClock::new();
+    // Tiny rings: a handful of fast queries recycles everything.
+    let recorder = Arc::new(FlightRecorder::with_clock(48, clock.clone()));
+    recorder.enable();
+    let mut server = CloudServer::with_config_and_clock(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            shard_width_s: 10.0,
+            publish_threshold: 1,
+            slow_query_micros: Some(100), // fixed threshold from config
+            ..ServerConfig::default()
+        },
+        clock.clone(),
+    );
+    server.set_executor(Executor::serial());
+    server.set_flight_recorder(recorder.clone());
+    assert_eq!(recorder.slow_threshold_micros(), 100);
+
+    let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+    for i in 0..3u64 {
+        let t0 = i as f64 * 10.0;
+        server.ingest_one(RepFov::new(t0, t0 + 5.0, fov), src(i));
+    }
+    let q = Query::new(0.0, 30.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+
+    // Frozen clock: queries take 0 us and are never pinned.
+    server.query(&q, &opts);
+    assert!(recorder.slow_queries().is_empty());
+
+    // 50 us per clock read: the next query's wall time blows through the
+    // 100 us threshold and its whole tree is pinned.
+    clock.set_step(50);
+    server.query(&q, &opts);
+    clock.set_step(0);
+    let slow = recorder.slow_queries();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].root_label, "query");
+    assert!(slow[0].total_micros >= 100);
+    let slow_trace = slow[0].trace_id;
+    let trees = assemble(&slow[0].events);
+    assert_eq!(trees.len(), 1);
+    assert_eq!(trees[0].orphans, 0, "pinned tree is complete");
+    assert_eq!(trees[0].roots.len(), 1);
+    let mut probes = Vec::new();
+    trees[0].roots[0].find_all("shard_probe", &mut probes);
+    assert_eq!(probes.len(), 3);
+
+    // Fast queries keep recycling ring space over the slow trace...
+    for _ in 0..40 {
+        server.query(&q, &opts);
+    }
+    assert!(
+        recorder.trace_events(slow_trace).is_empty(),
+        "rings recycled the slow trace"
+    );
+    // ...but the pinned copy is untouched.
+    let slow = recorder.slow_queries();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].trace_id, slow_trace);
+    assert_eq!(assemble(&slow[0].events)[0].orphans, 0);
+}
+
+#[test]
+fn auto_threshold_derives_from_live_p99() {
+    let recorder = Arc::new(FlightRecorder::new(4096));
+    recorder.enable();
+    let reg = swag_obs::Registry::new();
+    let mut server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            slow_query_micros: None, // auto mode
+            ..ServerConfig::default()
+        },
+    );
+    server.set_executor(Executor::serial());
+    server.set_flight_recorder(recorder.clone());
+    server.attach_observability(&reg);
+    let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+    server.ingest_one(RepFov::new(0.0, 5.0, fov), src(1));
+    assert_eq!(recorder.slow_threshold_micros(), 0);
+
+    let q = Query::new(0.0, 10.0, center(), 500.0);
+    let opts = QueryOptions::default();
+    for _ in 0..swag_server::AUTO_THRESHOLD_INTERVAL {
+        server.query(&q, &opts);
+    }
+    assert!(
+        recorder.slow_threshold_micros() > 0,
+        "threshold refreshed from live p99 after an interval of queries"
+    );
+}
+
+#[test]
+fn batched_queries_each_form_their_own_trace() {
+    let recorder = Arc::new(FlightRecorder::new(8192));
+    recorder.enable();
+    let mut server = CloudServer::new(CameraProfile::smartphone());
+    server.set_executor(Executor::new(ExecConfig::with_threads(4)));
+    server.set_flight_recorder(recorder.clone());
+    let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+    for i in 0..4u64 {
+        server.ingest_one(RepFov::new(0.0, 5.0, fov), src(i));
+    }
+    let queries: Vec<Query> = (0..9)
+        .map(|_| Query::new(0.0, 10.0, center(), 500.0))
+        .collect();
+    let opts = QueryOptions {
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let results = server.query_batch(&queries, &opts, 4);
+    assert_eq!(results.len(), 9);
+
+    let trees = assemble(&recorder.dump());
+    let query_trees: Vec<&SpanTree> = trees
+        .iter()
+        .filter(|t| t.roots.iter().any(|r| r.label == "query"))
+        .collect();
+    assert_eq!(query_trees.len(), 9, "one trace per batched query");
+    for tree in query_trees {
+        assert_eq!(tree.orphans, 0);
+        assert_eq!(tree.roots.len(), 1);
+    }
+}
