@@ -15,6 +15,7 @@ const BARE_FLAGS: &[&str] = &[
     "--no-direction-filter",
     "--coverage",
     "--quality",
+    "--explain",
 ];
 
 impl ArgParser {

@@ -174,36 +174,54 @@ pub fn ingest(args: ArgParser) -> Result<(), String> {
     Ok(())
 }
 
-/// `swag query` — answer a spatio-temporal query from a snapshot.
-pub fn query(args: ArgParser) -> Result<(), String> {
-    let snapshot_path = args.require("snapshot")?;
+/// Parses and validates the shared query arguments (`--lat`, `--lng`,
+/// `--radius`, `--t0`, `--t1`, plus option flags) through the fallible
+/// ingress path: hostile values surface as [`swag_server::QueryError`]
+/// messages instead of panicking the server.
+fn parse_query_args(args: &ArgParser) -> Result<(Query, QueryOptions), String> {
     let lat = args.require_f64("lat")?;
     let lng = args.require_f64("lng")?;
     let radius = args.require_f64("radius")?;
     let t0 = args.require_f64("t0")?;
     let t1 = args.require_f64("t1")?;
-    if t1 < t0 {
-        return Err("--t1 precedes --t0".into());
-    }
-    if radius <= 0.0 {
-        return Err("--radius must be positive".into());
-    }
-
-    let bytes = read_bytes(snapshot_path)?;
-    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
-
-    let q = Query::new(t0, t1, LatLon::new(lat, lng), radius);
+    let q = Query::try_new(t0, t1, LatLon::new(lat, lng), radius).map_err(|e| e.to_string())?;
     let opts = QueryOptions {
         top_n: args.get_u64("top", 10)? as usize,
         direction_filter: !args.has_flag("--no-direction-filter"),
+        direction_tolerance_deg: args.get_f64("tolerance", 10.0)?,
         require_coverage: args.has_flag("--coverage"),
         rank: if args.has_flag("--quality") {
             RankMode::Quality
         } else {
             RankMode::Distance
         },
-        ..QueryOptions::default()
     };
+    opts.validate().map_err(|e| e.to_string())?;
+    Ok((q, opts))
+}
+
+/// `swag explain` — print the typed plan a query would execute against a
+/// snapshot, without running it.
+pub fn explain(args: ArgParser) -> Result<(), String> {
+    let snapshot_path = args.require("snapshot")?;
+    let (q, opts) = parse_query_args(&args)?;
+    let bytes = read_bytes(snapshot_path)?;
+    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+    print!("{}", server.explain(&q, &opts));
+    Ok(())
+}
+
+/// `swag query` — answer a spatio-temporal query from a snapshot.
+pub fn query(args: ArgParser) -> Result<(), String> {
+    let snapshot_path = args.require("snapshot")?;
+    let (q, opts) = parse_query_args(&args)?;
+
+    let bytes = read_bytes(snapshot_path)?;
+    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+
+    if args.has_flag("--explain") {
+        print!("{}", server.explain(&q, &opts));
+    }
     let hits = server.query(&q, &opts);
     println!(
         "{} hits over {} indexed segments ({} us)",

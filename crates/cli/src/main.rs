@@ -6,6 +6,8 @@
 //! swag ingest   --snapshot db.swag ride.csv walk.csv
 //! swag query    --snapshot db.swag --lat 40.0 --lng 116.32 \
 //!               --radius 100 --t0 0 --t1 60 --top 10
+//! swag explain  --snapshot db.swag --lat 40.0 --lng 116.32 \
+//!               --radius 100 --t0 0 --t1 60
 //! swag retract  --snapshot db.swag --provider 1
 //! swag stats    --format prometheus
 //! swag trace    --queries 64 --chrome trace.json
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         "segment" => commands::segment(parser),
         "ingest" => commands::ingest(parser),
         "query" => commands::query(parser),
+        "explain" => commands::explain(parser),
         "retract" => commands::retract(parser),
         "stats" => commands::stats(parser),
         "trace" => commands::trace(parser),
@@ -67,7 +70,11 @@ USAGE:
   swag ingest   --snapshot FILE TRACE.csv [TRACE.csv ...]
                 [--thresh T] [--smooth ALPHA]
   swag query    --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
-                [--top N] [--no-direction-filter] [--coverage] [--quality]
+                [--top N] [--tolerance DEG] [--no-direction-filter]
+                [--coverage] [--quality] [--explain]
+  swag explain  --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
+                [--top N] [--tolerance DEG] [--no-direction-filter]
+                [--coverage] [--quality]
   swag retract  --snapshot FILE --provider ID
   swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
                 [--threads N] [--shard-width SECS] [--retain SECS]

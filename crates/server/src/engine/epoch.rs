@@ -1,0 +1,45 @@
+//! The immutable read-side state: snapshot core + pending delta.
+//!
+//! What queries see is an **epoch**: one `Arc` clone of it answers a
+//! whole query without holding a lock. The core is the published
+//! `(store, index)` snapshot; the delta is the list of frozen per-ingest
+//! slices staged since that snapshot, each record carrying its
+//! pre-computed index box so the per-query delta scan is a pure `Aabb`
+//! intersection test.
+
+use std::sync::Arc;
+
+use crate::shard::ShardedFovIndex;
+use crate::store::{SegmentRecord, SegmentStore};
+
+/// An immutable published `(store, index)` snapshot.
+pub(crate) struct SnapshotCore {
+    pub(crate) store: SegmentStore,
+    pub(crate) index: ShardedFovIndex,
+    pub(crate) published_at_micros: u64,
+}
+
+/// One pending record plus its pre-computed index box, so the per-query
+/// delta scan is a pure `Aabb` intersection test.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeltaRecord {
+    pub(crate) rec: SegmentRecord,
+    pub(crate) bbox: swag_rtree::Aabb<3>,
+}
+
+/// What queries see: one `Arc` clone of this answers a whole query.
+/// `delta` holds records ingested since `core` was published, as a list
+/// of frozen per-ingest slices — republishing after a write bumps one
+/// refcount per slice instead of copying every pending record. Queries
+/// scan it linearly (it is bounded by the publish threshold).
+pub(crate) struct Epoch {
+    pub(crate) core: Arc<SnapshotCore>,
+    pub(crate) delta: Arc<[Arc<[DeltaRecord]>]>,
+    pub(crate) delta_len: usize,
+}
+
+impl Epoch {
+    pub(crate) fn delta_records(&self) -> impl Iterator<Item = &DeltaRecord> {
+        self.delta.iter().flat_map(|batch| batch.iter())
+    }
+}

@@ -1,0 +1,219 @@
+//! The layered query engine behind [`crate::server::CloudServer`].
+//!
+//! The engine is split by responsibility:
+//!
+//! * [`plan`] — the **planner**: lowers `(Query, QueryOptions)` into a
+//!   typed [`plan::QueryPlan`] (query boxes, filter chain, rank mode,
+//!   top-k) and renders `explain()` listings;
+//! * [`ops`] — the **operator pipeline**: executes plans against an
+//!   epoch snapshot (index scan → delta scan → filter → rank → top-k)
+//!   and drives the four read entry points (`query`, `query_nearest`,
+//!   `query_batch`, and — via the shared filter stage — subscriptions);
+//! * [`write`] — the **write path**: staging, snapshot publishing,
+//!   retention, compaction, retraction, and subscription bookkeeping;
+//! * [`epoch`] — the immutable read-side state both halves exchange.
+//!
+//! The facade in `server.rs` owns construction, configuration, and the
+//! public API surface; every method there is a thin delegation into
+//! this module.
+
+pub(crate) mod epoch;
+mod ops;
+pub mod plan;
+mod write;
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use swag_core::CameraProfile;
+use swag_exec::Executor;
+use swag_obs::{
+    Counter, FlightRecorder, Histogram, MonotonicClock, Registry, Trace, DEFAULT_RING_CAPACITY,
+};
+
+use crate::query::{Query, QueryOptions};
+use crate::server::ServerConfig;
+use crate::shard::ShardedFovIndex;
+use crate::store::SegmentStore;
+use crate::subscribe::SubscriptionSet;
+
+use epoch::{Epoch, SnapshotCore};
+use plan::QueryPlan;
+use write::Writer;
+
+/// Metric handles for an instrumented engine. Handles are resolved once
+/// at attach time; recording never touches the registry again.
+pub(crate) struct ServerObs {
+    pub(crate) lock_wait: Arc<Histogram>,
+    pub(crate) index_scan: Arc<Histogram>,
+    pub(crate) ranking: Arc<Histogram>,
+    pub(crate) query_total: Arc<Histogram>,
+    pub(crate) candidates: Arc<Histogram>,
+    pub(crate) index_nodes: Arc<Histogram>,
+    pub(crate) index_leaves: Arc<Histogram>,
+    pub(crate) ingest: Arc<Histogram>,
+    pub(crate) segments: Arc<Counter>,
+    pub(crate) nearest_rounds: Arc<Counter>,
+    pub(crate) publishes: Arc<Counter>,
+    pub(crate) snapshot_age: Arc<Histogram>,
+    pub(crate) rebuild_micros: Arc<Histogram>,
+    pub(crate) delta_size: Arc<Histogram>,
+    pub(crate) retention_dropped: Arc<Counter>,
+    pub(crate) trace: Trace,
+}
+
+impl ServerObs {
+    fn from_registry(registry: &Registry) -> Self {
+        ServerObs {
+            lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
+            index_scan: registry.histogram("swag_server_query_index_scan_micros"),
+            ranking: registry.histogram("swag_server_query_ranking_micros"),
+            query_total: registry.histogram("swag_server_query_micros"),
+            candidates: registry.histogram("swag_server_query_candidates"),
+            index_nodes: registry.histogram("swag_server_index_nodes_visited"),
+            index_leaves: registry.histogram("swag_server_index_leaves_scanned"),
+            ingest: registry.histogram("swag_server_ingest_micros"),
+            segments: registry.counter("swag_server_segments_ingested_total"),
+            nearest_rounds: registry.counter("swag_server_nearest_rounds_total"),
+            publishes: registry.counter("swag_server_publishes_total"),
+            snapshot_age: registry.histogram("swag_server_snapshot_age_micros"),
+            rebuild_micros: registry.histogram("swag_server_snapshot_rebuild_micros"),
+            delta_size: registry.histogram("swag_server_snapshot_delta_size"),
+            retention_dropped: registry.counter("swag_server_retention_dropped_total"),
+            trace: Trace::new(256),
+        }
+    }
+}
+
+/// The layered engine: all server state, shared by the read pipeline
+/// ([`ops`]) and the write path ([`write`]). The `CloudServer` facade
+/// owns exactly one of these.
+pub(crate) struct Engine {
+    /// Readers clone the `Arc` under a momentary read lock; the lock is
+    /// never held while scanning or ranking.
+    pub(crate) epoch: RwLock<Arc<Epoch>>,
+    pub(crate) writer: Mutex<Writer>,
+    pub(crate) config: ServerConfig,
+    pub(crate) cam: CameraProfile,
+    pub(crate) clock: Arc<dyn MonotonicClock>,
+    /// Work-stealing pool for shard fan-out, publish rebuilds, and query
+    /// batches.
+    pub(crate) exec: Executor,
+    pub(crate) obs: Option<ServerObs>,
+    /// Causal-tracing flight recorder for the query/ingest/publish
+    /// paths. Disabled by default: each span site then costs one relaxed
+    /// load.
+    pub(crate) recorder: Arc<FlightRecorder>,
+    pub(crate) batches: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) query_micros: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine with the given tuning and clock.
+    pub(crate) fn new(
+        cam: CameraProfile,
+        config: ServerConfig,
+        clock: Arc<dyn MonotonicClock>,
+    ) -> Self {
+        let recorder = Arc::new(FlightRecorder::with_clock(
+            DEFAULT_RING_CAPACITY,
+            clock.clone(),
+        ));
+        if let Some(t) = config.slow_query_micros {
+            recorder.set_slow_threshold_micros(t);
+        }
+        let mut index = ShardedFovIndex::new(config.shard_width_s, config.index);
+        index.set_recorder(recorder.clone());
+        let core = Arc::new(SnapshotCore {
+            store: SegmentStore::new(),
+            index,
+            published_at_micros: clock.now_micros(),
+        });
+        Engine {
+            epoch: RwLock::new(Arc::new(Epoch {
+                core: core.clone(),
+                delta: Arc::from(Vec::new()),
+                delta_len: 0,
+            })),
+            writer: Mutex::new(Writer {
+                core,
+                delta: Vec::new(),
+                delta_len: 0,
+                subscriptions: SubscriptionSet::new(),
+                max_t_end: f64::NEG_INFINITY,
+            }),
+            config,
+            cam,
+            clock,
+            exec: Executor::global().clone(),
+            obs: None,
+            recorder,
+            batches: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            query_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Wires the ingest, query, and publish paths to `registry` and
+    /// re-publishes the core with shard metrics attached so fan-out is
+    /// recorded from the next query on.
+    pub(crate) fn attach_observability(&mut self, registry: &Registry) {
+        self.obs = Some(ServerObs::from_registry(registry));
+        self.exec.attach_observability(registry);
+        let mut w = self.writer.lock();
+        let mut index = w.core.index.clone();
+        index.attach_observability(registry);
+        let core = Arc::new(SnapshotCore {
+            store: w.core.store.clone(),
+            index,
+            published_at_micros: w.core.published_at_micros,
+        });
+        w.core = core.clone();
+        let delta = Arc::from(w.delta.as_slice());
+        let delta_len = w.delta_len;
+        drop(w);
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta,
+            delta_len,
+        });
+    }
+
+    /// Replaces the flight recorder, applying the configured slow-query
+    /// threshold and re-issuing the published snapshot so shard probes
+    /// record into it from the next query on.
+    pub(crate) fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        if let Some(t) = self.config.slow_query_micros {
+            recorder.set_slow_threshold_micros(t);
+        }
+        self.recorder = recorder.clone();
+        let mut w = self.writer.lock();
+        let mut index = w.core.index.clone();
+        index.set_recorder(recorder);
+        let core = Arc::new(SnapshotCore {
+            store: w.core.store.clone(),
+            index,
+            published_at_micros: w.core.published_at_micros,
+        });
+        w.core = core.clone();
+        let delta = Arc::from(w.delta.as_slice());
+        let delta_len = w.delta_len;
+        drop(w);
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta,
+            delta_len,
+        });
+    }
+
+    /// Compiles the plan for a request and renders it against the
+    /// current snapshot: boxes, shards probed, pending delta, filter
+    /// chain, rank mode, and the operator pipeline.
+    pub(crate) fn explain(&self, query: &Query, opts: &QueryOptions) -> String {
+        let plan = QueryPlan::compile(query, opts);
+        let epoch = self.epoch.read().clone();
+        plan.explain_against(&epoch.core.index, epoch.delta_len)
+    }
+}

@@ -1,0 +1,265 @@
+//! The operator pipeline: executes [`QueryPlan`]s against an epoch.
+//!
+//! One plan execution is the paper's retrieval path as a pipeline of
+//! operators — **index scan** (sharded snapshot probe) → **delta scan**
+//! (linear walk of pending records) → **filter** (the plan's compiled
+//! [`FilterChain`](super::plan::FilterChain)) → **rank** → **top-k** —
+//! each timed by a flight-recorder span named after the `OP_*` constant
+//! it executes. All four read entry points are thin drivers over
+//! [`Engine::execute_plan`]: `query` runs one plan, `query_nearest`
+//! loops over radius-expanded plans, `query_batch` fans plans across
+//! the executor against a single pinned epoch, and subscriptions reuse
+//! the plan's filter stage at ingest time.
+
+use std::sync::atomic::Ordering;
+
+use swag_geo::LatLon;
+use swag_rtree::SearchStats;
+
+use crate::query::{Query, QueryOptions, RankMode};
+use crate::ranking::{collect_hits, hit_for, rank_hits, SearchHit};
+use crate::server::{ServerStats, AUTO_THRESHOLD_INTERVAL};
+use crate::store::SegmentRecord;
+
+use super::epoch::{DeltaRecord, Epoch};
+use super::plan::{
+    QueryPlan, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_QUERY_NEAREST, OP_RANKING,
+};
+use super::Engine;
+
+impl Engine {
+    /// Executes one plan against an already-acquired epoch, completing
+    /// the latency accounting started at `t0` (the caller reads the
+    /// clock once before acquiring the epoch; this method reads it once
+    /// more uninstrumented, three more times instrumented). Scanning and
+    /// ranking are lock-free: the epoch is immutable, and the shard
+    /// fan-out runs on the engine's executor.
+    pub(crate) fn execute_plan(&self, epoch: &Epoch, t0: u64, plan: &QueryPlan) -> Vec<SearchHit> {
+        // Root of this query's span tree, armed for slow-query capture:
+        // if its wall time (on the recorder's clock) crosses the slow
+        // threshold, the whole tree is pinned into the retained log.
+        // Child spans below — shard probes included, even when stolen by
+        // other workers — parent to this context.
+        let mut root = self.recorder.guarded_span(OP_QUERY);
+        let hits = match &self.obs {
+            None => {
+                let candidates = {
+                    let _span = self.recorder.span(OP_INDEX_SCAN);
+                    epoch.core.index.candidates_in_exec(
+                        &self.exec,
+                        &plan.boxes,
+                        plan.query.t_start,
+                        plan.query.t_end,
+                    )
+                };
+                let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, plan);
+                if epoch.delta_len > 0 {
+                    let _span = self.recorder.span(OP_DELTA_SCAN);
+                    for d in epoch.delta_records() {
+                        if plan.boxes.intersects(&d.bbox)
+                            && plan.filters.accepts(&d.rec.rep, &self.cam, &plan.query)
+                        {
+                            hits.push(hit_for(&d.rec, &self.cam, &plan.query));
+                        }
+                    }
+                }
+                {
+                    let _span = self.recorder.span(OP_RANKING);
+                    rank_hits(&mut hits, plan.rank, plan.k);
+                }
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.query_micros
+                    .fetch_add(self.clock.now_micros() - t0, Ordering::Relaxed);
+                hits
+            }
+            Some(obs) => {
+                let t_locked = self.clock.now_micros();
+                let mut search = SearchStats::default();
+                let candidates = {
+                    let _span = self.recorder.span(OP_INDEX_SCAN);
+                    epoch.core.index.candidates_with_stats_in_exec(
+                        &self.exec,
+                        &plan.boxes,
+                        plan.query.t_start,
+                        plan.query.t_end,
+                        &mut search,
+                    )
+                };
+                let delta_matches: Vec<&DeltaRecord> = if epoch.delta_len > 0 {
+                    let _span = self.recorder.span(OP_DELTA_SCAN);
+                    let matches: Vec<&DeltaRecord> = epoch
+                        .delta_records()
+                        .filter(|d| plan.boxes.intersects(&d.bbox))
+                        .collect();
+                    // The delta scan is one flat "leaf" over pending records.
+                    search.nodes_visited += 1;
+                    search.leaves_scanned += 1;
+                    search.items_tested += epoch.delta_len as u64;
+                    search.items_matched += matches.len() as u64;
+                    matches
+                } else {
+                    Vec::new()
+                };
+                let n_candidates = candidates.len() + delta_matches.len();
+                let t_scanned = self.clock.now_micros();
+                let hits = {
+                    let _span = self.recorder.span(OP_RANKING);
+                    let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, plan);
+                    hits.extend(
+                        delta_matches
+                            .into_iter()
+                            .filter(|d| plan.filters.accepts(&d.rec.rep, &self.cam, &plan.query))
+                            .map(|d| hit_for(&d.rec, &self.cam, &plan.query)),
+                    );
+                    rank_hits(&mut hits, plan.rank, plan.k);
+                    hits
+                };
+                let t_done = self.clock.now_micros();
+
+                let n_queries = self.queries.fetch_add(1, Ordering::Relaxed) + 1;
+                self.query_micros.fetch_add(t_done - t0, Ordering::Relaxed);
+                obs.lock_wait.record(t_locked - t0);
+                obs.index_scan.record(t_scanned - t_locked);
+                obs.ranking.record(t_done - t_scanned);
+                obs.query_total.record(t_done - t0);
+                obs.candidates.record(n_candidates as u64);
+                obs.index_nodes.record(search.nodes_visited);
+                obs.index_leaves.record(search.leaves_scanned);
+                if obs.trace.try_sample() {
+                    obs.trace.record(OP_QUERY, t_done - t0, n_candidates as u64);
+                }
+                // Auto-derive the slow-query threshold from the live p99
+                // unless the config pinned a fixed value.
+                if self.config.slow_query_micros.is_none()
+                    && self.recorder.is_enabled()
+                    && n_queries.is_multiple_of(AUTO_THRESHOLD_INTERVAL)
+                {
+                    let p99 = obs.query_total.snapshot().p99();
+                    if p99 > 0 {
+                        self.recorder.set_slow_threshold_micros(p99);
+                    }
+                }
+                hits
+            }
+        };
+        root.set_detail(hits.len() as u64);
+        hits
+    }
+
+    /// One-plan entry point: compiles the request, clones the epoch
+    /// `Arc` in a momentary read-side critical section, and executes.
+    pub(crate) fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
+        let t0 = self.clock.now_micros();
+        let epoch = self.epoch.read().clone();
+        let plan = QueryPlan::compile(query, opts);
+        self.execute_plan(&epoch, t0, &plan)
+    }
+
+    /// k-nearest entry point: a radius-expansion loop over successive
+    /// plans. Each ring compiles a fresh plan (same filters/rank, wider
+    /// boxes, `k = all`) and executes it against a freshly acquired
+    /// epoch; the loop stops once `k` hits are found past the settle
+    /// radius or the budget is covered.
+    pub(crate) fn query_nearest(
+        &self,
+        t_start: f64,
+        t_end: f64,
+        center: LatLon,
+        k: usize,
+        opts: &QueryOptions,
+        max_radius_m: f64,
+    ) -> Vec<SearchHit> {
+        if k == 0 {
+            return Vec::new();
+        }
+        // Each expansion round's query span becomes a child of this one.
+        let _span = self.recorder.span(OP_QUERY_NEAREST);
+        // Below this radius, unexplored segments may still outrank found
+        // ones, so k hits are not enough to stop.
+        let settle_radius_m = match opts.rank {
+            RankMode::Distance => 0.0,
+            RankMode::Quality => self.cam.view_radius_m.min(max_radius_m),
+        };
+        let mut radius = 50.0_f64.min(max_radius_m);
+        loop {
+            if let Some(obs) = &self.obs {
+                obs.nearest_rounds.inc();
+            }
+            let t0 = self.clock.now_micros();
+            let epoch = self.epoch.read().clone();
+            let q = Query::new(t_start, t_end, center, radius);
+            let mut plan = QueryPlan::compile(&q, opts);
+            plan.k = usize::MAX;
+            let hits = self.execute_plan(&epoch, t0, &plan);
+            if (hits.len() >= k && radius >= settle_radius_m) || radius >= max_radius_m {
+                let mut hits = hits;
+                hits.truncate(k);
+                return hits;
+            }
+            radius = (radius * 2.0).min(max_radius_m);
+        }
+    }
+
+    /// Batch entry point: compiles one plan per query and fans them
+    /// across the executor against **one** pinned epoch, so a publish
+    /// landing mid-batch cannot make later queries see different data
+    /// than earlier ones. Result order matches input order and is
+    /// byte-identical in serial and parallel mode.
+    pub(crate) fn query_batch(
+        &self,
+        queries: &[Query],
+        opts: &QueryOptions,
+        threads: usize,
+    ) -> Vec<Vec<SearchHit>> {
+        let epoch = self.epoch.read().clone();
+        let one = |q: &Query| {
+            let t0 = self.clock.now_micros();
+            let plan = QueryPlan::compile(q, opts);
+            self.execute_plan(&epoch, t0, &plan)
+        };
+        if threads <= 1 || self.exec.is_serial() {
+            return queries.iter().map(one).collect();
+        }
+        self.exec.par_map(queries, one)
+    }
+
+    /// Exports every stored record, pending delta included.
+    pub(crate) fn export_records(&self) -> Vec<SegmentRecord> {
+        let epoch = self.epoch.read().clone();
+        let mut out: Vec<SegmentRecord> = epoch.core.store.iter().copied().collect();
+        out.extend(epoch.delta_records().map(|d| d.rec));
+        out
+    }
+
+    /// Current statistics snapshot.
+    pub(crate) fn stats(&self) -> ServerStats {
+        let (lock_wait, index_scan, ranking, query) = match &self.obs {
+            Some(o) => (
+                o.lock_wait.snapshot(),
+                o.index_scan.snapshot(),
+                o.ranking.snapshot(),
+                o.query_total.snapshot(),
+            ),
+            None => (
+                swag_obs::HistogramSnapshot::empty(),
+                swag_obs::HistogramSnapshot::empty(),
+                swag_obs::HistogramSnapshot::empty(),
+                swag_obs::HistogramSnapshot::empty(),
+            ),
+        };
+        let epoch = self.epoch.read().clone();
+        ServerStats {
+            segments: epoch.core.store.len() + epoch.delta_len,
+            store_slots: epoch.core.store.total() + epoch.delta_len,
+            shards: epoch.core.index.shard_count(),
+            pending_delta: epoch.delta_len,
+            batches: self.batches.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            query_micros_total: self.query_micros.load(Ordering::Relaxed),
+            lock_wait_micros: lock_wait,
+            index_scan_micros: index_scan,
+            ranking_micros: ranking,
+            query_micros: query,
+        }
+    }
+}

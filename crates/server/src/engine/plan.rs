@@ -1,0 +1,290 @@
+//! The query planner: lowers `(Query, QueryOptions)` into a typed
+//! [`QueryPlan`].
+//!
+//! A plan is everything the operator pipeline needs to run, resolved
+//! once per query: the query boxes (antimeridian-aware, §V-B step 1),
+//! the filter chain (step 3, shared verbatim with standing-query
+//! subscriptions), the rank mode and the top-k cutoff (step 4). Plans
+//! are cheap `Copy` values; [`SubscriptionSet`](crate::subscribe)
+//! compiles one per standing query at registration time and the read
+//! entry points compile one per request (or per expansion ring, for
+//! k-nearest).
+//!
+//! [`QueryPlan::explain`] renders the plan for humans; the operator
+//! names it prints are the same `OP_*` constants the flight-recorder
+//! spans use, so a `swag trace` waterfall and a `swag explain` listing
+//! name identical pipeline stages.
+
+use swag_core::{points_toward, sector_intersects_circle, CameraProfile, RepFov};
+
+use crate::index::{query_boxes, QueryBoxes};
+use crate::query::{Query, QueryOptions, RankMode};
+use crate::shard::ShardedFovIndex;
+
+/// Span label of the per-query pipeline root.
+pub const OP_QUERY: &str = "query";
+/// Span label of the snapshot index scan operator.
+pub const OP_INDEX_SCAN: &str = "index_scan";
+/// Span label of the pending-delta scan operator.
+pub const OP_DELTA_SCAN: &str = "delta_scan";
+/// Span label of the filter + rank + truncate operator.
+pub const OP_RANKING: &str = "ranking";
+/// Span label of the k-nearest radius-expansion driver.
+pub const OP_QUERY_NEAREST: &str = "query_nearest";
+/// Span label of one per-shard index probe.
+pub const OP_SHARD_PROBE: &str = "shard_probe";
+/// Span label of one publish-time shard STR rebuild.
+pub const OP_SHARD_REBUILD: &str = "shard_rebuild";
+/// Span label of the delta-fold snapshot publish.
+pub const OP_PUBLISH: &str = "publish";
+/// Span label of one upload-batch ingest.
+pub const OP_INGEST: &str = "ingest";
+
+/// The per-record filter stage (paper §V-B step 3), compiled from
+/// [`QueryOptions`]. This is the **single** definition of the direction
+/// and coverage filters: pull queries, batch queries, k-nearest rings,
+/// and standing-query subscriptions all run records through
+/// [`FilterChain::accepts`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterChain {
+    /// `Some(tolerance_deg)` drops FoVs whose orientation points away
+    /// from the query centre (tolerance widens the camera half-angle).
+    pub direction_tolerance_deg: Option<f64>,
+    /// Additionally require the view sector to geometrically intersect
+    /// the query disc.
+    pub require_coverage: bool,
+}
+
+impl FilterChain {
+    /// Compiles the filter stage from query options.
+    pub fn from_options(opts: &QueryOptions) -> Self {
+        FilterChain {
+            direction_tolerance_deg: opts
+                .direction_filter
+                .then_some(opts.direction_tolerance_deg),
+            require_coverage: opts.require_coverage,
+        }
+    }
+
+    /// Whether a representative FoV passes every configured filter.
+    pub fn accepts(&self, rep: &RepFov, cam: &CameraProfile, query: &Query) -> bool {
+        if let Some(tol) = self.direction_tolerance_deg {
+            if !points_toward(&rep.fov, cam, query.center, tol) {
+                return false;
+            }
+        }
+        if self.require_coverage
+            && !sector_intersects_circle(&rep.fov, cam, query.center, query.radius_m)
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Number of active filters (for explain output).
+    pub fn len(&self) -> usize {
+        usize::from(self.direction_tolerance_deg.is_some()) + usize::from(self.require_coverage)
+    }
+
+    /// Whether no filter is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A compiled query: what the operator pipeline executes against an
+/// epoch snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPlan {
+    /// The validated request.
+    pub query: Query,
+    /// Query rectangle(s) — two when the radius wraps the antimeridian.
+    pub boxes: QueryBoxes,
+    /// The per-record filter stage.
+    pub filters: FilterChain,
+    /// Result ordering.
+    pub rank: RankMode,
+    /// Top-k cutoff applied after ranking.
+    pub k: usize,
+}
+
+impl QueryPlan {
+    /// Lowers a request into a plan (the planner).
+    pub fn compile(query: &Query, opts: &QueryOptions) -> Self {
+        QueryPlan {
+            query: *query,
+            boxes: query_boxes(query),
+            filters: FilterChain::from_options(opts),
+            rank: opts.rank,
+            k: opts.top_n,
+        }
+    }
+
+    /// Renders the plan for humans: boxes, filter chain, rank mode, and
+    /// the operator pipeline (named with the same labels the trace spans
+    /// use). Snapshot-dependent facts (shards probed, pending delta) are
+    /// added by [`Self::explain_against`].
+    pub fn explain(&self) -> String {
+        self.render(None)
+    }
+
+    /// [`Self::explain`] resolved against a concrete snapshot: also
+    /// lists which time shards the plan probes and the pending delta
+    /// the delta-scan operator walks.
+    pub(crate) fn explain_against(&self, index: &ShardedFovIndex, delta_len: usize) -> String {
+        self.render(Some((index, delta_len)))
+    }
+
+    fn render(&self, snapshot: Option<(&ShardedFovIndex, usize)>) -> String {
+        use std::fmt::Write as _;
+        let q = &self.query;
+        let mut out = String::new();
+        let _ = writeln!(out, "QueryPlan");
+        let _ = writeln!(
+            out,
+            "  window  : [{:.3}, {:.3}] ({:.1} s)",
+            q.t_start,
+            q.t_end,
+            q.t_end - q.t_start
+        );
+        let _ = writeln!(
+            out,
+            "  center  : ({:.6}, {:.6}) radius {:.1} m",
+            q.center.lat, q.center.lng, q.radius_m
+        );
+        for (i, b) in self.boxes.as_slice().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  box {i}   : lng [{:.6}, {:.6}] lat [{:.6}, {:.6}]",
+                b.min[0], b.max[0], b.min[1], b.max[1]
+            );
+        }
+        if let Some((index, delta_len)) = snapshot {
+            let probes = index.probe_shards(q.t_start, q.t_end);
+            let mut line = format!(
+                "  shards  : probe {} of {} live (width {} s)",
+                probes.len(),
+                index.shard_count(),
+                index.shard_width_s()
+            );
+            if !probes.is_empty() {
+                line.push(':');
+                for (bucket, items) in &probes {
+                    let _ = write!(line, " #{bucket}(x{items})");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+            let _ = writeln!(out, "  delta   : {delta_len} pending records (linear scan)");
+        }
+        let mut filters = Vec::new();
+        if let Some(tol) = self.filters.direction_tolerance_deg {
+            filters.push(format!("direction(±{tol}°)"));
+        }
+        if self.filters.require_coverage {
+            filters.push("coverage".to_string());
+        }
+        let _ = writeln!(
+            out,
+            "  filters : {}",
+            if filters.is_empty() {
+                "none".to_string()
+            } else {
+                filters.join(" -> ")
+            }
+        );
+        let rank = match self.rank {
+            RankMode::Distance => "distance",
+            RankMode::Quality => "quality",
+        };
+        let k = if self.k == usize::MAX {
+            "all".to_string()
+        } else {
+            format!("top {}", self.k)
+        };
+        let _ = writeln!(out, "  rank    : {rank}, {k}");
+        let _ = writeln!(
+            out,
+            "  pipeline: {OP_INDEX_SCAN}({OP_SHARD_PROBE}*) -> {OP_DELTA_SCAN} -> {OP_RANKING}"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn center() -> LatLon {
+        LatLon::new(40.0, 116.32)
+    }
+
+    #[test]
+    fn filter_chain_mirrors_options() {
+        let chain = FilterChain::from_options(&QueryOptions::default());
+        assert_eq!(chain.direction_tolerance_deg, Some(10.0));
+        assert!(!chain.require_coverage);
+        assert_eq!(chain.len(), 1);
+        let none = FilterChain::from_options(&QueryOptions {
+            direction_filter: false,
+            ..QueryOptions::default()
+        });
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn filter_chain_accepts_matches_semantics() {
+        let cam = CameraProfile::smartphone();
+        let q = Query::new(0.0, 10.0, center(), 100.0);
+        // Camera 20 m south looking north (at the centre) passes; looking
+        // south (away) fails the direction filter but passes without it.
+        let toward = RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 20.0), 0.0));
+        let away = RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 20.0), 180.0));
+        let with_dir = FilterChain::from_options(&QueryOptions::default());
+        assert!(with_dir.accepts(&toward, &cam, &q));
+        assert!(!with_dir.accepts(&away, &cam, &q));
+        let without = FilterChain {
+            direction_tolerance_deg: None,
+            require_coverage: false,
+        };
+        assert!(without.accepts(&away, &cam, &q));
+    }
+
+    #[test]
+    fn plan_captures_rank_and_k() {
+        let q = Query::new(0.0, 60.0, center(), 150.0);
+        let plan = QueryPlan::compile(
+            &q,
+            &QueryOptions {
+                top_n: 7,
+                rank: RankMode::Quality,
+                ..QueryOptions::default()
+            },
+        );
+        assert_eq!(plan.k, 7);
+        assert_eq!(plan.rank, RankMode::Quality);
+        assert_eq!(plan.boxes, crate::index::query_boxes(&q));
+    }
+
+    #[test]
+    fn explain_names_the_pipeline_operators() {
+        let q = Query::new(0.0, 60.0, center(), 150.0);
+        let plan = QueryPlan::compile(&q, &QueryOptions::default());
+        let text = plan.explain();
+        for op in [OP_INDEX_SCAN, OP_DELTA_SCAN, OP_RANKING, OP_SHARD_PROBE] {
+            assert!(text.contains(op), "explain must mention {op}: {text}");
+        }
+        assert!(text.contains("direction"));
+        assert!(text.contains("distance, top 10"));
+    }
+
+    #[test]
+    fn explain_renders_antimeridian_boxes() {
+        let q = Query::new(0.0, 60.0, LatLon::new(10.0, 179.999), 1000.0);
+        let plan = QueryPlan::compile(&q, &QueryOptions::default());
+        let text = plan.explain();
+        assert!(text.contains("box 0"));
+        assert!(text.contains("box 1"), "wrap query must show two boxes");
+    }
+}

@@ -1,0 +1,306 @@
+//! The write path: staging, snapshot publishing, retention, compaction,
+//! retraction, and subscription bookkeeping.
+//!
+//! Writers append into the delta under a short write lock; every write
+//! republishes the epoch (read-your-writes), and once the delta reaches
+//! [`crate::server::ServerConfig::publish_threshold`] records the
+//! writer folds it into a new snapshot, STR-bulk-rebuilding only the
+//! time shards the batch touched. Retention expires old shards at
+//! publish time and retires the dropped segments from the store, which
+//! compacts once enough of it is tombstones.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use swag_core::{RepFov, UploadBatch};
+
+use crate::index::fov_box;
+use crate::query::{Query, QueryOptions};
+use crate::ranking::SearchHit;
+use crate::shard::ShardedFovIndex;
+use crate::store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
+use crate::subscribe::{SubscriptionId, SubscriptionSet};
+
+use super::epoch::{DeltaRecord, Epoch, SnapshotCore};
+use super::plan::{OP_INGEST, OP_PUBLISH};
+use super::Engine;
+
+/// Don't bother compacting stores with fewer tombstones than this.
+const COMPACT_DEAD_FLOOR: usize = 32;
+
+/// Writer-side state, guarded by one mutex. `core` mirrors the epoch's
+/// core; store/index clones taken from it are copy-on-write cheap.
+pub(crate) struct Writer {
+    pub(crate) core: Arc<SnapshotCore>,
+    pub(crate) delta: Vec<Arc<[DeltaRecord]>>,
+    pub(crate) delta_len: usize,
+    pub(crate) subscriptions: SubscriptionSet,
+    /// Latest `t_end` ever ingested — the retention clock.
+    pub(crate) max_t_end: f64,
+}
+
+impl Engine {
+    /// Builds the next pending record (assigning the next dense id),
+    /// pre-computes its index box, and offers it to standing queries.
+    /// The caller freezes the returned records into one delta slice.
+    fn stage(&self, w: &mut Writer, rep: RepFov, source: SegmentRef) -> DeltaRecord {
+        let next = w.core.store.total() + w.delta_len;
+        let id = SegmentId(u32::try_from(next).expect("store capacity exceeded"));
+        w.delta_len += 1;
+        w.max_t_end = w.max_t_end.max(rep.t_end);
+        w.subscriptions.offer(&rep, id, source, &self.cam);
+        DeltaRecord {
+            rec: SegmentRecord { id, rep, source },
+            bbox: fov_box(&rep),
+        }
+    }
+
+    /// Publishes the current writer state: folds the delta into a new
+    /// snapshot once it is large enough, otherwise republishes the same
+    /// core with the updated delta (read-your-writes).
+    fn publish(&self, w: &mut Writer) {
+        if w.delta_len >= self.config.publish_threshold {
+            self.publish_full(w, None);
+        } else {
+            let epoch = Arc::new(Epoch {
+                core: w.core.clone(),
+                delta: Arc::from(w.delta.as_slice()),
+                delta_len: w.delta_len,
+            });
+            *self.epoch.write() = epoch;
+        }
+    }
+
+    /// Folds the delta into a fresh snapshot: appends to the (COW) store,
+    /// STR-rebuilds the touched shards, applies retention and compaction,
+    /// and publishes the result. Returns how many segments retention
+    /// dropped.
+    fn publish_full(&self, w: &mut Writer, extra_horizon: Option<f64>) -> usize {
+        let mut span = self.recorder.span(OP_PUBLISH);
+        let t0 = self.clock.now_micros();
+        span.set_detail(w.delta_len as u64);
+        let delta_len = w.delta_len;
+        let prev_published = w.core.published_at_micros;
+
+        let mut store = w.core.store.clone();
+        let mut index = w.core.index.clone();
+        let mut staged: Vec<(RepFov, SegmentId)> = Vec::with_capacity(delta_len);
+        for batch in w.delta.drain(..) {
+            for d in batch.iter() {
+                let id = store.push(d.rec.rep, d.rec.source);
+                debug_assert_eq!(id, d.rec.id, "delta ids must stay dense");
+                staged.push((d.rec.rep, id));
+            }
+        }
+        w.delta_len = 0;
+        index.bulk_insert_exec(&self.exec, &staged);
+
+        // Retention: expire shards past the horizon, retire the segments
+        // that no longer exist in any shard.
+        let mut horizon = extra_horizon;
+        if let Some(h) = self.config.retention_horizon_s {
+            let auto = w.max_t_end - h;
+            if auto.is_finite() {
+                horizon = Some(horizon.map_or(auto, |e| e.max(auto)));
+            }
+        }
+        let mut dropped = 0usize;
+        if let Some(h) = horizon {
+            let report = index.expire_before(h);
+            for id in &report.segments_dropped {
+                if store.retire(*id) {
+                    dropped += 1;
+                }
+            }
+        }
+
+        // Compaction: once enough of the store is tombstones, re-pack the
+        // live records densely and rebuild the index. Ids are
+        // server-internal; external references use `SegmentRef`.
+        if store.dead() >= COMPACT_DEAD_FLOOR
+            && store.dead() as f64 > self.config.compact_dead_fraction * store.total() as f64
+        {
+            let mut fresh = SegmentStore::new();
+            let mut items = Vec::with_capacity(store.len());
+            for rec in store.iter() {
+                let id = fresh.push(rec.rep, rec.source);
+                items.push((rec.rep, id));
+            }
+            let mut rebuilt = index.fresh_like();
+            rebuilt.bulk_insert_exec(&self.exec, &items);
+            store = fresh;
+            index = rebuilt;
+        }
+
+        let now = self.clock.now_micros();
+        let core = Arc::new(SnapshotCore {
+            store,
+            index,
+            published_at_micros: now,
+        });
+        w.core = core.clone();
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta: Arc::from(Vec::new()),
+            delta_len: 0,
+        });
+        if let Some(obs) = &self.obs {
+            obs.publishes.inc();
+            obs.rebuild_micros.record(now.saturating_sub(t0));
+            obs.snapshot_age.record(now.saturating_sub(prev_published));
+            obs.delta_size.record(delta_len as u64);
+            obs.retention_dropped.add(dropped as u64);
+        }
+        dropped
+    }
+
+    /// Ingests one upload batch, returning the assigned segment ids.
+    pub(crate) fn ingest_batch(&self, batch: &UploadBatch) -> Vec<SegmentId> {
+        let mut span = self.recorder.span(OP_INGEST);
+        span.set_detail(batch.reps.len() as u64);
+        let t0 = if self.obs.is_some() {
+            self.clock.now_micros()
+        } else {
+            0
+        };
+        let mut w = self.writer.lock();
+        let mut staged = Vec::with_capacity(batch.reps.len());
+        let ids = batch
+            .reps
+            .iter()
+            .enumerate()
+            .map(|(i, rep)| {
+                let source = SegmentRef {
+                    provider_id: batch.provider_id,
+                    video_id: batch.video_id,
+                    segment_idx: i as u32,
+                };
+                let d = self.stage(&mut w, *rep, source);
+                let id = d.rec.id;
+                staged.push(d);
+                id
+            })
+            .collect();
+        if !staged.is_empty() {
+            w.delta.push(Arc::from(staged));
+        }
+        self.publish(&mut w);
+        drop(w);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.segments.add(batch.reps.len() as u64);
+            obs.ingest.record(self.clock.now_micros() - t0);
+        }
+        ids
+    }
+
+    /// Ingests a single representative FoV.
+    pub(crate) fn ingest_one(&self, rep: RepFov, source: SegmentRef) -> SegmentId {
+        let mut w = self.writer.lock();
+        let d = self.stage(&mut w, rep, source);
+        let id = d.rec.id;
+        w.delta.push(Arc::from(vec![d]));
+        self.publish(&mut w);
+        drop(w);
+        if let Some(obs) = &self.obs {
+            obs.segments.inc();
+        }
+        id
+    }
+
+    /// Registers a standing query (compiling its plan once).
+    pub(crate) fn subscribe(&self, query: Query, opts: QueryOptions) -> SubscriptionId {
+        self.writer.lock().subscriptions.subscribe(query, opts)
+    }
+
+    /// Cancels a standing query.
+    pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        self.writer.lock().subscriptions.unsubscribe(id)
+    }
+
+    /// Drains a standing query's accumulated matches (arrival order).
+    pub(crate) fn poll_subscription(&self, id: SubscriptionId) -> Vec<SearchHit> {
+        self.writer.lock().subscriptions.poll(id)
+    }
+
+    /// Retracts every segment a provider contributed. Returns how many
+    /// segments were removed; the retraction publishes a fresh snapshot
+    /// immediately.
+    pub(crate) fn retract_provider(&self, provider_id: u64) -> usize {
+        let mut w = self.writer.lock();
+        // Fold pending records into the core first: retraction then only
+        // has to retire published records, and delta ids stay dense.
+        if w.delta_len > 0 {
+            self.publish_full(&mut w, None);
+        }
+
+        let victims: Vec<(RepFov, SegmentId)> = w
+            .core
+            .store
+            .iter()
+            .filter(|rec| rec.source.provider_id == provider_id)
+            .map(|rec| (rec.rep, rec.id))
+            .collect();
+        let removed = victims.len();
+        if !victims.is_empty() {
+            let mut store = w.core.store.clone();
+            let mut index = w.core.index.clone();
+            for (rep, id) in &victims {
+                let unindexed = index.remove(rep, *id);
+                debug_assert!(unindexed, "index and store disagreed on {id:?}");
+                store.retire(*id);
+            }
+            let core = Arc::new(SnapshotCore {
+                store,
+                index,
+                published_at_micros: w.core.published_at_micros,
+            });
+            w.core = core.clone();
+            *self.epoch.write() = Arc::new(Epoch {
+                core,
+                delta: Arc::from(Vec::new()),
+                delta_len: 0,
+            });
+            if let Some(obs) = &self.obs {
+                obs.publishes.inc();
+            }
+        }
+        removed
+    }
+
+    /// Expires everything older than `horizon_s`: publishes a shrunken
+    /// snapshot immediately and returns how many segments were dropped.
+    pub(crate) fn expire_before(&self, horizon_s: f64) -> usize {
+        let mut w = self.writer.lock();
+        self.publish_full(&mut w, Some(horizon_s))
+    }
+
+    /// Replaces the (empty) published snapshot with one STR-bulk-loaded
+    /// from `records` (the restore path behind `from_records`).
+    pub(crate) fn bootstrap(&self, records: Vec<(RepFov, SegmentRef)>) {
+        let mut w = self.writer.lock();
+        let mut store = SegmentStore::new();
+        let mut items = Vec::with_capacity(records.len());
+        let mut max_t_end = f64::NEG_INFINITY;
+        for (rep, source) in records {
+            let id = store.push(rep, source);
+            items.push((rep, id));
+            max_t_end = max_t_end.max(rep.t_end);
+        }
+        let mut index = ShardedFovIndex::new(self.config.shard_width_s, self.config.index);
+        index.set_recorder(self.recorder.clone());
+        index.bulk_insert_exec(&self.exec, &items);
+        let core = Arc::new(SnapshotCore {
+            store,
+            index,
+            published_at_micros: self.clock.now_micros(),
+        });
+        w.core = core.clone();
+        w.max_t_end = max_t_end;
+        *self.epoch.write() = Arc::new(Epoch {
+            core,
+            delta: Arc::from(Vec::new()),
+            delta_len: 0,
+        });
+    }
+}

@@ -277,7 +277,16 @@ impl FovIndex {
     /// `stats` (used by the instrumented server query path). The linear
     /// scan reports itself as one flat "leaf" covering every record.
     pub fn candidates_with_stats(&self, q: &Query, stats: &mut SearchStats) -> Vec<SegmentId> {
-        let boxes = query_boxes(q);
+        self.candidates_with_stats_in(&query_boxes(q), stats)
+    }
+
+    /// [`Self::candidates_with_stats`] against an already-built query box
+    /// set (the plan-driven query path builds boxes once per plan).
+    pub fn candidates_with_stats_in(
+        &self,
+        boxes: &QueryBoxes,
+        stats: &mut SearchStats,
+    ) -> Vec<SegmentId> {
         let mut out: Vec<SegmentId> = Vec::new();
         for qb in boxes.as_slice() {
             match self {

@@ -22,6 +22,7 @@
 //! — old shards are dropped wholesale and their segments retired from
 //! the store.
 
+pub mod engine;
 pub mod index;
 pub mod persistence;
 pub mod query;
@@ -31,9 +32,10 @@ pub mod shard;
 pub mod store;
 pub mod subscribe;
 
+pub use engine::plan::{FilterChain, QueryPlan};
 pub use index::{FovIndex, IndexKind};
 pub use persistence::{load_snapshot, save_snapshot, SnapshotError};
-pub use query::{Query, QueryOptions, RankMode};
+pub use query::{Query, QueryError, QueryOptions, RankMode};
 pub use ranking::{quality_score, SearchHit};
 pub use server::{CloudServer, ServerConfig, ServerStats, AUTO_THRESHOLD_INTERVAL};
 pub use shard::{ExpireReport, ShardedFovIndex};

@@ -18,6 +18,59 @@ pub struct Query {
     pub radius_m: f64,
 }
 
+/// Why a query (or its options) was rejected at validation time.
+///
+/// Ingress paths — the CLI, snapshot loaders, anything fed from a wire —
+/// go through [`Query::try_new`] / [`QueryOptions::validate`] so hostile
+/// input (inverted interval, NaN radius) surfaces as an error instead of
+/// panicking the server. Internal callers that construct queries from
+/// already-validated values keep using the panicking [`Query::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// `t_end < t_start`.
+    InvertedInterval { t_start: f64, t_end: f64 },
+    /// A NaN or infinite interval bound.
+    NonFiniteInterval { t_start: f64, t_end: f64 },
+    /// `radius_m` is NaN, infinite, zero, or negative.
+    InvalidRadius { radius_m: f64 },
+    /// A NaN or infinite centre coordinate. (Out-of-range finite
+    /// coordinates cannot occur: [`LatLon::new`] clamps latitude and
+    /// wraps longitude, but NaN survives both.)
+    NonFiniteCenter { lat: f64, lng: f64 },
+    /// The direction tolerance is NaN, infinite, or negative.
+    InvalidTolerance { tolerance_deg: f64 },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            QueryError::InvertedInterval { t_start, t_end } => write!(
+                f,
+                "query interval end precedes start (t_start {t_start}, t_end {t_end})"
+            ),
+            QueryError::NonFiniteInterval { t_start, t_end } => write!(
+                f,
+                "query interval bounds must be finite (t_start {t_start}, t_end {t_end})"
+            ),
+            QueryError::InvalidRadius { radius_m } => {
+                write!(
+                    f,
+                    "query radius must be positive and finite, got {radius_m}"
+                )
+            }
+            QueryError::NonFiniteCenter { lat, lng } => {
+                write!(f, "query center must be finite (lat {lat}, lng {lng})")
+            }
+            QueryError::InvalidTolerance { tolerance_deg } => write!(
+                f,
+                "direction tolerance must be finite and non-negative, got {tolerance_deg}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
 impl Query {
     /// Creates a query.
     ///
@@ -32,6 +85,38 @@ impl Query {
             center,
             radius_m,
         }
+    }
+
+    /// Fallible [`Self::new`] for untrusted input: rejects inverted or
+    /// non-finite intervals, NaN/zero/negative radii, and non-finite or
+    /// out-of-range centres instead of panicking.
+    pub fn try_new(
+        t_start: f64,
+        t_end: f64,
+        center: LatLon,
+        radius_m: f64,
+    ) -> Result<Self, QueryError> {
+        if !t_start.is_finite() || !t_end.is_finite() {
+            return Err(QueryError::NonFiniteInterval { t_start, t_end });
+        }
+        if t_end < t_start {
+            return Err(QueryError::InvertedInterval { t_start, t_end });
+        }
+        if !radius_m.is_finite() || radius_m <= 0.0 {
+            return Err(QueryError::InvalidRadius { radius_m });
+        }
+        if !center.lat.is_finite() || !center.lng.is_finite() {
+            return Err(QueryError::NonFiniteCenter {
+                lat: center.lat,
+                lng: center.lng,
+            });
+        }
+        Ok(Query {
+            t_start,
+            t_end,
+            center,
+            radius_m,
+        })
     }
 }
 
@@ -79,6 +164,20 @@ impl Default for QueryOptions {
     }
 }
 
+impl QueryOptions {
+    /// Validates option values coming from untrusted input (a NaN or
+    /// negative tolerance would silently disable the direction filter).
+    /// `top_n == 0` is legal — it just returns no hits.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if !self.direction_tolerance_deg.is_finite() || self.direction_tolerance_deg < 0.0 {
+            return Err(QueryError::InvalidTolerance {
+                tolerance_deg: self.direction_tolerance_deg,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +198,59 @@ mod tests {
     #[should_panic(expected = "radius")]
     fn zero_radius_rejected() {
         Query::new(0.0, 1.0, LatLon::new(40.0, 116.0), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_input() {
+        let c = LatLon::new(40.0, 116.0);
+        assert!(Query::try_new(0.0, 10.0, c, 50.0).is_ok());
+        assert!(matches!(
+            Query::try_new(10.0, 0.0, c, 50.0),
+            Err(QueryError::InvertedInterval { .. })
+        ));
+        assert!(matches!(
+            Query::try_new(f64::NAN, 10.0, c, 50.0),
+            Err(QueryError::NonFiniteInterval { .. })
+        ));
+        for r in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                Query::try_new(0.0, 10.0, c, r),
+                Err(QueryError::InvalidRadius { .. })
+            ));
+        }
+        assert!(matches!(
+            Query::try_new(0.0, 10.0, LatLon::new(f64::NAN, 116.0), 50.0),
+            Err(QueryError::NonFiniteCenter { .. })
+        ));
+        // Out-of-range finite coordinates are clamped by LatLon::new
+        // before try_new ever sees them.
+        assert!(Query::try_new(0.0, 10.0, LatLon::new(91.0, 116.0), 50.0).is_ok());
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        let e = Query::try_new(10.0, 0.0, LatLon::new(40.0, 116.0), 50.0).unwrap_err();
+        assert!(e.to_string().contains("interval"));
+        let e = Query::try_new(0.0, 10.0, LatLon::new(40.0, 116.0), -5.0).unwrap_err();
+        assert!(e.to_string().contains("radius"));
+    }
+
+    #[test]
+    fn options_validation_rejects_nan_tolerance() {
+        assert!(QueryOptions::default().validate().is_ok());
+        let bad = QueryOptions {
+            direction_tolerance_deg: f64::NAN,
+            ..QueryOptions::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(QueryError::InvalidTolerance { .. })
+        ));
+        let neg = QueryOptions {
+            direction_tolerance_deg: -1.0,
+            ..QueryOptions::default()
+        };
+        assert!(neg.validate().is_err());
     }
 
     #[test]

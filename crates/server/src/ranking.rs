@@ -6,9 +6,10 @@
 //! cover the query area"), and truncated to the top N (step 4).
 
 use serde::{Deserialize, Serialize};
-use swag_core::{points_toward, sector_intersects_circle, CameraProfile, RepFov};
+use swag_core::{CameraProfile, RepFov};
 use swag_geo::angle_diff_deg;
 
+use crate::engine::plan::QueryPlan;
 use crate::query::{Query, QueryOptions, RankMode};
 use crate::store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
 
@@ -57,6 +58,8 @@ pub fn quality_score(rep: &RepFov, cam: &CameraProfile, query: &Query) -> f64 {
 }
 
 /// Applies steps 3-4 of the filtering mechanism to index candidates.
+/// Convenience wrapper over the plan-driven pipeline for callers (bench
+/// harnesses, external users) holding raw `(Query, QueryOptions)` pairs.
 pub fn rank_candidates(
     candidates: &[SegmentId],
     store: &SegmentStore,
@@ -64,28 +67,28 @@ pub fn rank_candidates(
     query: &Query,
     opts: &QueryOptions,
 ) -> Vec<SearchHit> {
-    let mut hits = collect_hits(candidates, store, cam, query, opts);
-    finalize_hits(&mut hits, opts);
+    let plan = QueryPlan::compile(query, opts);
+    let mut hits = collect_hits(candidates, store, cam, &plan);
+    rank_hits(&mut hits, plan.rank, plan.k);
     hits
 }
 
-/// Resolves candidate ids against the store, applies the per-record
-/// filters, and builds unranked hits. Retired (retracted) records are
+/// Resolves candidate ids against the store, applies the plan's filter
+/// chain, and builds unranked hits. Retired (retracted) records are
 /// dropped here as defense in depth: with sharded/snapshot indexes a
 /// stale candidate id must never resurface a retracted segment.
 pub(crate) fn collect_hits(
     candidates: &[SegmentId],
     store: &SegmentStore,
     cam: &CameraProfile,
-    query: &Query,
-    opts: &QueryOptions,
+    plan: &QueryPlan,
 ) -> Vec<SearchHit> {
     candidates
         .iter()
         .filter(|&&id| !store.is_retired(id))
         .map(|&id| store.get(id))
-        .filter(|rec| keep(rec, cam, query, opts))
-        .map(|rec| hit_for(rec, cam, query))
+        .filter(|rec| plan.filters.accepts(&rec.rep, cam, &plan.query))
+        .map(|rec| hit_for(rec, cam, &plan.query))
         .collect()
 }
 
@@ -100,43 +103,14 @@ pub(crate) fn hit_for(rec: &SegmentRecord, cam: &CameraProfile, query: &Query) -
     }
 }
 
-/// Step 4: sorts by the requested rank mode and truncates to the top N.
-pub(crate) fn finalize_hits(hits: &mut Vec<SearchHit>, opts: &QueryOptions) {
-    match opts.rank {
+/// Step 4 — **the** ranking definition, consumed by every read entry
+/// point: stable-sorts by the rank mode's key and truncates to `k`.
+pub(crate) fn rank_hits(hits: &mut Vec<SearchHit>, rank: RankMode, k: usize) {
+    match rank {
         RankMode::Distance => hits.sort_by(|a, b| a.distance_m.total_cmp(&b.distance_m)),
         RankMode::Quality => hits.sort_by(|a, b| b.quality.total_cmp(&a.quality)),
     }
-    hits.truncate(opts.top_n);
-}
-
-pub(crate) fn keep(
-    rec: &SegmentRecord,
-    cam: &CameraProfile,
-    query: &Query,
-    opts: &QueryOptions,
-) -> bool {
-    passes_filters(&rec.rep, cam, query, opts)
-}
-
-/// Steps 3 of the filtering mechanism applied to one representative FoV
-/// (shared by pull queries and standing-query subscriptions).
-pub(crate) fn passes_filters(
-    rep: &RepFov,
-    cam: &CameraProfile,
-    query: &Query,
-    opts: &QueryOptions,
-) -> bool {
-    if opts.direction_filter
-        && !points_toward(&rep.fov, cam, query.center, opts.direction_tolerance_deg)
-    {
-        return false;
-    }
-    if opts.require_coverage
-        && !sector_intersects_circle(&rep.fov, cam, query.center, query.radius_m)
-    {
-        return false;
-    }
-    true
+    hits.truncate(k);
 }
 
 #[cfg(test)]

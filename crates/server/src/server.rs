@@ -1,6 +1,7 @@
-//! The concurrent cloud server: epoch/snapshot reads.
+//! The concurrent cloud server: construction, configuration, and the
+//! public facade over the layered [`crate::engine`].
 //!
-//! Queries never hold a lock while they work: the server publishes an
+//! Queries never hold a lock while they work: the engine publishes an
 //! immutable **epoch** — an `Arc` to a `(store, index)` snapshot plus a
 //! small delta of records ingested since that snapshot — and a query
 //! clones that `Arc` in a tiny read-side critical section, then scans and
@@ -9,10 +10,16 @@
 //! read-your-writes fresh), and once the delta reaches
 //! [`ServerConfig::publish_threshold`] records the writer folds it into a
 //! new snapshot, STR-bulk-rebuilding only the time shards the batch
-//! touched ([`ShardedFovIndex::bulk_insert`]). Retention
-//! ([`ServerConfig::retention_horizon_s`]) expires old shards at publish
-//! time and retires the dropped segments from the store, which compacts
-//! once enough of it is tombstones.
+//! touched. Retention ([`ServerConfig::retention_horizon_s`]) expires old
+//! shards at publish time and retires the dropped segments from the
+//! store, which compacts once enough of it is tombstones.
+//!
+//! The read path is plan-driven: every entry point lowers its request
+//! through the planner ([`crate::engine::plan::QueryPlan`]) and executes
+//! the resulting plan on the operator pipeline, so `query`,
+//! `query_nearest`, `query_batch`, and standing-query subscriptions
+//! share one filter and one ranking definition. [`CloudServer::explain`]
+//! renders the plan a request would run.
 //!
 //! Observability is opt-in: [`CloudServer::attach_observability`] wires
 //! the query path to `swag-obs` histograms (epoch acquire vs. index scan
@@ -22,24 +29,18 @@
 //! path pays is one branch on an `Option`. Time comes from an injectable
 //! [`MonotonicClock`] so latency accounting is exactly testable.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
 use swag_core::{CameraProfile, RepFov, UploadBatch};
 use swag_exec::Executor;
-use swag_obs::{
-    Counter, FlightRecorder, Histogram, HistogramSnapshot, MonotonicClock, Registry, Trace,
-    WallClock, DEFAULT_RING_CAPACITY,
-};
-use swag_rtree::SearchStats;
+use swag_obs::{FlightRecorder, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
 
-use crate::index::{fov_box, query_boxes, IndexKind};
-use crate::query::{Query, QueryOptions, RankMode};
-use crate::ranking::{collect_hits, finalize_hits, hit_for, keep, SearchHit};
-use crate::shard::ShardedFovIndex;
-use crate::store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
-use crate::subscribe::{SubscriptionId, SubscriptionSet};
+use crate::engine::Engine;
+use crate::index::IndexKind;
+use crate::query::{Query, QueryOptions};
+use crate::ranking::SearchHit;
+use crate::store::{SegmentId, SegmentRecord, SegmentRef};
+use crate::subscribe::SubscriptionId;
 
 /// Tuning knobs for the snapshot-publishing server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,9 +84,6 @@ impl Default for ServerConfig {
 /// is refreshed from the live p99.
 pub const AUTO_THRESHOLD_INTERVAL: u64 = 64;
 
-/// Don't bother compacting stores with fewer tombstones than this.
-const COMPACT_DEAD_FLOOR: usize = 32;
-
 /// Aggregated server statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
@@ -125,93 +123,6 @@ impl ServerStats {
     }
 }
 
-/// An immutable published `(store, index)` snapshot.
-struct SnapshotCore {
-    store: SegmentStore,
-    index: ShardedFovIndex,
-    published_at_micros: u64,
-}
-
-/// One pending record plus its pre-computed index box, so the per-query
-/// delta scan is a pure `Aabb` intersection test.
-#[derive(Debug, Clone, Copy)]
-struct DeltaRecord {
-    rec: SegmentRecord,
-    bbox: swag_rtree::Aabb<3>,
-}
-
-/// What queries see: one `Arc` clone of this answers a whole query.
-/// `delta` holds records ingested since `core` was published, as a list
-/// of frozen per-ingest slices — republishing after a write bumps one
-/// refcount per slice instead of copying every pending record. Queries
-/// scan it linearly (it is bounded by the publish threshold).
-struct Epoch {
-    core: Arc<SnapshotCore>,
-    delta: Arc<[Arc<[DeltaRecord]>]>,
-    delta_len: usize,
-}
-
-impl Epoch {
-    fn delta_records(&self) -> impl Iterator<Item = &DeltaRecord> {
-        self.delta.iter().flat_map(|batch| batch.iter())
-    }
-}
-
-/// Writer-side state, guarded by one mutex. `core` mirrors the epoch's
-/// core; store/index clones taken from it are copy-on-write cheap.
-struct Writer {
-    core: Arc<SnapshotCore>,
-    delta: Vec<Arc<[DeltaRecord]>>,
-    delta_len: usize,
-    subscriptions: SubscriptionSet,
-    /// Latest `t_end` ever ingested — the retention clock.
-    max_t_end: f64,
-}
-
-/// Metric handles for an instrumented server. Handles are resolved once
-/// at attach time; recording never touches the registry again.
-struct ServerObs {
-    lock_wait: Arc<Histogram>,
-    index_scan: Arc<Histogram>,
-    ranking: Arc<Histogram>,
-    query_total: Arc<Histogram>,
-    candidates: Arc<Histogram>,
-    index_nodes: Arc<Histogram>,
-    index_leaves: Arc<Histogram>,
-    ingest: Arc<Histogram>,
-    segments: Arc<Counter>,
-    nearest_rounds: Arc<Counter>,
-    publishes: Arc<Counter>,
-    snapshot_age: Arc<Histogram>,
-    rebuild_micros: Arc<Histogram>,
-    delta_size: Arc<Histogram>,
-    retention_dropped: Arc<Counter>,
-    trace: Trace,
-}
-
-impl ServerObs {
-    fn from_registry(registry: &Registry) -> Self {
-        ServerObs {
-            lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
-            index_scan: registry.histogram("swag_server_query_index_scan_micros"),
-            ranking: registry.histogram("swag_server_query_ranking_micros"),
-            query_total: registry.histogram("swag_server_query_micros"),
-            candidates: registry.histogram("swag_server_query_candidates"),
-            index_nodes: registry.histogram("swag_server_index_nodes_visited"),
-            index_leaves: registry.histogram("swag_server_index_leaves_scanned"),
-            ingest: registry.histogram("swag_server_ingest_micros"),
-            segments: registry.counter("swag_server_segments_ingested_total"),
-            nearest_rounds: registry.counter("swag_server_nearest_rounds_total"),
-            publishes: registry.counter("swag_server_publishes_total"),
-            snapshot_age: registry.histogram("swag_server_snapshot_age_micros"),
-            rebuild_micros: registry.histogram("swag_server_snapshot_rebuild_micros"),
-            delta_size: registry.histogram("swag_server_snapshot_delta_size"),
-            retention_dropped: registry.counter("swag_server_retention_dropped_total"),
-            trace: Trace::new(256),
-        }
-    }
-}
-
 /// The crowd-sourced retrieval server (paper §II).
 ///
 /// ```
@@ -234,27 +145,7 @@ impl ServerObs {
 /// assert_eq!(hits[0].source.provider_id, 7);
 /// ```
 pub struct CloudServer {
-    /// Readers clone the `Arc` under a momentary read lock; the lock is
-    /// never held while scanning or ranking.
-    epoch: RwLock<Arc<Epoch>>,
-    writer: Mutex<Writer>,
-    config: ServerConfig,
-    cam: CameraProfile,
-    clock: Arc<dyn MonotonicClock>,
-    /// Work-stealing pool for shard fan-out, publish rebuilds, and query
-    /// batches. Defaults to the process-wide executor; swap in
-    /// [`Executor::serial`] via [`Self::set_executor`] for byte-exact
-    /// deterministic runs.
-    exec: Executor,
-    obs: Option<ServerObs>,
-    /// Causal-tracing flight recorder for the query/ingest/publish
-    /// paths. Disabled by default: each span site then costs one relaxed
-    /// load. Swap in a shared or test recorder via
-    /// [`Self::set_flight_recorder`].
-    recorder: Arc<FlightRecorder>,
-    batches: AtomicU64,
-    queries: AtomicU64,
-    query_micros: AtomicU64,
+    engine: Engine,
 }
 
 impl std::fmt::Debug for CloudServer {
@@ -264,7 +155,7 @@ impl std::fmt::Debug for CloudServer {
             .field("segments", &stats.segments)
             .field("batches", &stats.batches)
             .field("queries", &stats.queries)
-            .field("camera", &self.cam)
+            .field("camera", &self.engine.cam)
             .finish_non_exhaustive()
     }
 }
@@ -311,42 +202,8 @@ impl CloudServer {
         config: ServerConfig,
         clock: Arc<dyn MonotonicClock>,
     ) -> Self {
-        let recorder = Arc::new(FlightRecorder::with_clock(
-            DEFAULT_RING_CAPACITY,
-            clock.clone(),
-        ));
-        if let Some(t) = config.slow_query_micros {
-            recorder.set_slow_threshold_micros(t);
-        }
-        let mut index = ShardedFovIndex::new(config.shard_width_s, config.index);
-        index.set_recorder(recorder.clone());
-        let core = Arc::new(SnapshotCore {
-            store: SegmentStore::new(),
-            index,
-            published_at_micros: clock.now_micros(),
-        });
         CloudServer {
-            epoch: RwLock::new(Arc::new(Epoch {
-                core: core.clone(),
-                delta: Arc::from(Vec::new()),
-                delta_len: 0,
-            })),
-            writer: Mutex::new(Writer {
-                core,
-                delta: Vec::new(),
-                delta_len: 0,
-                subscriptions: SubscriptionSet::new(),
-                max_t_end: f64::NEG_INFINITY,
-            }),
-            config,
-            cam,
-            clock,
-            exec: Executor::global().clone(),
-            obs: None,
-            recorder,
-            batches: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            query_micros: AtomicU64::new(0),
+            engine: Engine::new(cam, config, clock),
         }
     }
 
@@ -355,12 +212,12 @@ impl CloudServer {
     /// deterministic single-threaded execution regardless of
     /// `SWAG_EXEC_THREADS`.
     pub fn set_executor(&mut self, exec: Executor) {
-        self.exec = exec;
+        self.engine.exec = exec;
     }
 
     /// The executor this server schedules parallel work on.
     pub fn executor(&self) -> &Executor {
-        &self.exec
+        &self.engine.exec
     }
 
     /// Wires this server's ingest, query, and publish paths to `registry`
@@ -368,40 +225,20 @@ impl CloudServer {
     /// Call before sharing the server across threads; until called,
     /// instrumentation costs one branch per query.
     pub fn attach_observability(&mut self, registry: &Registry) {
-        self.obs = Some(ServerObs::from_registry(registry));
-        self.exec.attach_observability(registry);
-        // Re-publish the core with shard metrics attached so fan-out is
-        // recorded from the next query on.
-        let mut w = self.writer.lock();
-        let mut index = w.core.index.clone();
-        index.attach_observability(registry);
-        let core = Arc::new(SnapshotCore {
-            store: w.core.store.clone(),
-            index,
-            published_at_micros: w.core.published_at_micros,
-        });
-        w.core = core.clone();
-        let delta = Arc::from(w.delta.as_slice());
-        let delta_len = w.delta_len;
-        drop(w);
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta,
-            delta_len,
-        });
+        self.engine.attach_observability(registry);
     }
 
     /// The sampled per-query trace ring, present once observability is
     /// attached. Disabled (never sampling) until [`Trace::enable`].
     pub fn query_trace(&self) -> Option<&Trace> {
-        self.obs.as_ref().map(|o| &o.trace)
+        self.engine.obs.as_ref().map(|o| &o.trace)
     }
 
     /// The flight recorder behind this server's query/ingest/publish
     /// spans. Created disabled; call [`FlightRecorder::enable`] to start
     /// recording.
     pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
-        &self.recorder
+        &self.engine.recorder
     }
 
     /// Replaces the flight recorder — e.g. to share one recorder across
@@ -411,348 +248,52 @@ impl CloudServer {
     /// applied to the new recorder, and the published snapshot is
     /// re-issued so shard probes record into it from the next query on.
     pub fn set_flight_recorder(&mut self, recorder: Arc<FlightRecorder>) {
-        if let Some(t) = self.config.slow_query_micros {
-            recorder.set_slow_threshold_micros(t);
-        }
-        self.recorder = recorder.clone();
-        let mut w = self.writer.lock();
-        let mut index = w.core.index.clone();
-        index.set_recorder(recorder);
-        let core = Arc::new(SnapshotCore {
-            store: w.core.store.clone(),
-            index,
-            published_at_micros: w.core.published_at_micros,
-        });
-        w.core = core.clone();
-        let delta = Arc::from(w.delta.as_slice());
-        let delta_len = w.delta_len;
-        drop(w);
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta,
-            delta_len,
-        });
+        self.engine.set_flight_recorder(recorder);
     }
 
     /// The camera profile used for ranking geometry.
     pub fn camera(&self) -> &CameraProfile {
-        &self.cam
+        &self.engine.cam
     }
 
     /// The active snapshot/retention configuration.
     pub fn config(&self) -> &ServerConfig {
-        &self.config
-    }
-
-    /// Builds the next pending record (assigning the next dense id),
-    /// pre-computes its index box, and offers it to standing queries.
-    /// The caller freezes the returned records into one delta slice.
-    fn stage(&self, w: &mut Writer, rep: RepFov, source: SegmentRef) -> DeltaRecord {
-        let next = w.core.store.total() + w.delta_len;
-        let id = SegmentId(u32::try_from(next).expect("store capacity exceeded"));
-        w.delta_len += 1;
-        w.max_t_end = w.max_t_end.max(rep.t_end);
-        w.subscriptions.offer(&rep, id, source, &self.cam);
-        DeltaRecord {
-            rec: SegmentRecord { id, rep, source },
-            bbox: fov_box(&rep),
-        }
-    }
-
-    /// Publishes the current writer state: folds the delta into a new
-    /// snapshot once it is large enough, otherwise republishes the same
-    /// core with the updated delta (read-your-writes).
-    fn publish(&self, w: &mut Writer) {
-        if w.delta_len >= self.config.publish_threshold {
-            self.publish_full(w, None);
-        } else {
-            let epoch = Arc::new(Epoch {
-                core: w.core.clone(),
-                delta: Arc::from(w.delta.as_slice()),
-                delta_len: w.delta_len,
-            });
-            *self.epoch.write() = epoch;
-        }
-    }
-
-    /// Folds the delta into a fresh snapshot: appends to the (COW) store,
-    /// STR-rebuilds the touched shards, applies retention and compaction,
-    /// and publishes the result. Returns how many segments retention
-    /// dropped.
-    fn publish_full(&self, w: &mut Writer, extra_horizon: Option<f64>) -> usize {
-        let mut span = self.recorder.span("publish");
-        let t0 = self.clock.now_micros();
-        span.set_detail(w.delta_len as u64);
-        let delta_len = w.delta_len;
-        let prev_published = w.core.published_at_micros;
-
-        let mut store = w.core.store.clone();
-        let mut index = w.core.index.clone();
-        let mut staged: Vec<(RepFov, SegmentId)> = Vec::with_capacity(delta_len);
-        for batch in w.delta.drain(..) {
-            for d in batch.iter() {
-                let id = store.push(d.rec.rep, d.rec.source);
-                debug_assert_eq!(id, d.rec.id, "delta ids must stay dense");
-                staged.push((d.rec.rep, id));
-            }
-        }
-        w.delta_len = 0;
-        index.bulk_insert_exec(&self.exec, &staged);
-
-        // Retention: expire shards past the horizon, retire the segments
-        // that no longer exist in any shard.
-        let mut horizon = extra_horizon;
-        if let Some(h) = self.config.retention_horizon_s {
-            let auto = w.max_t_end - h;
-            if auto.is_finite() {
-                horizon = Some(horizon.map_or(auto, |e| e.max(auto)));
-            }
-        }
-        let mut dropped = 0usize;
-        if let Some(h) = horizon {
-            let report = index.expire_before(h);
-            for id in &report.segments_dropped {
-                if store.retire(*id) {
-                    dropped += 1;
-                }
-            }
-        }
-
-        // Compaction: once enough of the store is tombstones, re-pack the
-        // live records densely and rebuild the index. Ids are
-        // server-internal; external references use `SegmentRef`.
-        if store.dead() >= COMPACT_DEAD_FLOOR
-            && store.dead() as f64 > self.config.compact_dead_fraction * store.total() as f64
-        {
-            let mut fresh = SegmentStore::new();
-            let mut items = Vec::with_capacity(store.len());
-            for rec in store.iter() {
-                let id = fresh.push(rec.rep, rec.source);
-                items.push((rec.rep, id));
-            }
-            let mut rebuilt = index.fresh_like();
-            rebuilt.bulk_insert_exec(&self.exec, &items);
-            store = fresh;
-            index = rebuilt;
-        }
-
-        let now = self.clock.now_micros();
-        let core = Arc::new(SnapshotCore {
-            store,
-            index,
-            published_at_micros: now,
-        });
-        w.core = core.clone();
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta: Arc::from(Vec::new()),
-            delta_len: 0,
-        });
-        if let Some(obs) = &self.obs {
-            obs.publishes.inc();
-            obs.rebuild_micros.record(now.saturating_sub(t0));
-            obs.snapshot_age.record(now.saturating_sub(prev_published));
-            obs.delta_size.record(delta_len as u64);
-            obs.retention_dropped.add(dropped as u64);
-        }
-        dropped
+        &self.engine.config
     }
 
     /// Ingests one upload batch, returning the assigned segment ids.
     pub fn ingest_batch(&self, batch: &UploadBatch) -> Vec<SegmentId> {
-        let mut span = self.recorder.span("ingest");
-        span.set_detail(batch.reps.len() as u64);
-        let t0 = if self.obs.is_some() {
-            self.clock.now_micros()
-        } else {
-            0
-        };
-        let mut w = self.writer.lock();
-        let mut staged = Vec::with_capacity(batch.reps.len());
-        let ids = batch
-            .reps
-            .iter()
-            .enumerate()
-            .map(|(i, rep)| {
-                let source = SegmentRef {
-                    provider_id: batch.provider_id,
-                    video_id: batch.video_id,
-                    segment_idx: i as u32,
-                };
-                let d = self.stage(&mut w, *rep, source);
-                let id = d.rec.id;
-                staged.push(d);
-                id
-            })
-            .collect();
-        if !staged.is_empty() {
-            w.delta.push(Arc::from(staged));
-        }
-        self.publish(&mut w);
-        drop(w);
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        if let Some(obs) = &self.obs {
-            obs.segments.add(batch.reps.len() as u64);
-            obs.ingest.record(self.clock.now_micros() - t0);
-        }
-        ids
+        self.engine.ingest_batch(batch)
     }
 
     /// Ingests a single representative FoV.
     pub fn ingest_one(&self, rep: RepFov, source: SegmentRef) -> SegmentId {
-        let mut w = self.writer.lock();
-        let d = self.stage(&mut w, rep, source);
-        let id = d.rec.id;
-        w.delta.push(Arc::from(vec![d]));
-        self.publish(&mut w);
-        drop(w);
-        if let Some(obs) = &self.obs {
-            obs.segments.inc();
-        }
-        id
+        self.engine.ingest_one(rep, source)
     }
 
     /// Registers a standing query: every matching segment ingested from
-    /// now on is queued until [`Self::poll_subscription`].
+    /// now on is queued until [`Self::poll_subscription`]. The query's
+    /// plan is compiled once at registration; ingest-time matching runs
+    /// the same filter stage as pull queries.
     pub fn subscribe(&self, query: Query, opts: QueryOptions) -> SubscriptionId {
-        self.writer.lock().subscriptions.subscribe(query, opts)
+        self.engine.subscribe(query, opts)
     }
 
     /// Cancels a standing query.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        self.writer.lock().subscriptions.unsubscribe(id)
+        self.engine.unsubscribe(id)
     }
 
     /// Drains a standing query's accumulated matches (arrival order).
     pub fn poll_subscription(&self, id: SubscriptionId) -> Vec<SearchHit> {
-        self.writer.lock().subscriptions.poll(id)
+        self.engine.poll_subscription(id)
     }
 
-    /// Answers a query against an already-acquired epoch, completing the
-    /// latency accounting started at `t0` (the caller reads the clock
-    /// once before acquiring the epoch; this method reads it once more
-    /// uninstrumented, three more times instrumented). Scanning and
-    /// ranking are lock-free: the epoch is immutable, and the shard
-    /// fan-out runs on the server's executor.
-    fn query_on(
-        &self,
-        epoch: &Epoch,
-        t0: u64,
-        query: &Query,
-        opts: &QueryOptions,
-    ) -> Vec<SearchHit> {
-        // Root of this query's span tree, armed for slow-query capture:
-        // if its wall time (on the recorder's clock) crosses the slow
-        // threshold, the whole tree is pinned into the retained log.
-        // Child spans below — shard probes included, even when stolen by
-        // other workers — parent to this context.
-        let mut root = self.recorder.guarded_span("query");
-        let hits = match &self.obs {
-            None => {
-                let candidates = {
-                    let _span = self.recorder.span("index_scan");
-                    epoch.core.index.candidates_exec(&self.exec, query)
-                };
-                let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
-                if epoch.delta_len > 0 {
-                    let _span = self.recorder.span("delta_scan");
-                    let boxes = query_boxes(query);
-                    for d in epoch.delta_records() {
-                        if boxes.intersects(&d.bbox) && keep(&d.rec, &self.cam, query, opts) {
-                            hits.push(hit_for(&d.rec, &self.cam, query));
-                        }
-                    }
-                }
-                {
-                    let _span = self.recorder.span("ranking");
-                    finalize_hits(&mut hits, opts);
-                }
-                self.queries.fetch_add(1, Ordering::Relaxed);
-                self.query_micros
-                    .fetch_add(self.clock.now_micros() - t0, Ordering::Relaxed);
-                hits
-            }
-            Some(obs) => {
-                let t_locked = self.clock.now_micros();
-                let mut search = SearchStats::default();
-                let candidates = {
-                    let _span = self.recorder.span("index_scan");
-                    epoch
-                        .core
-                        .index
-                        .candidates_with_stats_exec(&self.exec, query, &mut search)
-                };
-                let boxes = query_boxes(query);
-                let delta_matches: Vec<&DeltaRecord> = if epoch.delta_len > 0 {
-                    let _span = self.recorder.span("delta_scan");
-                    let matches: Vec<&DeltaRecord> = epoch
-                        .delta_records()
-                        .filter(|d| boxes.intersects(&d.bbox))
-                        .collect();
-                    // The delta scan is one flat "leaf" over pending records.
-                    search.nodes_visited += 1;
-                    search.leaves_scanned += 1;
-                    search.items_tested += epoch.delta_len as u64;
-                    search.items_matched += matches.len() as u64;
-                    matches
-                } else {
-                    Vec::new()
-                };
-                let n_candidates = candidates.len() + delta_matches.len();
-                let t_scanned = self.clock.now_micros();
-                let hits = {
-                    let _span = self.recorder.span("ranking");
-                    let mut hits =
-                        collect_hits(&candidates, &epoch.core.store, &self.cam, query, opts);
-                    hits.extend(
-                        delta_matches
-                            .into_iter()
-                            .filter(|d| keep(&d.rec, &self.cam, query, opts))
-                            .map(|d| hit_for(&d.rec, &self.cam, query)),
-                    );
-                    finalize_hits(&mut hits, opts);
-                    hits
-                };
-                let t_done = self.clock.now_micros();
-
-                let n_queries = self.queries.fetch_add(1, Ordering::Relaxed) + 1;
-                self.query_micros.fetch_add(t_done - t0, Ordering::Relaxed);
-                obs.lock_wait.record(t_locked - t0);
-                obs.index_scan.record(t_scanned - t_locked);
-                obs.ranking.record(t_done - t_scanned);
-                obs.query_total.record(t_done - t0);
-                obs.candidates.record(n_candidates as u64);
-                obs.index_nodes.record(search.nodes_visited);
-                obs.index_leaves.record(search.leaves_scanned);
-                if obs.trace.try_sample() {
-                    obs.trace.record("query", t_done - t0, n_candidates as u64);
-                }
-                // Auto-derive the slow-query threshold from the live p99
-                // unless the config pinned a fixed value.
-                if self.config.slow_query_micros.is_none()
-                    && self.recorder.is_enabled()
-                    && n_queries.is_multiple_of(AUTO_THRESHOLD_INTERVAL)
-                {
-                    let p99 = obs.query_total.snapshot().p99();
-                    if p99 > 0 {
-                        self.recorder.set_slow_threshold_micros(p99);
-                    }
-                }
-                hits
-            }
-        };
-        root.set_detail(hits.len() as u64);
-        hits
-    }
-
-    /// Answers a query with the paper's rank-based retrieval. Lock-free
-    /// after the initial epoch acquisition: the snapshot `Arc` is cloned
-    /// in a momentary read-side critical section and scanning + ranking
-    /// run against immutable data.
+    /// Answers a query with the paper's rank-based retrieval: compiles
+    /// one [`crate::engine::plan::QueryPlan`] and executes it on the
+    /// operator pipeline. Lock-free after the initial epoch acquisition.
     pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
-        let t0 = self.clock.now_micros();
-        let epoch = self.epoch.read().clone();
-        self.query_on(&epoch, t0, query, opts)
+        self.engine.query(query, opts)
     }
 
     /// Answers a *k-nearest* request: the `k` segments closest to `center`
@@ -760,18 +301,18 @@ impl CloudServer {
     /// direction/coverage filters as [`Self::query`].
     ///
     /// Useful when the querier has no natural radius ("show me whatever
-    /// was filmed closest to this spot"). Implemented as an
-    /// expanding-radius search over the spatio-temporal index: the radius
-    /// doubles until `k` filtered hits are found or the search has covered
+    /// was filmed closest to this spot"). Implemented as a
+    /// radius-expansion loop over successive plans: the radius doubles
+    /// until `k` filtered hits are found or the search has covered
     /// `max_radius_m`.
     ///
     /// Early exit at `k` hits is only sound when the ranking key grows
-    /// with distance. Under [`RankMode::Distance`] it does; under
-    /// [`RankMode::Quality`] a higher-quality segment can sit outside the
-    /// current ring, so the search keeps expanding until the radius
-    /// covers the camera's viewing range (beyond which the quality
-    /// proximity term is zero, so nothing unexplored can outrank a found
-    /// hit) or `max_radius_m`, whichever is smaller.
+    /// with distance. Under [`crate::query::RankMode::Distance`] it does;
+    /// under [`crate::query::RankMode::Quality`] a higher-quality segment
+    /// can sit outside the current ring, so the search keeps expanding
+    /// until the radius covers the camera's viewing range (beyond which
+    /// the quality proximity term is zero, so nothing unexplored can
+    /// outrank a found hit) or `max_radius_m`, whichever is smaller.
     pub fn query_nearest(
         &self,
         t_start: f64,
@@ -781,98 +322,14 @@ impl CloudServer {
         opts: &QueryOptions,
         max_radius_m: f64,
     ) -> Vec<SearchHit> {
-        if k == 0 {
-            return Vec::new();
-        }
-        // Each expansion round's query span becomes a child of this one.
-        let _span = self.recorder.span("query_nearest");
-        // Below this radius, unexplored segments may still outrank found
-        // ones, so k hits are not enough to stop.
-        let settle_radius_m = match opts.rank {
-            RankMode::Distance => 0.0,
-            RankMode::Quality => self.cam.view_radius_m.min(max_radius_m),
-        };
-        let mut radius = 50.0_f64.min(max_radius_m);
-        loop {
-            if let Some(obs) = &self.obs {
-                obs.nearest_rounds.inc();
-            }
-            let q = Query::new(t_start, t_end, center, radius);
-            let wide = QueryOptions {
-                top_n: usize::MAX,
-                ..*opts
-            };
-            let hits = self.query(&q, &wide);
-            if (hits.len() >= k && radius >= settle_radius_m) || radius >= max_radius_m {
-                let mut hits = hits;
-                hits.truncate(k);
-                return hits;
-            }
-            radius = (radius * 2.0).min(max_radius_m);
-        }
-    }
-
-    /// Retracts every segment a provider contributed (the §I privacy
-    /// concern: contributors stay in control of their descriptors).
-    /// Returns how many segments were removed. The retraction publishes a
-    /// fresh snapshot immediately — it does not wait for the next
-    /// threshold-driven publish.
-    pub fn retract_provider(&self, provider_id: u64) -> usize {
-        let mut w = self.writer.lock();
-        // Fold pending records into the core first: retraction then only
-        // has to retire published records, and delta ids stay dense.
-        if w.delta_len > 0 {
-            self.publish_full(&mut w, None);
-        }
-
-        let victims: Vec<(RepFov, SegmentId)> = w
-            .core
-            .store
-            .iter()
-            .filter(|rec| rec.source.provider_id == provider_id)
-            .map(|rec| (rec.rep, rec.id))
-            .collect();
-        let removed = victims.len();
-        if !victims.is_empty() {
-            let mut store = w.core.store.clone();
-            let mut index = w.core.index.clone();
-            for (rep, id) in &victims {
-                let unindexed = index.remove(rep, *id);
-                debug_assert!(unindexed, "index and store disagreed on {id:?}");
-                store.retire(*id);
-            }
-            let core = Arc::new(SnapshotCore {
-                store,
-                index,
-                published_at_micros: w.core.published_at_micros,
-            });
-            w.core = core.clone();
-            *self.epoch.write() = Arc::new(Epoch {
-                core,
-                delta: Arc::from(Vec::new()),
-                delta_len: 0,
-            });
-            if let Some(obs) = &self.obs {
-                obs.publishes.inc();
-            }
-        }
-        removed
-    }
-
-    /// Expires everything older than `horizon_s` (paper-time seconds):
-    /// drops index shards ending at or before the horizon and retires
-    /// fully-expired segments from the store (pruning it once compaction
-    /// kicks in). Publishes the shrunken snapshot immediately and returns
-    /// how many segments were dropped.
-    pub fn expire_before(&self, horizon_s: f64) -> usize {
-        let mut w = self.writer.lock();
-        self.publish_full(&mut w, Some(horizon_s))
+        self.engine
+            .query_nearest(t_start, t_end, center, k, opts, max_radius_m)
     }
 
     /// Answers many queries against **one** epoch: the snapshot `Arc` is
     /// cloned once for the whole batch, so a publish landing mid-batch
     /// cannot make later queries see different data than earlier ones.
-    /// Queries are evaluated on the server's executor (`threads <= 1`
+    /// Plans are fanned across the server's executor (`threads <= 1`
     /// forces an in-order serial loop); result order matches input order
     /// and is byte-identical in serial and parallel mode.
     pub fn query_batch(
@@ -881,24 +338,39 @@ impl CloudServer {
         opts: &QueryOptions,
         threads: usize,
     ) -> Vec<Vec<SearchHit>> {
-        let epoch = self.epoch.read().clone();
-        let one = |q: &Query| {
-            let t0 = self.clock.now_micros();
-            self.query_on(&epoch, t0, q, opts)
-        };
-        if threads <= 1 || self.exec.is_serial() {
-            return queries.iter().map(one).collect();
-        }
-        self.exec.par_map(queries, one)
+        self.engine.query_batch(queries, opts, threads)
+    }
+
+    /// Renders the [`crate::engine::plan::QueryPlan`] this request would
+    /// execute, resolved against the current snapshot: query boxes,
+    /// shards probed, pending delta, filter chain, rank mode, and the
+    /// operator pipeline (named with the same labels trace spans use).
+    pub fn explain(&self, query: &Query, opts: &QueryOptions) -> String {
+        self.engine.explain(query, opts)
+    }
+
+    /// Retracts every segment a provider contributed (the §I privacy
+    /// concern: contributors stay in control of their descriptors).
+    /// Returns how many segments were removed. The retraction publishes a
+    /// fresh snapshot immediately — it does not wait for the next
+    /// threshold-driven publish.
+    pub fn retract_provider(&self, provider_id: u64) -> usize {
+        self.engine.retract_provider(provider_id)
+    }
+
+    /// Expires everything older than `horizon_s` (paper-time seconds):
+    /// drops index shards ending at or before the horizon and retires
+    /// fully-expired segments from the store (pruning it once compaction
+    /// kicks in). Publishes the shrunken snapshot immediately and returns
+    /// how many segments were dropped.
+    pub fn expire_before(&self, horizon_s: f64) -> usize {
+        self.engine.expire_before(horizon_s)
     }
 
     /// Exports every stored record, pending delta included (for
     /// snapshotting; see [`crate::persistence`]).
-    pub fn export_records(&self) -> Vec<crate::store::SegmentRecord> {
-        let epoch = self.epoch.read().clone();
-        let mut out: Vec<SegmentRecord> = epoch.core.store.iter().copied().collect();
-        out.extend(epoch.delta_records().map(|d| d.rec));
-        out
+    pub fn export_records(&self) -> Vec<SegmentRecord> {
+        self.engine.export_records()
     }
 
     /// Rebuilds a server from records, STR-bulk-loading the sharded index.
@@ -926,672 +398,13 @@ impl CloudServer {
     ) -> Self {
         let mut server = Self::with_config(cam, config);
         server.set_executor(exec);
-        {
-            let mut w = server.writer.lock();
-            let mut store = SegmentStore::new();
-            let mut items = Vec::with_capacity(records.len());
-            let mut max_t_end = f64::NEG_INFINITY;
-            for (rep, source) in records {
-                let id = store.push(rep, source);
-                items.push((rep, id));
-                max_t_end = max_t_end.max(rep.t_end);
-            }
-            let mut index = ShardedFovIndex::new(server.config.shard_width_s, server.config.index);
-            index.set_recorder(server.recorder.clone());
-            index.bulk_insert_exec(&server.exec, &items);
-            let core = Arc::new(SnapshotCore {
-                store,
-                index,
-                published_at_micros: server.clock.now_micros(),
-            });
-            w.core = core.clone();
-            w.max_t_end = max_t_end;
-            *server.epoch.write() = Arc::new(Epoch {
-                core,
-                delta: Arc::from(Vec::new()),
-                delta_len: 0,
-            });
-        }
+        server.engine.bootstrap(records);
         server
     }
 
     /// Current statistics snapshot. Phase histograms are empty unless
     /// observability is attached.
     pub fn stats(&self) -> ServerStats {
-        let (lock_wait, index_scan, ranking, query) = match &self.obs {
-            Some(o) => (
-                o.lock_wait.snapshot(),
-                o.index_scan.snapshot(),
-                o.ranking.snapshot(),
-                o.query_total.snapshot(),
-            ),
-            None => (
-                HistogramSnapshot::empty(),
-                HistogramSnapshot::empty(),
-                HistogramSnapshot::empty(),
-                HistogramSnapshot::empty(),
-            ),
-        };
-        let epoch = self.epoch.read().clone();
-        ServerStats {
-            segments: epoch.core.store.len() + epoch.delta_len,
-            store_slots: epoch.core.store.total() + epoch.delta_len,
-            shards: epoch.core.index.shard_count(),
-            pending_delta: epoch.delta_len,
-            batches: self.batches.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            query_micros_total: self.query_micros.load(Ordering::Relaxed),
-            lock_wait_micros: lock_wait,
-            index_scan_micros: index_scan,
-            ranking_micros: ranking,
-            query_micros: query,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use swag_core::Fov;
-    use swag_geo::LatLon;
-
-    fn center() -> LatLon {
-        LatLon::new(40.0, 116.32)
-    }
-
-    /// Advances by a fixed step on every read, so each timed interval in
-    /// the query path is exactly `step` microseconds.
-    struct SteppingClock {
-        t: AtomicU64,
-        step: u64,
-    }
-
-    impl SteppingClock {
-        fn with_step(step: u64) -> Arc<Self> {
-            Arc::new(SteppingClock {
-                t: AtomicU64::new(0),
-                step,
-            })
-        }
-    }
-
-    impl MonotonicClock for SteppingClock {
-        fn now_micros(&self) -> u64 {
-            self.t.fetch_add(self.step, Ordering::Relaxed)
-        }
-    }
-
-    fn batch(provider: u64, n: usize) -> UploadBatch {
-        UploadBatch {
-            provider_id: provider,
-            video_id: 1,
-            reps: (0..n)
-                .map(|i| {
-                    let p = center().offset(180.0, 10.0 + i as f64 * 5.0);
-                    RepFov::new(i as f64 * 10.0, i as f64 * 10.0 + 8.0, Fov::new(p, 0.0))
-                })
-                .collect(),
-        }
-    }
-
-    #[test]
-    fn ingest_and_query_round_trip() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        let ids = server.ingest_batch(&batch(42, 5));
-        assert_eq!(ids.len(), 5);
-        let q = Query::new(0.0, 100.0, center(), 100.0);
-        let hits = server.query(&q, &QueryOptions::default());
-        assert_eq!(hits.len(), 5);
-        assert_eq!(hits[0].source.provider_id, 42);
-        // Nearest first.
-        assert!((hits[0].distance_m - 10.0).abs() < 0.5);
-        let stats = server.stats();
-        assert_eq!(stats.segments, 5);
-        assert_eq!(stats.batches, 1);
-        assert_eq!(stats.queries, 1);
-    }
-
-    #[test]
-    fn temporal_window_restricts_results() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        server.ingest_batch(&batch(1, 5)); // segments at t = 0-8, 10-18, ...
-        let q = Query::new(20.0, 28.0, center(), 200.0);
-        let hits = server.query(&q, &QueryOptions::default());
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rep.t_start, 20.0);
-    }
-
-    #[test]
-    fn linear_and_rtree_servers_agree() {
-        let a = CloudServer::with_index(CameraProfile::smartphone(), IndexKind::RTree);
-        let b = CloudServer::with_index(CameraProfile::smartphone(), IndexKind::Linear);
-        for provider in 0..10 {
-            let batch = batch(provider, 8);
-            a.ingest_batch(&batch);
-            b.ingest_batch(&batch);
-        }
-        let q = Query::new(0.0, 100.0, center(), 60.0);
-        let opts = QueryOptions {
-            top_n: 50,
-            ..QueryOptions::default()
-        };
-        let mut ha: Vec<_> = a.query(&q, &opts).iter().map(|h| h.source).collect();
-        let mut hb: Vec<_> = b.query(&q, &opts).iter().map(|h| h.source).collect();
-        ha.sort_by_key(|s| (s.provider_id, s.segment_idx));
-        hb.sort_by_key(|s| (s.provider_id, s.segment_idx));
-        assert_eq!(ha, hb);
-    }
-
-    #[test]
-    fn standing_query_sees_only_future_matching_ingest() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        server.ingest_batch(&batch(1, 3)); // before subscribing: invisible
-        let sub = server.subscribe(
-            Query::new(0.0, 1000.0, center(), 100.0),
-            QueryOptions::default(),
-        );
-        assert!(server.poll_subscription(sub).is_empty());
-
-        server.ingest_batch(&batch(2, 3));
-        let hits = server.poll_subscription(sub);
-        assert_eq!(hits.len(), 3);
-        assert!(hits.iter().all(|h| h.source.provider_id == 2));
-        // Drained; cancel stops future delivery.
-        assert!(server.poll_subscription(sub).is_empty());
-        assert!(server.unsubscribe(sub));
-        server.ingest_batch(&batch(3, 3));
-        assert!(server.poll_subscription(sub).is_empty());
-    }
-
-    #[test]
-    fn retract_provider_hides_their_segments() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        server.ingest_batch(&batch(1, 5));
-        server.ingest_batch(&batch(2, 5));
-        assert_eq!(server.stats().segments, 10);
-
-        let removed = server.retract_provider(1);
-        assert_eq!(removed, 5);
-        assert_eq!(server.stats().segments, 5);
-        // Retracting again is a no-op.
-        assert_eq!(server.retract_provider(1), 0);
-
-        let q = Query::new(0.0, 100.0, center(), 200.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query(&q, &opts);
-        assert!(hits.iter().all(|h| h.source.provider_id == 2));
-        assert_eq!(hits.len(), 5);
-    }
-
-    #[test]
-    fn retraction_removes_published_and_pending_records() {
-        // Threshold 10: the first batch publishes into the sharded
-        // snapshot, the next two stay pending in the delta. Retraction
-        // must reach both places.
-        let server = CloudServer::with_config(
-            CameraProfile::smartphone(),
-            ServerConfig {
-                publish_threshold: 10,
-                ..ServerConfig::default()
-            },
-        );
-        server.ingest_batch(&batch(1, 10)); // published (threshold hit)
-        server.ingest_batch(&batch(1, 3)); // pending
-        server.ingest_batch(&batch(2, 3)); // pending
-        assert_eq!(server.stats().pending_delta, 6);
-        assert!(server.stats().shards > 0);
-
-        assert_eq!(server.retract_provider(1), 13);
-        let stats = server.stats();
-        assert_eq!(stats.segments, 3);
-        // Retraction folds the delta into the core before retiring, so
-        // nothing stays pending afterwards.
-        assert_eq!(stats.pending_delta, 0);
-        let q = Query::new(0.0, 1000.0, center(), 500.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query(&q, &opts);
-        assert_eq!(hits.len(), 3);
-        assert!(hits.iter().all(|h| h.source.provider_id == 2));
-    }
-
-    #[test]
-    fn retraction_survives_snapshots() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        server.ingest_batch(&batch(1, 4));
-        server.ingest_batch(&batch(2, 4));
-        server.retract_provider(1);
-        let restored = crate::persistence::load_snapshot(
-            crate::persistence::save_snapshot(&server).unwrap(),
-            CameraProfile::smartphone(),
-        )
-        .unwrap();
-        assert_eq!(restored.stats().segments, 4);
-        let q = Query::new(0.0, 100.0, center(), 200.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        assert!(restored
-            .query(&q, &opts)
-            .iter()
-            .all(|h| h.source.provider_id == 2));
-    }
-
-    #[test]
-    fn publish_threshold_folds_delta_into_snapshot() {
-        let server = CloudServer::with_config(
-            CameraProfile::smartphone(),
-            ServerConfig {
-                publish_threshold: 4,
-                ..ServerConfig::default()
-            },
-        );
-        server.ingest_batch(&batch(1, 3));
-        let stats = server.stats();
-        // Below the threshold everything is still pending, yet visible.
-        assert_eq!((stats.pending_delta, stats.shards), (3, 0));
-        let q = Query::new(0.0, 1000.0, center(), 500.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        assert_eq!(server.query(&q, &opts).len(), 3);
-
-        server.ingest_batch(&batch(2, 2)); // 5 >= 4: snapshot published
-        let stats = server.stats();
-        assert_eq!(stats.pending_delta, 0);
-        assert!(stats.shards > 0);
-        assert_eq!(stats.segments, 5);
-        assert_eq!(server.query(&q, &opts).len(), 5);
-    }
-
-    #[test]
-    fn retention_horizon_expires_old_segments_at_publish() {
-        let server = CloudServer::with_config(
-            CameraProfile::smartphone(),
-            ServerConfig {
-                shard_width_s: 50.0,
-                publish_threshold: 1, // publish on every ingest
-                retention_horizon_s: Some(100.0),
-                ..ServerConfig::default()
-            },
-        );
-        let src = |p| SegmentRef {
-            provider_id: p,
-            video_id: 0,
-            segment_idx: 0,
-        };
-        let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
-        server.ingest_one(RepFov::new(0.0, 10.0, fov), src(1));
-        assert_eq!(server.stats().segments, 1);
-        // The second ingest moves the retention clock to t=510; the first
-        // segment's shard now sits past the 100 s horizon and is dropped.
-        server.ingest_one(RepFov::new(500.0, 510.0, fov), src(2));
-        let stats = server.stats();
-        assert_eq!(stats.segments, 1);
-        let q = Query::new(0.0, 1000.0, center(), 500.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query(&q, &opts);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].source.provider_id, 2);
-    }
-
-    #[test]
-    fn explicit_expiry_prunes_and_compacts_the_store() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
-        // 40 old segments (bucket 0 at the default 600 s width), 10 recent.
-        for i in 0..40u64 {
-            server.ingest_one(
-                RepFov::new(i as f64, i as f64 + 5.0, fov),
-                SegmentRef {
-                    provider_id: 1,
-                    video_id: 0,
-                    segment_idx: i as u32,
-                },
-            );
-        }
-        for i in 0..10u64 {
-            server.ingest_one(
-                RepFov::new(1000.0 + i as f64, 1005.0 + i as f64, fov),
-                SegmentRef {
-                    provider_id: 2,
-                    video_id: 0,
-                    segment_idx: i as u32,
-                },
-            );
-        }
-        assert_eq!(server.stats().segments, 50);
-
-        let dropped = server.expire_before(600.0);
-        assert_eq!(dropped, 40);
-        let stats = server.stats();
-        assert_eq!(stats.segments, 10);
-        // 40 tombstones out of 50 slots crosses the compaction threshold:
-        // the store is re-packed densely.
-        assert_eq!(stats.store_slots, 10);
-        let q = Query::new(0.0, 2000.0, center(), 500.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query(&q, &opts);
-        assert_eq!(hits.len(), 10);
-        assert!(hits.iter().all(|h| h.source.provider_id == 2));
-        // Expiring again finds nothing new.
-        assert_eq!(server.expire_before(600.0), 0);
-    }
-
-    #[test]
-    fn batch_query_matches_sequential() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        for provider in 0..6 {
-            server.ingest_batch(&batch(provider, 8));
-        }
-        let queries: Vec<Query> = (0..23)
-            .map(|i| {
-                Query::new(
-                    f64::from(i) * 3.0,
-                    f64::from(i) * 3.0 + 40.0,
-                    center().offset(f64::from(i) * 16.0, 20.0),
-                    150.0,
-                )
-            })
-            .collect();
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let sequential: Vec<Vec<SearchHit>> =
-            queries.iter().map(|q| server.query(q, &opts)).collect();
-        for threads in [1, 3, 8] {
-            let parallel = server.query_batch(&queries, &opts, threads);
-            assert_eq!(parallel.len(), sequential.len());
-            for (p, s) in parallel.iter().zip(&sequential) {
-                let pv: Vec<_> = p.iter().map(|h| h.source).collect();
-                let sv: Vec<_> = s.iter().map(|h| h.source).collect();
-                assert_eq!(pv, sv, "threads = {threads}");
-            }
-        }
-    }
-
-    #[test]
-    fn query_nearest_returns_k_closest() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        server.ingest_batch(&batch(5, 8)); // distances 10, 15, ..., 45 m south
-        let opts = QueryOptions {
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query_nearest(0.0, 1000.0, center(), 3, &opts, 100_000.0);
-        assert_eq!(hits.len(), 3);
-        let d: Vec<f64> = hits.iter().map(|h| h.distance_m).collect();
-        assert!(
-            (d[0] - 10.0).abs() < 0.5 && (d[1] - 15.0).abs() < 0.5 && (d[2] - 20.0).abs() < 0.5
-        );
-    }
-
-    #[test]
-    fn query_nearest_expands_radius_to_find_far_segments() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        // One lonely segment 3 km away, pointing at the centre.
-        let p = center().offset(180.0, 3000.0);
-        server.ingest_one(
-            RepFov::new(0.0, 10.0, Fov::new(p, 0.0)),
-            SegmentRef {
-                provider_id: 1,
-                video_id: 0,
-                segment_idx: 0,
-            },
-        );
-        let opts = QueryOptions {
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query_nearest(0.0, 100.0, center(), 1, &opts, 10_000.0);
-        assert_eq!(hits.len(), 1);
-        assert!((hits[0].distance_m - 3000.0).abs() < 10.0);
-        // With a tight radius budget the search gives up empty-handed.
-        assert!(server
-            .query_nearest(0.0, 100.0, center(), 1, &opts, 500.0)
-            .is_empty());
-    }
-
-    #[test]
-    fn query_nearest_zero_k() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        server.ingest_batch(&batch(1, 3));
-        assert!(server
-            .query_nearest(0.0, 100.0, center(), 0, &QueryOptions::default(), 1e5)
-            .is_empty());
-    }
-
-    #[test]
-    fn quality_nearest_keeps_expanding_past_early_hits() {
-        // Regression: the k-hit early exit is only sound under Distance
-        // ranking. Under Quality, a far-but-dead-on segment outranks a
-        // near-but-askew one, so stopping at the first ring that yields k
-        // hits returns the wrong segment.
-        let server = CloudServer::new(CameraProfile::smartphone());
-        // 20 m south but pointing 20 degrees off the scene: quality
-        // 0.8 (proximity) x 0.2 (alignment) = 0.16.
-        server.ingest_one(
-            RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 20.0), 20.0)),
-            SegmentRef {
-                provider_id: 1,
-                video_id: 0,
-                segment_idx: 0,
-            },
-        );
-        // 80 m south, dead-on: quality 0.2 x 1.0 = 0.2. Outside the
-        // initial 50 m ring, so a premature exit never sees it.
-        server.ingest_one(
-            RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 80.0), 0.0)),
-            SegmentRef {
-                provider_id: 2,
-                video_id: 0,
-                segment_idx: 0,
-            },
-        );
-        let opts = QueryOptions {
-            rank: RankMode::Quality,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query_nearest(0.0, 10.0, center(), 1, &opts, 200.0);
-        assert_eq!(hits.len(), 1);
-        assert_eq!(
-            hits[0].source.provider_id, 2,
-            "quality ranking must surface the dead-on segment beyond the first ring"
-        );
-        // Distance mode still prefers the nearer segment.
-        let opts = QueryOptions {
-            rank: RankMode::Distance,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        let hits = server.query_nearest(0.0, 10.0, center(), 1, &opts, 200.0);
-        assert_eq!(hits[0].source.provider_id, 1);
-    }
-
-    #[test]
-    fn injected_clock_makes_latency_accounting_exact() {
-        let server = CloudServer::with_clock(
-            CameraProfile::smartphone(),
-            IndexKind::RTree,
-            SteppingClock::with_step(7),
-        );
-        server.ingest_batch(&batch(1, 5));
-        let q = Query::new(0.0, 100.0, center(), 100.0);
-        for _ in 0..10 {
-            server.query(&q, &QueryOptions::default());
-        }
-        let stats = server.stats();
-        assert_eq!(stats.queries, 10);
-        // Uninstrumented queries read the clock exactly twice.
-        assert_eq!(stats.query_micros_total, 10 * 7);
-        // No observability attached: phase histograms stay empty.
-        assert_eq!(stats.query_micros, swag_obs::HistogramSnapshot::empty());
-    }
-
-    #[test]
-    fn observability_splits_query_phases_exactly() {
-        let reg = Registry::new();
-        let mut server = CloudServer::with_clock(
-            CameraProfile::smartphone(),
-            IndexKind::RTree,
-            SteppingClock::with_step(5),
-        );
-        server.attach_observability(&reg);
-        server.ingest_batch(&batch(3, 6));
-        let q = Query::new(0.0, 100.0, center(), 200.0);
-        for _ in 0..4 {
-            server.query(&q, &QueryOptions::default());
-        }
-
-        let stats = server.stats();
-        assert_eq!(stats.queries, 4);
-        // Instrumented queries read the clock four times: each of the
-        // three phases is exactly one step, the total exactly three.
-        for phase in [
-            &stats.lock_wait_micros,
-            &stats.index_scan_micros,
-            &stats.ranking_micros,
-        ] {
-            assert_eq!(phase.count, 4);
-            assert_eq!(phase.sum, 4 * 5);
-        }
-        assert_eq!(stats.query_micros.sum, 4 * 15);
-        assert_eq!(stats.query_micros_total, 4 * 15);
-
-        // The same numbers are visible through the registry.
-        assert_eq!(
-            reg.histogram("swag_server_query_micros").snapshot().count,
-            4
-        );
-        assert_eq!(reg.counter("swag_server_segments_ingested_total").get(), 6);
-        assert_eq!(
-            reg.histogram("swag_server_ingest_micros").snapshot().count,
-            1
-        );
-        let cands = reg.histogram("swag_server_query_candidates").snapshot();
-        assert_eq!(cands.count, 4);
-        assert_eq!(cands.sum, 4 * 6);
-        assert!(
-            reg.histogram("swag_server_index_leaves_scanned")
-                .snapshot()
-                .sum
-                >= 4
-        );
-    }
-
-    #[test]
-    fn publish_metrics_record_snapshot_lifecycle() {
-        let reg = Registry::new();
-        let mut server = CloudServer::with_config(
-            CameraProfile::smartphone(),
-            ServerConfig {
-                publish_threshold: 4,
-                ..ServerConfig::default()
-            },
-        );
-        server.attach_observability(&reg);
-        server.ingest_batch(&batch(1, 3)); // pending only
-        assert_eq!(reg.counter("swag_server_publishes_total").get(), 0);
-        server.ingest_batch(&batch(2, 2)); // 5 >= 4: full publish
-        assert_eq!(reg.counter("swag_server_publishes_total").get(), 1);
-        let delta = reg.histogram("swag_server_snapshot_delta_size").snapshot();
-        assert_eq!((delta.count, delta.sum), (1, 5));
-        assert_eq!(
-            reg.histogram("swag_server_snapshot_rebuild_micros")
-                .snapshot()
-                .count,
-            1
-        );
-        assert_eq!(
-            reg.histogram("swag_server_snapshot_age_micros")
-                .snapshot()
-                .count,
-            1
-        );
-        // Shard fan-out metrics are wired through the published core.
-        let q = Query::new(0.0, 1000.0, center(), 500.0);
-        server.query(&q, &QueryOptions::default());
-        assert_eq!(reg.histogram("swag_shard_fanout").snapshot().count, 1);
-    }
-
-    #[test]
-    fn query_trace_samples_when_enabled() {
-        let reg = Registry::new();
-        let mut server = CloudServer::new(CameraProfile::smartphone());
-        assert!(server.query_trace().is_none());
-        server.attach_observability(&reg);
-        server.ingest_batch(&batch(1, 4));
-        let q = Query::new(0.0, 100.0, center(), 100.0);
-
-        // Off by default: queries leave no events.
-        server.query(&q, &QueryOptions::default());
-        assert!(server.query_trace().unwrap().events().is_empty());
-
-        server.query_trace().unwrap().enable(2);
-        for _ in 0..6 {
-            server.query(&q, &QueryOptions::default());
-        }
-        let events = server.query_trace().unwrap().events();
-        assert_eq!(events.len(), 3); // 1 of every 2 queries sampled
-        assert!(events.iter().all(|e| e.label == "query" && e.detail == 4));
-    }
-
-    #[test]
-    fn concurrent_ingest_and_query() {
-        let server = CloudServer::new(CameraProfile::smartphone());
-        crossbeam::thread::scope(|s| {
-            for provider in 0..8u64 {
-                let server = &server;
-                s.spawn(move |_| {
-                    for _ in 0..20 {
-                        server.ingest_batch(&batch(provider, 3));
-                    }
-                });
-            }
-            for _ in 0..4 {
-                let server = &server;
-                s.spawn(move |_| {
-                    let q = Query::new(0.0, 1000.0, center(), 500.0);
-                    for _ in 0..50 {
-                        let _ = server.query(&q, &QueryOptions::default());
-                    }
-                });
-            }
-        })
-        .unwrap();
-        let stats = server.stats();
-        assert_eq!(stats.segments, 8 * 20 * 3);
-        assert_eq!(stats.batches, 160);
-        assert_eq!(stats.queries, 200);
-        // Final query sees everything in the window.
-        let q = Query::new(0.0, 1000.0, center(), 500.0);
-        let opts = QueryOptions {
-            top_n: usize::MAX,
-            direction_filter: false,
-            ..QueryOptions::default()
-        };
-        assert_eq!(server.query(&q, &opts).len(), 480);
+        self.engine.stats()
     }
 }

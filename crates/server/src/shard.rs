@@ -26,7 +26,7 @@ use swag_exec::Executor;
 use swag_obs::{FlightRecorder, Histogram, Registry};
 use swag_rtree::{Aabb, SearchStats};
 
-use crate::index::{fov_box, query_boxes, FovIndex, IndexKind};
+use crate::index::{fov_box, query_boxes, FovIndex, IndexKind, QueryBoxes};
 use crate::query::Query;
 use crate::store::SegmentId;
 
@@ -178,6 +178,16 @@ impl ShardedFovIndex {
         self.shards.len()
     }
 
+    /// The live shards a `[t0, t1]` window would probe, as
+    /// `(bucket, indexed items)` pairs in bucket order (used by plan
+    /// explain renderings).
+    pub fn probe_shards(&self, t0: f64, t1: f64) -> Vec<(i64, usize)> {
+        self.shards
+            .range(self.buckets(t0, t1))
+            .map(|(bucket, shard)| (*bucket, shard.len()))
+            .collect()
+    }
+
     /// Indexes a representative FoV into every bucket its interval spans.
     pub fn insert(&mut self, rep: &RepFov, id: SegmentId) {
         self.segments += 1;
@@ -266,10 +276,22 @@ impl ShardedFovIndex {
     /// single-shard probe keeps the unsorted pass-through fast path in
     /// both modes.
     pub fn candidates_exec(&self, exec: &Executor, q: &Query) -> Vec<SegmentId> {
-        let boxes = query_boxes(q);
+        self.candidates_in_exec(exec, &query_boxes(q), q.t_start, q.t_end)
+    }
+
+    /// [`Self::candidates_exec`] against an already-built query box set
+    /// and time window (the plan-driven query path builds boxes once per
+    /// plan instead of once per probe).
+    pub fn candidates_in_exec(
+        &self,
+        exec: &Executor,
+        boxes: &QueryBoxes,
+        t0: f64,
+        t1: f64,
+    ) -> Vec<SegmentId> {
         let shards: Vec<&Arc<FovIndex>> = self
             .shards
-            .range(self.buckets(q.t_start, q.t_end))
+            .range(self.buckets(t0, t1))
             .map(|(_, shard)| shard)
             .collect();
         let probed = shards.len() as u64;
@@ -281,19 +303,19 @@ impl ShardedFovIndex {
             // needs no dedup pass.
             [only] => {
                 let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
-                only.candidates_in(&boxes)
+                only.candidates_in(boxes)
             }
             many if exec.is_serial() => with_scratch(|scratch| {
                 for shard in many {
                     let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
-                    shard.candidates_into(&boxes, scratch);
+                    shard.candidates_into(boxes, scratch);
                 }
                 sorted_dedup(scratch)
             }),
             many => {
                 let per_shard = exec.par_map(many, |shard| {
                     let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
-                    shard.candidates_in(&boxes)
+                    shard.candidates_in(boxes)
                 });
                 with_scratch(|scratch| {
                     for v in &per_shard {
@@ -325,9 +347,23 @@ impl ShardedFovIndex {
         q: &Query,
         stats: &mut SearchStats,
     ) -> Vec<SegmentId> {
+        self.candidates_with_stats_in_exec(exec, &query_boxes(q), q.t_start, q.t_end, stats)
+    }
+
+    /// [`Self::candidates_with_stats_exec`] against an already-built query
+    /// box set and time window (the plan-driven query path builds boxes
+    /// once per plan instead of once per probe).
+    pub fn candidates_with_stats_in_exec(
+        &self,
+        exec: &Executor,
+        boxes: &QueryBoxes,
+        t0: f64,
+        t1: f64,
+        stats: &mut SearchStats,
+    ) -> Vec<SegmentId> {
         let shards: Vec<&Arc<FovIndex>> = self
             .shards
-            .range(self.buckets(q.t_start, q.t_end))
+            .range(self.buckets(t0, t1))
             .map(|(_, shard)| shard)
             .collect();
         let probed = shards.len() as u64;
@@ -336,14 +372,14 @@ impl ShardedFovIndex {
             [] => Vec::new(),
             [only] => {
                 let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
-                only.candidates_with_stats(q, stats)
+                only.candidates_with_stats_in(boxes, stats)
             }
             many if exec.is_serial() => {
                 let per_shard: Vec<Vec<SegmentId>> = many
                     .iter()
                     .map(|shard| {
                         let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
-                        shard.candidates_with_stats(q, stats)
+                        shard.candidates_with_stats_in(boxes, stats)
                     })
                     .collect();
                 with_scratch(|scratch| {
@@ -357,7 +393,7 @@ impl ShardedFovIndex {
                 let per_shard = exec.par_map(many, |shard| {
                     let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
                     let mut local = SearchStats::default();
-                    let v = shard.candidates_with_stats(q, &mut local);
+                    let v = shard.candidates_with_stats_in(boxes, &mut local);
                     (v, local)
                 });
                 for (_, local) in &per_shard {

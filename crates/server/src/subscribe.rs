@@ -14,7 +14,8 @@
 
 use swag_core::{CameraProfile, RepFov};
 
-use crate::index::{fov_box, query_boxes};
+use crate::engine::plan::QueryPlan;
+use crate::index::fov_box;
 use crate::query::{Query, QueryOptions};
 use crate::ranking::{quality_score, SearchHit};
 use crate::store::{SegmentId, SegmentRef};
@@ -23,12 +24,15 @@ use crate::store::{SegmentId, SegmentRef};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubscriptionId(pub u64);
 
-/// One registered standing query and its mailbox.
+/// One registered standing query and its mailbox. The plan — query
+/// boxes and filter chain — is compiled once at registration; matching
+/// at ingest reuses the planner's filter stage, so standing queries and
+/// pull queries can never diverge. (The plan's rank/top-k stage does
+/// not apply here: mailboxes accumulate in arrival order, unbounded.)
 #[derive(Debug)]
 struct Subscription {
     id: SubscriptionId,
-    query: Query,
-    opts: QueryOptions,
+    plan: QueryPlan,
     mailbox: Vec<SearchHit>,
     active: bool,
 }
@@ -46,14 +50,13 @@ impl SubscriptionSet {
         Self::default()
     }
 
-    /// Registers a standing query.
+    /// Registers a standing query, compiling its plan once.
     pub fn subscribe(&mut self, query: Query, opts: QueryOptions) -> SubscriptionId {
         let id = SubscriptionId(self.next_id);
         self.next_id += 1;
         self.subs.push(Subscription {
             id,
-            query,
-            opts,
+            plan: QueryPlan::compile(&query, &opts),
             mailbox: Vec::new(),
             active: true,
         });
@@ -87,18 +90,18 @@ impl SubscriptionSet {
     ) {
         let rep_box = fov_box(rep);
         for sub in self.subs.iter_mut().filter(|s| s.active) {
-            if !query_boxes(&sub.query).intersects(&rep_box) {
+            if !sub.plan.boxes.intersects(&rep_box) {
                 continue;
             }
-            if !crate::ranking::passes_filters(rep, cam, &sub.query, &sub.opts) {
+            if !sub.plan.filters.accepts(rep, cam, &sub.plan.query) {
                 continue;
             }
             sub.mailbox.push(SearchHit {
                 id: seg_id,
                 source,
                 rep: *rep,
-                distance_m: rep.fov.p.distance_m(sub.query.center),
-                quality: quality_score(rep, cam, &sub.query),
+                distance_m: rep.fov.p.distance_m(sub.plan.query.center),
+                quality: quality_score(rep, cam, &sub.plan.query),
             });
         }
     }

@@ -1,0 +1,387 @@
+//! Engine equivalence: the layered planner/operator pipeline must answer
+//! byte-identically to the pre-refactor monolithic read path.
+//!
+//! Two lines of defence:
+//!
+//! 1. **Oracle fixture** — `fixtures/engine_oracle.txt` holds the exact
+//!    results (distances and qualities as f64 bit patterns) the
+//!    pre-refactor `server.rs` produced for a deterministic workload
+//!    covering all four entry points (`query`, `query_nearest`,
+//!    `query_batch`, subscriptions) across ranking modes, filters, and
+//!    publish/retention churn. Regenerate with
+//!    `cargo test -p swag-server --test engine_equivalence -- --ignored regenerate`.
+//! 2. **Randomized agreement proptests** — serial vs parallel executors,
+//!    batch vs per-query, and k-nearest vs a brute-force oracle must
+//!    agree on arbitrary workloads (run in CI under both default threads
+//!    and `SWAG_EXEC_THREADS=1`).
+
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
+use swag_exec::{ExecConfig, Executor};
+use swag_geo::LatLon;
+use swag_server::{
+    CloudServer, Query, QueryOptions, RankMode, SearchHit, SegmentRef, ServerConfig,
+};
+
+const FIXTURE: &str = include_str!("fixtures/engine_oracle.txt");
+
+fn base() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Tiny deterministic generator (SplitMix64) so the workload is identical
+/// on every platform and toolchain.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)` from 53 random mantissa bits.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+fn workload_reps(rng: &mut Rng, n: usize) -> Vec<RepFov> {
+    (0..n)
+        .map(|_| {
+            let dx = rng.f64(-900.0, 900.0);
+            let dy = rng.f64(-900.0, 900.0);
+            let theta = rng.f64(0.0, 360.0);
+            let t0 = rng.f64(0.0, 3000.0);
+            let dur = rng.f64(1.0, 240.0);
+            RepFov::new(
+                t0,
+                t0 + dur,
+                Fov::new(base().offset_by(swag_geo::Vec2::new(dx, dy)), theta),
+            )
+        })
+        .collect()
+}
+
+fn workload_queries(rng: &mut Rng, n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|_| {
+            let dx = rng.f64(-900.0, 900.0);
+            let dy = rng.f64(-900.0, 900.0);
+            let r = rng.f64(20.0, 600.0);
+            let t0 = rng.f64(0.0, 3000.0);
+            let win = rng.f64(5.0, 1500.0);
+            Query::new(
+                t0,
+                t0 + win,
+                base().offset_by(swag_geo::Vec2::new(dx, dy)),
+                r,
+            )
+        })
+        .collect()
+}
+
+/// Option sets covering every filter/rank combination the planner lowers.
+fn option_matrix() -> Vec<(&'static str, QueryOptions)> {
+    vec![
+        ("default", QueryOptions::default()),
+        (
+            "wide",
+            QueryOptions {
+                top_n: usize::MAX,
+                direction_filter: false,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "coverage",
+            QueryOptions {
+                top_n: 25,
+                require_coverage: true,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "quality",
+            QueryOptions {
+                top_n: 15,
+                rank: RankMode::Quality,
+                direction_tolerance_deg: 5.0,
+                ..QueryOptions::default()
+            },
+        ),
+    ]
+}
+
+fn render_hit(out: &mut String, h: &SearchHit) {
+    writeln!(
+        out,
+        "  id={} provider={} video={} seg={} t=[{:016x},{:016x}] d={:016x} q={:016x}",
+        h.id.0,
+        h.source.provider_id,
+        h.source.video_id,
+        h.source.segment_idx,
+        h.rep.t_start.to_bits(),
+        h.rep.t_end.to_bits(),
+        h.distance_m.to_bits(),
+        h.quality.to_bits(),
+    )
+    .unwrap();
+}
+
+/// Runs the deterministic workload through all four read entry points and
+/// renders every result with exact bit patterns.
+fn oracle_transcript() -> String {
+    let mut rng = Rng(0x5747_2015);
+    let mut server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            shard_width_s: 150.0,
+            publish_threshold: 24,
+            ..ServerConfig::default()
+        },
+    );
+    server.set_executor(Executor::serial());
+
+    // Subscriptions registered before ingest see the whole stream.
+    let subs: Vec<_> = option_matrix()
+        .into_iter()
+        .map(|(name, opts)| {
+            let q = Query::new(200.0, 2600.0, base(), 450.0);
+            (name, server.subscribe(q, opts))
+        })
+        .collect();
+
+    // Ingest in uneven batches: some publish full snapshots, some stay
+    // pending in the delta, so both scan operators are exercised.
+    let mut out = String::new();
+    for (batch_no, n) in [17usize, 40, 9, 31, 6].into_iter().enumerate() {
+        let reps = workload_reps(&mut rng, n);
+        server.ingest_batch(&UploadBatch {
+            provider_id: batch_no as u64,
+            video_id: 7,
+            reps,
+        });
+    }
+    // Churn: a retraction and an explicit expiry mid-history.
+    server.retract_provider(1);
+    server.expire_before(120.0);
+
+    let queries = workload_queries(&mut rng, 12);
+    for (name, opts) in option_matrix() {
+        writeln!(out, "[query {name}]").unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            writeln!(out, " q{i}").unwrap();
+            for h in server.query(q, &opts) {
+                render_hit(&mut out, &h);
+            }
+        }
+        writeln!(out, "[batch {name}]").unwrap();
+        for (i, hits) in server.query_batch(&queries, &opts, 1).iter().enumerate() {
+            writeln!(out, " q{i}").unwrap();
+            for h in hits {
+                render_hit(&mut out, h);
+            }
+        }
+        writeln!(out, "[nearest {name}]").unwrap();
+        for (i, q) in queries.iter().take(6).enumerate() {
+            writeln!(out, " q{i}").unwrap();
+            for h in server.query_nearest(q.t_start, q.t_end, q.center, 5, &opts, 5_000.0) {
+                render_hit(&mut out, &h);
+            }
+        }
+    }
+    for (name, id) in subs {
+        writeln!(out, "[subscription {name}]").unwrap();
+        for h in server.poll_subscription(id) {
+            render_hit(&mut out, &h);
+        }
+    }
+    out
+}
+
+#[test]
+fn results_match_prerefactor_fixture() {
+    let got = oracle_transcript();
+    if got != FIXTURE {
+        // Locate the first diverging line for a readable failure.
+        for (i, (g, f)) in got.lines().zip(FIXTURE.lines()).enumerate() {
+            assert_eq!(g, f, "first divergence at fixture line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            FIXTURE.lines().count(),
+            "transcripts diverge in length"
+        );
+        unreachable!("transcripts differ but no diverging line found");
+    }
+}
+
+/// Regenerates the oracle fixture. Only run this on a tree whose read
+/// path is known-good (it *defines* the oracle).
+#[test]
+#[ignore]
+fn regenerate() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_oracle.txt"
+    );
+    std::fs::write(path, oracle_transcript()).unwrap();
+}
+
+fn par_exec() -> Executor {
+    static EXEC: OnceLock<Executor> = OnceLock::new();
+    EXEC.get_or_init(|| Executor::new(ExecConfig::with_threads(4)))
+        .clone()
+}
+
+fn arb_rep() -> impl Strategy<Value = RepFov> {
+    (
+        -800.0f64..800.0,
+        -800.0f64..800.0,
+        0.0f64..360.0,
+        0.0f64..3600.0,
+        0.5f64..300.0,
+    )
+        .prop_map(|(dx, dy, theta, t0, dur)| {
+            RepFov::new(
+                t0,
+                t0 + dur,
+                Fov::new(base().offset_by(swag_geo::Vec2::new(dx, dy)), theta),
+            )
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        -800.0f64..800.0,
+        -800.0f64..800.0,
+        10.0f64..500.0,
+        0.0f64..3600.0,
+        1.0f64..2000.0,
+    )
+        .prop_map(|(dx, dy, r, t0, win)| {
+            Query::new(
+                t0,
+                t0 + win,
+                base().offset_by(swag_geo::Vec2::new(dx, dy)),
+                r,
+            )
+        })
+}
+
+fn arb_opts() -> impl Strategy<Value = QueryOptions> {
+    (
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0.0f64..30.0,
+        prop_oneof![Just(usize::MAX), 1usize..40],
+    )
+        .prop_map(|(dir, cov, quality, tol, top_n)| QueryOptions {
+            top_n,
+            direction_filter: dir,
+            direction_tolerance_deg: tol,
+            require_coverage: cov,
+            rank: if quality {
+                RankMode::Quality
+            } else {
+                RankMode::Distance
+            },
+        })
+}
+
+fn servers_from(reps: &[RepFov]) -> (CloudServer, CloudServer) {
+    let records: Vec<(RepFov, SegmentRef)> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, &rep)| {
+            (
+                rep,
+                SegmentRef {
+                    provider_id: (i % 5) as u64,
+                    video_id: (i / 5) as u64,
+                    segment_idx: i as u32,
+                },
+            )
+        })
+        .collect();
+    let config = ServerConfig {
+        shard_width_s: 120.0,
+        publish_threshold: 16,
+        ..ServerConfig::default()
+    };
+    let serial = CloudServer::from_records_with_config_exec(
+        CameraProfile::smartphone(),
+        config,
+        Executor::serial(),
+        records.clone(),
+    );
+    let parallel = CloudServer::from_records_with_config_exec(
+        CameraProfile::smartphone(),
+        config,
+        par_exec(),
+        records,
+    );
+    (serial, parallel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All plan-driven entry points agree with each other and across
+    /// executors: serial query == parallel query == batched query, for
+    /// arbitrary option combinations.
+    #[test]
+    fn serial_parallel_batch_agree(
+        reps in prop::collection::vec(arb_rep(), 0..100),
+        queries in prop::collection::vec(arb_query(), 1..10),
+        opts in arb_opts(),
+    ) {
+        let (serial, parallel) = servers_from(&reps);
+        let per_query: Vec<Vec<SearchHit>> =
+            queries.iter().map(|q| serial.query(q, &opts)).collect();
+        for (q, expected) in queries.iter().zip(&per_query) {
+            prop_assert_eq!(&parallel.query(q, &opts), expected);
+        }
+        prop_assert_eq!(&serial.query_batch(&queries, &opts, 1), &per_query);
+        prop_assert_eq!(&parallel.query_batch(&queries, &opts, 4), &per_query);
+    }
+
+    /// k-nearest: the radius-expansion plan loop must agree across
+    /// executors, and under [`RankMode::Distance`] must return exactly the
+    /// top-k of an exhaustive max-radius query (the brute-force oracle).
+    /// Under Quality, ties (score 0) keep candidate-enumeration order,
+    /// which legitimately differs between expansion rings and one giant
+    /// query — so the oracle comparison is pinned to Distance, where the
+    /// ranking key is total almost everywhere.
+    #[test]
+    fn nearest_matches_bruteforce_oracle(
+        reps in prop::collection::vec(arb_rep(), 0..80),
+        q in arb_query(),
+        k in 1usize..8,
+        opts in arb_opts(),
+    ) {
+        let (serial, parallel) = servers_from(&reps);
+        let max_radius = 50_000.0;
+        let near_serial = serial.query_nearest(q.t_start, q.t_end, q.center, k, &opts, max_radius);
+        let near_parallel =
+            parallel.query_nearest(q.t_start, q.t_end, q.center, k, &opts, max_radius);
+        prop_assert_eq!(&near_serial, &near_parallel);
+
+        if opts.rank == RankMode::Distance {
+            let mut oracle = serial.query(
+                &Query::new(q.t_start, q.t_end, q.center, max_radius),
+                &QueryOptions { top_n: usize::MAX, ..opts },
+            );
+            oracle.truncate(k);
+            prop_assert_eq!(near_serial, oracle);
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! Facade-level behaviour of [`CloudServer`]: the unit tests that lived
+//! in `server.rs` before the engine split, now exercising the same
+//! surface through the public API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
+use swag_geo::LatLon;
+use swag_obs::{MonotonicClock, Registry};
+use swag_server::{
+    persistence, CloudServer, IndexKind, Query, QueryOptions, RankMode, SearchHit, SegmentRef,
+    ServerConfig,
+};
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Advances by a fixed step on every read, so each timed interval in
+/// the query path is exactly `step` microseconds.
+struct SteppingClock {
+    t: AtomicU64,
+    step: u64,
+}
+
+impl SteppingClock {
+    fn with_step(step: u64) -> Arc<Self> {
+        Arc::new(SteppingClock {
+            t: AtomicU64::new(0),
+            step,
+        })
+    }
+}
+
+impl MonotonicClock for SteppingClock {
+    fn now_micros(&self) -> u64 {
+        self.t.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+fn batch(provider: u64, n: usize) -> UploadBatch {
+    UploadBatch {
+        provider_id: provider,
+        video_id: 1,
+        reps: (0..n)
+            .map(|i| {
+                let p = center().offset(180.0, 10.0 + i as f64 * 5.0);
+                RepFov::new(i as f64 * 10.0, i as f64 * 10.0 + 8.0, Fov::new(p, 0.0))
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn ingest_and_query_round_trip() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    let ids = server.ingest_batch(&batch(42, 5));
+    assert_eq!(ids.len(), 5);
+    let q = Query::new(0.0, 100.0, center(), 100.0);
+    let hits = server.query(&q, &QueryOptions::default());
+    assert_eq!(hits.len(), 5);
+    assert_eq!(hits[0].source.provider_id, 42);
+    // Nearest first.
+    assert!((hits[0].distance_m - 10.0).abs() < 0.5);
+    let stats = server.stats();
+    assert_eq!(stats.segments, 5);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.queries, 1);
+}
+
+#[test]
+fn temporal_window_restricts_results() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    server.ingest_batch(&batch(1, 5)); // segments at t = 0-8, 10-18, ...
+    let q = Query::new(20.0, 28.0, center(), 200.0);
+    let hits = server.query(&q, &QueryOptions::default());
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rep.t_start, 20.0);
+}
+
+#[test]
+fn linear_and_rtree_servers_agree() {
+    let a = CloudServer::with_index(CameraProfile::smartphone(), IndexKind::RTree);
+    let b = CloudServer::with_index(CameraProfile::smartphone(), IndexKind::Linear);
+    for provider in 0..10 {
+        let batch = batch(provider, 8);
+        a.ingest_batch(&batch);
+        b.ingest_batch(&batch);
+    }
+    let q = Query::new(0.0, 100.0, center(), 60.0);
+    let opts = QueryOptions {
+        top_n: 50,
+        ..QueryOptions::default()
+    };
+    let mut ha: Vec<_> = a.query(&q, &opts).iter().map(|h| h.source).collect();
+    let mut hb: Vec<_> = b.query(&q, &opts).iter().map(|h| h.source).collect();
+    ha.sort_by_key(|s| (s.provider_id, s.segment_idx));
+    hb.sort_by_key(|s| (s.provider_id, s.segment_idx));
+    assert_eq!(ha, hb);
+}
+
+#[test]
+fn standing_query_sees_only_future_matching_ingest() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    server.ingest_batch(&batch(1, 3)); // before subscribing: invisible
+    let sub = server.subscribe(
+        Query::new(0.0, 1000.0, center(), 100.0),
+        QueryOptions::default(),
+    );
+    assert!(server.poll_subscription(sub).is_empty());
+
+    server.ingest_batch(&batch(2, 3));
+    let hits = server.poll_subscription(sub);
+    assert_eq!(hits.len(), 3);
+    assert!(hits.iter().all(|h| h.source.provider_id == 2));
+    // Drained; cancel stops future delivery.
+    assert!(server.poll_subscription(sub).is_empty());
+    assert!(server.unsubscribe(sub));
+    server.ingest_batch(&batch(3, 3));
+    assert!(server.poll_subscription(sub).is_empty());
+}
+
+#[test]
+fn retract_provider_hides_their_segments() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    server.ingest_batch(&batch(1, 5));
+    server.ingest_batch(&batch(2, 5));
+    assert_eq!(server.stats().segments, 10);
+
+    let removed = server.retract_provider(1);
+    assert_eq!(removed, 5);
+    assert_eq!(server.stats().segments, 5);
+    // Retracting again is a no-op.
+    assert_eq!(server.retract_provider(1), 0);
+
+    let q = Query::new(0.0, 100.0, center(), 200.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query(&q, &opts);
+    assert!(hits.iter().all(|h| h.source.provider_id == 2));
+    assert_eq!(hits.len(), 5);
+}
+
+#[test]
+fn retraction_removes_published_and_pending_records() {
+    // Threshold 10: the first batch publishes into the sharded
+    // snapshot, the next two stay pending in the delta. Retraction
+    // must reach both places.
+    let server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            publish_threshold: 10,
+            ..ServerConfig::default()
+        },
+    );
+    server.ingest_batch(&batch(1, 10)); // published (threshold hit)
+    server.ingest_batch(&batch(1, 3)); // pending
+    server.ingest_batch(&batch(2, 3)); // pending
+    assert_eq!(server.stats().pending_delta, 6);
+    assert!(server.stats().shards > 0);
+
+    assert_eq!(server.retract_provider(1), 13);
+    let stats = server.stats();
+    assert_eq!(stats.segments, 3);
+    // Retraction folds the delta into the core before retiring, so
+    // nothing stays pending afterwards.
+    assert_eq!(stats.pending_delta, 0);
+    let q = Query::new(0.0, 1000.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query(&q, &opts);
+    assert_eq!(hits.len(), 3);
+    assert!(hits.iter().all(|h| h.source.provider_id == 2));
+}
+
+#[test]
+fn retraction_survives_snapshots() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    server.ingest_batch(&batch(1, 4));
+    server.ingest_batch(&batch(2, 4));
+    server.retract_provider(1);
+    let restored = persistence::load_snapshot(
+        persistence::save_snapshot(&server).unwrap(),
+        CameraProfile::smartphone(),
+    )
+    .unwrap();
+    assert_eq!(restored.stats().segments, 4);
+    let q = Query::new(0.0, 100.0, center(), 200.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    assert!(restored
+        .query(&q, &opts)
+        .iter()
+        .all(|h| h.source.provider_id == 2));
+}
+
+#[test]
+fn publish_threshold_folds_delta_into_snapshot() {
+    let server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            publish_threshold: 4,
+            ..ServerConfig::default()
+        },
+    );
+    server.ingest_batch(&batch(1, 3));
+    let stats = server.stats();
+    // Below the threshold everything is still pending, yet visible.
+    assert_eq!((stats.pending_delta, stats.shards), (3, 0));
+    let q = Query::new(0.0, 1000.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    assert_eq!(server.query(&q, &opts).len(), 3);
+
+    server.ingest_batch(&batch(2, 2)); // 5 >= 4: snapshot published
+    let stats = server.stats();
+    assert_eq!(stats.pending_delta, 0);
+    assert!(stats.shards > 0);
+    assert_eq!(stats.segments, 5);
+    assert_eq!(server.query(&q, &opts).len(), 5);
+}
+
+#[test]
+fn retention_horizon_expires_old_segments_at_publish() {
+    let server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            shard_width_s: 50.0,
+            publish_threshold: 1, // publish on every ingest
+            retention_horizon_s: Some(100.0),
+            ..ServerConfig::default()
+        },
+    );
+    let src = |p| SegmentRef {
+        provider_id: p,
+        video_id: 0,
+        segment_idx: 0,
+    };
+    let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+    server.ingest_one(RepFov::new(0.0, 10.0, fov), src(1));
+    assert_eq!(server.stats().segments, 1);
+    // The second ingest moves the retention clock to t=510; the first
+    // segment's shard now sits past the 100 s horizon and is dropped.
+    server.ingest_one(RepFov::new(500.0, 510.0, fov), src(2));
+    let stats = server.stats();
+    assert_eq!(stats.segments, 1);
+    let q = Query::new(0.0, 1000.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query(&q, &opts);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].source.provider_id, 2);
+}
+
+#[test]
+fn explicit_expiry_prunes_and_compacts_the_store() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    let fov = Fov::new(center().offset(180.0, 20.0), 0.0);
+    // 40 old segments (bucket 0 at the default 600 s width), 10 recent.
+    for i in 0..40u64 {
+        server.ingest_one(
+            RepFov::new(i as f64, i as f64 + 5.0, fov),
+            SegmentRef {
+                provider_id: 1,
+                video_id: 0,
+                segment_idx: i as u32,
+            },
+        );
+    }
+    for i in 0..10u64 {
+        server.ingest_one(
+            RepFov::new(1000.0 + i as f64, 1005.0 + i as f64, fov),
+            SegmentRef {
+                provider_id: 2,
+                video_id: 0,
+                segment_idx: i as u32,
+            },
+        );
+    }
+    assert_eq!(server.stats().segments, 50);
+
+    let dropped = server.expire_before(600.0);
+    assert_eq!(dropped, 40);
+    let stats = server.stats();
+    assert_eq!(stats.segments, 10);
+    // 40 tombstones out of 50 slots crosses the compaction threshold:
+    // the store is re-packed densely.
+    assert_eq!(stats.store_slots, 10);
+    let q = Query::new(0.0, 2000.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query(&q, &opts);
+    assert_eq!(hits.len(), 10);
+    assert!(hits.iter().all(|h| h.source.provider_id == 2));
+    // Expiring again finds nothing new.
+    assert_eq!(server.expire_before(600.0), 0);
+}
+
+#[test]
+fn batch_query_matches_sequential() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    for provider in 0..6 {
+        server.ingest_batch(&batch(provider, 8));
+    }
+    let queries: Vec<Query> = (0..23)
+        .map(|i| {
+            Query::new(
+                f64::from(i) * 3.0,
+                f64::from(i) * 3.0 + 40.0,
+                center().offset(f64::from(i) * 16.0, 20.0),
+                150.0,
+            )
+        })
+        .collect();
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let sequential: Vec<Vec<SearchHit>> = queries.iter().map(|q| server.query(q, &opts)).collect();
+    for threads in [1, 3, 8] {
+        let parallel = server.query_batch(&queries, &opts, threads);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            let pv: Vec<_> = p.iter().map(|h| h.source).collect();
+            let sv: Vec<_> = s.iter().map(|h| h.source).collect();
+            assert_eq!(pv, sv, "threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn query_nearest_returns_k_closest() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    server.ingest_batch(&batch(5, 8)); // distances 10, 15, ..., 45 m south
+    let opts = QueryOptions {
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query_nearest(0.0, 1000.0, center(), 3, &opts, 100_000.0);
+    assert_eq!(hits.len(), 3);
+    let d: Vec<f64> = hits.iter().map(|h| h.distance_m).collect();
+    assert!((d[0] - 10.0).abs() < 0.5 && (d[1] - 15.0).abs() < 0.5 && (d[2] - 20.0).abs() < 0.5);
+}
+
+#[test]
+fn query_nearest_expands_radius_to_find_far_segments() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    // One lonely segment 3 km away, pointing at the centre.
+    let p = center().offset(180.0, 3000.0);
+    server.ingest_one(
+        RepFov::new(0.0, 10.0, Fov::new(p, 0.0)),
+        SegmentRef {
+            provider_id: 1,
+            video_id: 0,
+            segment_idx: 0,
+        },
+    );
+    let opts = QueryOptions {
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query_nearest(0.0, 100.0, center(), 1, &opts, 10_000.0);
+    assert_eq!(hits.len(), 1);
+    assert!((hits[0].distance_m - 3000.0).abs() < 10.0);
+    // With a tight radius budget the search gives up empty-handed.
+    assert!(server
+        .query_nearest(0.0, 100.0, center(), 1, &opts, 500.0)
+        .is_empty());
+}
+
+#[test]
+fn query_nearest_zero_k() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    server.ingest_batch(&batch(1, 3));
+    assert!(server
+        .query_nearest(0.0, 100.0, center(), 0, &QueryOptions::default(), 1e5)
+        .is_empty());
+}
+
+#[test]
+fn quality_nearest_keeps_expanding_past_early_hits() {
+    // Regression: the k-hit early exit is only sound under Distance
+    // ranking. Under Quality, a far-but-dead-on segment outranks a
+    // near-but-askew one, so stopping at the first ring that yields k
+    // hits returns the wrong segment.
+    let server = CloudServer::new(CameraProfile::smartphone());
+    // 20 m south but pointing 20 degrees off the scene: quality
+    // 0.8 (proximity) x 0.2 (alignment) = 0.16.
+    server.ingest_one(
+        RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 20.0), 20.0)),
+        SegmentRef {
+            provider_id: 1,
+            video_id: 0,
+            segment_idx: 0,
+        },
+    );
+    // 80 m south, dead-on: quality 0.2 x 1.0 = 0.2. Outside the
+    // initial 50 m ring, so a premature exit never sees it.
+    server.ingest_one(
+        RepFov::new(0.0, 10.0, Fov::new(center().offset(180.0, 80.0), 0.0)),
+        SegmentRef {
+            provider_id: 2,
+            video_id: 0,
+            segment_idx: 0,
+        },
+    );
+    let opts = QueryOptions {
+        rank: RankMode::Quality,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query_nearest(0.0, 10.0, center(), 1, &opts, 200.0);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(
+        hits[0].source.provider_id, 2,
+        "quality ranking must surface the dead-on segment beyond the first ring"
+    );
+    // Distance mode still prefers the nearer segment.
+    let opts = QueryOptions {
+        rank: RankMode::Distance,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    let hits = server.query_nearest(0.0, 10.0, center(), 1, &opts, 200.0);
+    assert_eq!(hits[0].source.provider_id, 1);
+}
+
+#[test]
+fn injected_clock_makes_latency_accounting_exact() {
+    let server = CloudServer::with_clock(
+        CameraProfile::smartphone(),
+        IndexKind::RTree,
+        SteppingClock::with_step(7),
+    );
+    server.ingest_batch(&batch(1, 5));
+    let q = Query::new(0.0, 100.0, center(), 100.0);
+    for _ in 0..10 {
+        server.query(&q, &QueryOptions::default());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.queries, 10);
+    // Uninstrumented queries read the clock exactly twice.
+    assert_eq!(stats.query_micros_total, 10 * 7);
+    // No observability attached: phase histograms stay empty.
+    assert_eq!(stats.query_micros, swag_obs::HistogramSnapshot::empty());
+}
+
+#[test]
+fn observability_splits_query_phases_exactly() {
+    let reg = Registry::new();
+    let mut server = CloudServer::with_clock(
+        CameraProfile::smartphone(),
+        IndexKind::RTree,
+        SteppingClock::with_step(5),
+    );
+    server.attach_observability(&reg);
+    server.ingest_batch(&batch(3, 6));
+    let q = Query::new(0.0, 100.0, center(), 200.0);
+    for _ in 0..4 {
+        server.query(&q, &QueryOptions::default());
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.queries, 4);
+    // Instrumented queries read the clock four times: each of the
+    // three phases is exactly one step, the total exactly three.
+    for phase in [
+        &stats.lock_wait_micros,
+        &stats.index_scan_micros,
+        &stats.ranking_micros,
+    ] {
+        assert_eq!(phase.count, 4);
+        assert_eq!(phase.sum, 4 * 5);
+    }
+    assert_eq!(stats.query_micros.sum, 4 * 15);
+    assert_eq!(stats.query_micros_total, 4 * 15);
+
+    // The same numbers are visible through the registry.
+    assert_eq!(
+        reg.histogram("swag_server_query_micros").snapshot().count,
+        4
+    );
+    assert_eq!(reg.counter("swag_server_segments_ingested_total").get(), 6);
+    assert_eq!(
+        reg.histogram("swag_server_ingest_micros").snapshot().count,
+        1
+    );
+    let cands = reg.histogram("swag_server_query_candidates").snapshot();
+    assert_eq!(cands.count, 4);
+    assert_eq!(cands.sum, 4 * 6);
+    assert!(
+        reg.histogram("swag_server_index_leaves_scanned")
+            .snapshot()
+            .sum
+            >= 4
+    );
+}
+
+#[test]
+fn publish_metrics_record_snapshot_lifecycle() {
+    let reg = Registry::new();
+    let mut server = CloudServer::with_config(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            publish_threshold: 4,
+            ..ServerConfig::default()
+        },
+    );
+    server.attach_observability(&reg);
+    server.ingest_batch(&batch(1, 3)); // pending only
+    assert_eq!(reg.counter("swag_server_publishes_total").get(), 0);
+    server.ingest_batch(&batch(2, 2)); // 5 >= 4: full publish
+    assert_eq!(reg.counter("swag_server_publishes_total").get(), 1);
+    let delta = reg.histogram("swag_server_snapshot_delta_size").snapshot();
+    assert_eq!((delta.count, delta.sum), (1, 5));
+    assert_eq!(
+        reg.histogram("swag_server_snapshot_rebuild_micros")
+            .snapshot()
+            .count,
+        1
+    );
+    assert_eq!(
+        reg.histogram("swag_server_snapshot_age_micros")
+            .snapshot()
+            .count,
+        1
+    );
+    // Shard fan-out metrics are wired through the published core.
+    let q = Query::new(0.0, 1000.0, center(), 500.0);
+    server.query(&q, &QueryOptions::default());
+    assert_eq!(reg.histogram("swag_shard_fanout").snapshot().count, 1);
+}
+
+#[test]
+fn query_trace_samples_when_enabled() {
+    let reg = Registry::new();
+    let mut server = CloudServer::new(CameraProfile::smartphone());
+    assert!(server.query_trace().is_none());
+    server.attach_observability(&reg);
+    server.ingest_batch(&batch(1, 4));
+    let q = Query::new(0.0, 100.0, center(), 100.0);
+
+    // Off by default: queries leave no events.
+    server.query(&q, &QueryOptions::default());
+    assert!(server.query_trace().unwrap().events().is_empty());
+
+    server.query_trace().unwrap().enable(2);
+    for _ in 0..6 {
+        server.query(&q, &QueryOptions::default());
+    }
+    let events = server.query_trace().unwrap().events();
+    assert_eq!(events.len(), 3); // 1 of every 2 queries sampled
+    assert!(events.iter().all(|e| e.label == "query" && e.detail == 4));
+}
+
+#[test]
+fn concurrent_ingest_and_query() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    crossbeam::thread::scope(|s| {
+        for provider in 0..8u64 {
+            let server = &server;
+            s.spawn(move |_| {
+                for _ in 0..20 {
+                    server.ingest_batch(&batch(provider, 3));
+                }
+            });
+        }
+        for _ in 0..4 {
+            let server = &server;
+            s.spawn(move |_| {
+                let q = Query::new(0.0, 1000.0, center(), 500.0);
+                for _ in 0..50 {
+                    let _ = server.query(&q, &QueryOptions::default());
+                }
+            });
+        }
+    })
+    .unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.segments, 8 * 20 * 3);
+    assert_eq!(stats.batches, 160);
+    assert_eq!(stats.queries, 200);
+    // Final query sees everything in the window.
+    let q = Query::new(0.0, 1000.0, center(), 500.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    };
+    assert_eq!(server.query(&q, &opts).len(), 480);
+}

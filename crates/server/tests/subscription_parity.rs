@@ -1,0 +1,166 @@
+//! Push/pull parity: a standing query's mailbox must contain exactly the
+//! segments a retrospective pull [`swag_server::CloudServer::query`] over
+//! the same `(Query, QueryOptions)` returns — the two paths share one
+//! compiled plan (boxes + filter chain), so they can only diverge in the
+//! stages the mailbox deliberately skips: ranking and top-N truncation.
+//!
+//! Mailboxes accumulate in arrival order and are unbounded, so the
+//! comparison is order-insensitive and the pull side runs with
+//! `top_n = usize::MAX`; a second check pins the truncation relation
+//! (a finite-top-N pull is a subset of the mailbox).
+
+use proptest::prelude::*;
+use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
+use swag_geo::LatLon;
+use swag_server::{CloudServer, Query, QueryOptions, RankMode, SearchHit, ServerConfig};
+
+fn base() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+fn arb_rep() -> impl Strategy<Value = RepFov> {
+    (
+        -700.0f64..700.0,
+        -700.0f64..700.0,
+        0.0f64..360.0,
+        0.0f64..2400.0,
+        0.5f64..200.0,
+    )
+        .prop_map(|(dx, dy, theta, t0, dur)| {
+            RepFov::new(
+                t0,
+                t0 + dur,
+                Fov::new(base().offset_by(swag_geo::Vec2::new(dx, dy)), theta),
+            )
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        30.0f64..800.0,
+        0.0f64..2000.0,
+        10.0f64..2500.0,
+    )
+        .prop_map(|(dx, dy, r, t0, win)| {
+            Query::new(
+                t0,
+                t0 + win,
+                base().offset_by(swag_geo::Vec2::new(dx, dy)),
+                r,
+            )
+        })
+}
+
+fn arb_opts() -> impl Strategy<Value = QueryOptions> {
+    (
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        0.0f64..25.0,
+    )
+        .prop_map(|(dir, cov, quality, tol)| QueryOptions {
+            top_n: usize::MAX,
+            direction_filter: dir,
+            direction_tolerance_deg: tol,
+            require_coverage: cov,
+            rank: if quality {
+                RankMode::Quality
+            } else {
+                RankMode::Distance
+            },
+        })
+}
+
+/// Canonical order-insensitive key set: hits identified by provenance
+/// with exact distance/quality bit patterns.
+fn keyed(hits: &[SearchHit]) -> Vec<(u64, u64, u32, u64, u64)> {
+    let mut keys: Vec<_> = hits
+        .iter()
+        .map(|h| {
+            (
+                h.source.provider_id,
+                h.source.video_id,
+                h.source.segment_idx,
+                h.distance_m.to_bits(),
+                h.quality.to_bits(),
+            )
+        })
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For arbitrary workloads and filter combinations, the mailbox of a
+    /// subscription registered before ingest equals a retrospective
+    /// untruncated pull query, as a set.
+    #[test]
+    fn mailbox_equals_retrospective_query(
+        reps in prop::collection::vec(arb_rep(), 0..80),
+        q in arb_query(),
+        opts in arb_opts(),
+        publish_threshold in prop_oneof![Just(4usize), Just(1000usize)],
+    ) {
+        let server = CloudServer::with_config(
+            CameraProfile::smartphone(),
+            ServerConfig {
+                shard_width_s: 300.0,
+                publish_threshold,
+                ..ServerConfig::default()
+            },
+        );
+        let sub = server.subscribe(Query::new(q.t_start, q.t_end, q.center, q.radius_m), opts);
+        for (i, chunk) in reps.chunks(7).enumerate() {
+            server.ingest_batch(&UploadBatch {
+                provider_id: i as u64,
+                video_id: 3,
+                reps: chunk.to_vec(),
+            });
+        }
+        let pushed = server.poll_subscription(sub);
+        let pulled = server.query(&q, &opts);
+        prop_assert_eq!(keyed(&pushed), keyed(&pulled));
+
+        // Truncated pulls return a subset of the mailbox contents.
+        let top3 = server.query(&q, &QueryOptions { top_n: 3, ..opts });
+        prop_assert!(top3.len() <= 3);
+        let mailbox_keys = keyed(&pushed);
+        for key in keyed(&top3) {
+            prop_assert!(mailbox_keys.binary_search(&key).is_ok());
+        }
+    }
+}
+
+#[test]
+fn mailbox_is_in_arrival_order_while_pull_is_ranked() {
+    let server = CloudServer::new(CameraProfile::smartphone());
+    let q = Query::new(0.0, 100.0, base(), 200.0);
+    let opts = QueryOptions {
+        top_n: usize::MAX,
+        ..QueryOptions::default()
+    };
+    let sub = server.subscribe(q, opts);
+    // Ingest far-then-near so arrival order and distance order disagree.
+    for (i, dist) in [90.0, 30.0, 60.0].into_iter().enumerate() {
+        server.ingest_batch(&UploadBatch {
+            provider_id: i as u64,
+            video_id: 0,
+            reps: vec![RepFov::new(
+                10.0,
+                20.0,
+                Fov::new(base().offset(180.0, dist), 0.0),
+            )],
+        });
+    }
+    let pushed = server.poll_subscription(sub);
+    let pulled = server.query(&q, &opts);
+    let arrival: Vec<u64> = pushed.iter().map(|h| h.source.provider_id).collect();
+    let ranked: Vec<u64> = pulled.iter().map(|h| h.source.provider_id).collect();
+    assert_eq!(arrival, vec![0, 1, 2], "mailbox keeps ingest order");
+    assert_eq!(ranked, vec![1, 2, 0], "pull ranks nearest first");
+    assert_eq!(keyed(&pushed), keyed(&pulled), "same membership");
+}
