@@ -16,6 +16,7 @@ const BARE_FLAGS: &[&str] = &[
     "--coverage",
     "--quality",
     "--explain",
+    "--once",
 ];
 
 impl ArgParser {

@@ -1,0 +1,313 @@
+//! Shared live-workload harness for `swag serve` and `swag top`.
+//!
+//! Both commands need the same thing the `stats`/`trace` probes build
+//! once: a fully instrumented stack (client segmentation → descriptor
+//! upload → observable server) — but running *continuously*, so the
+//! windowed metrics, SLO burn rates, and the `/metrics` endpoint have a
+//! moving workload to describe. [`LiveStack::build`] wires the stack and
+//! its [`OpsSurface`]; [`LiveStack::drive`] advances the workload one
+//! tick (shifted ingest + a probe query batch, so publishes, retention,
+//! and shard churn all happen over time); [`render_dashboard`] formats
+//! the windowed views as the `swag top` screen.
+
+use std::sync::Arc;
+
+use swag_client::{ClientPipeline, Uploader};
+use swag_core::{CameraProfile, RepFov, UploadBatch};
+use swag_exec::{ExecConfig, Executor};
+use swag_net::{observe_plan, plan_uploads, Connectivity, DataPlan, NetworkLink, UploadPolicy};
+use swag_obs::{
+    labeled_name, Metric, OpsSurface, Registry, SloSpec, SloStatus, WallClock, WindowSpec,
+    WindowView,
+};
+use swag_sensors::{scenarios, SensorNoise};
+use swag_server::{CloudServer, Query, QueryOptions, ServerConfig};
+
+use crate::args::ArgParser;
+
+/// Knobs shared by `swag serve` and `swag top`.
+pub struct LiveConfig {
+    pub seed: u64,
+    pub threads: usize,
+    /// Window width for the metric rings, milliseconds.
+    pub window_millis: u64,
+    /// Query-latency SLO threshold, milliseconds.
+    pub slo_millis: u64,
+}
+
+impl LiveConfig {
+    /// Parses the shared `--seed/--threads/--window-millis/--slo-millis`
+    /// arguments.
+    pub fn from_args(args: &ArgParser) -> Result<LiveConfig, String> {
+        let cfg = LiveConfig {
+            seed: args.get_u64("seed", 42)?,
+            threads: args.get_u64("threads", 2)? as usize,
+            window_millis: args.get_u64("window-millis", 2_000)?,
+            slo_millis: args.get_u64("slo-millis", 5)?,
+        };
+        if cfg.window_millis == 0 {
+            return Err("--window-millis must be positive".into());
+        }
+        if cfg.slo_millis == 0 {
+            return Err("--slo-millis must be positive".into());
+        }
+        Ok(cfg)
+    }
+}
+
+/// The instrumented stack both live commands drive.
+pub struct LiveStack {
+    pub registry: Arc<Registry>,
+    pub surface: Arc<OpsSurface>,
+    pub server: Arc<CloudServer>,
+    /// Representative FoVs of the base recording; re-ingested
+    /// time-shifted every few ticks to keep publishes/retention moving.
+    reps: Vec<RepFov>,
+    probes: Vec<Query>,
+    threads: usize,
+}
+
+/// Seconds of paper time each drive tick advances the workload.
+const TICK_SHIFT_S: f64 = 60.0;
+
+impl LiveStack {
+    /// Builds the instrumented probe stack and its ops surface.
+    pub fn build(cfg: &LiveConfig) -> Result<LiveStack, String> {
+        let cam = CameraProfile::smartphone();
+        let registry = Arc::new(Registry::new());
+
+        // Client layer: segment a simulated city recording.
+        let trace = scenarios::city_walk(cfg.seed, 3, &SensorNoise::smartphone());
+        let mut pipeline = ClientPipeline::new(cam, 0.5)
+            .with_smoothing(0.15)
+            .with_observability(&registry);
+        for &frame in &trace {
+            pipeline.push(frame);
+        }
+        let recording = pipeline.finish();
+        if recording.reps.is_empty() {
+            return Err("probe workload produced no segments".into());
+        }
+
+        // Upload layer: encode descriptors and plan their transmission.
+        let mut uploader = Uploader::new(0);
+        uploader.attach_observability(&registry);
+        let (wire, batch) = uploader
+            .upload(recording.reps.clone())
+            .map_err(|e| e.to_string())?;
+        let uploads = [(30.0, wire.len()), (400.0, wire.len())];
+        let plan = plan_uploads(
+            UploadPolicy::WifiPreferred { max_delay_s: 300.0 },
+            &Connectivity::new(vec![(0.0, 60.0), (900.0, 1800.0)]),
+            &uploads,
+            &NetworkLink::cellular_4g(),
+            &NetworkLink::wifi(),
+            &DataPlan::metered(),
+        );
+        observe_plan(&plan, &uploads, &registry);
+
+        // Server layer: small publish threshold and a retention horizon,
+        // so the shifted re-ingest keeps the snapshot lifecycle active.
+        let mut server = CloudServer::with_config(
+            cam,
+            ServerConfig {
+                publish_threshold: 64,
+                retention_horizon_s: Some(1_800.0),
+                ..ServerConfig::default()
+            },
+        );
+        server.set_executor(if cfg.threads <= 1 {
+            Executor::serial()
+        } else {
+            Executor::new(ExecConfig::with_threads(cfg.threads))
+        });
+        server.attach_observability(&registry);
+        server.ingest_batch(&batch);
+        let server = Arc::new(server);
+
+        let probes: Vec<Query> = recording
+            .reps
+            .iter()
+            .map(|rep| Query::new(rep.t_start - 5.0, rep.t_end + 5.0, rep.fov.p, 150.0))
+            .collect();
+
+        let surface = Arc::new(OpsSurface::new(
+            registry.clone(),
+            Arc::new(WallClock),
+            WindowSpec::new(cfg.window_millis * 1_000, 30),
+        ));
+        surface.add_slo(SloSpec::latency(
+            "query_latency",
+            "swag_server_query_micros",
+            cfg.slo_millis * 1_000,
+            0.99,
+        ));
+        surface.add_slo(SloSpec::latency(
+            "exec_queue_wait",
+            "swag_exec_queue_wait_micros",
+            1_000,
+            0.95,
+        ));
+        let gauges_server = server.clone();
+        surface.add_refresher(move |reg| gauges_server.refresh_gauges(reg));
+
+        Ok(LiveStack {
+            registry,
+            surface,
+            server,
+            reps: recording.reps,
+            probes,
+            threads: cfg.threads,
+        })
+    }
+
+    /// Advances the workload one tick: every few ticks a time-shifted
+    /// copy of the recording is ingested as a new provider (advancing
+    /// paper time so publishes fire and retention eventually expires old
+    /// shards), then the probe queries run as one batch, time-shifted
+    /// the same way so they chase the freshest shards.
+    pub fn drive(&self, tick: u64) {
+        let shift = (tick / 4) as f64 * TICK_SHIFT_S;
+        if tick.is_multiple_of(4) {
+            let reps: Vec<RepFov> = self
+                .reps
+                .iter()
+                .map(|r| RepFov::new(r.t_start + shift, r.t_end + shift, r.fov))
+                .collect();
+            self.server.ingest_batch(&UploadBatch {
+                provider_id: 1_000 + tick / 4,
+                video_id: 0,
+                reps,
+            });
+        }
+        let probes: Vec<Query> = self
+            .probes
+            .iter()
+            .map(|q| Query::new(q.t_start + shift, q.t_end + shift, q.center, q.radius_m))
+            .collect();
+        self.server
+            .query_batch(&probes, &QueryOptions::default(), self.threads);
+    }
+}
+
+/// Events per second of a windowed view, `None`-safe.
+fn rate(view: &Option<WindowView>) -> f64 {
+    view.as_ref().map_or(0.0, WindowView::rate_per_s)
+}
+
+/// Windowed p50/p99 of a histogram view, as `(p50, p99)`.
+fn quantiles(view: &Option<WindowView>) -> (u64, u64) {
+    view.as_ref()
+        .and_then(|v| v.sample.histogram())
+        .map_or((0, 0), |h| (h.p50(), h.p99()))
+}
+
+/// Sum per second carried by a windowed histogram view (e.g. rows/s).
+fn sum_rate(view: &Option<WindowView>) -> f64 {
+    match view {
+        Some(v) if v.span_micros > 0 => {
+            let sum = v.sample.histogram().map_or(0, |h| h.sum);
+            sum as f64 / (v.span_micros as f64 / 1e6)
+        }
+        _ => 0.0,
+    }
+}
+
+fn gauge(registry: &Registry, name: &str) -> i64 {
+    match registry.get(name) {
+        Some(Metric::Gauge(g)) => g.get(),
+        _ => 0,
+    }
+}
+
+/// Renders the `swag top` screen from the surface's windowed views and
+/// the latest SLO evaluations.
+pub fn render_dashboard(stack: &LiveStack, statuses: &[SloStatus]) -> String {
+    let windows = stack.surface.windows();
+    let view = |name: &str| windows.view(name, usize::MAX);
+    let spec = windows.spec();
+    let mut out = String::new();
+
+    let q = view("swag_server_query_micros");
+    let (q50, q99) = quantiles(&q);
+    out.push_str(&format!(
+        "swag top — live ops surface   window {:.1}s x {}   rotations {}\n",
+        spec.width_micros as f64 / 1e6,
+        spec.capacity,
+        windows.rotations(),
+    ));
+    out.push_str(&format!(
+        "queries {:>8.1}/s   p50 {q50} us   p99 {q99} us   hits index {:.1}/s delta {:.1}/s\n",
+        rate(&q),
+        rate(&view(&labeled_name(
+            "swag_server_hits_total",
+            &[("src", "index")]
+        ))),
+        rate(&view(&labeled_name(
+            "swag_server_hits_total",
+            &[("src", "delta")]
+        ))),
+    ));
+    out.push_str(&format!(
+        "epoch age {} us   staged delta {}   compiled plans {}   shards {}\n\n",
+        gauge(&stack.registry, "swag_server_epoch_age_micros"),
+        gauge(&stack.registry, "swag_server_staged_delta"),
+        gauge(&stack.registry, "swag_server_compiled_plans"),
+        stack.server.stats().shards,
+    ));
+
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>9} {:>9} {:>12} {:>12}\n",
+        "operator", "rate/s", "p50 us", "p99 us", "rows_in/s", "rows_out/s"
+    ));
+    for op in ["index_scan", "delta_scan", "ranking"] {
+        let micros = view(&labeled_name("swag_server_op_micros", &[("op", op)]));
+        let (p50, p99) = quantiles(&micros);
+        out.push_str(&format!(
+            "{op:<12} {:>10.1} {p50:>9} {p99:>9} {:>12.0} {:>12.0}\n",
+            rate(&micros),
+            sum_rate(&view(&labeled_name(
+                "swag_server_op_rows_in",
+                &[("op", op)]
+            ))),
+            sum_rate(&view(&labeled_name(
+                "swag_server_op_rows_out",
+                &[("op", op)]
+            ))),
+        ));
+    }
+    let (shards50, shards99) = quantiles(&view("swag_server_shards_probed"));
+    out.push_str(&format!(
+        "shards probed per query: p50 {shards50} p99 {shards99}\n\n"
+    ));
+
+    let (qw50, qw99) = quantiles(&view("swag_exec_queue_wait_micros"));
+    let (sw50, sw99) = quantiles(&view("swag_exec_steal_wait_micros"));
+    out.push_str(&format!(
+        "executor  tasks {:>8.1}/s  steals {:>6.1}/s  queue_wait p50/p99 {qw50}/{qw99} us  steal_wait {sw50}/{sw99} us\n",
+        rate(&view("swag_exec_tasks_total")),
+        rate(&view("swag_exec_steals_total")),
+    ));
+    let (rb50, rb99) = quantiles(&view("swag_server_snapshot_rebuild_micros"));
+    out.push_str(&format!(
+        "publish   {:>8.2}/s  rebuild p50/p99 {rb50}/{rb99} us  retention dropped {:.1}/s  ingested {:.1}/s\n\n",
+        rate(&view("swag_server_publishes_total")),
+        rate(&view("swag_server_retention_dropped_total")),
+        rate(&view("swag_server_segments_ingested_total")),
+    ));
+
+    for s in statuses {
+        out.push_str(&format!(
+            "slo {:<16} {:<8} burn short {:>7.2}x long {:>7.2}x  ({}/{} good, objective {:.0}% <= {} us)\n",
+            s.spec.name,
+            s.state.as_str(),
+            s.short.burn,
+            s.long.burn,
+            s.long.good,
+            s.long.total,
+            s.spec.objective * 100.0,
+            s.spec.threshold_micros,
+        ));
+    }
+    out
+}

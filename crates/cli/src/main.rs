@@ -23,6 +23,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod live;
 
 use args::ArgParser;
 
@@ -45,6 +46,8 @@ fn main() -> ExitCode {
         "trace" => commands::trace(parser),
         "export" => commands::export(parser),
         "simplify" => commands::simplify(parser),
+        "serve" => commands::serve(parser),
+        "top" => commands::top(parser),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -82,6 +85,10 @@ USAGE:
                 [--slow-micros US] [--chrome FILE]
   swag export   --in TRACE.csv --geojson FILE
   swag simplify --in TRACE.csv --tolerance M --out FILE
+  swag serve    [--metrics-addr ADDR] [--duration SECS] [--seed N]
+                [--threads N] [--window-millis MS] [--slo-millis MS]
+  swag top      [--once] [--iterations N] [--interval-millis MS] [--seed N]
+                [--threads N] [--window-millis MS] [--slo-millis MS]
   swag help
 
 Traces are CSV: 't,lat,lng,theta'. Snapshots are binary server state.";

@@ -333,3 +333,96 @@ fn simplify_reduces_clean_bike_trace_to_corners() {
     // A clean L-shaped ride collapses to start, corner, end.
     assert_eq!(simplified.lines().count(), 1 + 3);
 }
+
+#[test]
+fn top_once_renders_dashboard() {
+    let out = swag(&["top", "--once", "--window-millis", "200", "--threads", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("live ops surface"), "{text}");
+    for op in ["index_scan", "delta_scan", "ranking"] {
+        assert!(text.contains(op), "missing operator row {op}:\n{text}");
+    }
+    assert!(text.contains("slo query_latency"), "{text}");
+    assert!(text.contains("slo exec_queue_wait"), "{text}");
+    // A single --once frame is plain text for scripts: no ANSI clears.
+    assert!(!text.contains('\x1b'), "once frame must not clear screen");
+}
+
+#[test]
+fn serve_binds_ephemeral_port_and_serves_metrics() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_swag"))
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--duration",
+            "30",
+            "--window-millis",
+            "200",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve starts");
+
+    // The address line is printed (and flushed) before the load loop.
+    let mut stdout = child.stdout.take().unwrap();
+    let addr = {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while stdout.read(&mut byte).unwrap_or(0) == 1 {
+            if byte[0] == b'\n' {
+                break;
+            }
+            buf.push(byte[0]);
+        }
+        let line = String::from_utf8_lossy(&buf).to_string();
+        let addr = line
+            .rsplit("http://")
+            .next()
+            .expect("address line")
+            .trim()
+            .to_string();
+        assert!(
+            line.contains("metrics endpoint listening on"),
+            "unexpected first line: {line}"
+        );
+        addr
+    };
+
+    // Give the workload a few window widths to accumulate, then scrape.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let metrics = http_get(&addr, "/metrics");
+    assert!(metrics.contains("# TYPE swag_server_op_micros histogram"));
+    assert!(metrics.contains("swag_server_op_micros_bucket{op=\"index_scan\""));
+    assert!(metrics.contains("swag_exec_queue_wait_micros_count"));
+    // Windowed exports appear once at least one window has rotated.
+    assert!(
+        metrics.contains("_w_p99"),
+        "expected windowed p99 gauges in:\n{metrics}"
+    );
+    let health = http_get(&addr, "/healthz");
+    assert!(health.contains("ok uptime_micros="), "{health}");
+
+    child.kill().expect("stop serve");
+    let _ = child.wait();
+}
+
+/// Minimal HTTP GET returning the response body.
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => response,
+    }
+}

@@ -16,6 +16,10 @@ use parking_lot::Mutex;
 pub(crate) struct JobRef {
     data: *const (),
     execute_fn: unsafe fn(*const ()),
+    /// Submission timestamp for queue-wait accounting; 0 when the pool
+    /// has no observability attached (the disabled path never reads the
+    /// clock).
+    enqueued_micros: u64,
 }
 
 // SAFETY: a JobRef is only ever created for job types whose execute
@@ -34,12 +38,23 @@ impl JobRef {
         JobRef {
             data: data.cast(),
             execute_fn,
+            enqueued_micros: 0,
         }
     }
 
     /// The raw descriptor pointer (identity for `join`'s un-steal check).
     pub(crate) fn data(&self) -> *const () {
         self.data
+    }
+
+    /// Stamps the submission time (instrumented pools only).
+    pub(crate) fn stamp_enqueued(&mut self, micros: u64) {
+        self.enqueued_micros = micros;
+    }
+
+    /// The submission timestamp, or 0 when never stamped.
+    pub(crate) fn enqueued_micros(&self) -> u64 {
+        self.enqueued_micros
     }
 
     /// Runs the job.

@@ -16,7 +16,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use swag_obs::{Counter, Histogram, Registry};
+use swag_obs::{Counter, Histogram, MonotonicClock, Registry, WallClock};
 
 use crate::job::JobRef;
 use crate::latch::CountLatch;
@@ -39,14 +39,29 @@ pub(crate) struct ExecObs {
     tasks: Arc<Counter>,
     steals: Arc<Counter>,
     queue_depth: Arc<Histogram>,
+    /// Submit-to-dequeue latency for every task that left a queue.
+    queue_wait: Arc<Histogram>,
+    /// Same latency, but only for tasks dequeued by stealing — how stale
+    /// cross-worker work is when it finally runs.
+    steal_wait: Arc<Histogram>,
 }
 
 impl ExecObs {
     pub(crate) fn new(registry: &Registry) -> Self {
+        registry.set_help(
+            "swag_exec_queue_wait_micros",
+            "Submit-to-dequeue latency per executor task.",
+        );
+        registry.set_help(
+            "swag_exec_steal_wait_micros",
+            "Submit-to-dequeue latency for stolen tasks only.",
+        );
         ExecObs {
             tasks: registry.counter("swag_exec_tasks_total"),
             steals: registry.counter("swag_exec_steals_total"),
             queue_depth: registry.histogram("swag_exec_queue_depth"),
+            queue_wait: registry.histogram("swag_exec_queue_wait_micros"),
+            steal_wait: registry.histogram("swag_exec_steal_wait_micros"),
         }
     }
 }
@@ -107,8 +122,14 @@ impl Pool {
 
     /// Enqueues a job: onto the submitting worker's own deque when called
     /// from inside the pool, else onto the shared injector.
-    pub(crate) fn submit(&self, job: JobRef) {
+    pub(crate) fn submit(&self, mut job: JobRef) {
         self.tasks.fetch_add(1, Ordering::Relaxed);
+        // Stamp only when instrumented: the disabled path never reads
+        // the clock. Clamped to ≥1 so a stamp of 0 always means
+        // "submitted before observability was attached".
+        if self.obs.get().is_some() {
+            job.stamp_enqueued(WallClock.now_micros().max(1));
+        }
         let depth = match self.me() {
             Some(idx) => {
                 let mut q = self.locals[idx].lock();
@@ -146,11 +167,11 @@ impl Pool {
     fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
         if let Some(idx) = me {
             if let Some(job) = self.locals[idx].lock().pop_back() {
-                return Some(job);
+                return Some(self.note_dequeue(job, false));
             }
         }
         if let Some(job) = self.injector.lock().pop_front() {
-            return Some(job);
+            return Some(self.note_dequeue(job, false));
         }
         let n = self.locals.len();
         let start = me.map_or(0, |idx| idx + 1);
@@ -164,10 +185,26 @@ impl Pool {
                 if let Some(obs) = self.obs.get() {
                     obs.steals.inc();
                 }
-                return Some(job);
+                return Some(self.note_dequeue(job, true));
             }
         }
         None
+    }
+
+    /// Records queue-wait (and, for steals, steal-wait) for a dequeued
+    /// job. Jobs submitted before observability was attached carry no
+    /// stamp and are skipped.
+    fn note_dequeue(&self, job: JobRef, stolen: bool) -> JobRef {
+        if let Some(obs) = self.obs.get() {
+            if job.enqueued_micros() > 0 {
+                let wait = WallClock.now_micros().saturating_sub(job.enqueued_micros());
+                obs.queue_wait.record(wait);
+                if stolen {
+                    obs.steal_wait.record(wait);
+                }
+            }
+        }
+        job
     }
 
     /// Blocks until `latch` is set, executing pool work while waiting.

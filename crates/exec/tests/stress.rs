@@ -112,3 +112,35 @@ fn pool_survives_repeated_panics() {
         assert_eq!(ok.len(), 32);
     }
 }
+
+/// Queue-wait instrumentation: once observability is attached, every
+/// task that crosses a queue records its submit-to-dequeue latency, and
+/// stolen tasks additionally land in the steal-wait histogram.
+#[test]
+fn queue_wait_metrics_record_per_task_latency() {
+    let reg = swag_obs::Registry::new();
+    let exec = Executor::new(ExecConfig::with_threads(3));
+    exec.attach_observability(&reg);
+    let items: Vec<usize> = (0..512).collect();
+    for _ in 0..4 {
+        let out = exec.par_map(&items, |&x| x.wrapping_mul(3));
+        assert_eq!(out.len(), 512);
+    }
+    let wait = reg.histogram("swag_exec_queue_wait_micros").snapshot();
+    assert!(wait.count > 0, "no queue waits recorded");
+    // Every stolen task's wait is also a queue wait.
+    let steal = reg.histogram("swag_exec_steal_wait_micros").snapshot();
+    assert!(steal.count <= wait.count);
+    assert_eq!(steal.count, reg.counter("swag_exec_steals_total").get());
+}
+
+/// The serial executor records no queue metrics: nothing is enqueued.
+#[test]
+fn serial_executor_records_no_queue_waits() {
+    let reg = swag_obs::Registry::new();
+    let exec = Executor::serial();
+    exec.attach_observability(&reg);
+    let items: Vec<usize> = (0..64).collect();
+    exec.par_map(&items, |&x| x + 1);
+    assert!(reg.get("swag_exec_queue_wait_micros").is_none());
+}

@@ -1,0 +1,291 @@
+//! Minimal embedded HTTP/1.0 responder for the ops surface.
+//!
+//! This is deliberately the smallest server that can satisfy `curl` and
+//! a Prometheus scraper: blocking `std::net` sockets on one
+//! `std::thread` acceptor (swag-obs sits *below* `swag-exec` in the
+//! dependency order, so the pool is not available here), HTTP/1.0
+//! semantics (`Connection: close`, explicit `Content-Length`, no
+//! keep-alive, no chunking), GET/HEAD only. Routing lives in the
+//! injected handler; this module only speaks the wire format.
+//!
+//! It is also the first real socket the codebase opens — a stepping
+//! stone to the networked `swagd` of ROADMAP item 1, kept small enough
+//! to throw away when that lands.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest request head (request line + headers) we will buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long the acceptor sleeps between polls when idle, and the
+/// per-connection socket read/write timeout.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// One response from the route handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A plain-text `404 Not Found`.
+    pub fn not_found() -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "not found\n".to_string(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Route handler: path (without query string) → response, or `None` for
+/// a 404.
+pub type Handler = Arc<dyn Fn(&str) -> Option<Response> + Send + Sync>;
+
+/// A running embedded HTTP server. Dropping it stops the acceptor.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `handler` on a background thread until [`stop`] or drop.
+    ///
+    /// [`stop`]: HttpServer::stop
+    pub fn serve(addr: &str, handler: Handler) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("swag-obs-http".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: the ops surface is a
+                            // single-operator diagnostic port, not a
+                            // fan-in front end; one connection at a time
+                            // keeps this free of thread churn.
+                            let _ = handle_connection(stream, &handler);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                        }
+                        Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor and joins its thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, handler: &Handler) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = read_head(&mut stream)?;
+    let response = match parse_request_line(&head) {
+        Some(("GET" | "HEAD", path)) => handler(path).unwrap_or_else(Response::not_found),
+        Some(_) => Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "method not allowed\n".to_string(),
+        },
+        None => Response {
+            status: 400,
+            content_type: "text/plain; charset=utf-8",
+            body: "bad request\n".to_string(),
+        },
+    };
+    let head_only = matches!(parse_request_line(&head), Some(("HEAD", _)));
+    write_response(&mut stream, &response, head_only)
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            // A slow client that sent a complete head already is fine.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Parses `METHOD /path[?query] HTTP/x.y` into `(method, path)`.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, head_only: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    if !head_only {
+        stream.write_all(response.body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handler() -> Handler {
+        Arc::new(|path: &str| match path {
+            "/hello" => Some(Response::ok(
+                "text/plain; charset=utf-8",
+                "hi\n".to_string(),
+            )),
+            _ => None,
+        })
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_routes_and_404s() {
+        let mut server = HttpServer::serve("127.0.0.1:0", handler()).unwrap();
+        let addr = server.addr();
+        let ok = roundtrip(addr, "GET /hello HTTP/1.0\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Length: 3\r\n"));
+        assert!(ok.ends_with("\r\n\r\nhi\n"));
+        let missing = roundtrip(addr, "GET /nope HTTP/1.0\r\n\r\n");
+        assert!(
+            missing.starts_with("HTTP/1.0 404 Not Found\r\n"),
+            "{missing}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let server = HttpServer::serve("127.0.0.1:0", handler()).unwrap();
+        let ok = roundtrip(server.addr(), "GET /hello?x=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+    }
+
+    #[test]
+    fn head_omits_the_body_but_keeps_the_length() {
+        let server = HttpServer::serve("127.0.0.1:0", handler()).unwrap();
+        let out = roundtrip(server.addr(), "HEAD /hello HTTP/1.0\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.0 200 OK\r\n"), "{out}");
+        assert!(out.contains("Content-Length: 3\r\n"));
+        assert!(out.ends_with("\r\n\r\n"), "no body after the head: {out:?}");
+    }
+
+    #[test]
+    fn non_get_is_rejected_not_crashed() {
+        let server = HttpServer::serve("127.0.0.1:0", handler()).unwrap();
+        let out = roundtrip(server.addr(), "POST /hello HTTP/1.0\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.0 405 "), "{out}");
+        let out = roundtrip(server.addr(), "garbage\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.0 400 "), "{out}");
+    }
+
+    #[test]
+    fn stop_joins_the_acceptor_and_frees_the_port() {
+        let mut server = HttpServer::serve("127.0.0.1:0", handler()).unwrap();
+        let addr = server.addr();
+        server.stop();
+        // Stopped server no longer accepts; rebinding the port works.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after stop");
+    }
+}

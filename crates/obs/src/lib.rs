@@ -29,24 +29,32 @@
 mod chrome;
 mod clock;
 mod ctx;
+mod http;
 mod metrics;
 mod percentiles;
 mod recorder;
 mod registry;
+mod slo;
 mod span;
+mod surface;
 mod trace;
 mod tree;
+mod window;
 
 pub use chrome::chrome_trace_json;
 pub use clock::{ManualClock, MonotonicClock, WallClock};
 pub use ctx::TraceCtx;
+pub use http::{Handler, HttpServer, Response};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use percentiles::Percentiles;
 pub use recorder::{
     FlightRecorder, SlowQuery, SpanEvent, SpanEventKind, SpanGuard, DEFAULT_RING_CAPACITY,
     DEFAULT_SLOW_CAPACITY,
 };
-pub use registry::{escape_help, escape_label_value, Metric, Registry};
+pub use registry::{escape_help, escape_label_value, labeled_name, Metric, Registry};
+pub use slo::{SloBurn, SloSet, SloSpec, SloState, SloStatus};
 pub use span::SpanTimer;
+pub use surface::OpsSurface;
 pub use trace::{Trace, TraceEvent};
 pub use tree::{assemble, render_waterfall, SpanNode, SpanTree};
+pub use window::{MetricWindows, Sample, Window, WindowRing, WindowSpec, WindowView};

@@ -49,6 +49,57 @@ pub fn escape_help(text: &str) -> String {
     out
 }
 
+/// Builds the canonical registry name of a **labeled** metric:
+/// `family{key="value",...}` with label values escaped. Two call sites
+/// naming the same family and labels therefore share one handle, and the
+/// exporters render every member of a family under a single
+/// `# TYPE`/`# HELP` header (histograms splice the labels next to `le`).
+///
+/// Label *keys* must be plain identifiers (letters, digits, `_`); values
+/// may be arbitrary and are escaped.
+///
+/// ```
+/// use swag_obs::labeled_name;
+/// assert_eq!(
+///     labeled_name("swag_op_micros", &[("op", "index_scan")]),
+///     "swag_op_micros{op=\"index_scan\"}"
+/// );
+/// ```
+pub fn labeled_name(family: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(
+        !family.contains('{') && !labels.is_empty(),
+        "labeled_name takes a bare family plus at least one label"
+    );
+    let mut out = String::with_capacity(family.len() + 16 * labels.len());
+    out.push_str(family);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        debug_assert!(
+            k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "label key {k:?} must be an identifier"
+        );
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a registry name into `(family, labels)` — the inverse of
+/// [`labeled_name`]. Bare names return `(name, None)`; the label part is
+/// returned *with* its braces stripped (`op="index_scan"`).
+pub(crate) fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(open) if name.ends_with('}') => (&name[..open], Some(&name[open + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
 /// Escapes a label value for the Prometheus text exposition: `\` → `\\`,
 /// `"` → `\"`, and line feed → `\n` — the three characters that would
 /// otherwise terminate the quoted value or the line early.
@@ -166,37 +217,72 @@ impl Registry {
         self.len() == 0
     }
 
-    /// Renders the Prometheus text exposition format.
+    /// Renders the Prometheus text exposition format. Members of a
+    /// labeled family (names built by [`labeled_name`]) are emitted under
+    /// one `# TYPE`/`# HELP` header; `# HELP` resolves through the full
+    /// name first, then the bare family, so one `set_help` call covers
+    /// every label combination.
     pub fn render_prometheus(&self) -> String {
         let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
         let help = self.help.read().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
+        let mut headed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
         for (name, metric) in metrics.iter() {
-            if let Some(text) = help.get(name) {
-                out.push_str(&format!("# HELP {name} {}\n", escape_help(text)));
+            let (family, labels) = split_labels(name);
+            if headed.insert(family) {
+                if let Some(text) = help.get(name).or_else(|| help.get(family)) {
+                    out.push_str(&format!("# HELP {family} {}\n", escape_help(text)));
+                }
+                out.push_str(&format!("# TYPE {family} {}\n", kind(metric)));
+            }
+            // `series!(suffix, extra-label)` renders one sample line of
+            // this family member, splicing its labels back in.
+            macro_rules! series {
+                ($suffix:expr, $extra:expr, $value:expr) => {{
+                    let extra: &str = $extra;
+                    out.push_str(family);
+                    out.push_str($suffix);
+                    match (labels, extra.is_empty()) {
+                        (None, true) => {}
+                        (None, false) => {
+                            out.push('{');
+                            out.push_str(extra);
+                            out.push('}');
+                        }
+                        (Some(l), true) => {
+                            out.push('{');
+                            out.push_str(l);
+                            out.push('}');
+                        }
+                        (Some(l), false) => {
+                            out.push('{');
+                            out.push_str(l);
+                            out.push(',');
+                            out.push_str(extra);
+                            out.push('}');
+                        }
+                    }
+                    out.push_str(&format!(" {}\n", $value));
+                }};
             }
             match metric {
-                Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
-                }
-                Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
-                }
+                Metric::Counter(c) => series!("", "", c.get()),
+                Metric::Gauge(g) => series!("", "", g.get()),
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
                     let mut cumulative = 0u64;
                     let top = highest_used_bucket(&snap.buckets);
                     for (i, &n) in snap.buckets.iter().enumerate().take(top + 1) {
                         cumulative += n;
-                        out.push_str(&format!(
-                            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        let le = format!(
+                            "le=\"{}\"",
                             escape_label_value(&Histogram::bucket_bound(i).to_string())
-                        ));
+                        );
+                        series!("_bucket", le.as_str(), cumulative);
                     }
-                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
-                    out.push_str(&format!("{name}_sum {}\n", snap.sum));
-                    out.push_str(&format!("{name}_count {}\n", snap.count));
+                    series!("_bucket", "le=\"+Inf\"", snap.count);
+                    series!("_sum", "", snap.sum);
+                    series!("_count", "", snap.count);
                 }
             }
         }
@@ -208,6 +294,7 @@ impl Registry {
         let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
         for (name, metric) in metrics.iter() {
+            let name = json_escape(name);
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!(
@@ -232,6 +319,22 @@ impl Registry {
         }
         out
     }
+}
+
+/// Escapes a string for embedding in a JSON string literal (labeled
+/// metric names contain `"`).
+pub(crate) fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn kind(metric: &Metric) -> &'static str {
@@ -360,6 +463,71 @@ mod tests {
         assert_eq!(escape_label_value("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
         assert_eq!(escape_help("plain"), "plain");
         assert_eq!(escape_label_value(""), "");
+    }
+
+    #[test]
+    fn labeled_name_escapes_values() {
+        assert_eq!(
+            labeled_name("swag_op", &[("op", "index_scan"), ("shard", "3")]),
+            "swag_op{op=\"index_scan\",shard=\"3\"}"
+        );
+        assert_eq!(
+            labeled_name("swag_op", &[("op", "a\"b\\c")]),
+            "swag_op{op=\"a\\\"b\\\\c\"}"
+        );
+        assert_eq!(
+            split_labels("swag_op{op=\"x\"}"),
+            ("swag_op", Some("op=\"x\""))
+        );
+        assert_eq!(split_labels("swag_op"), ("swag_op", None));
+    }
+
+    #[test]
+    fn labeled_family_renders_under_one_header() {
+        let reg = Registry::new();
+        reg.counter(&labeled_name("swag_hits_total", &[("src", "index")]))
+            .add(3);
+        reg.counter(&labeled_name("swag_hits_total", &[("src", "delta")]))
+            .add(1);
+        reg.set_help("swag_hits_total", "Hits by origin.");
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE swag_hits_total counter").count(),
+            1,
+            "one TYPE header for the whole family: {text}"
+        );
+        assert_eq!(text.matches("# HELP swag_hits_total").count(), 1);
+        assert!(text.contains("swag_hits_total{src=\"index\"} 3"));
+        assert!(text.contains("swag_hits_total{src=\"delta\"} 1"));
+    }
+
+    #[test]
+    fn labeled_histogram_splices_le_after_labels() {
+        let reg = Registry::new();
+        let h = reg.histogram(&labeled_name("swag_op_micros", &[("op", "ranking")]));
+        h.record(3);
+        h.record(100);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE swag_op_micros histogram"));
+        assert!(text.contains("swag_op_micros_bucket{op=\"ranking\",le=\"+Inf\"} 2"));
+        assert!(text.contains("swag_op_micros_sum{op=\"ranking\"} 103"));
+        assert!(text.contains("swag_op_micros_count{op=\"ranking\"} 2"));
+        // Cumulative buckets are still non-decreasing.
+        let cums: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("swag_op_micros_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn labeled_names_render_as_valid_json() {
+        let reg = Registry::new();
+        reg.counter(&labeled_name("swag_hits_total", &[("src", "index")]))
+            .inc();
+        let text = reg.render_json();
+        assert!(text.contains("\"name\":\"swag_hits_total{src=\\\"index\\\"}\""));
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Declarative latency SLOs with multi-window burn-rate state.
+//!
+//! An [`SloSpec`] states an objective over a latency histogram: "at
+//! least `objective` of observations must be at or below
+//! `threshold_micros`". Evaluation runs entirely over the windowed views
+//! of [`MetricWindows`](crate::MetricWindows) — never over cumulative
+//! state — so an incident burns the budget *now*, not averaged against
+//! hours of healthy history.
+//!
+//! The burn rate is the SRE-book quantity: `bad_fraction / error_budget`
+//! where `error_budget = 1 − objective`. A service exactly meeting its
+//! objective burns at 1.0; a 99%-objective service failing every request
+//! burns at 100. Each objective is judged over **two** horizons — a
+//! short view (the newest window: "is it on fire now?") and a long view
+//! (all retained windows: "has it been burning for a while?") — and the
+//! exported state escalates only when *both* agree, the standard
+//! multi-window guard against paging on a single noisy window:
+//!
+//! * [`SloState::Page`] — both burns ≥ `page_burn` (default 10×),
+//! * [`SloState::Warning`] — both burns ≥ `warn_burn` (default 2×),
+//! * [`SloState::Ok`] — otherwise (including "no traffic").
+//!
+//! [`SloSet::export_gauges`] mirrors every evaluation into the registry
+//! (`swag_slo_burn_milli{slo=...,horizon=...}` and
+//! `swag_slo_state{slo=...}`), so `/metrics` scrapes carry the same
+//! verdicts the `/slo` endpoint serves as JSON.
+
+use crate::registry::{json_escape, labeled_name, Registry};
+use crate::window::MetricWindows;
+
+/// One latency objective over a histogram metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective id (label value on exported gauges).
+    pub name: String,
+    /// Registry name of the latency histogram to judge.
+    pub metric: String,
+    /// Observations at or below this are "good" (bucket resolution).
+    pub threshold_micros: u64,
+    /// Required good fraction, in `(0, 1)` — e.g. `0.99`.
+    pub objective: f64,
+}
+
+impl SloSpec {
+    /// A latency objective: `objective` of `metric`'s observations must
+    /// be ≤ `threshold_micros`.
+    ///
+    /// # Panics
+    /// Panics unless `objective` lies strictly inside `(0, 1)`.
+    pub fn latency(name: &str, metric: &str, threshold_micros: u64, objective: f64) -> Self {
+        assert!(
+            objective > 0.0 && objective < 1.0,
+            "objective must be in (0, 1), got {objective}"
+        );
+        SloSpec {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            threshold_micros,
+            objective,
+        }
+    }
+}
+
+/// Escalation state of one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloState {
+    /// Within budget (or no traffic).
+    Ok,
+    /// Burning the budget faster than sustainable on both horizons.
+    Warning,
+    /// Burning fast enough to exhaust the budget imminently.
+    Page,
+}
+
+impl SloState {
+    /// Stable numeric encoding for the `swag_slo_state` gauge.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            SloState::Ok => 0,
+            SloState::Warning => 1,
+            SloState::Page => 2,
+        }
+    }
+
+    /// Lower-case label (`ok`/`warning`/`page`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warning => "warning",
+            SloState::Page => "page",
+        }
+    }
+}
+
+impl std::fmt::Display for SloState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Burn measurement over one horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloBurn {
+    /// Observations in the horizon.
+    pub total: u64,
+    /// Observations at or below the threshold.
+    pub good: u64,
+    /// `bad_fraction / error_budget`; 0 with no traffic.
+    pub burn: f64,
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The objective judged.
+    pub spec: SloSpec,
+    /// Newest-window horizon.
+    pub short: SloBurn,
+    /// All-retained-windows horizon.
+    pub long: SloBurn,
+    /// Escalation verdict.
+    pub state: SloState,
+}
+
+/// A set of objectives plus the escalation thresholds they share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSet {
+    specs: Vec<SloSpec>,
+    /// Both horizons ≥ this burn → [`SloState::Warning`].
+    pub warn_burn: f64,
+    /// Both horizons ≥ this burn → [`SloState::Page`].
+    pub page_burn: f64,
+}
+
+impl Default for SloSet {
+    fn default() -> Self {
+        SloSet {
+            specs: Vec::new(),
+            warn_burn: 2.0,
+            page_burn: 10.0,
+        }
+    }
+}
+
+impl SloSet {
+    /// An empty set with default escalation thresholds (warn 2×, page
+    /// 10×).
+    pub fn new() -> Self {
+        SloSet::default()
+    }
+
+    /// Adds an objective.
+    pub fn push(&mut self, spec: SloSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The registered objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Judges every objective against the current windowed views.
+    pub fn evaluate(&self, windows: &MetricWindows) -> Vec<SloStatus> {
+        self.specs
+            .iter()
+            .map(|spec| {
+                let short = burn_over(windows, spec, 1);
+                let long = burn_over(windows, spec, usize::MAX);
+                let state = if short.burn >= self.page_burn && long.burn >= self.page_burn {
+                    SloState::Page
+                } else if short.burn >= self.warn_burn && long.burn >= self.warn_burn {
+                    SloState::Warning
+                } else {
+                    SloState::Ok
+                };
+                SloStatus {
+                    spec: spec.clone(),
+                    short,
+                    long,
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    /// Mirrors evaluations into `registry`:
+    /// `swag_slo_burn_milli{slo,horizon}` (burn ×1000) and
+    /// `swag_slo_state{slo}` (0 ok / 1 warning / 2 page).
+    pub fn export_gauges(&self, registry: &Registry, statuses: &[SloStatus]) {
+        registry.set_help(
+            "swag_slo_burn_milli",
+            "Error-budget burn rate x1000 per objective and horizon.",
+        );
+        registry.set_help(
+            "swag_slo_state",
+            "SLO escalation state: 0 ok, 1 warning, 2 page.",
+        );
+        for s in statuses {
+            for (horizon, burn) in [("short", &s.short), ("long", &s.long)] {
+                registry
+                    .gauge(&labeled_name(
+                        "swag_slo_burn_milli",
+                        &[("slo", &s.spec.name), ("horizon", horizon)],
+                    ))
+                    .set((burn.burn * 1000.0).round().min(i64::MAX as f64) as i64);
+            }
+            registry
+                .gauge(&labeled_name("swag_slo_state", &[("slo", &s.spec.name)]))
+                .set(s.state.as_gauge());
+        }
+    }
+
+    /// Renders evaluations as a JSON array (the `/slo` endpoint body).
+    pub fn render_json(statuses: &[SloStatus]) -> String {
+        let mut out = String::from("[");
+        for (i, s) in statuses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                concat!(
+                    "{{\"slo\":\"{}\",\"metric\":\"{}\",\"threshold_micros\":{},",
+                    "\"objective\":{},\"state\":\"{}\",",
+                    "\"short\":{{\"total\":{},\"good\":{},\"burn\":{:.4}}},",
+                    "\"long\":{{\"total\":{},\"good\":{},\"burn\":{:.4}}}}}"
+                ),
+                json_escape(&s.spec.name),
+                json_escape(&s.spec.metric),
+                s.spec.threshold_micros,
+                s.spec.objective,
+                s.state,
+                s.short.total,
+                s.short.good,
+                s.short.burn,
+                s.long.total,
+                s.long.good,
+                s.long.burn,
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Burn over the newest `last_n` windows of the spec's metric.
+fn burn_over(windows: &MetricWindows, spec: &SloSpec, last_n: usize) -> SloBurn {
+    let snap = windows
+        .view(&spec.metric, last_n)
+        .and_then(|v| v.sample.histogram().copied());
+    let (total, good) = match snap {
+        Some(h) => (h.count, h.count_le(spec.threshold_micros)),
+        None => (0, 0),
+    };
+    if total == 0 {
+        return SloBurn {
+            total,
+            good,
+            burn: 0.0,
+        };
+    }
+    let bad_fraction = (total - good) as f64 / total as f64;
+    let budget = 1.0 - spec.objective;
+    SloBurn {
+        total,
+        good,
+        burn: bad_fraction / budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::window::{MetricWindows, WindowSpec};
+    use std::sync::Arc;
+
+    /// A windows/registry pair whose histogram saw `rounds` of
+    /// (good, bad) observations, one round per closed window.
+    fn scenario(rounds: &[(u64, u64)]) -> (MetricWindows, Registry) {
+        let clock = Arc::new(ManualClock::new());
+        let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 8));
+        let reg = Registry::new();
+        let h = reg.histogram("swag_q_micros");
+        clock.advance_micros(1_000);
+        windows.rotate_now(&reg); // baseline
+        for &(good, bad) in rounds {
+            for _ in 0..good {
+                h.record(100); // well under threshold
+            }
+            for _ in 0..bad {
+                h.record(1_000_000); // way over
+            }
+            clock.advance_micros(1_000);
+            windows.rotate_now(&reg);
+        }
+        (windows, reg)
+    }
+
+    fn set() -> SloSet {
+        let mut slos = SloSet::new();
+        slos.push(SloSpec::latency("query_p99", "swag_q_micros", 10_000, 0.99));
+        slos
+    }
+
+    #[test]
+    fn healthy_traffic_is_ok_with_zero_burn() {
+        let (windows, _) = scenario(&[(100, 0), (100, 0)]);
+        let statuses = set().evaluate(&windows);
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].state, SloState::Ok);
+        assert_eq!(statuses[0].long.burn, 0.0);
+        assert_eq!(statuses[0].long.total, 200);
+        assert_eq!(statuses[0].long.good, 200);
+    }
+
+    #[test]
+    fn no_traffic_is_ok_not_page() {
+        let (windows, _) = scenario(&[(0, 0)]);
+        let statuses = set().evaluate(&windows);
+        assert_eq!(statuses[0].state, SloState::Ok);
+        assert_eq!(statuses[0].long.burn, 0.0);
+    }
+
+    #[test]
+    fn sustained_total_failure_pages() {
+        // Every request bad on both horizons: burn = 1.0 / 0.01 = 100x.
+        let (windows, _) = scenario(&[(0, 100), (0, 100), (0, 100)]);
+        let statuses = set().evaluate(&windows);
+        assert_eq!(statuses[0].state, SloState::Page);
+        assert!((statuses[0].short.burn - 100.0).abs() < 1e-9);
+        assert!((statuses[0].long.burn - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovered_incident_does_not_page_on_the_short_horizon() {
+        // Old windows all bad, newest window clean: long burn is high
+        // but the short horizon vetoes the page.
+        let (windows, _) = scenario(&[(0, 100), (0, 100), (100, 0)]);
+        let statuses = set().evaluate(&windows);
+        assert_eq!(statuses[0].short.burn, 0.0);
+        assert!(statuses[0].long.burn > 10.0);
+        assert_eq!(statuses[0].state, SloState::Ok);
+    }
+
+    #[test]
+    fn moderate_burn_warns_before_paging() {
+        // 4% bad with a 1% budget: burn 4x on both horizons.
+        let (windows, _) = scenario(&[(96, 4), (96, 4)]);
+        let statuses = set().evaluate(&windows);
+        assert!((statuses[0].long.burn - 4.0).abs() < 1e-9);
+        assert_eq!(statuses[0].state, SloState::Warning);
+    }
+
+    #[test]
+    fn gauges_and_json_mirror_the_evaluation() {
+        let (windows, reg) = scenario(&[(0, 100), (0, 100)]);
+        let slos = set();
+        let statuses = slos.evaluate(&windows);
+        slos.export_gauges(&reg, &statuses);
+        assert_eq!(
+            reg.gauge("swag_slo_state{slo=\"query_p99\"}").get(),
+            SloState::Page.as_gauge()
+        );
+        assert_eq!(
+            reg.gauge("swag_slo_burn_milli{slo=\"query_p99\",horizon=\"long\"}")
+                .get(),
+            100_000
+        );
+        let json = SloSet::render_json(&statuses);
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        assert!(json.contains("\"slo\":\"query_p99\""));
+        assert!(json.contains("\"state\":\"page\""));
+    }
+}

@@ -1,0 +1,255 @@
+//! The live ops surface: one object bundling a [`Registry`], its
+//! [`MetricWindows`], an [`SloSet`], and gauge refreshers, exposed over
+//! the embedded HTTP server and reused verbatim by `swag top`.
+//!
+//! Everything is pull-driven: a scrape (or a `swag top` tick) calls
+//! [`OpsSurface::refresh`], which runs the registered refresher
+//! callbacks (for gauges that must be *computed* at observation time —
+//! epoch snapshot age, staged-delta size), rotates the window rings if a
+//! window width has elapsed, re-exports windowed p50/p99/rate gauges,
+//! and re-evaluates SLO burn rates. Between scrapes the hot path pays
+//! nothing beyond its ordinary cumulative recording.
+//!
+//! Routes:
+//!
+//! | path       | body                                            |
+//! |------------|-------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition (incl. `_w_*` gauges)|
+//! | `/vars`    | JSON lines, one object per metric               |
+//! | `/slo`     | JSON array of SLO evaluations                   |
+//! | `/healthz` | `ok` + uptime (always 200 while the thread lives)|
+
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::MonotonicClock;
+use crate::http::{Handler, HttpServer, Response};
+use crate::registry::Registry;
+use crate::slo::{SloSet, SloSpec, SloStatus};
+use crate::window::{MetricWindows, WindowSpec};
+
+/// A gauge refresher: computes point-in-time values into the registry.
+pub type Refresher = Box<dyn Fn(&Registry) + Send + Sync>;
+
+/// Live ops surface over one registry. Cheap to share (`Arc`) between
+/// the HTTP server and a dashboard loop.
+pub struct OpsSurface {
+    registry: Arc<Registry>,
+    clock: Arc<dyn MonotonicClock>,
+    windows: MetricWindows,
+    slos: Mutex<SloSet>,
+    refreshers: Mutex<Vec<Refresher>>,
+    started_micros: u64,
+}
+
+impl std::fmt::Debug for OpsSurface {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpsSurface")
+            .field("windows", &self.windows)
+            .field("metrics", &self.registry.len())
+            .finish()
+    }
+}
+
+impl OpsSurface {
+    /// An ops surface over `registry`, windowing on `clock` with `spec`
+    /// geometry.
+    pub fn new(registry: Arc<Registry>, clock: Arc<dyn MonotonicClock>, spec: WindowSpec) -> Self {
+        let started_micros = clock.now_micros();
+        OpsSurface {
+            windows: MetricWindows::new(clock.clone(), spec),
+            registry,
+            clock,
+            slos: Mutex::new(SloSet::new()),
+            refreshers: Mutex::new(Vec::new()),
+            started_micros,
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The window rings (for dashboards that want raw views).
+    pub fn windows(&self) -> &MetricWindows {
+        &self.windows
+    }
+
+    /// Registers a latency objective.
+    pub fn add_slo(&self, spec: SloSpec) {
+        self.slos
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(spec);
+    }
+
+    /// Registers a callback that computes point-in-time gauges (epoch
+    /// age, staged-delta size, ...) right before each rotation/scrape.
+    pub fn add_refresher(&self, f: impl Fn(&Registry) + Send + Sync + 'static) {
+        self.refreshers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::new(f));
+    }
+
+    /// Pull-driven update: refreshers → (maybe) window rotation →
+    /// windowed-gauge export → SLO evaluation + export. `force` rotates
+    /// even mid-window (deterministic tests, `swag top --once`). Returns
+    /// the SLO evaluations.
+    pub fn refresh(&self, force: bool) -> Vec<SloStatus> {
+        for f in self
+            .refreshers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            f(&self.registry);
+        }
+        let rotated = if force {
+            self.windows.rotate_now(&self.registry);
+            true
+        } else {
+            self.windows.maybe_rotate(&self.registry)
+        };
+        if rotated {
+            self.windows.export_gauges(&self.registry);
+        }
+        let slos = self.slos.lock().unwrap_or_else(|e| e.into_inner());
+        let statuses = slos.evaluate(&self.windows);
+        slos.export_gauges(&self.registry, &statuses);
+        statuses
+    }
+
+    /// Routes one request path. Refreshes before rendering so scrapes
+    /// always see current windows.
+    pub fn handle(&self, path: &str) -> Option<Response> {
+        match path {
+            "/metrics" => {
+                self.refresh(false);
+                Some(Response::ok(
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    self.registry.render_prometheus(),
+                ))
+            }
+            "/vars" => {
+                self.refresh(false);
+                Some(Response::ok(
+                    "application/json; charset=utf-8",
+                    self.registry.render_json(),
+                ))
+            }
+            "/slo" => {
+                let statuses = self.refresh(false);
+                Some(Response::ok(
+                    "application/json; charset=utf-8",
+                    SloSet::render_json(&statuses),
+                ))
+            }
+            "/healthz" => {
+                let uptime = self.clock.now_micros().saturating_sub(self.started_micros);
+                Some(Response::ok(
+                    "text/plain; charset=utf-8",
+                    format!("ok uptime_micros={uptime}\n"),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Starts the embedded HTTP server for this surface on `addr`
+    /// (`127.0.0.1:0` picks an ephemeral port; read it back from
+    /// [`HttpServer::addr`]).
+    pub fn serve(self: &Arc<Self>, addr: &str) -> io::Result<HttpServer> {
+        let surface = self.clone();
+        let handler: Handler = Arc::new(move |path| surface.handle(path));
+        HttpServer::serve(addr, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn surface() -> (Arc<OpsSurface>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let surface = Arc::new(OpsSurface::new(
+            Arc::new(Registry::new()),
+            clock.clone(),
+            WindowSpec::new(1_000, 4),
+        ));
+        (surface, clock)
+    }
+
+    #[test]
+    fn refresh_runs_refreshers_then_rotates() {
+        let (surface, clock) = surface();
+        surface.add_refresher(|reg: &Registry| {
+            reg.gauge("swag_refreshed").add(1);
+        });
+        clock.advance_micros(1_000);
+        surface.refresh(false);
+        assert_eq!(surface.registry().gauge("swag_refreshed").get(), 1);
+        assert_eq!(surface.windows().rotations(), 1);
+        // Mid-window: refreshers still run, rotation does not.
+        surface.refresh(false);
+        assert_eq!(surface.registry().gauge("swag_refreshed").get(), 2);
+        assert_eq!(surface.windows().rotations(), 1);
+        // Forced: rotates regardless.
+        surface.refresh(true);
+        assert_eq!(surface.windows().rotations(), 2);
+    }
+
+    #[test]
+    fn metrics_route_exports_windowed_gauges() {
+        let (surface, clock) = surface();
+        let h = surface.registry().histogram("swag_q_micros");
+        clock.advance_micros(1_000);
+        surface.refresh(false); // baseline
+        for _ in 0..50 {
+            h.record(200);
+        }
+        clock.advance_micros(1_000);
+        let resp = surface.handle("/metrics").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"));
+        assert!(
+            resp.body.contains("swag_q_micros_count 50"),
+            "{}",
+            resp.body
+        );
+        assert!(resp.body.contains("swag_q_micros_w_p99 "), "{}", resp.body);
+        assert!(resp.body.contains("swag_q_micros_w_rate_milli "));
+    }
+
+    #[test]
+    fn slo_route_reports_state() {
+        let (surface, clock) = surface();
+        surface.add_slo(SloSpec::latency("q", "swag_q_micros", 1_000, 0.99));
+        let h = surface.registry().histogram("swag_q_micros");
+        clock.advance_micros(1_000);
+        surface.refresh(false); // baseline
+        for _ in 0..10 {
+            h.record(100_000); // all bad
+        }
+        clock.advance_micros(1_000);
+        let resp = surface.handle("/slo").unwrap();
+        assert!(resp.body.contains("\"slo\":\"q\""), "{}", resp.body);
+        assert!(resp.body.contains("\"state\":\"page\""), "{}", resp.body);
+        assert_eq!(
+            surface.registry().gauge("swag_slo_state{slo=\"q\"}").get(),
+            2
+        );
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let (surface, clock) = surface();
+        clock.advance_micros(123);
+        let resp = surface.handle("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok uptime_micros=123\n");
+        assert!(surface.handle("/nope").is_none());
+    }
+}

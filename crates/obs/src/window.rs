@@ -1,0 +1,583 @@
+//! Windowed metrics: periodic snapshot deltas over cumulative metrics.
+//!
+//! The substrate's [`Counter`]s and [`Histogram`]s are cumulative —
+//! perfect for low-overhead recording, useless for "what is hot *right
+//! now*". This module closes the gap without touching the hot path: a
+//! [`MetricWindows`] periodically snapshots every metric in a
+//! [`Registry`] and stores the **delta** since the previous rotation in
+//! a fixed-capacity [`WindowRing`] per metric. Views over the ring give
+//! `rate()` (events/s over the retained span) and p50/p99-over-last-N-
+//! windows quantiles, reusing the mergeable-snapshot algebra of
+//! [`HistogramSnapshot`]: a window is `later.saturating_sub(earlier)`,
+//! a multi-window view is `merge` over deltas, and the two operations
+//! commute (property-tested in `tests/windows.rs`), so per-shard rings
+//! can be combined exactly like per-shard snapshots.
+//!
+//! Rotation is pulled, not pushed: callers (the ops HTTP surface, `swag
+//! top`) invoke [`MetricWindows::maybe_rotate`] on their own cadence and
+//! the ring advances only when at least one window width has elapsed on
+//! the injectable clock. Nothing here runs unless someone is watching.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::MonotonicClock;
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{split_labels, Metric, Registry};
+
+/// One cumulative observation of a metric, captured at rotation time.
+//
+// The histogram variant dominates the size (64 bucket counts), but the
+// whole point of the snapshot algebra is `Copy` value semantics — rings
+// hold a few dozen of these, so the footprint is bounded and boxing
+// would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sample {
+    /// Cumulative event count (delta-compressed in windows).
+    Counter(u64),
+    /// Instantaneous level (windows keep the value at rotation).
+    Gauge(i64),
+    /// Cumulative distribution (delta-compressed in windows).
+    Histogram(HistogramSnapshot),
+}
+
+impl Sample {
+    /// The window delta between two consecutive cumulative samples
+    /// (gauges keep the later value — they are not cumulative).
+    fn delta_from(&self, earlier: &Sample) -> Sample {
+        match (self, earlier) {
+            (Sample::Counter(now), Sample::Counter(then)) => {
+                Sample::Counter(now.saturating_sub(*then))
+            }
+            (Sample::Histogram(now), Sample::Histogram(then)) => {
+                Sample::Histogram(now.saturating_sub(then))
+            }
+            (now, _) => *now,
+        }
+    }
+
+    /// Combines two window deltas: counters and histograms add, gauges
+    /// keep `other` (the newer value by merge convention).
+    fn combine(&self, other: &Sample) -> Sample {
+        match (self, other) {
+            (Sample::Counter(a), Sample::Counter(b)) => Sample::Counter(a + b),
+            (Sample::Histogram(a), Sample::Histogram(b)) => Sample::Histogram(a.merge(b)),
+            (_, newer) => *newer,
+        }
+    }
+
+    /// Event count carried by this sample (gauges carry none).
+    pub fn count(&self) -> u64 {
+        match self {
+            Sample::Counter(n) => *n,
+            Sample::Histogram(h) => h.count,
+            Sample::Gauge(_) => 0,
+        }
+    }
+
+    /// The histogram snapshot, when this sample is one.
+    pub fn histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            Sample::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// One closed window: a metric's activity between two rotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Clock reading at the rotation that opened this window.
+    pub start_micros: u64,
+    /// Clock reading at the rotation that closed it.
+    pub end_micros: u64,
+    /// Delta for counters/histograms; value at close for gauges.
+    pub sample: Sample,
+}
+
+/// Fixed-capacity ring of [`Window`]s for one metric, oldest first.
+///
+/// The ring is a pure value (no locks, no clock): feed it cumulative
+/// samples via [`WindowRing::rotate`] and read merged views back. This
+/// is the piece the rotation/merge commutation law is stated over.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    capacity: usize,
+    last: Sample,
+    windows: VecDeque<Window>,
+}
+
+impl WindowRing {
+    /// An empty ring retaining at most `capacity` windows, whose first
+    /// rotation will delta against `baseline` (pass the metric's current
+    /// cumulative sample so pre-attach history is not misread as a
+    /// burst).
+    pub fn new(capacity: usize, baseline: Sample) -> Self {
+        WindowRing {
+            capacity: capacity.max(1),
+            last: baseline,
+            windows: VecDeque::new(),
+        }
+    }
+
+    /// Closes one window `[start, end)` against the new cumulative
+    /// sample, evicting the oldest window beyond capacity.
+    pub fn rotate(&mut self, start_micros: u64, end_micros: u64, cumulative: Sample) {
+        let sample = cumulative.delta_from(&self.last);
+        self.last = cumulative;
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(Window {
+            start_micros,
+            end_micros,
+            sample,
+        });
+    }
+
+    /// Retained windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The merged view over the newest `last_n` windows (all, when
+    /// larger than the retained count): counters/histograms merge, a
+    /// gauge view is its newest value. `None` until a window has closed.
+    pub fn merged(&self, last_n: usize) -> Option<WindowView> {
+        let take = last_n.min(self.windows.len());
+        if take == 0 {
+            return None;
+        }
+        let newest = self.windows.len();
+        let slice = self.windows.range(newest - take..);
+        let mut sample: Option<Sample> = None;
+        let mut start = u64::MAX;
+        let mut end = 0u64;
+        for w in slice {
+            start = start.min(w.start_micros);
+            end = end.max(w.end_micros);
+            sample = Some(match sample {
+                None => w.sample,
+                Some(acc) => acc.combine(&w.sample),
+            });
+        }
+        Some(WindowView {
+            windows: take,
+            span_micros: end.saturating_sub(start),
+            sample: sample.expect("take > 0"),
+        })
+    }
+}
+
+/// A merged view over the newest windows of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowView {
+    /// Windows merged into this view.
+    pub windows: usize,
+    /// Wall-clock span the view covers, microseconds.
+    pub span_micros: u64,
+    /// Merged delta (counters/histograms) or newest value (gauges).
+    pub sample: Sample,
+}
+
+impl WindowView {
+    /// Events per second over the view's span (0 for gauges or an empty
+    /// span).
+    pub fn rate_per_s(&self) -> f64 {
+        if self.span_micros == 0 {
+            return 0.0;
+        }
+        self.sample.count() as f64 / (self.span_micros as f64 / 1e6)
+    }
+}
+
+/// How wide each window is and how many the rings retain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width, microseconds.
+    pub width_micros: u64,
+    /// Windows retained per metric.
+    pub capacity: usize,
+}
+
+impl WindowSpec {
+    /// `capacity` windows of `width_micros` each.
+    pub fn new(width_micros: u64, capacity: usize) -> Self {
+        WindowSpec {
+            width_micros: width_micros.max(1),
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+impl Default for WindowSpec {
+    /// Six 10-second windows: "the last minute", one rotation per scrape
+    /// at typical Prometheus intervals.
+    fn default() -> Self {
+        WindowSpec::new(10_000_000, 6)
+    }
+}
+
+/// Registry-wide windowed metrics: one [`WindowRing`] per metric,
+/// rotated together so every ring's windows share boundaries.
+pub struct MetricWindows {
+    spec: WindowSpec,
+    clock: Arc<dyn MonotonicClock>,
+    state: Mutex<WindowState>,
+}
+
+struct WindowState {
+    last_rotate_micros: u64,
+    rotations: u64,
+    rings: BTreeMap<String, WindowRing>,
+}
+
+impl std::fmt::Debug for MetricWindows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("MetricWindows")
+            .field("spec", &self.spec)
+            .field("metrics", &state.rings.len())
+            .field("rotations", &state.rotations)
+            .finish()
+    }
+}
+
+impl MetricWindows {
+    /// Windowed views over `spec`-sized windows on the given clock. The
+    /// first window opens now.
+    pub fn new(clock: Arc<dyn MonotonicClock>, spec: WindowSpec) -> Self {
+        let now = clock.now_micros();
+        MetricWindows {
+            spec,
+            clock,
+            state: Mutex::new(WindowState {
+                last_rotate_micros: now,
+                rotations: 0,
+                rings: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// The configured window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Rotations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .rotations
+    }
+
+    /// Rotates every ring if at least one window width has elapsed since
+    /// the last rotation; returns whether a rotation happened. An idle
+    /// gap longer than one width closes a single, proportionally wider
+    /// window (views divide by true span, so rates stay honest).
+    pub fn maybe_rotate(&self, registry: &Registry) -> bool {
+        let now = self.clock.now_micros();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if now.saturating_sub(state.last_rotate_micros) < self.spec.width_micros {
+            return false;
+        }
+        self.rotate_locked(&mut state, now, registry);
+        true
+    }
+
+    /// Rotates unconditionally (deterministic tests, `swag top --once`).
+    pub fn rotate_now(&self, registry: &Registry) {
+        let now = self.clock.now_micros();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.rotate_locked(&mut state, now, registry);
+    }
+
+    fn rotate_locked(&self, state: &mut WindowState, now: u64, registry: &Registry) {
+        let start = state.last_rotate_micros;
+        state.last_rotate_micros = now;
+        state.rotations += 1;
+        for name in registry.names() {
+            let Some(metric) = registry.get(&name) else {
+                continue;
+            };
+            let cum = match metric {
+                Metric::Counter(c) => Sample::Counter(c.get()),
+                Metric::Gauge(g) => Sample::Gauge(g.get()),
+                Metric::Histogram(h) => Sample::Histogram(h.snapshot()),
+            };
+            match state.rings.get_mut(&name) {
+                Some(ring) => ring.rotate(start, now, cum),
+                None => {
+                    // A metric seen for the first time: baseline against
+                    // its current cumulative state and start windowing
+                    // from the *next* rotation — its pre-attach history
+                    // is not a burst in this window.
+                    state
+                        .rings
+                        .insert(name, WindowRing::new(self.spec.capacity, cum));
+                }
+            }
+        }
+    }
+
+    /// The merged view over the newest `last_n` windows of `name`
+    /// (`usize::MAX` for "all retained"). `None` until the metric has
+    /// lived through a full rotation.
+    pub fn view(&self, name: &str, last_n: usize) -> Option<WindowView> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .rings
+            .get(name)
+            .and_then(|r| r.merged(last_n))
+    }
+
+    /// Metrics with at least one closed window, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .rings
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Exports windowed views back into `registry` as gauges so a plain
+    /// Prometheus scrape sees them: for every histogram family `F{l}`,
+    /// `F_w_p50{l}` / `F_w_p99{l}` (bucket-resolution quantiles over the
+    /// retained windows) and `F_w_rate_milli{l}` (observations/s ×1000);
+    /// for every counter, `F_w_rate_milli{l}`. Derived gauges are
+    /// skipped on later rotations (they end in the reserved `_w_*`
+    /// suffixes), so the export does not feed back into itself.
+    pub fn export_gauges(&self, registry: &Registry) {
+        let names = self.names();
+        for name in names {
+            if is_windowed_export(&name) {
+                continue;
+            }
+            let Some(view) = self.view(&name, usize::MAX) else {
+                continue;
+            };
+            match view.sample {
+                Sample::Gauge(_) => {}
+                Sample::Counter(_) => {
+                    let rate = registry.gauge(&windowed_name(&name, "_w_rate_milli"));
+                    rate.set((view.rate_per_s() * 1000.0) as i64);
+                }
+                Sample::Histogram(h) => {
+                    registry
+                        .gauge(&windowed_name(&name, "_w_p50"))
+                        .set(h.p50().min(i64::MAX as u64) as i64);
+                    registry
+                        .gauge(&windowed_name(&name, "_w_p99"))
+                        .set(h.p99().min(i64::MAX as u64) as i64);
+                    registry
+                        .gauge(&windowed_name(&name, "_w_rate_milli"))
+                        .set((view.rate_per_s() * 1000.0) as i64);
+                }
+            }
+        }
+    }
+}
+
+/// Splices a windowed-export suffix into a (possibly labeled) metric
+/// name: `fam{l}` + `_w_p99` → `fam_w_p99{l}`.
+fn windowed_name(name: &str, suffix: &str) -> String {
+    match split_labels(name) {
+        (family, None) => format!("{family}{suffix}"),
+        (family, Some(labels)) => format!("{family}{suffix}{{{labels}}}"),
+    }
+}
+
+/// Whether `name` is itself a windowed-export gauge (reserved suffixes).
+fn is_windowed_export(name: &str) -> bool {
+    let (family, _) = split_labels(name);
+    family.ends_with("_w_p50") || family.ends_with("_w_p99") || family.ends_with("_w_rate_milli")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::metrics::Histogram;
+
+    fn hist_sample(values: &[u64]) -> Sample {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        Sample::Histogram(h.snapshot())
+    }
+
+    #[test]
+    fn ring_stores_deltas_not_cumulatives() {
+        let mut ring = WindowRing::new(4, Sample::Counter(0));
+        ring.rotate(0, 10, Sample::Counter(5));
+        ring.rotate(10, 20, Sample::Counter(9));
+        let windows: Vec<_> = ring.windows().map(|w| w.sample).collect();
+        assert_eq!(windows, vec![Sample::Counter(5), Sample::Counter(4)]);
+        let view = ring.merged(usize::MAX).unwrap();
+        assert_eq!(view.sample, Sample::Counter(9));
+        assert_eq!(view.span_micros, 20);
+        assert!((view.rate_per_s() - 450_000.0).abs() < 1e-6); // 9 events / 20 µs
+    }
+
+    #[test]
+    fn ring_evicts_beyond_capacity() {
+        let mut ring = WindowRing::new(2, Sample::Counter(0));
+        for i in 1..=5u64 {
+            ring.rotate((i - 1) * 10, i * 10, Sample::Counter(i * 3));
+        }
+        assert_eq!(ring.len(), 2);
+        // Only the last two deltas (each 3) survive.
+        assert_eq!(ring.merged(usize::MAX).unwrap().sample, Sample::Counter(6));
+        assert_eq!(ring.merged(1).unwrap().sample, Sample::Counter(3));
+    }
+
+    #[test]
+    fn gauge_windows_keep_the_latest_value() {
+        let mut ring = WindowRing::new(4, Sample::Gauge(0));
+        ring.rotate(0, 10, Sample::Gauge(42));
+        ring.rotate(10, 20, Sample::Gauge(-3));
+        assert_eq!(ring.merged(usize::MAX).unwrap().sample, Sample::Gauge(-3));
+        assert_eq!(ring.merged(usize::MAX).unwrap().rate_per_s(), 0.0);
+    }
+
+    #[test]
+    fn counter_reset_saturates_to_empty_window() {
+        let mut ring = WindowRing::new(4, Sample::Counter(100));
+        ring.rotate(0, 10, Sample::Counter(40)); // went backwards
+        assert_eq!(ring.merged(usize::MAX).unwrap().sample, Sample::Counter(0));
+    }
+
+    #[test]
+    fn first_rotation_baselines_instead_of_bursting() {
+        let clock = Arc::new(ManualClock::new());
+        let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 4));
+        let reg = Registry::new();
+        reg.counter("swag_pre_existing_total").add(1_000_000);
+        clock.advance_micros(1_000);
+        assert!(windows.maybe_rotate(&reg));
+        // The metric is baselined, not windowed, on its first sighting.
+        assert!(windows
+            .view("swag_pre_existing_total", usize::MAX)
+            .is_none());
+        reg.counter("swag_pre_existing_total").add(7);
+        clock.advance_micros(1_000);
+        assert!(windows.maybe_rotate(&reg));
+        let view = windows.view("swag_pre_existing_total", usize::MAX).unwrap();
+        assert_eq!(view.sample, Sample::Counter(7));
+    }
+
+    #[test]
+    fn maybe_rotate_respects_the_width() {
+        let clock = Arc::new(ManualClock::new());
+        let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 4));
+        let reg = Registry::new();
+        reg.counter("swag_x_total");
+        assert!(!windows.maybe_rotate(&reg));
+        clock.advance_micros(999);
+        assert!(!windows.maybe_rotate(&reg));
+        clock.advance_micros(1);
+        assert!(windows.maybe_rotate(&reg));
+        assert!(!windows.maybe_rotate(&reg));
+        assert_eq!(windows.rotations(), 1);
+    }
+
+    #[test]
+    fn idle_gap_closes_one_wide_window() {
+        let clock = Arc::new(ManualClock::new());
+        let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 8));
+        let reg = Registry::new();
+        let c = reg.counter("swag_x_total");
+        clock.advance_micros(1_000);
+        windows.maybe_rotate(&reg); // baseline
+        c.add(10);
+        clock.advance_micros(5_000); // five widths idle
+        assert!(windows.maybe_rotate(&reg));
+        let view = windows.view("swag_x_total", usize::MAX).unwrap();
+        assert_eq!(view.windows, 1);
+        assert_eq!(view.span_micros, 5_000);
+        assert!((view.rate_per_s() - 2_000.0).abs() < 1e-9); // 10 / 5ms
+    }
+
+    #[test]
+    fn windowed_quantiles_see_only_recent_values() {
+        let mut ring = WindowRing::new(2, hist_sample(&[]));
+        let h = Histogram::new();
+        for _ in 0..300 {
+            h.record(8);
+        }
+        ring.rotate(0, 10, Sample::Histogram(h.snapshot()));
+        for _ in 0..100 {
+            h.record(4000);
+        }
+        ring.rotate(10, 20, Sample::Histogram(h.snapshot()));
+        for _ in 0..100 {
+            h.record(4000);
+        }
+        ring.rotate(20, 30, Sample::Histogram(h.snapshot()));
+        // Capacity 2: the slow era dominates; the fast first window aged out.
+        let merged = ring.merged(usize::MAX).unwrap();
+        let snap = merged.sample.histogram().unwrap();
+        assert_eq!(snap.count, 200);
+        assert!(
+            snap.p50() >= 2048,
+            "p50 {} must be in the slow era",
+            snap.p50()
+        );
+        // The full cumulative histogram still says p50 == 15: the fast
+        // era's 300 observations outvote the slow 200 forever.
+        assert_eq!(h.snapshot().p50(), 15);
+    }
+
+    #[test]
+    fn export_gauges_writes_windowed_views_and_does_not_feed_back() {
+        let clock = Arc::new(ManualClock::new());
+        let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 4));
+        let reg = Registry::new();
+        let h = reg.histogram("swag_op_micros{op=\"ranking\"}");
+        clock.advance_micros(1_000);
+        windows.rotate_now(&reg); // baseline
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(5_000);
+        }
+        clock.advance_micros(1_000);
+        windows.rotate_now(&reg);
+        windows.export_gauges(&reg);
+        let p99 = reg.gauge("swag_op_micros_w_p99{op=\"ranking\"}");
+        assert_eq!(p99.get(), 5_000);
+        let rate = reg.gauge("swag_op_micros_w_rate_milli{op=\"ranking\"}");
+        assert_eq!(rate.get(), 100_000 * 1000); // 100 obs / 1 ms = 100k/s
+                                                // Further rotations window the derived gauges as gauges but never
+                                                // derive gauges *from* them.
+        clock.advance_micros(1_000);
+        windows.rotate_now(&reg);
+        clock.advance_micros(1_000);
+        windows.rotate_now(&reg);
+        windows.export_gauges(&reg);
+        assert!(reg
+            .get("swag_op_micros_w_p99_w_p99{op=\"ranking\"}")
+            .is_none());
+        assert!(reg
+            .get("swag_op_micros_w_rate_milli_w_rate_milli{op=\"ranking\"}")
+            .is_none());
+    }
+}

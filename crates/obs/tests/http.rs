@@ -1,0 +1,185 @@
+//! Integration test of the embedded ops endpoint: a real [`OpsSurface`]
+//! served over a real TCP socket, scraped with a hand-rolled HTTP client,
+//! and the `/metrics` body checked against the Prometheus text
+//! exposition rules (single HELP/TYPE per family, headers before series,
+//! label escaping preserved, histogram bucket/sum/count triplets).
+
+use std::collections::HashSet;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use swag_obs::{labeled_name, ManualClock, OpsSurface, Registry, SloSpec, WindowSpec};
+
+/// One blocking HTTP/1.0 GET; returns (status line, body).
+fn get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+/// Builds a surface with labeled histograms (one value deliberately
+/// nasty), counters, an SLO, and two closed windows of traffic.
+fn surface_with_traffic() -> (Arc<OpsSurface>, Arc<ManualClock>) {
+    let registry = Arc::new(Registry::new());
+    let clock = Arc::new(ManualClock::new());
+    let surface = Arc::new(OpsSurface::new(
+        registry.clone(),
+        clock.clone(),
+        WindowSpec::new(1_000, 4),
+    ));
+    surface.add_slo(SloSpec::latency("query", "swag_query_micros", 1_000, 0.99));
+
+    let reg = surface.registry();
+    reg.set_help("swag_query_micros", "End-to-end query latency.");
+    reg.set_help("swag_op_micros", "Per-operator wall time.");
+    let q = reg.histogram("swag_query_micros");
+    let scan = reg.histogram(&labeled_name("swag_op_micros", &[("op", "index_scan")]));
+    let nasty = reg.counter(&labeled_name(
+        "swag_hits_total",
+        &[("src", "de\"lta\\n\npath")],
+    ));
+    clock.advance_micros(1_000);
+    surface.refresh(true); // baseline
+    for i in 0..200u64 {
+        q.record(10 + i % 7);
+        scan.record(3 + i % 5);
+        nasty.inc();
+    }
+    clock.advance_micros(1_000);
+    surface.refresh(true); // first closed window + exports
+    (surface, clock)
+}
+
+/// Checks Prometheus text-format structure: every series line belongs to
+/// a family whose `# TYPE` header appeared first, HELP/TYPE appear at
+/// most once per family, histogram families expose bucket/sum/count.
+fn assert_valid_exposition(body: &str) {
+    let mut helped: HashSet<&str> = HashSet::new();
+    let mut typed: HashSet<&str> = HashSet::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let fam = rest.split(' ').next().expect("family after HELP");
+            assert!(helped.insert(fam), "duplicate HELP for {fam}:\n{body}");
+            assert!(!typed.contains(fam), "HELP after TYPE for {fam}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let fam = parts.next().expect("family after TYPE");
+            let kind = parts.next().expect("kind after family");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "bad TYPE kind {kind}"
+            );
+            assert!(typed.insert(fam), "duplicate TYPE for {fam}:\n{body}");
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line {line:?}");
+        // A series line: `name value` or `name{labels} value`.
+        let name_end = line.find('{').unwrap_or_else(|| {
+            line.find(' ')
+                .unwrap_or_else(|| panic!("no value on {line:?}"))
+        });
+        let name = &line[..name_end];
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(f))
+            .unwrap_or(name);
+        assert!(
+            typed.contains(family),
+            "series {name} precedes its TYPE header:\n{body}"
+        );
+        let value = line.rsplit(' ').next().expect("value field");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value {value:?} on {line:?}"
+        );
+    }
+    assert!(!typed.is_empty(), "no families rendered");
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_exposition() {
+    let (surface, _clock) = surface_with_traffic();
+    let server = surface.serve("127.0.0.1:0").expect("bind");
+    let addr = server.addr().to_string();
+
+    let (status, body) = get(&addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert_valid_exposition(&body);
+
+    // Histogram triplets under one family header.
+    assert_eq!(
+        body.matches("# TYPE swag_query_micros histogram").count(),
+        1
+    );
+    assert!(body.contains("swag_query_micros_bucket{le=\"+Inf\"} 200"));
+    assert!(body.contains("swag_query_micros_count 200"));
+    // Labeled family: le spliced after the base labels.
+    assert!(body.contains("swag_op_micros_bucket{op=\"index_scan\",le=\"+Inf\"} 200"));
+    // HELP text made it through.
+    assert!(body.contains("# HELP swag_query_micros End-to-end query latency."));
+    // The nasty label value survives exactly as escaped at registration.
+    assert!(
+        body.contains("swag_hits_total{src=\"de\\\"lta\\\\n\\npath\"} 200"),
+        "escaping mangled:\n{body}"
+    );
+    // Windowed exports rode along as gauges.
+    assert!(body.contains("swag_query_micros_w_p99"), "{body}");
+    // SLO gauges are exported with state and burn.
+    assert!(body.contains("swag_slo_state{slo=\"query\"} 0"), "{body}");
+}
+
+#[test]
+fn vars_slo_and_healthz_routes_respond() {
+    let (surface, _clock) = surface_with_traffic();
+    let server = surface.serve("127.0.0.1:0").expect("bind");
+    let addr = server.addr().to_string();
+
+    let (status, body) = get(&addr, "/vars");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.trim_start().starts_with('{'), "{body}");
+    assert!(body.contains("swag_query_micros"), "{body}");
+
+    let (status, body) = get(&addr, "/slo");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"slo\":\"query\""), "{body}");
+    assert!(body.contains("\"state\":\"ok\""), "{body}");
+
+    let (status, body) = get(&addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.starts_with("ok uptime_micros="), "{body}");
+
+    let (status, _) = get(&addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    // Query strings are routing-transparent.
+    let (status, _) = get(&addr, "/metrics?format=text");
+    assert!(status.contains("200"), "{status}");
+}
+
+#[test]
+fn scrapes_rotate_windows_on_schedule() {
+    let (surface, clock) = surface_with_traffic();
+    let server = surface.serve("127.0.0.1:0").expect("bind");
+    let addr = server.addr().to_string();
+
+    let before = surface.windows().rotations();
+    // Same window: a scrape must not rotate.
+    let _ = get(&addr, "/metrics");
+    assert_eq!(surface.windows().rotations(), before);
+    // Past the boundary: the next scrape rotates exactly once.
+    clock.advance_micros(1_000);
+    let _ = get(&addr, "/metrics");
+    assert_eq!(surface.windows().rotations(), before + 1);
+}

@@ -1,0 +1,200 @@
+//! Windowed-metrics laws: the rotation/merge commutation the module doc
+//! promises, plus deterministic window-boundary behaviour on a manual
+//! clock.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use swag_obs::{
+    labeled_name, Histogram, ManualClock, MetricWindows, Registry, Sample, WindowRing, WindowSpec,
+};
+
+/// Values spanning many log₂ buckets, including zero and huge outliers.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..16).boxed(),
+            (0u64..100_000).boxed(),
+            (0u64..(1u64 << 50)).boxed(),
+        ],
+        0..60,
+    )
+}
+
+/// Up to four recording phases, each a batch of values.
+fn arb_phases() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    prop::collection::vec(arb_values(), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rotating after every phase and merging the windows equals merging
+    /// the phases and rotating once: `Δ(c₀,c₁) ⊕ Δ(c₁,c₂) … == Δ(c₀,cₙ)`.
+    /// This is what lets per-shard rings combine like per-shard
+    /// snapshots.
+    #[test]
+    fn rotate_then_merge_equals_merge_then_rotate(phases in arb_phases()) {
+        let n = phases.len() as u64;
+        let h = Histogram::new();
+
+        // Rotate-then-merge: one window per phase.
+        let mut fine = WindowRing::new(phases.len(), Sample::Histogram(h.snapshot()));
+        // Merge-then-rotate: one window over all phases.
+        let mut coarse = WindowRing::new(1, Sample::Histogram(h.snapshot()));
+
+        for (i, phase) in phases.iter().enumerate() {
+            for &v in phase {
+                h.record(v);
+            }
+            let t = (i as u64 + 1) * 10;
+            fine.rotate(t - 10, t, Sample::Histogram(h.snapshot()));
+        }
+        coarse.rotate(0, n * 10, Sample::Histogram(h.snapshot()));
+
+        let fine_view = fine.merged(usize::MAX).unwrap();
+        let coarse_view = coarse.merged(usize::MAX).unwrap();
+        prop_assert_eq!(fine_view.sample, coarse_view.sample);
+        prop_assert_eq!(fine_view.span_micros, coarse_view.span_micros);
+    }
+
+    /// Counter rings obey the same law: window deltas sum to the total.
+    #[test]
+    fn counter_windows_sum_to_total_delta(increments in prop::collection::vec(0u64..1_000, 1..8)) {
+        let mut ring = WindowRing::new(increments.len(), Sample::Counter(0));
+        let mut cumulative = 0u64;
+        for (i, inc) in increments.iter().enumerate() {
+            cumulative += inc;
+            let t = (i as u64 + 1) * 10;
+            ring.rotate(t - 10, t, Sample::Counter(cumulative));
+        }
+        prop_assert_eq!(
+            ring.merged(usize::MAX).unwrap().sample,
+            Sample::Counter(increments.iter().sum())
+        );
+    }
+
+    /// Two metrics windowed over shared boundaries merge exactly like
+    /// one metric that recorded both streams.
+    #[test]
+    fn per_ring_views_combine_like_merged_streams(a in arb_phases(), b in arb_phases()) {
+        let (ha, hb, hboth) = (Histogram::new(), Histogram::new(), Histogram::new());
+        let mut ring_a = WindowRing::new(8, Sample::Histogram(ha.snapshot()));
+        let mut ring_b = WindowRing::new(8, Sample::Histogram(hb.snapshot()));
+        let mut ring_both = WindowRing::new(8, Sample::Histogram(hboth.snapshot()));
+        let rounds = a.len().max(b.len());
+        for i in 0..rounds {
+            for &v in a.get(i).map_or(&[][..], Vec::as_slice) {
+                ha.record(v);
+                hboth.record(v);
+            }
+            for &v in b.get(i).map_or(&[][..], Vec::as_slice) {
+                hb.record(v);
+                hboth.record(v);
+            }
+            let t = (i as u64 + 1) * 10;
+            ring_a.rotate(t - 10, t, Sample::Histogram(ha.snapshot()));
+            ring_b.rotate(t - 10, t, Sample::Histogram(hb.snapshot()));
+            ring_both.rotate(t - 10, t, Sample::Histogram(hboth.snapshot()));
+        }
+        let merged = ring_a
+            .merged(usize::MAX)
+            .unwrap()
+            .sample
+            .histogram()
+            .unwrap()
+            .merge(ring_b.merged(usize::MAX).unwrap().sample.histogram().unwrap());
+        let direct = ring_both.merged(usize::MAX).unwrap();
+        prop_assert_eq!(&merged, direct.sample.histogram().unwrap());
+    }
+}
+
+#[test]
+fn boundaries_are_exact_on_a_manual_clock() {
+    let clock = Arc::new(ManualClock::new());
+    let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 3));
+    let reg = Registry::new();
+    let c = reg.counter("swag_ticks_total");
+
+    // Strictly inside the first window: no rotation, however often asked.
+    for _ in 0..10 {
+        assert!(!windows.maybe_rotate(&reg));
+    }
+    clock.advance_micros(999);
+    assert!(!windows.maybe_rotate(&reg));
+
+    // Exactly on the boundary: rotates once (baselining the counter).
+    clock.advance_micros(1);
+    assert!(windows.maybe_rotate(&reg));
+    assert!(!windows.maybe_rotate(&reg));
+
+    // Three more boundaries; each window sees its own increments.
+    for round in 1u64..=3 {
+        c.add(round);
+        clock.advance_micros(1_000);
+        assert!(windows.maybe_rotate(&reg));
+    }
+    assert_eq!(windows.rotations(), 4);
+    let all = windows.view("swag_ticks_total", usize::MAX).unwrap();
+    assert_eq!(all.windows, 3);
+    assert_eq!(all.sample, Sample::Counter(1 + 2 + 3));
+    assert_eq!(all.span_micros, 3_000);
+    // Last-N views subset from the newest edge.
+    let newest = windows.view("swag_ticks_total", 1).unwrap();
+    assert_eq!(newest.sample, Sample::Counter(3));
+    assert_eq!(newest.span_micros, 1_000);
+}
+
+#[test]
+fn capacity_evicts_oldest_windows_registry_wide() {
+    let clock = Arc::new(ManualClock::new());
+    let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 2));
+    let reg = Registry::new();
+    let c = reg.counter("swag_ticks_total");
+    clock.advance_micros(1_000);
+    windows.maybe_rotate(&reg); // baseline
+    for round in [100u64, 10, 1] {
+        c.add(round);
+        clock.advance_micros(1_000);
+        assert!(windows.maybe_rotate(&reg));
+    }
+    // Capacity 2: the 100-burst window aged out.
+    let view = windows.view("swag_ticks_total", usize::MAX).unwrap();
+    assert_eq!(view.windows, 2);
+    assert_eq!(view.sample, Sample::Counter(11));
+}
+
+#[test]
+fn labeled_families_window_independently_and_export_quantiles() {
+    let clock = Arc::new(ManualClock::new());
+    let windows = MetricWindows::new(clock.clone(), WindowSpec::new(1_000, 4));
+    let reg = Registry::new();
+    let fast = reg.histogram(&labeled_name("swag_op_micros", &[("op", "index_scan")]));
+    let slow = reg.histogram(&labeled_name("swag_op_micros", &[("op", "ranking")]));
+    clock.advance_micros(1_000);
+    windows.rotate_now(&reg); // baseline both families
+    for _ in 0..100 {
+        fast.record(10);
+        slow.record(4_000);
+    }
+    clock.advance_micros(1_000);
+    windows.rotate_now(&reg);
+    windows.export_gauges(&reg);
+
+    let p99_fast = reg.gauge("swag_op_micros_w_p99{op=\"index_scan\"}").get();
+    let p99_slow = reg.gauge("swag_op_micros_w_p99{op=\"ranking\"}").get();
+    assert!(p99_fast <= 15, "fast family p99 {p99_fast}");
+    assert!(p99_slow >= 2_048, "slow family p99 {p99_slow}");
+
+    // The exported gauges are real registry members: a Prometheus render
+    // carries them, spliced with the family's labels.
+    let text = reg.render_prometheus();
+    assert!(
+        text.contains("swag_op_micros_w_p99{op=\"index_scan\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("swag_op_micros_w_p99{op=\"ranking\"}"),
+        "{text}"
+    );
+}

@@ -29,7 +29,8 @@ use parking_lot::{Mutex, RwLock};
 use swag_core::CameraProfile;
 use swag_exec::Executor;
 use swag_obs::{
-    Counter, FlightRecorder, Histogram, MonotonicClock, Registry, Trace, DEFAULT_RING_CAPACITY,
+    labeled_name, Counter, FlightRecorder, Histogram, MonotonicClock, Registry, Trace,
+    DEFAULT_RING_CAPACITY,
 };
 
 use crate::query::{Query, QueryOptions};
@@ -41,6 +42,30 @@ use crate::subscribe::SubscriptionSet;
 use epoch::{Epoch, SnapshotCore};
 use plan::QueryPlan;
 use write::Writer;
+
+/// Per-operator metric handles: one stage of the operator pipeline,
+/// keyed by the same `OP_*` name its trace spans and `explain` listings
+/// use, so a hot operator in `swag top` can be cross-referenced against
+/// a captured slow-query waterfall by name.
+pub(crate) struct OpStageObs {
+    /// Stage wall time per execution.
+    pub(crate) micros: Arc<Histogram>,
+    /// Rows the stage examined (index items tested, delta records
+    /// walked, candidates ranked).
+    pub(crate) rows_in: Arc<Histogram>,
+    /// Rows the stage produced.
+    pub(crate) rows_out: Arc<Histogram>,
+}
+
+impl OpStageObs {
+    fn from_registry(registry: &Registry, op: &str) -> Self {
+        OpStageObs {
+            micros: registry.histogram(&labeled_name("swag_server_op_micros", &[("op", op)])),
+            rows_in: registry.histogram(&labeled_name("swag_server_op_rows_in", &[("op", op)])),
+            rows_out: registry.histogram(&labeled_name("swag_server_op_rows_out", &[("op", op)])),
+        }
+    }
+}
 
 /// Metric handles for an instrumented engine. Handles are resolved once
 /// at attach time; recording never touches the registry again.
@@ -60,11 +85,40 @@ pub(crate) struct ServerObs {
     pub(crate) rebuild_micros: Arc<Histogram>,
     pub(crate) delta_size: Arc<Histogram>,
     pub(crate) retention_dropped: Arc<Counter>,
+    pub(crate) op_index_scan: OpStageObs,
+    pub(crate) op_delta_scan: OpStageObs,
+    pub(crate) op_ranking: OpStageObs,
+    /// Final-result split: hits served from the published snapshot's
+    /// index vs. from the staged delta.
+    pub(crate) hits_index: Arc<Counter>,
+    pub(crate) hits_delta: Arc<Counter>,
+    /// Time shards the index scan fanned out to, per query.
+    pub(crate) shards_probed: Arc<Histogram>,
     pub(crate) trace: Trace,
 }
 
 impl ServerObs {
     fn from_registry(registry: &Registry) -> Self {
+        registry.set_help(
+            "swag_server_op_micros",
+            "Operator-pipeline stage wall time per query, microseconds.",
+        );
+        registry.set_help(
+            "swag_server_op_rows_in",
+            "Rows examined per stage execution.",
+        );
+        registry.set_help(
+            "swag_server_op_rows_out",
+            "Rows produced per stage execution.",
+        );
+        registry.set_help(
+            "swag_server_hits_total",
+            "Filtered hits by origin: published snapshot index vs staged delta.",
+        );
+        registry.set_help(
+            "swag_server_shards_probed",
+            "Time shards the index scan fanned out to, per query.",
+        );
         ServerObs {
             lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
             index_scan: registry.histogram("swag_server_query_index_scan_micros"),
@@ -81,6 +135,14 @@ impl ServerObs {
             rebuild_micros: registry.histogram("swag_server_snapshot_rebuild_micros"),
             delta_size: registry.histogram("swag_server_snapshot_delta_size"),
             retention_dropped: registry.counter("swag_server_retention_dropped_total"),
+            op_index_scan: OpStageObs::from_registry(registry, plan::OP_INDEX_SCAN),
+            op_delta_scan: OpStageObs::from_registry(registry, plan::OP_DELTA_SCAN),
+            op_ranking: OpStageObs::from_registry(registry, plan::OP_RANKING),
+            hits_index: registry
+                .counter(&labeled_name("swag_server_hits_total", &[("src", "index")])),
+            hits_delta: registry
+                .counter(&labeled_name("swag_server_hits_total", &[("src", "delta")])),
+            shards_probed: registry.histogram("swag_server_shards_probed"),
             trace: Trace::new(256),
         }
     }
@@ -215,5 +277,57 @@ impl Engine {
         let plan = QueryPlan::compile(query, opts);
         let epoch = self.epoch.read().clone();
         plan.explain_against(&epoch.core.index, epoch.delta_len)
+    }
+
+    /// Computes point-in-time gauges into `registry`: epoch snapshot age,
+    /// staged-delta size, compiled-plan count, and per-time-shard entry
+    /// counts. These cannot be recorded from the hot path (age is a
+    /// property of *now*, not of any event), so the ops surface calls
+    /// this right before each scrape/rotation.
+    pub(crate) fn refresh_gauges(&self, registry: &Registry) {
+        registry.set_help(
+            "swag_server_epoch_age_micros",
+            "Age of the published snapshot at scrape time.",
+        );
+        registry.set_help(
+            "swag_server_staged_delta",
+            "Records staged in the delta, waiting for the next publish.",
+        );
+        registry.set_help(
+            "swag_server_compiled_plans",
+            "Compiled standing-query plans held by the subscription set.",
+        );
+        registry.set_help(
+            "swag_server_shard_entries",
+            "Indexed entries per live time shard (0 after the shard expires).",
+        );
+        let epoch = self.epoch.read().clone();
+        let now = self.clock.now_micros();
+        registry.gauge("swag_server_epoch_age_micros").set(
+            now.saturating_sub(epoch.core.published_at_micros)
+                .min(i64::MAX as u64) as i64,
+        );
+        registry
+            .gauge("swag_server_staged_delta")
+            .set(epoch.delta_len as i64);
+        let plans = self.writer.lock().subscriptions.compiled_plans();
+        registry
+            .gauge("swag_server_compiled_plans")
+            .set(plans as i64);
+        // Zero every previously exported shard gauge first so expired
+        // shards read 0 instead of their last live count forever.
+        for name in registry.names() {
+            if name.starts_with("swag_server_shard_entries{") {
+                registry.gauge(&name).set(0);
+            }
+        }
+        for (bucket, entries) in epoch.core.index.shard_sizes() {
+            registry
+                .gauge(&labeled_name(
+                    "swag_server_shard_entries",
+                    &[("shard", &bucket.to_string())],
+                ))
+                .set(entries as i64);
+        }
     }
 }

@@ -85,6 +85,8 @@ impl Engine {
                         &mut search,
                     )
                 };
+                let index_rows_in = search.items_tested;
+                let t_index = self.clock.now_micros();
                 let delta_matches: Vec<&DeltaRecord> = if epoch.delta_len > 0 {
                     let _span = self.recorder.span(OP_DELTA_SCAN);
                     let matches: Vec<&DeltaRecord> = epoch
@@ -101,18 +103,21 @@ impl Engine {
                     Vec::new()
                 };
                 let n_candidates = candidates.len() + delta_matches.len();
+                let n_delta_matches = delta_matches.len();
                 let t_scanned = self.clock.now_micros();
-                let hits = {
+                let (hits, n_index_hits, n_delta_hits) = {
                     let _span = self.recorder.span(OP_RANKING);
                     let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, plan);
+                    let n_index_hits = hits.len();
                     hits.extend(
                         delta_matches
                             .into_iter()
                             .filter(|d| plan.filters.accepts(&d.rec.rep, &self.cam, &plan.query))
                             .map(|d| hit_for(&d.rec, &self.cam, &plan.query)),
                     );
+                    let n_delta_hits = hits.len() - n_index_hits;
                     rank_hits(&mut hits, plan.rank, plan.k);
-                    hits
+                    (hits, n_index_hits, n_delta_hits)
                 };
                 let t_done = self.clock.now_micros();
 
@@ -125,6 +130,26 @@ impl Engine {
                 obs.candidates.record(n_candidates as u64);
                 obs.index_nodes.record(search.nodes_visited);
                 obs.index_leaves.record(search.leaves_scanned);
+                // Per-operator telemetry, keyed by the same OP_* names the
+                // trace spans and `swag explain` use.
+                obs.op_index_scan.micros.record(t_index - t_locked);
+                obs.op_index_scan.rows_in.record(index_rows_in);
+                obs.op_index_scan.rows_out.record(candidates.len() as u64);
+                obs.op_delta_scan.micros.record(t_scanned - t_index);
+                obs.op_delta_scan.rows_in.record(epoch.delta_len as u64);
+                obs.op_delta_scan.rows_out.record(n_delta_matches as u64);
+                obs.op_ranking.micros.record(t_done - t_scanned);
+                obs.op_ranking.rows_in.record(n_candidates as u64);
+                obs.op_ranking.rows_out.record(hits.len() as u64);
+                obs.hits_index.add(n_index_hits as u64);
+                obs.hits_delta.add(n_delta_hits as u64);
+                obs.shards_probed.record(
+                    epoch
+                        .core
+                        .index
+                        .probe_shard_count(plan.query.t_start, plan.query.t_end)
+                        as u64,
+                );
                 if obs.trace.try_sample() {
                     obs.trace.record(OP_QUERY, t_done - t0, n_candidates as u64);
                 }

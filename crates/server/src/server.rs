@@ -228,6 +228,16 @@ impl CloudServer {
         self.engine.attach_observability(registry);
     }
 
+    /// Computes point-in-time gauges into `registry`: epoch snapshot age
+    /// (`swag_server_epoch_age_micros`), staged-delta size, compiled
+    /// standing-query plan count, and per-time-shard entry counts
+    /// (`swag_server_shard_entries{shard=...}`, zeroed when a shard
+    /// expires). Designed to run as an `OpsSurface` refresher right
+    /// before each scrape; cheap enough to call on every rotation.
+    pub fn refresh_gauges(&self, registry: &Registry) {
+        self.engine.refresh_gauges(registry);
+    }
+
     /// The sampled per-query trace ring, present once observability is
     /// attached. Disabled (never sampling) until [`Trace::enable`].
     pub fn query_trace(&self) -> Option<&Trace> {

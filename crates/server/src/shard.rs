@@ -188,6 +188,21 @@ impl ShardedFovIndex {
             .collect()
     }
 
+    /// How many live shards a `[t0, t1]` window would probe, without
+    /// materialising them (per-query fan-out accounting).
+    pub fn probe_shard_count(&self, t0: f64, t1: f64) -> usize {
+        self.shards.range(self.buckets(t0, t1)).count()
+    }
+
+    /// Every live shard as `(bucket, indexed items)` pairs in bucket
+    /// order (per-shard gauge export).
+    pub fn shard_sizes(&self) -> Vec<(i64, usize)> {
+        self.shards
+            .iter()
+            .map(|(bucket, shard)| (*bucket, shard.len()))
+            .collect()
+    }
+
     /// Indexes a representative FoV into every bucket its interval spans.
     pub fn insert(&mut self, rep: &RepFov, id: SegmentId) {
         self.segments += 1;

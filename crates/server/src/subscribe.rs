@@ -80,6 +80,14 @@ impl SubscriptionSet {
         self.subs.iter().filter(|s| s.active).count()
     }
 
+    /// Number of compiled plans held, cancelled subscriptions included —
+    /// the registry never shrinks, so this gauge (unlike
+    /// [`Self::active_count`]) tracks the memory actually resident and
+    /// surfaces unsubscribe-without-forget leaks.
+    pub fn compiled_plans(&self) -> usize {
+        self.subs.len()
+    }
+
     /// Offers a freshly ingested segment to every active subscription.
     pub fn offer(
         &mut self,

@@ -482,18 +482,58 @@ fn observability_splits_query_phases_exactly() {
 
     let stats = server.stats();
     assert_eq!(stats.queries, 4);
-    // Instrumented queries read the clock four times: each of the
-    // three phases is exactly one step, the total exactly three.
-    for phase in [
-        &stats.lock_wait_micros,
-        &stats.index_scan_micros,
-        &stats.ranking_micros,
-    ] {
+    // Instrumented queries read the clock five times (t0, locked,
+    // index scanned, delta scanned, ranked): lock wait and ranking are
+    // one step each, the legacy scan phase spans index + delta scan
+    // (two steps), the total exactly four.
+    for phase in [&stats.lock_wait_micros, &stats.ranking_micros] {
         assert_eq!(phase.count, 4);
         assert_eq!(phase.sum, 4 * 5);
     }
-    assert_eq!(stats.query_micros.sum, 4 * 15);
-    assert_eq!(stats.query_micros_total, 4 * 15);
+    assert_eq!(stats.index_scan_micros.count, 4);
+    assert_eq!(stats.index_scan_micros.sum, 4 * 10);
+    assert_eq!(stats.query_micros.sum, 4 * 20);
+    assert_eq!(stats.query_micros_total, 4 * 20);
+
+    // The per-operator split is exact too: one step per stage, keyed by
+    // the same names the trace spans use.
+    for op in ["index_scan", "delta_scan", "ranking"] {
+        let h = reg
+            .histogram(&swag_obs::labeled_name(
+                "swag_server_op_micros",
+                &[("op", op)],
+            ))
+            .snapshot();
+        assert_eq!((h.count, h.sum), (4, 4 * 5), "op {op}");
+    }
+    // All 6 segments still sit in the staged delta (threshold 256), so
+    // the hit split attributes every hit to the delta scan.
+    assert_eq!(
+        reg.counter(&swag_obs::labeled_name(
+            "swag_server_hits_total",
+            &[("src", "index")],
+        ))
+        .get(),
+        0
+    );
+    assert_eq!(
+        reg.counter(&swag_obs::labeled_name(
+            "swag_server_hits_total",
+            &[("src", "delta")],
+        ))
+        .get(),
+        4 * 6
+    );
+    let probed = reg.histogram("swag_server_shards_probed").snapshot();
+    assert_eq!(probed.count, 4);
+    assert_eq!(probed.sum, 0, "nothing published yet: no shards to probe");
+    let rows = reg
+        .histogram(&swag_obs::labeled_name(
+            "swag_server_op_rows_out",
+            &[("op", "ranking")],
+        ))
+        .snapshot();
+    assert_eq!((rows.count, rows.sum), (4, 4 * 6));
 
     // The same numbers are visible through the registry.
     assert_eq!(
@@ -514,6 +554,54 @@ fn observability_splits_query_phases_exactly() {
             .sum
             >= 4
     );
+}
+
+#[test]
+fn refresh_gauges_exports_engine_internals() {
+    let reg = Registry::new();
+    let mut server = CloudServer::with_config_and_clock(
+        CameraProfile::smartphone(),
+        ServerConfig {
+            publish_threshold: 4,
+            shard_width_s: 10.0,
+            ..ServerConfig::default()
+        },
+        SteppingClock::with_step(5),
+    );
+    server.attach_observability(&reg);
+    server.ingest_batch(&batch(1, 5)); // 5 >= 4: published
+    server.ingest_batch(&batch(2, 2)); // staged
+    server.subscribe(
+        Query::new(0.0, 100.0, center(), 100.0),
+        QueryOptions::default(),
+    );
+    let dead = server.subscribe(
+        Query::new(0.0, 100.0, center(), 100.0),
+        QueryOptions::default(),
+    );
+    server.unsubscribe(dead);
+    server.refresh_gauges(&reg);
+    assert_eq!(reg.gauge("swag_server_staged_delta").get(), 2);
+    // Cancelled subscriptions keep their compiled plan resident.
+    assert_eq!(reg.gauge("swag_server_compiled_plans").get(), 2);
+    assert!(reg.gauge("swag_server_epoch_age_micros").get() > 0);
+    // batch() places rep i at [10i, 10i+8]: five 10-second shards,
+    // one published entry each.
+    let shards: Vec<String> = reg
+        .names()
+        .into_iter()
+        .filter(|n| n.starts_with("swag_server_shard_entries{"))
+        .collect();
+    assert_eq!(shards.len(), 5, "{shards:?}");
+    for shard in &shards {
+        assert_eq!(reg.gauge(shard).get(), 1, "{shard}");
+    }
+    // Expiry zeroes the shard gauges instead of leaving them stale.
+    server.expire_before(1_000.0);
+    server.refresh_gauges(&reg);
+    for shard in &shards {
+        assert_eq!(reg.gauge(shard).get(), 0, "{shard}");
+    }
 }
 
 #[test]
