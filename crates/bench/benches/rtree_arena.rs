@@ -1,0 +1,245 @@
+//! Arena-layout ablation: range traversal over `swag_rtree`'s flat-arena
+//! tree vs. an idealized boxed-pointer reference with the same STR
+//! packing.
+//!
+//! The reference is a *minimal* direct-recursion tree — every node its
+//! own heap allocation, entries interleaved `(box, payload)`, nothing
+//! else — built with a line-for-line replica of the arena's STR tiling
+//! so the two trees are node-for-node isomorphic (asserted, along with
+//! per-query work counts, before benching). It serves as a traversal
+//! ceiling for the arena's handle-indirected layout: this bench is what
+//! drove leaf entries to inline AoS and the traversal to recursion, and
+//! it tracks whatever gap remains. The arena's other wins (no per-node
+//! allocations on build/drop, O(1) slot reuse, dense node headers) are
+//! not measured here.
+//!
+//! CI runs this as a smoke test
+//! (`cargo bench -p swag-bench --bench rtree_arena -- --test`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use swag_rtree::{Aabb, RTree};
+
+// Matches `RTreeConfig::default().max_entries` so both trees share
+// fan-out and grouping; only memory layout differs.
+const MAX_ENTRIES: usize = 16;
+
+fn random_boxes(n: usize, seed: u64) -> Vec<(Aabb<3>, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let min = [
+                rng.random_range(-1e4..1e4),
+                rng.random_range(-1e4..1e4),
+                rng.random_range(0.0..86_400.0),
+            ];
+            let b = Aabb::new(min, [min[0], min[1], min[2] + rng.random_range(1.0..60.0)]);
+            (b, i as u32)
+        })
+        .collect()
+}
+
+/// Boxed-pointer reference tree: one heap allocation per node, entries
+/// interleaved `(box, payload)` — the layout the arena rewrite replaced.
+///
+/// Bulk-loaded with a line-for-line replica of `swag_rtree`'s STR tiling
+/// (same sort keys, same slab arithmetic, same even-chunk grouping), so
+/// both trees are node-for-node isomorphic: every traversal makes the
+/// same intersection tests in the same order and only the memory layout
+/// differs.
+enum BoxedNode {
+    Leaf(Vec<(Aabb<3>, u32)>),
+    Inner(Vec<(Aabb<3>, Box<BoxedNode>)>),
+}
+
+/// Replica of `swag_rtree`'s recursive STR tiling: sort by the centre
+/// along `dim`, cut into the (D−dim)-th root of the group count slabs,
+/// recurse; the last dimension chunks evenly into leaf-sized groups.
+fn tile<E>(
+    mut entries: Vec<E>,
+    dim: usize,
+    center: &impl Fn(&E) -> [f64; 3],
+    out: &mut Vec<Vec<E>>,
+) {
+    let n = entries.len();
+    if n <= MAX_ENTRIES {
+        out.push(entries);
+        return;
+    }
+    let total_groups = n.div_ceil(MAX_ENTRIES);
+    entries.sort_unstable_by(|a, b| center(a)[dim].total_cmp(&center(b)[dim]));
+    if dim + 1 == 3 {
+        even_chunks(entries, total_groups, out);
+    } else {
+        let k = (3 - dim) as f64;
+        let slabs = (total_groups as f64).powf(1.0 / k).ceil() as usize;
+        let slabs = slabs.clamp(1, total_groups);
+        let mut slab_vec = Vec::new();
+        even_chunks(entries, slabs, &mut slab_vec);
+        for slab in slab_vec {
+            tile(slab, dim + 1, center, out);
+        }
+    }
+}
+
+/// Splits `entries` into `g` contiguous chunks whose sizes differ by at
+/// most one (identical to the arena loader's grouping).
+fn even_chunks<E>(entries: Vec<E>, g: usize, out: &mut Vec<Vec<E>>) {
+    let n = entries.len();
+    let base = n / g;
+    let extra = n % g;
+    let mut iter = entries.into_iter();
+    for i in 0..g {
+        let size = base + usize::from(i < extra);
+        out.push(iter.by_ref().take(size).collect());
+    }
+}
+
+fn fold_mbr(mbrs: impl Iterator<Item = Aabb<3>>) -> Aabb<3> {
+    let mut mbrs = mbrs;
+    let first = mbrs.next().expect("non-empty group");
+    mbrs.fold(first, |acc, m| acc.union(&m))
+}
+
+impl BoxedNode {
+    fn bulk_load(items: Vec<(Aabb<3>, u32)>) -> BoxedNode {
+        let mut groups = Vec::new();
+        tile(items, 0, &|e: &(Aabb<3>, u32)| e.0.center(), &mut groups);
+        let mut level: Vec<(Aabb<3>, Box<BoxedNode>)> = groups
+            .into_iter()
+            .map(|g| {
+                let mbr = fold_mbr(g.iter().map(|e| e.0));
+                (mbr, Box::new(BoxedNode::Leaf(g)))
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut groups = Vec::new();
+            tile(
+                level,
+                0,
+                &|e: &(Aabb<3>, Box<BoxedNode>)| e.0.center(),
+                &mut groups,
+            );
+            level = groups
+                .into_iter()
+                .map(|g| {
+                    let mbr = fold_mbr(g.iter().map(|e| e.0));
+                    (mbr, Box::new(BoxedNode::Inner(g)))
+                })
+                .collect();
+        }
+        *level.into_iter().next().expect("non-empty input").1
+    }
+
+    /// Counts visited nodes and leaf-item intersection tests — compared
+    /// against the arena's `SearchStats` to prove both trees do the same
+    /// traversal work, not just return the same answers.
+    fn count_work(&self, query: &Aabb<3>, nodes: &mut u64, leaf_tests: &mut u64) {
+        *nodes += 1;
+        match self {
+            BoxedNode::Leaf(items) => *leaf_tests += items.len() as u64,
+            BoxedNode::Inner(children) => {
+                for (mbr, child) in children {
+                    if mbr.intersects(query) {
+                        child.count_work(query, nodes, leaf_tests);
+                    }
+                }
+            }
+        }
+    }
+
+    fn search(&self, query: &Aabb<3>, out: &mut Vec<u32>) {
+        match self {
+            BoxedNode::Leaf(items) => {
+                for (mbr, v) in items {
+                    if mbr.intersects(query) {
+                        out.push(*v);
+                    }
+                }
+            }
+            BoxedNode::Inner(children) => {
+                for (mbr, child) in children {
+                    if mbr.intersects(query) {
+                        child.search(query, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let data = random_boxes(50_000, 7);
+    let arena: RTree<u32, 3> = RTree::bulk_load(data.clone());
+    let boxed = BoxedNode::bulk_load(data);
+
+    // A mix of selectivities: narrow probes touch a handful of leaves,
+    // wide ones walk a large fraction of the tree.
+    let queries = [
+        Aabb::new([-200.0, -200.0, 0.0], [200.0, 200.0, 3_600.0]),
+        Aabb::new([-2_000.0, -2_000.0, 0.0], [2_000.0, 2_000.0, 21_600.0]),
+        Aabb::new([-1e4, -1e4, 0.0], [1e4, 1e4, 86_400.0]),
+    ];
+
+    // Both sides stream matches into a reused buffer so the comparison
+    // times traversal, not result-vector allocation.
+    let mut group = c.benchmark_group("rtree_arena/range_50k");
+    group.bench_function("flat_arena", |b| {
+        let mut out: Vec<u32> = Vec::new();
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in &queries {
+                out.clear();
+                arena.search_with(black_box(q), |_mbr, v| out.push(*v));
+                n += out.len();
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("boxed_pointers", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut n = 0usize;
+            for q in &queries {
+                out.clear();
+                boxed.search(black_box(q), &mut out);
+                n += out.len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+/// Sanity: both trees answer every query with the same id multiset (the
+/// bench must compare equal work, not just equal shapes).
+fn assert_equivalent() {
+    let data = random_boxes(5_000, 11);
+    let arena: RTree<u32, 3> = RTree::bulk_load(data.clone());
+    let boxed = BoxedNode::bulk_load(data);
+    let q = Aabb::new([-3_000.0, -3_000.0, 0.0], [3_000.0, 3_000.0, 43_200.0]);
+    let mut a: Vec<u32> = arena.search(&q).into_iter().copied().collect();
+    let mut b = Vec::new();
+    boxed.search(&q, &mut b);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "arena and boxed reference disagree on a range query");
+
+    // Structural isomorphism: the traversals must do identical work.
+    let mut stats = swag_rtree::SearchStats::default();
+    arena.search_with_stats(&q, &mut stats, |_, _| {});
+    let (mut nodes, mut leaf_tests) = (0u64, 0u64);
+    boxed.count_work(&q, &mut nodes, &mut leaf_tests);
+    assert_eq!(stats.nodes_visited, nodes, "visited-node counts differ");
+    assert_eq!(stats.items_tested, leaf_tests, "leaf test counts differ");
+}
+
+fn benches(c: &mut Criterion) {
+    assert_equivalent();
+    bench_traversal(c);
+}
+
+criterion_group!(arena, benches);
+criterion_main!(arena);

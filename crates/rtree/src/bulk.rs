@@ -14,7 +14,8 @@
 use swag_exec::Executor;
 
 use crate::mbr::Aabb;
-use crate::tree::{fold_mbr, Child, Item, Node, RTree, RTreeConfig};
+use crate::node::{fold_mbr, Child, Item, Node};
+use crate::tree::{RTree, RTreeConfig};
 
 /// Below this many entries a parallel leaf tiling is pure overhead.
 const PAR_TILE_MIN: usize = 2048;
@@ -109,7 +110,7 @@ fn pack_levels<T, const D: usize>(tree: &mut RTree<T, D>, n: usize, groups: Vec<
         .into_iter()
         .map(|g| {
             let mbr = fold_mbr(g.iter().map(|i| i.mbr)).expect("non-empty group");
-            let node = tree.alloc(Node::Leaf(g));
+            let node = tree.alloc(Node::leaf_from(g));
             Child { mbr, node }
         })
         .collect();
@@ -122,7 +123,7 @@ fn pack_levels<T, const D: usize>(tree: &mut RTree<T, D>, n: usize, groups: Vec<
             .into_iter()
             .map(|g| {
                 let mbr = fold_mbr(g.iter().map(|c| c.mbr)).expect("non-empty group");
-                let node = tree.alloc(Node::Internal(g));
+                let node = tree.alloc(Node::internal_from(g));
                 Child { mbr, node }
             })
             .collect();

@@ -14,9 +14,11 @@
 //!   ([`RTree::remove`]);
 //! * **Sort-Tile-Recursive bulk loading** ([`RTree::bulk_load`]).
 //!
-//! Nodes live in a flat arena (`Vec`) and are addressed by index, which
-//! keeps them contiguous in memory and avoids per-node allocation beyond
-//! their entry vectors.
+//! Nodes live in a flat arena (`Vec<Node>`) addressed by `NonZeroUsize`
+//! index handles; within each node the entry boxes form a dense
+//! struct-of-arrays slice scanned by every traversal, with payloads in a
+//! parallel vector touched only on a match. Range searches reuse a
+//! per-thread traversal stack, so steady-state queries do not allocate.
 //!
 //! The dimension is a const generic: SWAG uses `D = 3`
 //! (`[longitude, latitude, time]`), but the tree is dimension-agnostic and
@@ -39,9 +41,12 @@
 
 pub mod bulk;
 pub mod mbr;
+mod node;
+pub mod search;
 pub mod split;
 pub mod tree;
 
 pub use mbr::Aabb;
+pub use search::SearchStats;
 pub use split::SplitStrategy;
-pub use tree::{RTree, RTreeConfig, RTreeStats, SearchStats};
+pub use tree::{RTree, RTreeConfig, RTreeStats};

@@ -1,12 +1,10 @@
-//! The dynamic R-tree structure: insert, range search, k-NN, delete.
-
-use std::collections::BinaryHeap;
+//! The dynamic R-tree structure: configuration, insert, delete,
+//! invariant checks. Read-side traversals live in [`crate::search`]; the
+//! arena node representation in [`crate::node`].
 
 use crate::mbr::Aabb;
+use crate::node::{fold_mbr, Child, Item, Node, NodeIx};
 use crate::split::{split, SplitStrategy};
-
-/// Arena index of a node.
-pub(crate) type NodeId = usize;
 
 /// Tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,26 +64,6 @@ impl RTreeConfig {
     }
 }
 
-/// A leaf payload with its bounding box.
-#[derive(Debug, Clone)]
-pub(crate) struct Item<T, const D: usize> {
-    pub(crate) mbr: Aabb<D>,
-    pub(crate) value: T,
-}
-
-/// An internal child pointer with the child's bounding box.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Child<const D: usize> {
-    pub(crate) mbr: Aabb<D>,
-    pub(crate) node: NodeId,
-}
-
-#[derive(Debug, Clone)]
-pub(crate) enum Node<T, const D: usize> {
-    Leaf(Vec<Item<T, D>>),
-    Internal(Vec<Child<D>>),
-}
-
 /// Structural statistics, exposed for benchmarks and invariant checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RTreeStats {
@@ -97,40 +75,15 @@ pub struct RTreeStats {
     pub nodes: usize,
 }
 
-/// Traversal counters accumulated by [`RTree::search_with_stats`].
-///
-/// An out-param rather than a return value so repeated searches (e.g. one
-/// per time shard) can aggregate into a single struct without allocating.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Nodes popped from the traversal stack (internal + leaf).
-    pub nodes_visited: u64,
-    /// Leaf nodes whose items were examined.
-    pub leaves_scanned: u64,
-    /// Items whose boxes were intersection-tested.
-    pub items_tested: u64,
-    /// Items that intersected the query and were visited.
-    pub items_matched: u64,
-}
-
-impl SearchStats {
-    /// Adds another search's counters into this one.
-    pub fn merge(&mut self, other: &SearchStats) {
-        self.nodes_visited += other.nodes_visited;
-        self.leaves_scanned += other.leaves_scanned;
-        self.items_tested += other.items_tested;
-        self.items_matched += other.items_matched;
-    }
-}
-
 /// A dynamic R-tree over `D`-dimensional boxes with payloads of type `T`.
 ///
 /// See the [crate docs](crate) for an overview and example.
 #[derive(Debug, Clone)]
 pub struct RTree<T, const D: usize> {
+    /// Flat node arena; handles ([`NodeIx`]) index into it.
     pub(crate) nodes: Vec<Node<T, D>>,
-    pub(crate) free: Vec<NodeId>,
-    pub(crate) root: NodeId,
+    pub(crate) free: Vec<NodeIx>,
+    pub(crate) root: NodeIx,
     /// Depth of leaves below the root (0 = root is a leaf).
     pub(crate) height: usize,
     pub(crate) len: usize,
@@ -156,9 +109,9 @@ impl<T, const D: usize> RTree<T, D> {
     pub fn with_config(config: RTreeConfig) -> Self {
         config.validate();
         RTree {
-            nodes: vec![Node::Leaf(Vec::new())],
+            nodes: vec![Node::empty_leaf()],
             free: Vec::new(),
-            root: 0,
+            root: NodeIx::new(0),
             height: 0,
             len: 0,
             config,
@@ -196,28 +149,38 @@ impl<T, const D: usize> RTree<T, D> {
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.free.clear();
-        self.nodes.push(Node::Leaf(Vec::new()));
-        self.root = 0;
+        self.nodes.push(Node::empty_leaf());
+        self.root = NodeIx::new(0);
         self.height = 0;
         self.len = 0;
     }
 
-    pub(crate) fn alloc(&mut self, node: Node<T, D>) -> NodeId {
-        if let Some(id) = self.free.pop() {
-            self.nodes[id] = node;
-            id
+    /// The node a handle refers to.
+    #[inline]
+    pub(crate) fn node(&self, ix: NodeIx) -> &Node<T, D> {
+        &self.nodes[ix.get()]
+    }
+
+    #[inline]
+    pub(crate) fn node_mut(&mut self, ix: NodeIx) -> &mut Node<T, D> {
+        &mut self.nodes[ix.get()]
+    }
+
+    /// Places `node` into a free arena slot (or grows the arena).
+    pub(crate) fn alloc(&mut self, node: Node<T, D>) -> NodeIx {
+        if let Some(ix) = self.free.pop() {
+            self.nodes[ix.get()] = node;
+            ix
         } else {
             self.nodes.push(node);
-            self.nodes.len() - 1
+            NodeIx::new(self.nodes.len() - 1)
         }
     }
 
-    fn node_mbr(&self, id: NodeId) -> Aabb<D> {
-        match &self.nodes[id] {
-            Node::Leaf(items) => fold_mbr(items.iter().map(|i| i.mbr)),
-            Node::Internal(children) => fold_mbr(children.iter().map(|c| c.mbr)),
-        }
-        .expect("node_mbr of empty node")
+    fn node_mbr(&self, ix: NodeIx) -> Aabb<D> {
+        self.node(ix)
+            .fold_entry_mbr()
+            .expect("node_mbr of empty node")
     }
 
     // ------------------------------------------------------------------
@@ -239,7 +202,7 @@ impl<T, const D: usize> RTree<T, D> {
             InsertOutcome::Split(sib_mbr, sibling) => {
                 // Root split: grow the tree.
                 let old_root_mbr = self.node_mbr(self.root);
-                let new_root = Node::Internal(vec![
+                let new_root = Node::internal_from(vec![
                     Child {
                         mbr: old_root_mbr,
                         node: self.root,
@@ -265,7 +228,7 @@ impl<T, const D: usize> RTree<T, D> {
     /// Recursive insert.
     fn insert_rec(
         &mut self,
-        node: NodeId,
+        node: NodeIx,
         mbr: &Aabb<D>,
         value: T,
         depth: usize,
@@ -273,55 +236,51 @@ impl<T, const D: usize> RTree<T, D> {
     ) -> InsertOutcome<T, D> {
         if depth == 0 {
             // Leaf level.
-            let Node::Leaf(items) = &mut self.nodes[node] else {
+            let is_root = node == self.root;
+            let max_entries = self.config.max_entries;
+            let Node::Leaf { items } = self.node_mut(node) else {
                 unreachable!("depth 0 must be a leaf");
             };
             items.push(Item { mbr: *mbr, value });
-            if items.len() <= self.config.max_entries {
+            if items.len() <= max_entries {
                 return InsertOutcome::Done;
             }
             // R* OverflowTreatment: on the first overflow of this insert,
             // evict the farthest entries instead of splitting — unless the
             // leaf *is* the root (nowhere to re-route through).
-            if allow_reinsert && node != self.root {
+            let mut items = self.node_mut(node).take_leaf_items();
+            if allow_reinsert && !is_root {
                 let evict = ((items.len() as f64) * self.config.reinsert_fraction).ceil() as usize;
                 let evict = evict.clamp(1, items.len() - self.config.min_entries);
-                let evicted = evict_farthest(items, evict);
+                let evicted = evict_farthest(&mut items, evict);
+                *self.node_mut(node) = Node::leaf_from(items);
                 return InsertOutcome::Reinsert(evicted);
             }
-            let overflow = std::mem::take(items);
             let (a, _mbr_a, b, mbr_b) =
-                split(self.config.split, overflow, self.config.min_entries, |i| {
-                    i.mbr
-                });
-            self.nodes[node] = Node::Leaf(a);
-            let sibling = self.alloc(Node::Leaf(b));
+                split(self.config.split, items, self.config.min_entries, |i| i.mbr);
+            *self.node_mut(node) = Node::leaf_from(a);
+            let sibling = self.alloc(Node::leaf_from(b));
             return InsertOutcome::Split(mbr_b, sibling);
         }
 
         // Choose the child needing the least enlargement (ties: least area).
-        let chosen = {
-            let Node::Internal(children) = &self.nodes[node] else {
+        let (chosen, child_id) = {
+            let Node::Internal { mbrs, children } = self.node(node) else {
                 unreachable!("positive depth must be internal");
             };
             let mut best = 0;
             let mut best_enl = f64::INFINITY;
             let mut best_area = f64::INFINITY;
-            for (i, c) in children.iter().enumerate() {
-                let enl = c.mbr.enlargement(mbr);
-                let area = c.mbr.area();
+            for (i, c_mbr) in mbrs.iter().enumerate() {
+                let enl = c_mbr.enlargement(mbr);
+                let area = c_mbr.area();
                 if enl < best_enl || (enl == best_enl && area < best_area) {
                     best = i;
                     best_enl = enl;
                     best_area = area;
                 }
             }
-            best
-        };
-
-        let child_id = match &self.nodes[node] {
-            Node::Internal(children) => children[chosen].node,
-            _ => unreachable!(),
+            (best, children[best])
         };
 
         let outcome = self.insert_rec(child_id, mbr, value, depth - 1, allow_reinsert);
@@ -329,218 +288,31 @@ impl<T, const D: usize> RTree<T, D> {
         // Refresh the chosen child's MBR (it changed in every outcome:
         // grown by the insert, or shrunk by an eviction).
         let new_child_mbr = self.node_mbr(child_id);
-        let Node::Internal(children) = &mut self.nodes[node] else {
+        let max_entries = self.config.max_entries;
+        let Node::Internal { mbrs, children } = self.node_mut(node) else {
             unreachable!()
         };
-        children[chosen].mbr = new_child_mbr;
+        mbrs[chosen] = new_child_mbr;
 
         match outcome {
             InsertOutcome::Done => InsertOutcome::Done,
             InsertOutcome::Reinsert(evicted) => InsertOutcome::Reinsert(evicted),
             InsertOutcome::Split(sib_mbr, sib_id) => {
-                children.push(Child {
-                    mbr: sib_mbr,
-                    node: sib_id,
-                });
-                if children.len() > self.config.max_entries {
-                    let overflow = std::mem::take(children);
+                mbrs.push(sib_mbr);
+                children.push(sib_id);
+                if children.len() > max_entries {
+                    let overflow = self.node_mut(node).take_internal_children();
                     let (a, _mbr_a, b, mbr_b) =
                         split(self.config.split, overflow, self.config.min_entries, |c| {
                             c.mbr
                         });
-                    self.nodes[node] = Node::Internal(a);
-                    let sibling = self.alloc(Node::Internal(b));
+                    *self.node_mut(node) = Node::internal_from(a);
+                    let sibling = self.alloc(Node::internal_from(b));
                     return InsertOutcome::Split(mbr_b, sibling);
                 }
                 InsertOutcome::Done
             }
         }
-    }
-
-    // ------------------------------------------------------------------
-    // Queries
-    // ------------------------------------------------------------------
-
-    /// Collects references to all values whose box intersects `query`.
-    pub fn search(&self, query: &Aabb<D>) -> Vec<&T> {
-        let mut out = Vec::new();
-        self.search_with(query, |_mbr, v| out.push(v));
-        out
-    }
-
-    /// Collects `(box, value)` pairs intersecting `query`.
-    pub fn search_entries(&self, query: &Aabb<D>) -> Vec<(Aabb<D>, &T)> {
-        let mut out = Vec::new();
-        self.search_with(query, |mbr, v| out.push((*mbr, v)));
-        out
-    }
-
-    /// Visits every item whose box intersects `query` without allocating.
-    pub fn search_with<'a>(&'a self, query: &Aabb<D>, mut visit: impl FnMut(&'a Aabb<D>, &'a T)) {
-        if self.len == 0 {
-            return;
-        }
-        // Explicit stack to avoid recursion overhead on deep trees.
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            match &self.nodes[id] {
-                Node::Leaf(items) => {
-                    for item in items {
-                        if item.mbr.intersects(query) {
-                            visit(&item.mbr, &item.value);
-                        }
-                    }
-                }
-                Node::Internal(children) => {
-                    for c in children {
-                        if c.mbr.intersects(query) {
-                            stack.push(c.node);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// [`Self::search_with`] that additionally accumulates traversal
-    /// counters into `stats`. A separate method (rather than a flag on
-    /// `search_with`) so the uninstrumented path keeps zero overhead.
-    pub fn search_with_stats<'a>(
-        &'a self,
-        query: &Aabb<D>,
-        stats: &mut SearchStats,
-        mut visit: impl FnMut(&'a Aabb<D>, &'a T),
-    ) {
-        if self.len == 0 {
-            return;
-        }
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            stats.nodes_visited += 1;
-            match &self.nodes[id] {
-                Node::Leaf(items) => {
-                    stats.leaves_scanned += 1;
-                    stats.items_tested += items.len() as u64;
-                    for item in items {
-                        if item.mbr.intersects(query) {
-                            stats.items_matched += 1;
-                            visit(&item.mbr, &item.value);
-                        }
-                    }
-                }
-                Node::Internal(children) => {
-                    for c in children {
-                        if c.mbr.intersects(query) {
-                            stack.push(c.node);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Returns the `k` stored values nearest to `point` (by MBR `MINDIST`),
-    /// closest first, together with their squared distances.
-    ///
-    /// Uses best-first traversal with a priority queue, so it touches only
-    /// the nodes whose boxes can contain a better candidate.
-    pub fn nearest_k(&self, point: [f64; D], k: usize) -> Vec<(&T, f64)> {
-        if k == 0 || self.len == 0 {
-            return Vec::new();
-        }
-
-        /// Max-heap entry ordered by negative distance = min-heap by distance.
-        struct HeapEntry<'a, T, const D: usize> {
-            dist_sq: f64,
-            kind: Candidate<'a, T, D>,
-        }
-        enum Candidate<'a, T, const D: usize> {
-            Node(NodeId),
-            Item(&'a T),
-        }
-        impl<T, const D: usize> PartialEq for HeapEntry<'_, T, D> {
-            fn eq(&self, other: &Self) -> bool {
-                self.dist_sq == other.dist_sq
-            }
-        }
-        impl<T, const D: usize> Eq for HeapEntry<'_, T, D> {}
-        impl<T, const D: usize> PartialOrd for HeapEntry<'_, T, D> {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl<T, const D: usize> Ord for HeapEntry<'_, T, D> {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Reverse: smallest distance pops first.
-                other.dist_sq.total_cmp(&self.dist_sq)
-            }
-        }
-
-        let mut heap: BinaryHeap<HeapEntry<'_, T, D>> = BinaryHeap::new();
-        heap.push(HeapEntry {
-            dist_sq: 0.0,
-            kind: Candidate::Node(self.root),
-        });
-        let mut out = Vec::with_capacity(k);
-        while let Some(entry) = heap.pop() {
-            match entry.kind {
-                Candidate::Item(v) => {
-                    out.push((v, entry.dist_sq));
-                    if out.len() == k {
-                        break;
-                    }
-                }
-                Candidate::Node(id) => match &self.nodes[id] {
-                    Node::Leaf(items) => {
-                        for item in items {
-                            heap.push(HeapEntry {
-                                dist_sq: item.mbr.min_dist_sq(&point),
-                                kind: Candidate::Item(&item.value),
-                            });
-                        }
-                    }
-                    Node::Internal(children) => {
-                        for c in children {
-                            heap.push(HeapEntry {
-                                dist_sq: c.mbr.min_dist_sq(&point),
-                                kind: Candidate::Node(c.node),
-                            });
-                        }
-                    }
-                },
-            }
-        }
-        out
-    }
-
-    /// Like [`Self::nearest_k`], but only returns items whose `MINDIST`
-    /// is at most `max_dist` (exclusive of anything farther). Useful when
-    /// a miss is better than a far match.
-    pub fn nearest_k_within(&self, point: [f64; D], k: usize, max_dist: f64) -> Vec<(&T, f64)> {
-        let limit_sq = max_dist * max_dist;
-        let mut hits = self.nearest_k(point, k);
-        hits.retain(|(_, d)| *d <= limit_sq);
-        hits
-    }
-
-    /// Iterates over all `(box, value)` pairs in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Aabb<D>, &T)> {
-        let mut stack = if self.len == 0 {
-            vec![]
-        } else {
-            vec![self.root]
-        };
-        let mut current: std::slice::Iter<'_, Item<T, D>> = [].iter();
-        std::iter::from_fn(move || loop {
-            if let Some(item) = current.next() {
-                return Some((&item.mbr, &item.value));
-            }
-            let id = stack.pop()?;
-            match &self.nodes[id] {
-                Node::Leaf(items) => current = items.iter(),
-                Node::Internal(children) => stack.extend(children.iter().map(|c| c.node)),
-            }
-        })
     }
 
     // ------------------------------------------------------------------
@@ -557,8 +329,8 @@ impl<T, const D: usize> RTree<T, D> {
 
         // Shrink the root while it is an internal node with one child.
         loop {
-            let new_root = match &self.nodes[self.root] {
-                Node::Internal(children) if children.len() == 1 => children[0].node,
+            let new_root = match self.node(self.root) {
+                Node::Internal { children, .. } if children.len() == 1 => children[0],
                 _ => break,
             };
             self.free.push(self.root);
@@ -569,7 +341,7 @@ impl<T, const D: usize> RTree<T, D> {
         // empty tree back to a leaf root.
         if self.len == orphans.len() {
             self.free.push(self.root);
-            self.root = self.alloc(Node::Leaf(Vec::new()));
+            self.root = self.alloc(Node::empty_leaf());
             self.height = 0;
         }
 
@@ -585,52 +357,52 @@ impl<T, const D: usize> RTree<T, D> {
     /// of dissolved nodes to `orphans`.
     fn remove_rec(
         &mut self,
-        node: NodeId,
+        node: NodeIx,
         mbr: &Aabb<D>,
         pred: &mut impl FnMut(&T) -> bool,
         depth: usize,
         orphans: &mut Vec<Item<T, D>>,
     ) -> Option<T> {
         if depth == 0 {
-            let Node::Leaf(items) = &mut self.nodes[node] else {
+            let Node::Leaf { items } = self.node_mut(node) else {
                 unreachable!()
             };
-            let idx = items.iter().position(|i| i.mbr == *mbr && pred(&i.value))?;
+            let idx = items
+                .iter()
+                .position(|it| it.mbr == *mbr && pred(&it.value))?;
             return Some(items.swap_remove(idx).value);
         }
 
-        let child_ids: Vec<(usize, NodeId, Aabb<D>)> = {
-            let Node::Internal(children) = &self.nodes[node] else {
+        let touched: Vec<(usize, NodeIx)> = {
+            let Node::Internal { mbrs, children } = self.node(node) else {
                 unreachable!()
             };
-            children
-                .iter()
+            mbrs.iter()
+                .zip(children)
                 .enumerate()
-                .filter(|(_, c)| c.mbr.intersects(mbr))
-                .map(|(i, c)| (i, c.node, c.mbr))
+                .filter(|(_, (m, _))| m.intersects(mbr))
+                .map(|(i, (_, c))| (i, *c))
                 .collect()
         };
 
-        for (idx, child_id, _) in child_ids {
+        for (idx, child_id) in touched {
             if let Some(value) = self.remove_rec(child_id, mbr, pred, depth - 1, orphans) {
                 // Check for underflow of the child.
-                let child_len = match &self.nodes[child_id] {
-                    Node::Leaf(items) => items.len(),
-                    Node::Internal(children) => children.len(),
-                };
+                let child_len = self.node(child_id).entry_count();
                 if child_len < self.config.min_entries {
                     // Dissolve the child: orphan all items beneath it.
-                    let Node::Internal(children) = &mut self.nodes[node] else {
+                    let Node::Internal { mbrs, children } = self.node_mut(node) else {
                         unreachable!()
                     };
+                    mbrs.swap_remove(idx);
                     children.swap_remove(idx);
                     self.collect_items(child_id, orphans);
                 } else {
                     let new_mbr = self.node_mbr(child_id);
-                    let Node::Internal(children) = &mut self.nodes[node] else {
+                    let Node::Internal { mbrs, .. } = self.node_mut(node) else {
                         unreachable!()
                     };
-                    children[idx].mbr = new_mbr;
+                    mbrs[idx] = new_mbr;
                 }
                 return Some(value);
             }
@@ -639,13 +411,13 @@ impl<T, const D: usize> RTree<T, D> {
     }
 
     /// Moves every item stored under `node` into `out` and frees the nodes.
-    fn collect_items(&mut self, node: NodeId, out: &mut Vec<Item<T, D>>) {
-        let taken = std::mem::replace(&mut self.nodes[node], Node::Leaf(Vec::new()));
+    fn collect_items(&mut self, node: NodeIx, out: &mut Vec<Item<T, D>>) {
+        let mut taken = std::mem::replace(self.node_mut(node), Node::empty_leaf());
         self.free.push(node);
-        match taken {
-            Node::Leaf(items) => out.extend(items),
-            Node::Internal(children) => {
-                for c in children {
+        match &mut taken {
+            Node::Leaf { .. } => out.append(&mut taken.take_leaf_items()),
+            Node::Internal { .. } => {
+                for c in taken.take_internal_children() {
                     self.collect_items(c.node, out);
                 }
             }
@@ -667,9 +439,9 @@ impl<T, const D: usize> RTree<T, D> {
         assert_eq!(counted, self.len, "len() disagrees with stored items");
     }
 
-    fn check_node(&self, id: NodeId, depth: usize, is_root: bool, counted: &mut usize) -> Aabb<D> {
-        match &self.nodes[id] {
-            Node::Leaf(items) => {
+    fn check_node(&self, ix: NodeIx, depth: usize, is_root: bool, counted: &mut usize) -> Aabb<D> {
+        match self.node(ix) {
+            Node::Leaf { items } => {
                 assert_eq!(depth, 0, "leaf above leaf level");
                 if !is_root {
                     assert!(
@@ -683,8 +455,13 @@ impl<T, const D: usize> RTree<T, D> {
                 *counted += items.len();
                 fold_mbr(items.iter().map(|i| i.mbr)).expect("empty non-root leaf")
             }
-            Node::Internal(children) => {
+            Node::Internal { mbrs, children } => {
                 assert!(depth > 0, "internal node at leaf level");
+                assert_eq!(
+                    mbrs.len(),
+                    children.len(),
+                    "internal SoA arrays out of sync"
+                );
                 let min = if is_root { 2 } else { self.config.min_entries };
                 assert!(
                     children.len() >= min,
@@ -696,9 +473,9 @@ impl<T, const D: usize> RTree<T, D> {
                     "internal overflow"
                 );
                 let mut acc: Option<Aabb<D>> = None;
-                for c in children {
-                    let actual = self.check_node(c.node, depth - 1, false, counted);
-                    assert_eq!(actual, c.mbr, "stored child MBR differs from computed MBR");
+                for (c_mbr, c_ix) in mbrs.iter().zip(children) {
+                    let actual = self.check_node(*c_ix, depth - 1, false, counted);
+                    assert_eq!(actual, *c_mbr, "stored child MBR differs from computed MBR");
                     acc = Some(match acc {
                         None => actual,
                         Some(a) => a.union(&actual),
@@ -715,7 +492,7 @@ enum InsertOutcome<T, const D: usize> {
     /// Inserted without structural change above this node.
     Done,
     /// The node split; the parent must adopt the new sibling.
-    Split(Aabb<D>, NodeId),
+    Split(Aabb<D>, NodeIx),
     /// R* forced reinsertion: these evicted items must be re-inserted
     /// from the root.
     Reinsert(Vec<Item<T, D>>),
@@ -743,11 +520,6 @@ fn evict_farthest<T, const D: usize>(items: &mut Vec<Item<T, D>>, count: usize) 
     evicted
 }
 
-pub(crate) fn fold_mbr<const D: usize>(mut mbrs: impl Iterator<Item = Aabb<D>>) -> Option<Aabb<D>> {
-    let first = mbrs.next()?;
-    Some(mbrs.fold(first, |acc, m| acc.union(&m)))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,34 +544,6 @@ mod tests {
     }
 
     #[test]
-    fn search_with_stats_matches_search_and_counts() {
-        let t = grid_tree(1000);
-        let query = Aabb::new([10.0, 2.0], [30.0, 6.0]);
-        let plain = t.search(&query);
-
-        let mut stats = SearchStats::default();
-        let mut observed = Vec::new();
-        t.search_with_stats(&query, &mut stats, |_mbr, v| observed.push(v));
-        assert_eq!(observed, plain);
-        assert_eq!(stats.items_matched, plain.len() as u64);
-        assert!(stats.items_tested >= stats.items_matched);
-        assert!(stats.nodes_visited >= stats.leaves_scanned);
-        assert!(stats.leaves_scanned >= 1);
-        // Selective queries must not scan the whole tree.
-        assert!(stats.items_tested < t.len() as u64);
-
-        // Out-param aggregates across calls.
-        let before = stats;
-        t.search_with_stats(&query, &mut stats, |_, _| {});
-        assert_eq!(stats.items_matched, before.items_matched * 2);
-
-        let empty: RTree<u32, 2> = RTree::new();
-        let mut s = SearchStats::default();
-        empty.search_with_stats(&query, &mut s, |_, _| {});
-        assert_eq!(s, SearchStats::default());
-    }
-
-    #[test]
     fn insert_and_range_search() {
         let t = grid_tree(1000);
         t.check_invariants();
@@ -808,55 +552,6 @@ mod tests {
         assert_eq!(hits.len(), 10); // 5 × 2 grid points
         let all = t.search(&Aabb::new([-1.0, -1.0], [1000.0, 1000.0]));
         assert_eq!(all.len(), 1000);
-    }
-
-    #[test]
-    fn search_entries_returns_boxes() {
-        let t = grid_tree(10);
-        let entries = t.search_entries(&Aabb::new([2.0, 0.0], [3.0, 0.0]));
-        assert_eq!(entries.len(), 2);
-        for (mbr, &v) in entries {
-            assert_eq!(mbr.min[0], f64::from(v % 100));
-        }
-    }
-
-    #[test]
-    fn nearest_k_exact_order() {
-        let t = grid_tree(100);
-        let hits = t.nearest_k([5.2, 0.0], 3);
-        let ids: Vec<u32> = hits.iter().map(|(v, _)| **v).collect();
-        assert_eq!(ids, vec![5, 6, 4]);
-        // Distances are non-decreasing.
-        for w in hits.windows(2) {
-            assert!(w[0].1 <= w[1].1);
-        }
-    }
-
-    #[test]
-    fn nearest_k_within_cuts_far_matches() {
-        let t = grid_tree(100);
-        // Nearest to (50, 50): the grid only spans x<100, y<1, so all
-        // points are ≥ 49 away vertically.
-        let all = t.nearest_k([50.0, 50.0], 5);
-        assert_eq!(all.len(), 5);
-        assert!(t.nearest_k_within([50.0, 50.0], 5, 10.0).is_empty());
-        let near = t.nearest_k_within([5.0, 0.0], 3, 1.5);
-        assert_eq!(near.len(), 3);
-        assert!(near.iter().all(|(_, d)| *d <= 1.5 * 1.5));
-    }
-
-    #[test]
-    fn nearest_k_more_than_len() {
-        let t = grid_tree(7);
-        assert_eq!(t.nearest_k([0.0, 0.0], 100).len(), 7);
-    }
-
-    #[test]
-    fn iter_visits_everything() {
-        let t = grid_tree(333);
-        let mut seen: Vec<u32> = t.iter().map(|(_, &v)| v).collect();
-        seen.sort_unstable();
-        assert_eq!(seen, (0..333).collect::<Vec<_>>());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! this module.
 
 pub(crate) mod epoch;
+pub mod fanout;
 mod ops;
 pub mod plan;
 mod write;
@@ -94,6 +95,10 @@ pub(crate) struct ServerObs {
     pub(crate) hits_delta: Arc<Counter>,
     /// Time shards the index scan fanned out to, per query.
     pub(crate) shards_probed: Arc<Histogram>,
+    /// Adaptive fan-out decisions: queries whose index scan ran serially
+    /// vs. on the pool (see [`fanout::FanoutDecision`]).
+    pub(crate) fanout_serial: Arc<Counter>,
+    pub(crate) fanout_parallel: Arc<Counter>,
     pub(crate) trace: Trace,
 }
 
@@ -119,6 +124,10 @@ impl ServerObs {
             "swag_server_shards_probed",
             "Time shards the index scan fanned out to, per query.",
         );
+        registry.set_help(
+            "swag_server_fanout_total",
+            "Index-scan fan-out decisions by mode (adaptive cost model).",
+        );
         ServerObs {
             lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
             index_scan: registry.histogram("swag_server_query_index_scan_micros"),
@@ -143,6 +152,14 @@ impl ServerObs {
             hits_delta: registry
                 .counter(&labeled_name("swag_server_hits_total", &[("src", "delta")])),
             shards_probed: registry.histogram("swag_server_shards_probed"),
+            fanout_serial: registry.counter(&labeled_name(
+                "swag_server_fanout_total",
+                &[("mode", "serial")],
+            )),
+            fanout_parallel: registry.counter(&labeled_name(
+                "swag_server_fanout_total",
+                &[("mode", "parallel")],
+            )),
             trace: Trace::new(256),
         }
     }
@@ -271,12 +288,20 @@ impl Engine {
     }
 
     /// Compiles the plan for a request and renders it against the
-    /// current snapshot: boxes, shards probed, pending delta, filter
-    /// chain, rank mode, and the operator pipeline.
+    /// current snapshot: boxes, shards probed, the fan-out decision the
+    /// cost model would take, pending delta, filter chain, rank mode,
+    /// and the operator pipeline.
     pub(crate) fn explain(&self, query: &Query, opts: &QueryOptions) -> String {
         let plan = QueryPlan::compile(query, opts);
         let epoch = self.epoch.read().clone();
-        plan.explain_against(&epoch.core.index, epoch.delta_len)
+        let decision = fanout::FanoutDecision::decide(
+            &epoch.core.index,
+            plan.query.t_start,
+            plan.query.t_end,
+            &self.exec,
+            self.config.fanout,
+        );
+        plan.explain_against(&epoch.core.index, epoch.delta_len, &decision)
     }
 
     /// Computes point-in-time gauges into `registry`: epoch snapshot age,

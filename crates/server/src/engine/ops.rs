@@ -13,6 +13,7 @@
 
 use std::sync::atomic::Ordering;
 
+use swag_exec::Executor;
 use swag_geo::LatLon;
 use swag_rtree::SearchStats;
 
@@ -22,6 +23,7 @@ use crate::server::{ServerStats, AUTO_THRESHOLD_INTERVAL};
 use crate::store::SegmentRecord;
 
 use super::epoch::{DeltaRecord, Epoch};
+use super::fanout::{self, FanoutDecision};
 use super::plan::{
     QueryPlan, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_QUERY_NEAREST, OP_RANKING,
 };
@@ -41,12 +43,30 @@ impl Engine {
         // Child spans below — shard probes included, even when stolen by
         // other workers — parent to this context.
         let mut root = self.recorder.guarded_span(OP_QUERY);
+        // Price the index scan before running it: narrow probes skip the
+        // pool entirely (serial beats per-job overhead below the work
+        // threshold), and the worker count is clamped to the host's
+        // available parallelism. Both paths produce byte-identical
+        // results, so this changes latency, never answers.
+        let decision = FanoutDecision::decide(
+            &epoch.core.index,
+            plan.query.t_start,
+            plan.query.t_end,
+            &self.exec,
+            self.config.fanout,
+        );
+        let serial = Executor::serial();
+        let probe_exec = if decision.parallel {
+            &self.exec
+        } else {
+            &serial
+        };
         let hits = match &self.obs {
             None => {
                 let candidates = {
                     let _span = self.recorder.span(OP_INDEX_SCAN);
                     epoch.core.index.candidates_in_exec(
-                        &self.exec,
+                        probe_exec,
                         &plan.boxes,
                         plan.query.t_start,
                         plan.query.t_end,
@@ -78,7 +98,7 @@ impl Engine {
                 let candidates = {
                     let _span = self.recorder.span(OP_INDEX_SCAN);
                     epoch.core.index.candidates_with_stats_in_exec(
-                        &self.exec,
+                        probe_exec,
                         &plan.boxes,
                         plan.query.t_start,
                         plan.query.t_end,
@@ -143,13 +163,12 @@ impl Engine {
                 obs.op_ranking.rows_out.record(hits.len() as u64);
                 obs.hits_index.add(n_index_hits as u64);
                 obs.hits_delta.add(n_delta_hits as u64);
-                obs.shards_probed.record(
-                    epoch
-                        .core
-                        .index
-                        .probe_shard_count(plan.query.t_start, plan.query.t_end)
-                        as u64,
-                );
+                obs.shards_probed.record(decision.shards as u64);
+                if decision.parallel {
+                    obs.fanout_parallel.inc();
+                } else {
+                    obs.fanout_serial.inc();
+                }
                 if obs.trace.try_sample() {
                     obs.trace.record(OP_QUERY, t_done - t0, n_candidates as u64);
                 }
@@ -242,6 +261,9 @@ impl Engine {
             let plan = QueryPlan::compile(q, opts);
             self.execute_plan(&epoch, t0, &plan)
         };
+        // Clamp to the host: a batch "parallelism" request beyond the
+        // machine's cores would only add scheduling churn.
+        let threads = threads.min(fanout::hw_threads());
         if threads <= 1 || self.exec.is_serial() {
             return queries.iter().map(one).collect();
         }

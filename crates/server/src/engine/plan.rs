@@ -17,6 +17,7 @@
 
 use swag_core::{points_toward, sector_intersects_circle, CameraProfile, RepFov};
 
+use crate::engine::fanout::FanoutDecision;
 use crate::index::{query_boxes, QueryBoxes};
 use crate::query::{Query, QueryOptions, RankMode};
 use crate::shard::ShardedFovIndex;
@@ -129,13 +130,19 @@ impl QueryPlan {
     }
 
     /// [`Self::explain`] resolved against a concrete snapshot: also
-    /// lists which time shards the plan probes and the pending delta
-    /// the delta-scan operator walks.
-    pub(crate) fn explain_against(&self, index: &ShardedFovIndex, delta_len: usize) -> String {
-        self.render(Some((index, delta_len)))
+    /// lists which time shards the plan probes, the fan-out decision the
+    /// cost model took for them, and the pending delta the delta-scan
+    /// operator walks.
+    pub(crate) fn explain_against(
+        &self,
+        index: &ShardedFovIndex,
+        delta_len: usize,
+        fanout: &FanoutDecision,
+    ) -> String {
+        self.render(Some((index, delta_len, fanout)))
     }
 
-    fn render(&self, snapshot: Option<(&ShardedFovIndex, usize)>) -> String {
+    fn render(&self, snapshot: Option<(&ShardedFovIndex, usize, &FanoutDecision)>) -> String {
         use std::fmt::Write as _;
         let q = &self.query;
         let mut out = String::new();
@@ -159,7 +166,7 @@ impl QueryPlan {
                 b.min[0], b.max[0], b.min[1], b.max[1]
             );
         }
-        if let Some((index, delta_len)) = snapshot {
+        if let Some((index, delta_len, fanout)) = snapshot {
             let probes = index.probe_shards(q.t_start, q.t_end);
             let mut line = format!(
                 "  shards  : probe {} of {} live (width {} s)",
@@ -174,6 +181,7 @@ impl QueryPlan {
                 }
             }
             let _ = writeln!(out, "{line}");
+            let _ = writeln!(out, "  fanout  : {}", fanout.render());
             let _ = writeln!(out, "  delta   : {delta_len} pending records (linear scan)");
         }
         let mut filters = Vec::new();

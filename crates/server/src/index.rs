@@ -288,6 +288,24 @@ impl FovIndex {
         stats: &mut SearchStats,
     ) -> Vec<SegmentId> {
         let mut out: Vec<SegmentId> = Vec::new();
+        self.candidates_with_stats_into(boxes, &mut out, stats);
+        if boxes.as_slice().len() > 1 {
+            out.sort_unstable();
+            out.dedup();
+        }
+        out
+    }
+
+    /// [`Self::candidates_into`] accumulating traversal counters into
+    /// `stats`: appends raw (not antimeridian-deduplicated) matches to
+    /// `out`. Counters are recorded during traversal — before any dedup
+    /// — so totals match [`Self::candidates_with_stats_in`] exactly.
+    pub fn candidates_with_stats_into(
+        &self,
+        boxes: &QueryBoxes,
+        out: &mut Vec<SegmentId>,
+        stats: &mut SearchStats,
+    ) {
         for qb in boxes.as_slice() {
             match self {
                 FovIndex::RTree(t) => {
@@ -307,11 +325,6 @@ impl FovIndex {
                 }
             }
         }
-        if boxes.as_slice().len() > 1 {
-            out.sort_unstable();
-            out.dedup();
-        }
-        out
     }
 
     /// Removes one indexed segment (used when providers retract videos).

@@ -32,6 +32,7 @@ pub mod shard;
 pub mod store;
 pub mod subscribe;
 
+pub use engine::fanout::{FanoutDecision, FanoutMode};
 pub use engine::plan::{FilterChain, QueryPlan};
 pub use index::{FovIndex, IndexKind};
 pub use persistence::{load_snapshot, save_snapshot, SnapshotError};

@@ -39,7 +39,15 @@ pub struct SearchHit {
 /// * **temporal coverage** — the fraction of the query window the segment
 ///   spans (the `U_t` of §VII, normalised).
 pub fn quality_score(rep: &RepFov, cam: &CameraProfile, query: &Query) -> f64 {
-    let d = rep.fov.p.distance_m(query.center);
+    quality_score_with_distance(rep, cam, query, rep.fov.p.distance_m(query.center))
+}
+
+/// [`quality_score`] with the FoV→centre distance already computed.
+/// Every hit needs that distance anyway (it is the distance-rank key),
+/// so the batch ranking path computes it once per candidate and feeds
+/// it to both consumers; `d` must equal
+/// `rep.fov.p.distance_m(query.center)` bit-for-bit.
+fn quality_score_with_distance(rep: &RepFov, cam: &CameraProfile, query: &Query, d: f64) -> f64 {
     let proximity = (1.0 - d / cam.view_radius_m).clamp(0.0, 1.0);
 
     let disp = rep.fov.p.displacement_to(query.center);
@@ -77,29 +85,54 @@ pub fn rank_candidates(
 /// chain, and builds unranked hits. Retired (retracted) records are
 /// dropped here as defense in depth: with sharded/snapshot indexes a
 /// stale candidate id must never resurface a retracted segment.
+///
+/// Structured as struct-of-arrays phases over the surviving candidates:
+/// the branchy resolve + filter pass first gathers the survivors, then
+/// one dense loop computes every FoV→centre distance, then one loop
+/// scores and materialises hits from the precomputed distances. Keeping
+/// each phase a homogeneous loop over parallel arrays lets the compiler
+/// vectorise the arithmetic (the same shape the [`swag_core::CamTrig`]
+/// similarity fast path uses), and computes each distance once instead
+/// of twice (rank key + quality proximity term).
 pub(crate) fn collect_hits(
     candidates: &[SegmentId],
     store: &SegmentStore,
     cam: &CameraProfile,
     plan: &QueryPlan,
 ) -> Vec<SearchHit> {
-    candidates
+    // Phase 1 — resolve + filter: the branchy pass, survivors only.
+    let recs: Vec<&SegmentRecord> = candidates
         .iter()
         .filter(|&&id| !store.is_retired(id))
         .map(|&id| store.get(id))
         .filter(|rec| plan.filters.accepts(&rec.rep, cam, &plan.query))
-        .map(|rec| hit_for(rec, cam, &plan.query))
+        .collect();
+    // Phase 2 — distances: one dense arithmetic loop over the survivors.
+    let center = plan.query.center;
+    let dists: Vec<f64> = recs
+        .iter()
+        .map(|rec| rec.rep.fov.p.distance_m(center))
+        .collect();
+    // Phase 3 — score + materialise from the precomputed distances.
+    recs.iter()
+        .zip(&dists)
+        .map(|(rec, &d)| hit_with_distance(rec, cam, &plan.query, d))
         .collect()
 }
 
 /// Builds one hit from a record that already passed the filters.
 pub(crate) fn hit_for(rec: &SegmentRecord, cam: &CameraProfile, query: &Query) -> SearchHit {
+    hit_with_distance(rec, cam, query, rec.rep.fov.p.distance_m(query.center))
+}
+
+/// [`hit_for`] with the FoV→centre distance already computed.
+fn hit_with_distance(rec: &SegmentRecord, cam: &CameraProfile, query: &Query, d: f64) -> SearchHit {
     SearchHit {
         id: rec.id,
         source: rec.source,
         rep: rec.rep,
-        distance_m: rec.rep.fov.p.distance_m(query.center),
-        quality: quality_score(&rec.rep, cam, query),
+        distance_m: d,
+        quality: quality_score_with_distance(&rec.rep, cam, query, d),
     }
 }
 

@@ -35,6 +35,7 @@ use swag_core::{CameraProfile, RepFov, UploadBatch};
 use swag_exec::Executor;
 use swag_obs::{FlightRecorder, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
 
+use crate::engine::fanout::FanoutMode;
 use crate::engine::Engine;
 use crate::index::IndexKind;
 use crate::query::{Query, QueryOptions};
@@ -65,6 +66,11 @@ pub struct ServerConfig {
     /// [`AUTO_THRESHOLD_INTERVAL`] queries, observability attached and
     /// recorder enabled).
     pub slow_query_micros: Option<u64>,
+    /// How the engine chooses between the serial and parallel shard
+    /// probe per query. [`FanoutMode::Adaptive`] (the default) prices
+    /// each plan with the fan-out cost model; `Serial` / `Parallel`
+    /// force one path (both produce byte-identical results).
+    pub fanout: FanoutMode,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +82,7 @@ impl Default for ServerConfig {
             retention_horizon_s: None,
             compact_dead_fraction: 0.25,
             slow_query_micros: None,
+            fanout: FanoutMode::Adaptive,
         }
     }
 }

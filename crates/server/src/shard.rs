@@ -66,6 +66,21 @@ struct ShardObs {
     candidates: Arc<Histogram>,
 }
 
+/// What a `[t0, t1]` probe is estimated to cost, before running it
+/// (the input to the engine's adaptive fan-out cost model).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProbeEstimate {
+    /// Live shards the window touches.
+    pub shards: usize,
+    /// Indexed items across those shards.
+    pub items: usize,
+    /// Selectivity-weighted items: each shard's count scaled by the
+    /// fraction of its time bucket the window overlaps. Assumes items
+    /// spread roughly uniformly over a bucket — good enough to separate
+    /// "a sliver of two shards" from "all of nine shards".
+    pub work: f64,
+}
+
 /// What one [`ShardedFovIndex::expire_before`] call removed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExpireReport {
@@ -192,6 +207,22 @@ impl ShardedFovIndex {
     /// materialising them (per-query fan-out accounting).
     pub fn probe_shard_count(&self, t0: f64, t1: f64) -> usize {
         self.shards.range(self.buckets(t0, t1)).count()
+    }
+
+    /// Estimates what probing `[t0, t1]` costs without running it: live
+    /// shards, their item counts, and the selectivity-weighted work (the
+    /// engine's fan-out cost model prices plans with this).
+    pub fn estimate_probe(&self, t0: f64, t1: f64) -> ProbeEstimate {
+        let w = self.shard_width_s;
+        let mut est = ProbeEstimate::default();
+        for (bucket, shard) in self.shards.range(self.buckets(t0, t1)) {
+            let bucket_start = *bucket as f64 * w;
+            let overlap = (t1.min(bucket_start + w) - t0.max(bucket_start)).clamp(0.0, w);
+            est.shards += 1;
+            est.items += shard.len();
+            est.work += shard.len() as f64 * (overlap / w);
+        }
+        est
     }
 
     /// Every live shard as `(bucket, indexed items)` pairs in bucket
@@ -389,21 +420,13 @@ impl ShardedFovIndex {
                 let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
                 only.candidates_with_stats_in(boxes, stats)
             }
-            many if exec.is_serial() => {
-                let per_shard: Vec<Vec<SegmentId>> = many
-                    .iter()
-                    .map(|shard| {
-                        let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
-                        shard.candidates_with_stats_in(boxes, stats)
-                    })
-                    .collect();
-                with_scratch(|scratch| {
-                    for v in &per_shard {
-                        scratch.extend_from_slice(v);
-                    }
-                    sorted_dedup(scratch)
-                })
-            }
+            many if exec.is_serial() => with_scratch(|scratch| {
+                for shard in many {
+                    let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));
+                    shard.candidates_with_stats_into(boxes, scratch, stats);
+                }
+                sorted_dedup(scratch)
+            }),
             many => {
                 let per_shard = exec.par_map(many, |shard| {
                     let _probe = recorder.as_ref().map(|r| r.span("shard_probe"));

@@ -23,7 +23,7 @@ use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
 use swag_exec::{ExecConfig, Executor};
 use swag_geo::LatLon;
 use swag_server::{
-    CloudServer, Query, QueryOptions, RankMode, SearchHit, SegmentRef, ServerConfig,
+    CloudServer, FanoutMode, Query, QueryOptions, RankMode, SearchHit, SegmentRef, ServerConfig,
 };
 
 const FIXTURE: &str = include_str!("fixtures/engine_oracle.txt");
@@ -332,6 +332,49 @@ fn servers_from(reps: &[RepFov]) -> (CloudServer, CloudServer) {
     (serial, parallel)
 }
 
+/// One server per [`FanoutMode`], all on the shared parallel pool, loaded
+/// with identical records — only the probe fan-out decision may differ.
+fn servers_per_fanout_mode(reps: &[RepFov]) -> Vec<(FanoutMode, CloudServer)> {
+    let records: Vec<(RepFov, SegmentRef)> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, &rep)| {
+            (
+                rep,
+                SegmentRef {
+                    provider_id: (i % 5) as u64,
+                    video_id: (i / 5) as u64,
+                    segment_idx: i as u32,
+                },
+            )
+        })
+        .collect();
+    [
+        FanoutMode::Adaptive,
+        FanoutMode::Serial,
+        FanoutMode::Parallel,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let config = ServerConfig {
+            shard_width_s: 120.0,
+            publish_threshold: 16,
+            fanout: mode,
+            ..ServerConfig::default()
+        };
+        (
+            mode,
+            CloudServer::from_records_with_config_exec(
+                CameraProfile::smartphone(),
+                config,
+                par_exec(),
+                records.clone(),
+            ),
+        )
+    })
+    .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -352,6 +395,34 @@ proptest! {
         }
         prop_assert_eq!(&serial.query_batch(&queries, &opts, 1), &per_query);
         prop_assert_eq!(&parallel.query_batch(&queries, &opts, 4), &per_query);
+    }
+
+    /// The adaptive fan-out cost model may only change *where* a probe
+    /// runs, never *what* it returns: forcing serial, forcing parallel,
+    /// and letting the planner decide must all be byte-identical.
+    #[test]
+    fn fanout_decision_never_changes_results(
+        reps in prop::collection::vec(arb_rep(), 0..120),
+        queries in prop::collection::vec(arb_query(), 1..8),
+        opts in arb_opts(),
+    ) {
+        let servers = servers_per_fanout_mode(&reps);
+        let (_, oracle) = &servers[0];
+        let expected: Vec<Vec<SearchHit>> =
+            queries.iter().map(|q| oracle.query(q, &opts)).collect();
+        let expected_batch = oracle.query_batch(&queries, &opts, 4);
+        for (mode, server) in &servers[1..] {
+            for (q, hits) in queries.iter().zip(&expected) {
+                prop_assert_eq!(
+                    &server.query(q, &opts), hits,
+                    "query results diverged under {:?}", mode
+                );
+            }
+            prop_assert_eq!(
+                &server.query_batch(&queries, &opts, 4), &expected_batch,
+                "batch results diverged under {:?}", mode
+            );
+        }
     }
 
     /// k-nearest: the radius-expansion plan loop must agree across

@@ -142,6 +142,55 @@ proptest! {
     }
 }
 
+/// Regression: on a single-thread host (`SWAG_EXEC_THREADS=1`, the shape
+/// that produced the 0.677x parallel_bench run) the planner must route
+/// every probe through the serial path — a one-worker pool can only add
+/// coordination overhead, never speedup.
+#[test]
+fn single_thread_host_plans_serial_fanout() {
+    std::env::set_var("SWAG_EXEC_THREADS", "1");
+    let exec = Executor::new(ExecConfig::from_env());
+    assert!(
+        exec.is_serial(),
+        "SWAG_EXEC_THREADS=1 must yield a serial executor"
+    );
+
+    // Plenty of data across many shards: eligible for fan-out on every
+    // axis except worker count.
+    let reps: Vec<RepFov> = (0..4096)
+        .map(|i| {
+            let t0 = (i % 64) as f64 * 40.0;
+            RepFov::new(
+                t0,
+                t0 + 30.0,
+                Fov::new(center_offset(i as u64 % 17, i % 9), (i % 360) as f64),
+            )
+        })
+        .collect();
+    let server = CloudServer::from_records_with_config_exec(
+        CameraProfile::smartphone(),
+        config(),
+        exec,
+        with_sources(&reps),
+    );
+
+    let q = Query::new(0.0, 2600.0, base(), 5_000.0);
+    let plan = server.explain(&q, &QueryOptions::default());
+    assert!(
+        plan.contains("fanout  : serial"),
+        "single-thread host must plan a serial probe, got:\n{plan}"
+    );
+    // And the answers stay identical to a forced-parallel pool.
+    let pooled = CloudServer::from_records_with_config_exec(
+        CameraProfile::smartphone(),
+        config(),
+        par_exec(),
+        with_sources(&reps),
+    );
+    let opts = QueryOptions::default();
+    assert_eq!(server.query(&q, &opts), pooled.query(&q, &opts));
+}
+
 /// Batched parallel queries racing ingest and retraction on a pooled
 /// server: every hit must respect the query window/radius and never come
 /// from a provider whose retraction had already published.

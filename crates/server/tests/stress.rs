@@ -42,9 +42,7 @@ fn concurrent_ingest_retract_expire_query_stays_consistent() {
             index: IndexKind::RTree,
             shard_width_s: SHARD_WIDTH_S,
             publish_threshold: 8,
-            retention_horizon_s: None,
-            compact_dead_fraction: 0.25,
-            slow_query_micros: None,
+            ..ServerConfig::default()
         },
     );
     // Providers whose retraction has *completed* (published) so far.

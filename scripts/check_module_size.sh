@@ -9,14 +9,11 @@
 # note here.
 #   crates/bench/src/bin/figures.rs — one self-contained binary emitting
 #     every paper figure; splitting it would scatter a single report.
-#   crates/rtree/src/tree.rs — the STR R-tree and its invariant-heavy
-#     tests live together so the packing maths stays next to its proofs.
 set -euo pipefail
 
 MAX_LINES=800
 ALLOWLIST=(
   "crates/bench/src/bin/figures.rs"
-  "crates/rtree/src/tree.rs"
 )
 
 cd "$(dirname "$0")/.."
