@@ -1,0 +1,442 @@
+//! Plan-keyed result cache vs. cold execution under a zipfian query mix,
+//! plus admission-control load-shedding under deliberate overload.
+//!
+//! Three phases, one `BENCH_cache.json` at the workspace root:
+//!
+//! 1. **Correctness** — a cache-on and a cache-off server ingest the same
+//!    corpus in interleaved chunks; after every chunk the zipfian replay
+//!    must be byte-identical on both (a publish that under-invalidates
+//!    would serve stale hits here). Mismatch always exits 1.
+//! 2. **Timing** — both servers preloaded with the full corpus answer the
+//!    same zipfian (s = 1.1) sequence drawn from a pool of distinct
+//!    queries; `throughput_gain = t_off / t_on` (medians over rounds)
+//!    must reach [`MIN_GAIN`] (parity in `--smoke`, where the workload is
+//!    too small to gate performance meaningfully).
+//! 3. **Overload** — hammering clients exceed a tight admission budget;
+//!    the run must shed (`shed > 0`) while the requests it *does* admit
+//!    keep a bounded p99 ([`MAX_ADMITTED_P99_MICROS`]) — the
+//!    shed-instead-of-queue contract.
+//!
+//! Usage: `cargo run --release -p swag-bench --bin cache_bench [-- --smoke]`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use swag_bench::fmt_duration;
+use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
+use swag_geo::LatLon;
+use swag_obs::Registry;
+use swag_server::{
+    AdmissionConfig, CacheConfig, CloudServer, Query, QueryOptions, SegmentRef, ServerConfig,
+    ShedReason,
+};
+
+/// Hot-query throughput gain the cached server must reach over the cold
+/// one on the full workload (acceptance gate; parity in smoke).
+const MIN_GAIN: f64 = 2.0;
+
+/// Zipf exponent of the query popularity distribution.
+const ZIPF_S: f64 = 1.1;
+
+/// Admitted requests under overload must stay below this p99 — shedding
+/// converts excess offered load into refusals, not latency.
+const MAX_ADMITTED_P99_MICROS: u64 = 100_000;
+
+struct Workload {
+    preload: usize,
+    pool: usize,
+    sequence: usize,
+    rounds: usize,
+    smoke: bool,
+}
+
+impl Workload {
+    fn from_args() -> Self {
+        let mut w = Workload {
+            preload: 40_000,
+            pool: 1_024,
+            sequence: 30_000,
+            rounds: 5,
+            smoke: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => {
+                    w.smoke = true;
+                    w.preload = 4_000;
+                    w.pool = 128;
+                    w.sequence = 2_000;
+                    w.rounds = 2;
+                }
+                "--pool" => {
+                    let v = args.next().expect("--pool needs a value");
+                    w.pool = v.parse().expect("--pool must be an integer");
+                }
+                other => panic!("unknown argument {other:?} (expected --smoke | --pool N)"),
+            }
+        }
+        w
+    }
+}
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Deterministic synthetic corpus, same spiral shape as `parallel_bench`.
+fn records(n: usize) -> Vec<(RepFov, SegmentRef)> {
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 0.618_033_988_75 * 360.0) % 360.0;
+            let dist = 900.0 * (((i % 997) as f64 + 1.0) / 997.0).sqrt();
+            let t0 = ((i * 37) % 21_600) as f64;
+            (
+                RepFov::new(
+                    t0,
+                    t0 + 8.0,
+                    Fov::new(center().offset(bearing, dist), (i % 360) as f64),
+                ),
+                SegmentRef {
+                    provider_id: (i / 100) as u64,
+                    video_id: 0,
+                    segment_idx: i as u32,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Pool of distinct, cache-eligible queries the zipfian mix draws from.
+fn query_pool(n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 137.507_764) % 360.0;
+            let dist = 500.0 * ((i % 23) as f64 / 23.0);
+            let t0 = ((i * 131) % 20_000) as f64;
+            let span = if i % 4 == 0 { 120.0 } else { 2_400.0 };
+            Query::new(t0, t0 + span, center().offset(bearing, dist), 200.0)
+        })
+        .collect()
+}
+
+/// SplitMix64, the repo's deterministic generator idiom.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(s) sampler over ranks `0..n` by inverse CDF: popularity of rank
+/// r is proportional to `1 / (r + 1)^s`, sampled with a binary search
+/// over the precomputed cumulative weights.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.unit_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The replayed sequence: pool indices drawn zipfian, fixed seed.
+fn zipf_sequence(pool: usize, len: usize) -> Vec<usize> {
+    let zipf = Zipf::new(pool, ZIPF_S);
+    let mut rng = Rng(0x5747_2015);
+    (0..len).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+fn config(cache: CacheConfig) -> ServerConfig {
+    ServerConfig {
+        cache,
+        ..ServerConfig::default()
+    }
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn p99(mut micros: Vec<u64>) -> u64 {
+    if micros.is_empty() {
+        return 0;
+    }
+    micros.sort_unstable();
+    micros[(micros.len() - 1) * 99 / 100]
+}
+
+/// Phase 1: interleaved ingests on both servers, byte-identical replay
+/// after every chunk. Returns false on the first divergence.
+fn correctness_phase(w: &Workload, pool: &[Query], seq: &[usize]) -> bool {
+    let cam = CameraProfile::smartphone();
+    let off = CloudServer::with_config(cam, config(CacheConfig::default()));
+    let on = CloudServer::with_config(cam, config(CacheConfig::enabled(w.pool * 2)));
+    let recs = records(w.preload / 4);
+    let opts = QueryOptions::default();
+    let chunk = recs.len().div_ceil(4).max(1);
+    let replay = &seq[..seq.len().min(w.sequence / 4)];
+    for (chunk_no, batch) in recs.chunks(chunk).enumerate() {
+        let reps: Vec<RepFov> = batch.iter().map(|(rep, _)| *rep).collect();
+        for server in [&off, &on] {
+            server.ingest_batch(&UploadBatch {
+                provider_id: chunk_no as u64,
+                video_id: 0,
+                reps: reps.clone(),
+            });
+        }
+        for (i, &qi) in replay.iter().enumerate() {
+            let expect = off.query(&pool[qi], &opts);
+            let got = on.query(&pool[qi], &opts);
+            if got != expect {
+                eprintln!(
+                    "FAIL: cached result diverges at chunk {chunk_no}, replay #{i} \
+                     (pool query {qi}): {} hits vs {} expected",
+                    got.len(),
+                    expect.len()
+                );
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Phase 3: hammering clients against a tight admission budget.
+fn overload_phase(w: &Workload, pool: &[Query]) -> (u64, u64, u64, u64, u64) {
+    let cam = CameraProfile::smartphone();
+    let server = CloudServer::from_records_with_config(
+        cam,
+        ServerConfig {
+            cache: CacheConfig::enabled(w.pool * 2),
+            admission: AdmissionConfig {
+                enabled: true,
+                rate_per_s: 2_000.0,
+                burst: 100.0,
+                max_inflight: 4,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        records(w.preload / 4),
+    );
+    let opts = QueryOptions::default();
+    let clients = 8u64;
+    let attempts = if w.smoke { 2_000 } else { 10_000 };
+
+    let mut results: Vec<(u64, u64, u64, Vec<u64>)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut rng = Rng(client);
+                    let zipf = Zipf::new(pool.len(), ZIPF_S);
+                    let (mut admitted, mut rate_limited, mut overloaded) = (0u64, 0u64, 0u64);
+                    let mut lat = Vec::with_capacity(attempts);
+                    for _ in 0..attempts {
+                        let q = &pool[zipf.sample(&mut rng)];
+                        let t = Instant::now();
+                        match server.query_admitted(client, q, &opts) {
+                            Ok(_) => {
+                                admitted += 1;
+                                lat.push(t.elapsed().as_micros() as u64);
+                            }
+                            Err(ShedReason::RateLimited) => rate_limited += 1,
+                            Err(ShedReason::Overloaded) => overloaded += 1,
+                        }
+                    }
+                    (admitted, rate_limited, overloaded, lat)
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("overload worker panicked"));
+        }
+    });
+    let admitted: u64 = results.iter().map(|r| r.0).sum();
+    let rate_limited: u64 = results.iter().map(|r| r.1).sum();
+    let overloaded: u64 = results.iter().map(|r| r.2).sum();
+    let latencies: Vec<u64> = results.into_iter().flat_map(|r| r.3).collect();
+    (
+        clients * attempts as u64,
+        admitted,
+        rate_limited,
+        overloaded,
+        p99(latencies),
+    )
+}
+
+fn main() {
+    let w = Workload::from_args();
+    let cam = CameraProfile::smartphone();
+    let opts = QueryOptions::default();
+    let pool = query_pool(w.pool);
+    let seq = zipf_sequence(w.pool, w.sequence);
+    println!(
+        "result cache vs cold: {} segments, pool {} distinct queries, \
+         zipf(s={ZIPF_S}) x {}, {} rounds{}",
+        w.preload,
+        w.pool,
+        w.sequence,
+        w.rounds,
+        if w.smoke { " [smoke]" } else { "" }
+    );
+
+    // --- Phase 1: correctness across interleaved ingests --------------
+    let identical = correctness_phase(&w, &pool, &seq);
+    println!("  correctness: cached == uncached across interleaved ingests: {identical}");
+
+    // --- Phase 2: zipfian replay throughput ---------------------------
+    let recs = records(w.preload);
+    let off =
+        CloudServer::from_records_with_config(cam, config(CacheConfig::default()), recs.clone());
+    let mut on =
+        CloudServer::from_records_with_config(cam, config(CacheConfig::enabled(w.pool * 2)), recs);
+    let reg = Registry::new();
+    on.attach_observability(&reg);
+
+    let mut t_off = Vec::with_capacity(w.rounds);
+    let mut t_on = Vec::with_capacity(w.rounds);
+    for round in 0..=w.rounds {
+        let t = Instant::now();
+        let mut n_off = 0usize;
+        for &qi in &seq {
+            n_off += off.query(&pool[qi], &opts).len();
+        }
+        let ns_off = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let mut n_on = 0usize;
+        for &qi in &seq {
+            n_on += on.query(&pool[qi], &opts).len();
+        }
+        let ns_on = t.elapsed().as_nanos() as u64;
+
+        assert_eq!(n_on, n_off, "replay hit totals diverge");
+        // Round 0 warms both subjects (page cache, result cache).
+        if round > 0 {
+            t_off.push(ns_off);
+            t_on.push(ns_on);
+        }
+    }
+    let query_off = median(&mut t_off);
+    let query_on = median(&mut t_on);
+    let gain = query_off as f64 / query_on as f64;
+    let hits = reg.counter("swag_server_cache_hits_total").get();
+    let misses = reg.counter("swag_server_cache_misses_total").get();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let dur = |ns: u64| fmt_duration(std::time::Duration::from_nanos(ns));
+    println!(
+        "  replay  cache-off {:>10}   cache-on {:>10}   ({gain:.2}x, {:.1}% hit rate)",
+        dur(query_off),
+        dur(query_on),
+        hit_rate * 100.0
+    );
+
+    // --- Phase 3: overload sheds instead of queueing ------------------
+    let (offered, admitted, rate_limited, overloaded, adm_p99) = overload_phase(&w, &pool);
+    let shed = rate_limited + overloaded;
+    println!(
+        "  overload: {offered} offered -> {admitted} admitted, {shed} shed \
+         ({rate_limited} rate-limited, {overloaded} overloaded), admitted p99 {adm_p99} us"
+    );
+
+    let min_gain = if w.smoke { 1.0 } else { MIN_GAIN };
+    let gain_ok = gain >= min_gain;
+    let shed_ok = shed > 0 && adm_p99 <= MAX_ADMITTED_P99_MICROS;
+    let pass = identical && gain_ok && shed_ok;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"preloaded_segments\": {},\n",
+            "  \"pool\": {},\n",
+            "  \"sequence\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"zipf_s\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"median_ns\": {{\"query_off\": {}, \"query_on\": {}}},\n",
+            "  \"throughput_gain\": {:.3},\n",
+            "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            "  \"overload\": {{\"offered\": {}, \"admitted\": {}, \"rate_limited\": {}, ",
+            "\"overloaded\": {}, \"admitted_p99_micros\": {}}},\n",
+            "  \"identical_results\": {},\n",
+            "  \"min_gain\": {},\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        w.preload,
+        w.pool,
+        w.sequence,
+        w.rounds,
+        ZIPF_S,
+        w.smoke,
+        query_off,
+        query_on,
+        gain,
+        hits,
+        misses,
+        hit_rate,
+        offered,
+        admitted,
+        rate_limited,
+        overloaded,
+        adm_p99,
+        identical,
+        min_gain,
+        pass
+    );
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_cache.json");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("cannot write BENCH_cache.json");
+    println!("wrote {}", path.display());
+
+    if !pass {
+        if !identical {
+            eprintln!("FAIL: cached results diverged from uncached");
+        } else if !gain_ok {
+            eprintln!("FAIL: throughput gain {gain:.2}x < {min_gain}x under the zipfian mix");
+        } else {
+            eprintln!(
+                "FAIL: overload phase — shed {shed}, admitted p99 {adm_p99} us \
+                 (need shed > 0 and p99 <= {MAX_ADMITTED_P99_MICROS} us)"
+            );
+        }
+        std::process::exit(1);
+    }
+}

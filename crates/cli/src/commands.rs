@@ -12,13 +12,13 @@ use swag_net::{
     UploadPolicy,
 };
 use swag_obs::{
-    assemble, chrome_trace_json, render_waterfall, FlightRecorder, Metric, Registry, SpanTree,
-    DEFAULT_RING_CAPACITY,
+    assemble, chrome_trace_json, labeled_name, render_waterfall, FlightRecorder, Metric, Registry,
+    SpanTree, DEFAULT_RING_CAPACITY,
 };
 use swag_sensors::{scenarios, SensorNoise};
 use swag_server::{
-    load_snapshot, save_snapshot, CloudServer, Query, QueryOptions, RankMode, SegmentRef,
-    ServerConfig,
+    load_snapshot, save_snapshot, CacheConfig, CloudServer, Query, QueryOptions, RankMode,
+    SegmentRef, ServerConfig,
 };
 
 use crate::args::ArgParser;
@@ -196,8 +196,9 @@ fn parse_query_args(args: &ArgParser) -> Result<(Query, QueryOptions), String> {
         } else {
             RankMode::Distance
         },
-    };
-    opts.validate().map_err(|e| e.to_string())?;
+    }
+    .validated()
+    .map_err(|e| e.to_string())?;
     Ok((q, opts))
 }
 
@@ -257,6 +258,7 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     let seed = args.get_u64("seed", 42)?;
     let n_queries = args.get_u64("queries", 32)?;
     let threads = args.get_u64("threads", 1)? as usize;
+    let cache_cap = args.get_u64("cache", 0)? as usize;
     let shard_width_s = args.get_f64("shard-width", 600.0)?;
     if !(shard_width_s.is_finite() && shard_width_s > 0.0) {
         return Err("--shard-width must be positive".into());
@@ -309,6 +311,7 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
         ServerConfig {
             shard_width_s,
             retention_horizon_s: retain_s,
+            cache: CacheConfig::enabled(cache_cap),
             ..ServerConfig::default()
         },
     );
@@ -326,6 +329,11 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
         })
         .collect();
     server.query_batch(&probes, &QueryOptions::default(), threads);
+    if cache_cap > 0 {
+        // Second pass reads warm result-cache entries, so the hit/miss
+        // split in the rendered metrics reflects a steady-state mix.
+        server.query_batch(&probes, &QueryOptions::default(), threads);
+    }
     server.query_nearest(
         0.0,
         trace.last().map_or(60.0, |f| f.t),
@@ -361,6 +369,25 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
                 },
                 e.tasks,
                 e.steals,
+            );
+            let ch = registry.counter("swag_server_cache_hits_total").get();
+            let cm = registry.counter("swag_server_cache_misses_total").get();
+            let shed =
+                reason_total(&registry, "rate_limited") + reason_total(&registry, "overloaded");
+            println!(
+                "cache: {}, {ch} hits / {cm} misses ({:.0}% hit rate); \
+                 admission: {} admitted, {shed} shed",
+                if cache_cap > 0 {
+                    format!("on (cap {cache_cap})")
+                } else {
+                    "off".to_string()
+                },
+                if ch + cm > 0 {
+                    100.0 * ch as f64 / (ch + cm) as f64
+                } else {
+                    0.0
+                },
+                registry.counter("swag_server_admitted_total").get(),
             );
         }
         other => return Err(format!("unknown format '{other}' (pretty|prometheus|json)")),
@@ -487,6 +514,16 @@ pub fn trace(args: ArgParser) -> Result<(), String> {
         print!("{}", render_waterfall(tree, 48));
     }
     Ok(())
+}
+
+/// Cumulative total of one `swag_server_shed_total` reason label.
+fn reason_total(registry: &Registry, reason: &str) -> u64 {
+    registry
+        .counter(&labeled_name(
+            "swag_server_shed_total",
+            &[("reason", reason)],
+        ))
+        .get()
 }
 
 fn print_metrics_table(registry: &Registry) {

@@ -21,7 +21,7 @@ use swag_obs::{
     WindowView,
 };
 use swag_sensors::{scenarios, SensorNoise};
-use swag_server::{CloudServer, Query, QueryOptions, ServerConfig};
+use swag_server::{AdmissionConfig, CacheConfig, CloudServer, Query, QueryOptions, ServerConfig};
 
 use crate::args::ArgParser;
 
@@ -108,11 +108,21 @@ impl LiveStack {
 
         // Server layer: small publish threshold and a retention horizon,
         // so the shifted re-ingest keeps the snapshot lifecycle active.
+        // The result cache and admission control run here with generous
+        // budgets: the dashboard's hit-rate and shed-rate rows describe a
+        // live mix rather than zeros.
         let mut server = CloudServer::with_config(
             cam,
             ServerConfig {
                 publish_threshold: 64,
                 retention_horizon_s: Some(1_800.0),
+                cache: CacheConfig::enabled(2_048),
+                admission: AdmissionConfig {
+                    enabled: true,
+                    rate_per_s: 500.0,
+                    burst: 250.0,
+                    ..AdmissionConfig::default()
+                },
                 ..ServerConfig::default()
             },
         );
@@ -187,6 +197,13 @@ impl LiveStack {
             .collect();
         self.server
             .query_batch(&probes, &QueryOptions::default(), self.threads);
+        // One admitted probe per tick drives the admission counters (and,
+        // between ingests, reads a warm result-cache entry).
+        let _ = self.server.query_admitted(
+            1 + tick % 8,
+            &probes[tick as usize % probes.len()],
+            &QueryOptions::default(),
+        );
     }
 }
 
@@ -290,10 +307,35 @@ pub fn render_dashboard(stack: &LiveStack, statuses: &[SloStatus]) -> String {
     ));
     let (rb50, rb99) = quantiles(&view("swag_server_snapshot_rebuild_micros"));
     out.push_str(&format!(
-        "publish   {:>8.2}/s  rebuild p50/p99 {rb50}/{rb99} us  retention dropped {:.1}/s  ingested {:.1}/s\n\n",
+        "publish   {:>8.2}/s  rebuild p50/p99 {rb50}/{rb99} us  retention dropped {:.1}/s  ingested {:.1}/s\n",
         rate(&view("swag_server_publishes_total")),
         rate(&view("swag_server_retention_dropped_total")),
         rate(&view("swag_server_segments_ingested_total")),
+    ));
+    let cache_hits = rate(&view("swag_server_cache_hits_total"));
+    let cache_lookups = cache_hits + rate(&view("swag_server_cache_misses_total"));
+    let shed_rate = rate(&view(&labeled_name(
+        "swag_server_shed_total",
+        &[("reason", "rate_limited")],
+    ))) + rate(&view(&labeled_name(
+        "swag_server_shed_total",
+        &[("reason", "overloaded")],
+    )));
+    out.push_str(&format!(
+        "cache     {:>8.1}/s lookups  hit rate {:>5.1}%  entries {}  evictions {:.1}/s\n",
+        cache_lookups,
+        if cache_lookups > 0.0 {
+            100.0 * cache_hits / cache_lookups
+        } else {
+            0.0
+        },
+        gauge(&stack.registry, "swag_server_cache_entries"),
+        rate(&view("swag_server_cache_evictions_total")),
+    ));
+    out.push_str(&format!(
+        "admission {:>8.1}/s admitted  shed {shed_rate:.2}/s  queue depth {}\n\n",
+        rate(&view("swag_server_admitted_total")),
+        gauge(&stack.registry, "swag_server_queue_depth"),
     ));
 
     for s in statuses {

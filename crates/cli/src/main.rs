@@ -80,7 +80,7 @@ USAGE:
                 [--coverage] [--quality]
   swag retract  --snapshot FILE --provider ID
   swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
-                [--threads N] [--shard-width SECS] [--retain SECS]
+                [--threads N] [--shard-width SECS] [--retain SECS] [--cache N]
   swag trace    [--seed N] [--queries N] [--top K] [--threads N]
                 [--slow-micros US] [--chrome FILE]
   swag export   --in TRACE.csv --geojson FILE

@@ -7,6 +7,7 @@
 //! pre-computed index box so the per-query delta scan is a pure `Aabb`
 //! intersection test.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::shard::ShardedFovIndex;
@@ -17,6 +18,39 @@ pub(crate) struct SnapshotCore {
     pub(crate) store: SegmentStore,
     pub(crate) index: ShardedFovIndex,
     pub(crate) published_at_micros: u64,
+}
+
+/// The result cache's view of "has anything this plan could see
+/// changed?" — carried immutably on every epoch, bumped by the writer.
+///
+/// * `shard_versions` maps a time-shard bucket to a version that the
+///   writer bumps whenever a publish folds records into that bucket,
+///   retention drops it, or a retraction removes records from it. A
+///   cached entry stores the versions of the buckets its window spans
+///   and stays valid across publishes that only touch *other* buckets —
+///   the issue's "cold shards keep their entries" property.
+/// * `delta_gen` increments each time the pending delta is folded (its
+///   records move into the core and the delta resets), so entries can
+///   tell "the delta grew since I was stored" (check only the new
+///   records) from "the delta was replaced" (re-check all of it).
+/// * `global_gen` increments on whole-world changes that per-bucket
+///   versions cannot describe: store compaction (dense [`crate::store::SegmentId`]s
+///   are reassigned, so every cached hit list is stale) and bootstrap.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheStamp {
+    pub(crate) global_gen: u64,
+    pub(crate) delta_gen: u64,
+    pub(crate) shard_versions: Arc<BTreeMap<i64, u64>>,
+}
+
+impl CacheStamp {
+    pub(crate) fn initial() -> Self {
+        CacheStamp {
+            global_gen: 0,
+            delta_gen: 0,
+            shard_versions: Arc::new(BTreeMap::new()),
+        }
+    }
 }
 
 /// One pending record plus its pre-computed index box, so the per-query
@@ -36,10 +70,18 @@ pub(crate) struct Epoch {
     pub(crate) core: Arc<SnapshotCore>,
     pub(crate) delta: Arc<[Arc<[DeltaRecord]>]>,
     pub(crate) delta_len: usize,
+    pub(crate) stamp: CacheStamp,
 }
 
 impl Epoch {
     pub(crate) fn delta_records(&self) -> impl Iterator<Item = &DeltaRecord> {
         self.delta.iter().flat_map(|batch| batch.iter())
+    }
+
+    /// Delta records at flat position `start` onward. Within one
+    /// `delta_gen` the delta is append-only (slices are frozen), so a
+    /// cache entry validated at length `n` only needs records `n..`.
+    pub(crate) fn delta_records_from(&self, start: usize) -> impl Iterator<Item = &DeltaRecord> {
+        self.delta_records().skip(start)
     }
 }

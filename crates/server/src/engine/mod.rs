@@ -17,6 +17,8 @@
 //! public API surface; every method there is a thin delegation into
 //! this module.
 
+pub mod admission;
+pub mod cache;
 pub(crate) mod epoch;
 pub mod fanout;
 mod ops;
@@ -40,7 +42,9 @@ use crate::shard::ShardedFovIndex;
 use crate::store::SegmentStore;
 use crate::subscribe::SubscriptionSet;
 
-use epoch::{Epoch, SnapshotCore};
+use admission::AdmissionController;
+use cache::ResultCache;
+use epoch::{CacheStamp, Epoch, SnapshotCore};
 use plan::QueryPlan;
 use write::Writer;
 
@@ -99,6 +103,16 @@ pub(crate) struct ServerObs {
     /// vs. on the pool (see [`fanout::FanoutDecision`]).
     pub(crate) fanout_serial: Arc<Counter>,
     pub(crate) fanout_parallel: Arc<Counter>,
+    /// Result-cache traffic: repeats answered from the cache vs.
+    /// recomputed (misses include lazily invalidated entries), plus
+    /// capacity evictions.
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) cache_evictions: Arc<Counter>,
+    /// Admission outcomes: served vs. shed by reason.
+    pub(crate) admitted: Arc<Counter>,
+    pub(crate) shed_rate_limited: Arc<Counter>,
+    pub(crate) shed_overloaded: Arc<Counter>,
     pub(crate) trace: Trace,
 }
 
@@ -127,6 +141,26 @@ impl ServerObs {
         registry.set_help(
             "swag_server_fanout_total",
             "Index-scan fan-out decisions by mode (adaptive cost model).",
+        );
+        registry.set_help(
+            "swag_server_cache_hits_total",
+            "Queries answered from the plan-keyed result cache.",
+        );
+        registry.set_help(
+            "swag_server_cache_misses_total",
+            "Cacheable queries recomputed (cold, invalidated, or collided).",
+        );
+        registry.set_help(
+            "swag_server_cache_evictions_total",
+            "Result-cache entries evicted by capacity pressure.",
+        );
+        registry.set_help(
+            "swag_server_admitted_total",
+            "Queries admitted past admission control.",
+        );
+        registry.set_help(
+            "swag_server_shed_total",
+            "Queries shed by admission control, by reason.",
         );
         ServerObs {
             lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
@@ -160,6 +194,18 @@ impl ServerObs {
                 "swag_server_fanout_total",
                 &[("mode", "parallel")],
             )),
+            cache_hits: registry.counter("swag_server_cache_hits_total"),
+            cache_misses: registry.counter("swag_server_cache_misses_total"),
+            cache_evictions: registry.counter("swag_server_cache_evictions_total"),
+            admitted: registry.counter("swag_server_admitted_total"),
+            shed_rate_limited: registry.counter(&labeled_name(
+                "swag_server_shed_total",
+                &[("reason", "rate_limited")],
+            )),
+            shed_overloaded: registry.counter(&labeled_name(
+                "swag_server_shed_total",
+                &[("reason", "overloaded")],
+            )),
             trace: Trace::new(256),
         }
     }
@@ -180,6 +226,12 @@ pub(crate) struct Engine {
     /// batches.
     pub(crate) exec: Executor,
     pub(crate) obs: Option<ServerObs>,
+    /// Plan-keyed result cache; `None` when disabled (capacity 0, the
+    /// default) so the uncached hot path pays nothing.
+    pub(crate) cache: Option<ResultCache>,
+    /// Admission controller; `None` when disabled (the default) —
+    /// `query_admitted` then admits unconditionally.
+    pub(crate) admission: Option<AdmissionController>,
     /// Causal-tracing flight recorder for the query/ingest/publish
     /// paths. Disabled by default: each span site then costs one relaxed
     /// load.
@@ -210,24 +262,28 @@ impl Engine {
             index,
             published_at_micros: clock.now_micros(),
         });
+        let writer = Writer {
+            core,
+            delta: Vec::new(),
+            delta_len: 0,
+            subscriptions: SubscriptionSet::new(),
+            max_t_end: f64::NEG_INFINITY,
+            stamp: CacheStamp::initial(),
+        };
+        let epoch = writer.make_epoch();
         Engine {
-            epoch: RwLock::new(Arc::new(Epoch {
-                core: core.clone(),
-                delta: Arc::from(Vec::new()),
-                delta_len: 0,
-            })),
-            writer: Mutex::new(Writer {
-                core,
-                delta: Vec::new(),
-                delta_len: 0,
-                subscriptions: SubscriptionSet::new(),
-                max_t_end: f64::NEG_INFINITY,
-            }),
+            epoch: RwLock::new(epoch),
+            writer: Mutex::new(writer),
             config,
             cam,
-            clock,
+            clock: clock.clone(),
             exec: Executor::global().clone(),
             obs: None,
+            cache: ResultCache::new(config.cache, config.shard_width_s),
+            admission: config
+                .admission
+                .enabled
+                .then(|| AdmissionController::new(config.admission, clock)),
             recorder,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -249,15 +305,10 @@ impl Engine {
             index,
             published_at_micros: w.core.published_at_micros,
         });
-        w.core = core.clone();
-        let delta = Arc::from(w.delta.as_slice());
-        let delta_len = w.delta_len;
+        w.core = core;
+        let epoch = w.make_epoch();
         drop(w);
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta,
-            delta_len,
-        });
+        *self.epoch.write() = epoch;
     }
 
     /// Replaces the flight recorder, applying the configured slow-query
@@ -276,15 +327,10 @@ impl Engine {
             index,
             published_at_micros: w.core.published_at_micros,
         });
-        w.core = core.clone();
-        let delta = Arc::from(w.delta.as_slice());
-        let delta_len = w.delta_len;
+        w.core = core;
+        let epoch = w.make_epoch();
         drop(w);
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta,
-            delta_len,
-        });
+        *self.epoch.write() = epoch;
     }
 
     /// Compiles the plan for a request and renders it against the
@@ -301,7 +347,27 @@ impl Engine {
             &self.exec,
             self.config.fanout,
         );
-        plan.explain_against(&epoch.core.index, epoch.delta_len, &decision)
+        let span = cache::bucket_span_len(
+            self.config.shard_width_s,
+            plan.query.t_start,
+            plan.query.t_end,
+        );
+        let mut cache_line = format!("fingerprint {:#018x}, ", plan.fingerprint());
+        if span <= cache::CACHE_MAX_BUCKET_SPAN {
+            use std::fmt::Write as _;
+            let _ = write!(cache_line, "eligible (spans {span} shard buckets)");
+        } else {
+            use std::fmt::Write as _;
+            let _ = write!(
+                cache_line,
+                "ineligible (spans {span} shard buckets > cap {})",
+                cache::CACHE_MAX_BUCKET_SPAN
+            );
+        }
+        if self.cache.is_none() {
+            cache_line.push_str(", cache off");
+        }
+        plan.explain_against(&epoch.core.index, epoch.delta_len, &decision, &cache_line)
     }
 
     /// Computes point-in-time gauges into `registry`: epoch snapshot age,
@@ -326,6 +392,20 @@ impl Engine {
             "swag_server_shard_entries",
             "Indexed entries per live time shard (0 after the shard expires).",
         );
+        registry.set_help(
+            "swag_server_cache_entries",
+            "Live entries in the plan-keyed result cache.",
+        );
+        registry.set_help(
+            "swag_server_queue_depth",
+            "Admitted queries currently executing (bounded by max_inflight).",
+        );
+        registry
+            .gauge("swag_server_cache_entries")
+            .set(self.cache.as_ref().map_or(0, |c| c.len()) as i64);
+        registry
+            .gauge("swag_server_queue_depth")
+            .set(self.admission.as_ref().map_or(0, |a| a.queue_depth()) as i64);
         let epoch = self.epoch.read().clone();
         let now = self.clock.now_micros();
         registry.gauge("swag_server_epoch_age_micros").set(

@@ -22,10 +22,12 @@ use crate::ranking::{collect_hits, hit_for, rank_hits, SearchHit};
 use crate::server::{ServerStats, AUTO_THRESHOLD_INTERVAL};
 use crate::store::SegmentRecord;
 
+use super::admission::ShedReason;
+use super::cache;
 use super::epoch::{DeltaRecord, Epoch};
 use super::fanout::{self, FanoutDecision};
 use super::plan::{
-    QueryPlan, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_QUERY_NEAREST, OP_RANKING,
+    PlanKey, QueryPlan, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_QUERY_NEAREST, OP_RANKING,
 };
 use super::Engine;
 
@@ -190,13 +192,121 @@ impl Engine {
         hits
     }
 
+    /// [`Self::execute_plan`] behind the plan-keyed result cache. On a
+    /// hit the stored result is returned after the entry proves itself
+    /// current against `epoch` (see [`cache`]); on a miss the plan
+    /// executes normally and the result is stored, stamped with the
+    /// epoch it was computed against. With the cache disabled (the
+    /// default) this is a plain `execute_plan` call — kept
+    /// `inline(always)` with the cache machinery split into
+    /// [`Self::execute_plan_via_cache`] so the uncached hot path pays
+    /// exactly one load-and-branch and stays byte-and-metric-identical
+    /// to the pre-cache engine (the `obs_overhead` guard times this
+    /// path against an uninstrumented replica carrying the same
+    /// branch).
+    #[inline(always)]
+    pub(crate) fn execute_plan_cached(
+        &self,
+        epoch: &Epoch,
+        t0: u64,
+        plan: &QueryPlan,
+    ) -> Vec<SearchHit> {
+        match &self.cache {
+            None => self.execute_plan(epoch, t0, plan),
+            Some(cache) => self.execute_plan_via_cache(cache, epoch, t0, plan),
+        }
+    }
+
+    /// The cache-enabled arm of [`Self::execute_plan_cached`] —
+    /// `inline(never)` so its body (key derivation, striped lookup,
+    /// insert) never bloats the cache-off callsites.
+    #[inline(never)]
+    fn execute_plan_via_cache(
+        &self,
+        cache: &cache::ResultCache,
+        epoch: &Epoch,
+        t0: u64,
+        plan: &QueryPlan,
+    ) -> Vec<SearchHit> {
+        if !cache.eligible(plan) {
+            return self.execute_plan(epoch, t0, plan);
+        }
+        let key = PlanKey::of(plan);
+        let fingerprint = key.fingerprint();
+        match cache.lookup(fingerprint, &key, plan, epoch) {
+            cache::Lookup::Hit(hits) => {
+                // A cached answer is still a served query: the root span,
+                // the query counters, and the total-latency histogram all
+                // record it (per-operator telemetry stays miss-only — no
+                // operators ran).
+                let mut root = self.recorder.guarded_span(OP_QUERY);
+                root.set_detail(hits.len() as u64);
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                let dt = self.clock.now_micros() - t0;
+                self.query_micros.fetch_add(dt, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.query_total.record(dt);
+                    obs.cache_hits.inc();
+                }
+                hits
+            }
+            cache::Lookup::Miss => {
+                if let Some(obs) = &self.obs {
+                    obs.cache_misses.inc();
+                }
+                let hits = self.execute_plan(epoch, t0, plan);
+                if let cache::Insert::Stored { evicted: true } =
+                    cache.insert(fingerprint, key, plan, epoch, &hits)
+                {
+                    if let Some(obs) = &self.obs {
+                        obs.cache_evictions.inc();
+                    }
+                }
+                hits
+            }
+        }
+    }
+
     /// One-plan entry point: compiles the request, clones the epoch
-    /// `Arc` in a momentary read-side critical section, and executes.
+    /// `Arc` in a momentary read-side critical section, and executes
+    /// (through the result cache when enabled).
     pub(crate) fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
         let t0 = self.clock.now_micros();
         let epoch = self.epoch.read().clone();
         let plan = QueryPlan::compile(query, opts);
-        self.execute_plan(&epoch, t0, &plan)
+        self.execute_plan_cached(&epoch, t0, &plan)
+    }
+
+    /// [`Self::query`] behind admission control: sheds instead of
+    /// serving when `client_id` is over its token-bucket budget or the
+    /// server's in-flight cap is reached. With admission disabled every
+    /// request is admitted.
+    pub(crate) fn query_admitted(
+        &self,
+        client_id: u64,
+        query: &Query,
+        opts: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, ShedReason> {
+        let Some(admission) = &self.admission else {
+            return Ok(self.query(query, opts));
+        };
+        match admission.admit(client_id) {
+            Ok(_permit) => {
+                if let Some(obs) = &self.obs {
+                    obs.admitted.inc();
+                }
+                Ok(self.query(query, opts))
+            }
+            Err(reason) => {
+                if let Some(obs) = &self.obs {
+                    match reason {
+                        ShedReason::RateLimited => obs.shed_rate_limited.inc(),
+                        ShedReason::Overloaded => obs.shed_overloaded.inc(),
+                    }
+                }
+                Err(reason)
+            }
+        }
     }
 
     /// k-nearest entry point: a radius-expansion loop over successive
@@ -234,7 +344,7 @@ impl Engine {
             let q = Query::new(t_start, t_end, center, radius);
             let mut plan = QueryPlan::compile(&q, opts);
             plan.k = usize::MAX;
-            let hits = self.execute_plan(&epoch, t0, &plan);
+            let hits = self.execute_plan_cached(&epoch, t0, &plan);
             if (hits.len() >= k && radius >= settle_radius_m) || radius >= max_radius_m {
                 let mut hits = hits;
                 hits.truncate(k);
@@ -259,7 +369,7 @@ impl Engine {
         let one = |q: &Query| {
             let t0 = self.clock.now_micros();
             let plan = QueryPlan::compile(q, opts);
-            self.execute_plan(&epoch, t0, &plan)
+            self.execute_plan_cached(&epoch, t0, &plan)
         };
         // Clamp to the host: a batch "parallelism" request beyond the
         // machine's cores would only add scheduling churn.

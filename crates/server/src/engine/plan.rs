@@ -19,7 +19,7 @@ use swag_core::{points_toward, sector_intersects_circle, CameraProfile, RepFov};
 
 use crate::engine::fanout::FanoutDecision;
 use crate::index::{query_boxes, QueryBoxes};
-use crate::query::{Query, QueryOptions, RankMode};
+use crate::query::{canon_zero, Query, QueryOptions, RankMode};
 use crate::shard::ShardedFovIndex;
 
 /// Span label of the per-query pipeline root.
@@ -121,6 +121,19 @@ impl QueryPlan {
         }
     }
 
+    /// Stable 64-bit fingerprint of the canonical plan — the result-cache
+    /// key. FNV-1a over the bit patterns of every field that affects
+    /// results: the query window, centre, radius, the compiled filter
+    /// chain, the rank mode, and the top-k cutoff. Floats are
+    /// canonicalized first (`-0.0` folds onto `+0.0`), so semantically
+    /// equal plans fingerprint identically; the query boxes derive
+    /// deterministically from the query and are not hashed. Two distinct
+    /// plans can in principle collide in 64 bits, which is why cache
+    /// entries also store the full [`PlanKey`] and compare it on lookup.
+    pub fn fingerprint(&self) -> u64 {
+        PlanKey::of(self).fingerprint()
+    }
+
     /// Renders the plan for humans: boxes, filter chain, rank mode, and
     /// the operator pipeline (named with the same labels the trace spans
     /// use). Snapshot-dependent facts (shards probed, pending delta) are
@@ -138,11 +151,12 @@ impl QueryPlan {
         index: &ShardedFovIndex,
         delta_len: usize,
         fanout: &FanoutDecision,
+        cache_line: &str,
     ) -> String {
-        self.render(Some((index, delta_len, fanout)))
+        self.render(Some((index, delta_len, fanout, cache_line)))
     }
 
-    fn render(&self, snapshot: Option<(&ShardedFovIndex, usize, &FanoutDecision)>) -> String {
+    fn render(&self, snapshot: Option<(&ShardedFovIndex, usize, &FanoutDecision, &str)>) -> String {
         use std::fmt::Write as _;
         let q = &self.query;
         let mut out = String::new();
@@ -166,7 +180,7 @@ impl QueryPlan {
                 b.min[0], b.max[0], b.min[1], b.max[1]
             );
         }
-        if let Some((index, delta_len, fanout)) = snapshot {
+        if let Some((index, delta_len, fanout, cache_line)) = snapshot {
             let probes = index.probe_shards(q.t_start, q.t_end);
             let mut line = format!(
                 "  shards  : probe {} of {} live (width {} s)",
@@ -183,6 +197,7 @@ impl QueryPlan {
             let _ = writeln!(out, "{line}");
             let _ = writeln!(out, "  fanout  : {}", fanout.render());
             let _ = writeln!(out, "  delta   : {delta_len} pending records (linear scan)");
+            let _ = writeln!(out, "  cache   : {cache_line}");
         }
         let mut filters = Vec::new();
         if let Some(tol) = self.filters.direction_tolerance_deg {
@@ -215,6 +230,79 @@ impl QueryPlan {
             "  pipeline: {OP_INDEX_SCAN}({OP_SHARD_PROBE}*) -> {OP_DELTA_SCAN} -> {OP_RANKING}"
         );
         out
+    }
+}
+
+/// The canonical key material [`QueryPlan::fingerprint`] hashes, small
+/// enough to store `Copy` alongside each cache entry. The cache compares
+/// the stored key on every hit, so a 64-bit fingerprint collision
+/// between two distinct plans degrades to a cache miss instead of
+/// serving another plan's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PlanKey {
+    t_start: u64,
+    t_end: u64,
+    lat: u64,
+    lng: u64,
+    radius: u64,
+    /// Canonical tolerance bits, or `u64::MAX` (a NaN encoding no
+    /// validated tolerance can produce) when the filter is off.
+    dir_tol: u64,
+    coverage: bool,
+    rank: u8,
+    k: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Canonical bit pattern of `x`: the two IEEE zeros hash identically.
+fn canon_bits(x: f64) -> u64 {
+    canon_zero(x).to_bits()
+}
+
+impl PlanKey {
+    /// Extracts the canonical key from a compiled plan.
+    pub(crate) fn of(plan: &QueryPlan) -> Self {
+        let q = &plan.query;
+        PlanKey {
+            t_start: canon_bits(q.t_start),
+            t_end: canon_bits(q.t_end),
+            lat: canon_bits(q.center.lat),
+            lng: canon_bits(q.center.lng),
+            radius: canon_bits(q.radius_m),
+            dir_tol: plan
+                .filters
+                .direction_tolerance_deg
+                .map_or(u64::MAX, canon_bits),
+            coverage: plan.filters.require_coverage,
+            rank: match plan.rank {
+                RankMode::Distance => 0,
+                RankMode::Quality => 1,
+            },
+            k: plan.k as u64,
+        }
+    }
+
+    /// FNV-1a over the key fields in declaration order.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for word in [
+            self.t_start,
+            self.t_end,
+            self.lat,
+            self.lng,
+            self.radius,
+            self.dir_tol,
+            u64::from(self.coverage),
+            u64::from(self.rank),
+            self.k,
+        ] {
+            for byte in word.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
     }
 }
 
@@ -285,6 +373,80 @@ mod tests {
         }
         assert!(text.contains("direction"));
         assert!(text.contains("distance, top 10"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let q = Query::new(0.0, 60.0, center(), 150.0);
+        let opts = QueryOptions::default();
+        let a = QueryPlan::compile(&q, &opts).fingerprint();
+        let b = QueryPlan::compile(&q, &opts).fingerprint();
+        assert_eq!(a, b, "same plan must fingerprint identically");
+        // Every result-affecting knob moves the fingerprint.
+        for other in [
+            QueryPlan::compile(&Query::new(0.0, 61.0, center(), 150.0), &opts),
+            QueryPlan::compile(&Query::new(0.0, 60.0, center(), 151.0), &opts),
+            QueryPlan::compile(&q, &QueryOptions { top_n: 11, ..opts }),
+            QueryPlan::compile(
+                &q,
+                &QueryOptions {
+                    rank: RankMode::Quality,
+                    ..opts
+                },
+            ),
+            QueryPlan::compile(
+                &q,
+                &QueryOptions {
+                    direction_filter: false,
+                    ..opts
+                },
+            ),
+            QueryPlan::compile(
+                &q,
+                &QueryOptions {
+                    require_coverage: true,
+                    ..opts
+                },
+            ),
+        ] {
+            assert_ne!(a, other.fingerprint(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_zero_aliases() {
+        // -0.0 spellings of window bounds, centre, and tolerance all
+        // fingerprint like +0.0: the cache must not split a hot query
+        // across aliased keys.
+        let opts = QueryOptions::default();
+        let neg = QueryPlan::compile(&Query::new(-0.0, 60.0, LatLon::new(-0.0, -0.0), 5.0), &opts);
+        let pos = QueryPlan::compile(&Query::new(0.0, 60.0, LatLon::new(0.0, 0.0), 5.0), &opts);
+        assert_eq!(neg.fingerprint(), pos.fingerprint());
+        assert_eq!(PlanKey::of(&neg), PlanKey::of(&pos));
+        let tol_neg = QueryPlan::compile(
+            &Query::new(0.0, 60.0, center(), 5.0),
+            &QueryOptions {
+                direction_tolerance_deg: -0.0,
+                ..opts
+            },
+        );
+        let tol_pos = QueryPlan::compile(
+            &Query::new(0.0, 60.0, center(), 5.0),
+            &QueryOptions {
+                direction_tolerance_deg: 0.0,
+                ..opts
+            },
+        );
+        assert_eq!(tol_neg.fingerprint(), tol_pos.fingerprint());
+        // Filter off vs. zero tolerance are different plans.
+        let off = QueryPlan::compile(
+            &Query::new(0.0, 60.0, center(), 5.0),
+            &QueryOptions {
+                direction_filter: false,
+                ..opts
+            },
+        );
+        assert_ne!(off.fingerprint(), tol_pos.fingerprint());
     }
 
     #[test]

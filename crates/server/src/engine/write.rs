@@ -21,7 +21,7 @@ use crate::shard::ShardedFovIndex;
 use crate::store::{SegmentId, SegmentRecord, SegmentRef, SegmentStore};
 use crate::subscribe::{SubscriptionId, SubscriptionSet};
 
-use super::epoch::{DeltaRecord, Epoch, SnapshotCore};
+use super::epoch::{CacheStamp, DeltaRecord, Epoch, SnapshotCore};
 use super::plan::{OP_INGEST, OP_PUBLISH};
 use super::Engine;
 
@@ -37,6 +37,44 @@ pub(crate) struct Writer {
     pub(crate) subscriptions: SubscriptionSet,
     /// Latest `t_end` ever ingested — the retention clock.
     pub(crate) max_t_end: f64,
+    /// Cache invalidation state published with every epoch (see
+    /// [`CacheStamp`] for what each piece invalidates).
+    pub(crate) stamp: CacheStamp,
+}
+
+impl Writer {
+    /// Builds the epoch the current writer state publishes. Every
+    /// publish path goes through this so no constructor can forget the
+    /// cache stamp.
+    pub(crate) fn make_epoch(&self) -> Arc<Epoch> {
+        Arc::new(Epoch {
+            core: self.core.clone(),
+            delta: Arc::from(self.delta.as_slice()),
+            delta_len: self.delta_len,
+            stamp: self.stamp.clone(),
+        })
+    }
+
+    /// Bumps the cache version of every time-shard bucket `[t0, t1]`
+    /// spans (the same `floor(t / width)` bucketing the sharded index
+    /// uses), invalidating cached results that probed those buckets.
+    fn bump_span(&mut self, width: f64, t0: f64, t1: f64) {
+        let versions = Arc::make_mut(&mut self.stamp.shard_versions);
+        for bucket in ((t0 / width).floor() as i64)..=((t1 / width).floor() as i64) {
+            *versions.entry(bucket).or_insert(0) += 1;
+        }
+    }
+
+    /// Bumps explicit bucket ids (the retention-drop path).
+    fn bump_buckets(&mut self, buckets: &[i64]) {
+        if buckets.is_empty() {
+            return;
+        }
+        let versions = Arc::make_mut(&mut self.stamp.shard_versions);
+        for bucket in buckets {
+            *versions.entry(*bucket).or_insert(0) += 1;
+        }
+    }
 }
 
 impl Engine {
@@ -62,12 +100,9 @@ impl Engine {
         if w.delta_len >= self.config.publish_threshold {
             self.publish_full(w, None);
         } else {
-            let epoch = Arc::new(Epoch {
-                core: w.core.clone(),
-                delta: Arc::from(w.delta.as_slice()),
-                delta_len: w.delta_len,
-            });
-            *self.epoch.write() = epoch;
+            // Same core, grown delta, same stamp: cached entries stay
+            // valid and lazily test only the appended records.
+            *self.epoch.write() = w.make_epoch();
         }
     }
 
@@ -95,6 +130,14 @@ impl Engine {
         w.delta_len = 0;
         index.bulk_insert_exec(&self.exec, &staged);
 
+        // Cache invalidation: the delta was folded (a fresh generation),
+        // and every bucket the folded records landed in changed.
+        w.stamp.delta_gen += 1;
+        let width = self.config.shard_width_s;
+        for (rep, _) in &staged {
+            w.bump_span(width, rep.t_start, rep.t_end);
+        }
+
         // Retention: expire shards past the horizon, retire the segments
         // that no longer exist in any shard.
         let mut horizon = extra_horizon;
@@ -107,6 +150,7 @@ impl Engine {
         let mut dropped = 0usize;
         if let Some(h) = horizon {
             let report = index.expire_before(h);
+            w.bump_buckets(&report.buckets_dropped);
             for id in &report.segments_dropped {
                 if store.retire(*id) {
                     dropped += 1;
@@ -130,6 +174,9 @@ impl Engine {
             rebuilt.bulk_insert_exec(&self.exec, &items);
             store = fresh;
             index = rebuilt;
+            // Compaction reassigns dense SegmentIds, which appear in
+            // every cached SearchHit — nothing cached survives.
+            w.stamp.global_gen += 1;
         }
 
         let now = self.clock.now_micros();
@@ -138,12 +185,8 @@ impl Engine {
             index,
             published_at_micros: now,
         });
-        w.core = core.clone();
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta: Arc::from(Vec::new()),
-            delta_len: 0,
-        });
+        w.core = core;
+        *self.epoch.write() = w.make_epoch();
         if let Some(obs) = &self.obs {
             obs.publishes.inc();
             obs.rebuild_micros.record(now.saturating_sub(t0));
@@ -245,22 +288,21 @@ impl Engine {
         if !victims.is_empty() {
             let mut store = w.core.store.clone();
             let mut index = w.core.index.clone();
+            let width = self.config.shard_width_s;
             for (rep, id) in &victims {
                 let unindexed = index.remove(rep, *id);
                 debug_assert!(unindexed, "index and store disagreed on {id:?}");
                 store.retire(*id);
+                // Cached results over these windows held the victim.
+                w.bump_span(width, rep.t_start, rep.t_end);
             }
             let core = Arc::new(SnapshotCore {
                 store,
                 index,
                 published_at_micros: w.core.published_at_micros,
             });
-            w.core = core.clone();
-            *self.epoch.write() = Arc::new(Epoch {
-                core,
-                delta: Arc::from(Vec::new()),
-                delta_len: 0,
-            });
+            w.core = core;
+            *self.epoch.write() = w.make_epoch();
             if let Some(obs) = &self.obs {
                 obs.publishes.inc();
             }
@@ -295,12 +337,10 @@ impl Engine {
             index,
             published_at_micros: self.clock.now_micros(),
         });
-        w.core = core.clone();
+        w.core = core;
         w.max_t_end = max_t_end;
-        *self.epoch.write() = Arc::new(Epoch {
-            core,
-            delta: Arc::from(Vec::new()),
-            delta_len: 0,
-        });
+        // The world was replaced wholesale; nothing cached survives.
+        w.stamp.global_gen += 1;
+        *self.epoch.write() = w.make_epoch();
     }
 }

@@ -32,6 +32,8 @@ pub mod shard;
 pub mod store;
 pub mod subscribe;
 
+pub use engine::admission::{AdmissionConfig, ShedReason};
+pub use engine::cache::CacheConfig;
 pub use engine::fanout::{FanoutDecision, FanoutMode};
 pub use engine::plan::{FilterChain, QueryPlan};
 pub use index::{FovIndex, IndexKind};

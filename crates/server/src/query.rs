@@ -71,6 +71,18 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// Folds `-0.0` onto `+0.0` so the two IEEE zero encodings — equal under
+/// `==` and indistinguishable to every downstream computation — cannot
+/// alias into distinct plan fingerprints (the result cache keys on the
+/// canonical bit pattern of each field).
+pub(crate) fn canon_zero(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
 impl Query {
     /// Creates a query.
     ///
@@ -111,10 +123,13 @@ impl Query {
                 lng: center.lng,
             });
         }
+        // Canonicalize the two IEEE zeros: `-0.0` and `+0.0` compare
+        // equal and retrieve identically, so they must also fingerprint
+        // identically. (`radius_m == -0.0` was already rejected above.)
         Ok(Query {
-            t_start,
-            t_end,
-            center,
+            t_start: canon_zero(t_start),
+            t_end: canon_zero(t_end),
+            center: LatLon::new(canon_zero(center.lat), canon_zero(center.lng)),
             radius_m,
         })
     }
@@ -175,6 +190,18 @@ impl QueryOptions {
             });
         }
         Ok(())
+    }
+
+    /// [`Self::validate`] plus canonicalization for untrusted input:
+    /// returns the options with `-0.0` tolerance folded onto `+0.0` so
+    /// semantically equal option sets compile to plans with identical
+    /// fingerprints.
+    pub fn validated(self) -> Result<Self, QueryError> {
+        self.validate()?;
+        Ok(QueryOptions {
+            direction_tolerance_deg: canon_zero(self.direction_tolerance_deg),
+            ..self
+        })
     }
 }
 
@@ -251,6 +278,38 @@ mod tests {
             ..QueryOptions::default()
         };
         assert!(neg.validate().is_err());
+    }
+
+    #[test]
+    fn try_new_canonicalizes_negative_zero() {
+        // -0.0 == +0.0, so both spellings must produce bit-identical
+        // queries (and therefore identical plan fingerprints).
+        let neg = Query::try_new(-0.0, -0.0, LatLon::new(-0.0, -0.0), 50.0).unwrap();
+        let pos = Query::try_new(0.0, 0.0, LatLon::new(0.0, 0.0), 50.0).unwrap();
+        assert_eq!(neg.t_start.to_bits(), pos.t_start.to_bits());
+        assert_eq!(neg.t_end.to_bits(), pos.t_end.to_bits());
+        assert_eq!(neg.center.lat.to_bits(), pos.center.lat.to_bits());
+        assert_eq!(neg.center.lng.to_bits(), pos.center.lng.to_bits());
+        // Non-zero values pass through untouched.
+        let q = Query::try_new(-5.0, 10.0, LatLon::new(40.0, -116.0), 50.0).unwrap();
+        assert_eq!(q.t_start, -5.0);
+        assert_eq!(q.center.lng, -116.0);
+    }
+
+    #[test]
+    fn validated_canonicalizes_tolerance_zero() {
+        let neg = QueryOptions {
+            direction_tolerance_deg: -0.0,
+            ..QueryOptions::default()
+        };
+        let canon = neg.validated().unwrap();
+        assert_eq!(canon.direction_tolerance_deg.to_bits(), 0.0f64.to_bits());
+        assert!(QueryOptions {
+            direction_tolerance_deg: f64::NAN,
+            ..QueryOptions::default()
+        }
+        .validated()
+        .is_err());
     }
 
     #[test]

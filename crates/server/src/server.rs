@@ -35,6 +35,8 @@ use swag_core::{CameraProfile, RepFov, UploadBatch};
 use swag_exec::Executor;
 use swag_obs::{FlightRecorder, HistogramSnapshot, MonotonicClock, Registry, Trace, WallClock};
 
+use crate::engine::admission::{AdmissionConfig, ShedReason};
+use crate::engine::cache::CacheConfig;
 use crate::engine::fanout::FanoutMode;
 use crate::engine::Engine;
 use crate::index::IndexKind;
@@ -71,6 +73,17 @@ pub struct ServerConfig {
     /// each plan with the fan-out cost model; `Serial` / `Parallel`
     /// force one path (both produce byte-identical results).
     pub fanout: FanoutMode,
+    /// Plan-keyed result cache (disabled by default, `capacity: 0`):
+    /// repeated queries are answered from cache until a publish touches
+    /// one of the time shards their window spans. Results are
+    /// byte-identical to the uncached path — the epoch stamp proves
+    /// every served entry current (see `DESIGN.md` §13).
+    pub cache: CacheConfig,
+    /// Per-client token-bucket admission control with a bounded
+    /// in-flight budget (disabled by default). Only
+    /// [`CloudServer::query_admitted`] consults it; the plain query
+    /// entry points are for trusted internal callers.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +96,8 @@ impl Default for ServerConfig {
             compact_dead_fraction: 0.25,
             slow_query_micros: None,
             fanout: FanoutMode::Adaptive,
+            cache: CacheConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -311,6 +326,22 @@ impl CloudServer {
     /// operator pipeline. Lock-free after the initial epoch acquisition.
     pub fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
         self.engine.query(query, opts)
+    }
+
+    /// [`Self::query`] behind admission control — the entry point for
+    /// untrusted callers. With [`AdmissionConfig::enabled`] the request
+    /// is first charged against `client_id`'s token bucket and the
+    /// server's bounded in-flight budget; over-budget requests are shed
+    /// with a [`ShedReason`] instead of queueing, which keeps admitted
+    /// requests' tail latency bounded under overload. With admission
+    /// disabled (the default) every request is admitted.
+    pub fn query_admitted(
+        &self,
+        client_id: u64,
+        query: &Query,
+        opts: &QueryOptions,
+    ) -> Result<Vec<SearchHit>, ShedReason> {
+        self.engine.query_admitted(client_id, query, opts)
     }
 
     /// Answers a *k-nearest* request: the `k` segments closest to `center`

@@ -86,6 +86,10 @@ pub struct ProbeEstimate {
 pub struct ExpireReport {
     /// Whole shards dropped.
     pub shards_dropped: usize,
+    /// Bucket ids of the dropped shards, ascending — the write path
+    /// bumps these buckets' cache versions so cached results that probed
+    /// them are invalidated.
+    pub buckets_dropped: Vec<i64>,
     /// Segments no longer present in *any* shard — every bucket they
     /// touched expired. The caller retires these in its segment store.
     pub segments_dropped: Vec<SegmentId>,
@@ -478,6 +482,7 @@ impl ShardedFovIndex {
         self.segments -= segments_dropped.len();
         ExpireReport {
             shards_dropped,
+            buckets_dropped: dropped_shards.keys().copied().collect(),
             segments_dropped,
         }
     }
