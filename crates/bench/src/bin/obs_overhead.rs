@@ -9,11 +9,16 @@
 //! * **disabled** — `CloudServer` with no observability attached. This
 //!   path now also carries the dormant causal-tracing machinery (a
 //!   disabled `FlightRecorder` whose span guards cost one relaxed load
-//!   plus a branch, and `TraceCtx` capture in the executor), so the
-//!   gate below covers recorder/ctx propagation too;
+//!   plus a branch, and `TraceCtx` capture in the executor) *and* the
+//!   absent wide-event log (an `Option` that is `None` by default, one
+//!   load plus a branch on the query path), so the gate below covers
+//!   recorder/ctx propagation and the events-disabled path too;
 //! * **enabled** — `CloudServer` with a full registry attached;
 //! * **traced** — `CloudServer` with its flight recorder *enabled* (no
-//!   registry): the cost of live span recording, reported but ungated.
+//!   registry): the cost of live span recording, reported but ungated;
+//! * **evented** — `CloudServer` with the wide-event query log enabled
+//!   (one structured event per query into the per-thread ring, tail
+//!   sampler consulted): reported but ungated.
 //!
 //! Overhead is the median of per-round subject/baseline time ratios
 //! (each subject round paired with the baseline round it ran next to),
@@ -37,8 +42,8 @@ use swag_geo::LatLon;
 use swag_obs::Registry;
 use swag_server::ranking::rank_candidates;
 use swag_server::{
-    CloudServer, FanoutDecision, FanoutMode, IndexKind, Query, QueryOptions, SegmentRef,
-    SegmentStore, ServerConfig, ShardedFovIndex,
+    CloudServer, EventLogConfig, FanoutDecision, FanoutMode, IndexKind, Query, QueryOptions,
+    SegmentRef, SegmentStore, ServerConfig, ShardedFovIndex,
 };
 
 const SEGMENTS: usize = 20_000;
@@ -110,6 +115,11 @@ struct BaselineServer {
     /// through `black_box` so the optimizer cannot prove it `None` and
     /// fold the branch away.
     result_cache: Option<u64>,
+    /// Stand-in for the engine's `Option<Arc<QueryEventLog>>` field: the
+    /// query path gates wide-event emission on `is_some_and(enabled)`,
+    /// so the baseline pays the same load-and-branch. Also `black_box`ed
+    /// so the branch survives optimization.
+    event_log: Option<u64>,
     queries: AtomicU64,
     query_micros: AtomicU64,
 }
@@ -129,6 +139,7 @@ impl BaselineServer {
             exec: Executor::global().clone(),
             cam,
             result_cache: black_box(None),
+            event_log: black_box(None),
             queries: AtomicU64::new(0),
             query_micros: AtomicU64::new(0),
         }
@@ -139,6 +150,11 @@ impl BaselineServer {
         if self.result_cache.is_some() {
             // Cache-enabled arm: never taken here, exists so the
             // baseline pays the engine's default-path branch.
+            return usize::MAX;
+        }
+        if self.event_log.as_ref().is_some_and(|&e| e > 0) {
+            // Events-enabled arm: same as above, mirrors the engine's
+            // `is_some_and(is_enabled)` wide-event gate.
             return usize::MAX;
         }
         let state = self.state.read().clone();
@@ -196,32 +212,44 @@ fn main() {
     enabled.attach_observability(&registry);
     let traced = CloudServer::from_records(cam, items.clone());
     traced.flight_recorder().enable();
+    let evented = CloudServer::from_records_with_config(
+        cam,
+        ServerConfig {
+            events: EventLogConfig::enabled(0, 42),
+            ..ServerConfig::default()
+        },
+        items.clone(),
+    );
 
     // Warm up every subject, then time them interleaved per round so
-    // drift (frequency scaling, page cache) hits all four equally.
-    for subject in 0..4 {
+    // drift (frequency scaling, page cache) hits all five equally.
+    for subject in 0..5 {
         let _ = match subject {
             0 => round_ns(|q| baseline.query(q, &opts), &qs),
             1 => round_ns(|q| disabled.query(q, &opts).len(), &qs),
             2 => round_ns(|q| enabled.query(q, &opts).len(), &qs),
-            _ => round_ns(|q| traced.query(q, &opts).len(), &qs),
+            3 => round_ns(|q| traced.query(q, &opts).len(), &qs),
+            _ => round_ns(|q| evented.query(q, &opts).len(), &qs),
         };
     }
     let mut t_base = Vec::with_capacity(ROUNDS);
     let mut t_disabled = Vec::with_capacity(ROUNDS);
     let mut t_enabled = Vec::with_capacity(ROUNDS);
     let mut t_traced = Vec::with_capacity(ROUNDS);
+    let mut t_evented = Vec::with_capacity(ROUNDS);
     for _ in 0..ROUNDS {
         t_base.push(round_ns(|q| baseline.query(q, &opts), &qs));
         t_disabled.push(round_ns(|q| disabled.query(q, &opts).len(), &qs));
         t_enabled.push(round_ns(|q| enabled.query(q, &opts).len(), &qs));
         t_traced.push(round_ns(|q| traced.query(q, &opts).len(), &qs));
+        t_evented.push(round_ns(|q| evented.query(q, &opts).len(), &qs));
     }
 
     let med_base = median(&mut t_base.clone());
     let med_disabled = median(&mut t_disabled.clone());
     let med_enabled = median(&mut t_enabled.clone());
     let med_traced = median(&mut t_traced.clone());
+    let med_evented = median(&mut t_evented.clone());
     // Overhead is judged on *paired* rounds: each subject round is
     // divided by the baseline round it ran next to, and the median of
     // those per-round ratios is the reported overhead. Comparing
@@ -238,8 +266,12 @@ fn main() {
             .collect();
         median(&mut ratios) as f64 / 1e6 * 100.0 - 100.0
     };
-    let (disabled_pct, enabled_pct, traced_pct) =
-        (pct(&t_disabled), pct(&t_enabled), pct(&t_traced));
+    let (disabled_pct, enabled_pct, traced_pct, evented_pct) = (
+        pct(&t_disabled),
+        pct(&t_enabled),
+        pct(&t_traced),
+        pct(&t_evented),
+    );
     let pass = disabled_pct < LIMIT_PCT;
 
     println!("obs overhead over {SEGMENTS} segments, {QUERIES} queries x {ROUNDS} rounds");
@@ -259,6 +291,10 @@ fn main() {
         "  traced    median {:>10} / round  ({traced_pct:+.2}%)",
         fmt_duration(std::time::Duration::from_nanos(med_traced))
     );
+    println!(
+        "  evented   median {:>10} / round  ({evented_pct:+.2}%)",
+        fmt_duration(std::time::Duration::from_nanos(med_evented))
+    );
 
     let json = format!(
         concat!(
@@ -266,11 +302,12 @@ fn main() {
             "  \"segments\": {},\n",
             "  \"queries_per_round\": {},\n",
             "  \"rounds\": {},\n",
-            "  \"median_round_ns\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}, \"traced\": {}}},\n",
-            "  \"overhead_pct\": {{\"disabled\": {:.3}, \"enabled\": {:.3}, \"traced\": {:.3}}},\n",
+            "  \"median_round_ns\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}, \"traced\": {}, \"evented\": {}}},\n",
+            "  \"overhead_pct\": {{\"disabled\": {:.3}, \"enabled\": {:.3}, \"traced\": {:.3}, \"evented\": {:.3}}},\n",
             "  \"limit_pct\": {},\n",
             "  \"metrics_recorded\": {},\n",
             "  \"span_events_recorded\": {},\n",
+            "  \"query_events_recorded\": {},\n",
             "  \"pass\": {}\n",
             "}}\n"
         ),
@@ -281,12 +318,18 @@ fn main() {
         med_disabled,
         med_enabled,
         med_traced,
+        med_evented,
         disabled_pct,
         enabled_pct,
         traced_pct,
+        evented_pct,
         LIMIT_PCT,
         registry.len(),
         traced.flight_recorder().dump().len(),
+        evented
+            .event_log()
+            .map(|log| log.stats().pushed)
+            .unwrap_or(0),
         pass
     );
     let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));

@@ -16,7 +16,11 @@ const BARE_FLAGS: &[&str] = &[
     "--coverage",
     "--quality",
     "--explain",
+    "--analyze",
     "--once",
+    "--follow",
+    "--slow",
+    "--shed",
 ];
 
 impl ArgParser {

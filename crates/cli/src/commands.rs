@@ -203,13 +203,18 @@ fn parse_query_args(args: &ArgParser) -> Result<(Query, QueryOptions), String> {
 }
 
 /// `swag explain` — print the typed plan a query would execute against a
-/// snapshot, without running it.
+/// snapshot, without running it. `--analyze` instead executes the query
+/// for real and annotates every operator with measured time and rows.
 pub fn explain(args: ArgParser) -> Result<(), String> {
     let snapshot_path = args.require("snapshot")?;
     let (q, opts) = parse_query_args(&args)?;
     let bytes = read_bytes(snapshot_path)?;
     let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
-    print!("{}", server.explain(&q, &opts));
+    if args.has_flag("--analyze") {
+        print!("{}", server.query_analyzed(0, &q, &opts).report.render());
+    } else {
+        print!("{}", server.explain(&q, &opts));
+    }
     Ok(())
 }
 
@@ -224,7 +229,15 @@ pub fn query(args: ArgParser) -> Result<(), String> {
     if args.has_flag("--explain") {
         print!("{}", server.explain(&q, &opts));
     }
-    let hits = server.query(&q, &opts);
+    let hits = if args.has_flag("--analyze") {
+        // EXPLAIN ANALYZE: the same execution, instrumented — the report
+        // is printed and the (byte-identical) hits listed below as usual.
+        let analyzed = server.query_analyzed(0, &q, &opts);
+        print!("{}", analyzed.report.render());
+        analyzed.hits
+    } else {
+        server.query(&q, &opts)
+    };
     println!(
         "{} hits over {} indexed segments ({} us)",
         hits.len(),

@@ -21,35 +21,46 @@ use swag_obs::{
     WindowView,
 };
 use swag_sensors::{scenarios, SensorNoise};
-use swag_server::{AdmissionConfig, CacheConfig, CloudServer, Query, QueryOptions, ServerConfig};
+use swag_server::{
+    AdmissionConfig, CacheConfig, CloudServer, EventLogConfig, Query, QueryOptions, ServerConfig,
+};
 
 use crate::args::ArgParser;
 
-/// Knobs shared by `swag serve` and `swag top`.
+/// Knobs shared by `swag serve`, `swag top`, `swag events`, and
+/// `swag replay`.
 pub struct LiveConfig {
     pub seed: u64,
     pub threads: usize,
     /// Window width for the metric rings, milliseconds.
     pub window_millis: u64,
-    /// Query-latency SLO threshold, milliseconds.
+    /// Query-latency SLO threshold, milliseconds. Doubles as the
+    /// wide-event log's always-keep slow threshold.
     pub slo_millis: u64,
+    /// Tail-sampling keep rate for ordinary (served, under-SLO) events,
+    /// out of 1000. Sheds and slow queries are always kept.
+    pub keep_per_mille: u64,
 }
 
 impl LiveConfig {
-    /// Parses the shared `--seed/--threads/--window-millis/--slo-millis`
-    /// arguments.
+    /// Parses the shared `--seed/--threads/--window-millis/--slo-millis/
+    /// --keep-per-mille` arguments.
     pub fn from_args(args: &ArgParser) -> Result<LiveConfig, String> {
         let cfg = LiveConfig {
             seed: args.get_u64("seed", 42)?,
             threads: args.get_u64("threads", 2)? as usize,
             window_millis: args.get_u64("window-millis", 2_000)?,
             slo_millis: args.get_u64("slo-millis", 5)?,
+            keep_per_mille: args.get_u64("keep-per-mille", 1_000)?,
         };
         if cfg.window_millis == 0 {
             return Err("--window-millis must be positive".into());
         }
         if cfg.slo_millis == 0 {
             return Err("--slo-millis must be positive".into());
+        }
+        if cfg.keep_per_mille > 1_000 {
+            return Err("--keep-per-mille is out of 1000".into());
         }
         Ok(cfg)
     }
@@ -122,6 +133,17 @@ impl LiveStack {
                     rate_per_s: 500.0,
                     burst: 250.0,
                     ..AdmissionConfig::default()
+                },
+                // The forensic wide-event log rides along on every live
+                // command: `swag events`/`swag replay` read it, and the
+                // dashboard's events row stays non-zero on `swag top`.
+                events: EventLogConfig {
+                    enabled: true,
+                    kept_capacity: 512,
+                    keep_per_mille: cfg.keep_per_mille as u32,
+                    slow_micros: cfg.slo_millis * 1_000,
+                    seed: cfg.seed,
+                    ..EventLogConfig::default()
                 },
                 ..ServerConfig::default()
             },
@@ -204,6 +226,37 @@ impl LiveStack {
             &probes[tick as usize % probes.len()],
             &QueryOptions::default(),
         );
+    }
+
+    /// The query-only half of [`Self::drive`]: runs every probe once
+    /// through admission at `tick`'s time shift, ingesting nothing. A
+    /// capture pass over a warmed stack is exactly this, so `swag
+    /// replay` can rebuild the same store state by re-driving the warm
+    /// ticks and skipping the probes.
+    pub fn probe(&self, tick: u64) {
+        let shift = (tick / 4) as f64 * TICK_SHIFT_S;
+        for (i, q) in self.probes.iter().enumerate() {
+            let probe = Query::new(q.t_start + shift, q.t_end + shift, q.center, q.radius_m);
+            let _ = self.server.query_admitted(
+                1 + (tick + i as u64) % 8,
+                &probe,
+                &QueryOptions::default(),
+            );
+        }
+    }
+
+    /// Fires a burst of requests from one client well past its
+    /// token-bucket burst (250), guaranteeing rate-limited sheds — each
+    /// one an always-kept wide event. Returns how many were shed.
+    pub fn shed_burst(&self) -> usize {
+        let q = &self.probes[0];
+        (0..300)
+            .filter(|_| {
+                self.server
+                    .query_admitted(999, q, &QueryOptions::default())
+                    .is_err()
+            })
+            .count()
     }
 }
 
@@ -314,13 +367,15 @@ pub fn render_dashboard(stack: &LiveStack, statuses: &[SloStatus]) -> String {
     ));
     let cache_hits = rate(&view("swag_server_cache_hits_total"));
     let cache_lookups = cache_hits + rate(&view("swag_server_cache_misses_total"));
-    let shed_rate = rate(&view(&labeled_name(
+    let shed_rate_limited = rate(&view(&labeled_name(
         "swag_server_shed_total",
         &[("reason", "rate_limited")],
-    ))) + rate(&view(&labeled_name(
+    )));
+    let shed_overloaded = rate(&view(&labeled_name(
         "swag_server_shed_total",
         &[("reason", "overloaded")],
     )));
+    let shed_rate = shed_rate_limited + shed_overloaded;
     out.push_str(&format!(
         "cache     {:>8.1}/s lookups  hit rate {:>5.1}%  entries {}  evictions {:.1}/s\n",
         cache_lookups,
@@ -333,9 +388,20 @@ pub fn render_dashboard(stack: &LiveStack, statuses: &[SloStatus]) -> String {
         rate(&view("swag_server_cache_evictions_total")),
     ));
     out.push_str(&format!(
-        "admission {:>8.1}/s admitted  shed {shed_rate:.2}/s  queue depth {}\n\n",
+        "admission {:>8.1}/s admitted  shed {shed_rate:.2}/s (rate_limited {shed_rate_limited:.2}/s, overloaded {shed_overloaded:.2}/s)  queue depth {}\n",
         rate(&view("swag_server_admitted_total")),
         gauge(&stack.registry, "swag_server_queue_depth"),
+    ));
+    out.push_str(&format!(
+        "events    {:>8.1}/s recorded  kept {:.1}/s (tail-sampled; sheds and slow always kept)\n\n",
+        rate(&view(&labeled_name(
+            "swag_server_events_total",
+            &[("stage", "pushed")]
+        ))),
+        rate(&view(&labeled_name(
+            "swag_server_events_total",
+            &[("stage", "kept")]
+        ))),
     ));
 
     for s in statuses {

@@ -23,6 +23,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod forensics;
 mod live;
 
 use args::ArgParser;
@@ -48,6 +49,8 @@ fn main() -> ExitCode {
         "simplify" => commands::simplify(parser),
         "serve" => commands::serve(parser),
         "top" => commands::top(parser),
+        "events" => forensics::events(parser),
+        "replay" => forensics::replay(parser),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -74,10 +77,10 @@ USAGE:
                 [--thresh T] [--smooth ALPHA]
   swag query    --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
                 [--top N] [--tolerance DEG] [--no-direction-filter]
-                [--coverage] [--quality] [--explain]
+                [--coverage] [--quality] [--explain] [--analyze]
   swag explain  --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
                 [--top N] [--tolerance DEG] [--no-direction-filter]
-                [--coverage] [--quality]
+                [--coverage] [--quality] [--analyze]
   swag retract  --snapshot FILE --provider ID
   swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
                 [--threads N] [--shard-width SECS] [--retain SECS] [--cache N]
@@ -89,6 +92,9 @@ USAGE:
                 [--threads N] [--window-millis MS] [--slo-millis MS]
   swag top      [--once] [--iterations N] [--interval-millis MS] [--seed N]
                 [--threads N] [--window-millis MS] [--slo-millis MS]
+  swag events   [--once|--follow] [--slow] [--shed] [--out FILE] [--ticks N]
+                [--seed N] [--threads N] [--slo-millis MS] [--keep-per-mille N]
+  swag replay   --from FILE [--index N] [default: slowest captured event]
   swag help
 
 Traces are CSV: 't,lat,lng,theta'. Snapshots are binary server state.";

@@ -349,8 +349,131 @@ fn top_once_renders_dashboard() {
     }
     assert!(text.contains("slo query_latency"), "{text}");
     assert!(text.contains("slo exec_queue_wait"), "{text}");
+    // Windowed admission split and wide-event retention rows.
+    assert!(text.contains("rate_limited"), "{text}");
+    assert!(text.contains("overloaded"), "{text}");
+    assert!(text.contains("events"), "{text}");
+    assert!(text.contains("tail-sampled"), "{text}");
     // A single --once frame is plain text for scripts: no ANSI clears.
     assert!(!text.contains('\x1b'), "once frame must not clear screen");
+}
+
+#[test]
+fn query_and_explain_analyze_annotate_operators() {
+    let trace = tmp("ana.csv");
+    let snapshot = tmp("ana.swag");
+    let _ = std::fs::remove_file(&snapshot);
+    assert!(swag(&[
+        "simulate",
+        "--scenario",
+        "bike",
+        "--seed",
+        "7",
+        "--out",
+        trace.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(swag(&[
+        "ingest",
+        "--snapshot",
+        snapshot.to_str().unwrap(),
+        trace.to_str().unwrap()
+    ])
+    .status
+    .success());
+
+    let run = |cmd: &str| {
+        let out = swag(&[
+            cmd,
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+            "--lat",
+            "40.0005",
+            "--lng",
+            "116.32",
+            "--radius",
+            "100",
+            "--t0",
+            "0",
+            "--t1",
+            "60",
+            "--analyze",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    let explain = run("explain");
+    // Every operator annotated with measured time and rows, plus the
+    // decision lines.
+    for needle in [
+        "EXPLAIN ANALYZE",
+        "measured:",
+        "index_scan",
+        "delta_scan",
+        "ranking",
+        "rows",
+        "admission:",
+        "fanout",
+        "digest",
+    ] {
+        assert!(explain.contains(needle), "missing {needle:?}:\n{explain}");
+    }
+
+    // `query --analyze` renders the same report, then the hits.
+    let query = run("query");
+    assert!(query.contains("measured:"), "{query}");
+    assert!(query.contains("hits over"), "{query}");
+}
+
+#[test]
+fn events_capture_replays_to_matching_digest() {
+    let capture = tmp("cap.jsonl");
+    let _ = std::fs::remove_file(&capture);
+    let out = swag(&[
+        "events",
+        "--once",
+        "--slow",
+        "--ticks",
+        "6",
+        "--seed",
+        "9",
+        "--threads",
+        "2",
+        "--out",
+        capture.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("events kept of"), "{text}");
+    assert!(text.contains("digest"), "{text}");
+    // The shed burst guarantees always-kept shed events in the capture.
+    assert!(text.contains("shed_rate_limited"), "{text}");
+
+    let jsonl = std::fs::read_to_string(&capture).unwrap();
+    assert!(jsonl.starts_with("{\"capture\":{\"seed\":9,"), "{jsonl}");
+    assert!(jsonl.contains("\"words\":["), "{jsonl}");
+
+    // Replaying the slowest served event rebuilds the workload and
+    // reproduces the captured result digest.
+    let out = swag(&["replay", "--from", capture.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("EXPLAIN ANALYZE"), "{text}");
+    assert!(text.contains("digest match:"), "{text}");
 }
 
 #[test]

@@ -29,6 +29,7 @@
 mod chrome;
 mod clock;
 mod ctx;
+mod events;
 mod http;
 mod metrics;
 mod percentiles;
@@ -44,6 +45,7 @@ mod window;
 pub use chrome::chrome_trace_json;
 pub use clock::{ManualClock, MonotonicClock, WallClock};
 pub use ctx::TraceCtx;
+pub use events::{EventClass, EventLog, EventLogStats, TailSampler};
 pub use http::{Handler, HttpServer, Response};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use percentiles::Percentiles;

@@ -655,6 +655,110 @@ mod tests {
         assert!(rec.slow_queries().is_empty());
     }
 
+    mod ring_wrap {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Distinct labels to partition the dump into per-writer streams.
+        const WRITER_LABELS: [&str; 3] = ["wrap-w0", "wrap-w1", "wrap-w2"];
+
+        /// End-record payload derived from the span id; a slot mixing
+        /// fields from two events breaks this relation (torn read).
+        fn end_detail(span_id: u64) -> u64 {
+            span_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Wrapping the rings under concurrent writers and a racing
+            /// reader must never surface a torn event, and must evict
+            /// oldest-first: each ring ends holding exactly the newest
+            /// `min(2·spans, capacity)` records, in push order.
+            #[test]
+            fn wrapped_rings_evict_oldest_and_never_tear(
+                capacity in 2usize..24,
+                writers in 1usize..=3,
+                spans_per_writer in 4usize..48,
+            ) {
+                let rec = Arc::new(FlightRecorder::with_clock(
+                    capacity,
+                    Arc::new(ManualClock::new()),
+                ));
+                rec.enable();
+                let stop = Arc::new(AtomicBool::new(false));
+                let reader = {
+                    let rec = rec.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            for e in rec.dump() {
+                                assert!(
+                                    WRITER_LABELS.contains(&e.label),
+                                    "torn label: {:?}",
+                                    e.label
+                                );
+                                match e.kind {
+                                    SpanEventKind::Begin => {
+                                        assert_eq!(e.detail, 0, "begin carrying an end payload")
+                                    }
+                                    SpanEventKind::End => assert_eq!(
+                                        e.detail,
+                                        end_detail(e.span_id),
+                                        "torn slot: {e:?}"
+                                    ),
+                                }
+                            }
+                        }
+                    })
+                };
+                let handles: Vec<_> = (0..writers)
+                    .map(|w| {
+                        let rec = rec.clone();
+                        std::thread::spawn(move || {
+                            (0..spans_per_writer)
+                                .map(|_| {
+                                    let mut s = rec.span(WRITER_LABELS[w]);
+                                    let id = s
+                                        .ctx()
+                                        .expect("enabled recorder must hand out a context")
+                                        .span_id;
+                                    s.set_detail(end_detail(id));
+                                    id
+                                })
+                                .collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                let pushed: Vec<Vec<u64>> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("writer must not panic"))
+                    .collect();
+                stop.store(true, Ordering::Relaxed);
+                reader.join().expect("reader saw a torn event");
+
+                // Quiescent check: with the clock pinned at 0, a writer's
+                // dump stream is ordered (span_id, kind) = push order, so
+                // it must equal the suffix of what that writer pushed.
+                let dump = rec.dump();
+                for (w, ids) in pushed.iter().enumerate() {
+                    let mut expected: Vec<(SpanEventKind, u64)> = ids
+                        .iter()
+                        .flat_map(|&id| [(SpanEventKind::Begin, id), (SpanEventKind::End, id)])
+                        .collect();
+                    let keep = expected.len().min(capacity.max(2));
+                    expected.drain(..expected.len() - keep);
+                    let got: Vec<(SpanEventKind, u64)> = dump
+                        .iter()
+                        .filter(|e| e.label == WRITER_LABELS[w])
+                        .map(|e| (e.kind, e.span_id))
+                        .collect();
+                    prop_assert_eq!(got, expected, "writer {} eviction order", w);
+                }
+            }
+        }
+    }
+
     #[test]
     fn cross_thread_events_merge_into_one_dump() {
         let rec = Arc::new(FlightRecorder::new(128));

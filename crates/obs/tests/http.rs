@@ -11,15 +11,37 @@ use std::sync::Arc;
 
 use swag_obs::{labeled_name, ManualClock, OpsSurface, Registry, SloSpec, WindowSpec};
 
-/// One blocking HTTP/1.0 GET; returns (status line, body).
-fn get(addr: &str, path: &str) -> (String, String) {
+/// One blocking HTTP/1.0 GET; returns (status line, headers, body).
+fn get_full(addr: &str, path: &str) -> (String, Vec<String>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").expect("send");
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read");
     let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
-    let status = head.lines().next().unwrap_or_default().to_string();
-    (status, body.to_string())
+    let mut lines = head.lines();
+    let status = lines.next().unwrap_or_default().to_string();
+    (
+        status,
+        lines.map(str::to_string).collect(),
+        body.to_string(),
+    )
+}
+
+/// [`get_full`] without the headers.
+fn get(addr: &str, path: &str) -> (String, String) {
+    let (status, _, body) = get_full(addr, path);
+    (status, body)
+}
+
+/// The value of `name:` among response headers (case-insensitive name).
+fn header<'a>(headers: &'a [String], name: &str) -> &'a str {
+    headers
+        .iter()
+        .find_map(|h| {
+            let (k, v) = h.split_once(':')?;
+            k.eq_ignore_ascii_case(name).then(|| v.trim())
+        })
+        .unwrap_or_else(|| panic!("missing header {name}: {headers:?}"))
 }
 
 /// Builds a surface with labeled histograms (one value deliberately
@@ -114,8 +136,13 @@ fn metrics_endpoint_serves_valid_prometheus_exposition() {
     let server = surface.serve("127.0.0.1:0").expect("bind");
     let addr = server.addr().to_string();
 
-    let (status, body) = get(&addr, "/metrics");
+    let (status, headers, body) = get_full(&addr, "/metrics");
     assert!(status.contains("200"), "{status}");
+    // Prometheus scrapers negotiate on the exposition-format version.
+    assert_eq!(
+        header(&headers, "Content-Type"),
+        "text/plain; version=0.0.4; charset=utf-8"
+    );
     assert_valid_exposition(&body);
 
     // Histogram triplets under one family header.
@@ -146,8 +173,12 @@ fn vars_slo_and_healthz_routes_respond() {
     let server = surface.serve("127.0.0.1:0").expect("bind");
     let addr = server.addr().to_string();
 
-    let (status, body) = get(&addr, "/vars");
+    let (status, headers, body) = get_full(&addr, "/vars");
     assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        header(&headers, "Content-Type"),
+        "application/json; charset=utf-8"
+    );
     assert!(body.trim_start().starts_with('{'), "{body}");
     assert!(body.contains("swag_query_micros"), "{body}");
 
@@ -156,8 +187,12 @@ fn vars_slo_and_healthz_routes_respond() {
     assert!(body.contains("\"slo\":\"query\""), "{body}");
     assert!(body.contains("\"state\":\"ok\""), "{body}");
 
-    let (status, body) = get(&addr, "/healthz");
+    let (status, headers, body) = get_full(&addr, "/healthz");
     assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        header(&headers, "Content-Type"),
+        "text/plain; charset=utf-8"
+    );
     assert!(body.starts_with("ok uptime_micros="), "{body}");
 
     let (status, _) = get(&addr, "/nope");

@@ -159,6 +159,17 @@ impl AdmissionController {
         }
         Ok(InflightPermit { controller: self })
     }
+
+    /// Tokens currently left in `client_id`'s bucket (the configured
+    /// burst for a client with no bucket yet). Forensic annotation only
+    /// — reads, never refills or spends — so the number is the balance
+    /// as of the bucket's last [`Self::admit`] touch.
+    pub(crate) fn tokens_remaining(&self, client_id: u64) -> f64 {
+        self.buckets
+            .lock()
+            .get(&client_id)
+            .map_or(self.cfg.burst, |b| b.tokens)
+    }
 }
 
 #[cfg(test)]
@@ -182,11 +193,19 @@ mod tests {
         for _ in 0..3 {
             assert!(ctl.admit(1).is_ok());
         }
-        assert_eq!(ctl.admit(1).unwrap_err(), ShedReason::RateLimited);
+        assert_eq!(
+            ctl.admit(1)
+                .expect_err("4th request must be shed: burst of 3 is spent"),
+            ShedReason::RateLimited
+        );
         // 100 ms at 10/s refills exactly one token.
         clock.advance_micros(100_000);
         assert!(ctl.admit(1).is_ok());
-        assert_eq!(ctl.admit(1).unwrap_err(), ShedReason::RateLimited);
+        assert_eq!(
+            ctl.admit(1)
+                .expect_err("refill granted exactly one token, already spent"),
+            ShedReason::RateLimited
+        );
     }
 
     #[test]
@@ -198,7 +217,11 @@ mod tests {
             ..AdmissionConfig::default()
         });
         assert!(ctl.admit(1).is_ok());
-        assert_eq!(ctl.admit(1).unwrap_err(), ShedReason::RateLimited);
+        assert_eq!(
+            ctl.admit(1)
+                .expect_err("client 1's single-token burst is spent"),
+            ShedReason::RateLimited
+        );
         assert!(
             ctl.admit(2).is_ok(),
             "client 2 must not share client 1's bucket"
@@ -214,10 +237,18 @@ mod tests {
             max_inflight: 2,
             ..AdmissionConfig::default()
         });
-        let a = ctl.admit(1).unwrap();
-        let b = ctl.admit(1).unwrap();
+        let a = ctl
+            .admit(1)
+            .expect("1st admit fits the max_inflight=2 budget");
+        let b = ctl
+            .admit(1)
+            .expect("2nd admit fits the max_inflight=2 budget");
         assert_eq!(ctl.queue_depth(), 2);
-        assert_eq!(ctl.admit(1).unwrap_err(), ShedReason::Overloaded);
+        assert_eq!(
+            ctl.admit(1)
+                .expect_err("3rd concurrent admit must exceed max_inflight=2"),
+            ShedReason::Overloaded
+        );
         drop(a);
         assert_eq!(ctl.queue_depth(), 1);
         assert!(ctl.admit(1).is_ok());

@@ -314,7 +314,8 @@ mod tests {
 
     #[test]
     fn wide_windows_are_ineligible() {
-        let cache = ResultCache::new(CacheConfig::enabled(8), 1.0).unwrap();
+        let cache = ResultCache::new(CacheConfig::enabled(8), 1.0)
+            .expect("nonzero capacity must build an enabled cache");
         let q = crate::query::Query::new(0.0, 10.0, swag_geo::LatLon::new(40.0, 116.32), 50.0);
         let narrow = QueryPlan::compile(&q, &crate::query::QueryOptions::default());
         assert!(cache.eligible(&narrow));

@@ -18,9 +18,11 @@
 //! this module.
 
 pub mod admission;
+pub(crate) mod analyze;
 pub mod cache;
 pub(crate) mod epoch;
 pub mod fanout;
+pub mod forensics;
 mod ops;
 pub mod plan;
 mod write;
@@ -45,6 +47,7 @@ use crate::subscribe::SubscriptionSet;
 use admission::AdmissionController;
 use cache::ResultCache;
 use epoch::{CacheStamp, Epoch, SnapshotCore};
+use forensics::QueryEventLog;
 use plan::QueryPlan;
 use write::Writer;
 
@@ -113,6 +116,10 @@ pub(crate) struct ServerObs {
     pub(crate) admitted: Arc<Counter>,
     pub(crate) shed_rate_limited: Arc<Counter>,
     pub(crate) shed_overloaded: Arc<Counter>,
+    /// Wide-event query log traffic: events recorded into the rings vs.
+    /// retained by the tail sampler.
+    pub(crate) events_pushed: Arc<Counter>,
+    pub(crate) events_kept: Arc<Counter>,
     pub(crate) trace: Trace,
 }
 
@@ -162,6 +169,10 @@ impl ServerObs {
             "swag_server_shed_total",
             "Queries shed by admission control, by reason.",
         );
+        registry.set_help(
+            "swag_server_events_total",
+            "Wide query events recorded into the forensic rings (stage=pushed) and retained by the tail sampler (stage=kept).",
+        );
         ServerObs {
             lock_wait: registry.histogram("swag_server_query_lock_wait_micros"),
             index_scan: registry.histogram("swag_server_query_index_scan_micros"),
@@ -206,6 +217,14 @@ impl ServerObs {
                 "swag_server_shed_total",
                 &[("reason", "overloaded")],
             )),
+            events_pushed: registry.counter(&labeled_name(
+                "swag_server_events_total",
+                &[("stage", "pushed")],
+            )),
+            events_kept: registry.counter(&labeled_name(
+                "swag_server_events_total",
+                &[("stage", "kept")],
+            )),
             trace: Trace::new(256),
         }
     }
@@ -232,6 +251,9 @@ pub(crate) struct Engine {
     /// Admission controller; `None` when disabled (the default) —
     /// `query_admitted` then admits unconditionally.
     pub(crate) admission: Option<AdmissionController>,
+    /// Wide-event query log; `None` when disabled (the default), so the
+    /// query path pays one branch and reads no clock for forensics.
+    pub(crate) events: Option<Arc<QueryEventLog>>,
     /// Causal-tracing flight recorder for the query/ingest/publish
     /// paths. Disabled by default: each span site then costs one relaxed
     /// load.
@@ -284,6 +306,10 @@ impl Engine {
                 .admission
                 .enabled
                 .then(|| AdmissionController::new(config.admission, clock)),
+            events: config
+                .events
+                .enabled
+                .then(|| Arc::new(QueryEventLog::new(config.events))),
             recorder,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),

@@ -271,6 +271,14 @@ impl Engine {
     /// `Arc` in a momentary read-side critical section, and executes
     /// (through the result cache when enabled).
     pub(crate) fn query(&self, query: &Query, opts: &QueryOptions) -> Vec<SearchHit> {
+        // With the wide-event log enabled, queries route through the
+        // instrumented executor so each one emits a forensic event. The
+        // events-off path (the default) pays exactly this one
+        // load-and-branch — no clock reads, mirrored by the obs_overhead
+        // baseline replica.
+        if self.events.as_ref().is_some_and(|e| e.is_enabled()) {
+            return self.query_evented(query, opts, None);
+        }
         let t0 = self.clock.now_micros();
         let epoch = self.epoch.read().clone();
         let plan = QueryPlan::compile(query, opts);
@@ -295,6 +303,12 @@ impl Engine {
                 if let Some(obs) = &self.obs {
                     obs.admitted.inc();
                 }
+                if self.events.as_ref().is_some_and(|e| e.is_enabled()) {
+                    // The permit stays held across execution; the event
+                    // records the post-decision token balance.
+                    let tokens = admission.tokens_remaining(client_id);
+                    return Ok(self.query_evented(query, opts, Some(tokens)));
+                }
                 Ok(self.query(query, opts))
             }
             Err(reason) => {
@@ -303,6 +317,9 @@ impl Engine {
                         ShedReason::RateLimited => obs.shed_rate_limited.inc(),
                         ShedReason::Overloaded => obs.shed_overloaded.inc(),
                     }
+                }
+                if self.events.as_ref().is_some_and(|e| e.is_enabled()) {
+                    self.emit_shed_event(client_id, query, opts, reason);
                 }
                 Err(reason)
             }

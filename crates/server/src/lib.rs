@@ -35,6 +35,10 @@ pub mod subscribe;
 pub use engine::admission::{AdmissionConfig, ShedReason};
 pub use engine::cache::CacheConfig;
 pub use engine::fanout::{FanoutDecision, FanoutMode};
+pub use engine::forensics::{
+    result_digest, AnalyzeReport, AnalyzedQuery, CacheOutcome, EventLogConfig, QueryEvent,
+    QueryEventLog, QueryOutcome, QUERY_EVENT_WORDS,
+};
 pub use engine::plan::{FilterChain, QueryPlan};
 pub use index::{FovIndex, IndexKind};
 pub use persistence::{load_snapshot, save_snapshot, SnapshotError};

@@ -38,6 +38,7 @@ use swag_obs::{FlightRecorder, HistogramSnapshot, MonotonicClock, Registry, Trac
 use crate::engine::admission::{AdmissionConfig, ShedReason};
 use crate::engine::cache::CacheConfig;
 use crate::engine::fanout::FanoutMode;
+use crate::engine::forensics::{AnalyzedQuery, EventLogConfig, QueryEventLog};
 use crate::engine::Engine;
 use crate::index::IndexKind;
 use crate::query::{Query, QueryOptions};
@@ -84,6 +85,12 @@ pub struct ServerConfig {
     /// [`CloudServer::query_admitted`] consults it; the plain query
     /// entry points are for trusted internal callers.
     pub admission: AdmissionConfig,
+    /// Wide-event query log with tail sampling (disabled by default):
+    /// every query records one forensic [`crate::QueryEvent`]; sheds and
+    /// over-threshold-slow queries are always retained, ordinary traffic
+    /// probabilistically. Disabled, the query path pays one branch and
+    /// reads no clock for forensics.
+    pub events: EventLogConfig,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +105,7 @@ impl Default for ServerConfig {
             fanout: FanoutMode::Adaptive,
             cache: CacheConfig::default(),
             admission: AdmissionConfig::default(),
+            events: EventLogConfig::default(),
         }
     }
 }
@@ -395,6 +403,30 @@ impl CloudServer {
     /// operator pipeline (named with the same labels trace spans use).
     pub fn explain(&self, query: &Query, opts: &QueryOptions) -> String {
         self.engine.explain(query, opts)
+    }
+
+    /// EXPLAIN ANALYZE: executes the request for real through an
+    /// instrumented pipeline and returns the hits — byte-identical to
+    /// [`Self::query_admitted`] (an equivalence test pins this) — plus a
+    /// report annotating every operator with measured wall time and rows
+    /// in/out, and the concrete cache, admission, and fan-out decisions
+    /// this execution took. Admission is consulted exactly like
+    /// `query_admitted`; a shed request returns no hits and a report
+    /// saying why. When the wide-event log is enabled the analyzed run
+    /// emits an event like any other query.
+    pub fn query_analyzed(
+        &self,
+        client_id: u64,
+        query: &Query,
+        opts: &QueryOptions,
+    ) -> AnalyzedQuery {
+        self.engine.query_analyzed(client_id, query, opts)
+    }
+
+    /// The wide-event query log, present when
+    /// [`ServerConfig::events`] enabled it.
+    pub fn event_log(&self) -> Option<&Arc<QueryEventLog>> {
+        self.engine.events.as_ref()
     }
 
     /// Retracts every segment a provider contributed (the §I privacy

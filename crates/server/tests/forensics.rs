@@ -1,0 +1,328 @@
+//! Query forensics: EXPLAIN ANALYZE equivalence, wide-event capture and
+//! tail sampling, JSON round-trips, and replay digest stability.
+//!
+//! The load-bearing guarantee is **byte-identity**: the instrumented
+//! analyzed executor and the events-enabled query path must return
+//! exactly what the plain path returns, hit for hit, field for field —
+//! otherwise a forensic record describes an execution that never
+//! happened.
+
+use swag_core::{CameraProfile, Fov, RepFov, UploadBatch};
+use swag_geo::LatLon;
+use swag_server::{
+    result_digest, AdmissionConfig, CacheConfig, CacheOutcome, CloudServer, EventLogConfig, Query,
+    QueryEvent, QueryOptions, QueryOutcome, RankMode, SearchHit, ServerConfig, QUERY_EVENT_WORDS,
+};
+
+fn base() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+/// Tiny deterministic generator (SplitMix64), same idiom as the engine
+/// equivalence suite.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+fn workload(seed: u64, n: usize) -> Vec<RepFov> {
+    let mut rng = Rng(seed);
+    (0..n)
+        .map(|_| {
+            let dx = rng.f64(-400.0, 400.0);
+            let dy = rng.f64(-400.0, 400.0);
+            let theta = rng.f64(0.0, 360.0);
+            let t0 = rng.f64(0.0, 1_000.0);
+            let dur = rng.f64(1.0, 40.0);
+            RepFov::new(
+                t0,
+                t0 + dur,
+                Fov::new(base().offset_by(swag_geo::Vec2::new(dx, dy)), theta),
+            )
+        })
+        .collect()
+}
+
+fn server_with(config: ServerConfig, seed: u64, n: usize) -> CloudServer {
+    let server = CloudServer::with_config(CameraProfile::smartphone(), config);
+    server.ingest_batch(&UploadBatch {
+        provider_id: 1,
+        video_id: 0,
+        reps: workload(seed, n),
+    });
+    server
+}
+
+fn probes(seed: u64, n: usize) -> Vec<(Query, QueryOptions)> {
+    let mut rng = Rng(seed ^ 0xdead_beef);
+    (0..n)
+        .map(|i| {
+            let t0 = rng.f64(0.0, 900.0);
+            let q = Query::new(
+                t0,
+                t0 + rng.f64(5.0, 120.0),
+                base().offset_by(swag_geo::Vec2::new(
+                    rng.f64(-300.0, 300.0),
+                    rng.f64(-300.0, 300.0),
+                )),
+                rng.f64(100.0, 500.0),
+            );
+            let opts = QueryOptions {
+                top_n: 1 + (i % 7),
+                direction_filter: i % 3 != 0,
+                require_coverage: i % 5 == 0,
+                rank: if i % 2 == 0 {
+                    RankMode::Distance
+                } else {
+                    RankMode::Quality
+                },
+                ..QueryOptions::default()
+            };
+            (q, opts)
+        })
+        .collect()
+}
+
+fn assert_same_hits(a: &[SearchHit], b: &[SearchHit], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: hit counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x, y, "{what}: hits differ");
+    }
+    assert_eq!(
+        result_digest(a),
+        result_digest(b),
+        "{what}: digests differ despite equal hits"
+    );
+}
+
+/// EXPLAIN ANALYZE must return byte-identical results to the plain
+/// query path, across filter/rank variations — with the cache off.
+#[test]
+fn analyzed_execution_matches_normal_execution() {
+    let server = server_with(ServerConfig::default(), 11, 300);
+    for (q, opts) in probes(11, 24) {
+        let plain = server.query(&q, &opts);
+        let analyzed = server.query_analyzed(7, &q, &opts);
+        assert_same_hits(&plain, &analyzed.hits, "analyze-vs-plain");
+        let ev = analyzed.report.event;
+        assert_eq!(ev.outcome, QueryOutcome::Served);
+        assert_eq!(ev.cache, CacheOutcome::Off);
+        assert_eq!(ev.hit_count, plain.len() as u64);
+        assert_eq!(ev.digest, result_digest(&plain));
+        // Every operator annotated: rows flow through the pipeline.
+        assert_eq!(ev.rank_rows_in, ev.index_rows_out + ev.delta_rows_out);
+        assert_eq!(ev.rank_rows_out, ev.hit_count);
+        // index/delta hit split counts filter survivors *before* top-N
+        // truncation: at least everything ranked out, at most rows in.
+        let split = ev.hits_index + ev.hits_delta;
+        assert!(split >= ev.rank_rows_out && split <= ev.rank_rows_in);
+        let text = analyzed.report.render();
+        for needle in ["index_scan", "delta_scan", "ranking", "digest", "fanout"] {
+            assert!(text.contains(needle), "analyze render missing {needle}");
+        }
+    }
+}
+
+/// With the result cache enabled, a repeated analyzed query is served
+/// from the cache (annotated as a hit) and still byte-identical.
+#[test]
+fn analyzed_execution_reports_cache_decisions() {
+    let server = server_with(
+        ServerConfig {
+            cache: CacheConfig::enabled(64),
+            ..ServerConfig::default()
+        },
+        13,
+        300,
+    );
+    let (q, opts) = probes(13, 1).remove(0);
+    let first = server.query_analyzed(7, &q, &opts);
+    assert_eq!(first.report.event.cache, CacheOutcome::Miss);
+    let second = server.query_analyzed(7, &q, &opts);
+    assert_eq!(second.report.event.cache, CacheOutcome::Hit);
+    assert_same_hits(&first.hits, &second.hits, "cache-hit analyze");
+    assert_eq!(first.report.event.digest, second.report.event.digest);
+    assert!(second
+        .report
+        .render()
+        .contains("served from the result cache"));
+}
+
+/// The events-enabled query path (instrumented executor) must return
+/// byte-identical results to an events-disabled twin.
+#[test]
+fn evented_queries_match_uneventful_twin() {
+    let plain = server_with(ServerConfig::default(), 17, 300);
+    let evented = server_with(
+        ServerConfig {
+            events: EventLogConfig::enabled(0, 17),
+            ..ServerConfig::default()
+        },
+        17,
+        300,
+    );
+    for (q, opts) in probes(17, 24) {
+        assert_same_hits(
+            &plain.query(&q, &opts),
+            &evented.query(&q, &opts),
+            "evented-vs-plain",
+        );
+    }
+    let log = evented.event_log().expect("events enabled in config");
+    let stats = log.stats();
+    assert_eq!(stats.pushed, 24, "one wide event per query");
+}
+
+/// Kept events carry the full request bit-exactly: re-running the
+/// reconstructed query yields the recorded digest (replay semantics).
+#[test]
+fn kept_events_replay_to_the_same_digest() {
+    let server = server_with(
+        ServerConfig {
+            events: EventLogConfig {
+                enabled: true,
+                keep_per_mille: 1_000,
+                ..EventLogConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        19,
+        300,
+    );
+    for (q, opts) in probes(19, 16) {
+        server.query(&q, &opts);
+    }
+    let kept = server.event_log().expect("events enabled in config").kept();
+    assert_eq!(kept.len(), 16, "keep_per_mille 1000 keeps everything");
+    for ev in kept {
+        let replayed = server.query_analyzed(7, &ev.query(), &ev.options());
+        assert_eq!(
+            result_digest(&replayed.hits),
+            ev.digest,
+            "replaying a captured event against unchanged state must reproduce its digest"
+        );
+        // Round-trip through the JSONL wire format, bit-exact.
+        let parsed = QueryEvent::from_json(&ev.to_json()).expect("own JSON must parse");
+        assert_eq!(parsed.encode(), ev.encode(), "JSON round-trip drifted");
+    }
+}
+
+/// Shed queries always produce kept events (class Always overrides a
+/// zero sampling rate), annotated with the reason and token balance.
+#[test]
+fn shed_queries_are_always_kept() {
+    let server = server_with(
+        ServerConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                rate_per_s: 1.0,
+                burst: 2.0,
+                ..AdmissionConfig::default()
+            },
+            // keep_per_mille 0: ordinary events are never sampled in, so
+            // every kept event below must be a shed.
+            events: EventLogConfig {
+                enabled: true,
+                keep_per_mille: 0,
+                ..EventLogConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        23,
+        100,
+    );
+    let (q, opts) = probes(23, 1).remove(0);
+    let mut sheds = 0;
+    for _ in 0..10 {
+        if server.query_admitted(42, &q, &opts).is_err() {
+            sheds += 1;
+        }
+    }
+    assert_eq!(sheds, 8, "burst of 2 admits twice, then rate-limits");
+    let kept = server.event_log().expect("events enabled in config").kept();
+    assert_eq!(kept.len(), sheds, "every shed kept, nothing else");
+    for ev in &kept {
+        assert!(matches!(ev.outcome, QueryOutcome::Shed(_)));
+        assert!(
+            ev.tokens_remaining.expect("admission was consulted") < 1.0,
+            "shed event must record the empty bucket"
+        );
+        assert_eq!(ev.digest, 0, "no result to digest");
+    }
+    // Admitted queries under keep_per_mille 0 still *record* (ring) but
+    // are not retained.
+    let stats = server
+        .event_log()
+        .expect("events enabled in config")
+        .stats();
+    assert_eq!(stats.pushed, 10);
+    assert_eq!(stats.kept, sheds as u64);
+}
+
+/// A slow-over-threshold query is always kept even at sampling rate 0.
+#[test]
+fn slow_queries_are_always_kept() {
+    let server = server_with(
+        ServerConfig {
+            events: EventLogConfig {
+                enabled: true,
+                keep_per_mille: 0,
+                slow_micros: 1, // every real query takes >= 1 us
+                ..EventLogConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        29,
+        300,
+    );
+    let (q, opts) = probes(29, 1).remove(0);
+    server.query(&q, &opts);
+    let kept = server.event_log().expect("events enabled in config").kept();
+    assert_eq!(kept.len(), 1, "over-SLO query kept at sampling rate 0");
+    assert!(kept[0].total_micros >= 1);
+}
+
+/// The encoded word layout is stable and self-describing: encode/decode
+/// round-trips every field bit-exactly, including negative-zero floats
+/// and the discriminants.
+#[test]
+fn event_words_round_trip() {
+    let server = server_with(
+        ServerConfig {
+            events: EventLogConfig::enabled(0, 31),
+            admission: AdmissionConfig {
+                enabled: true,
+                ..AdmissionConfig::default()
+            },
+            cache: CacheConfig::enabled(16),
+            ..ServerConfig::default()
+        },
+        31,
+        200,
+    );
+    let (q, opts) = probes(31, 1).remove(0);
+    let analyzed = server.query_analyzed(3, &q, &opts);
+    let ev = analyzed.report.event;
+    let words = ev.encode();
+    assert_eq!(words.len(), QUERY_EVENT_WORDS);
+    let back = QueryEvent::decode(&words).expect("own encoding must decode");
+    assert_eq!(back.encode(), words, "decode(encode(ev)) drifted");
+    assert_eq!(back.query(), q, "query reconstruction must be bit-exact");
+    assert_eq!(back.options().top_n, opts.top_n);
+    assert_eq!(back.options().rank, opts.rank);
+    assert!(back.tokens_remaining.is_some(), "admission was consulted");
+    // Wrong width is rejected, not mangled.
+    assert!(QueryEvent::decode(&words[..31]).is_none());
+}
