@@ -1,0 +1,278 @@
+//! Durability overhead + recovery guard.
+//!
+//! Replays the same monotone ingest workload against two servers:
+//!
+//! * **memory** — `CloudServer::with_config`, no durability: ingest is
+//!   the in-memory delta append plus periodic epoch folds;
+//! * **wal** — `CloudServer::open` on a fresh data dir: every ingest
+//!   additionally frames the record into the segment WAL (group-commit
+//!   fsync on the default 2 ms interval), and every epoch publish
+//!   triggers an incremental snapshot + WAL rotation in the background.
+//!
+//! The gate is a throughput *ratio*, not an absolute number: the
+//! WAL-on path must sustain at least [`MIN_RATIO`] of memory-only
+//! ingest throughput (correctness-only in `--smoke`, where the workload
+//! is too small for a stable ratio). A second, ungated measurement
+//! times recovery: reopen the data dir and replay snapshot + WAL back
+//! into a live server, asserting the recovered state answers a
+//! full-window query with the same result digest as the server that
+//! wrote it.
+//!
+//! Writes `BENCH_durability.json` at the workspace root.
+//!
+//! Usage: `cargo run --release -p swag-bench --bin durability_bench [-- --smoke]`
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use swag_bench::fmt_duration;
+use swag_core::{CameraProfile, DescriptorCodec, Fov, RepFov};
+use swag_geo::LatLon;
+use swag_server::{result_digest, CloudServer, Query, QueryOptions, SegmentRef, ServerConfig};
+
+/// WAL-on ingest must keep at least this fraction of memory-only
+/// throughput (the group-commit fsync amortises the disk cost).
+const MIN_RATIO: f64 = 0.7;
+
+struct Workload {
+    segments: usize,
+    rounds: usize,
+    smoke: bool,
+}
+
+impl Workload {
+    fn from_args() -> Workload {
+        let mut w = Workload {
+            segments: 40_000,
+            rounds: 5,
+            smoke: false,
+        };
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" => {
+                    w.smoke = true;
+                    w.segments = 4_000;
+                    w.rounds = 2;
+                }
+                other => panic!("unknown argument {other:?} (expected --smoke)"),
+            }
+        }
+        w
+    }
+}
+
+fn center() -> LatLon {
+    LatLon::new(40.0, 116.32)
+}
+
+fn tmp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "swag-durability-bench-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).expect("create bench data dir");
+    d
+}
+
+/// Deterministic ingest stream, canonicalised through the upload
+/// descriptor codec so the WAL round-trip is bit-exact and the digest
+/// comparison below is meaningful (the codec is idempotent past one
+/// pass; see the durability tests for the same trick). Start times are
+/// monotone in `i` — snapshot recovery rebuilds the store bucket-major,
+/// so only a time-ordered stream keeps recovered `SegmentId`s (which
+/// the result digest covers) identical to the writing server's.
+fn records(n: usize) -> Vec<(RepFov, SegmentRef)> {
+    let step = 3600.0 / n as f64;
+    (0..n)
+        .map(|i| {
+            let bearing = (i as f64 * 0.618_033_988_75 * 360.0) % 360.0;
+            let dist = 600.0 * (((i % 997) as f64 + 1.0) / 997.0).sqrt();
+            let t0 = i as f64 * step;
+            let rep = RepFov::new(
+                t0,
+                t0 + 8.0,
+                Fov::new(center().offset(bearing, dist), (i % 360) as f64),
+            );
+            let mut buf = bytes::BytesMut::new();
+            DescriptorCodec::encode_rep(&rep, &mut buf).expect("encode rep");
+            let rep = DescriptorCodec::decode_rep(&mut buf.freeze()).expect("decode rep");
+            let source = SegmentRef {
+                provider_id: (i / 100) as u64,
+                video_id: 0,
+                segment_idx: i as u32,
+            };
+            (rep, source)
+        })
+        .collect()
+}
+
+fn wide_opts() -> QueryOptions {
+    QueryOptions {
+        top_n: usize::MAX,
+        direction_filter: false,
+        ..QueryOptions::default()
+    }
+}
+
+fn digest(server: &CloudServer) -> u64 {
+    let q = Query::new(0.0, 1e9, center(), 5_000.0);
+    result_digest(&server.query(&q, &wide_opts()))
+}
+
+/// One timed ingest pass; returns elapsed nanoseconds.
+fn ingest_round(server: &CloudServer, items: &[(RepFov, SegmentRef)]) -> u64 {
+    let start = Instant::now();
+    for &(rep, source) in items {
+        server.ingest_one(rep, source);
+    }
+    black_box(server.stats().segments);
+    start.elapsed().as_nanos() as u64
+}
+
+fn median(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let w = Workload::from_args();
+    let cam = CameraProfile::smartphone();
+    let items = records(w.segments);
+    let config = ServerConfig::default();
+
+    // Interleave subjects per round so machine drift hits both equally;
+    // fresh servers (and fresh data dirs) per round so each round does
+    // identical work. Round 0 is warm-up. The last durable round's dir
+    // is kept for the recovery measurement.
+    let mut t_memory = Vec::with_capacity(w.rounds);
+    let mut t_wal = Vec::with_capacity(w.rounds);
+    let mut last_dir: Option<PathBuf> = None;
+    let mut wrote_digest = 0u64;
+    for round in 0..=w.rounds {
+        let memory = CloudServer::with_config(cam, config);
+        let ns = ingest_round(&memory, &items);
+
+        let dir = tmp_dir();
+        let durable = CloudServer::open(&dir, cam, config).expect("open fresh data dir");
+        let ns2 = ingest_round(&durable, &items);
+        durable.quiesce();
+        if round > 0 {
+            t_memory.push(ns);
+            t_wal.push(ns2);
+        }
+        if round == w.rounds {
+            wrote_digest = digest(&durable);
+            assert_eq!(
+                wrote_digest,
+                digest(&memory),
+                "durable and memory-only servers diverged on the same ingest stream"
+            );
+            last_dir = Some(dir);
+        } else {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    let med_memory = median(&mut t_memory);
+    let med_wal = median(&mut t_wal);
+    let per_s = |ns: u64| w.segments as f64 / (ns as f64 / 1e9);
+    let ratio = med_memory as f64 / med_wal as f64;
+
+    // Recovery: reopen the surviving data dir and replay snapshot + WAL
+    // back into a live server. The recovered state must answer the wide
+    // query with the digest the writing server produced.
+    let dir = last_dir.expect("a durable round ran");
+    let recover_start = Instant::now();
+    let recovered = CloudServer::open(&dir, cam, config).expect("recover data dir");
+    let recovery_ns = recover_start.elapsed().as_nanos() as u64;
+    assert_eq!(
+        recovered.stats().segments,
+        w.segments,
+        "recovery lost records"
+    );
+    assert_eq!(
+        digest(&recovered),
+        wrote_digest,
+        "recovered state diverged from the server that wrote it"
+    );
+    let stats = recovered
+        .durability_stats()
+        .expect("recovered server is durable");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let min_ratio = if w.smoke { 0.0 } else { MIN_RATIO };
+    let pass = ratio >= min_ratio;
+
+    println!(
+        "durable ingest over {} segments x {} rounds{}",
+        w.segments,
+        w.rounds,
+        if w.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "  memory    median {:>10} / round  ({:>9.0} ingests/s)",
+        fmt_duration(std::time::Duration::from_nanos(med_memory)),
+        per_s(med_memory)
+    );
+    println!(
+        "  wal       median {:>10} / round  ({:>9.0} ingests/s, {:.2}x of memory)",
+        fmt_duration(std::time::Duration::from_nanos(med_wal)),
+        per_s(med_wal),
+        ratio
+    );
+    println!(
+        "  recovery  {:>10} for {} segments (wal seq {}, {} cold runs on disk)",
+        fmt_duration(std::time::Duration::from_nanos(recovery_ns)),
+        w.segments,
+        stats.wal_seq,
+        stats.cold_runs,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"segments\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"median_round_ns\": {{\"memory\": {}, \"wal\": {}}},\n",
+            "  \"ingests_per_s\": {{\"memory\": {:.0}, \"wal\": {:.0}}},\n",
+            "  \"throughput_ratio\": {:.3},\n",
+            "  \"min_ratio\": {},\n",
+            "  \"recovery_ns\": {},\n",
+            "  \"recovered_segments\": {},\n",
+            "  \"identical_results\": true,\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        w.segments,
+        w.rounds,
+        w.smoke,
+        med_memory,
+        med_wal,
+        per_s(med_memory),
+        per_s(med_wal),
+        ratio,
+        min_ratio,
+        recovery_ns,
+        w.segments,
+        pass
+    );
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_durability.json");
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("cannot write BENCH_durability.json");
+    println!("wrote {}", path.display());
+
+    if !pass {
+        eprintln!("FAIL: WAL-on ingest ratio {ratio:.3} below {min_ratio}");
+        std::process::exit(1);
+    }
+}

@@ -120,6 +120,11 @@ struct BaselineServer {
     /// so the baseline pays the same load-and-branch. Also `black_box`ed
     /// so the branch survives optimization.
     event_log: Option<u64>,
+    /// Stand-in for the engine's `Option<Arc<Durability>>` field: the
+    /// query path gates the cold-tier scan on `is_some_and(has cold
+    /// runs)` (`None` on memory-only servers), so the baseline pays the
+    /// same load-and-branch. `black_box`ed like the others.
+    durability: Option<u64>,
     queries: AtomicU64,
     query_micros: AtomicU64,
 }
@@ -140,6 +145,7 @@ impl BaselineServer {
             cam,
             result_cache: black_box(None),
             event_log: black_box(None),
+            durability: black_box(None),
             queries: AtomicU64::new(0),
             query_micros: AtomicU64::new(0),
         }
@@ -155,6 +161,11 @@ impl BaselineServer {
         if self.event_log.as_ref().is_some_and(|&e| e > 0) {
             // Events-enabled arm: same as above, mirrors the engine's
             // `is_some_and(is_enabled)` wide-event gate.
+            return usize::MAX;
+        }
+        if self.durability.as_ref().is_some_and(|&d| d > 0) {
+            // Cold-tier arm: mirrors the engine's `has_cold()` gate in
+            // front of the cold scan (always false on memory-only).
             return usize::MAX;
         }
         let state = self.state.read().clone();

@@ -26,7 +26,7 @@ use crate::live;
 use crate::{open_reader, open_writer, read_bytes, write_bytes};
 
 /// Default camera for CLI operations.
-fn camera() -> CameraProfile {
+pub(crate) fn camera() -> CameraProfile {
     CameraProfile::smartphone()
 }
 
@@ -202,14 +202,42 @@ fn parse_query_args(args: &ArgParser) -> Result<(Query, QueryOptions), String> {
     Ok((q, opts))
 }
 
+/// Cheap presence check for the state source a query-style command
+/// reads, run *before* argument parsing so "which file?" errors come
+/// ahead of "which query?" errors (the CLI tests pin this ordering).
+fn require_source(args: &ArgParser) -> Result<(), String> {
+    match (args.get("snapshot"), args.get("data-dir")) {
+        (Some(_), Some(_)) => Err("pass either --snapshot or --data-dir, not both".into()),
+        (None, None) => Err("missing required --snapshot (or --data-dir)".into()),
+        _ => Ok(()),
+    }
+}
+
+/// Loads the server a query-style command operates on: a binary
+/// snapshot file (`--snapshot`) or a durable data directory
+/// (`--data-dir`, recovering WAL + incremental snapshot + cold tier).
+pub(crate) fn load_server(args: &ArgParser) -> Result<CloudServer, String> {
+    match (args.get("snapshot"), args.get("data-dir")) {
+        (Some(path), None) => {
+            let bytes = read_bytes(path)?;
+            load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())
+        }
+        (None, Some(dir)) => {
+            CloudServer::open(dir, camera(), ServerConfig::default()).map_err(|e| e.to_string())
+        }
+        (Some(_), Some(_)) => Err("pass either --snapshot or --data-dir, not both".into()),
+        (None, None) => Err("missing required --snapshot (or --data-dir)".into()),
+    }
+}
+
 /// `swag explain` — print the typed plan a query would execute against a
-/// snapshot, without running it. `--analyze` instead executes the query
-/// for real and annotates every operator with measured time and rows.
+/// snapshot, without running it (against a data dir, the plan includes
+/// cold-run reachability). `--analyze` instead executes the query for
+/// real and annotates every operator with measured time and rows.
 pub fn explain(args: ArgParser) -> Result<(), String> {
-    let snapshot_path = args.require("snapshot")?;
+    require_source(&args)?;
     let (q, opts) = parse_query_args(&args)?;
-    let bytes = read_bytes(snapshot_path)?;
-    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+    let server = load_server(&args)?;
     if args.has_flag("--analyze") {
         print!("{}", server.query_analyzed(0, &q, &opts).report.render());
     } else {
@@ -218,13 +246,12 @@ pub fn explain(args: ArgParser) -> Result<(), String> {
     Ok(())
 }
 
-/// `swag query` — answer a spatio-temporal query from a snapshot.
+/// `swag query` — answer a spatio-temporal query from a snapshot or a
+/// durable data directory.
 pub fn query(args: ArgParser) -> Result<(), String> {
-    let snapshot_path = args.require("snapshot")?;
+    require_source(&args)?;
     let (q, opts) = parse_query_args(&args)?;
-
-    let bytes = read_bytes(snapshot_path)?;
-    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
+    let server = load_server(&args)?;
 
     if args.has_flag("--explain") {
         print!("{}", server.explain(&q, &opts));
@@ -319,15 +346,18 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
     observe_plan(&plan, &uploads, &registry);
 
     // Server layer: ingest and query around every recorded segment.
-    let mut server = CloudServer::with_config(
-        camera(),
-        ServerConfig {
-            shard_width_s,
-            retention_horizon_s: retain_s,
-            cache: CacheConfig::enabled(cache_cap),
-            ..ServerConfig::default()
-        },
-    );
+    // With `--data-dir` the probe server is durable: ingests hit the
+    // WAL and the durability row below reports real counters.
+    let probe_config = ServerConfig {
+        shard_width_s,
+        retention_horizon_s: retain_s,
+        cache: CacheConfig::enabled(cache_cap),
+        ..ServerConfig::default()
+    };
+    let mut server = match args.get("data-dir") {
+        Some(dir) => CloudServer::open(dir, camera(), probe_config).map_err(|e| e.to_string())?,
+        None => CloudServer::with_config(camera(), probe_config),
+    };
     server.set_executor(if threads <= 1 {
         Executor::serial()
     } else {
@@ -355,6 +385,9 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
         &QueryOptions::default(),
         5_000.0,
     );
+    // Durable probes leave a replay-free directory behind (no-op when
+    // memory-only).
+    server.quiesce();
 
     match format {
         "prometheus" => print!("{}", registry.render_prometheus()),
@@ -402,6 +435,20 @@ pub fn stats(args: ArgParser) -> Result<(), String> {
                 },
                 registry.counter("swag_server_admitted_total").get(),
             );
+            match server.durability_stats() {
+                Some(d) => println!(
+                    "durability: on — wal {} records / {} B appended ({} B unsynced), \
+                     {} snapshots ({} buckets), cold {} runs / {} segments",
+                    d.wal_records,
+                    d.wal_appended_bytes,
+                    d.wal_lag_bytes,
+                    d.snapshots_written,
+                    d.snapshot_buckets_written,
+                    d.cold_runs,
+                    d.cold_segments,
+                ),
+                None => println!("durability: off (memory-only; pass --data-dir DIR)"),
+            }
         }
         other => return Err(format!("unknown format '{other}' (pretty|prometheus|json)")),
     }
@@ -563,25 +610,6 @@ fn print_metrics_table(registry: &Registry) {
             None => {}
         }
     }
-}
-
-/// `swag retract` — remove a provider's segments from a snapshot.
-pub fn retract(args: ArgParser) -> Result<(), String> {
-    let snapshot_path = args.require("snapshot")?;
-    let provider = args.get_u64("provider", u64::MAX)?;
-    if provider == u64::MAX {
-        return Err("missing required --provider".into());
-    }
-    let bytes = read_bytes(snapshot_path)?;
-    let server = load_snapshot(&bytes[..], camera()).map_err(|e| e.to_string())?;
-    let removed = server.retract_provider(provider);
-    let bytes = save_snapshot(&server).map_err(|e| e.to_string())?;
-    write_bytes(snapshot_path, &bytes)?;
-    eprintln!(
-        "retracted {removed} segments of provider {provider}; {} remain",
-        server.stats().segments
-    );
-    Ok(())
 }
 
 /// `swag export` — convert a trace CSV to GeoJSON for map viewers.

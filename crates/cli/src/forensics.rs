@@ -224,6 +224,9 @@ pub fn replay(args: ArgParser) -> Result<(), String> {
         window_millis: header_u64(&header, "window_millis")?,
         slo_millis: header_u64(&header, "slo_millis")?,
         keep_per_mille: header_u64(&header, "keep_per_mille")?,
+        // Replays rebuild state from the capture's warm ticks, never
+        // from disk — a data dir would make them non-reproducible.
+        data_dir: None,
     };
     let ticks = header_u64(&header, "ticks")?;
     let stack = LiveStack::build(&cfg)?;

@@ -40,6 +40,11 @@ pub struct LiveConfig {
     /// Tail-sampling keep rate for ordinary (served, under-SLO) events,
     /// out of 1000. Sheds and slow queries are always kept.
     pub keep_per_mille: u64,
+    /// Data directory for durable serving (`None` = memory-only). With
+    /// a directory, ingests are WAL-logged, publishes snapshot
+    /// incrementally, and retention demotes expired shards to the cold
+    /// tier instead of dropping them.
+    pub data_dir: Option<String>,
 }
 
 impl LiveConfig {
@@ -52,6 +57,7 @@ impl LiveConfig {
             window_millis: args.get_u64("window-millis", 2_000)?,
             slo_millis: args.get_u64("slo-millis", 5)?,
             keep_per_mille: args.get_u64("keep-per-mille", 1_000)?,
+            data_dir: args.get("data-dir").map(str::to_string),
         };
         if cfg.window_millis == 0 {
             return Err("--window-millis must be positive".into());
@@ -122,32 +128,37 @@ impl LiveStack {
         // The result cache and admission control run here with generous
         // budgets: the dashboard's hit-rate and shed-rate rows describe a
         // live mix rather than zeros.
-        let mut server = CloudServer::with_config(
-            cam,
-            ServerConfig {
-                publish_threshold: 64,
-                retention_horizon_s: Some(1_800.0),
-                cache: CacheConfig::enabled(2_048),
-                admission: AdmissionConfig {
-                    enabled: true,
-                    rate_per_s: 500.0,
-                    burst: 250.0,
-                    ..AdmissionConfig::default()
-                },
-                // The forensic wide-event log rides along on every live
-                // command: `swag events`/`swag replay` read it, and the
-                // dashboard's events row stays non-zero on `swag top`.
-                events: EventLogConfig {
-                    enabled: true,
-                    kept_capacity: 512,
-                    keep_per_mille: cfg.keep_per_mille as u32,
-                    slow_micros: cfg.slo_millis * 1_000,
-                    seed: cfg.seed,
-                    ..EventLogConfig::default()
-                },
-                ..ServerConfig::default()
+        let server_config = ServerConfig {
+            publish_threshold: 64,
+            retention_horizon_s: Some(1_800.0),
+            cache: CacheConfig::enabled(2_048),
+            admission: AdmissionConfig {
+                enabled: true,
+                rate_per_s: 500.0,
+                burst: 250.0,
+                ..AdmissionConfig::default()
             },
-        );
+            // The forensic wide-event log rides along on every live
+            // command: `swag events`/`swag replay` read it, and the
+            // dashboard's events row stays non-zero on `swag top`.
+            events: EventLogConfig {
+                enabled: true,
+                kept_capacity: 512,
+                keep_per_mille: cfg.keep_per_mille as u32,
+                slow_micros: cfg.slo_millis * 1_000,
+                seed: cfg.seed,
+                ..EventLogConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        // With `--data-dir` the live server is durable: it recovers
+        // whatever a previous run left behind, WAL-logs every ingest,
+        // and retention demotes expired shards to the cold tier.
+        let mut server = match &cfg.data_dir {
+            Some(dir) => CloudServer::open(dir, cam, server_config)
+                .map_err(|e| format!("cannot open data dir '{dir}': {e}"))?,
+            None => CloudServer::with_config(cam, server_config),
+        };
         server.set_executor(if cfg.threads <= 1 {
             Executor::serial()
         } else {
@@ -393,7 +404,7 @@ pub fn render_dashboard(stack: &LiveStack, statuses: &[SloStatus]) -> String {
         gauge(&stack.registry, "swag_server_queue_depth"),
     ));
     out.push_str(&format!(
-        "events    {:>8.1}/s recorded  kept {:.1}/s (tail-sampled; sheds and slow always kept)\n\n",
+        "events    {:>8.1}/s recorded  kept {:.1}/s (tail-sampled; sheds and slow always kept)\n",
         rate(&view(&labeled_name(
             "swag_server_events_total",
             &[("stage", "pushed")]
@@ -403,6 +414,19 @@ pub fn render_dashboard(stack: &LiveStack, statuses: &[SloStatus]) -> String {
             &[("stage", "kept")]
         ))),
     ));
+    match stack.server.durability_stats() {
+        Some(d) => out.push_str(&format!(
+            "durable   wal lag {} B (seq {})  snapshots {} (age {})  cold {} runs / {} segs\n\n",
+            d.wal_lag_bytes,
+            d.wal_seq,
+            d.snapshots_written,
+            d.last_snapshot_age_micros
+                .map_or("never".to_string(), |us| format!("{us} us")),
+            d.cold_runs,
+            d.cold_segments,
+        )),
+        None => out.push_str("durable   off (memory-only; pass --data-dir DIR)\n\n"),
+    }
 
     for s in statuses {
         out.push_str(&format!(

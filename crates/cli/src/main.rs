@@ -23,6 +23,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod durable;
 mod forensics;
 mod live;
 
@@ -42,7 +43,8 @@ fn main() -> ExitCode {
         "ingest" => commands::ingest(parser),
         "query" => commands::query(parser),
         "explain" => commands::explain(parser),
-        "retract" => commands::retract(parser),
+        "retract" => durable::retract(parser),
+        "recover" => durable::recover(parser),
         "stats" => commands::stats(parser),
         "trace" => commands::trace(parser),
         "export" => commands::export(parser),
@@ -75,23 +77,28 @@ USAGE:
   swag segment  --in FILE [--thresh T] [--smooth ALPHA] [--out FILE]
   swag ingest   --snapshot FILE TRACE.csv [TRACE.csv ...]
                 [--thresh T] [--smooth ALPHA]
-  swag query    --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
-                [--top N] [--tolerance DEG] [--no-direction-filter]
-                [--coverage] [--quality] [--explain] [--analyze]
-  swag explain  --snapshot FILE --lat LAT --lng LNG --radius M --t0 S --t1 S
-                [--top N] [--tolerance DEG] [--no-direction-filter]
-                [--coverage] [--quality] [--analyze]
-  swag retract  --snapshot FILE --provider ID
+  swag query    <--snapshot FILE|--data-dir DIR> --lat LAT --lng LNG
+                --radius M --t0 S --t1 S [--top N] [--tolerance DEG]
+                [--no-direction-filter] [--coverage] [--quality]
+                [--explain] [--analyze]
+  swag explain  <--snapshot FILE|--data-dir DIR> --lat LAT --lng LNG
+                --radius M --t0 S --t1 S [--top N] [--tolerance DEG]
+                [--no-direction-filter] [--coverage] [--quality] [--analyze]
+  swag retract  <--snapshot FILE|--data-dir DIR> --provider ID
+  swag recover  --data-dir DIR
   swag stats    [--format <pretty|prometheus|json>] [--seed N] [--queries N]
                 [--threads N] [--shard-width SECS] [--retain SECS] [--cache N]
+                [--data-dir DIR]
   swag trace    [--seed N] [--queries N] [--top K] [--threads N]
                 [--slow-micros US] [--chrome FILE]
   swag export   --in TRACE.csv --geojson FILE
   swag simplify --in TRACE.csv --tolerance M --out FILE
   swag serve    [--metrics-addr ADDR] [--duration SECS] [--seed N]
                 [--threads N] [--window-millis MS] [--slo-millis MS]
+                [--data-dir DIR]
   swag top      [--once] [--iterations N] [--interval-millis MS] [--seed N]
                 [--threads N] [--window-millis MS] [--slo-millis MS]
+                [--data-dir DIR]
   swag events   [--once|--follow] [--slow] [--shed] [--out FILE] [--ticks N]
                 [--seed N] [--threads N] [--slo-millis MS] [--keep-per-mille N]
   swag replay   --from FILE [--index N] [default: slowest captured event]

@@ -29,14 +29,33 @@ use super::cache;
 use super::epoch::{DeltaRecord, Epoch};
 use super::fanout::FanoutDecision;
 use super::forensics::{result_digest, CacheOutcome, QueryEvent, QueryOutcome};
-use super::plan::{PlanKey, QueryPlan, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_RANKING};
+use super::plan::{
+    PlanKey, QueryPlan, OP_COLD_SCAN, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_RANKING,
+};
 use super::Engine;
 use std::sync::atomic::Ordering;
+
+/// What the cold-tier scan measured during one analyzed execution.
+///
+/// Kept out of [`QueryEvent`] so the wide-event wire format (a pinned
+/// 32-word layout) is untouched by the durability layer; EXPLAIN
+/// ANALYZE carries it alongside instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ColdScanMeasure {
+    /// Wall time spent scanning cold runs.
+    pub micros: u64,
+    /// Records read across all overlapping cold runs.
+    pub rows_in: u64,
+    /// Hits the cold scan contributed after filtering.
+    pub hits: u64,
+}
 
 /// The annotated output of one analyzed execution.
 pub struct AnalyzeReport {
     /// Everything measured, as the wide event records it.
     pub event: QueryEvent,
+    /// Cold-tier scan measurements, when demoted shards were reachable.
+    pub cold: Option<ColdScanMeasure>,
     /// The resolved plan listing (`swag explain` format) the
     /// annotations attach to.
     pub plan_text: String,
@@ -112,14 +131,25 @@ impl AnalyzeReport {
                     "    ├─ {OP_DELTA_SCAN:<11} {:>6} us   rows {} -> {}",
                     e.delta_micros, e.delta_rows_in, e.delta_rows_out
                 );
+                if let Some(cold) = &self.cold {
+                    let _ = writeln!(
+                        out,
+                        "    ├─ {OP_COLD_SCAN:<11} {:>6} us   rows {} -> {}",
+                        cold.micros, cold.rows_in, cold.hits
+                    );
+                }
+                let cold_hits_note = self
+                    .cold
+                    .map_or(String::new(), |c| format!(" + {} cold", c.hits));
                 let _ = writeln!(
                     out,
-                    "    └─ {OP_RANKING:<11} {:>6} us   rows {} -> {}   (hits: {} index + {} delta)",
+                    "    └─ {OP_RANKING:<11} {:>6} us   rows {} -> {}   (hits: {} index + {} delta{})",
                     e.rank_micros,
                     e.rank_rows_in,
                     e.rank_rows_out,
                     e.hits_index,
-                    e.hits_delta
+                    e.hits_delta,
+                    cold_hits_note
                 );
             }
         }
@@ -147,7 +177,7 @@ impl Engine {
         epoch: &Epoch,
         t0: u64,
         plan: &QueryPlan,
-    ) -> (Vec<SearchHit>, QueryEvent) {
+    ) -> (Vec<SearchHit>, QueryEvent, Option<ColdScanMeasure>) {
         let fingerprint = plan.fingerprint();
         // Resolve the cache decision first, mirroring execute_plan_cached.
         let (cache_outcome, cached_hits) = match &self.cache {
@@ -223,7 +253,7 @@ impl Engine {
             ev.hit_count = hits.len() as u64;
             ev.digest = result_digest(&hits);
             ev.end_micros = t_done;
-            return (hits, ev);
+            return (hits, ev, None);
         }
         if ev.cache == CacheOutcome::Miss {
             if let Some(obs) = &self.obs {
@@ -266,6 +296,19 @@ impl Engine {
         let n_candidates = candidates.len() + delta_matches.len();
         let n_delta_matches = delta_matches.len();
         let t_scanned = self.clock.now_micros();
+        // Cold tier, mirrored from execute_plan's instrumented arm: same
+        // operator position, same hit order (index, delta, cold).
+        let had_cold = self.has_cold();
+        let (cold_hits, cold_rows_in, t_cold) = if had_cold {
+            let (hits, rows_in) = {
+                let _span = self.recorder.span(OP_COLD_SCAN);
+                self.cold_scan(plan)
+            };
+            (hits, rows_in, self.clock.now_micros())
+        } else {
+            (Vec::new(), 0, t_scanned)
+        };
+        let n_cold_hits = cold_hits.len();
         let (hits, n_index_hits, n_delta_hits) = {
             let _span = self.recorder.span(OP_RANKING);
             let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, plan);
@@ -277,6 +320,7 @@ impl Engine {
                     .map(|d| hit_for(&d.rec, &self.cam, &plan.query)),
             );
             let n_delta_hits = hits.len() - n_index_hits;
+            hits.extend(cold_hits);
             rank_hits(&mut hits, plan.rank, plan.k);
             (hits, n_index_hits, n_delta_hits)
         };
@@ -287,7 +331,7 @@ impl Engine {
         if let Some(obs) = &self.obs {
             obs.lock_wait.record(t_locked - t0);
             obs.index_scan.record(t_scanned - t_locked);
-            obs.ranking.record(t_done - t_scanned);
+            obs.ranking.record(t_done - t_cold);
             obs.query_total.record(t_done - t0);
             obs.candidates.record(n_candidates as u64);
             obs.op_index_scan.micros.record(t_index - t_locked);
@@ -296,11 +340,17 @@ impl Engine {
             obs.op_delta_scan.micros.record(t_scanned - t_index);
             obs.op_delta_scan.rows_in.record(epoch.delta_len as u64);
             obs.op_delta_scan.rows_out.record(n_delta_matches as u64);
-            obs.op_ranking.micros.record(t_done - t_scanned);
+            if t_cold > t_scanned || cold_rows_in > 0 {
+                obs.op_cold_scan.micros.record(t_cold - t_scanned);
+                obs.op_cold_scan.rows_in.record(cold_rows_in);
+                obs.op_cold_scan.rows_out.record(n_cold_hits as u64);
+            }
+            obs.op_ranking.micros.record(t_done - t_cold);
             obs.op_ranking.rows_in.record(n_candidates as u64);
             obs.op_ranking.rows_out.record(hits.len() as u64);
             obs.hits_index.add(n_index_hits as u64);
             obs.hits_delta.add(n_delta_hits as u64);
+            obs.hits_cold.add(n_cold_hits as u64);
             obs.shards_probed.record(decision.shards as u64);
             if decision.parallel {
                 obs.fanout_parallel.inc();
@@ -340,7 +390,7 @@ impl Engine {
         ev.delta_micros = t_scanned - t_index;
         ev.delta_rows_in = epoch.delta_len as u64;
         ev.delta_rows_out = n_delta_matches as u64;
-        ev.rank_micros = t_done - t_scanned;
+        ev.rank_micros = t_done - t_cold;
         ev.rank_rows_in = n_candidates as u64;
         ev.rank_rows_out = hits.len() as u64;
         ev.hits_index = n_index_hits as u64;
@@ -349,7 +399,13 @@ impl Engine {
         ev.hit_count = hits.len() as u64;
         ev.digest = result_digest(&hits);
         ev.end_micros = t_done;
-        (hits, ev)
+        // Cold measurements ride outside the pinned QueryEvent layout.
+        let cold = had_cold.then_some(ColdScanMeasure {
+            micros: t_cold - t_scanned,
+            rows_in: cold_rows_in,
+            hits: n_cold_hits as u64,
+        });
+        (hits, ev, cold)
     }
 
     /// Records `ev` into the event log (when present) and bumps the
@@ -379,7 +435,7 @@ impl Engine {
         let t0 = self.clock.now_micros();
         let epoch = self.epoch.read().clone();
         let plan = QueryPlan::compile(query, opts);
-        let (hits, mut ev) = self.execute_plan_instrumented(&epoch, t0, &plan);
+        let (hits, mut ev, _cold) = self.execute_plan_instrumented(&epoch, t0, &plan);
         ev.tokens_remaining = tokens_remaining;
         self.emit_event(&ev);
         hits
@@ -442,6 +498,7 @@ impl Engine {
                         hits: Vec::new(),
                         report: AnalyzeReport {
                             event: ev,
+                            cold: None,
                             plan_text,
                         },
                     };
@@ -450,7 +507,7 @@ impl Engine {
         };
         let epoch = self.epoch.read().clone();
         let plan = QueryPlan::compile(query, opts);
-        let (hits, mut ev) = self.execute_plan_instrumented(&epoch, t0, &plan);
+        let (hits, mut ev, cold) = self.execute_plan_instrumented(&epoch, t0, &plan);
         ev.tokens_remaining = tokens;
         self.emit_event(&ev);
         let plan_text = self.render_plan_text(&plan, &epoch, &ev);
@@ -458,6 +515,7 @@ impl Engine {
             hits,
             report: AnalyzeReport {
                 event: ev,
+                cold,
                 plan_text,
             },
         }
@@ -541,6 +599,13 @@ impl Engine {
             CacheOutcome::Miss => "miss (executed and stored)".to_string(),
             CacheOutcome::Hit => "hit (served from cache)".to_string(),
         });
-        plan.explain_against(&epoch.core.index, epoch.delta_len, &decision, &cache_line)
+        let cold_line = self.cold_line(plan);
+        plan.explain_against(
+            &epoch.core.index,
+            epoch.delta_len,
+            &decision,
+            &cache_line,
+            cold_line.as_deref(),
+        )
     }
 }

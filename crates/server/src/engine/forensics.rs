@@ -34,7 +34,7 @@ use crate::ranking::SearchHit;
 
 use super::admission::ShedReason;
 
-pub use super::analyze::{AnalyzeReport, AnalyzedQuery};
+pub use super::analyze::{AnalyzeReport, AnalyzedQuery, ColdScanMeasure};
 
 /// Words per encoded [`QueryEvent`].
 pub const QUERY_EVENT_WORDS: usize = 32;

@@ -95,11 +95,13 @@ pub(crate) struct ServerObs {
     pub(crate) retention_dropped: Arc<Counter>,
     pub(crate) op_index_scan: OpStageObs,
     pub(crate) op_delta_scan: OpStageObs,
+    pub(crate) op_cold_scan: OpStageObs,
     pub(crate) op_ranking: OpStageObs,
     /// Final-result split: hits served from the published snapshot's
-    /// index vs. from the staged delta.
+    /// index vs. from the staged delta vs. from on-disk cold runs.
     pub(crate) hits_index: Arc<Counter>,
     pub(crate) hits_delta: Arc<Counter>,
+    pub(crate) hits_cold: Arc<Counter>,
     /// Time shards the index scan fanned out to, per query.
     pub(crate) shards_probed: Arc<Histogram>,
     /// Adaptive fan-out decisions: queries whose index scan ran serially
@@ -191,11 +193,14 @@ impl ServerObs {
             retention_dropped: registry.counter("swag_server_retention_dropped_total"),
             op_index_scan: OpStageObs::from_registry(registry, plan::OP_INDEX_SCAN),
             op_delta_scan: OpStageObs::from_registry(registry, plan::OP_DELTA_SCAN),
+            op_cold_scan: OpStageObs::from_registry(registry, plan::OP_COLD_SCAN),
             op_ranking: OpStageObs::from_registry(registry, plan::OP_RANKING),
             hits_index: registry
                 .counter(&labeled_name("swag_server_hits_total", &[("src", "index")])),
             hits_delta: registry
                 .counter(&labeled_name("swag_server_hits_total", &[("src", "delta")])),
+            hits_cold: registry
+                .counter(&labeled_name("swag_server_hits_total", &[("src", "cold")])),
             shards_probed: registry.histogram("swag_server_shards_probed"),
             fanout_serial: registry.counter(&labeled_name(
                 "swag_server_fanout_total",
@@ -254,6 +259,11 @@ pub(crate) struct Engine {
     /// Wide-event query log; `None` when disabled (the default), so the
     /// query path pays one branch and reads no clock for forensics.
     pub(crate) events: Option<Arc<QueryEventLog>>,
+    /// Durable storage (segment WAL + incremental snapshots + cold
+    /// tier); `None` for memory-only servers (the default) so the hot
+    /// paths pay one branch each. Set by `CloudServer::open` after
+    /// recovery replays through the normal ingest path.
+    pub(crate) durability: Option<Arc<swag_store::Durability>>,
     /// Causal-tracing flight recorder for the query/ingest/publish
     /// paths. Disabled by default: each span site then costs one relaxed
     /// load.
@@ -310,6 +320,7 @@ impl Engine {
                 .events
                 .enabled
                 .then(|| Arc::new(QueryEventLog::new(config.events))),
+            durability: None,
             recorder,
             batches: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -323,6 +334,9 @@ impl Engine {
     pub(crate) fn attach_observability(&mut self, registry: &Registry) {
         self.obs = Some(ServerObs::from_registry(registry));
         self.exec.attach_observability(registry);
+        if let Some(durability) = &self.durability {
+            durability.attach_observability(registry);
+        }
         let mut w = self.writer.lock();
         let mut index = w.core.index.clone();
         index.attach_observability(registry);
@@ -393,7 +407,43 @@ impl Engine {
         if self.cache.is_none() {
             cache_line.push_str(", cache off");
         }
-        plan.explain_against(&epoch.core.index, epoch.delta_len, &decision, &cache_line)
+        let cold_line = self.cold_line(&plan);
+        plan.explain_against(
+            &epoch.core.index,
+            epoch.delta_len,
+            &decision,
+            &cache_line,
+            cold_line.as_deref(),
+        )
+    }
+
+    /// Whether queries can reach the cold tier: a durable server with at
+    /// least one demoted run on disk. Memory-only servers (the default)
+    /// answer `false` from one branch.
+    pub(crate) fn has_cold(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(|d| !d.cold().is_empty())
+    }
+
+    /// Renders the explain cold-tier line for `plan`: how many of the
+    /// on-disk cold runs its window could touch. `None` when the plan
+    /// cannot reach cold data (then explain output is byte-identical to
+    /// a memory-only server's).
+    pub(crate) fn cold_line(&self, plan: &QueryPlan) -> Option<String> {
+        let durability = self.durability.as_ref()?;
+        let total = durability.cold().runs();
+        if total == 0 {
+            return None;
+        }
+        let touched = durability
+            .cold()
+            .overlapping(plan.query.t_end, durability.width_s())
+            .len();
+        Some(format!(
+            "{touched} of {total} cold runs overlap the window ({})",
+            plan::OP_COLD_SCAN
+        ))
     }
 
     /// Computes point-in-time gauges into `registry`: epoch snapshot age,
@@ -459,6 +509,36 @@ impl Engine {
                     &[("shard", &bucket.to_string())],
                 ))
                 .set(entries as i64);
+        }
+        if let Some(durability) = &self.durability {
+            registry.set_help(
+                "swag_store_wal_lag_bytes",
+                "WAL bytes written but not yet fsynced (durability lag).",
+            );
+            registry.set_help(
+                "swag_store_snapshot_age_micros",
+                "Age of the last completed incremental snapshot (-1 = never).",
+            );
+            registry.set_help("swag_store_cold_runs", "Demoted cold runs on disk.");
+            registry.set_help(
+                "swag_store_cold_records",
+                "Records reachable through the cold tier.",
+            );
+            let stats = durability.stats();
+            registry
+                .gauge("swag_store_wal_lag_bytes")
+                .set(stats.wal_lag_bytes.min(i64::MAX as u64) as i64);
+            registry.gauge("swag_store_snapshot_age_micros").set(
+                stats
+                    .last_snapshot_age_micros
+                    .map_or(-1, |age| age.min(i64::MAX as u64) as i64),
+            );
+            registry
+                .gauge("swag_store_cold_runs")
+                .set(stats.cold_runs as i64);
+            registry
+                .gauge("swag_store_cold_records")
+                .set(stats.cold_segments.min(i64::MAX as u64) as i64);
         }
     }
 }

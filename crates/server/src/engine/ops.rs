@@ -17,21 +17,62 @@ use swag_exec::Executor;
 use swag_geo::LatLon;
 use swag_rtree::SearchStats;
 
+use crate::index::fov_box;
 use crate::query::{Query, QueryOptions, RankMode};
 use crate::ranking::{collect_hits, hit_for, rank_hits, SearchHit};
 use crate::server::{ServerStats, AUTO_THRESHOLD_INTERVAL};
-use crate::store::SegmentRecord;
+use crate::store::{SegmentId, SegmentRecord};
 
 use super::admission::ShedReason;
 use super::cache;
 use super::epoch::{DeltaRecord, Epoch};
 use super::fanout::{self, FanoutDecision};
 use super::plan::{
-    PlanKey, QueryPlan, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_QUERY_NEAREST, OP_RANKING,
+    PlanKey, QueryPlan, OP_COLD_SCAN, OP_DELTA_SCAN, OP_INDEX_SCAN, OP_QUERY, OP_QUERY_NEAREST,
+    OP_RANKING,
 };
 use super::Engine;
 
+/// Sentinel [`SegmentId`] carried by hits served from cold runs: cold
+/// records left the live store when retention demoted them, so they have
+/// no dense server id. External callers identify results by
+/// [`SearchHit::source`] either way.
+pub(crate) const COLD_HIT_ID: SegmentId = SegmentId(u32::MAX);
+
 impl Engine {
+    /// The cold-run scan operator: walks every demoted run whose bucket
+    /// could overlap the plan's window, applying the same box test and
+    /// filter chain the delta scan uses. Returns the filtered hits
+    /// (carrying [`COLD_HIT_ID`]) plus the records examined. Callers
+    /// gate on [`Engine::has_cold`], so memory-only servers never reach
+    /// this.
+    pub(crate) fn cold_scan(&self, plan: &QueryPlan) -> (Vec<SearchHit>, u64) {
+        let mut hits = Vec::new();
+        let mut rows_in = 0u64;
+        if let Some(durability) = &self.durability {
+            for run in durability
+                .cold()
+                .overlapping(plan.query.t_end, durability.width_s())
+            {
+                let records = run.records();
+                rows_in += records.len() as u64;
+                for (rep, source) in records.iter() {
+                    if plan.boxes.intersects(&fov_box(rep))
+                        && plan.filters.accepts(rep, &self.cam, &plan.query)
+                    {
+                        let rec = SegmentRecord {
+                            id: COLD_HIT_ID,
+                            rep: *rep,
+                            source: *source,
+                        };
+                        hits.push(hit_for(&rec, &self.cam, &plan.query));
+                    }
+                }
+            }
+        }
+        (hits, rows_in)
+    }
+
     /// Executes one plan against an already-acquired epoch, completing
     /// the latency accounting started at `t0` (the caller reads the
     /// clock once before acquiring the epoch; this method reads it once
@@ -85,6 +126,11 @@ impl Engine {
                         }
                     }
                 }
+                if self.has_cold() {
+                    let _span = self.recorder.span(OP_COLD_SCAN);
+                    let (cold_hits, _) = self.cold_scan(plan);
+                    hits.extend(cold_hits);
+                }
                 {
                     let _span = self.recorder.span(OP_RANKING);
                     rank_hits(&mut hits, plan.rank, plan.k);
@@ -127,6 +173,19 @@ impl Engine {
                 let n_candidates = candidates.len() + delta_matches.len();
                 let n_delta_matches = delta_matches.len();
                 let t_scanned = self.clock.now_micros();
+                // Cold tier: same operator order as the uninstrumented
+                // arm. `t_cold` collapses onto `t_scanned` when no cold
+                // runs exist, so memory-only metrics are unchanged.
+                let (cold_hits, cold_rows_in, t_cold) = if self.has_cold() {
+                    let (hits, rows_in) = {
+                        let _span = self.recorder.span(OP_COLD_SCAN);
+                        self.cold_scan(plan)
+                    };
+                    (hits, rows_in, self.clock.now_micros())
+                } else {
+                    (Vec::new(), 0, t_scanned)
+                };
+                let n_cold_hits = cold_hits.len();
                 let (hits, n_index_hits, n_delta_hits) = {
                     let _span = self.recorder.span(OP_RANKING);
                     let mut hits = collect_hits(&candidates, &epoch.core.store, &self.cam, plan);
@@ -138,6 +197,7 @@ impl Engine {
                             .map(|d| hit_for(&d.rec, &self.cam, &plan.query)),
                     );
                     let n_delta_hits = hits.len() - n_index_hits;
+                    hits.extend(cold_hits);
                     rank_hits(&mut hits, plan.rank, plan.k);
                     (hits, n_index_hits, n_delta_hits)
                 };
@@ -147,7 +207,7 @@ impl Engine {
                 self.query_micros.fetch_add(t_done - t0, Ordering::Relaxed);
                 obs.lock_wait.record(t_locked - t0);
                 obs.index_scan.record(t_scanned - t_locked);
-                obs.ranking.record(t_done - t_scanned);
+                obs.ranking.record(t_done - t_cold);
                 obs.query_total.record(t_done - t0);
                 obs.candidates.record(n_candidates as u64);
                 obs.index_nodes.record(search.nodes_visited);
@@ -160,11 +220,17 @@ impl Engine {
                 obs.op_delta_scan.micros.record(t_scanned - t_index);
                 obs.op_delta_scan.rows_in.record(epoch.delta_len as u64);
                 obs.op_delta_scan.rows_out.record(n_delta_matches as u64);
-                obs.op_ranking.micros.record(t_done - t_scanned);
+                if t_cold > t_scanned || cold_rows_in > 0 {
+                    obs.op_cold_scan.micros.record(t_cold - t_scanned);
+                    obs.op_cold_scan.rows_in.record(cold_rows_in);
+                    obs.op_cold_scan.rows_out.record(n_cold_hits as u64);
+                }
+                obs.op_ranking.micros.record(t_done - t_cold);
                 obs.op_ranking.rows_in.record(n_candidates as u64);
                 obs.op_ranking.rows_out.record(hits.len() as u64);
                 obs.hits_index.add(n_index_hits as u64);
                 obs.hits_delta.add(n_delta_hits as u64);
+                obs.hits_cold.add(n_cold_hits as u64);
                 obs.shards_probed.record(decision.shards as u64);
                 if decision.parallel {
                     obs.fanout_parallel.inc();

@@ -28,6 +28,9 @@ pub const OP_QUERY: &str = "query";
 pub const OP_INDEX_SCAN: &str = "index_scan";
 /// Span label of the pending-delta scan operator.
 pub const OP_DELTA_SCAN: &str = "delta_scan";
+/// Span label of the cold-run scan operator (demoted time shards on
+/// disk; only present in pipelines of durable servers with cold runs).
+pub const OP_COLD_SCAN: &str = "cold_scan";
 /// Span label of the filter + rank + truncate operator.
 pub const OP_RANKING: &str = "ranking";
 /// Span label of the k-nearest radius-expansion driver.
@@ -144,19 +147,27 @@ impl QueryPlan {
 
     /// [`Self::explain`] resolved against a concrete snapshot: also
     /// lists which time shards the plan probes, the fan-out decision the
-    /// cost model took for them, and the pending delta the delta-scan
-    /// operator walks.
+    /// cost model took for them, the pending delta the delta-scan
+    /// operator walks, and — on durable servers holding cold runs —
+    /// whether the plan reaches the cold tier (`cold_line`).
     pub(crate) fn explain_against(
         &self,
         index: &ShardedFovIndex,
         delta_len: usize,
         fanout: &FanoutDecision,
         cache_line: &str,
+        cold_line: Option<&str>,
     ) -> String {
-        self.render(Some((index, delta_len, fanout, cache_line)))
+        self.render(Some(ExplainContext {
+            index,
+            delta_len,
+            fanout,
+            cache_line,
+            cold_line,
+        }))
     }
 
-    fn render(&self, snapshot: Option<(&ShardedFovIndex, usize, &FanoutDecision, &str)>) -> String {
+    fn render(&self, snapshot: Option<ExplainContext<'_>>) -> String {
         use std::fmt::Write as _;
         let q = &self.query;
         let mut out = String::new();
@@ -180,7 +191,15 @@ impl QueryPlan {
                 b.min[0], b.max[0], b.min[1], b.max[1]
             );
         }
-        if let Some((index, delta_len, fanout, cache_line)) = snapshot {
+        let cold_line = snapshot.as_ref().and_then(|s| s.cold_line);
+        if let Some(ExplainContext {
+            index,
+            delta_len,
+            fanout,
+            cache_line,
+            ..
+        }) = snapshot
+        {
             let probes = index.probe_shards(q.t_start, q.t_end);
             let mut line = format!(
                 "  shards  : probe {} of {} live (width {} s)",
@@ -198,6 +217,9 @@ impl QueryPlan {
             let _ = writeln!(out, "  fanout  : {}", fanout.render());
             let _ = writeln!(out, "  delta   : {delta_len} pending records (linear scan)");
             let _ = writeln!(out, "  cache   : {cache_line}");
+            if let Some(cold) = cold_line {
+                let _ = writeln!(out, "  cold    : {cold}");
+            }
         }
         let mut filters = Vec::new();
         if let Some(tol) = self.filters.direction_tolerance_deg {
@@ -225,12 +247,33 @@ impl QueryPlan {
             format!("top {}", self.k)
         };
         let _ = writeln!(out, "  rank    : {rank}, {k}");
-        let _ = writeln!(
-            out,
-            "  pipeline: {OP_INDEX_SCAN}({OP_SHARD_PROBE}*) -> {OP_DELTA_SCAN} -> {OP_RANKING}"
-        );
+        // The pipeline line stays byte-identical to the pre-durability
+        // engine unless cold runs are actually reachable (tooling greps
+        // for the plain form).
+        if cold_line.is_some() {
+            let _ = writeln!(
+                out,
+                "  pipeline: {OP_INDEX_SCAN}({OP_SHARD_PROBE}*) -> {OP_DELTA_SCAN} -> {OP_COLD_SCAN} -> {OP_RANKING}"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  pipeline: {OP_INDEX_SCAN}({OP_SHARD_PROBE}*) -> {OP_DELTA_SCAN} -> {OP_RANKING}"
+            );
+        }
         out
     }
+}
+
+/// Snapshot-resolved context [`QueryPlan::explain_against`] renders.
+pub(crate) struct ExplainContext<'a> {
+    pub(crate) index: &'a ShardedFovIndex,
+    pub(crate) delta_len: usize,
+    pub(crate) fanout: &'a FanoutDecision,
+    pub(crate) cache_line: &'a str,
+    /// Rendered cold-tier summary; `None` when the server has no
+    /// reachable cold runs (memory-only servers always).
+    pub(crate) cold_line: Option<&'a str>,
 }
 
 /// The canonical key material [`QueryPlan::fingerprint`] hashes, small

@@ -9,10 +9,12 @@
 //! publish time and retires the dropped segments from the store, which
 //! compacts once enough of it is tombstones.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use swag_core::{RepFov, UploadBatch};
+use swag_store::WalOp;
 
 use crate::index::fov_box;
 use crate::query::{Query, QueryOptions};
@@ -151,6 +153,25 @@ impl Engine {
         if let Some(h) = horizon {
             let report = index.expire_before(h);
             w.bump_buckets(&report.buckets_dropped);
+            // Cold-tier demotion: before the expired segments become
+            // tombstones, write them (grouped by home bucket) to
+            // immutable cold runs so `cold_scan` can still reach them.
+            // Best-effort — a failed demotion never fails the publish.
+            if let Some(durability) = &self.durability {
+                if durability.config().cold_tier && !report.segments_dropped.is_empty() {
+                    let mut by_bucket: BTreeMap<i64, Vec<(RepFov, SegmentRef)>> = BTreeMap::new();
+                    for id in &report.segments_dropped {
+                        let rec = store.get(*id);
+                        by_bucket
+                            .entry(swag_store::home_bucket(rec.rep.t_start, width))
+                            .or_default()
+                            .push((rec.rep, rec.source));
+                    }
+                    for (bucket, records) in &by_bucket {
+                        let _ = durability.demote(*bucket, records);
+                    }
+                }
+            }
             for id in &report.segments_dropped {
                 if store.retire(*id) {
                     dropped += 1;
@@ -187,6 +208,13 @@ impl Engine {
         });
         w.core = core;
         *self.epoch.write() = w.make_epoch();
+        // Hand the folded store to the background snapshot worker. Every
+        // WAL op so far was appended under this writer lock before its
+        // effect landed, so the rotated floor covers exactly the ops the
+        // store clone reflects.
+        if let Some(durability) = &self.durability {
+            durability.on_publish(w.core.store.clone(), w.stamp.shard_versions.clone());
+        }
         if let Some(obs) = &self.obs {
             obs.publishes.inc();
             obs.rebuild_micros.record(now.saturating_sub(t0));
@@ -218,6 +246,11 @@ impl Engine {
                     video_id: batch.video_id,
                     segment_idx: i as u32,
                 };
+                // WAL-append before staging: a record is never visible
+                // in memory without a durable (or in-flight) log frame.
+                if let Some(durability) = &self.durability {
+                    let _ = durability.append(&WalOp::Append { rep: *rep, source });
+                }
                 let d = self.stage(&mut w, *rep, source);
                 let id = d.rec.id;
                 staged.push(d);
@@ -240,6 +273,9 @@ impl Engine {
     /// Ingests a single representative FoV.
     pub(crate) fn ingest_one(&self, rep: RepFov, source: SegmentRef) -> SegmentId {
         let mut w = self.writer.lock();
+        if let Some(durability) = &self.durability {
+            let _ = durability.append(&WalOp::Append { rep, source });
+        }
         let d = self.stage(&mut w, rep, source);
         let id = d.rec.id;
         w.delta.push(Arc::from(vec![d]));
@@ -276,6 +312,11 @@ impl Engine {
         if w.delta_len > 0 {
             self.publish_full(&mut w, None);
         }
+        // Logged after the fold (whose snapshot floor must not cover an
+        // op its store clone does not reflect) and before the mutation.
+        if let Some(durability) = &self.durability {
+            let _ = durability.append(&WalOp::Retract { provider_id });
+        }
 
         let victims: Vec<(RepFov, SegmentId)> = w
             .core
@@ -303,6 +344,11 @@ impl Engine {
             });
             w.core = core;
             *self.epoch.write() = w.make_epoch();
+            // Make the retraction snapshot-durable promptly (it is the
+            // §I privacy path) instead of waiting for the next fold.
+            if let Some(durability) = &self.durability {
+                durability.on_publish(w.core.store.clone(), w.stamp.shard_versions.clone());
+            }
             if let Some(obs) = &self.obs {
                 obs.publishes.inc();
             }
@@ -314,6 +360,13 @@ impl Engine {
     /// snapshot immediately and returns how many segments were dropped.
     pub(crate) fn expire_before(&self, horizon_s: f64) -> usize {
         let mut w = self.writer.lock();
+        // Logged before the publish so the fold's snapshot floor covers
+        // an op whose effect its store clone already reflects. (The
+        // automatic config-driven horizon is deliberately NOT logged:
+        // replay re-derives it from the same config and ingest order.)
+        if let Some(durability) = &self.durability {
+            let _ = durability.append(&WalOp::Expire { horizon_s });
+        }
         self.publish_full(&mut w, Some(horizon_s))
     }
 

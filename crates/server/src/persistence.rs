@@ -2,110 +2,58 @@
 //! rebuilding the R-tree with an STR bulk load.
 //!
 //! The cloud server's state is exactly its representative-FoV records (the
-//! index is derived data), so a snapshot is a framed sequence of
-//! `(SegmentRef, RepFov)` records. Restoring bulk-loads the index, which
-//! is both faster and better-packed than replaying inserts
+//! index is derived data), so a snapshot is a sequence of
+//! `(RepFov, SegmentRef)` records in the `swag-store` container format
+//! (ISSUE 10): a self-describing v2 header, a u64 record count, and a crc32
+//! footer, with the legacy v1 layout still readable. Restoring bulk-loads
+//! the index, which is both faster and better-packed than replaying inserts
 //! (see `benches/index_insert.rs`).
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use swag_core::descriptor::CodecError;
-use swag_core::{CameraProfile, DescriptorCodec};
+use bytes::{Buf, Bytes};
+use swag_core::CameraProfile;
 
 use crate::server::CloudServer;
-use crate::store::SegmentRef;
 
-/// Errors produced while reading snapshots.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SnapshotError {
-    /// The buffer ended before a complete header/record.
-    Truncated,
-    /// Bad magic bytes.
-    BadMagic(u32),
-    /// Unknown snapshot version.
-    BadVersion(u8),
-    /// A representative-FoV record failed to decode.
-    BadRecord(CodecError),
-}
+pub use swag_store::SnapshotError;
 
-impl std::fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SnapshotError::Truncated => write!(f, "snapshot truncated"),
-            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic 0x{m:08x}"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::BadRecord(e) => write!(f, "bad record: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for SnapshotError {}
-
-/// Snapshot magic: "SWAG".
-const MAGIC: u32 = 0x5357_4147;
-/// Current snapshot version.
-const VERSION: u8 = 1;
-/// Per-record framing on top of the descriptor codec.
-const REF_SIZE: usize = 8 + 8 + 4;
-
-/// Serialises a server's segment store.
+/// Serialises a server's segment store in the current (v2) container
+/// format.
 ///
 /// Fails with [`SnapshotError::BadRecord`] if a stored record is outside
 /// the codec's encodable domain (the server only holds records that came
-/// in through the codec, so this indicates corruption).
+/// in through the codec, so this indicates corruption), or with
+/// [`SnapshotError::TooManyRecords`] past the container's count range.
 pub fn save_snapshot(server: &CloudServer) -> Result<Bytes, SnapshotError> {
-    let records = server.export_records();
-    let mut buf = BytesMut::with_capacity(
-        4 + 1 + 4 + records.len() * (REF_SIZE + DescriptorCodec::RECORD_SIZE),
-    );
-    buf.put_u32_le(MAGIC);
-    buf.put_u8(VERSION);
-    buf.put_u32_le(records.len() as u32);
-    for rec in &records {
-        buf.put_u64_le(rec.source.provider_id);
-        buf.put_u64_le(rec.source.video_id);
-        buf.put_u32_le(rec.source.segment_idx);
-        DescriptorCodec::encode_rep(&rec.rep, &mut buf).map_err(SnapshotError::BadRecord)?;
-    }
-    Ok(buf.freeze())
+    let records: Vec<_> = server
+        .export_records()
+        .into_iter()
+        .map(|rec| (rec.rep, rec.source))
+        .collect();
+    swag_store::encode_records(&records)
 }
 
 /// Restores a server from a snapshot, bulk-loading the R-tree index.
 ///
-/// Segment ids are re-assigned densely in snapshot order (they are
-/// server-internal; external references use [`SegmentRef`]).
-pub fn load_snapshot(mut buf: impl Buf, cam: CameraProfile) -> Result<CloudServer, SnapshotError> {
-    if buf.remaining() < 4 + 1 + 4 {
-        return Err(SnapshotError::Truncated);
+/// Accepts both container versions (v1 snapshots written before ISSUE 10
+/// remain loadable). A whole-buffer restore is strict: bytes past the
+/// declared record count are [`SnapshotError::TrailingBytes`], not
+/// silently ignored. Segment ids are re-assigned densely in snapshot
+/// order (they are server-internal; external references use
+/// [`SegmentRef`](crate::store::SegmentRef)).
+pub fn load_snapshot(buf: impl Buf, cam: CameraProfile) -> Result<CloudServer, SnapshotError> {
+    let decoded = swag_store::decode_container(buf)?;
+    if decoded.trailing > 0 {
+        return Err(SnapshotError::TrailingBytes(decoded.trailing));
     }
-    let magic = buf.get_u32_le();
-    if magic != MAGIC {
-        return Err(SnapshotError::BadMagic(magic));
-    }
-    let version = buf.get_u8();
-    if version != VERSION {
-        return Err(SnapshotError::BadVersion(version));
-    }
-    let count = buf.get_u32_le() as usize;
-    if buf.remaining() != count * (REF_SIZE + DescriptorCodec::RECORD_SIZE) {
-        return Err(SnapshotError::Truncated);
-    }
-    let mut records = Vec::with_capacity(count);
-    for _ in 0..count {
-        let source = SegmentRef {
-            provider_id: buf.get_u64_le(),
-            video_id: buf.get_u64_le(),
-            segment_idx: buf.get_u32_le(),
-        };
-        let rep = DescriptorCodec::decode_rep(&mut buf).map_err(SnapshotError::BadRecord)?;
-        records.push((rep, source));
-    }
-    Ok(CloudServer::from_records(cam, records))
+    Ok(CloudServer::from_records(cam, decoded.records))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::query::{Query, QueryOptions};
+    use crate::store::SegmentRef;
+    use bytes::{BufMut, BytesMut};
     use swag_core::{Fov, RepFov};
     use swag_geo::LatLon;
 
@@ -220,5 +168,29 @@ mod tests {
             load_snapshot(&raw[..], CameraProfile::smartphone()).unwrap_err(),
             SnapshotError::BadVersion(99)
         );
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let server = populated_server(2);
+        let mut raw = save_snapshot(&server).unwrap().to_vec();
+        raw.extend_from_slice(b"junk");
+        assert_eq!(
+            load_snapshot(&raw[..], CameraProfile::smartphone()).unwrap_err(),
+            SnapshotError::TrailingBytes(4)
+        );
+    }
+
+    #[test]
+    fn loads_legacy_v1_snapshots() {
+        let server = populated_server(25);
+        let records: Vec<_> = server
+            .export_records()
+            .into_iter()
+            .map(|rec| (rec.rep, rec.source))
+            .collect();
+        let v1 = swag_store::encode_records_v1(&records).unwrap();
+        let restored = load_snapshot(v1, CameraProfile::smartphone()).unwrap();
+        assert_eq!(restored.stats().segments, 25);
     }
 }

@@ -91,6 +91,13 @@ pub struct ServerConfig {
     /// probabilistically. Disabled, the query path pays one branch and
     /// reads no clock for forensics.
     pub events: EventLogConfig,
+    /// Durable storage (disabled by default — the server is memory-only
+    /// unless opened through [`CloudServer::open`], which switches the
+    /// master switch on): segment WAL on the ingest path, incremental
+    /// snapshots at publish time, and cold-tier demotion of aged-out
+    /// shards. The data directory is the argument to `open`, not part
+    /// of this config. See `DESIGN.md` §15.
+    pub durability: swag_store::DurabilityConfig,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +113,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             admission: AdmissionConfig::default(),
             events: EventLogConfig::default(),
+            durability: swag_store::DurabilityConfig::default(),
         }
     }
 }
@@ -234,6 +242,83 @@ impl CloudServer {
     ) -> Self {
         CloudServer {
             engine: Engine::new(cam, config, clock),
+        }
+    }
+
+    /// Opens a durable server on a data directory (created if empty),
+    /// recovering whatever state is on disk: the latest incremental
+    /// snapshot is bulk-loaded, then durable WAL ops past the snapshot's
+    /// floor are replayed through the normal ingest path, so a recovered
+    /// server is bit-for-bit the server that crashed (minus any
+    /// un-fsynced WAL tail, which recovery truncates). The returned
+    /// server appends every subsequent ingest/retract/expire to the WAL,
+    /// snapshots incrementally at publish time, and (with
+    /// [`swag_store::DurabilityConfig::cold_tier`]) demotes aged-out
+    /// shards to cold runs instead of dropping them.
+    ///
+    /// `config.durability.enabled` is forced on — passing a data
+    /// directory *is* the opt-in. For a memory-only server use
+    /// [`Self::new`] / [`Self::with_config`].
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        cam: CameraProfile,
+        config: ServerConfig,
+    ) -> Result<Self, swag_store::StoreError> {
+        Self::open_with_clock(dir, cam, config, Arc::new(WallClock))
+    }
+
+    /// [`Self::open`] with an injected clock (drives WAL group-commit
+    /// windows and snapshot-age accounting).
+    pub fn open_with_clock(
+        dir: impl AsRef<std::path::Path>,
+        cam: CameraProfile,
+        mut config: ServerConfig,
+        clock: Arc<dyn MonotonicClock>,
+    ) -> Result<Self, swag_store::StoreError> {
+        config.durability.enabled = true;
+        let (durability, recovery) = swag_store::Durability::open(
+            dir.as_ref(),
+            config.shard_width_s,
+            config.durability,
+            clock.clone(),
+        )?;
+        let mut server = Self::with_config_and_clock(cam, config, clock);
+        // Replay happens with durability detached: recovered state is
+        // already durable, so re-appending it to the WAL (or re-demoting
+        // shards an already-recovered cold run holds) would duplicate it.
+        if !recovery.records.is_empty() {
+            server.engine.bootstrap(recovery.records);
+        }
+        for op in recovery.ops {
+            match op {
+                swag_store::WalOp::Append { rep, source } => {
+                    server.engine.ingest_one(rep, source);
+                }
+                swag_store::WalOp::Retract { provider_id } => {
+                    server.engine.retract_provider(provider_id);
+                }
+                swag_store::WalOp::Expire { horizon_s } => {
+                    server.engine.expire_before(horizon_s);
+                }
+            }
+        }
+        server.engine.durability = Some(durability);
+        Ok(server)
+    }
+
+    /// Durability counters (WAL lag, snapshot age, cold-tier size), when
+    /// this server was opened on a data directory.
+    pub fn durability_stats(&self) -> Option<swag_store::DurabilityStats> {
+        self.engine.durability.as_ref().map(|d| d.stats())
+    }
+
+    /// Forces everything durable *now*: fsyncs the WAL tail regardless
+    /// of the group-commit window and blocks until the background
+    /// snapshot worker has drained. A no-op on memory-only servers.
+    /// Call before a planned shutdown to make recovery replay-free.
+    pub fn quiesce(&self) {
+        if let Some(durability) = &self.engine.durability {
+            durability.quiesce();
         }
     }
 

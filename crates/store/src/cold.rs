@@ -1,0 +1,221 @@
+//! Cold tier: immutable on-disk runs of aged-out time shards.
+//!
+//! When retention expires a time-shard bucket, its records no longer
+//! belong in the R-tree or the snapshot — but deleting them forecloses
+//! month-scale workloads (POI hotspot mining, common-view joins over old
+//! footage). Instead the engine demotes them to a `cold-<bucket>-<n>.run`
+//! file (a v2 snapshot container) and registers a [`ColdRun`] here. The
+//! query path reaches them through the `cold_scan` operator, which prunes
+//! by bucket time range and lazily materialises a run's records on first
+//! touch.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use swag_core::RepFov;
+
+use crate::container::decode_container;
+use crate::segment::SegmentRef;
+
+/// One immutable cold run: an expired bucket's records on disk.
+#[derive(Debug)]
+pub struct ColdRun {
+    /// Home time-shard bucket the records came from.
+    pub bucket: i64,
+    /// Records in the run.
+    pub count: u64,
+    path: PathBuf,
+    cache: OnceLock<Arc<Vec<(RepFov, SegmentRef)>>>,
+}
+
+impl ColdRun {
+    /// Describes a run backed by `path` (no I/O until first read).
+    pub fn new(bucket: i64, count: u64, path: PathBuf) -> ColdRun {
+        ColdRun {
+            bucket,
+            count,
+            path,
+            cache: OnceLock::new(),
+        }
+    }
+
+    /// File backing this run.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The run's records, read and verified on first access.
+    ///
+    /// A run that fails to read or checksum resolves to empty — cold
+    /// data is best-effort historical reach, never a reason to fail a
+    /// live query.
+    pub fn records(&self) -> Arc<Vec<(RepFov, SegmentRef)>> {
+        Arc::clone(self.cache.get_or_init(|| {
+            let records = std::fs::read(&self.path)
+                .ok()
+                .and_then(|raw| decode_container(&raw[..]).ok())
+                .map(|c| c.records)
+                .unwrap_or_default();
+            Arc::new(records)
+        }))
+    }
+}
+
+fn parse_cold_name(name: &str) -> Option<(i64, u64)> {
+    // cold-<bucket>-<seq>.run, bucket may be negative.
+    let stem = name.strip_prefix("cold-")?.strip_suffix(".run")?;
+    let (bucket_s, seq_s) = stem.rsplit_once('-')?;
+    Some((bucket_s.parse().ok()?, seq_s.parse().ok()?))
+}
+
+/// File name for a cold run.
+pub(crate) fn cold_file_name(bucket: i64, seq: u64) -> String {
+    format!("cold-{bucket}-{seq}.run")
+}
+
+/// The set of cold runs currently reachable by queries.
+#[derive(Debug, Default)]
+pub struct ColdCatalog {
+    runs: RwLock<Vec<Arc<ColdRun>>>,
+}
+
+impl ColdCatalog {
+    /// An empty catalog.
+    pub fn new() -> ColdCatalog {
+        ColdCatalog::default()
+    }
+
+    /// Scans a cold directory, registering every parseable run.
+    ///
+    /// Returns the catalog and the next free run sequence number.
+    pub fn load(dir: &Path) -> std::io::Result<(ColdCatalog, u64)> {
+        let catalog = ColdCatalog::new();
+        let mut next_seq = 0u64;
+        if dir.exists() {
+            let mut found: Vec<(i64, u64, PathBuf)> = Vec::new();
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                if let Some((bucket, seq)) = entry.file_name().to_str().and_then(parse_cold_name) {
+                    next_seq = next_seq.max(seq + 1);
+                    found.push((bucket, seq, entry.path()));
+                }
+            }
+            found.sort_by_key(|(bucket, seq, _)| (*bucket, *seq));
+            let mut runs = catalog.runs.write();
+            for (bucket, _, path) in found {
+                // Count comes from the container header on first read;
+                // use the eager record read so stats are right even for
+                // catalogs loaded at recovery.
+                let run = ColdRun::new(bucket, 0, path);
+                let count = run.records().len() as u64;
+                runs.push(Arc::new(ColdRun { count, ..run }));
+            }
+        }
+        Ok((catalog, next_seq))
+    }
+
+    /// Registers a freshly written run.
+    pub fn push(&self, run: ColdRun) {
+        self.runs.write().push(Arc::new(run));
+    }
+
+    /// Runs whose bucket could hold a rep overlapping a window ending at
+    /// `t1`: reps in bucket `b` have `t_start ∈ [b·w, (b+1)·w)`, so only
+    /// `b·w ≤ t1` can overlap (no upper bound on `t_end`, so the lower
+    /// side cannot prune).
+    pub fn overlapping(&self, t1: f64, width_s: f64) -> Vec<Arc<ColdRun>> {
+        self.runs
+            .read()
+            .iter()
+            .filter(|r| (r.bucket as f64) * width_s <= t1)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of cold runs.
+    pub fn runs(&self) -> usize {
+        self.runs.read().len()
+    }
+
+    /// Total records across all runs.
+    pub fn segments(&self) -> u64 {
+        self.runs.read().iter().map(|r| r.count).sum()
+    }
+
+    /// Whether the catalog is empty (the common, hot-path case).
+    pub fn is_empty(&self) -> bool {
+        self.runs.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::encode_records;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn rep(t: f64) -> (RepFov, SegmentRef) {
+        (
+            RepFov::new(t, t + 5.0, Fov::new(LatLon::new(40.0, 116.32), 90.0)),
+            SegmentRef {
+                provider_id: 1,
+                video_id: 2,
+                segment_idx: t as u32,
+            },
+        )
+    }
+
+    fn tmp_dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "swag-cold-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn write_load_and_prune() {
+        let dir = tmp_dir();
+        for (bucket, t) in [(0i64, 10.0), (1, 650.0)] {
+            let recs = vec![rep(t), rep(t + 1.0)];
+            let path = dir.join(cold_file_name(bucket, bucket as u64));
+            std::fs::write(&path, encode_records(&recs).unwrap()).unwrap();
+        }
+        let (catalog, next_seq) = ColdCatalog::load(&dir).unwrap();
+        assert_eq!(catalog.runs(), 2);
+        assert_eq!(catalog.segments(), 4);
+        assert_eq!(next_seq, 2);
+        // Window ending before bucket 1 starts (width 600) prunes it.
+        assert_eq!(catalog.overlapping(500.0, 600.0).len(), 1);
+        assert_eq!(catalog.overlapping(1200.0, 600.0).len(), 2);
+        let run = &catalog.overlapping(500.0, 600.0)[0];
+        assert_eq!(run.records().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_run_reads_as_empty() {
+        let dir = tmp_dir();
+        std::fs::write(dir.join(cold_file_name(5, 0)), b"garbage").unwrap();
+        let (catalog, _) = ColdCatalog::load(&dir).unwrap();
+        assert_eq!(catalog.runs(), 1);
+        assert_eq!(catalog.segments(), 0);
+        assert!(catalog.overlapping(f64::INFINITY, 600.0)[0]
+            .records()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn negative_bucket_names_parse() {
+        assert_eq!(parse_cold_name("cold--3-7.run"), Some((-3, 7)));
+        assert_eq!(parse_cold_name("cold-12-0.run"), Some((12, 0)));
+        assert_eq!(parse_cold_name("cold-x.run"), None);
+    }
+}

@@ -1,0 +1,353 @@
+//! Versioned snapshot container for `(RepFov, SegmentRef)` record streams.
+//!
+//! Two formats share the magic and version byte:
+//!
+//! * **v1** (legacy, still readable): `magic u32 | version u8 | count u32 |
+//!   records…` — the original whole-server snapshot written by
+//!   `swag-server`'s `save_snapshot` before the durability refactor.
+//! * **v2** (current): `magic u32 | version u8 | header_len u16 |
+//!   header (count u64, …) | records… | crc32 u32`. The header is
+//!   self-describing — `header_len` counts the bytes between it and the
+//!   first record, so future versions can append header fields without
+//!   breaking old readers, the count is 64-bit (v1 silently truncated
+//!   `len as u32`), and the crc32 footer covers everything before it.
+//!
+//! Each record is a 20-byte [`SegmentRef`] frame followed by the 22-byte
+//! `DescriptorCodec` representative-FoV encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use swag_core::descriptor::CodecError;
+use swag_core::{DescriptorCodec, RepFov};
+
+use crate::crc::crc32;
+use crate::segment::SegmentRef;
+
+/// Container magic: "SWAG".
+pub const MAGIC: u32 = 0x5357_4147;
+/// Current container version.
+pub const CONTAINER_VERSION: u8 = 2;
+/// Per-record [`SegmentRef`] framing on top of the descriptor codec.
+pub const REF_SIZE: usize = 8 + 8 + 4;
+/// v2 header payload this writer emits: `count u64`.
+const HEADER_LEN_V2: usize = 8;
+
+/// Errors produced while encoding or decoding snapshot containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ended before a complete header/record/footer.
+    Truncated,
+    /// Bad magic bytes.
+    BadMagic(u32),
+    /// Unknown snapshot version.
+    BadVersion(u8),
+    /// A representative-FoV record failed to decode.
+    BadRecord(CodecError),
+    /// More records than the container's count field can carry.
+    TooManyRecords(usize),
+    /// The buffer held this many bytes past the end of the container.
+    TrailingBytes(usize),
+    /// The crc32 footer did not match the container contents.
+    BadCrc {
+        /// Checksum stored in the footer.
+        expected: u32,
+        /// Checksum computed over the container bytes.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic 0x{m:08x}"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::BadRecord(e) => write!(f, "bad record: {e}"),
+            SnapshotError::TooManyRecords(n) => {
+                write!(f, "{n} records exceed the container count field")
+            }
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after snapshot container")
+            }
+            SnapshotError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "snapshot crc mismatch: footer 0x{expected:08x}, computed 0x{found:08x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A decoded container: which format it was, its records, and how many
+/// bytes trailed the container (callers decide whether that is an error).
+#[derive(Debug, Clone)]
+pub struct DecodedContainer {
+    /// Format version the bytes were in (1 or 2).
+    pub version: u8,
+    /// The record stream.
+    pub records: Vec<(RepFov, SegmentRef)>,
+    /// Bytes remaining after the container — zero for a well-framed file.
+    pub trailing: usize,
+}
+
+fn put_record(buf: &mut BytesMut, rep: &RepFov, source: &SegmentRef) -> Result<(), SnapshotError> {
+    buf.put_u64_le(source.provider_id);
+    buf.put_u64_le(source.video_id);
+    buf.put_u32_le(source.segment_idx);
+    DescriptorCodec::encode_rep(rep, buf).map_err(SnapshotError::BadRecord)
+}
+
+/// Encodes records into the current (v2) container.
+pub fn encode_records(records: &[(RepFov, SegmentRef)]) -> Result<Bytes, SnapshotError> {
+    let count =
+        u64::try_from(records.len()).map_err(|_| SnapshotError::TooManyRecords(records.len()))?;
+    let mut buf = BytesMut::with_capacity(
+        4 + 1 + 2 + HEADER_LEN_V2 + records.len() * (REF_SIZE + DescriptorCodec::RECORD_SIZE) + 4,
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(CONTAINER_VERSION);
+    buf.put_u16_le(HEADER_LEN_V2 as u16);
+    buf.put_u64_le(count);
+    for (rep, source) in records {
+        put_record(&mut buf, rep, source)?;
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    Ok(buf.freeze())
+}
+
+/// Encodes records in the legacy v1 layout (no crc, 32-bit count).
+///
+/// Kept for compatibility tests and external tooling that still speaks
+/// v1; unlike the original implementation the count conversion is
+/// checked instead of silently truncating.
+pub fn encode_records_v1(records: &[(RepFov, SegmentRef)]) -> Result<Bytes, SnapshotError> {
+    let count =
+        u32::try_from(records.len()).map_err(|_| SnapshotError::TooManyRecords(records.len()))?;
+    let mut buf = BytesMut::with_capacity(
+        4 + 1 + 4 + records.len() * (REF_SIZE + DescriptorCodec::RECORD_SIZE),
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(1);
+    buf.put_u32_le(count);
+    for (rep, source) in records {
+        put_record(&mut buf, rep, source)?;
+    }
+    Ok(buf.freeze())
+}
+
+fn decode_record(buf: &mut &[u8]) -> Result<(RepFov, SegmentRef), SnapshotError> {
+    let source = SegmentRef {
+        provider_id: buf.get_u64_le(),
+        video_id: buf.get_u64_le(),
+        segment_idx: buf.get_u32_le(),
+    };
+    let rep = DescriptorCodec::decode_rep(buf).map_err(SnapshotError::BadRecord)?;
+    Ok((rep, source))
+}
+
+/// Decodes a v1 or v2 container, tolerating (but counting) trailing bytes
+/// so the stream can be embedded in larger framed files. Strict callers
+/// map `trailing > 0` to [`SnapshotError::TrailingBytes`].
+pub fn decode_container(mut input: impl Buf) -> Result<DecodedContainer, SnapshotError> {
+    let mut raw = vec![0u8; input.remaining()];
+    input.copy_to_slice(&mut raw);
+    decode_container_bytes(&raw)
+}
+
+fn decode_container_bytes(raw: &[u8]) -> Result<DecodedContainer, SnapshotError> {
+    let record_size = REF_SIZE + DescriptorCodec::RECORD_SIZE;
+    let mut buf = raw;
+    if buf.remaining() < 4 + 1 {
+        return Err(SnapshotError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    match version {
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(SnapshotError::Truncated);
+            }
+            let count = buf.get_u32_le() as usize;
+            if buf.remaining() < count * record_size {
+                return Err(SnapshotError::Truncated);
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                records.push(decode_record(&mut buf)?);
+            }
+            Ok(DecodedContainer {
+                version,
+                records,
+                trailing: buf.remaining(),
+            })
+        }
+        2 => {
+            if buf.remaining() < 2 {
+                return Err(SnapshotError::Truncated);
+            }
+            let header_len = buf.get_u16_le() as usize;
+            if header_len < HEADER_LEN_V2 || buf.remaining() < header_len {
+                return Err(SnapshotError::Truncated);
+            }
+            let count_u64 = buf.get_u64_le();
+            buf.advance(header_len - HEADER_LEN_V2);
+            let count = usize::try_from(count_u64)
+                .map_err(|_| SnapshotError::TooManyRecords(usize::MAX))?;
+            let Some(body) = count.checked_mul(record_size) else {
+                return Err(SnapshotError::Truncated);
+            };
+            if buf.remaining() < body + 4 {
+                return Err(SnapshotError::Truncated);
+            }
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                records.push(decode_record(&mut buf)?);
+            }
+            let crc_offset = raw.len() - buf.remaining();
+            let expected = buf.get_u32_le();
+            let found = crc32(&raw[..crc_offset]);
+            if expected != found {
+                return Err(SnapshotError::BadCrc { expected, found });
+            }
+            Ok(DecodedContainer {
+                version,
+                records,
+                trailing: buf.remaining(),
+            })
+        }
+        v => Err(SnapshotError::BadVersion(v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::Fov;
+    use swag_geo::LatLon;
+
+    fn records(n: usize) -> Vec<(RepFov, SegmentRef)> {
+        (0..n)
+            .map(|i| {
+                let p = LatLon::new(40.0, 116.32).offset(i as f64 * 7.0, 10.0 + i as f64 * 3.0);
+                (
+                    RepFov::new(i as f64, i as f64 + 5.0, Fov::new(p, i as f64 * 11.0)),
+                    SegmentRef {
+                        provider_id: i as u64 % 7,
+                        video_id: i as u64 / 7,
+                        segment_idx: i as u32,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v2_round_trips_and_is_framed() {
+        let recs = records(37);
+        let bytes = encode_records(&recs).unwrap();
+        let out = decode_container(bytes).unwrap();
+        assert_eq!(out.version, 2);
+        assert_eq!(out.trailing, 0);
+        assert_eq!(out.records.len(), 37);
+        for ((a_rep, a_src), (b_rep, b_src)) in recs.iter().zip(&out.records) {
+            assert_eq!(a_src, b_src);
+            assert!((a_rep.t_start - b_rep.t_start).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn v1_still_decodes() {
+        let recs = records(5);
+        let bytes = encode_records_v1(&recs).unwrap();
+        let out = decode_container(bytes).unwrap();
+        assert_eq!(out.version, 1);
+        assert_eq!(out.records.len(), 5);
+        assert_eq!(out.trailing, 0);
+    }
+
+    #[test]
+    fn trailing_bytes_are_counted_not_fatal() {
+        let recs = records(3);
+        for encoded in [
+            encode_records(&recs).unwrap(),
+            encode_records_v1(&recs).unwrap(),
+        ] {
+            let mut padded = encoded.to_vec();
+            padded.extend_from_slice(b"footer!");
+            let out = decode_container(&padded[..]).unwrap();
+            assert_eq!(out.records.len(), 3);
+            assert_eq!(out.trailing, 7);
+        }
+    }
+
+    #[test]
+    fn v2_detects_corruption_via_crc() {
+        let bytes = encode_records(&records(8)).unwrap();
+        let mut raw = bytes.to_vec();
+        // Flip one bit in the middle of the record stream; v1 would
+        // silently return garbage coordinates, v2 refuses.
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        assert!(matches!(
+            decode_container(&raw[..]).unwrap_err(),
+            SnapshotError::BadCrc { .. }
+        ));
+    }
+
+    #[test]
+    fn v2_truncation_is_reported() {
+        let bytes = encode_records(&records(4)).unwrap();
+        for cut in [1, 5, 20, bytes.len() - 1] {
+            assert_eq!(
+                decode_container(bytes.slice(0..cut)).unwrap_err(),
+                SnapshotError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_describing_header_skips_unknown_fields() {
+        // A future writer extends the v2 header; this reader must skip
+        // the extra bytes it does not understand.
+        let recs = records(2);
+        let bytes = encode_records(&recs).unwrap();
+        let raw = bytes.to_vec();
+        let mut extended = BytesMut::new();
+        extended.put_u32_le(MAGIC);
+        extended.put_u8(2);
+        extended.put_u16_le((HEADER_LEN_V2 + 4) as u16);
+        extended.put_u64_le(recs.len() as u64);
+        extended.put_u32_le(0xAAAA_AAAA); // unknown future header field
+        extended.extend_from_slice(&raw[4 + 1 + 2 + HEADER_LEN_V2..raw.len() - 4]);
+        let crc = crc32(&extended);
+        extended.put_u32_le(crc);
+        let out = decode_container(extended.freeze()).unwrap();
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.trailing, 0);
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let bytes = encode_records(&records(1)).unwrap();
+        let mut raw = bytes.to_vec();
+        raw[4] = 99;
+        assert_eq!(
+            decode_container(&raw[..]).unwrap_err(),
+            SnapshotError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let out = decode_container(encode_records(&[]).unwrap()).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.trailing, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Durability façade tests: WAL-only recovery, snapshot coverage,
+//! incremental bucket rewrites, cold-run reload, and lag/age stats.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use swag_core::{Fov, RepFov};
+use swag_geo::LatLon;
+use swag_obs::{ManualClock, MonotonicClock};
+use swag_store::{
+    home_bucket, Durability, DurabilityConfig, Recovery, SegmentRef, SegmentStore, WalOp,
+};
+
+fn tmp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "swag-dur-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn rec(t: f64, provider: u64) -> (RepFov, SegmentRef) {
+    (
+        RepFov::new(t, t + 5.0, Fov::new(LatLon::new(40.0, 116.32), 90.0)),
+        SegmentRef {
+            provider_id: provider,
+            video_id: 0,
+            segment_idx: t as u32,
+        },
+    )
+}
+
+fn open(dir: &Path) -> (Arc<Durability>, Recovery) {
+    Durability::open(
+        dir,
+        600.0,
+        DurabilityConfig {
+            enabled: true,
+            fsync_interval_micros: 0,
+            snapshot_min_wal_bytes: 0,
+            ..DurabilityConfig::default()
+        },
+        Arc::new(ManualClock::new()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn wal_only_recovery_returns_ops() {
+    let dir = tmp_dir();
+    {
+        let (d, recovery) = open(&dir);
+        assert!(recovery.records.is_empty() && recovery.ops.is_empty());
+        for i in 0..5 {
+            let (rep, source) = rec(i as f64 * 10.0, i);
+            d.append(&WalOp::Append { rep, source }).unwrap();
+        }
+        d.append(&WalOp::Retract { provider_id: 2 }).unwrap();
+    }
+    let (_d, recovery) = open(&dir);
+    assert!(recovery.records.is_empty(), "no snapshot was published");
+    assert_eq!(recovery.ops.len(), 6);
+    assert!(matches!(recovery.ops[5], WalOp::Retract { provider_id: 2 }));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_covers_and_retires_wal() {
+    let dir = tmp_dir();
+    {
+        let (d, _) = open(&dir);
+        let mut store = SegmentStore::new();
+        let mut versions = BTreeMap::new();
+        for i in 0..10u64 {
+            let (rep, source) = rec(i as f64 * 100.0, i);
+            d.append(&WalOp::Append { rep, source }).unwrap();
+            store.push(rep, source);
+            *versions.entry(home_bucket(rep.t_start, 600.0)).or_insert(0) += 1;
+        }
+        d.on_publish(store, Arc::new(versions));
+        d.quiesce();
+        let stats = d.stats();
+        assert_eq!(stats.snapshots_written, 1);
+        assert!(stats.snapshot_buckets_written >= 2);
+    }
+    // WAL fully covered: recovery is snapshot-only.
+    let (_d, recovery) = open(&dir);
+    assert_eq!(recovery.records.len(), 10);
+    assert_eq!(recovery.snapshot_records, 10);
+    assert!(recovery.ops.is_empty(), "covered WAL replays nothing");
+    // Bucket-major load keeps monotone-t ingest order.
+    let providers: Vec<u64> = recovery
+        .records
+        .iter()
+        .map(|(_, s)| s.provider_id)
+        .collect();
+    assert_eq!(providers, (0..10).collect::<Vec<_>>());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn incremental_snapshot_rewrites_only_touched_buckets() {
+    let dir = tmp_dir();
+    let (d, _) = open(&dir);
+    let mut store = SegmentStore::new();
+    let mut versions: BTreeMap<i64, u64> = BTreeMap::new();
+    for i in 0..4u64 {
+        let (rep, source) = rec(i as f64 * 700.0, i); // four distinct buckets
+        d.append(&WalOp::Append { rep, source }).unwrap();
+        store.push(rep, source);
+        *versions.entry(home_bucket(rep.t_start, 600.0)).or_insert(0) += 1;
+    }
+    d.on_publish(store.clone(), Arc::new(versions.clone()));
+    d.quiesce();
+    assert!(d.stats().snapshot_buckets_written >= 4);
+    let before = d.stats().snapshot_buckets_written;
+    // Touch one bucket only.
+    let (rep, source) = rec(0.0, 99);
+    d.append(&WalOp::Append { rep, source }).unwrap();
+    store.push(rep, source);
+    *versions.entry(0).or_insert(0) += 1;
+    d.on_publish(store, Arc::new(versions));
+    d.quiesce();
+    assert_eq!(
+        d.stats().snapshot_buckets_written - before,
+        1,
+        "only the touched bucket is rewritten"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn demote_and_reload_cold_runs() {
+    let dir = tmp_dir();
+    {
+        let (d, _) = open(&dir);
+        d.demote(0, &[rec(1.0, 1), rec(2.0, 2)]).unwrap();
+        d.demote(3, &[rec(1900.0, 3)]).unwrap();
+        let stats = d.stats();
+        assert_eq!((stats.cold_runs, stats.cold_segments), (2, 3));
+    }
+    let (d, _) = open(&dir);
+    assert_eq!(d.cold().runs(), 2);
+    assert_eq!(d.cold().segments(), 3);
+    assert_eq!(d.cold().overlapping(f64::INFINITY, 600.0).len(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_track_lag_and_snapshot_age() {
+    let dir = tmp_dir();
+    let clock = Arc::new(ManualClock::new());
+    let (d, _) = Durability::open(
+        &dir,
+        600.0,
+        DurabilityConfig {
+            enabled: true,
+            fsync_interval_micros: 1_000_000, // never within this test
+            ..DurabilityConfig::default()
+        },
+        Arc::clone(&clock) as Arc<dyn MonotonicClock>,
+    )
+    .unwrap();
+    let (rep, source) = rec(5.0, 1);
+    d.append(&WalOp::Append { rep, source }).unwrap();
+    let stats = d.stats();
+    assert!(stats.wal_lag_bytes > 0, "append not yet fsynced");
+    assert_eq!(stats.wal_records, 1);
+    assert_eq!(stats.last_snapshot_age_micros, None);
+    d.quiesce();
+    assert_eq!(d.stats().wal_lag_bytes, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
